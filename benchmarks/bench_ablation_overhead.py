@@ -1,0 +1,57 @@
+"""Ablation: shutdown overhead sensitivity (Section 3.4's 483 µJ).
+
+Sweeps the shutdown/wake energy across four orders of magnitude and
+measures the S&S+PS gain over S&S: cheap transitions make PS dominate;
+expensive ones push the breakeven out until shutdown never triggers and
+S&S+PS degenerates to S&S.
+"""
+
+import numpy as np
+
+from repro.core.sns import schedule_and_stretch
+from repro.core.platform import Platform
+from repro.graphs.analysis import critical_path_length
+from repro.graphs.generators import stg_random_graph
+from repro.power.dvs import DVSLadder
+from repro.power.shutdown import SleepModel
+from repro.util import render_table
+
+SCALES = (0.01, 0.1, 1.0, 10.0, 1000.0)
+
+
+def run_ablation(seeds=range(8), factor=2.0):
+    out = {}
+    for scale in SCALES:
+        plat = Platform(ladder=DVSLadder(),
+                        sleep=SleepModel(overhead_energy=483e-6 * scale))
+        gains, shutdowns = [], []
+        for seed in seeds:
+            g = stg_random_graph(60, seed).scaled(3.1e6)
+            deadline = factor * critical_path_length(g)
+            base = schedule_and_stretch(g, deadline, shutdown=False,
+                                        platform=plat)
+            ps = schedule_and_stretch(g, deadline, shutdown=True,
+                                      platform=plat)
+            gains.append(1.0 - ps.total_energy / base.total_energy)
+            shutdowns.append(ps.energy.n_shutdowns)
+        out[scale] = (float(np.mean(gains)), float(np.mean(shutdowns)))
+    return out
+
+
+def test_ablation_shutdown_overhead(once):
+    results = once(run_ablation)
+    print()
+    rows = [(f"{483e-6 * s * 1e6:.0f} µJ", f"{100 * g:.1f}%",
+             f"{k:.1f}") for s, (g, k) in results.items()]
+    print(render_table(
+        ["overhead", "S&S+PS gain over S&S", "mean shutdowns"],
+        rows, title="Shutdown overhead sensitivity (coarse, 2 x CPL)"))
+
+    gains = [results[s][0] for s in SCALES]
+    # Cheaper transitions never gain less.
+    assert all(a >= b - 1e-9 for a, b in zip(gains, gains[1:]))
+    # PS can never lose energy (gaps below breakeven just stay on).
+    assert all(g >= -1e-9 for g in gains)
+    # With a 0.483 J overhead, coarse-grain gaps stop sleeping almost
+    # everywhere; shutdown counts must collapse.
+    assert results[1000.0][1] < results[1.0][1]

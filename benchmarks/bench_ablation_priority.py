@@ -1,0 +1,48 @@
+"""Ablation: the list-scheduling priority policy (Section 4.4).
+
+The paper argues EDF is near-optimal by comparing against LIMIT-SF,
+which is independent of the scheduling policy.  This bench makes the
+comparison directly: LAMPS+PS run with EDF vs four alternative
+priorities, measured as mean energy relative to the LIMIT-SF bound.
+"""
+
+import numpy as np
+
+from repro.core.lamps import lamps_search
+from repro.core.limits import limit_sf
+from repro.graphs.analysis import critical_path_length
+from repro.graphs.generators import stg_random_graph
+from repro.util import render_table
+
+POLICIES = ("edf", "hlfet", "fifo", "lpt", "spt")
+
+
+def run_ablation(seeds=range(12), factor=2.0):
+    excess = {p: [] for p in POLICIES}
+    for seed in seeds:
+        g = stg_random_graph(60, seed).scaled(3.1e6)
+        deadline = factor * critical_path_length(g)
+        bound = limit_sf(g, deadline).total_energy
+        for p in POLICIES:
+            r = lamps_search(g, deadline, shutdown=True, policy=p)
+            excess[p].append(r.total_energy / bound - 1.0)
+    return {p: float(np.mean(v)) for p, v in excess.items()}
+
+
+def test_ablation_priority_policies(once):
+    mean_excess = once(run_ablation)
+    print()
+    rows = [(p, f"{100 * e:.2f}%") for p, e in
+            sorted(mean_excess.items(), key=lambda kv: kv[1])]
+    print(render_table(
+        ["policy", "mean energy above LIMIT-SF"],
+        rows, title="LAMPS+PS with different list-scheduling priorities"))
+
+    # The paper's conclusion: EDF leaves almost nothing on the table.
+    assert mean_excess["edf"] < 0.06
+    # And no policy can beat the bound.
+    for e in mean_excess.values():
+        assert e >= -1e-9
+    # EDF is within noise of the best policy tried.
+    best = min(mean_excess.values())
+    assert mean_excess["edf"] <= best + 0.03

@@ -1,0 +1,20 @@
+"""Bench: the communication-aware scheduling extension."""
+
+from repro.experiments import ext_comm
+
+
+def test_ext_comm(once):
+    report = once(ext_comm.run, sizes=(50, 100), graphs_per_group=4,
+                  ccrs=(0.0, 1.0, 2.0, 4.0))
+    print()
+    print(report)
+    n = report.data["mean_processors"]
+    e = report.data["mean_energy"]
+    ccrs = sorted(n)
+    # Transfer costs never pull the optimal processor count *up*...
+    assert n[ccrs[-1]] <= n[ccrs[0]] + 1e-9
+    # ...and the energy floor rises with communication intensity.
+    assert e[ccrs[-1]] >= e[ccrs[0]] - 1e-12
+    energies = [e[c] for c in ccrs]
+    assert all(b >= a - 1e-9 * abs(a)
+               for a, b in zip(energies, energies[1:]))

@@ -1,0 +1,25 @@
+"""Bench: the heterogeneous (big.LITTLE) scheduling extension."""
+
+from repro.experiments import ext_hetero
+
+
+def test_ext_hetero(once):
+    report = once(ext_hetero.run, sizes=(50,), graphs_per_group=4,
+                  deadline_factors=(1.2, 2.0, 8.0))
+    print()
+    print(report)
+    savings = report.data["savings"]
+    share = report.data["little_share"]
+    factors = sorted(savings)
+    # Slack monotonically migrates work toward the efficient cores...
+    shares = [share[f] for f in factors]
+    assert all(b >= a - 1e-9 for a, b in zip(shares, shares[1:]))
+    # ...and the heterogeneity dividend grows with the deadline.
+    vals = [savings[f] for f in factors]
+    assert all(b >= a - 1e-9 for a, b in zip(vals, vals[1:]))
+    # At generous slack, the dividend approaches the little cores'
+    # energy-efficiency gap (1 - m*c = 40%).
+    assert vals[-1] > 0.25
+    # The heterogeneous search can never lose to big-only (it contains
+    # big-only configurations).
+    assert all(v >= -1e-9 for v in vals)

@@ -1,0 +1,25 @@
+"""Bench: leakage scaling across technology nodes (the paper's premise)."""
+
+from repro.experiments import ext_technology
+
+
+def test_ext_technology(once):
+    report = once(ext_technology.run, sizes=(50, 100),
+                  graphs_per_group=4)
+    print()
+    print(report)
+    savings = report.data["savings"]
+    static = report.data["static_fraction"]
+    scales = sorted(savings)
+    # The premise: more leakage -> more to gain from leakage-aware
+    # scheduling, monotonically across the sweep.
+    vals = [savings[k] for k in scales]
+    assert all(b >= a - 1e-9 for a, b in zip(vals, vals[1:]))
+    # Static power share grows with Lg too (sanity of the knob).
+    fr = [static[k] for k in scales]
+    assert all(b > a for a, b in zip(fr, fr[1:]))
+    # At the paper's node the saving is already substantial.
+    assert savings[1.0] > 0.2
+    # In the near-zero-leakage past, the DVS-only approach was a
+    # reasonable design (gap well below the 10x-leakage future's).
+    assert savings[scales[0]] < savings[scales[-1]] - 0.1

@@ -1,0 +1,24 @@
+"""Bench: regenerate Fig. 2 (power and energy vs normalized frequency)."""
+
+import pytest
+
+from repro.experiments import fig02_power_curves
+
+
+def test_fig02_power_curves(once):
+    report = once(fig02_power_curves.run)
+    print()
+    print(report)
+    # The figure's anchors.
+    assert report.data["fmax_hz"] == pytest.approx(3.1e9, rel=0.01)
+    assert report.data["f_crit_continuous_norm"] == pytest.approx(
+        0.38, abs=0.01)
+    assert report.data["f_crit_discrete_norm"] == pytest.approx(
+        0.41, abs=0.01)
+    # Power grows monotonically with frequency (Fig. 2a's shape).
+    p = report.data["p_total"]
+    assert all(a <= b + 1e-12 for a, b in zip(p, p[1:]))
+    # Energy/cycle is unimodal with an interior minimum (Fig. 2b).
+    e = report.data["energy_per_cycle"]
+    k = e.index(min(e))
+    assert 0 < k < len(e) - 1

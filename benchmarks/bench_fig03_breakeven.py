@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 3 (minimum idle cycles for beneficial PS)."""
+
+import pytest
+
+from repro.experiments import fig03_breakeven
+
+
+def test_fig03_breakeven(once):
+    report = once(fig03_breakeven.run)
+    print()
+    print(report)
+    assert report.data["breakeven_half_speed_cycles"] == pytest.approx(
+        1.7e6, rel=0.02)
+    # The curve rises with frequency over most of the range (Fig. 3's
+    # shape): cycles at full speed far exceed cycles at 10% speed.
+    f = report.data["f_norm"]
+    c = report.data["breakeven_cycles"]
+    low = [ci for fi, ci in zip(f, c) if fi < 0.2]
+    high = [ci for fi, ci in zip(f, c) if fi > 0.8]
+    assert max(low) < min(high)

@@ -1,0 +1,15 @@
+"""Bench: regenerate Figs. 4/7 (the worked 5-task example)."""
+
+from repro.experiments import fig04_07_example
+
+
+def test_fig04_example(once):
+    report = once(fig04_07_example.run)
+    print()
+    print(report)
+    e = report.data["energies"]
+    n = report.data["processors"]
+    # Fig. 7: LAMPS packs onto 2 processors vs S&S's 3 and wins.
+    assert n["LAMPS"] == 2 and n["S&S"] == 3
+    assert e["LAMPS"] < e["S&S"]
+    assert e["LAMPS+PS"] <= min(e["LAMPS"], e["S&S+PS"]) + 1e-15

@@ -1,0 +1,25 @@
+"""Bench: regenerate Fig. 6 (energy vs number of processors)."""
+
+from repro.experiments import fig06_energy_vs_n
+
+
+def test_fig06_energy_vs_n(once):
+    report = once(fig06_energy_vs_n.run, max_processors=20)
+    print()
+    print(report)
+    for name in ("fpppp", "robot", "sparse"):
+        energies = report.data[name]["energies"]
+        feasible = [e for e in energies if e is not None]
+        assert feasible, name
+        # The curve rises once past the optimum: employing every extra
+        # processor costs leakage (Fig. 6's right side).
+        assert feasible[-1] > min(feasible), name
+
+    # sparse (parallelism ~16) is infeasible on few processors at
+    # 2x CPL — the left edge of the paper's sparse curve.
+    assert report.data["sparse"]["energies"][0] is None
+
+    # Non-global local minima exist (the paper saw one for sparse at
+    # N = 14; our demo instance shows them too) — the reason LAMPS's
+    # phase 2 is a linear search.
+    assert report.data["rand60-demo"]["local_minima_at"]

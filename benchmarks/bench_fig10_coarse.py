@@ -1,0 +1,35 @@
+"""Bench: regenerate Fig. 10 (relative energy, coarse-grain tasks).
+
+Who wins and by how much, per deadline factor: LAMPS+PS must track
+LIMIT-SF closely (the paper's ">94% of the possible savings" claim) and
+all heuristics must beat the S&S baseline.
+"""
+
+from repro.experiments import fig10_11_relative_energy
+from repro.experiments.registry import COARSE
+
+
+def test_fig10_coarse(once):
+    report = once(
+        fig10_11_relative_energy.run,
+        scenario=COARSE, graphs_per_group=3, sizes=(50, 100, 500),
+        deadline_factors=(1.5, 2.0, 4.0, 8.0))
+    print()
+    print(report)
+    for factor_key, benches in report.data.items():
+        for name, rel in benches.items():
+            assert rel["LAMPS+PS"] <= rel["S&S"] + 1e-9, (factor_key, name)
+            assert rel["LAMPS+PS"] <= rel["LAMPS"] + 1e-9
+            assert rel["LIMIT-SF"] <= rel["LAMPS+PS"] * (1 + 1e-9)
+            # Coarse grain: LAMPS+PS attains most of the possible saving.
+            possible = rel["S&S"] - rel["LIMIT-SF"]
+            attained = rel["S&S"] - rel["LAMPS+PS"]
+            if possible > 0.01:
+                assert attained / possible > 0.85, (factor_key, name)
+
+    # Savings grow as the deadline loosens (Fig. 10a -> 10d trend).
+    def mean_lamps_ps(key):
+        vals = [rel["LAMPS+PS"] for rel in report.data[key].values()]
+        return sum(vals) / len(vals)
+
+    assert mean_lamps_ps("factor_8.0") < mean_lamps_ps("factor_1.5")

@@ -1,0 +1,43 @@
+"""Bench: regenerate Fig. 11 (relative energy, fine-grain tasks).
+
+The fine-grain crossover: with 10 µs tasks the idle gaps sit below the
+shutdown breakeven, so the +PS variants gain far less than in Fig. 10 —
+but the processor-count lever (LAMPS) still works.
+"""
+
+from repro.experiments import fig10_11_relative_energy
+from repro.experiments.registry import COARSE, FINE
+
+
+def test_fig11_fine(once):
+    report = once(
+        fig10_11_relative_energy.run,
+        scenario=FINE, graphs_per_group=3, sizes=(50, 100, 500),
+        deadline_factors=(1.5, 2.0, 8.0))
+    print()
+    print(report)
+    for factor_key, benches in report.data.items():
+        for name, rel in benches.items():
+            assert rel["LAMPS+PS"] <= rel["S&S"] + 1e-9
+            assert rel["LIMIT-SF"] <= rel["LAMPS+PS"] * (1 + 1e-9)
+
+
+def test_fine_vs_coarse_sns_ps_gap(once):
+    """S&S+PS gains over S&S shrink for fine grain (the paper: 23% vs
+    4% average at 2x CPL)."""
+
+    def both():
+        out = {}
+        for scen in (COARSE, FINE):
+            rep = fig10_11_relative_energy.run(
+                scenario=scen, graphs_per_group=3, sizes=(50, 100),
+                deadline_factors=(2.0,))
+            rels = [b["S&S+PS"]
+                    for b in rep.data["factor_2.0"].values()]
+            out[scen.name] = sum(rels) / len(rels)
+        return out
+
+    gains = once(both)
+    print(f"\nmean S&S+PS relative energy at 2xCPL: {gains}")
+    # Coarse-grain shutdown saves strictly more than fine-grain.
+    assert gains["coarse"] < gains["fine"]

@@ -1,0 +1,44 @@
+"""Bench: regenerate Fig. 12 (energy/work vs parallelism, coarse).
+
+The figure's message (§5.2): S&S's energy per unit work rises when it
+employs many more processors than the parallelism can keep busy —
+over-provisioning — while LAMPS(+PS) stays flat because it can simply
+use fewer processors.  We test that mechanism directly.
+"""
+
+import numpy as np
+
+from repro.experiments import fig12_13_parallelism
+from repro.experiments.registry import COARSE
+
+
+def test_fig12_parallelism_coarse(once):
+    report = once(
+        fig12_13_parallelism.run,
+        scenario=COARSE, node_counts=(500, 1000), graphs_per_size=10)
+    print()
+    print(report)
+    points = report.data["points"]
+    assert len(points) == 20
+
+    # Mechanism: S&S e/work grows with over-provisioning (employed
+    # processors per unit of parallelism).
+    overprov = np.array([p["sns_processors"] / p["parallelism"]
+                         for p in points])
+    sns = np.array([p["S&S"] for p in points])
+    corr = np.corrcoef(overprov, sns)[0, 1]
+    assert corr > 0.3, f"no over-provisioning correlation: {corr:.2f}"
+
+    # LAMPS is flat: its worst case stays close to its best (§5.2:
+    # "a small amount of parallelism has no significant effect").
+    lamps = np.array([p["LAMPS"] for p in points])
+    assert lamps.max() / lamps.min() < 1.6
+    # ... and much flatter than S&S's spread.
+    assert lamps.max() / lamps.min() < sns.max() / sns.min()
+
+    # LAMPS never employs more processors than S&S.
+    for p in points:
+        assert p["lamps_processors"] <= p["sns_processors"]
+    # Nothing beats the absolute bound.
+    for p in points:
+        assert p["LIMIT-MF"] <= p["LAMPS+PS"] * (1 + 1e-9)

@@ -1,0 +1,10 @@
+"""Bench: the end-to-end reproduction scorecard."""
+
+from repro.experiments import scorecard
+
+
+def test_scorecard(once):
+    report = once(scorecard.run)
+    print()
+    print(report)
+    assert report.data["failed"] == []

@@ -1,0 +1,58 @@
+"""Bench: trace-simulator cross-validation of the analytic accounting.
+
+Runs the full heuristic lineup over a workload pool, replays every
+resulting schedule through the trace-level simulator, and checks that
+the integrated trace energy matches the closed-form accounting bit-for-
+bit (zero transition latencies) and tracks it closely under realistic
+sub-millisecond latencies.
+"""
+
+import numpy as np
+
+from repro.core import Heuristic, default_platform, paper_suite
+from repro.graphs.analysis import critical_path_length
+from repro.graphs.generators import stg_random_graph
+from repro.sim import ProcState, TransitionModel, execute
+from repro.util import render_table
+
+CONCRETE = (Heuristic.SNS, Heuristic.LAMPS, Heuristic.SNS_PS,
+            Heuristic.LAMPS_PS)
+
+
+def run_crossvalidation(seeds=range(8), factor=2.0):
+    rows = []
+    worst_rel = 0.0
+    latency = TransitionModel(down_latency=2e-4, up_latency=3e-4)
+    for seed in seeds:
+        g = stg_random_graph(50, seed).scaled(3.1e6)
+        deadline = factor * critical_path_length(g)
+        results = paper_suite(g, deadline)
+        for h in CONCRETE:
+            r = results[h]
+            ps = h in (Heuristic.SNS_PS, Heuristic.LAMPS_PS)
+            trace = execute(r.schedule, r.point, r.deadline_seconds,
+                            shutdown=ps)
+            trace.validate()
+            rel = abs(trace.energy() / r.total_energy - 1.0)
+            worst_rel = max(worst_rel, rel)
+            realistic = execute(r.schedule, r.point, r.deadline_seconds,
+                                shutdown=ps, transitions=latency)
+            sleep_s = sum(realistic.time_in_state(p, ProcState.SLEEP)
+                          for p in realistic.processors)
+            rows.append((g.name, h.value, f"{r.total_energy:.5f}",
+                         f"{rel:.1e}",
+                         f"{realistic.energy():.5f}",
+                         f"{sleep_s * 1e3:.1f} ms"))
+    return rows, worst_rel
+
+
+def test_sim_crossvalidation(once):
+    rows, worst_rel = once(run_crossvalidation)
+    print()
+    print(render_table(
+        ["graph", "approach", "analytic [J]", "trace rel. err",
+         "with 0.5 ms latencies [J]", "sleep time"],
+        rows, title="Trace simulator vs closed-form energy accounting"))
+    print(f"\nworst relative error (zero latencies): {worst_rel:.2e}")
+    # Exact agreement up to float noise.
+    assert worst_rel < 1e-9

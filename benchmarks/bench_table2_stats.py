@@ -1,0 +1,22 @@
+"""Bench: regenerate Table 2 (benchmark characteristics)."""
+
+from repro.experiments import table2_benchmarks
+from repro.graphs.applications import APPLICATION_STATS
+
+
+def test_table2_stats(once):
+    report = once(table2_benchmarks.run, graphs_per_group=10,
+                  sizes=(50, 100, 500))
+    print()
+    print(report)
+    # The application stand-ins must match the paper's Table 2 exactly.
+    for name, (n, m, cpl, work) in APPLICATION_STATS.items():
+        d = report.data[name]
+        assert d["nodes"] == n and d["edges"] == m
+        assert int(d["critical_path"]) == cpl
+        assert int(d["total_work"]) == work
+    # Random-group work in the published ballpark (mean weights ~4-12).
+    for size in ("50", "100", "500"):
+        works = report.data[size]["work"]
+        assert min(works) > int(size)  # weights >= 1, most > 1
+        assert max(works) < 20 * int(size)

@@ -1,0 +1,23 @@
+"""Bench: regenerate Table 3 (the MPEG-1 benchmark)."""
+
+import pytest
+
+from repro.experiments import table3_mpeg
+
+
+def test_table3_mpeg(once):
+    report = once(table3_mpeg.run)
+    print()
+    print(report)
+    d = report.data
+    # Processor counts straight out of the paper's table.
+    assert d["LAMPS"]["processors"] == 3
+    assert d["LAMPS+PS"]["processors"] == 6
+    assert d["S&S"]["processors"] in (7, 8)
+    # Energy ratios within a few percent of the published column.
+    for approach in ("LAMPS", "S&S+PS", "LAMPS+PS", "LIMIT-SF",
+                     "LIMIT-MF"):
+        assert d[approach]["relative"] == pytest.approx(
+            d[approach]["paper_relative"], abs=0.05), approach
+    # The paper's conclusion: the +PS schedules are essentially optimal.
+    assert d["LAMPS+PS"]["energy"] <= d["LIMIT-SF"]["energy"] * 1.01

@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one of the paper's tables or figures and prints
+the rows/series it reports (run with ``-s`` to see them inline; the
+``python -m repro.experiments`` CLI prints the same blocks).  Timing is
+collected by pytest-benchmark; experiment benches run one round — they
+benchmark the experiment, not a microkernel.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single round (heavy experiment bodies)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture version of :func:`run_once`."""
+
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

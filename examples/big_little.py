@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Energy-aware scheduling on a heterogeneous big.LITTLE processor.
+
+The paper's heuristics pick how many processors to use; on a
+heterogeneous part the question becomes *which* processors.  This
+example sweeps the deadline on a 4-big + 4-little system (little cores:
+half the speed at 30% of the power) and shows work migrating to the
+efficient cores as slack appears — and the energy dividend that brings
+over the best homogeneous big-core schedule.
+
+Run:  python examples/big_little.py [seed]
+"""
+
+import sys
+
+from repro.core import lamps_ps
+from repro.graphs.analysis import critical_path_length, graph_stats
+from repro.graphs.generators import stg_random_graph
+from repro.hetero import BIG_LITTLE, hetero_lamps
+from repro.util import render_table
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    graph = stg_random_graph(50, seed, name=f"workload{seed}") \
+        .scaled(3.1e6)
+    s = graph_stats(graph)
+    print(f"Workload: {s.n} tasks, parallelism {s.parallelism:.1f}")
+    print(f"System: {BIG_LITTLE!r} — little cores run at half speed "
+          f"on 30% power (0.6x energy per unit work)\n")
+
+    cpl = critical_path_length(graph)
+    rows = []
+    for factor in (1.1, 1.5, 2.0, 4.0, 8.0):
+        deadline = factor * cpl
+        het = hetero_lamps(graph, deadline, BIG_LITTLE)
+        homo = lamps_ps(graph, deadline)
+        saving = 1.0 - het.total_energy / homo.total_energy
+        rows.append((
+            factor,
+            f"{homo.total_energy:.4f}",
+            f"{het.total_energy:.4f}",
+            het.counts.get("big", 0),
+            het.counts.get("little", 0),
+            f"{het.point.frequency / 1e9:.2f}",
+            f"{100 * saving:.1f}%",
+        ))
+    print(render_table(
+        ["deadline xCPL", "big-only [J]", "big.LITTLE [J]", "big",
+         "little", "f [GHz]", "saving"],
+        rows, title="Heterogeneous LAMPS vs homogeneous LAMPS+PS"))
+    print("\nTight deadlines need the big cores' speed; with slack the "
+          "schedule migrates to the little cores and pockets their "
+          "efficiency, on top of the paper's DVS + shutdown + "
+          "processor-count levers.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Design-space exploration: processors x frequency x deadline.
+
+Walks the energy landscape the LAMPS heuristics search: for a workload
+graph, shows (a) energy versus processor count at several deadlines —
+the paper's Fig. 6 view, including where counts become infeasible — and
+(b) how the best configuration moves as the deadline loosens.
+
+Run:  python examples/design_space.py [seed]
+"""
+
+import sys
+
+from repro.core import (
+    Heuristic,
+    default_platform,
+    energy_vs_processors,
+    paper_suite,
+)
+from repro.graphs.analysis import (
+    average_parallelism,
+    critical_path_length,
+    graph_stats,
+)
+from repro.graphs.generators import stg_random_graph
+from repro.util import render_series, render_table
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 11
+    graph = stg_random_graph(80, seed, name=f"workload{seed}") \
+        .scaled(3.1e6)
+    s = graph_stats(graph)
+    print(f"Workload: {s.n} tasks, {s.m} edges, parallelism "
+          f"{s.parallelism:.1f}\n")
+
+    # (a) Energy vs processor count for two deadlines.
+    cpl = critical_path_length(graph)
+    max_n = min(graph.n, 16)
+    columns = {}
+    for factor in (1.5, 4.0):
+        curve = energy_vs_processors(graph, factor * cpl,
+                                     max_processors=max_n)
+        columns[f"D={factor}xCPL"] = [
+            round(e.total, 4) if e is not None else float("nan")
+            for _, e in curve]
+    print(render_series("N", list(range(1, max_n + 1)), columns,
+                        title="Total energy [J] vs processor count "
+                              "(nan = deadline missed)"))
+    print()
+
+    # (b) Best configuration per deadline factor.
+    rows = []
+    for factor in (1.2, 1.5, 2.0, 4.0, 8.0):
+        res = paper_suite(graph, factor * cpl)
+        r = res[Heuristic.LAMPS_PS]
+        rows.append((
+            factor, f"{r.total_energy:.4f}", r.n_processors,
+            f"{r.point.vdd:.2f}", r.energy.n_shutdowns,
+            f"{100 * r.total_energy / res[Heuristic.SNS].total_energy:.0f}%",
+        ))
+    print(render_table(
+        ["deadline xCPL", "energy [J]", "procs", "Vdd [V]",
+         "shutdowns", "vs S&S"],
+        rows, title="LAMPS+PS best configuration per deadline"))
+    print("\nLooser deadlines -> fewer processors, lower voltage, more "
+          "shutdown opportunities; past the critical speed only the "
+          "processor count keeps falling.")
+
+
+if __name__ == "__main__":
+    main()

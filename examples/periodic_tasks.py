@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Energy-aware scheduling of a periodic real-time task set.
+
+Section 3.1 of the paper: periodic tasks translate to the DAG model via
+frame-based scheduling.  This example models a small automotive-style
+controller — sensor fusion, control law, actuation, logging — with
+different periods, unrolls one hyperperiod, and finds the minimum-energy
+configuration with each heuristic while honouring every job's period
+deadline.
+
+Run:  python examples/periodic_tasks.py
+"""
+
+from repro.core import Heuristic, default_platform, evaluate_all
+from repro.graphs.periodic import PeriodicTask, frame_based_dag
+from repro.sched.deadlines import task_deadlines
+from repro.sched.validate import check_deadlines
+from repro.util import render_table
+
+MS = 3.1e6  # cycles per millisecond at the 3.1 GHz reference clock
+
+TASK_SET = [
+    PeriodicTask("imu_fusion", wcet=2.0 * MS, period=10 * MS),
+    PeriodicTask("control_law", wcet=4.0 * MS, period=20 * MS),
+    PeriodicTask("actuation", wcet=1.0 * MS, period=20 * MS),
+    PeriodicTask("telemetry", wcet=3.0 * MS, period=40 * MS),
+    PeriodicTask("logging", wcet=2.5 * MS, period=40 * MS),
+]
+
+
+def main() -> None:
+    plat = default_platform()
+    workload = frame_based_dag(TASK_SET)
+    print(f"Hyperperiod: {plat.seconds(workload.horizon) * 1e3:.0f} ms, "
+          f"{workload.graph.n} jobs, utilization "
+          f"{workload.utilization:.2f} (at full speed)\n")
+
+    rows = [(t.name, f"{t.wcet / MS:.1f}", f"{t.period / MS:.0f}",
+             f"{t.utilization:.3f}") for t in TASK_SET]
+    print(render_table(["task", "wcet [ms]", "period [ms]", "U"],
+                       rows, title="Task set"))
+    print()
+
+    results = evaluate_all(
+        workload.graph, workload.horizon,
+        deadline_overrides=workload.deadlines,
+        heuristics=(Heuristic.SNS, Heuristic.LAMPS, Heuristic.SNS_PS,
+                    Heuristic.LAMPS_PS))
+    d = task_deadlines(workload.graph, workload.horizon,
+                       overrides=workload.deadlines)
+    base = results[Heuristic.SNS].total_energy
+    rows = []
+    for r in results.values():
+        late = check_deadlines(
+            r.schedule, d,
+            frequency_ratio=r.point.frequency / plat.fmax)
+        rows.append((r.heuristic.value,
+                     f"{r.total_energy * 1e3:.3f}",
+                     r.n_processors,
+                     f"{r.point.frequency / 1e9:.2f}",
+                     f"{100 * r.total_energy / base:.1f}%",
+                     "all met" if late is None else late))
+    print(render_table(
+        ["approach", "energy/hyperperiod [mJ]", "procs", "f [GHz]",
+         "vs S&S", "period deadlines"],
+        rows, title="One hyperperiod, every job by its period boundary"))
+    print("\nEvery job's deadline is its own period boundary — the "
+          "frame-based translation the paper cites (Liberato et al.).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: schedule a small task graph for minimum energy.
+
+Builds the paper's 5-task illustration graph (Fig. 4), schedules it with
+every approach, and prints the energies, operating points and an ASCII
+Gantt chart of the chosen LAMPS+PS schedule.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import TaskGraph, schedule
+from repro.core import Heuristic, evaluate_all
+from repro.sched.gantt import render_gantt
+from repro.util import render_table
+
+# Task weights are in clock cycles at the maximum frequency (3.1 GHz).
+# One unit of the paper's example = 1 ms of work = 3.1e6 cycles.
+UNIT = 3.1e6
+
+graph = TaskGraph(
+    weights={"T1": 2 * UNIT, "T2": 6 * UNIT, "T3": 4 * UNIT,
+             "T4": 4 * UNIT, "T5": 2 * UNIT},
+    edges=[("T1", "T2"), ("T1", "T3"), ("T2", "T5"), ("T3", "T5")],
+    name="fig4-example",
+)
+
+
+def main() -> None:
+    # One call: pick the heuristic, give a deadline as a multiple of the
+    # critical path length (the paper's convention).
+    best = schedule(graph, deadline_factor=1.5, heuristic="LAMPS+PS")
+    print(f"LAMPS+PS: {best.total_energy * 1e3:.2f} mJ on "
+          f"{best.n_processors} processors at "
+          f"{best.point.frequency / 1e9:.2f} GHz "
+          f"(Vdd = {best.point.vdd:.2f} V)\n")
+
+    print(render_gantt(best.schedule, horizon=best.deadline_cycles
+                       * best.point.frequency / 3.0863e9))
+    print()
+
+    # Compare the full lineup.
+    results = evaluate_all(graph, deadline_factor=1.5)
+    base = results[Heuristic.SNS].total_energy
+    rows = [
+        (r.heuristic.value,
+         f"{r.total_energy * 1e3:.2f}",
+         r.n_processors if r.n_processors is not None else "-",
+         f"{r.point.vdd:.2f}",
+         f"{100 * r.total_energy / base:.1f}%")
+        for r in results.values()
+    ]
+    print(render_table(
+        ["approach", "energy [mJ]", "processors", "Vdd [V]", "vs S&S"],
+        rows, title="Deadline = 1.5 x critical path length"))
+
+
+if __name__ == "__main__":
+    main()

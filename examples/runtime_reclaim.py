@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Online slack reclamation when tasks beat their worst-case budgets.
+
+Static plans use worst-case execution times; real runs finish early.
+This example builds a LAMPS+PS plan, then replays it in the
+discrete-event simulator under actual execution times (50–100% of the
+worst case) with three online behaviours:
+
+* run the plan verbatim (extra slack is slept away),
+* greedy slack reclamation (Zhu et al., TPDS 2003),
+* leakage-aware reclamation (never scale below the critical speed —
+  the paper's Fig. 2b insight applied at run time).
+
+Run:  python examples/runtime_reclaim.py [seed]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core import default_platform, lamps_ps
+from repro.graphs.analysis import critical_path_length, graph_stats
+from repro.graphs.generators import stg_random_graph
+from repro.graphs.transforms import weight_jitter
+from repro.runtime import (
+    greedy_reclaim_policy,
+    leakage_aware_reclaim_policy,
+    simulate,
+)
+from repro.sched.deadlines import task_deadlines
+from repro.util import render_table
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    plat = default_platform()
+    graph = stg_random_graph(60, seed).scaled(3.1e6)
+    deadline = 2 * critical_path_length(graph)
+    plan = lamps_ps(graph, deadline)
+    d = task_deadlines(graph, deadline)
+    s = graph_stats(graph)
+    print(f"Workload: {s.n} tasks, parallelism {s.parallelism:.1f}; "
+          f"plan: {plan.n_processors} processors at "
+          f"{plan.point.frequency / 1e9:.2f} GHz, "
+          f"{plan.total_energy:.4f} J budgeted\n")
+
+    rng = np.random.default_rng(seed)
+    rows = []
+    for label, jitter in (("exactly WCET", 0.0),
+                          ("75-100% of WCET", 0.25),
+                          ("50-100% of WCET", 0.5),
+                          ("25-100% of WCET", 0.75)):
+        actual_graph = weight_jitter(graph, jitter, rng)
+        actual = {v: actual_graph.weight(v) for v in graph.node_ids}
+        sims = {
+            "as planned": simulate(plan.schedule, plan.point, d,
+                                   actual_cycles=actual),
+            "greedy reclaim": simulate(
+                plan.schedule, plan.point, d, actual_cycles=actual,
+                policy=greedy_reclaim_policy(plan.point, plat.ladder)),
+            "leakage-aware": simulate(
+                plan.schedule, plan.point, d, actual_cycles=actual,
+                policy=leakage_aware_reclaim_policy(plan.point,
+                                                    plat.ladder)),
+        }
+        assert all(not s.deadline_misses for s in sims.values())
+        rows.append((label,
+                     *(f"{sims[k].total_energy:.4f}"
+                       for k in ("as planned", "greedy reclaim",
+                                 "leakage-aware"))))
+    print(render_table(
+        ["actual times", "as planned [J]", "greedy reclaim [J]",
+         "leakage-aware [J]"],
+        rows, title="Realised energy (no deadline ever missed)"))
+    print("\nGreedy reclamation can scale below the critical speed and "
+          "lose to the leakage-aware floor — leakage turns classic "
+          "race-to-idle wisdom on its head, exactly as Fig. 2b "
+          "predicts.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Batch campaign over STG files on disk.
+
+Shows the downstream-user workflow with the Standard Task Graph Set's
+on-disk format: write a directory of ``.stg`` files (here: generated;
+with the real STG distribution, point ``--dir`` at it), then load every
+file, schedule it under all approaches, and aggregate the savings.
+
+Run:  python examples/stg_campaign.py [--dir PATH] [--count N]
+"""
+
+import argparse
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import Heuristic, paper_suite
+from repro.graphs.analysis import critical_path_length
+from repro.graphs.generators import stg_group
+from repro.graphs.stg import load_stg, save_stg, strip_dummies
+from repro.util import render_table
+
+
+def write_campaign(directory: Path, count: int) -> None:
+    for g in stg_group(60, count, seed=99):
+        save_stg(g, directory / f"{g.name}.stg")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--dir", type=Path, default=None,
+                        help="directory of .stg files (default: "
+                             "generate a temporary campaign)")
+    parser.add_argument("--count", type=int, default=8,
+                        help="graphs to generate when --dir is not given")
+    parser.add_argument("--deadline-factor", type=float, default=2.0)
+    args = parser.parse_args()
+
+    if args.dir is None:
+        tmp = tempfile.TemporaryDirectory()
+        directory = Path(tmp.name)
+        write_campaign(directory, args.count)
+        print(f"Generated {args.count} graphs in {directory}")
+    else:
+        directory = args.dir
+
+    files = sorted(directory.glob("*.stg"))
+    if not files:
+        raise SystemExit(f"no .stg files in {directory}")
+
+    heuristics = (Heuristic.SNS, Heuristic.LAMPS, Heuristic.SNS_PS,
+                  Heuristic.LAMPS_PS, Heuristic.LIMIT_SF)
+    relative = {h: [] for h in heuristics}
+    rows = []
+    for path in files:
+        graph = strip_dummies(load_stg(path)).scaled(3.1e6)
+        deadline = args.deadline_factor * critical_path_length(graph)
+        res = paper_suite(graph, deadline)
+        base = res[Heuristic.SNS].total_energy
+        for h in heuristics:
+            relative[h].append(res[h].total_energy / base)
+        rows.append((path.stem,
+                     *(f"{100 * res[h].total_energy / base:.1f}%"
+                       for h in heuristics)))
+
+    rows.append(("MEAN", *(f"{100 * np.mean(relative[h]):.1f}%"
+                           for h in heuristics)))
+    print(render_table(
+        ["graph", *(h.value for h in heuristics)], rows,
+        title=f"Energy relative to S&S "
+              f"(deadline = {args.deadline_factor} x CPL)"))
+
+
+if __name__ == "__main__":
+    main()

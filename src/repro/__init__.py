@@ -1,0 +1,35 @@
+"""repro — reproduction of "Leakage-aware multiprocessor scheduling for
+low power" (de Langen & Juurlink).
+
+Public API highlights:
+
+* :mod:`repro.power` — 70 nm power model, DVS ladder, sleep model.
+* :mod:`repro.graphs` — task graphs, STG I/O, generators, MPEG-1, KPN.
+* :mod:`repro.sched` — list scheduling (EDF and friends), schedules.
+* :mod:`repro.core` — S&S, LAMPS, the +PS variants, LIMIT-SF/MF, and the
+  :func:`repro.core.schedule` facade.
+* :mod:`repro.experiments` — regenerates every table and figure.
+"""
+
+from .core import (
+    Heuristic,
+    ScheduleResult,
+    schedule,
+)
+from .graphs import TaskGraph
+from .power import DVSLadder, PowerModel, SleepModel, TECH_70NM, Technology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Heuristic",
+    "ScheduleResult",
+    "schedule",
+    "TaskGraph",
+    "DVSLadder",
+    "PowerModel",
+    "SleepModel",
+    "Technology",
+    "TECH_70NM",
+    "__version__",
+]

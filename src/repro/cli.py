@@ -1,0 +1,257 @@
+"""Top-level command-line interface.
+
+Subcommands for the workflows a downstream user runs most::
+
+    python -m repro info graph.stg
+    python -m repro schedule graph.stg --deadline-factor 2 \\
+        --heuristic LAMPS+PS
+    python -m repro sweep graph.stg
+    python -m repro generate --nodes 100 --count 5 --out-dir graphs/
+    python -m repro power
+
+STG files may contain the Standard Task Graph Set's dummy entry/exit
+nodes; they are stripped automatically.  The ``--scale`` option maps STG
+weight units to cycles (default: the paper's coarse scenario, 3.1e6).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core.api import evaluate_all, schedule
+from .core.platform import default_platform
+from .core.results import Heuristic
+from .graphs.analysis import graph_stats
+from .graphs.dag import TaskGraph
+from .graphs.datasets import bundled_names, load_bundled
+from .graphs.generators import stg_group
+from .graphs.stg import load_stg, save_stg, strip_dummies
+from .sched.gantt import render_gantt
+from .util.tables import format_si, render_table
+
+__all__ = ["main"]
+
+
+def _load(path: str, scale: float) -> TaskGraph:
+    """Load a graph from a .stg path or a bundled dataset name."""
+    if not Path(path).exists() and path in bundled_names():
+        graph = load_bundled(path)
+    else:
+        graph = strip_dummies(load_stg(path))
+    return graph.scaled(scale) if scale != 1.0 else graph
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    graph = _load(args.graph, args.scale)
+    s = graph_stats(graph)
+    plat = default_platform()
+    rows = [
+        ("tasks", s.n),
+        ("dependences", s.m),
+        ("critical path", f"{s.cpl:g} cycles "
+                          f"({plat.seconds(s.cpl) * 1e3:.3f} ms at fmax)"),
+        ("total work", f"{s.work:g} cycles"),
+        ("average parallelism", f"{s.parallelism:.2f}"),
+    ]
+    print(render_table(["property", "value"], rows,
+                       title=f"{graph.name or args.graph}"))
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    graph = _load(args.graph, args.scale)
+    result = schedule(graph, deadline_factor=args.deadline_factor,
+                      heuristic=args.heuristic, policy=args.policy)
+    print(f"{result.heuristic.value}: "
+          f"{result.total_energy:.6g} J on {result.n_processors} "
+          f"processors at {format_si(result.point.frequency, 'Hz')} "
+          f"(Vdd = {result.point.vdd:g} V)")
+    e = result.energy
+    print(f"  busy {e.busy:.4g} J | idle {e.idle:.4g} J | "
+          f"sleep {e.sleep:.4g} J | overhead {e.overhead:.4g} J | "
+          f"{e.n_shutdowns} shutdowns")
+    if args.gantt and result.schedule is not None:
+        print()
+        print(render_gantt(result.schedule))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    graph = _load(args.graph, args.scale)
+    rows = []
+    for factor in args.deadline_factors:
+        results = evaluate_all(graph, deadline_factor=factor)
+        base = results[Heuristic.SNS].total_energy
+        rows.extend(
+            (factor, r.heuristic.value, f"{r.total_energy:.6g}",
+             r.n_processors if r.n_processors is not None else "-",
+             f"{100 * r.total_energy / base:.1f}%")
+            for r in results.values())
+    print(render_table(
+        ["deadline xCPL", "approach", "energy [J]", "procs", "vs S&S"],
+        rows, title=graph.name or args.graph))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    out = Path(args.out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    for g in stg_group(args.nodes, args.count, seed=args.seed):
+        path = out / f"{g.name}.stg"
+        save_stg(g, path)
+        print(path)
+    return 0
+
+
+def _cmd_bundled(args: argparse.Namespace) -> int:
+    rows = []
+    for name in bundled_names():
+        s = graph_stats(load_bundled(name))
+        rows.append((name, s.n, s.m, f"{s.cpl:g}", f"{s.work:g}",
+                     f"{s.parallelism:.2f}"))
+    print(render_table(
+        ["name", "tasks", "edges", "critical path", "total work",
+         "parallelism"],
+        rows, title="Bundled task graphs (usable wherever a .stg path "
+                    "is expected)"))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .sim import execute, render_trace
+
+    graph = _load(args.graph, args.scale)
+    result = schedule(graph, deadline_factor=args.deadline_factor,
+                      heuristic=args.heuristic)
+    ps = Heuristic(args.heuristic) in (Heuristic.SNS_PS,
+                                       Heuristic.LAMPS_PS)
+    trace = execute(result.schedule, result.point,
+                    result.deadline_seconds, shutdown=ps)
+    print(f"{result.heuristic.value}: {result.total_energy:.6g} J on "
+          f"{result.n_processors} processors at "
+          f"{format_si(result.point.frequency, 'Hz')}")
+    print()
+    print(render_trace(trace, width=args.width))
+    by_state = trace.energy_by_state()
+    print()
+    print(render_table(
+        ["state", "energy [J]"],
+        [(s.value, f"{e:.6g}") for s, e in sorted(
+            by_state.items(), key=lambda kv: -kv[1])]))
+    return 0
+
+
+def _cmd_pareto(args: argparse.Namespace) -> int:
+    from .core.pareto import energy_deadline_front, knee_point
+
+    graph = _load(args.graph, args.scale)
+    front = energy_deadline_front(graph, factors=args.deadline_factors,
+                                  heuristic=args.heuristic)
+    rows = [(p.deadline_factor, f"{p.deadline_seconds * 1e3:.3f}",
+             f"{p.energy:.6g}", p.n_processors,
+             f"{p.frequency / 1e9:.2f}") for p in front]
+    print(render_table(
+        ["deadline xCPL", "deadline [ms]", "energy [J]", "procs",
+         "f [GHz]"],
+        rows, title=f"Energy-deadline front ({args.heuristic})"))
+    knee = knee_point(front)
+    print(f"\nknee point: {knee.deadline_factor} x CPL "
+          f"({knee.energy:.6g} J) — loosening further recovers < 5%")
+    return 0
+
+
+def _cmd_power(args: argparse.Namespace) -> int:
+    plat = default_platform()
+    rows = [
+        (f"{p.vdd:.2f}", f"{p.frequency / 1e9:.4f}",
+         f"{plat.ladder.normalized(p):.3f}", f"{p.active_power:.4f}",
+         f"{p.idle_power:.4f}", f"{p.energy_per_cycle * 1e9:.5f}")
+        for p in plat.ladder
+    ]
+    print(render_table(
+        ["Vdd [V]", "f [GHz]", "f/fmax", "P active [W]", "P idle [W]",
+         "E/cycle [nJ]"],
+        rows, title="70 nm DVS ladder (0.05 V steps)"))
+    crit = plat.ladder.critical_point()
+    print(f"\ncritical point: Vdd = {crit.vdd:g} V, "
+          f"{plat.ladder.normalized(crit):.2f} x fmax")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Leakage-aware multiprocessor scheduling "
+                    "(de Langen & Juurlink reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_graph_opts(p):
+        p.add_argument("graph", help="an STG task-graph file")
+        p.add_argument("--scale", type=float, default=3.1e6,
+                       help="cycles per STG weight unit "
+                            "(default: coarse grain, 3.1e6)")
+
+    p = sub.add_parser("info", help="show task-graph statistics")
+    add_graph_opts(p)
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("schedule", help="schedule one graph")
+    add_graph_opts(p)
+    p.add_argument("--deadline-factor", type=float, default=2.0)
+    p.add_argument("--heuristic", default="LAMPS+PS",
+                   choices=[h.value for h in Heuristic])
+    p.add_argument("--policy", default="edf")
+    p.add_argument("--gantt", action="store_true",
+                   help="print an ASCII Gantt chart")
+    p.set_defaults(func=_cmd_schedule)
+
+    p = sub.add_parser("sweep", help="all heuristics x deadlines")
+    add_graph_opts(p)
+    p.add_argument("--deadline-factors", type=float, nargs="+",
+                   default=[1.5, 2.0, 4.0, 8.0])
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("generate", help="emit STG-like random graphs")
+    p.add_argument("--nodes", type=int, default=100)
+    p.add_argument("--count", type=int, default=10)
+    p.add_argument("--seed", type=int, default=2006)
+    p.add_argument("--out-dir", default=".")
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("power", help="print the DVS operating points")
+    p.set_defaults(func=_cmd_power)
+
+    p = sub.add_parser("bundled", help="list the bundled task graphs")
+    p.set_defaults(func=_cmd_bundled)
+
+    p = sub.add_parser("trace",
+                       help="render the power-state trace of a plan")
+    add_graph_opts(p)
+    p.add_argument("--deadline-factor", type=float, default=2.0)
+    p.add_argument("--heuristic", default="LAMPS+PS",
+                   choices=[h.value for h in Heuristic
+                            if h not in (Heuristic.LIMIT_SF,
+                                         Heuristic.LIMIT_MF)])
+    p.add_argument("--width", type=int, default=72)
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("pareto",
+                       help="energy-deadline trade-off exploration")
+    add_graph_opts(p)
+    p.add_argument("--deadline-factors", type=float, nargs="+",
+                   default=[1.0, 1.2, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0])
+    p.add_argument("--heuristic", default="LAMPS+PS",
+                   choices=[h.value for h in Heuristic])
+    p.set_defaults(func=_cmd_pareto)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""Communication-aware extension: transfer-annotated graphs, a
+locality-aware scheduler, and communication-aware LAMPS.
+"""
+
+from .heuristics import comm_lamps
+from .model import CommGraph, uniform_ccr
+from .scheduler import comm_aware_schedule
+
+__all__ = ["CommGraph", "uniform_ccr", "comm_aware_schedule",
+           "comm_lamps"]

@@ -1,0 +1,97 @@
+"""Communication-annotated task graphs.
+
+The paper's model charges nothing for inter-processor data transfer
+(shared-memory, CPU-bound assumption, Section 3.1) and cites
+communication-aware scheduling (Varatkar & Marculescu, ICCAD 2003) as
+the neighbouring problem.  This subpackage adds the missing piece: a
+:class:`CommGraph` wraps a :class:`~repro.graphs.dag.TaskGraph` with
+per-edge communication costs (cycles), incurred only when producer and
+consumer run on *different* processors.
+
+The interesting consequence for leakage-aware scheduling: communication
+penalises spreading work, so rising communication cost pushes the
+energy-optimal processor count down even before leakage is considered —
+the two effects compound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Tuple
+
+import numpy as np
+
+from ..graphs.dag import TaskGraph
+
+__all__ = ["CommGraph", "uniform_ccr"]
+
+
+class CommGraph:
+    """A task graph plus inter-processor communication costs.
+
+    Args:
+        graph: the computation DAG (weights in cycles).
+        comm: mapping ``(u, v) -> cycles`` for dependence edges; edges
+            not listed cost zero.  Costs apply only across processors.
+
+    Raises:
+        KeyError: if a comm entry names a non-edge.
+        ValueError: on negative costs.
+    """
+
+    def __init__(self, graph: TaskGraph,
+                 comm: Mapping[Tuple[Hashable, Hashable], float]) -> None:
+        self.graph = graph
+        edges = set(graph.edges())
+        cost: Dict[Tuple[int, int], float] = {}
+        for (u, v), c in comm.items():
+            if (u, v) not in edges:
+                raise KeyError(f"({u!r}, {v!r}) is not a dependence edge")
+            if c < 0:
+                raise ValueError(
+                    f"communication cost of ({u!r}, {v!r}) is negative")
+            cost[(graph.index_of(u), graph.index_of(v))] = float(c)
+        self._cost = cost
+
+    def comm_cycles(self, u: Hashable, v: Hashable) -> float:
+        """Cross-processor transfer cost of edge ``(u, v)`` (cycles)."""
+        return self._cost.get(
+            (self.graph.index_of(u), self.graph.index_of(v)), 0.0)
+
+    def comm_by_index(self, ui: int, vi: int) -> float:
+        """Index-level cost lookup (scheduler hot path)."""
+        return self._cost.get((ui, vi), 0.0)
+
+    @property
+    def total_comm(self) -> float:
+        """Sum of all edge costs (cycles)."""
+        return float(sum(self._cost.values()))
+
+    @property
+    def ccr(self) -> float:
+        """Communication-to-computation ratio: total comm / total work."""
+        return self.total_comm / float(self.graph.weights_array.sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CommGraph({self.graph!r}, ccr={self.ccr:.2f})")
+
+
+def uniform_ccr(graph: TaskGraph, ccr: float, rng_or_seed=0) -> CommGraph:
+    """A :class:`CommGraph` with a target communication-to-computation
+    ratio.
+
+    Edge costs are drawn proportional to random positive draws and
+    rescaled so the total communication equals ``ccr * total work`` —
+    the standard way scheduling papers parameterise communication
+    intensity.
+    """
+    if ccr < 0:
+        raise ValueError("ccr must be >= 0")
+    edges = list(graph.edges())
+    if not edges or ccr == 0:
+        return CommGraph(graph, {})
+    rng = np.random.default_rng(rng_or_seed) \
+        if not isinstance(rng_or_seed, np.random.Generator) else rng_or_seed
+    raw = rng.uniform(0.5, 1.5, size=len(edges))
+    total = ccr * float(graph.weights_array.sum())
+    scaled = raw * (total / raw.sum())
+    return CommGraph(graph, dict(zip(edges, scaled)))

@@ -1,0 +1,118 @@
+"""Public facade over the scheduling heuristics.
+
+:func:`schedule` runs one heuristic; :func:`evaluate_all` runs the full
+paper lineup on one instance (the building block of every experiment).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Optional, Union
+
+from ..graphs.analysis import critical_path_length
+from ..graphs.dag import TaskGraph
+from .lamps import lamps_search
+from .limits import limit_mf, limit_sf
+from .platform import Platform
+from .results import Heuristic, ScheduleResult
+from .sns import schedule_and_stretch
+
+__all__ = ["schedule", "evaluate_all", "deadline_from_factor"]
+
+
+def deadline_from_factor(graph: TaskGraph, factor: float) -> float:
+    """Deadline in reference cycles for a deadline-extension ``factor``.
+
+    The paper expresses deadlines as multiples of the critical path
+    length at full speed (1.5x, 2x, 4x, 8x).
+    """
+    if factor < 1.0:
+        raise ValueError(f"deadline factor must be >= 1, got {factor}")
+    return factor * critical_path_length(graph)
+
+
+def schedule(
+    graph: TaskGraph,
+    deadline: Optional[float] = None,
+    *,
+    deadline_factor: Optional[float] = None,
+    heuristic: Union[Heuristic, str] = Heuristic.LAMPS_PS,
+    platform: Optional[Platform] = None,
+    policy: str = "edf",
+    deadline_overrides: Optional[Mapping[Hashable, float]] = None,
+) -> ScheduleResult:
+    """Schedule ``graph`` for minimum energy under a deadline.
+
+    Exactly one of ``deadline`` (reference cycles — the task weights'
+    unit) or ``deadline_factor`` (multiple of the critical path length)
+    must be given.
+
+    Args:
+        heuristic: one of the :class:`Heuristic` members or its string
+            value (e.g. ``"LAMPS+PS"``).
+        platform: DVS ladder + sleep model; defaults to the paper's
+            70 nm platform.
+        policy: list-scheduling priority (the paper's default is EDF).
+        deadline_overrides: tighter per-task deadlines, e.g. from an
+            unrolled KPN.
+
+    Returns:
+        A :class:`ScheduleResult` with the chosen processor count,
+        operating point, energy breakdown, and the schedule itself.
+
+    Example:
+        >>> from repro.graphs import mpeg1_gop_graph
+        >>> g = mpeg1_gop_graph()
+        >>> res = schedule(g, deadline_factor=2.0, heuristic="LAMPS+PS")
+        >>> res.n_processors >= 1
+        True
+    """
+    if (deadline is None) == (deadline_factor is None):
+        raise ValueError(
+            "give exactly one of 'deadline' or 'deadline_factor'")
+    if deadline is None:
+        deadline = deadline_from_factor(graph, deadline_factor)
+    h = Heuristic(heuristic)
+    kwargs = dict(platform=platform, deadline_overrides=deadline_overrides)
+
+    if h is Heuristic.SNS:
+        return schedule_and_stretch(graph, deadline, shutdown=False,
+                                    policy=policy, **kwargs)
+    if h is Heuristic.SNS_PS:
+        return schedule_and_stretch(graph, deadline, shutdown=True,
+                                    policy=policy, **kwargs)
+    if h is Heuristic.LAMPS:
+        return lamps_search(graph, deadline, shutdown=False,
+                            policy=policy, **kwargs)
+    if h is Heuristic.LAMPS_PS:
+        return lamps_search(graph, deadline, shutdown=True,
+                            policy=policy, **kwargs)
+    if h is Heuristic.LIMIT_SF:
+        return limit_sf(graph, deadline, **kwargs)
+    if h is Heuristic.LIMIT_MF:
+        return limit_mf(graph, deadline, **kwargs)
+    raise AssertionError(f"unhandled heuristic {h!r}")  # pragma: no cover
+
+
+def evaluate_all(
+    graph: TaskGraph,
+    deadline: Optional[float] = None,
+    *,
+    deadline_factor: Optional[float] = None,
+    platform: Optional[Platform] = None,
+    policy: str = "edf",
+    heuristics: Optional[tuple] = None,
+    deadline_overrides: Optional[Mapping[Hashable, float]] = None,
+) -> Dict[Heuristic, ScheduleResult]:
+    """Run every heuristic (or a chosen subset) on one instance.
+
+    Returns a dict keyed by :class:`Heuristic`, in the paper's
+    presentation order.
+    """
+    chosen = heuristics or tuple(Heuristic)
+    return {
+        Heuristic(h): schedule(
+            graph, deadline, deadline_factor=deadline_factor,
+            heuristic=h, platform=platform, policy=policy,
+            deadline_overrides=deadline_overrides)
+        for h in chosen
+    }

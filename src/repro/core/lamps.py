@@ -1,0 +1,203 @@
+"""LAMPS and LAMPS+PS — the paper's core contribution (Sections 4.2, 4.3).
+
+LAMPS trades voltage scaling against the number of employed processors:
+
+Phase 1
+    Binary-search the minimal processor count ``N_min`` that meets the
+    deadline at full speed, between the work bound
+    ``N_lwb = ceil(total work / D)`` and ``N_upb = |V|``.
+
+Phase 2
+    For ``N = N_min, N_min+1, ...`` — *linear* search, because energy vs
+    processor count has local minima (Fig. 6) — list-schedule on ``N``
+    processors, stretch the frequency to finish exactly on time, and
+    record the energy; stop once adding a processor no longer shortens
+    the makespan.  Return the configuration with the least energy.
+
+LAMPS+PS evaluates, for every processor count, the whole feasible
+frequency range with the shutdown gap rule (Fig. 8's pseudocode) instead
+of only the maximally stretched point.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Mapping, Optional, Union
+
+from ..graphs.dag import TaskGraph
+from ..sched.deadlines import task_deadlines
+from ..sched.list_scheduler import list_schedule
+from ..sched.priorities import PriorityPolicy
+from ..sched.schedule import Schedule
+from .energy import EnergyBreakdown, schedule_energy
+from .platform import Platform, default_platform
+from .results import Heuristic, InfeasibleScheduleError, ScheduleResult
+from .stretch import feasible_points, required_frequency, stretch_point
+
+__all__ = ["lamps", "lamps_ps", "lamps_search", "energy_vs_processors"]
+
+
+def lamps_search(
+    graph: TaskGraph,
+    deadline: float,
+    *,
+    platform: Optional[Platform] = None,
+    shutdown: bool = False,
+    policy: Union[str, PriorityPolicy] = "edf",
+    deadline_overrides: Optional[Mapping[Hashable, float]] = None,
+    phase2: str = "linear",
+) -> ScheduleResult:
+    """Run LAMPS (``shutdown=False``) or LAMPS+PS (``shutdown=True``).
+
+    Args:
+        graph, deadline, platform, policy, deadline_overrides: as in
+            :func:`repro.core.sns.schedule_and_stretch`.
+        shutdown: enable the PS extension.
+        phase2: ``"linear"`` (the paper's choice — robust to local
+            minima) or ``"binary"``-style early stopping at the first
+            energy increase (the ablation showing why linear is needed).
+
+    Raises:
+        InfeasibleScheduleError: the deadline cannot be met at full
+            speed on any processor count up to ``|V|``.
+    """
+    if phase2 not in ("linear", "greedy"):
+        raise ValueError(f"phase2 must be 'linear' or 'greedy', got {phase2!r}")
+    platform = platform or default_platform()
+    d = task_deadlines(graph, deadline, overrides=deadline_overrides)
+    deadline_seconds = platform.seconds(deadline)
+    sleep = platform.sleep if shutdown else None
+
+    cache: Dict[int, Schedule] = {}
+
+    def sched(n: int) -> Schedule:
+        if n not in cache:
+            cache[n] = list_schedule(graph, n, d, policy=policy)
+        return cache[n]
+
+    def feasible(n: int) -> bool:
+        return sched(n).required_reference_frequency(d) <= 1.0 + 1e-9
+
+    # ---- Phase 1: minimal processor count (binary search) ---------------
+    n_lwb = max(1, math.ceil(float(graph.weights_array.sum()) / deadline))
+    n_upb = graph.n
+    if not feasible(n_upb):
+        raise InfeasibleScheduleError(
+            f"{graph.name or 'graph'}: deadline {deadline:g} cycles "
+            f"unreachable even with {n_upb} processors at full speed")
+    lo, hi = n_lwb, n_upb
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if feasible(mid):
+            hi = mid
+        else:
+            lo = mid + 1
+    n_min = lo
+
+    # ---- Phase 2: sweep processor counts ---------------------------------
+    best: Optional[tuple] = None  # (energy, n, point, schedule)
+    prev_makespan = math.inf
+    for n in range(n_min, n_upb + 1):
+        s = sched(n)
+        f_req = required_frequency(s, d, platform.fmax)
+        if f_req > platform.fmax * (1.0 + 1e-9):
+            continue  # scheduling anomaly made this count infeasible
+        energy, point = _best_operating_point(
+            s, f_req, platform, deadline_seconds, sleep)
+        if best is None or energy.total < best[0].total:
+            best = (energy, n, point, s)
+        elif phase2 == "greedy" and energy.total > best[0].total:
+            break
+        if s.makespan >= prev_makespan - 1e-9:
+            break  # more processors no longer shorten the schedule
+        prev_makespan = s.makespan
+    if shutdown:
+        # Fig. 8 sweeps up to the number of processors that can be
+        # employed efficiently; the fully spread schedule (the S&S one)
+        # can win under PS because longer per-processor gaps sleep
+        # better, so include it as a candidate.
+        s = sched(graph.n)
+        f_req = required_frequency(s, d, platform.fmax)
+        energy, point = _best_operating_point(
+            s, f_req, platform, deadline_seconds, sleep)
+        if best is None or energy.total < best[0].total:
+            best = (energy, graph.n, point, s)
+    assert best is not None  # n_min is always feasible
+    energy, _, point, schedule = best
+
+    return ScheduleResult(
+        heuristic=Heuristic.LAMPS_PS if shutdown else Heuristic.LAMPS,
+        graph_name=graph.name,
+        energy=energy,
+        point=point,
+        n_processors=schedule.employed_processors,
+        deadline_cycles=float(deadline),
+        deadline_seconds=deadline_seconds,
+        schedule=schedule,
+    )
+
+
+def _best_operating_point(schedule: Schedule, f_req: float,
+                          platform: Platform, deadline_seconds: float,
+                          sleep) -> tuple:
+    """Best (energy, point) for a fixed schedule.
+
+    Without PS: the maximally stretched point (the paper stretches to
+    finish "as close as possible to the deadline").  With PS: the best
+    point over the whole feasible range (Fig. 8's inner loop).
+    """
+    if sleep is None:
+        point = stretch_point(platform.ladder, f_req)
+        return schedule_energy(schedule, point, deadline_seconds), point
+    candidates = [
+        (schedule_energy(schedule, p, deadline_seconds, sleep=sleep), p)
+        for p in feasible_points(platform.ladder, f_req)
+    ]
+    return min(candidates, key=lambda c: c[0].total)
+
+
+def lamps(graph: TaskGraph, deadline: float, **kwargs) -> ScheduleResult:
+    """LAMPS — see :func:`lamps_search`."""
+    return lamps_search(graph, deadline, shutdown=False, **kwargs)
+
+
+def lamps_ps(graph: TaskGraph, deadline: float, **kwargs) -> ScheduleResult:
+    """LAMPS+PS — see :func:`lamps_search`."""
+    return lamps_search(graph, deadline, shutdown=True, **kwargs)
+
+
+def energy_vs_processors(
+    graph: TaskGraph,
+    deadline: float,
+    *,
+    platform: Optional[Platform] = None,
+    shutdown: bool = False,
+    policy: Union[str, PriorityPolicy] = "edf",
+    max_processors: Optional[int] = None,
+) -> "list[tuple[int, Optional[EnergyBreakdown]]]":
+    """Energy as a function of the processor count (the data of Fig. 6).
+
+    Returns one ``(n, energy_or_None)`` pair per processor count from 1
+    to ``max_processors`` (default: the count where the makespan stops
+    improving); ``None`` marks infeasible counts.
+    """
+    platform = platform or default_platform()
+    d = task_deadlines(graph, deadline)
+    deadline_seconds = platform.seconds(deadline)
+    sleep = platform.sleep if shutdown else None
+    out: list[tuple[int, Optional[EnergyBreakdown]]] = []
+    prev_makespan = math.inf
+    n_cap = max_processors or graph.n
+    for n in range(1, n_cap + 1):
+        s = list_schedule(graph, n, d, policy=policy)
+        f_req = required_frequency(s, d, platform.fmax)
+        if f_req > platform.fmax * (1.0 + 1e-9):
+            out.append((n, None))
+            continue
+        energy, _ = _best_operating_point(
+            s, f_req, platform, deadline_seconds, sleep)
+        out.append((n, energy))
+        if max_processors is None and s.makespan >= prev_makespan - 1e-9:
+            break
+        prev_makespan = s.makespan
+    return out

@@ -1,0 +1,108 @@
+"""The theoretical lower bounds LIMIT-SF and LIMIT-MF (Section 4.4).
+
+Both bounds assume idle processors consume *no* energy and use one
+processor per task, so only active cycles count and no real schedule —
+whatever the scheduling algorithm — can beat them:
+
+* **LIMIT-SF** keeps the paper's single-common-frequency restriction.
+  The frequency is scaled to the energy-optimal (critical) point when
+  the deadline allows, otherwise only as far as the deadline permits.
+  Feasibility on infinitely many processors is governed by the critical
+  path: every task can finish at its top level.
+* **LIMIT-MF** runs every task at the critical frequency regardless of
+  the deadline — an absolute bound even for per-processor,
+  time-varying frequencies.  It may miss the deadline; the result's
+  ``meets_deadline`` flag records whether it happened to satisfy it.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Optional
+
+import numpy as np
+
+from ..graphs.analysis import top_levels, total_work
+from ..graphs.dag import TaskGraph
+from ..sched.deadlines import task_deadlines
+from .energy import EnergyBreakdown
+from .platform import Platform, default_platform
+from .results import Heuristic, InfeasibleScheduleError, ScheduleResult
+
+__all__ = ["limit_sf", "limit_mf"]
+
+
+def _ideal_required_frequency(graph: TaskGraph, deadline: float,
+                              platform: Platform,
+                              overrides: Optional[Mapping[Hashable, float]]
+                              ) -> float:
+    """Minimum frequency for the ideal (one-task-per-processor) schedule.
+
+    With unlimited processors each task finishes at its top level, so the
+    requirement is ``fmax * max(top_level / deadline)`` over tasks.
+    Feasibility is judged by the caller (LIMIT-MF deliberately ignores
+    it), so the ALAP propagation runs without the feasibility check.
+    """
+    d = task_deadlines(graph, deadline, overrides=overrides,
+                       check_feasible=False)
+    tl = top_levels(graph)
+    with np.errstate(divide="ignore"):
+        ratio = float(np.max(tl / d))
+    return ratio * platform.fmax
+
+
+def limit_sf(graph: TaskGraph, deadline: float, *,
+             platform: Optional[Platform] = None,
+             deadline_overrides: Optional[Mapping[Hashable, float]] = None,
+             ) -> ScheduleResult:
+    """Single-frequency lower bound (LIMIT-SF).
+
+    Raises:
+        InfeasibleScheduleError: deadline below the critical path length.
+    """
+    platform = platform or default_platform()
+    f_req = _ideal_required_frequency(graph, deadline, platform,
+                                      deadline_overrides)
+    if f_req > platform.fmax * (1.0 + 1e-9):
+        raise InfeasibleScheduleError(
+            f"{graph.name or 'graph'}: ideal schedule needs "
+            f"{f_req/1e9:.3f} GHz > fmax")
+    point = platform.ladder.best_point(f_req * (1.0 - 1e-9))
+    energy = EnergyBreakdown(
+        busy=total_work(graph) * point.energy_per_cycle, idle=0.0)
+    return ScheduleResult(
+        heuristic=Heuristic.LIMIT_SF,
+        graph_name=graph.name,
+        energy=energy,
+        point=point,
+        n_processors=None,
+        deadline_cycles=float(deadline),
+        deadline_seconds=platform.seconds(deadline),
+    )
+
+
+def limit_mf(graph: TaskGraph, deadline: float, *,
+             platform: Optional[Platform] = None,
+             deadline_overrides: Optional[Mapping[Hashable, float]] = None,
+             ) -> ScheduleResult:
+    """Multi-frequency absolute lower bound (LIMIT-MF).
+
+    Always uses the critical operating point; ``meets_deadline`` is
+    False when doing so would overrun the deadline (the bound still
+    holds — see Section 4.4).
+    """
+    platform = platform or default_platform()
+    point = platform.ladder.critical_point()
+    f_req = _ideal_required_frequency(graph, deadline, platform,
+                                      deadline_overrides)
+    energy = EnergyBreakdown(
+        busy=total_work(graph) * point.energy_per_cycle, idle=0.0)
+    return ScheduleResult(
+        heuristic=Heuristic.LIMIT_MF,
+        graph_name=graph.name,
+        energy=energy,
+        point=point,
+        n_processors=None,
+        deadline_cycles=float(deadline),
+        deadline_seconds=platform.seconds(deadline),
+        meets_deadline=bool(point.frequency >= f_req * (1.0 - 1e-9)),
+    )

@@ -1,0 +1,257 @@
+"""Per-processor frequency assignment — the paper's future-work question.
+
+Section 6 conjectures that letting each processor run at its own (still
+constant) frequency "will probably not reach" the LIMIT-MF bound and
+that "the actual benefit from having multiple frequencies will probably
+be much less".  This module makes that conjecture testable:
+
+:func:`per_processor_stretch` starts from a single-frequency schedule
+(e.g. LAMPS+PS's) and greedily lowers individual processors' operating
+points while the deadline still holds, re-timing the schedule after
+every move (slowing one processor delays successors on *other*
+processors, so a naive per-processor slack computation would be wrong).
+
+The result quantifies how much of the LIMIT-MF headroom a realistic
+multi-frequency schedule can actually collect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..graphs.dag import TaskGraph
+from ..power.dvs import OperatingPoint
+from ..sched.deadlines import task_deadlines
+from ..sched.schedule import Schedule
+from .energy import EnergyBreakdown
+from .lamps import lamps_search
+from .platform import Platform, default_platform
+
+__all__ = ["MultiFreqResult", "retime", "multifreq_energy",
+           "per_processor_stretch"]
+
+
+@dataclass(frozen=True)
+class MultiFreqResult:
+    """Outcome of the per-processor frequency assignment.
+
+    Attributes:
+        schedule: the underlying cycle-level schedule (assignment and
+            per-processor order; timing comes from :func:`retime`).
+        points: operating point per processor id (only employed
+            processors appear).
+        energy: total energy under the assignment.
+        finish_seconds: retimed per-task finish times (dense node index).
+        deadline_seconds: the scheduling window.
+    """
+
+    schedule: Schedule
+    points: Mapping[int, OperatingPoint]
+    energy: EnergyBreakdown
+    finish_seconds: np.ndarray
+    deadline_seconds: float
+
+    @property
+    def total_energy(self) -> float:
+        return self.energy.total
+
+    @property
+    def distinct_frequencies(self) -> int:
+        """How many different frequencies the assignment uses."""
+        return len({p.frequency for p in self.points.values()})
+
+
+def retime(schedule: Schedule,
+           points: Mapping[int, OperatingPoint]) -> np.ndarray:
+    """Task finish times in *seconds* under per-processor frequencies.
+
+    Keeps the schedule's processor assignment and per-processor task
+    order; start times follow from both the processor availability and
+    the DAG predecessors (which may live on differently clocked
+    processors).
+
+    Returns:
+        Array of finish times (s) indexed by dense node index.
+    """
+    graph = schedule.graph
+    start = np.zeros(graph.n)
+    finish = np.zeros(graph.n)
+    proc_free: Dict[int, float] = {}
+    # Positions within each processor's sequence must be respected; a
+    # global order that interleaves processors correctly is obtained by
+    # sorting on the original cycle start times (ties: topo order).
+    topo_rank = {v: i for i, v in enumerate(schedule.graph.topo_indices)}
+    order = sorted(
+        (pl for p in range(schedule.n_processors)
+         for pl in schedule.processor_tasks(p)),
+        key=lambda pl: (pl.start,
+                        topo_rank[graph.index_of(pl.task)]))
+    preds = graph.pred_indices
+    w = graph.weights_array
+    for pl in order:
+        v = graph.index_of(pl.task)
+        f = points[pl.processor].frequency
+        ready = max((finish[u] for u in preds[v]), default=0.0)
+        s = max(ready, proc_free.get(pl.processor, 0.0))
+        start[v] = s
+        finish[v] = s + w[v] / f
+        proc_free[pl.processor] = finish[v]
+    return finish
+
+
+def multifreq_energy(schedule: Schedule,
+                     points: Mapping[int, OperatingPoint],
+                     finish_seconds: np.ndarray,
+                     deadline_seconds: float, *,
+                     platform: Platform,
+                     use_sleep: bool = True) -> EnergyBreakdown:
+    """Energy of a retimed multi-frequency schedule.
+
+    Each employed processor is on from 0 to the deadline at its own
+    operating point; the PS gap rule applies per gap when
+    ``use_sleep`` is set.
+    """
+    graph = schedule.graph
+    sleep = platform.sleep if use_sleep else None
+    total = EnergyBreakdown(busy=0.0, idle=0.0)
+    w = graph.weights_array
+    for proc in range(schedule.n_processors):
+        tasks = schedule.processor_tasks(proc)
+        if not tasks:
+            continue
+        point = points[proc]
+        busy_cycles = sum(w[graph.index_of(pl.task)] for pl in tasks)
+        busy = busy_cycles * point.energy_per_cycle
+        # Gap structure in seconds from the retimed finish times.
+        idle = sleep_e = overhead = 0.0
+        n_shut = 0
+        t = 0.0
+        gaps: List[float] = []
+        for pl in tasks:
+            v = graph.index_of(pl.task)
+            s = finish_seconds[v] - w[v] / point.frequency
+            if s > t + 1e-15:
+                gaps.append(s - t)
+            t = finish_seconds[v]
+        if t > deadline_seconds * (1.0 + 1e-9):
+            raise ValueError(
+                f"processor {proc} finishes at {t:g} s, past the "
+                f"deadline {deadline_seconds:g} s")
+        if deadline_seconds > t:
+            gaps.append(deadline_seconds - t)
+        for gap in gaps:
+            if sleep is not None and sleep.would_shut_down(
+                    gap, point.idle_power):
+                sleep_e += gap * sleep.sleep_power
+                overhead += sleep.overhead_energy
+                n_shut += 1
+            else:
+                idle += gap * point.idle_power
+        total = total + EnergyBreakdown(
+            busy=busy, idle=idle, sleep=sleep_e, overhead=overhead,
+            n_shutdowns=n_shut)
+    return total
+
+
+def per_processor_stretch(
+    graph: TaskGraph,
+    deadline: float,
+    *,
+    platform: Optional[Platform] = None,
+    use_sleep: bool = True,
+    deadline_overrides: Optional[Mapping[Hashable, float]] = None,
+    base_schedule: Optional[Tuple[Schedule, OperatingPoint]] = None,
+    islands: Optional[Mapping[int, int]] = None,
+    max_rounds: int = 64,
+) -> MultiFreqResult:
+    """Greedy per-processor frequency lowering from a LAMPS+PS base.
+
+    Args:
+        graph: task graph (weights in reference cycles).
+        deadline: graph deadline in reference cycles.
+        platform: ladder + sleep model.
+        use_sleep: apply the PS gap rule in the energy objective.
+        deadline_overrides: per-task deadlines (KPN outputs).
+        base_schedule: optionally a (schedule, common point) pair to
+            start from; defaults to the LAMPS+PS solution.
+        islands: optional voltage/frequency-island grouping, processor
+            id -> island id (clustered DVS, as on Cell- or
+            big.LITTLE-style parts where cores share supply rails).
+            Processors in one island always run at the same point; the
+            greedy move lowers a whole island.  ``None`` means fully
+            independent processors; mapping every processor to one
+            island recovers the paper's single-frequency model.
+        max_rounds: hill-climbing round cap (each round tries one
+            downward step on every island).
+
+    Returns:
+        A :class:`MultiFreqResult`; its energy is never worse than the
+        base single-frequency solution.
+    """
+    platform = platform or default_platform()
+    d_ref = task_deadlines(graph, deadline, overrides=deadline_overrides)
+    deadline_seconds = platform.seconds(deadline)
+    d_seconds = d_ref / platform.fmax
+
+    if base_schedule is None:
+        base = lamps_search(graph, deadline, platform=platform,
+                            shutdown=use_sleep,
+                            deadline_overrides=deadline_overrides)
+        schedule, base_point = base.schedule, base.point
+    else:
+        schedule, base_point = base_schedule
+
+    ladder = platform.ladder
+    employed = [p for p in range(schedule.n_processors)
+                if schedule.processor_tasks(p)]
+    points: Dict[int, OperatingPoint] = {p: base_point for p in employed}
+    if islands is None:
+        island_of = {p: p for p in employed}
+    else:
+        island_of = {p: islands[p] for p in employed}
+    members: Dict[int, list] = {}
+    for p, isl in island_of.items():
+        members.setdefault(isl, []).append(p)
+
+    def feasible(fin: np.ndarray) -> bool:
+        return bool(np.all(fin <= d_seconds * (1.0 + 1e-9)))
+
+    finish = retime(schedule, points)
+    if not feasible(finish):
+        raise ValueError("base schedule misses its deadlines")
+    best_energy = multifreq_energy(schedule, points, finish,
+                                   deadline_seconds, platform=platform,
+                                   use_sleep=use_sleep)
+
+    ladder_list = list(ladder)
+    index_of_point = {p.frequency: i for i, p in enumerate(ladder_list)}
+    for _ in range(max_rounds):
+        improved = False
+        for isl, procs in members.items():
+            idx = index_of_point[points[procs[0]].frequency]
+            if idx == 0:
+                continue
+            candidate = dict(points)
+            for p in procs:
+                candidate[p] = ladder_list[idx - 1]
+            fin = retime(schedule, candidate)
+            if not feasible(fin):
+                continue
+            energy = multifreq_energy(schedule, candidate, fin,
+                                      deadline_seconds,
+                                      platform=platform,
+                                      use_sleep=use_sleep)
+            if energy.total < best_energy.total - 1e-15:
+                points = candidate
+                best_energy = energy
+                finish = fin
+                improved = True
+        if not improved:
+            break
+
+    return MultiFreqResult(
+        schedule=schedule, points=points, energy=best_energy,
+        finish_seconds=finish, deadline_seconds=deadline_seconds)

@@ -1,0 +1,109 @@
+"""Energy–deadline design-space exploration.
+
+A system integrator's question the paper's machinery answers but never
+packages: *how does the minimum energy trade against the deadline?*
+:func:`energy_deadline_front` sweeps deadline factors and returns the
+Pareto-optimal (deadline, energy) points together with the chosen
+configuration at each, and :func:`knee_point` locates the sweet spot
+where loosening the deadline stops paying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..graphs.analysis import critical_path_length
+from ..graphs.dag import TaskGraph
+from .platform import Platform, default_platform
+from .results import Heuristic, ScheduleResult
+from .api import schedule
+
+__all__ = ["FrontPoint", "energy_deadline_front", "knee_point"]
+
+
+@dataclass(frozen=True)
+class FrontPoint:
+    """One point of the energy–deadline trade-off curve.
+
+    Attributes:
+        deadline_factor: deadline as a multiple of the CPL.
+        deadline_seconds: the same in wall-clock time.
+        energy: minimum energy found at this deadline (J).
+        n_processors: processors the winning configuration employs.
+        frequency: its common operating frequency (Hz).
+        result: the full :class:`ScheduleResult`.
+    """
+
+    deadline_factor: float
+    deadline_seconds: float
+    energy: float
+    n_processors: int
+    frequency: float
+    result: ScheduleResult
+
+
+def energy_deadline_front(
+    graph: TaskGraph,
+    *,
+    factors: Sequence[float] = (1.0, 1.2, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0),
+    heuristic: Union[Heuristic, str] = Heuristic.LAMPS_PS,
+    platform: Optional[Platform] = None,
+    prune_dominated: bool = True,
+) -> List[FrontPoint]:
+    """The energy-vs-deadline curve of ``graph``.
+
+    Args:
+        factors: deadline factors to sweep (ascending recommended).
+        heuristic: which optimiser defines "minimum energy".
+        prune_dominated: drop points that a *shorter* deadline already
+            beats on energy (the curve is not guaranteed monotone —
+            leakage makes very loose deadlines backfire for the non-PS
+            heuristics).
+
+    Returns:
+        Front points in ascending deadline order.
+    """
+    platform = platform or default_platform()
+    cpl = critical_path_length(graph)
+    points: List[FrontPoint] = []
+    for factor in sorted(factors):
+        r = schedule(graph, factor * cpl, heuristic=heuristic,
+                     platform=platform)
+        points.append(FrontPoint(
+            deadline_factor=float(factor),
+            deadline_seconds=r.deadline_seconds,
+            energy=r.total_energy,
+            n_processors=r.n_processors or 0,
+            frequency=r.point.frequency if r.point else float("nan"),
+            result=r))
+    if prune_dominated:
+        pruned: List[FrontPoint] = []
+        best = np.inf
+        for p in points:
+            if p.energy < best - 1e-15:
+                pruned.append(p)
+                best = p.energy
+        points = pruned
+    return points
+
+
+def knee_point(front: Sequence[FrontPoint], *,
+               threshold: float = 0.05) -> FrontPoint:
+    """The smallest-deadline point whose remaining headroom is small.
+
+    "Small" means: loosening the deadline all the way to the front's
+    end would recover less than ``threshold`` of this point's energy.
+
+    Raises:
+        ValueError: on an empty front.
+    """
+    if not front:
+        raise ValueError("empty front")
+    floor = min(p.energy for p in front)
+    for p in front:
+        if p.energy - floor <= threshold * p.energy:
+            return p
+    return front[-1]

@@ -1,0 +1,67 @@
+"""The execution platform: DVS ladder + sleep model bundled together.
+
+Every heuristic takes a :class:`Platform`; the default reproduces the
+paper's 70 nm processor with 0.05 V steps and Jejurikar et al.'s sleep
+parameters.  Construct variants for ablations (finer voltage steps,
+different shutdown overheads, leakier technologies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..power.dvs import DVSLadder
+from ..power.model import PowerModel
+from ..power.shutdown import SleepModel
+from ..power.technology import Technology
+
+__all__ = ["Platform", "default_platform"]
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A multiprocessor platform for the energy-aware schedulers.
+
+    Attributes:
+        ladder: the discrete DVS operating points (shared by all
+            processors; the paper's model runs every active processor at
+            one common frequency).
+        sleep: deep-sleep parameters for the +PS heuristics.
+    """
+
+    ladder: DVSLadder = field(default_factory=DVSLadder)
+    sleep: SleepModel = field(default_factory=SleepModel)
+
+    @property
+    def fmax(self) -> float:
+        """Reference (maximum) frequency in Hz."""
+        return self.ladder.fmax
+
+    @property
+    def model(self) -> PowerModel:
+        """The underlying analytic power model."""
+        return self.ladder.model
+
+    @property
+    def technology(self) -> Technology:
+        """The technology constants behind the ladder."""
+        return self.ladder.tech
+
+    def seconds(self, reference_cycles: float) -> float:
+        """Convert cycles-at-f_max into wall-clock seconds."""
+        return reference_cycles / self.fmax
+
+    def reference_cycles(self, seconds: float) -> float:
+        """Convert wall-clock seconds into cycles-at-f_max."""
+        return seconds * self.fmax
+
+
+_DEFAULT: Platform | None = None
+
+
+def default_platform() -> Platform:
+    """The paper's platform (cached; ladders are immutable)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = Platform()
+    return _DEFAULT

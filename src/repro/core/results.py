@@ -1,0 +1,74 @@
+"""Result types shared by all scheduling heuristics."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..power.dvs import OperatingPoint
+from ..sched.schedule import Schedule
+from .energy import EnergyBreakdown
+
+__all__ = ["Heuristic", "ScheduleResult", "InfeasibleScheduleError"]
+
+
+class Heuristic(str, enum.Enum):
+    """The scheduling approaches of the paper (Section 4)."""
+
+    SNS = "S&S"                #: schedule & stretch (baseline)
+    LAMPS = "LAMPS"            #: leakage-aware processor-count search
+    SNS_PS = "S&S+PS"          #: S&S with processor shutdown
+    LAMPS_PS = "LAMPS+PS"      #: LAMPS with processor shutdown
+    LIMIT_SF = "LIMIT-SF"      #: single-frequency lower bound
+    LIMIT_MF = "LIMIT-MF"      #: multi-frequency absolute lower bound
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class InfeasibleScheduleError(ValueError):
+    """No operating point lets the schedule meet its deadlines."""
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of one heuristic on one (graph, deadline) instance.
+
+    Attributes:
+        heuristic: which approach produced the result.
+        graph_name: label of the scheduled graph.
+        energy: full energy breakdown; ``energy.total`` is the paper's
+            reported quantity.
+        point: the chosen common operating point (``None`` for LIMIT-MF
+            reports below the ladder, never in practice).
+        n_processors: processors *employed* (executing at least one
+            task); ``None`` for the LIMIT bounds, which are
+            processor-count-agnostic (idle processors are free there).
+        deadline_cycles: graph deadline in cycles at f_max.
+        deadline_seconds: the same deadline in wall-clock seconds.
+        schedule: the concrete schedule (``None`` for the LIMIT bounds).
+        meets_deadline: whether the result honours the deadline
+            (LIMIT-MF may not, by design — see Section 4.4).
+    """
+
+    heuristic: Heuristic
+    graph_name: str
+    energy: EnergyBreakdown
+    point: Optional[OperatingPoint]
+    n_processors: Optional[int]
+    deadline_cycles: float
+    deadline_seconds: float
+    schedule: Optional[Schedule] = None
+    meets_deadline: bool = True
+
+    @property
+    def total_energy(self) -> float:
+        """Total energy in joules."""
+        return self.energy.total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        f = f"{self.point.frequency/1e9:.2f} GHz" if self.point else "n/a"
+        return (f"ScheduleResult({self.heuristic.value}, "
+                f"{self.graph_name!r}, E={self.total_energy:.4g} J, "
+                f"N={self.n_processors}, f={f})")

@@ -1,0 +1,107 @@
+"""Schedule & Stretch (S&S) and S&S+PS.
+
+S&S (Section 4.1) is the DVS-only baseline: list-schedule with EDF on as
+many processors as can reduce the makespan, then use all slack before
+the deadline to scale the common frequency down as far as feasibility
+allows.  It ignores leakage: the extra processors it employs keep
+leaking while idle.
+
+S&S+PS (Section 4.3) keeps the same schedule but jointly optimises the
+frequency and shutdown decisions: it sweeps the frequency from maximum
+down to the minimum feasible level and, at each level, shuts processors
+down during every idle gap long enough to amortise the wake-up cost,
+keeping the setting with the least total energy.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Optional, Union
+
+from ..graphs.dag import TaskGraph
+from ..sched.deadlines import task_deadlines
+from ..sched.list_scheduler import list_schedule
+from ..sched.priorities import PriorityPolicy
+from .energy import schedule_energy
+from .platform import Platform, default_platform
+from .results import Heuristic, InfeasibleScheduleError, ScheduleResult
+from .stretch import feasible_points, required_frequency, stretch_point
+
+__all__ = ["schedule_and_stretch", "sns", "sns_ps"]
+
+
+def schedule_and_stretch(
+    graph: TaskGraph,
+    deadline: float,
+    *,
+    platform: Optional[Platform] = None,
+    shutdown: bool = False,
+    policy: Union[str, PriorityPolicy] = "edf",
+    deadline_overrides: Optional[Mapping[Hashable, float]] = None,
+    max_processors: Optional[int] = None,
+) -> ScheduleResult:
+    """Run S&S (``shutdown=False``) or S&S+PS (``shutdown=True``).
+
+    Args:
+        graph: task graph, weights in cycles at the reference frequency.
+        deadline: graph deadline in the same reference cycles.
+        platform: DVS ladder + sleep model; defaults to the paper's.
+        shutdown: enable the PS extension.
+        policy: list-scheduling priority (the paper uses EDF).
+        deadline_overrides: tighter per-task deadlines (KPN outputs).
+        max_processors: cap on available processors; defaults to ``|V|``
+            (the paper's upper bound — more can never help).
+
+    Raises:
+        InfeasibleScheduleError: deadline unreachable even at full speed.
+    """
+    platform = platform or default_platform()
+    n_procs = graph.n if max_processors is None else min(max_processors, graph.n)
+    if n_procs < 1:
+        raise ValueError("need at least one processor")
+
+    d = task_deadlines(graph, deadline, overrides=deadline_overrides)
+    sched = list_schedule(graph, n_procs, d, policy=policy)
+    f_req = required_frequency(sched, d, platform.fmax)
+    deadline_seconds = platform.seconds(deadline)
+
+    if shutdown:
+        points = feasible_points(platform.ladder, f_req)
+        if not points:
+            raise InfeasibleScheduleError(
+                f"{graph.name or 'graph'}: needs {f_req/1e9:.3f} GHz, "
+                f"ladder tops out at {platform.fmax/1e9:.3f} GHz")
+        candidates = [
+            (schedule_energy(sched, p, deadline_seconds,
+                             sleep=platform.sleep), p)
+            for p in points
+        ]
+        energy, point = min(candidates, key=lambda c: c[0].total)
+        heuristic = Heuristic.SNS_PS
+    else:
+        try:
+            point = stretch_point(platform.ladder, f_req)
+        except ValueError as exc:
+            raise InfeasibleScheduleError(str(exc)) from exc
+        energy = schedule_energy(sched, point, deadline_seconds)
+        heuristic = Heuristic.SNS
+
+    return ScheduleResult(
+        heuristic=heuristic,
+        graph_name=graph.name,
+        energy=energy,
+        point=point,
+        n_processors=sched.employed_processors,
+        deadline_cycles=float(deadline),
+        deadline_seconds=deadline_seconds,
+        schedule=sched,
+    )
+
+
+def sns(graph: TaskGraph, deadline: float, **kwargs) -> ScheduleResult:
+    """S&S — see :func:`schedule_and_stretch`."""
+    return schedule_and_stretch(graph, deadline, shutdown=False, **kwargs)
+
+
+def sns_ps(graph: TaskGraph, deadline: float, **kwargs) -> ScheduleResult:
+    """S&S+PS — see :func:`schedule_and_stretch`."""
+    return schedule_and_stretch(graph, deadline, shutdown=True, **kwargs)

@@ -1,0 +1,55 @@
+r"""Stretching: mapping a cycle-level schedule to feasible operating points.
+
+A schedule computed in cycle units meets per-task deadlines (given in
+cycles at the reference frequency ``f_max``) when run at any frequency at
+or above
+
+.. math:: f_{req} = f_{max} \\cdot \\max_v \\; finish_v / d_v.
+
+The S&S family picks the *slowest* feasible discrete point (maximum
+stretch); the +PS family sweeps all feasible points.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..power.dvs import DVSLadder, OperatingPoint
+from ..sched.schedule import Schedule
+
+__all__ = ["required_frequency", "stretch_point", "feasible_points"]
+
+#: Tolerance for floating-point deadline comparisons: a schedule needing
+#: f_req within one part in 1e9 of a ladder point is considered feasible.
+_REL_TOL = 1e-9
+
+
+def required_frequency(schedule: Schedule, deadlines: np.ndarray,
+                       fmax: float) -> float:
+    """Minimum frequency (Hz) at which ``schedule`` meets all deadlines.
+
+    ``deadlines`` is per dense node index, in cycles at ``fmax``.
+    """
+    ratio = schedule.required_reference_frequency(deadlines)
+    return ratio * fmax
+
+
+def stretch_point(ladder: DVSLadder, f_required: float) -> OperatingPoint:
+    """The slowest ladder point meeting ``f_required`` (maximum stretch).
+
+    Raises:
+        ValueError: if the requirement exceeds the ladder's maximum, i.e.
+            the schedule cannot meet its deadlines at any setting.
+    """
+    return ladder.slowest_at_least(f_required * (1.0 - _REL_TOL))
+
+
+def feasible_points(ladder: DVSLadder,
+                    f_required: float) -> Tuple[OperatingPoint, ...]:
+    """All ladder points meeting ``f_required``, slowest first.
+
+    Empty when even full speed is too slow.
+    """
+    return ladder.at_or_above(f_required * (1.0 - _REL_TOL))

@@ -1,0 +1,128 @@
+"""Fast evaluation of the full paper lineup on one instance.
+
+:func:`paper_suite` produces the same results as calling
+:func:`repro.core.api.schedule` six times, but shares the expensive
+intermediates: S&S and S&S+PS use one schedule, and LAMPS and LAMPS+PS
+share the whole per-processor-count schedule cache.  The experiment
+harness calls this in its inner loop (thousands of instances), so the
+sharing matters — profiling shows list scheduling dominates the runtime,
+exactly as the paper's complexity analysis (``T_LAMPS ~ #schedules *
+T_ls``) predicts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Mapping, Optional, Union
+
+from ..graphs.dag import TaskGraph
+from ..sched.deadlines import task_deadlines
+from ..sched.list_scheduler import list_schedule
+from ..sched.priorities import PriorityPolicy
+from ..sched.schedule import Schedule
+from .energy import schedule_energy
+from .lamps import _best_operating_point
+from .limits import limit_mf, limit_sf
+from .platform import Platform, default_platform
+from .results import Heuristic, InfeasibleScheduleError, ScheduleResult
+from .stretch import required_frequency, stretch_point
+
+__all__ = ["paper_suite"]
+
+
+def paper_suite(
+    graph: TaskGraph,
+    deadline: float,
+    *,
+    platform: Optional[Platform] = None,
+    policy: Union[str, PriorityPolicy] = "edf",
+    deadline_overrides: Optional[Mapping[Hashable, float]] = None,
+) -> Dict[Heuristic, ScheduleResult]:
+    """All six approaches on one (graph, deadline) instance.
+
+    Returns a dict in the paper's presentation order: S&S, LAMPS,
+    S&S+PS, LAMPS+PS, LIMIT-SF, LIMIT-MF.
+    """
+    platform = platform or default_platform()
+    d = task_deadlines(graph, deadline, overrides=deadline_overrides)
+    deadline_seconds = platform.seconds(deadline)
+
+    cache: Dict[int, Schedule] = {}
+
+    def sched(n: int) -> Schedule:
+        if n not in cache:
+            cache[n] = list_schedule(graph, n, d, policy=policy)
+        return cache[n]
+
+    def result(heuristic: Heuristic, energy, point, s: Schedule
+               ) -> ScheduleResult:
+        return ScheduleResult(
+            heuristic=heuristic, graph_name=graph.name, energy=energy,
+            point=point, n_processors=s.employed_processors,
+            deadline_cycles=float(deadline),
+            deadline_seconds=deadline_seconds, schedule=s)
+
+    out: Dict[Heuristic, ScheduleResult] = {}
+
+    # ---- S&S family: one schedule on |V| processors ----------------------
+    s_full = sched(graph.n)
+    f_req = required_frequency(s_full, d, platform.fmax)
+    if f_req > platform.fmax * (1.0 + 1e-9):
+        raise InfeasibleScheduleError(
+            f"{graph.name or 'graph'}: infeasible even at full speed")
+    point = stretch_point(platform.ladder, f_req)
+    out[Heuristic.SNS] = result(
+        Heuristic.SNS, schedule_energy(s_full, point, deadline_seconds),
+        point, s_full)
+    e_ps, p_ps = _best_operating_point(
+        s_full, f_req, platform, deadline_seconds, platform.sleep)
+    out[Heuristic.SNS_PS] = result(Heuristic.SNS_PS, e_ps, p_ps, s_full)
+
+    # ---- LAMPS family: shared processor-count sweep ----------------------
+    n_lwb = max(1, math.ceil(float(graph.weights_array.sum()) / deadline))
+    lo, hi = n_lwb, graph.n
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if sched(mid).required_reference_frequency(d) <= 1.0 + 1e-9:
+            hi = mid
+        else:
+            lo = mid + 1
+    n_min = lo
+
+    best_plain: Optional[tuple] = None
+    best_ps: Optional[tuple] = None
+    prev_makespan = math.inf
+    for n in range(n_min, graph.n + 1):
+        s = sched(n)
+        fr = required_frequency(s, d, platform.fmax)
+        if fr <= platform.fmax * (1.0 + 1e-9):
+            e, p = _best_operating_point(s, fr, platform, deadline_seconds,
+                                         None)
+            if best_plain is None or e.total < best_plain[0].total:
+                best_plain = (e, p, s)
+            e, p = _best_operating_point(s, fr, platform, deadline_seconds,
+                                         platform.sleep)
+            if best_ps is None or e.total < best_ps[0].total:
+                best_ps = (e, p, s)
+        if s.makespan >= prev_makespan - 1e-9:
+            break
+        prev_makespan = s.makespan
+    # The fully spread schedule is a valid +PS candidate (Fig. 8's Nmax);
+    # it can beat packed configurations because long gaps sleep cheaply.
+    if best_ps is None or e_ps.total < best_ps[0].total:
+        best_ps = (e_ps, p_ps, s_full)
+    assert best_plain is not None and best_ps is not None
+    out[Heuristic.LAMPS] = result(Heuristic.LAMPS, *best_plain)
+    out[Heuristic.LAMPS_PS] = result(Heuristic.LAMPS_PS, *best_ps)
+
+    # ---- Bounds -----------------------------------------------------------
+    out[Heuristic.LIMIT_SF] = limit_sf(
+        graph, deadline, platform=platform,
+        deadline_overrides=deadline_overrides)
+    out[Heuristic.LIMIT_MF] = limit_mf(
+        graph, deadline, platform=platform,
+        deadline_overrides=deadline_overrides)
+    # Re-key into presentation order.
+    order = (Heuristic.SNS, Heuristic.LAMPS, Heuristic.SNS_PS,
+             Heuristic.LAMPS_PS, Heuristic.LIMIT_SF, Heuristic.LIMIT_MF)
+    return {h: out[h] for h in order}

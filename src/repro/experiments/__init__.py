@@ -1,0 +1,48 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Run everything from the command line::
+
+    python -m repro.experiments            # quick pass
+    python -m repro.experiments --full     # paper-scale group sizes
+    python -m repro.experiments fig10 table3
+
+or call the ``run()`` function of an individual experiment module.
+"""
+
+from . import (
+    ext_abb,
+    ext_comm,
+    ext_hetero,
+    ext_multifreq,
+    ext_runtime,
+    ext_technology,
+    fig02_power_curves,
+    fig03_breakeven,
+    fig04_07_example,
+    fig06_energy_vs_n,
+    fig10_11_relative_energy,
+    fig12_13_parallelism,
+    headline,
+    scorecard,
+    table2_benchmarks,
+    table3_mpeg,
+)
+from .registry import (
+    COARSE,
+    DEADLINE_FACTORS,
+    FINE,
+    GROUP_SIZES,
+    Scenario,
+    benchmark_suite,
+)
+from .reporting import Report
+
+__all__ = [
+    "Report", "Scenario", "COARSE", "FINE",
+    "DEADLINE_FACTORS", "GROUP_SIZES", "benchmark_suite",
+    "fig02_power_curves", "fig03_breakeven", "fig04_07_example",
+    "fig06_energy_vs_n", "fig10_11_relative_energy",
+    "fig12_13_parallelism", "table2_benchmarks", "table3_mpeg",
+    "headline", "ext_multifreq", "ext_abb", "ext_runtime", "ext_comm",
+    "ext_technology", "ext_hetero", "scorecard",
+]

@@ -1,0 +1,123 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Examples::
+
+    python -m repro.experiments                # everything, quick sizes
+    python -m repro.experiments fig2 table3    # a subset
+    python -m repro.experiments --full         # larger benchmark groups
+    python -m repro.experiments --out report.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from . import (
+    ext_abb,
+    ext_comm,
+    ext_hetero,
+    ext_multifreq,
+    ext_runtime,
+    ext_technology,
+    fig02_power_curves,
+    fig03_breakeven,
+    fig04_07_example,
+    fig06_energy_vs_n,
+    fig10_11_relative_energy,
+    fig12_13_parallelism,
+    headline,
+    scorecard,
+    table2_benchmarks,
+    table3_mpeg,
+)
+from .registry import COARSE, FINE
+
+__all__ = ["main"]
+
+
+def _experiments(full: bool) -> Dict[str, Callable[[], object]]:
+    gpg = 20 if full else 5
+    sizes_small = None if full else (50, 100, 500, 1000, 2000)
+    return {
+        "fig2": lambda: fig02_power_curves.run(),
+        "fig3": lambda: fig03_breakeven.run(),
+        "fig4": lambda: fig04_07_example.run(),
+        "fig6": lambda: fig06_energy_vs_n.run(),
+        "table2": lambda: table2_benchmarks.run(graphs_per_group=gpg),
+        "fig10": lambda: fig10_11_relative_energy.run(
+            scenario=COARSE, graphs_per_group=gpg, sizes=sizes_small),
+        "fig11": lambda: fig10_11_relative_energy.run(
+            scenario=FINE, graphs_per_group=gpg, sizes=sizes_small),
+        "fig12": lambda: fig12_13_parallelism.run(
+            scenario=COARSE, graphs_per_size=20 if full else 10),
+        "fig13": lambda: fig12_13_parallelism.run(
+            scenario=FINE, graphs_per_size=20 if full else 10),
+        "table3": lambda: table3_mpeg.run(),
+        "headline": lambda: headline.run(
+            graphs_per_group=8 if full else 4),
+        "ext-multifreq": lambda: ext_multifreq.run(
+            graphs_per_group=6 if full else 3),
+        "ext-abb": lambda: ext_abb.run(
+            graphs_per_group=6 if full else 3),
+        "ext-runtime": lambda: ext_runtime.run(
+            graphs_per_group=6 if full else 3),
+        "ext-comm": lambda: ext_comm.run(
+            graphs_per_group=6 if full else 3),
+        "ext-technology": lambda: ext_technology.run(
+            graphs_per_group=6 if full else 3),
+        "ext-hetero": lambda: ext_hetero.run(
+            graphs_per_group=6 if full else 3),
+        "scorecard": lambda: scorecard.run(),
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (default: all); "
+                             "e.g. fig2 fig10 table3")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale benchmark groups (slower)")
+    parser.add_argument("--out", metavar="FILE",
+                        help="also write the report to FILE")
+    parser.add_argument("--json-dir", metavar="DIR",
+                        help="also write per-experiment JSON data files")
+    args = parser.parse_args(argv)
+
+    registry = _experiments(args.full)
+    chosen = args.experiments or list(registry)
+    unknown = [e for e in chosen if e not in registry]
+    if unknown:
+        parser.error(f"unknown experiment(s) {unknown}; "
+                     f"choose from {list(registry)}")
+
+    if args.json_dir:
+        from pathlib import Path
+
+        Path(args.json_dir).mkdir(parents=True, exist_ok=True)
+
+    blocks = []
+    for exp_id in chosen:
+        t0 = time.time()
+        report = registry[exp_id]()
+        elapsed = time.time() - t0
+        blocks.append(str(report) + f"[{exp_id} completed in {elapsed:.1f}s]\n")
+        print(blocks[-1])
+        if args.json_dir:
+            from pathlib import Path
+
+            report.save_json(Path(args.json_dir) / f"{exp_id}.json")
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write("\n".join(blocks))
+        print(f"report written to {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,86 @@
+"""Fig. 2 — power and energy per cycle versus normalized frequency.
+
+Reproduces both panels: the power decomposition (P_AC, P_DC, P_on) and
+the energy-per-cycle curve whose minimum defines the critical frequency
+(0.38 continuous; 0.41 at the discrete 0.7 V point).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.platform import Platform, default_platform
+from ..power.dvs import continuous_critical_frequency
+from ..util.tables import render_series
+from .reporting import Report
+
+__all__ = ["run"]
+
+
+def run(*, platform: Optional[Platform] = None, samples: int = 41) -> Report:
+    """Sweep the voltage range and tabulate power/energy curves.
+
+    Args:
+        samples: number of points on the continuous curve (the discrete
+            ladder points are reported separately).
+    """
+    platform = platform or default_platform()
+    model = platform.model
+    tech = platform.technology
+    fmax = model.max_frequency
+
+    vdd = np.linspace(tech.min_vdd + 1e-4, tech.vdd0, samples)
+    f_norm = np.asarray(model.normalized_frequency(vdd))
+    pac = np.asarray(model.dynamic_power(vdd))
+    pdc = np.asarray(model.static_power(vdd))
+    ptot = np.asarray(model.active_power(vdd))
+    epc = np.asarray(model.energy_per_cycle(vdd)) * 1e9  # nJ/cycle
+
+    continuous = render_series(
+        "f/fmax", [round(x, 4) for x in f_norm],
+        {
+            "Pac[W]": pac.round(4).tolist(),
+            "Pdc[W]": pdc.round(4).tolist(),
+            "Pon[W]": [tech.p_on] * samples,
+            "Ptotal[W]": ptot.round(4).tolist(),
+            "E/cycle[nJ]": epc.round(5).tolist(),
+        },
+        title="Fig. 2 (continuous voltage range)")
+
+    ladder = platform.ladder
+    discrete = render_series(
+        "f/fmax", [round(ladder.normalized(p), 4) for p in ladder],
+        {
+            "Vdd[V]": [round(p.vdd, 2) for p in ladder],
+            "Ptotal[W]": [round(p.active_power, 4) for p in ladder],
+            "Pidle[W]": [round(p.idle_power, 4) for p in ladder],
+            "E/cycle[nJ]": [round(p.energy_per_cycle * 1e9, 5) for p in ladder],
+        },
+        title="Discrete DVS ladder (0.05 V steps)")
+
+    f_crit_cont = continuous_critical_frequency(tech) / fmax
+    crit = ladder.critical_point()
+    summary = (
+        f"fmax = {fmax/1e9:.3f} GHz at Vdd = {tech.vdd0:g} V "
+        f"(paper: 3.1 GHz)\n"
+        f"critical frequency (continuous) = {f_crit_cont:.3f} * fmax "
+        f"(paper: 0.38)\n"
+        f"critical point (discrete)       = {ladder.normalized(crit):.3f} "
+        f"* fmax at Vdd = {crit.vdd:g} V (paper: 0.41 at 0.7 V)")
+
+    return Report(
+        experiment="fig2",
+        title="Fig. 2: power and energy per cycle vs normalized frequency",
+        text=f"{summary}\n\n{discrete}\n\n{continuous}",
+        data={
+            "fmax_hz": fmax,
+            "f_crit_continuous_norm": f_crit_cont,
+            "f_crit_discrete_norm": ladder.normalized(crit),
+            "f_crit_discrete_vdd": crit.vdd,
+            "f_norm": f_norm.tolist(),
+            "p_total": ptot.tolist(),
+            "energy_per_cycle": (epc * 1e-9).tolist(),
+        },
+    )

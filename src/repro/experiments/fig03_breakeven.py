@@ -1,0 +1,65 @@
+"""Fig. 3 — minimum idle cycles for beneficial shutdown vs frequency.
+
+The paper's anchor: at half the maximum frequency a gap must exceed
+about 1.7 million cycles before deep sleep pays for its 483 µJ wake-up.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.platform import Platform, default_platform
+from ..util.tables import render_series
+from .reporting import Report
+
+__all__ = ["run"]
+
+
+def run(*, platform: Optional[Platform] = None, samples: int = 20) -> Report:
+    platform = platform or default_platform()
+    model = platform.model
+    sleep = platform.sleep
+    tech = platform.technology
+    fmax = model.max_frequency
+
+    # Continuous curve.
+    vdd = np.linspace(tech.min_vdd + 5e-3, tech.vdd0, samples)
+    f = np.asarray(model.frequency(vdd))
+    idle = np.asarray(model.idle_power(vdd))
+    t_be = np.asarray(sleep.breakeven_time(idle))
+    cycles = t_be * f
+
+    continuous = render_series(
+        "f/fmax", (f / fmax).round(4).tolist(),
+        {"breakeven[Mcycles]": (cycles / 1e6).round(4).tolist(),
+         "breakeven[ms]": (t_be * 1e3).round(4).tolist()},
+        title="Fig. 3 (continuous)")
+
+    ladder = platform.ladder
+    be_ladder = [sleep.breakeven_cycles(p) for p in ladder]
+    discrete = render_series(
+        "f/fmax", [round(ladder.normalized(p), 4) for p in ladder],
+        {"Vdd[V]": [round(p.vdd, 2) for p in ladder],
+         "breakeven[Mcycles]": [round(b / 1e6, 4) for b in be_ladder]},
+        title="Discrete DVS ladder")
+
+    # The paper's spot check at half speed.
+    v_half = model.vdd_for_frequency(0.5 * fmax)
+    half_cycles = float(sleep.breakeven_time(model.idle_power(v_half))) \
+        * 0.5 * fmax
+    summary = (f"breakeven at f = 0.5 fmax: {half_cycles/1e6:.2f} Mcycles "
+               f"(paper: ~1.7 Mcycles)")
+
+    return Report(
+        experiment="fig3",
+        title="Fig. 3: minimum idle cycles for PS to be beneficial",
+        text=f"{summary}\n\n{discrete}\n\n{continuous}",
+        data={
+            "breakeven_half_speed_cycles": half_cycles,
+            "f_norm": (f / fmax).tolist(),
+            "breakeven_cycles": cycles.tolist(),
+            "ladder_breakeven_cycles": be_ladder,
+        },
+    )

@@ -1,0 +1,91 @@
+"""Fig. 6 — energy versus number of employed processors.
+
+Shows, for the three application graphs, the normalized total energy as
+a function of the processor count given to the list scheduler, and flags
+local minima — the reason LAMPS's second phase is a linear rather than
+binary search (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.lamps import energy_vs_processors
+from ..core.platform import Platform, default_platform
+from ..graphs.analysis import critical_path_length
+from ..graphs.applications import application_suite
+from ..util.tables import render_series
+from .reporting import Report
+from .registry import COARSE, Scenario
+
+__all__ = ["run", "local_minima"]
+
+
+def local_minima(energies: List[Optional[float]]) -> List[int]:
+    """Indices (0-based) of non-global local minima in a sequence.
+
+    ``None`` entries (infeasible processor counts) break the sequence.
+    """
+    vals = [(i, e) for i, e in enumerate(energies) if e is not None]
+    if len(vals) < 3:
+        return []
+    global_min = min(e for _, e in vals)
+    minima = []
+    for k in range(1, len(vals) - 1):
+        i, e = vals[k]
+        if e < vals[k - 1][1] and e < vals[k + 1][1] and e > global_min:
+            minima.append(i)
+    return minima
+
+
+#: A random instance that demonstrably exhibits non-global local minima
+#: (found by sweeping the generator; see the test suite) — the paper's
+#: §4.2 justification for LAMPS's linear phase-2 search.
+LOCAL_MINIMA_DEMO_SEED = 26
+
+
+def run(*, platform: Optional[Platform] = None,
+        deadline_factor: float = 2.0, scenario: Scenario = COARSE,
+        max_processors: int = 20, seed: int = 2006) -> Report:
+    platform = platform or default_platform()
+    apps = application_suite(seed=seed)
+    from ..graphs.generators import stg_random_graph
+
+    demo = stg_random_graph(60, LOCAL_MINIMA_DEMO_SEED,
+                            name="rand60-demo")
+    graphs = dict(apps)
+    graphs["rand60-demo"] = demo
+
+    columns: Dict[str, List[float]] = {}
+    data: Dict[str, dict] = {}
+    n_axis = list(range(1, max_processors + 1))
+    for name, unit_graph in graphs.items():
+        graph = scenario.apply(unit_graph)
+        deadline = deadline_factor * critical_path_length(graph)
+        curve = energy_vs_processors(graph, deadline, platform=platform,
+                                     max_processors=max_processors)
+        energies = [e.total if e is not None else None for _, e in curve]
+        feasible = [e for e in energies if e is not None]
+        base = min(feasible) if feasible else 1.0
+        columns[name] = [round(e / base, 4) if e is not None else float("nan")
+                         for e in energies]
+        data[name] = {
+            "energies": energies,
+            "local_minima_at": [n_axis[i] for i in local_minima(energies)],
+        }
+
+    series = render_series("N", n_axis, columns,
+                           title=f"Relative energy vs processor count "
+                                 f"(deadline = {deadline_factor} x CPL, "
+                                 f"{scenario.name}-grain; nan = infeasible)")
+    minima_lines = [
+        f"{name}: non-global local minima at N = "
+        f"{info['local_minima_at'] or 'none'}"
+        for name, info in data.items()
+    ]
+    return Report(
+        experiment="fig6",
+        title="Fig. 6: energy vs number of processors (local minima)",
+        text=series + "\n\n" + "\n".join(minima_lines),
+        data=data,
+    )

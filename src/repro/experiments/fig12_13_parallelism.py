@@ -1,0 +1,79 @@
+"""Figs. 12 and 13 — energy per unit work versus average parallelism.
+
+Each point is one task graph (~1000–3000 nodes) scheduled with deadline
+2x CPL; the y-axis is total energy divided by total work (J/cycle).  The
+paper's observation: S&S (and, for fine grain, S&S+PS) blows up at low
+parallelism because over-provisioned processors idle expensively, while
+LAMPS(+PS) stays flat.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.platform import Platform, default_platform
+from ..core.results import Heuristic
+from ..core.suite import paper_suite
+from ..graphs.analysis import average_parallelism, critical_path_length, \
+    total_work
+from ..util.tables import render_table
+from .registry import COARSE, Scenario
+from .reporting import Report
+
+__all__ = ["run"]
+
+_ORDER = (Heuristic.SNS, Heuristic.LAMPS, Heuristic.SNS_PS,
+          Heuristic.LAMPS_PS, Heuristic.LIMIT_MF)
+
+
+def run(*, platform: Optional[Platform] = None,
+        scenario: Scenario = COARSE, deadline_factor: float = 2.0,
+        node_counts: Sequence[int] = (1000, 2000),
+        graphs_per_size: int = 12, seed: int = 2006) -> Report:
+    """Reproduce Fig. 12 (``COARSE``) or Fig. 13 (``FINE``)."""
+    from ..graphs.generators import parallelism_sweep
+
+    platform = platform or default_platform()
+    rows: List[tuple] = []
+    points: List[dict] = []
+    for n_nodes in node_counts:
+        graphs = parallelism_sweep(n_nodes=n_nodes, graphs=graphs_per_size,
+                                   seed=seed)
+        for unit_graph in graphs:
+            g = scenario.apply(unit_graph)
+            par = average_parallelism(g)
+            work = total_work(g)
+            deadline = deadline_factor * critical_path_length(g)
+            results = paper_suite(g, deadline, platform=platform)
+            e_per_work = {h.value: results[h].total_energy / work
+                          for h in _ORDER}
+            points.append({"graph": g.name, "parallelism": par,
+                           "sns_processors":
+                               results[Heuristic.SNS].n_processors,
+                           "lamps_processors":
+                               results[Heuristic.LAMPS].n_processors,
+                           **e_per_work})
+            rows.append((g.name, round(par, 2),
+                         *(f"{e_per_work[h.value]:.4g}" for h in _ORDER)))
+    rows.sort(key=lambda r: r[1])
+    table = render_table(
+        ["graph", "parallelism", *(h.value for h in _ORDER)], rows,
+        title=f"Energy / total work [J/cycle] vs average parallelism "
+              f"({scenario.name}-grain, deadline = {deadline_factor} x CPL)")
+    from ..util.tables import render_scatter
+
+    scatter = render_scatter(
+        {h.value: [(p["parallelism"], p[h.value]) for p in points]
+         for h in (Heuristic.SNS, Heuristic.LAMPS)},
+        title="S&S vs LAMPS (each mark = one graph)",
+        x_label="average parallelism", y_label="energy/work [J/cycle]")
+    table = f"{table}\n\n{scatter}"
+
+    fig = "fig12" if scenario.name == "coarse" else "fig13"
+    return Report(
+        experiment=fig,
+        title=f"Fig. {'12' if fig == 'fig12' else '13'}: energy/work vs "
+              f"parallelism, {scenario.name}-grain",
+        text=table,
+        data={"points": points},
+    )

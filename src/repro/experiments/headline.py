@@ -1,0 +1,102 @@
+"""The paper's headline claims, recomputed from the benchmark sweep.
+
+Claims (abstract + Section 5.2):
+
+* LAMPS+PS reduces energy vs S&S by up to 46 % at deadline 1.5x CPL and
+  up to 73 % at 8x CPL (coarse grain; 40 %/71 % fine grain).
+* LAMPS+PS improves on LAMPS by up to 12 % (1.5x) / 18 % (8x), coarse.
+* With coarse-grain tasks LAMPS+PS attains more than 94 % of the
+  possible (LIMIT-SF) energy reduction on every benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..core.platform import Platform, default_platform
+from ..core.results import Heuristic
+from ..core.suite import paper_suite
+from ..graphs.analysis import critical_path_length
+from ..util.tables import render_table
+from .registry import COARSE, FINE, Scenario, benchmark_suite
+from .reporting import Report
+
+__all__ = ["run", "claims_for_scenario"]
+
+
+def claims_for_scenario(scenario: Scenario, *,
+                        platform: Optional[Platform] = None,
+                        graphs_per_group: int = 4,
+                        sizes: Sequence[int] = (50, 100, 500, 1000),
+                        factors: Sequence[float] = (1.5, 8.0),
+                        seed: int = 2006) -> Dict[str, dict]:
+    """Max LAMPS+PS-vs-S&S savings and LIMIT-SF attainment per factor."""
+    platform = platform or default_platform()
+    suite = benchmark_suite(graphs_per_group=graphs_per_group,
+                            sizes=tuple(sizes), seed=seed)
+    out: Dict[str, dict] = {}
+    for factor in factors:
+        max_saving_ps = 0.0
+        max_saving_over_lamps = 0.0
+        attainments = []
+        for graphs in suite.values():
+            for unit_graph in graphs:
+                g = scenario.apply(unit_graph)
+                deadline = factor * critical_path_length(g)
+                res = paper_suite(g, deadline, platform=platform)
+                e_sns = res[Heuristic.SNS].total_energy
+                e_lamps = res[Heuristic.LAMPS].total_energy
+                e_lps = res[Heuristic.LAMPS_PS].total_energy
+                e_sf = res[Heuristic.LIMIT_SF].total_energy
+                max_saving_ps = max(max_saving_ps, 1.0 - e_lps / e_sns)
+                max_saving_over_lamps = max(
+                    max_saving_over_lamps, 1.0 - e_lps / e_lamps)
+                possible = e_sns - e_sf
+                if possible > 1e-12:
+                    attainments.append((e_sns - e_lps) / possible)
+        out[f"factor_{factor}"] = {
+            "max_saving_vs_sns": max_saving_ps,
+            "max_saving_vs_lamps": max_saving_over_lamps,
+            "min_attainment_of_limit_sf": float(np.min(attainments))
+            if attainments else float("nan"),
+            "mean_attainment_of_limit_sf": float(np.mean(attainments))
+            if attainments else float("nan"),
+        }
+    return out
+
+
+def run(*, platform: Optional[Platform] = None, graphs_per_group: int = 4,
+        sizes: Sequence[int] = (50, 100, 500, 1000),
+        seed: int = 2006) -> Report:
+    platform = platform or default_platform()
+    rows = []
+    data = {}
+    paper = {
+        ("coarse", "factor_1.5"): ("46%", ">=94%"),
+        ("coarse", "factor_8.0"): ("73%", ">=94%"),
+        ("fine", "factor_1.5"): ("40%", ""),
+        ("fine", "factor_8.0"): ("71%", ""),
+    }
+    for scenario in (COARSE, FINE):
+        claims = claims_for_scenario(
+            scenario, platform=platform, graphs_per_group=graphs_per_group,
+            sizes=sizes, seed=seed)
+        data[scenario.name] = claims
+        for key, c in claims.items():
+            ref_saving, ref_attain = paper.get((scenario.name, key), ("", ""))
+            rows.append((
+                scenario.name, key.replace("factor_", "") + " x CPL",
+                f"{100*c['max_saving_vs_sns']:.1f}%",
+                ref_saving,
+                f"{100*c['max_saving_vs_lamps']:.1f}%",
+                f"{100*c['min_attainment_of_limit_sf']:.1f}%",
+                ref_attain,
+            ))
+    table = render_table(
+        ["scenario", "deadline", "max saving vs S&S", "paper",
+         "max saving vs LAMPS", "min LIMIT-SF attainment", "paper"],
+        rows, title="Headline claims (LAMPS+PS)")
+    return Report(experiment="headline",
+                  title="Headline claims recomputed", text=table, data=data)

@@ -1,0 +1,76 @@
+"""Workload registry for the paper's evaluation (Section 5.1).
+
+Defines the two task-granularity scenarios, the deadline factors, and
+the benchmark suite: STG-like random groups (sizes matching the paper's
+Figs. 10–11 x-axis) plus the three application graphs and MPEG-1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..graphs.applications import application_suite
+from ..graphs.dag import TaskGraph
+from ..graphs.generators import stg_group
+
+__all__ = [
+    "Scenario", "COARSE", "FINE", "SCENARIOS",
+    "DEADLINE_FACTORS", "GROUP_SIZES", "APPLICATION_NAMES",
+    "benchmark_suite",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Scenario:
+    """A task-granularity scenario.
+
+    The STG weights are unitless integers in [1, 300]; a scenario fixes
+    how many cycles one weight unit represents (Section 5.1).
+    """
+
+    name: str
+    cycles_per_unit: float
+
+    def apply(self, graph: TaskGraph) -> TaskGraph:
+        """Scale ``graph``'s weights into cycles for this scenario."""
+        return graph.scaled(self.cycles_per_unit)
+
+
+#: Coarse-grain: weight 1 == 3.1e6 cycles == 1 ms at full speed.
+COARSE = Scenario("coarse", 3.1e6)
+#: Fine-grain: weight 1 == 3.1e4 cycles == 10 µs at full speed.
+FINE = Scenario("fine", 3.1e4)
+
+SCENARIOS = {"coarse": COARSE, "fine": FINE}
+
+#: The paper's deadline extension factors (multiples of the CPL).
+DEADLINE_FACTORS: Sequence[float] = (1.5, 2.0, 4.0, 8.0)
+
+#: Random-group sizes shown in Figs. 10–11.
+GROUP_SIZES: Sequence[int] = (50, 100, 500, 1000, 2000, 2500, 5000)
+
+APPLICATION_NAMES: Sequence[str] = ("fpppp", "robot", "sparse")
+
+
+def benchmark_suite(*, graphs_per_group: int = 5, seed: int = 2006,
+                    sizes: Sequence[int] = GROUP_SIZES,
+                    include_applications: bool = True,
+                    ) -> Dict[str, List[TaskGraph]]:
+    """The evaluation workloads, keyed by benchmark label.
+
+    Random groups are labelled by their node count (``"50"``, …); each
+    maps to ``graphs_per_group`` graphs whose results are averaged, the
+    way the paper averages each STG size class.  Application benchmarks
+    map to single-graph lists.  Weights are in STG units — apply a
+    :class:`Scenario` before scheduling.
+    """
+    if graphs_per_group < 1:
+        raise ValueError("graphs_per_group must be >= 1")
+    suite: Dict[str, List[TaskGraph]] = {
+        str(n): stg_group(n, graphs_per_group, seed=seed) for n in sizes
+    }
+    if include_applications:
+        for name, graph in application_suite(seed=seed).items():
+            suite[name] = [graph]
+    return suite

@@ -1,0 +1,55 @@
+"""Report container shared by all experiment modules."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Union
+
+__all__ = ["Report"]
+
+
+def _jsonable(obj: Any) -> Any:
+    """Best-effort conversion of experiment data to JSON-safe values."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if hasattr(obj, "item"):  # numpy scalars
+        return obj.item()
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return str(obj)
+
+
+@dataclass
+class Report:
+    """Output of one experiment.
+
+    Attributes:
+        experiment: identifier matching the paper artifact ("fig10", …).
+        title: human-readable description.
+        text: the rendered table/series block (what the paper shows).
+        data: machine-readable results for tests and downstream use.
+    """
+
+    experiment: str
+    title: str
+    text: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        bar = "=" * max(len(self.title), 20)
+        return f"{bar}\n{self.title}\n{bar}\n{self.text}\n"
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """Serialise the machine-readable results (with metadata)."""
+        return json.dumps(
+            {"experiment": self.experiment, "title": self.title,
+             "data": _jsonable(self.data)},
+            indent=indent, sort_keys=True)
+
+    def save_json(self, path: Union[str, Path]) -> None:
+        """Write :meth:`to_json` to ``path``."""
+        Path(path).write_text(self.to_json() + "\n")

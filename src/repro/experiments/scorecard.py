@@ -1,0 +1,136 @@
+"""The reproduction scorecard: every fidelity anchor in one table.
+
+Aggregates the quantitative checkpoints that tie this implementation to
+the paper — power-model anchors, Table 2 statistics, Table 3 processor
+counts and ratios, and the LIMIT-SF attainment claim — with a pass/fail
+verdict per row.  ``python -m repro.experiments scorecard`` is the
+one-command answer to "does this reproduction hold?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.platform import Platform, default_platform
+from ..core.results import Heuristic
+from ..core.suite import paper_suite
+from ..graphs.analysis import critical_path_length, graph_stats
+from ..graphs.applications import APPLICATION_STATS, application_suite
+from ..graphs.mpeg import MPEG_DEADLINE_SECONDS, mpeg1_gop_graph
+from ..power.dvs import continuous_critical_frequency
+from ..util.tables import render_table
+from .reporting import Report
+
+__all__ = ["run"]
+
+
+@dataclass
+class Check:
+    name: str
+    paper: str
+    measured: str
+    ok: bool
+
+
+def _anchor_checks(platform: Platform) -> List[Check]:
+    model = platform.model
+    lad = platform.ladder
+    fmax = model.max_frequency
+    crit = lad.critical_point()
+    cont = continuous_critical_frequency(platform.technology) / fmax
+    half_vdd = model.vdd_for_frequency(0.5 * fmax)
+    be = float(platform.sleep.breakeven_time(
+        model.idle_power(half_vdd))) * 0.5 * fmax
+    return [
+        Check("max frequency at 1.0 V", "3.1 GHz",
+              f"{fmax / 1e9:.3f} GHz", abs(fmax / 3.1e9 - 1) < 0.02),
+        Check("critical frequency (continuous)", "0.38 fmax",
+              f"{cont:.3f} fmax", abs(cont - 0.38) < 0.01),
+        Check("critical point (discrete)", "0.41 fmax at 0.7 V",
+              f"{lad.normalized(crit):.3f} fmax at {crit.vdd:g} V",
+              abs(lad.normalized(crit) - 0.41) < 0.01
+              and abs(crit.vdd - 0.7) < 1e-9),
+        Check("PS breakeven at 0.5 fmax", "~1.7 M cycles",
+              f"{be / 1e6:.2f} M cycles", abs(be / 1.7e6 - 1) < 0.03),
+    ]
+
+
+def _table2_checks() -> List[Check]:
+    out = []
+    for name, graph in application_suite().items():
+        n, m, cpl, work = APPLICATION_STATS[name]
+        s = graph_stats(graph)
+        ok = (s.n == n and s.m == m and int(s.cpl) == cpl
+              and int(s.work) == work)
+        out.append(Check(
+            f"Table 2: {name} (n/m/CPL/work)",
+            f"{n}/{m}/{cpl}/{work}",
+            f"{s.n}/{s.m}/{int(s.cpl)}/{int(s.work)}", ok))
+    return out
+
+
+def _table3_checks(platform: Platform) -> List[Check]:
+    graph = mpeg1_gop_graph()
+    deadline = platform.reference_cycles(MPEG_DEADLINE_SECONDS)
+    res = paper_suite(graph, deadline, platform=platform)
+    base = res[Heuristic.SNS].total_energy
+    checks = [
+        Check("Table 3: LAMPS processors", "3",
+              str(res[Heuristic.LAMPS].n_processors),
+              res[Heuristic.LAMPS].n_processors == 3),
+        Check("Table 3: LAMPS+PS processors", "6",
+              str(res[Heuristic.LAMPS_PS].n_processors),
+              res[Heuristic.LAMPS_PS].n_processors == 6),
+    ]
+    for h, paper_rel in ((Heuristic.LAMPS, 0.734),
+                         (Heuristic.SNS_PS, 0.604),
+                         (Heuristic.LAMPS_PS, 0.604),
+                         (Heuristic.LIMIT_SF, 0.604)):
+        rel = res[h].total_energy / base
+        checks.append(Check(
+            f"Table 3: {h.value} relative energy",
+            f"{paper_rel:.3f}", f"{rel:.3f}",
+            abs(rel - paper_rel) < 0.05))
+    return checks
+
+
+def _attainment_check(platform: Platform) -> Check:
+    from ..graphs.generators import stg_group
+
+    worst = 1.0
+    for g in stg_group(50, 3, seed=2006):
+        graph = g.scaled(3.1e6)
+        deadline = 8 * critical_path_length(graph)
+        res = paper_suite(graph, deadline, platform=platform)
+        possible = res[Heuristic.SNS].total_energy \
+            - res[Heuristic.LIMIT_SF].total_energy
+        attained = res[Heuristic.SNS].total_energy \
+            - res[Heuristic.LAMPS_PS].total_energy
+        if possible > 1e-12:
+            worst = min(worst, attained / possible)
+    return Check("LIMIT-SF attainment, coarse 8xCPL (sample)",
+                 ">94%", f"{100 * worst:.1f}%", worst > 0.94)
+
+
+def run(*, platform: Optional[Platform] = None) -> Report:
+    platform = platform or default_platform()
+    checks: List[Check] = []
+    checks.extend(_anchor_checks(platform))
+    checks.extend(_table2_checks())
+    checks.extend(_table3_checks(platform))
+    checks.append(_attainment_check(platform))
+
+    rows = [(c.name, c.paper, c.measured,
+             "PASS" if c.ok else "FAIL") for c in checks]
+    n_pass = sum(c.ok for c in checks)
+    table = render_table(["check", "paper", "measured", "verdict"],
+                         rows, title="Reproduction scorecard")
+    return Report(
+        experiment="scorecard",
+        title=f"Reproduction scorecard — {n_pass}/{len(checks)} checks "
+              f"pass",
+        text=table,
+        data={"passed": n_pass, "total": len(checks),
+              "failed": [c.name for c in checks if not c.ok]},
+    )

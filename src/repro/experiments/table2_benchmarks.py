@@ -1,0 +1,67 @@
+"""Table 2 — benchmark characteristics.
+
+Tabulates node/edge counts, critical path and total work for the
+synthesised benchmark suite next to the paper's published figures, so
+the fidelity of the workload substitution is auditable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..graphs.analysis import graph_stats
+from ..graphs.applications import APPLICATION_STATS
+from ..util.tables import render_table
+from .registry import benchmark_suite
+from .reporting import Report
+
+__all__ = ["run"]
+
+#: Paper's Table 2 ranges for the random groups:
+#: nodes -> ((edges lo, hi), (cpl lo, hi), (work lo, hi))
+PAPER_GROUP_RANGES = {
+    50: ((66, 926), (24, 447), (204, 644)),
+    100: ((138, 1898), (29, 569), (458, 1347)),
+    300: ((412, 8991), (45, 1164), (1517, 3568)),
+    500: ((698, 24497), (67, 1941), (2563, 5530)),
+    1000: ((1378, 99164), (50, 3298), (5179, 11138)),
+    2000: ((2797, 396760), (48, 6770), (10563, 21615)),
+    5000: ((7132, 2491411), (62, 17386), (27009, 54010)),
+}
+
+
+def run(*, graphs_per_group: int = 10, seed: int = 2006,
+        sizes: Optional[Sequence[int]] = None) -> Report:
+    suite = benchmark_suite(
+        graphs_per_group=graphs_per_group, seed=seed,
+        **({"sizes": tuple(sizes)} if sizes is not None else {}))
+    rows = []
+    data = {}
+    for bench, graphs in suite.items():
+        stats = [graph_stats(g) for g in graphs]
+        edges = [s.m for s in stats]
+        cpls = [s.cpl for s in stats]
+        works = [s.work for s in stats]
+        if len(graphs) == 1:
+            s = stats[0]
+            paper = APPLICATION_STATS.get(bench)
+            rows.append((bench, s.n, s.m, int(s.cpl), int(s.work),
+                         f"paper: {paper}" if paper else ""))
+            data[bench] = stats[0].as_dict()
+        else:
+            n = stats[0].n
+            paper = PAPER_GROUP_RANGES.get(n)
+            note = (f"paper ranges: m {paper[0]}, cpl {paper[1]}, "
+                    f"work {paper[2]}") if paper else ""
+            rows.append((bench, n,
+                         f"{min(edges)}-{max(edges)}",
+                         f"{int(min(cpls))}-{int(max(cpls))}",
+                         f"{int(min(works))}-{int(max(works))}", note))
+            data[bench] = {"edges": edges, "cpl": cpls, "work": works}
+    table = render_table(
+        ["benchmark", "nodes", "edges", "critical path", "total work",
+         "reference"], rows,
+        title="Table 2: benchmark characteristics (STG units)")
+    return Report(experiment="table2",
+                  title="Table 2: employed benchmarks", text=table,
+                  data=data)

@@ -1,0 +1,91 @@
+"""Task-graph substrate: DAG model, analysis, STG I/O, generators, the
+MPEG-1 application graph, and Kahn Process Network unrolling.
+"""
+
+from .analysis import (
+    GraphStats,
+    alap_times,
+    asap_times,
+    average_parallelism,
+    bottom_levels,
+    critical_path,
+    critical_path_length,
+    graph_stats,
+    top_levels,
+    total_work,
+)
+from .applications import (
+    APPLICATION_STATS,
+    application_graph,
+    application_suite,
+    synthesize_with_stats,
+)
+from .dag import CycleError, TaskGraph
+from .datasets import bundled_names, load_all_bundled, load_bundled
+from .generators import (
+    chain,
+    fork_join,
+    independent_tasks,
+    layered_dag,
+    layrpred_dag,
+    parallel_chains,
+    parallelism_sweep,
+    samepred_dag,
+    sameprob_dag,
+    stg_group,
+    stg_random_graph,
+)
+from .kpn import Channel, ProcessNetwork, UnrolledKPN
+from .periodic import (
+    FrameBasedWorkload,
+    PeriodicTask,
+    frame_based_dag,
+    hyperperiod,
+)
+from .metrics import (
+    WorkloadProfile,
+    max_width,
+    profile,
+    slack_distribution,
+    width_profile,
+    width_statistics,
+)
+from .mpeg import (
+    B_FRAME_CYCLES,
+    GOP_PATTERN,
+    I_FRAME_CYCLES,
+    MPEG_DEADLINE_SECONDS,
+    P_FRAME_CYCLES,
+    mpeg1_gop_graph,
+)
+from .stg import format_stg, load_stg, parse_stg, save_stg, strip_dummies
+from .transforms import (
+    linear_cluster,
+    merge_graphs,
+    transitive_reduction,
+    weight_jitter,
+)
+
+__all__ = [
+    "TaskGraph", "CycleError",
+    "GraphStats", "graph_stats", "top_levels", "bottom_levels",
+    "critical_path", "critical_path_length", "total_work",
+    "average_parallelism", "asap_times", "alap_times",
+    "APPLICATION_STATS", "application_graph", "application_suite",
+    "synthesize_with_stats",
+    "chain", "independent_tasks", "fork_join", "layered_dag",
+    "sameprob_dag", "samepred_dag", "layrpred_dag",
+    "stg_random_graph", "stg_group",
+    "parallel_chains", "parallelism_sweep",
+    "Channel", "ProcessNetwork", "UnrolledKPN",
+    "mpeg1_gop_graph", "GOP_PATTERN", "MPEG_DEADLINE_SECONDS",
+    "I_FRAME_CYCLES", "B_FRAME_CYCLES", "P_FRAME_CYCLES",
+    "parse_stg", "load_stg", "format_stg", "save_stg", "strip_dummies",
+    "linear_cluster", "transitive_reduction", "weight_jitter",
+    "merge_graphs",
+    "bundled_names", "load_bundled", "load_all_bundled",
+    "width_profile", "max_width", "width_statistics",
+    "slack_distribution", "WorkloadProfile", "profile",
+    "PeriodicTask", "FrameBasedWorkload", "frame_based_dag",
+    "hyperperiod",
+]

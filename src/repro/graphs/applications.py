@@ -1,0 +1,244 @@
+"""Synthetic stand-ins for the STG application graphs.
+
+The STG set ships three graphs extracted from real programs — ``fpppp``
+(a SPEC chemistry kernel), ``robot`` (Newton-Euler dynamics control) and
+``sparse`` (a sparse matrix solver).  The files are not redistributable,
+but the paper's Table 2 publishes exactly the statistics that drive the
+scheduling trade-off: node count, edge count, critical path length and
+total work (hence average parallelism).  :func:`synthesize_with_stats`
+constructs a graph matching **all four exactly**, so the heuristics face
+the same size/parallelism regime as in the paper.
+
+Construction: a backbone chain realises the critical path exactly; the
+remaining nodes carry the remaining work; extra edges are added only
+where the longest path through them stays within the CPL, so the critical
+path length is invariant by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .analysis import critical_path_length, total_work
+from .dag import TaskGraph
+
+__all__ = ["APPLICATION_STATS", "synthesize_with_stats", "application_graph",
+           "application_suite"]
+
+#: Table 2 statistics of the STG application graphs:
+#: name -> (nodes, edges, critical path, total work).
+APPLICATION_STATS: Dict[str, Tuple[int, int, int, int]] = {
+    "fpppp": (334, 1196, 1062, 7113),
+    "robot": (88, 130, 545, 2459),
+    "sparse": (96, 128, 122, 1920),
+}
+
+
+def _partition(total: int, parts: int, rng: np.random.Generator,
+               *, low: int = 1, high: int = 300) -> np.ndarray:
+    """Random integer composition of ``total`` into ``parts`` in [low, high]."""
+    if not parts * low <= total <= parts * high:
+        raise ValueError(
+            f"cannot split {total} into {parts} parts within [{low}, {high}]")
+    values = np.full(parts, low, dtype=int)
+    remaining = total - parts * low
+    # Spread the surplus with random increments, respecting the cap.
+    while remaining > 0:
+        headroom = high - values
+        open_idx = np.nonzero(headroom > 0)[0]
+        picks = rng.choice(open_idx, size=min(remaining, open_idx.size),
+                           replace=False)
+        grant = np.minimum(headroom[picks],
+                           rng.integers(1, max(2, remaining // picks.size + 1),
+                                        size=picks.size))
+        grant = np.minimum(grant, remaining - np.concatenate(
+            [[0], np.cumsum(grant)[:-1]]))
+        grant = np.maximum(grant, 0)
+        values[picks] += grant
+        remaining = total - int(values.sum())
+    return values
+
+
+def synthesize_with_stats(name: str, n: int, m: int, cpl: int, work: int, *,
+                          seed: int = 2006, wmax: int = 300,
+                          max_tries: int = 8) -> TaskGraph:
+    """Build a DAG with exactly ``n`` nodes, ``m`` edges, CPL ``cpl`` and
+    total work ``work``.
+
+    Args:
+        name: graph label.
+        n, m, cpl, work: target statistics (integers, as in Table 2).
+        seed: RNG seed; the same inputs always yield the same graph.
+        wmax: maximum individual task weight (STG uses 300).
+        max_tries: reseeded attempts before giving up on edge placement.
+
+    Raises:
+        ValueError: if the statistics are mutually infeasible (e.g. more
+            work than ``n * wmax``) or edges cannot be placed within the
+            CPL constraint.
+    """
+    if work < n or work > n * wmax:
+        raise ValueError(f"work {work} infeasible for {n} nodes (wmax={wmax})")
+    if cpl < 1 or cpl > work:
+        raise ValueError(f"cpl {cpl} must be in [1, work]")
+    last_err: Exception | None = None
+    for attempt in range(max_tries):
+        rng = np.random.default_rng(np.random.SeedSequence((seed, attempt)))
+        try:
+            graph = _synthesize_once(name, n, m, cpl, work, rng, wmax)
+        except ValueError as exc:
+            last_err = exc
+            continue
+        return graph
+    raise ValueError(
+        f"could not synthesize {name!r} with n={n}, m={m}, cpl={cpl}, "
+        f"work={work}: {last_err}")
+
+
+def _synthesize_once(name: str, n: int, m: int, cpl: int, work: int,
+                     rng: np.random.Generator, wmax: int) -> TaskGraph:
+    # --- backbone chain carrying the critical path -----------------------
+    # Backbone of L nodes sums to cpl with weights in [1, wmax]:
+    #   ceil(cpl / wmax) <= L <= min(n, cpl).
+    # The n - L extras must sum to work - cpl with weights in [1, wmax]:
+    #   n - L <= work - cpl  and  work - cpl <= (n - L) * wmax.
+    extra_work = work - cpl
+    min_len = max(int(np.ceil(cpl / wmax)), n - extra_work, 1)
+    max_len = min(n, cpl)
+    if extra_work > 0:
+        # Need at least one extra node, and enough of them to absorb the
+        # surplus work at <= wmax each.
+        max_len = min(max_len, n - 1, int(np.floor(n - extra_work / wmax)))
+    if min_len > max_len:
+        raise ValueError("no feasible backbone length")
+    # Prefer a short backbone (more structural freedom for the extras).
+    length_hi = min(max_len, max(min_len, int(np.ceil(cpl / (wmax / 3)))))
+    backbone_len = int(rng.integers(min_len, length_hi + 1))
+    if m < backbone_len - 1:
+        raise ValueError("fewer target edges than backbone needs")
+    n_extra = n - backbone_len
+
+    backbone_w = _partition(cpl, backbone_len, rng, high=wmax)
+    extra_w = (_partition(extra_work, n_extra, rng, high=wmax)
+               if n_extra else np.empty(0, dtype=int))
+
+    # --- global order: backbone spread across positions ------------------
+    # Nodes 0..n-1 in a fixed topological order; backbone occupies sorted
+    # random positions; edges only go forward in this order.
+    positions = np.sort(rng.choice(n, size=backbone_len, replace=False))
+    weights = np.empty(n, dtype=float)
+    is_backbone = np.zeros(n, dtype=bool)
+    weights[positions] = backbone_w
+    is_backbone[positions] = True
+    weights[~is_backbone] = extra_w
+
+    edges: set[Tuple[int, int]] = set()
+    succ: List[List[int]] = [[] for _ in range(n)]
+    pred: List[List[int]] = [[] for _ in range(n)]
+
+    def add_edge(u: int, v: int) -> None:
+        edges.add((u, v))
+        succ[u].append(v)
+        pred[v].append(u)
+
+    for a, b in zip(positions[:-1], positions[1:]):
+        add_edge(int(a), int(b))
+
+    # Longest path ending at / starting from each node, updated as edges
+    # are added.  An edge (u, v) keeps the CPL iff tl[u] + bl[v] <= cpl.
+    # Position order IS a topological order (edges only go forward).
+    tl = weights.copy()
+    bl = weights.copy()
+    for v in range(n):
+        if pred[v]:
+            tl[v] = weights[v] + max(tl[u] for u in pred[v])
+    for v in range(n - 1, -1, -1):
+        if succ[v]:
+            bl[v] = weights[v] + max(bl[s] for s in succ[v])
+
+    # --- wire extras into strands, then pad with random edges ------------
+    # Pass 1 gives every extra node an incoming edge from a *nearby*
+    # earlier node when the CPL allows it.  Without this pass all extras
+    # would be sources, concentrating the graph's entire parallelism at
+    # t = 0 — a shape no real application has (and one that makes the
+    # S&S baseline look artificially bad).
+    def try_add(u: int, v: int) -> bool:
+        if u == v or (u, v) in edges or tl[u] + bl[v] > cpl:
+            return False
+        add_edge(u, v)
+        _propagate_levels(u, v, tl, bl, weights, pred, succ)
+        return True
+
+    for v in range(1, n):
+        if len(edges) >= m:
+            break
+        if pred[v] or is_backbone[v]:
+            continue
+        # Prefer close predecessors (geometric-ish window) to build depth.
+        for _ in range(20):
+            span = max(1, int(rng.geometric(0.15)))
+            u = max(0, v - span)
+            if try_add(u, v):
+                break
+
+    needed = m - len(edges)
+    budget = 40 * max(needed, 0) + 1000
+    while needed > 0 and budget > 0:
+        budget -= 1
+        u = int(rng.integers(n - 1))
+        v = int(rng.integers(u + 1, n))
+        if try_add(u, v):
+            needed -= 1
+    if needed > 0:
+        raise ValueError(f"edge budget exhausted with {needed} edges missing")
+
+    graph = TaskGraph({i: weights[i] for i in range(n)}, sorted(edges),
+                      name=name)
+    # Paranoia: the construction must hit all four stats exactly.
+    assert graph.n == n and graph.m == m
+    assert int(round(total_work(graph))) == work
+    assert int(round(critical_path_length(graph))) == cpl
+    return graph
+
+
+def _propagate_levels(u: int, v: int, tl: np.ndarray, bl: np.ndarray,
+                      weights: np.ndarray,
+                      pred: List[List[int]], succ: List[List[int]]) -> None:
+    """Propagate level increases caused by adding edge ``(u, v)``."""
+    frontier = [v]
+    while frontier:
+        x = frontier.pop()
+        new = weights[x] + max((tl[p] for p in pred[x]), default=0.0)
+        if new > tl[x]:
+            tl[x] = new
+            frontier.extend(succ[x])
+    frontier = [u]
+    while frontier:
+        x = frontier.pop()
+        new = weights[x] + max((bl[s] for s in succ[x]), default=0.0)
+        if new > bl[x]:
+            bl[x] = new
+            frontier.extend(pred[x])
+
+
+def application_graph(name: str, *, seed: int = 2006) -> TaskGraph:
+    """The synthetic stand-in for one STG application graph.
+
+    Args:
+        name: one of ``"fpppp"``, ``"robot"``, ``"sparse"``.
+    """
+    try:
+        n, m, cpl, work = APPLICATION_STATS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; choose from "
+            f"{sorted(APPLICATION_STATS)}") from None
+    return synthesize_with_stats(name, n, m, cpl, work, seed=seed)
+
+
+def application_suite(*, seed: int = 2006) -> Dict[str, TaskGraph]:
+    """All three application graphs, keyed by name."""
+    return {name: application_graph(name, seed=seed)
+            for name in APPLICATION_STATS}

@@ -1,0 +1,56 @@
+"""Bundled task-graph dataset.
+
+A small set of pregenerated ``.stg`` files ships inside the package so
+the examples and quick experiments work without any generation step:
+four 50-node and two 100-node random graphs, the three synthetic
+application graphs (exact Table 2 statistics), and the MPEG-1 GOP of
+Fig. 9 (node ids become integers in file form; weights are cycles for
+``mpeg1``, STG units for the rest).
+"""
+
+from __future__ import annotations
+
+from importlib import resources
+from typing import Dict, List
+
+from .dag import TaskGraph
+from .stg import parse_stg, strip_dummies
+
+__all__ = ["bundled_names", "load_bundled", "load_all_bundled"]
+
+_PACKAGE = "repro.data"
+
+
+def bundled_names() -> List[str]:
+    """Names of the bundled graphs (without the ``.stg`` suffix)."""
+    root = resources.files(_PACKAGE)
+    return sorted(p.name[:-4] for p in root.iterdir()
+                  if p.name.endswith(".stg"))
+
+
+def load_bundled(name: str, *, keep_dummies: bool = False) -> TaskGraph:
+    """Load one bundled graph by name.
+
+    Args:
+        name: one of :func:`bundled_names`.
+        keep_dummies: keep the STG dummy entry/exit nodes.
+
+    Raises:
+        FileNotFoundError: for unknown names (the message lists the
+            available ones).
+    """
+    root = resources.files(_PACKAGE)
+    candidate = root / f"{name}.stg"
+    try:
+        text = candidate.read_text()
+    except FileNotFoundError:
+        raise FileNotFoundError(
+            f"no bundled graph {name!r}; available: "
+            f"{bundled_names()}") from None
+    graph = parse_stg(text, name=name)
+    return graph if keep_dummies else strip_dummies(graph)
+
+
+def load_all_bundled() -> Dict[str, TaskGraph]:
+    """All bundled graphs, keyed by name."""
+    return {name: load_bundled(name) for name in bundled_names()}

@@ -1,0 +1,318 @@
+"""Random task-graph generators.
+
+The paper evaluates on the Standard Task Graph Set (STG): 2700 randomly
+generated graphs in size groups of 180, plus three application graphs.
+The STG files are not redistributable, so this module synthesises graphs
+whose statistics match the published Table 2 per group: integer weights in
+[1, 300] with small means (the table's total-work column implies mean
+weights of roughly 4–13), and edge structures ranging from near-chains to
+dense "sameprob" DAGs, producing the table's wide CPL spans.
+
+Everything is deterministic given a seed; groups are reproducible
+workload registries, not ephemeral fixtures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from .dag import TaskGraph
+
+__all__ = [
+    "chain",
+    "independent_tasks",
+    "fork_join",
+    "layered_dag",
+    "sameprob_dag",
+    "samepred_dag",
+    "layrpred_dag",
+    "stg_random_graph",
+    "stg_group",
+    "parallel_chains",
+    "parallelism_sweep",
+]
+
+
+def _rng(seed) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def _stg_weights(n: int, rng: np.random.Generator, *,
+                 mean: float | None = None, wmax: int = 300) -> np.ndarray:
+    """Integer weights in [1, wmax] with an STG-like skewed distribution."""
+    if mean is None:
+        mean = float(rng.uniform(4.0, 12.0))
+    raw = rng.exponential(scale=max(mean - 1.0, 0.5), size=n)
+    return np.clip(np.rint(raw) + 1, 1, wmax).astype(float)
+
+
+# ---------------------------------------------------------------------------
+# Structural building blocks
+# ---------------------------------------------------------------------------
+def chain(n: int, *, weights: Sequence[float] | None = None,
+          name: str = "chain") -> TaskGraph:
+    """A linear chain of ``n`` tasks (average parallelism exactly 1)."""
+    if n < 1:
+        raise ValueError("chain needs at least one task")
+    w = list(weights) if weights is not None else [1.0] * n
+    if len(w) != n:
+        raise ValueError("weights length must equal n")
+    return TaskGraph({i: w[i] for i in range(n)},
+                     [(i, i + 1) for i in range(n - 1)], name=name)
+
+
+def independent_tasks(n: int, *, weights: Sequence[float] | None = None,
+                      name: str = "independent") -> TaskGraph:
+    """``n`` tasks with no dependences (parallelism = n for equal weights)."""
+    if n < 1:
+        raise ValueError("need at least one task")
+    w = list(weights) if weights is not None else [1.0] * n
+    return TaskGraph({i: w[i] for i in range(n)}, [], name=name)
+
+
+def fork_join(width: int, depth: int, *, weight: float = 1.0,
+              name: str = "fork-join") -> TaskGraph:
+    """``depth`` stages of ``width`` parallel tasks between fork/join nodes.
+
+    Node count is ``depth * width + depth + 1`` (a join after each stage).
+    """
+    if width < 1 or depth < 1:
+        raise ValueError("width and depth must be >= 1")
+    weights: dict = {"src": weight}
+    edges: list = []
+    prev = "src"
+    for d in range(depth):
+        stage = [f"s{d}_{i}" for i in range(width)]
+        join = f"j{d}"
+        for v in stage:
+            weights[v] = weight
+            edges.append((prev, v))
+            edges.append((v, join))
+        weights[join] = weight
+        prev = join
+    return TaskGraph(weights, edges, name=name)
+
+
+def layered_dag(n: int, layers: int, rng_or_seed=0, *,
+                edge_prob: float = 0.5, wmax: int = 300,
+                mean_weight: float | None = None,
+                name: str = "layered") -> TaskGraph:
+    """Random layered DAG: edges only between consecutive layers.
+
+    Tasks are split over ``layers`` layers of near-equal size; each
+    cross-layer pair is wired with probability ``edge_prob``, and every
+    non-first-layer node is guaranteed at least one predecessor so the
+    depth is really ``layers``.
+    """
+    if not 1 <= layers <= n:
+        raise ValueError(f"need 1 <= layers <= n, got layers={layers}, n={n}")
+    rng = _rng(rng_or_seed)
+    w = _stg_weights(n, rng, mean=mean_weight, wmax=wmax)
+    sizes = np.full(layers, n // layers)
+    sizes[: n % layers] += 1
+    boundaries = np.concatenate([[0], np.cumsum(sizes)])
+    edges: List[tuple] = []
+    for layer in range(1, layers):
+        prev = range(boundaries[layer - 1], boundaries[layer])
+        cur = range(boundaries[layer], boundaries[layer + 1])
+        prev_list = list(prev)
+        for v in cur:
+            picked = [u for u in prev_list if rng.random() < edge_prob]
+            if not picked:
+                picked = [prev_list[int(rng.integers(len(prev_list)))]]
+            edges.extend((u, v) for u in picked)
+    return TaskGraph({i: w[i] for i in range(n)}, edges, name=name)
+
+
+def sameprob_dag(n: int, edge_prob: float, rng_or_seed=0, *,
+                 wmax: int = 300, mean_weight: float | None = None,
+                 name: str = "sameprob") -> TaskGraph:
+    """STG "sameprob" method: every forward pair is an edge w.p. ``edge_prob``.
+
+    Dense vectorized sampling over the upper triangle — this is the hot
+    generator for the 5000-node groups.
+    """
+    if not 0.0 <= edge_prob <= 1.0:
+        raise ValueError(f"edge_prob must be in [0, 1], got {edge_prob}")
+    rng = _rng(rng_or_seed)
+    w = _stg_weights(n, rng, mean=mean_weight, wmax=wmax)
+    mask = rng.random((n, n)) < edge_prob
+    mask[np.tril_indices(n)] = False
+    us, vs = np.nonzero(mask)
+    edges = list(zip(us.tolist(), vs.tolist()))
+    return TaskGraph({i: w[i] for i in range(n)}, edges, name=name)
+
+
+def samepred_dag(n: int, mean_preds: float, rng_or_seed=0, *,
+                 wmax: int = 300, mean_weight: float | None = None,
+                 name: str = "samepred") -> TaskGraph:
+    """STG "samepred" method: each task draws its in-degree.
+
+    Task ``v`` receives ``k ~ Poisson(mean_preds)`` predecessors chosen
+    uniformly among tasks ``0..v-1`` (clipped to what exists).  Unlike
+    "sameprob", the expected in-degree does not grow with ``n``.
+    """
+    if mean_preds < 0:
+        raise ValueError("mean_preds must be >= 0")
+    rng = _rng(rng_or_seed)
+    w = _stg_weights(n, rng, mean=mean_weight, wmax=wmax)
+    edges: List[tuple] = []
+    for v in range(1, n):
+        k = min(v, int(rng.poisson(mean_preds)))
+        if k:
+            preds = rng.choice(v, size=k, replace=False)
+            edges.extend((int(u), v) for u in preds)
+    return TaskGraph({i: w[i] for i in range(n)}, edges, name=name)
+
+
+def layrpred_dag(n: int, layers: int, mean_preds: float, rng_or_seed=0, *,
+                 wmax: int = 300, mean_weight: float | None = None,
+                 name: str = "layrpred") -> TaskGraph:
+    """STG "layrpred" method: layered graph with drawn in-degrees.
+
+    Like :func:`layered_dag` but each node picks
+    ``max(1, Poisson(mean_preds))`` predecessors from the previous
+    layer instead of wiring each pair with a fixed probability.
+    """
+    if not 1 <= layers <= n:
+        raise ValueError(f"need 1 <= layers <= n, got layers={layers}")
+    if mean_preds < 0:
+        raise ValueError("mean_preds must be >= 0")
+    rng = _rng(rng_or_seed)
+    w = _stg_weights(n, rng, mean=mean_weight, wmax=wmax)
+    sizes = np.full(layers, n // layers)
+    sizes[: n % layers] += 1
+    boundaries = np.concatenate([[0], np.cumsum(sizes)])
+    edges: List[tuple] = []
+    for layer in range(1, layers):
+        prev = list(range(boundaries[layer - 1], boundaries[layer]))
+        cur = range(boundaries[layer], boundaries[layer + 1])
+        for v in cur:
+            k = min(len(prev), max(1, int(rng.poisson(mean_preds))))
+            preds = rng.choice(len(prev), size=k, replace=False)
+            edges.extend((prev[int(i)], v) for i in preds)
+    return TaskGraph({i: w[i] for i in range(n)}, edges, name=name)
+
+
+# ---------------------------------------------------------------------------
+# STG-like groups
+# ---------------------------------------------------------------------------
+def stg_random_graph(n: int, rng_or_seed=0, *, name: str = "") -> TaskGraph:
+    """One random graph in the style of the STG set's random graphs.
+
+    Mixes the set's generation methods: with equal probability a
+    "sameprob" DAG with a log-uniform edge probability, or a layered DAG
+    whose depth spans shallow (wide, high parallelism) to deep (near the
+    work-bound CPL).  Weight means are sampled per graph, reproducing the
+    small total-work figures of Table 2.
+    """
+    rng = _rng(rng_or_seed)
+    label = name or f"rand{n}"
+    method = rng.random()
+    if method < 0.35:
+        # Edge probability spanning sparse to dense; denser graphs have
+        # longer critical paths (more forced orderings).
+        p = float(np.exp(rng.uniform(np.log(2.0 / n), np.log(0.4))))
+        return sameprob_dag(n, p, rng, name=label)
+    if method < 0.5:
+        return samepred_dag(n, float(rng.uniform(0.5, 4.0)), rng,
+                            name=label)
+    depth_frac = float(rng.uniform(0.05, 0.9))
+    layers = min(n, max(2, int(round(n * depth_frac))))
+    if method < 0.75:
+        return layered_dag(n, layers, rng,
+                           edge_prob=float(rng.uniform(0.1, 0.8)),
+                           name=label)
+    return layrpred_dag(n, layers, float(rng.uniform(1.0, 3.0)), rng,
+                        name=label)
+
+
+def stg_group(n: int, count: int = 180, *, seed: int = 0) -> List[TaskGraph]:
+    """A reproducible group of ``count`` STG-like graphs with ``n`` nodes.
+
+    Mirrors the STG set's organisation (180 graphs per size class).  The
+    seed stream is derived from ``(seed, n)`` so different groups are
+    independent but individually stable.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    root = np.random.default_rng(np.random.SeedSequence((seed, n)))
+    children = root.spawn(count)
+    return [stg_random_graph(n, child, name=f"rand{n}_{i:03d}")
+            for i, child in enumerate(children)]
+
+
+# ---------------------------------------------------------------------------
+# Parallelism-targeted graphs (Figs. 12–13)
+# ---------------------------------------------------------------------------
+def parallel_chains(n_chains: int, chain_len: int, rng_or_seed=0, *,
+                    cross_prob: float = 0.1, wmax: int = 300,
+                    mean_weight: float | None = None,
+                    name: str = "") -> TaskGraph:
+    """``n_chains`` parallel chains with light cross-coupling.
+
+    Average parallelism is ≈ ``n_chains`` (exact for equal weights and no
+    crossings).  Cross edges go from position ``k`` of one chain to
+    position ``k + 1`` of another, which cannot lengthen the critical
+    path beyond one chain's span in node count.
+    """
+    if n_chains < 1 or chain_len < 1:
+        raise ValueError("n_chains and chain_len must be >= 1")
+    rng = _rng(rng_or_seed)
+    n = n_chains * chain_len
+    w = _stg_weights(n, rng, mean=mean_weight, wmax=wmax)
+    node = lambda c, k: c * chain_len + k  # noqa: E731 - tiny index helper
+    edges: List[tuple] = []
+    for c in range(n_chains):
+        edges.extend((node(c, k), node(c, k + 1)) for k in range(chain_len - 1))
+    if n_chains > 1 and cross_prob > 0.0:
+        for c in range(n_chains):
+            for k in range(chain_len - 1):
+                if rng.random() < cross_prob:
+                    other = int(rng.integers(n_chains - 1))
+                    other += other >= c
+                    edges.append((node(c, k), node(other, k + 1)))
+    label = name or f"chains{n_chains}x{chain_len}"
+    return TaskGraph({i: w[i] for i in range(n)}, edges, name=label)
+
+
+def parallelism_sweep(*, n_nodes: int = 1000, max_parallelism: int = 50,
+                      graphs: int = 60, seed: int = 0) -> List[TaskGraph]:
+    """Graphs of ``n_nodes`` spanning a range of average parallelism.
+
+    The data behind the paper's Figs. 12–13: random STG-style graphs
+    (the paper uses its random set's 1000–3000-node graphs), whose mix
+    of deep layered and "sameprob" structures naturally spans average
+    parallelism from ~1 to several tens.  Graphs above
+    ``max_parallelism`` are redrawn (a few attempts), then kept as-is —
+    the sweep is a scatter, not a grid.
+    """
+    from .analysis import average_parallelism
+
+    root = np.random.default_rng(np.random.SeedSequence((seed, n_nodes)))
+    out: List[TaskGraph] = []
+    for i, child in enumerate(root.spawn(graphs)):
+        g = stg_random_graph(n_nodes, child, name=f"par{n_nodes}_{i:03d}")
+        for _ in range(4):
+            if average_parallelism(g) <= max_parallelism:
+                break
+            g = stg_random_graph(n_nodes, child,
+                                 name=f"par{n_nodes}_{i:03d}")
+        out.append(g)
+    return out
+
+
+#: Registry of generator callables by name, for CLI/experiment wiring.
+GENERATORS: dict[str, Callable[..., TaskGraph]] = {
+    "chain": chain,
+    "independent": independent_tasks,
+    "fork_join": fork_join,
+    "layered": layered_dag,
+    "sameprob": sameprob_dag,
+    "stg_random": stg_random_graph,
+    "parallel_chains": parallel_chains,
+}

@@ -1,0 +1,155 @@
+"""Kahn Process Networks and their unrolling into deadline-annotated DAGs.
+
+Section 3.1 of the paper describes how a KPN — a network of infinite
+processes connected by FIFO channels with a required *throughput* — is
+converted to the weighted-DAG-with-deadline model:
+
+* make ``k`` copies of the network;
+* a channel ``a -> b`` becomes an edge from copy ``i`` of ``a`` to copy
+  ``i`` of ``b`` (or to copy ``i+1`` when the channel carries a one-
+  iteration delay, like the ``T2 -> T3`` example in Fig. 1);
+* an edge from copy ``i`` to copy ``i+1`` of every node models inputs
+  arriving one period apart;
+* output nodes of copy ``i`` get deadline ``first_deadline + i/throughput``.
+
+The resulting :class:`UnrolledKPN` carries per-task deadlines that the
+scheduling layer consumes directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+
+from .dag import TaskGraph
+
+__all__ = ["Channel", "ProcessNetwork", "UnrolledKPN"]
+
+
+@dataclass(frozen=True, slots=True)
+class Channel:
+    """A FIFO channel between two KPN processes.
+
+    Attributes:
+        src, dst: process names.
+        delay: number of iterations of initial tokens on the channel.  A
+            delay of ``d`` means iteration ``i`` of ``dst`` consumes the
+            output of iteration ``i - d`` of ``src`` (Fig. 1's feedback
+            channel has delay 1).
+    """
+
+    src: str
+    dst: str
+    delay: int = 0
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError(f"channel delay must be >= 0, got {self.delay}")
+
+
+@dataclass(frozen=True)
+class UnrolledKPN:
+    """A KPN unrolled to a finite DAG plus per-task deadlines.
+
+    Attributes:
+        graph: the unrolled task graph; node ids are ``(process, copy)``.
+        deadlines: absolute deadline (cycles) for each *output* task; the
+            scheduler propagates these backwards to every task.
+        horizon: the largest deadline — the energy-accounting window.
+    """
+
+    graph: TaskGraph
+    deadlines: Mapping[Hashable, float]
+    horizon: float
+
+
+class ProcessNetwork:
+    """A Kahn Process Network with per-iteration task weights.
+
+    Args:
+        processes: mapping process name -> execution weight per iteration
+            (cycles).
+        channels: data channels; self-channels with delay >= 1 are allowed
+            (state carried across iterations).
+        outputs: names of the processes whose completion constitutes one
+            network output; defaults to all sink processes of the
+            zero-delay channel graph.
+
+    Example:
+        The paper's Fig. 1 network::
+
+            net = ProcessNetwork(
+                {"T1": 10, "T2": 20, "T3": 15},
+                [Channel("T1", "T2"), Channel("T3", "T2"),
+                 Channel("T2", "T3", delay=1)])
+    """
+
+    def __init__(self, processes: Mapping[str, float],
+                 channels: Sequence[Channel],
+                 *, outputs: Sequence[str] | None = None) -> None:
+        if not processes:
+            raise ValueError("a process network needs at least one process")
+        for name, w in processes.items():
+            if w <= 0:
+                raise ValueError(f"process {name!r} needs positive weight")
+        self.processes: Dict[str, float] = dict(processes)
+        for ch in channels:
+            if ch.src not in self.processes or ch.dst not in self.processes:
+                raise KeyError(f"channel {ch} references unknown process")
+            if ch.src == ch.dst and ch.delay == 0:
+                raise ValueError(f"zero-delay self-channel on {ch.src!r}")
+        self.channels: Tuple[Channel, ...] = tuple(channels)
+        if outputs is None:
+            has_out = {ch.src for ch in self.channels if ch.delay == 0}
+            outputs = [p for p in self.processes if p not in has_out]
+        for p in outputs:
+            if p not in self.processes:
+                raise KeyError(f"unknown output process {p!r}")
+        if not outputs:
+            raise ValueError("no output processes")
+        self.outputs: Tuple[str, ...] = tuple(outputs)
+
+    # ------------------------------------------------------------------
+    def unroll(self, copies: int, *, period: float,
+               first_deadline: float) -> UnrolledKPN:
+        """Unroll ``copies`` iterations into a DAG with deadlines.
+
+        Args:
+            copies: number of network iterations to instantiate.
+            period: reciprocal of the required throughput (cycles between
+                successive outputs, measured at full speed).
+            first_deadline: absolute deadline of the first copy's outputs
+                (cycles at full speed).
+
+        Raises:
+            ValueError: on non-positive arguments or if a channel delay
+                exceeds the number of copies.
+        """
+        if copies < 1:
+            raise ValueError("copies must be >= 1")
+        if period <= 0 or first_deadline <= 0:
+            raise ValueError("period and first_deadline must be positive")
+
+        weights: Dict[Tuple[str, int], float] = {}
+        edges: List[Tuple[Tuple[str, int], Tuple[str, int]]] = []
+        for i in range(copies):
+            for name, w in self.processes.items():
+                weights[(name, i)] = w
+                if i > 0:
+                    # Successive inputs arrive one period apart (Fig. 1).
+                    edges.append(((name, i - 1), (name, i)))
+            for ch in self.channels:
+                j = i + ch.delay
+                if j < copies:
+                    edges.append(((ch.src, i), (ch.dst, j)))
+        graph = TaskGraph(weights, edges, name="kpn")
+        deadlines = {
+            (p, i): first_deadline + i * period
+            for p in self.outputs for i in range(copies)
+        }
+        horizon = first_deadline + (copies - 1) * period
+        return UnrolledKPN(graph=graph, deadlines=deadlines, horizon=horizon)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ProcessNetwork({len(self.processes)} processes, "
+                f"{len(self.channels)} channels)")

@@ -1,0 +1,137 @@
+"""Workload characterization beyond the Table 2 aggregates.
+
+The paper characterises graphs by size, CPL, work and average
+parallelism.  Two finer-grained quantities explain *why* the heuristics
+behave as they do on a given graph:
+
+* the **width profile** — how many tasks run concurrently over the
+  ASAP (infinite-processor) schedule.  Its maximum is exactly the
+  processor count S&S employs, and the gap between maximum width and
+  average parallelism is the over-provisioning that Fig. 12 charges
+  S&S for;
+* the **slack distribution** — per-task scheduling freedom
+  (ALAP − ASAP start) at a given deadline, which predicts how much
+  reordering/stretching room a heuristic has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .analysis import alap_times, asap_times, critical_path_length, \
+    total_work
+from .dag import TaskGraph
+
+__all__ = ["width_profile", "max_width", "width_statistics",
+           "slack_distribution", "WorkloadProfile", "profile"]
+
+
+def width_profile(graph: TaskGraph) -> Tuple[np.ndarray, np.ndarray]:
+    """Concurrency over time of the ASAP schedule.
+
+    Returns ``(times, widths)``: at ``times[i]`` the number of
+    simultaneously executing tasks becomes ``widths[i]`` and stays there
+    until ``times[i+1]``.  Covers ``[0, CPL)``.
+    """
+    start = asap_times(graph)
+    finish = start + graph.weights_array
+    events: List[Tuple[float, int]] = []
+    for i in range(graph.n):
+        if graph.weights_array[i] > 0:
+            events.append((float(start[i]), +1))
+            events.append((float(finish[i]), -1))
+    events.sort()
+    times: List[float] = []
+    widths: List[int] = []
+    level = 0
+    for t, delta in events:
+        level += delta
+        if times and times[-1] == t:
+            widths[-1] = level
+        else:
+            times.append(t)
+            widths.append(level)
+    # The last event is the final task's finish at t = CPL, where the
+    # width drops to zero — outside the covered half-open interval.
+    while widths and widths[-1] == 0:
+        times.pop()
+        widths.pop()
+    return np.array(times), np.array(widths)
+
+
+def max_width(graph: TaskGraph) -> int:
+    """Peak concurrency of the ASAP schedule.
+
+    This equals the processor count a work-conserving scheduler on
+    unlimited processors employs — i.e. what S&S pays for.
+    """
+    _, widths = width_profile(graph)
+    return int(widths.max()) if widths.size else 0
+
+
+def width_statistics(graph: TaskGraph) -> Tuple[float, int]:
+    """(time-averaged width, maximum width).
+
+    The time-averaged width equals ``total work / CPL`` — the paper's
+    average parallelism — which this function asserts as a consistency
+    check of the profile construction.
+    """
+    times, widths = width_profile(graph)
+    if times.size == 0:
+        return 0.0, 0
+    cpl = critical_path_length(graph)
+    spans = np.diff(np.append(times, cpl))
+    avg = float((widths * spans).sum() / cpl)
+    expect = total_work(graph) / cpl
+    assert abs(avg - expect) < 1e-6 * max(1.0, expect), \
+        "width profile inconsistent with work/CPL"
+    return avg, int(widths.max())
+
+
+def slack_distribution(graph: TaskGraph, deadline: float) -> np.ndarray:
+    """Per-task scheduling slack ``ALAP start − ASAP start`` (cycles).
+
+    Zero for critical-path tasks at ``deadline == CPL``; grows with the
+    deadline.  Indexed by dense node index.
+    """
+    return alap_times(graph, deadline) - asap_times(graph)
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """A characterization summary of one task graph.
+
+    Attributes:
+        name: graph label.
+        n, m: node/edge counts.
+        cpl, work: critical path and total work (cycles).
+        avg_parallelism: work / CPL (time-averaged width).
+        max_width: ASAP peak concurrency.
+        burstiness: ``max_width / avg_parallelism`` — 1.0 means a flat
+            profile (parallel chains); large values mean concentrated
+            bursts that make S&S over-provision.
+    """
+
+    name: str
+    n: int
+    m: int
+    cpl: float
+    work: float
+    avg_parallelism: float
+    max_width: int
+
+    @property
+    def burstiness(self) -> float:
+        return self.max_width / self.avg_parallelism
+
+
+def profile(graph: TaskGraph) -> WorkloadProfile:
+    """Compute the :class:`WorkloadProfile` of ``graph``."""
+    avg, peak = width_statistics(graph)
+    return WorkloadProfile(
+        name=graph.name, n=graph.n, m=graph.m,
+        cpl=critical_path_length(graph), work=total_work(graph),
+        avg_parallelism=avg, max_width=peak)

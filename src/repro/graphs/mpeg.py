@@ -1,0 +1,84 @@
+"""The MPEG-1 encoding task graph of the paper's Fig. 9.
+
+One group of pictures (GOP) of 15 frames, ``I0 B1 B2 P3 B4 B5 P6 B7 B8
+P9 B10 B11 P12 B13 B14``, with the worst-case execution times of the
+Tennis sequence from Zhu et al. (scaled to a 3.1 GHz clock, as the paper
+does): I = 36 700 900, B = 178 259 300, P = 73 401 800 cycles.
+
+Dependences (standard MPEG anchor structure, matching Fig. 9):
+
+* each P frame depends on the previous anchor (I or P);
+* each B frame depends on the anchors on both sides — the preceding
+  anchor and the following P when one exists inside the GOP (the trailing
+  B13/B14 depend only on P12).
+
+The real-time requirement is 30 frames/s, i.e. a deadline of 0.5 s per
+15-frame GOP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .dag import TaskGraph
+
+__all__ = [
+    "I_FRAME_CYCLES", "B_FRAME_CYCLES", "P_FRAME_CYCLES",
+    "GOP_PATTERN", "MPEG_DEADLINE_SECONDS", "mpeg1_gop_graph",
+]
+
+I_FRAME_CYCLES = 36_700_900
+B_FRAME_CYCLES = 178_259_300
+P_FRAME_CYCLES = 73_401_800
+
+#: Frame types of one 15-frame GOP in display order (Fig. 9).
+GOP_PATTERN = "IBBPBBPBBPBBPBB"
+
+#: Real-time deadline for one GOP at 30 frames per second (seconds).
+MPEG_DEADLINE_SECONDS = 0.5
+
+_CYCLES = {"I": I_FRAME_CYCLES, "B": B_FRAME_CYCLES, "P": P_FRAME_CYCLES}
+
+
+def mpeg1_gop_graph(*, gops: int = 1, pattern: str = GOP_PATTERN) -> TaskGraph:
+    """Build the MPEG-1 encoding DAG for ``gops`` consecutive GOPs.
+
+    Args:
+        gops: number of 15-frame groups; successive GOPs are closed (no
+            cross-GOP dependences), matching the paper's single-GOP
+            experiment when ``gops=1``.
+        pattern: frame-type string; must start with ``I`` and contain only
+            ``I``/``B``/``P``.
+
+    Returns:
+        A :class:`TaskGraph` whose node ids are strings like ``"I0"``,
+        ``"B1"``, ``"P3"`` (with a ``gN_`` prefix when ``gops > 1``).
+    """
+    if gops < 1:
+        raise ValueError("gops must be >= 1")
+    if not pattern or pattern[0] != "I" or set(pattern) - set("IBP"):
+        raise ValueError(f"invalid GOP pattern {pattern!r}")
+
+    weights: Dict[str, float] = {}
+    edges: List[Tuple[str, str]] = []
+    for g in range(gops):
+        prefix = f"g{g}_" if gops > 1 else ""
+        names = [f"{prefix}{t}{i}" for i, t in enumerate(pattern)]
+        for name, t in zip(names, pattern):
+            weights[name] = float(_CYCLES[t])
+        anchors = [i for i, t in enumerate(pattern) if t in "IP"]
+        # P chain: every anchor after the first depends on the previous one.
+        for prev, cur in zip(anchors[:-1], anchors[1:]):
+            edges.append((names[prev], names[cur]))
+        # B frames reference the surrounding anchors.
+        for i, t in enumerate(pattern):
+            if t != "B":
+                continue
+            before = [a for a in anchors if a < i]
+            after = [a for a in anchors if a > i]
+            if before:
+                edges.append((names[before[-1]], names[i]))
+            if after:
+                edges.append((names[after[0]], names[i]))
+    return TaskGraph(weights, edges,
+                     name="mpeg1" if gops == 1 else f"mpeg1x{gops}")

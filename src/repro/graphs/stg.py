@@ -1,0 +1,167 @@
+"""Reader/writer for the Standard Task Graph Set (STG) file format.
+
+The paper evaluates on Kasahara et al.'s Standard Task Graph Set.  Those
+files cannot be redistributed here, so the generators in
+:mod:`repro.graphs.generators` synthesise statistically matching graphs —
+but this module implements the real on-disk format so that anyone *with*
+the STG files can feed them straight into the heuristics.
+
+Format (one graph per file)::
+
+    <n>                      number of tasks, excluding the two dummies
+    0      0   0             task-id  processing-time  #preds [pred ...]
+    1      7   1   0
+    ...
+    <n+1>  0   2   13 42     dummy exit, depends on all leaves
+
+Task 0 is a zero-weight dummy entry and task ``n+1`` a zero-weight dummy
+exit.  Lines whose first non-blank character is ``#`` are comments.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, List, Tuple, Union
+
+from .dag import TaskGraph
+
+__all__ = ["parse_stg", "load_stg", "format_stg", "save_stg", "strip_dummies"]
+
+
+class STGFormatError(ValueError):
+    """Raised when an STG file cannot be parsed."""
+
+
+def _tokenize(text: str) -> List[List[str]]:
+    rows: List[List[str]] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        rows.append(line.split())
+    return rows
+
+
+def parse_stg(text: str, *, name: str = "") -> TaskGraph:
+    """Parse STG text into a :class:`TaskGraph` (dummies included).
+
+    Node ids are the integer task numbers from the file.
+
+    Raises:
+        STGFormatError: on malformed input (bad counts, unknown
+            predecessors, wrong record lengths).
+    """
+    rows = _tokenize(text)
+    if not rows:
+        raise STGFormatError("empty STG input")
+    header = rows[0]
+    if len(header) != 1:
+        raise STGFormatError(f"expected a single task count, got {header!r}")
+    try:
+        declared = int(header[0])
+    except ValueError as exc:
+        raise STGFormatError(f"bad task count {header[0]!r}") from exc
+
+    weights: dict[int, float] = {}
+    edges: List[Tuple[int, int]] = []
+    for row in rows[1:]:
+        if len(row) < 3:
+            raise STGFormatError(f"short task record: {row!r}")
+        try:
+            task = int(row[0])
+            proc_time = float(row[1])
+            n_preds = int(row[2])
+            preds = [int(tok) for tok in row[3:]]
+        except ValueError as exc:
+            raise STGFormatError(f"bad task record: {row!r}") from exc
+        if len(preds) != n_preds:
+            raise STGFormatError(
+                f"task {task}: declared {n_preds} predecessors, "
+                f"listed {len(preds)}")
+        if task in weights:
+            raise STGFormatError(f"duplicate task id {task}")
+        weights[task] = proc_time
+        edges.extend((p, task) for p in preds)
+
+    if len(weights) not in (declared, declared + 2):
+        raise STGFormatError(
+            f"header declares {declared} tasks but file lists {len(weights)} "
+            f"(expected {declared} or {declared}+2 with dummies)")
+    for u, v in edges:
+        if u not in weights:
+            raise STGFormatError(f"task {v} references unknown predecessor {u}")
+    return TaskGraph(weights, edges, name=name)
+
+
+def load_stg(path: Union[str, Path]) -> TaskGraph:
+    """Read an STG file from disk; the graph is named after the file stem."""
+    p = Path(path)
+    return parse_stg(p.read_text(), name=p.stem)
+
+
+def format_stg(graph: TaskGraph, *, with_dummies: bool = True) -> str:
+    """Serialise a graph in STG format.
+
+    Nodes are renumbered to consecutive integers in topological order.
+    When ``with_dummies`` is true (the STG convention), a zero-weight
+    entry (0) and exit (n+1) are added around the real tasks.
+    """
+    order = graph.topological_order()
+    if with_dummies:
+        number = {v: i + 1 for i, v in enumerate(order)}
+    else:
+        number = {v: i for i, v in enumerate(order)}
+
+    out = io.StringIO()
+    out.write(f"{graph.n}\n")
+
+    def record(task: int, weight: float, preds: Iterable[int]) -> None:
+        plist = sorted(preds)
+        w = int(weight) if float(weight).is_integer() else weight
+        out.write(f"{task:>7} {w:>11} {len(plist):>7}")
+        for p in plist:
+            out.write(f" {p}")
+        out.write("\n")
+
+    if with_dummies:
+        record(0, 0, [])
+        for v in order:
+            preds = [number[p] for p in graph.predecessors(v)] or [0]
+            record(number[v], graph.weight(v), preds)
+        exit_preds = [number[v] for v in graph.sinks()]
+        record(graph.n + 1, 0, exit_preds)
+    else:
+        for v in order:
+            record(number[v], graph.weight(v),
+                   (number[p] for p in graph.predecessors(v)))
+    return out.getvalue()
+
+
+def save_stg(graph: TaskGraph, path: Union[str, Path], *,
+             with_dummies: bool = True) -> None:
+    """Write a graph to disk in STG format."""
+    Path(path).write_text(format_stg(graph, with_dummies=with_dummies))
+
+
+def strip_dummies(graph: TaskGraph) -> TaskGraph:
+    """Remove zero-weight dummy entry/exit nodes (STG convention).
+
+    A node is a dummy if it has zero weight and is a pure source or a pure
+    sink.  Edges through dummies carry no constraint beyond what the
+    remaining edges imply, so they are simply dropped.
+    """
+    dummies = {
+        v for v in graph.node_ids
+        if graph.weight(v) == 0.0
+        and (not graph.predecessors(v) or not graph.successors(v))
+    }
+    if not dummies:
+        return graph
+    keep = [v for v in graph.node_ids if v not in dummies]
+    if not keep:
+        raise ValueError("graph consists solely of dummy nodes")
+    weights = {v: graph.weight(v) for v in keep}
+    edges = [(u, v) for u, v in graph.edges()
+             if u not in dummies and v not in dummies]
+    return TaskGraph(weights, edges, name=graph.name)

@@ -1,0 +1,125 @@
+"""Task-graph transformations.
+
+Utilities a scheduling practitioner applies before/around the
+heuristics:
+
+* :func:`linear_cluster` — merge chains of single-successor /
+  single-predecessor tasks into one task.  Turns fine-grain graphs into
+  coarser ones without changing the critical path, directly addressing
+  the paper's fine-grain weakness (short idle gaps defeat PS).
+* :func:`transitive_reduction` — drop redundant dependence edges.
+* :func:`weight_jitter` — perturb execution times, for robustness
+  studies of schedules against worst-case-vs-actual time variation
+  (Section 3.1 notes execution times are upper bounds).
+* :func:`merge_graphs` — disjoint union of workloads sharing a deadline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+import numpy as np
+
+from .dag import TaskGraph
+
+__all__ = ["linear_cluster", "transitive_reduction", "weight_jitter",
+           "merge_graphs"]
+
+
+def linear_cluster(graph: TaskGraph) -> TaskGraph:
+    """Merge maximal linear chains into single tasks.
+
+    A pair ``u -> v`` merges when ``u`` has exactly one successor and
+    ``v`` exactly one predecessor; merged ids become tuples of the
+    original ids, weights add.  The critical path length is invariant;
+    the task count (and thus per-task scheduling overhead and the gap
+    fragmentation the paper blames for fine-grain PS failure) drops.
+    """
+    # Union-find over chain merges.
+    parent: Dict[Hashable, Hashable] = {v: v for v in graph.node_ids}
+
+    def find(x: Hashable) -> Hashable:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u in graph.node_ids:
+        succs = graph.successors(u)
+        if len(succs) == 1 and len(graph.predecessors(succs[0])) == 1:
+            parent[find(succs[0])] = find(u)
+
+    groups: Dict[Hashable, List[Hashable]] = {}
+    for v in graph.node_ids:  # insertion order = stable member order
+        groups.setdefault(find(v), []).append(v)
+
+    def cluster_id(root: Hashable) -> Hashable:
+        members = groups[root]
+        return members[0] if len(members) == 1 else tuple(members)
+
+    ids = {root: cluster_id(root) for root in groups}
+    weights = {ids[root]: sum(graph.weight(v) for v in members)
+               for root, members in groups.items()}
+    edges = set()
+    for u, v in graph.edges():
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            edges.add((ids[ru], ids[rv]))
+    return TaskGraph(weights, edges,
+                     name=f"{graph.name}+clustered" if graph.name
+                     else "clustered")
+
+
+def transitive_reduction(graph: TaskGraph) -> TaskGraph:
+    """Remove edges implied by longer paths (same precedence relation).
+
+    Uses networkx's transitive reduction on the edge structure.
+    """
+    import networkx as nx
+
+    g = nx.DiGraph(list(graph.edges()))
+    g.add_nodes_from(graph.node_ids)
+    reduced = nx.transitive_reduction(g)
+    weights = {v: graph.weight(v) for v in graph.node_ids}
+    return TaskGraph(weights, reduced.edges(), name=graph.name)
+
+
+def weight_jitter(graph: TaskGraph, fraction: float, rng_or_seed=0, *,
+                  direction: str = "down") -> TaskGraph:
+    """Perturb task weights by up to ``fraction`` of their value.
+
+    Args:
+        fraction: maximum relative change (0..1).
+        direction: ``"down"`` models actual times under the worst-case
+            bounds used for scheduling (the realistic case: tasks finish
+            early); ``"both"`` perturbs symmetrically.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError("fraction must be in [0, 1)")
+    if direction not in ("down", "both"):
+        raise ValueError("direction must be 'down' or 'both'")
+    rng = np.random.default_rng(rng_or_seed) \
+        if not isinstance(rng_or_seed, np.random.Generator) else rng_or_seed
+    factors = rng.uniform(1.0 - fraction,
+                          1.0 if direction == "down" else 1.0 + fraction,
+                          size=graph.n)
+    weights = {v: graph.weight(v) * factors[graph.index_of(v)]
+               for v in graph.node_ids}
+    return TaskGraph(weights, graph.edges(), name=graph.name)
+
+
+def merge_graphs(*graphs: TaskGraph, name: str = "merged") -> TaskGraph:
+    """Disjoint union of several task graphs (ids become ``(i, id)``).
+
+    Models independent applications sharing the multiprocessor and one
+    scheduling window.
+    """
+    if not graphs:
+        raise ValueError("need at least one graph")
+    weights = {}
+    edges: List[Tuple[Hashable, Hashable]] = []
+    for i, g in enumerate(graphs):
+        for v in g.node_ids:
+            weights[(i, v)] = g.weight(v)
+        edges.extend(((i, u), (i, v)) for u, v in g.edges())
+    return TaskGraph(weights, edges, name=name)

@@ -1,0 +1,24 @@
+"""Heterogeneous multiprocessor extension: core types sharing one
+voltage/frequency domain, type-aware scheduling, and a configuration-
+sweeping LAMPS generalisation.
+"""
+
+from .heuristics import (
+    HeteroResult,
+    hetero_energy,
+    hetero_lamps,
+    validate_hetero_schedule,
+)
+from .model import BIG_LITTLE, CoreType, HeteroSystem
+from .scheduler import hetero_schedule
+
+__all__ = [
+    "CoreType",
+    "HeteroSystem",
+    "BIG_LITTLE",
+    "hetero_schedule",
+    "hetero_energy",
+    "hetero_lamps",
+    "HeteroResult",
+    "validate_hetero_schedule",
+]

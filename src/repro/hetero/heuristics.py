@@ -1,0 +1,175 @@
+"""Energy accounting and LAMPS-style search for heterogeneous systems.
+
+Everything mirrors the homogeneous core: one shared operating point,
+stretch to the deadline, optional PS.  The differences are per-type
+power scales in the accounting and a two-dimensional configuration
+sweep (how many cores of *each type* to employ) in place of LAMPS's
+single processor count.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.energy import EnergyBreakdown
+from ..core.platform import Platform, default_platform
+from ..core.results import InfeasibleScheduleError
+from ..core.stretch import feasible_points, required_frequency
+from ..graphs.dag import TaskGraph
+from ..power.dvs import OperatingPoint
+from ..sched.deadlines import task_deadlines
+from ..sched.schedule import Schedule
+from .model import HeteroSystem
+from .scheduler import hetero_schedule
+
+__all__ = ["hetero_energy", "hetero_lamps", "HeteroResult",
+           "validate_hetero_schedule"]
+
+_EPS = 1e-6
+
+
+def validate_hetero_schedule(schedule: Schedule,
+                             system: HeteroSystem) -> None:
+    """Structural validation with type-dependent durations.
+
+    Like :func:`repro.sched.validate.validate_schedule` but a task's
+    expected duration is ``weight * cycle_multiplier`` of its
+    processor's core type.
+    """
+    graph = schedule.graph
+    for v in graph.node_ids:
+        pl = schedule.placement(v)
+        m = system.core_type(pl.processor).cycle_multiplier
+        expect = graph.weight(v) * m
+        dur = pl.finish - pl.start
+        if abs(dur - expect) > _EPS * max(1.0, expect):
+            raise AssertionError(
+                f"task {v!r} runs {dur:g} cycles on a "
+                f"{system.core_type(pl.processor).name} core, "
+                f"expected {expect:g}")
+        if pl.start < -_EPS:
+            raise AssertionError(f"task {v!r} starts at {pl.start:g}")
+        for u in graph.predecessors(v):
+            if schedule.placement(u).finish > pl.start + _EPS:
+                raise AssertionError(
+                    f"task {v!r} starts before predecessor {u!r} ends")
+    for proc in range(schedule.n_processors):
+        tasks = schedule.processor_tasks(proc)
+        for a, b in zip(tasks, tasks[1:]):
+            if a.finish > b.start + _EPS:
+                raise AssertionError(
+                    f"processor {proc}: {a.task!r} overlaps {b.task!r}")
+
+
+def hetero_energy(schedule: Schedule, system: HeteroSystem,
+                  point: OperatingPoint, deadline_seconds: float, *,
+                  platform: Optional[Platform] = None,
+                  use_sleep: bool = True) -> EnergyBreakdown:
+    """Energy of a heterogeneous schedule at one shared operating point.
+
+    Each processor's busy and idle power is scaled by its core type's
+    ``power_scale``; the PS breakeven therefore shifts per type (an
+    efficient little core has less idle power to save, so its gaps must
+    be longer to justify a shutdown).
+    """
+    platform = platform or default_platform()
+    f = point.frequency
+    horizon_cycles = deadline_seconds * f
+    if schedule.makespan > horizon_cycles * (1.0 + 1e-9):
+        raise ValueError("schedule does not fit the deadline window")
+    sleep = platform.sleep if use_sleep else None
+    total = EnergyBreakdown(busy=0.0, idle=0.0)
+    for proc in range(schedule.n_processors):
+        tasks = schedule.processor_tasks(proc)
+        if not tasks:
+            continue
+        c = system.core_type(proc).power_scale
+        busy = schedule.busy_cycles(proc) * point.energy_per_cycle * c
+        idle_power = point.idle_power * c
+        gaps = schedule.gap_lengths(proc, horizon_cycles) / f
+        idle = sleep_e = overhead = 0.0
+        n_shut = 0
+        for gap in gaps:
+            if sleep is not None and sleep.would_shut_down(gap,
+                                                           idle_power):
+                sleep_e += gap * sleep.sleep_power
+                overhead += sleep.overhead_energy
+                n_shut += 1
+            else:
+                idle += gap * idle_power
+        total = total + EnergyBreakdown(
+            busy=busy, idle=idle, sleep=sleep_e, overhead=overhead,
+            n_shutdowns=n_shut)
+    return total
+
+
+@dataclass(frozen=True)
+class HeteroResult:
+    """Outcome of the heterogeneous configuration search.
+
+    Attributes:
+        energy: best energy found.
+        point: the shared operating point.
+        schedule: the winning schedule (reference-cycle units).
+        system: the winning subsystem (which cores are employed).
+        counts: employed cores per type name.
+    """
+
+    energy: EnergyBreakdown
+    point: OperatingPoint
+    schedule: Schedule
+    system: HeteroSystem
+    counts: Dict[str, int]
+
+    @property
+    def total_energy(self) -> float:
+        return self.energy.total
+
+
+def hetero_lamps(graph: TaskGraph, deadline: float,
+                 system: HeteroSystem, *,
+                 platform: Optional[Platform] = None,
+                 shutdown: bool = True,
+                 policy: str = "edf") -> HeteroResult:
+    """LAMPS generalised to core-type configurations.
+
+    Sweeps every employable combination of per-type core counts (the
+    2-D analogue of LAMPS's processor-count sweep; the paper's local-
+    minima argument applies even more strongly here, so the sweep is
+    exhaustive over the small configuration grid), stretches each
+    schedule to the deadline, and applies PS when enabled.
+    """
+    platform = platform or default_platform()
+    d = task_deadlines(graph, deadline)
+    deadline_seconds = platform.seconds(deadline)
+    avail = system.counts_by_name()
+    names = list(avail)
+
+    best: Optional[tuple] = None
+    for combo in itertools.product(
+            *[range(avail[name] + 1) for name in names]):
+        counts = dict(zip(names, combo))
+        if sum(counts.values()) == 0:
+            continue
+        sub = system.subsystem(counts)
+        sched = hetero_schedule(graph, sub, d, policy=policy)
+        f_req = required_frequency(sched, d, platform.fmax)
+        if f_req > platform.fmax * (1.0 + 1e-9):
+            continue
+        points = feasible_points(platform.ladder, f_req)
+        if not shutdown:
+            points = points[:1]  # maximal stretch only
+        for point in points:
+            e = hetero_energy(sched, sub, point, deadline_seconds,
+                              platform=platform, use_sleep=shutdown)
+            if best is None or e.total < best[0].total:
+                best = (e, point, sched, sub, counts)
+    if best is None:
+        raise InfeasibleScheduleError(
+            f"{graph.name or 'graph'}: no feasible configuration on "
+            f"{system!r}")
+    e, point, sched, sub, counts = best
+    return HeteroResult(energy=e, point=point, schedule=sched,
+                        system=sub, counts=counts)

@@ -1,0 +1,137 @@
+"""Heterogeneous multiprocessor model (big.LITTLE / Cell-style).
+
+The paper's machines are homogeneous, but its motivating hardware (the
+Cell processor) is not.  This extension models *core types* that share
+one voltage/frequency domain — the paper's single-operating-point
+restriction is kept — but differ in microarchitecture:
+
+* a **cycle multiplier** ``m``: a task that needs ``w`` reference
+  cycles on a big core needs ``m * w`` cycles on this type (lower IPC);
+* a **power scale** ``c``: the type's active and idle power are ``c``
+  times the reference model's (smaller, lower-leakage core).
+
+A little core with ``m = 2, c = 0.3`` finishes half as fast on 30% of
+the power — per unit of work it spends ``m * c = 0.6`` of a big core's
+energy, the classic efficiency-vs-latency trade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["CoreType", "HeteroSystem", "BIG_LITTLE"]
+
+
+@dataclass(frozen=True, slots=True)
+class CoreType:
+    """One processor microarchitecture.
+
+    Attributes:
+        name: label ("big", "little", "spe", ...).
+        cycle_multiplier: reference cycles are multiplied by this on
+            this type (>= smaller is faster; 1.0 = the reference core).
+        power_scale: active *and* idle power relative to the reference
+            model at the same operating point.
+    """
+
+    name: str
+    cycle_multiplier: float = 1.0
+    power_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cycle_multiplier <= 0:
+            raise ValueError(f"{self.name}: cycle_multiplier must be > 0")
+        if self.power_scale <= 0:
+            raise ValueError(f"{self.name}: power_scale must be > 0")
+
+    @property
+    def energy_efficiency(self) -> float:
+        """Energy per unit work relative to the reference core.
+
+        ``cycle_multiplier * power_scale`` — below 1.0 means the type is
+        more energy-efficient (and correspondingly slower).
+        """
+        return self.cycle_multiplier * self.power_scale
+
+
+class HeteroSystem:
+    """A pool of processors of several core types.
+
+    Args:
+        counts: ``[(core_type, count), ...]``; processors are numbered
+            contiguously, first listed type first.
+
+    The processor-id layout is what the heterogeneous scheduler and the
+    energy accounting share.
+    """
+
+    def __init__(self, counts: Sequence[Tuple[CoreType, int]]) -> None:
+        if not counts:
+            raise ValueError("need at least one core type")
+        types: List[CoreType] = []
+        type_of: List[int] = []
+        for ct, n in counts:
+            if n < 0:
+                raise ValueError(f"{ct.name}: count must be >= 0")
+            idx = len(types)
+            types.append(ct)
+            type_of.extend([idx] * n)
+        if not type_of:
+            raise ValueError("system has zero processors")
+        self.types: Tuple[CoreType, ...] = tuple(types)
+        self._type_of: Tuple[int, ...] = tuple(type_of)
+
+    @property
+    def n_processors(self) -> int:
+        return len(self._type_of)
+
+    def core_type(self, proc: int) -> CoreType:
+        """The :class:`CoreType` of processor ``proc``."""
+        return self.types[self._type_of[proc]]
+
+    def processors_of(self, name: str) -> List[int]:
+        """Processor ids of the type called ``name``."""
+        return [p for p in range(self.n_processors)
+                if self.core_type(p).name == name]
+
+    def counts_by_name(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for p in range(self.n_processors):
+            name = self.core_type(p).name
+            out[name] = out.get(name, 0) + 1
+        return out
+
+    def subsystem(self, counts: Dict[str, int]) -> "HeteroSystem":
+        """A smaller system with ``counts[name]`` processors per type.
+
+        Raises:
+            ValueError: if a requested count exceeds availability or
+                names an unknown type.
+        """
+        have = self.counts_by_name()
+        spec = []
+        for ct in self.types:
+            want = counts.get(ct.name, 0)
+            if want > have.get(ct.name, 0):
+                raise ValueError(
+                    f"requested {want} {ct.name!r} cores, have "
+                    f"{have.get(ct.name, 0)}")
+            spec.append((ct, want))
+        unknown = set(counts) - {ct.name for ct in self.types}
+        if unknown:
+            raise ValueError(f"unknown core types {sorted(unknown)}")
+        return HeteroSystem(spec)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{n}x{name}"
+                          for name, n in self.counts_by_name().items())
+        return f"HeteroSystem({parts})"
+
+
+#: A typical 4-big + 4-little arrangement: little cores at half speed and
+#: 30% power (m*c = 0.6 of a big core's energy per unit work).
+BIG_LITTLE = HeteroSystem([
+    (CoreType("big", cycle_multiplier=1.0, power_scale=1.0), 4),
+    (CoreType("little", cycle_multiplier=2.0, power_scale=0.3), 4),
+])

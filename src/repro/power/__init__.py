@@ -1,0 +1,22 @@
+"""Power and energy substrate: technology constants, the analytic CMOS
+power model, discrete DVS operating points, and the deep-sleep cost model.
+"""
+
+from .bodybias import ABBLadder, optimal_body_bias
+from .dvs import DVSLadder, OperatingPoint, continuous_critical_frequency
+from .model import PowerModel
+from .shutdown import DEFAULT_SLEEP, SleepModel
+from .technology import TECH_70NM, Technology
+
+__all__ = [
+    "ABBLadder",
+    "optimal_body_bias",
+    "DVSLadder",
+    "OperatingPoint",
+    "PowerModel",
+    "SleepModel",
+    "Technology",
+    "TECH_70NM",
+    "DEFAULT_SLEEP",
+    "continuous_critical_frequency",
+]

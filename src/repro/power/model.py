@@ -1,0 +1,208 @@
+r"""Analytic power/energy model of a DVS-capable processor.
+
+Implements the equations of Section 3.2 of the paper:
+
+.. math::
+
+    P       &= P_{AC} + P_{DC} + P_{on} \\
+    P_{AC}  &= a\,C_{eff}\,V_{dd}^2\,f \\
+    P_{DC}  &= L_g\,(V_{dd}\,I_{subn} + |V_{bs}|\,I_j) \\
+    I_{subn}&= K_3\,e^{K_4 V_{dd}}\,e^{K_5 V_{bs}} \\
+    f       &= (V_{dd} - V_{th})^{\\alpha} / (L_d K_6) \\
+    V_{th}  &= V_{th1} - K_1 V_{dd} - K_2 V_{bs}
+
+All public functions accept scalars or numpy arrays for ``vdd`` and are
+fully vectorized; scalars in produce Python floats out.
+
+Note on :math:`L_g`: the paper's Table 1 lists the gate count
+``Lg = 4.0e6`` but the prose formula for :math:`P_{DC}` omits it.  Without
+the per-gate multiplier the leakage power would be ~1e-7 W, contradicting
+Fig. 2 where :math:`P_{DC}` is comparable to :math:`P_{AC}` (~0.7 W at
+full speed).  Multiplying by ``Lg`` — as Martin et al. (ICCAD 2002), the
+source of the model, do — reproduces every anchor the paper reports
+(3.1 GHz at 1.0 V, discrete critical point 0.41 at 0.7 V, 1.7 M idle-cycle
+breakeven at half speed), so we follow Martin et al.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .technology import TECH_70NM, Technology
+
+ArrayLike = Union[float, np.ndarray]
+
+__all__ = ["PowerModel"]
+
+
+def _match(x: ArrayLike, value: np.ndarray) -> ArrayLike:
+    """Return ``value`` as a float when the input was scalar."""
+    if np.isscalar(x) or (isinstance(x, np.ndarray) and x.ndim == 0):
+        return float(value)
+    return value
+
+
+class PowerModel:
+    """Power and energy of one processor as a function of supply voltage.
+
+    The model is stateless; one instance can be shared freely.  The
+    expensive sweeps used by the experiments rely on the vectorized numpy
+    code paths (pass an array of voltages and get arrays back).
+
+    Args:
+        tech: technology constants; defaults to the paper's 70 nm process.
+    """
+
+    def __init__(self, tech: Technology = TECH_70NM) -> None:
+        self.tech = tech
+
+    # ------------------------------------------------------------------
+    # Device-level relations
+    # ------------------------------------------------------------------
+    def threshold_voltage(self, vdd: ArrayLike,
+                          vbs: ArrayLike | None = None) -> ArrayLike:
+        """Threshold voltage ``Vth(Vdd, Vbs)`` (V).
+
+        ``vbs`` defaults to the technology's fixed body bias; pass a
+        value to model adaptive body biasing (ABB).
+        """
+        t = self.tech
+        v = np.asarray(vdd, dtype=float)
+        b = t.vbs if vbs is None else np.asarray(vbs, dtype=float)
+        return _match(vdd, t.vth1 - t.k1 * v - t.k2 * b)
+
+    def frequency(self, vdd: ArrayLike,
+                  vbs: ArrayLike | None = None) -> ArrayLike:
+        """Operating frequency at ``(vdd, vbs)`` via the alpha-power law (Hz).
+
+        Voltages at or below the conduction threshold map to 0 Hz rather
+        than raising — convenient for vectorized ladder construction.
+        """
+        t = self.tech
+        v = np.asarray(vdd, dtype=float)
+        overdrive = np.maximum(v - self.threshold_voltage(v, vbs), 0.0)
+        return _match(vdd, overdrive ** t.alpha / (t.l_d * t.k6))
+
+    def subthreshold_current(self, vdd: ArrayLike,
+                             vbs: ArrayLike | None = None) -> ArrayLike:
+        """Sub-threshold leakage current per gate ``Isubn(Vdd, Vbs)`` (A)."""
+        t = self.tech
+        v = np.asarray(vdd, dtype=float)
+        b = t.vbs if vbs is None else np.asarray(vbs, dtype=float)
+        return _match(vdd, t.k3 * np.exp(t.k4 * v) * np.exp(t.k5 * b))
+
+    # ------------------------------------------------------------------
+    # Power components (W)
+    # ------------------------------------------------------------------
+    def dynamic_power(self, vdd: ArrayLike,
+                      vbs: ArrayLike | None = None) -> ArrayLike:
+        """Switching power ``P_AC = a * Ceff * Vdd^2 * f(Vdd, Vbs)`` (W)."""
+        t = self.tech
+        v = np.asarray(vdd, dtype=float)
+        f = np.asarray(self.frequency(v, vbs), dtype=float)
+        return _match(vdd, t.activity * t.c_eff * v * v * f)
+
+    def static_power(self, vdd: ArrayLike,
+                     vbs: ArrayLike | None = None) -> ArrayLike:
+        """Leakage power ``P_DC = Lg * (Vdd*Isubn + |Vbs|*Ij)`` (W)."""
+        t = self.tech
+        v = np.asarray(vdd, dtype=float)
+        b = t.vbs if vbs is None else np.asarray(vbs, dtype=float)
+        isubn = np.asarray(self.subthreshold_current(v, vbs), dtype=float)
+        return _match(vdd, t.l_g * (v * isubn + np.abs(b) * t.i_j))
+
+    @property
+    def on_power(self) -> float:
+        """Intrinsic power ``P_on`` needed to keep a processor on (W)."""
+        return self.tech.p_on
+
+    def active_power(self, vdd: ArrayLike,
+                     vbs: ArrayLike | None = None) -> ArrayLike:
+        """Total power while executing: ``P_AC + P_DC + P_on`` (W)."""
+        v = np.asarray(vdd, dtype=float)
+        total = (np.asarray(self.dynamic_power(v, vbs), dtype=float)
+                 + np.asarray(self.static_power(v, vbs), dtype=float)
+                 + self.tech.p_on)
+        return _match(vdd, total)
+
+    def idle_power(self, vdd: ArrayLike,
+                   vbs: ArrayLike | None = None) -> ArrayLike:
+        """Power of an idle-but-on processor: ``P_DC + P_on`` (W).
+
+        No switching activity means no dynamic component; leakage and the
+        intrinsic on-power remain.  This is the quantity that makes
+        Schedule-and-Stretch pay for over-provisioned processors.
+        """
+        v = np.asarray(vdd, dtype=float)
+        total = np.asarray(self.static_power(v, vbs), dtype=float) \
+            + self.tech.p_on
+        return _match(vdd, total)
+
+    # ------------------------------------------------------------------
+    # Energy (J)
+    # ------------------------------------------------------------------
+    def energy_per_cycle(self, vdd: ArrayLike,
+                         vbs: ArrayLike | None = None) -> ArrayLike:
+        """Active energy per clock cycle ``P(Vdd) / f(Vdd)`` (J).
+
+        Undefined (``inf``) at voltages with zero frequency.
+        """
+        v = np.asarray(vdd, dtype=float)
+        f = np.asarray(self.frequency(v, vbs), dtype=float)
+        p = np.asarray(self.active_power(v, vbs), dtype=float)
+        with np.errstate(divide="ignore"):
+            e = np.where(f > 0.0, p / np.where(f > 0.0, f, 1.0), np.inf)
+        return _match(vdd, e)
+
+    def active_energy(self, vdd: ArrayLike, cycles: ArrayLike) -> ArrayLike:
+        """Energy to execute ``cycles`` clock cycles at ``vdd`` (J)."""
+        e = np.asarray(self.energy_per_cycle(vdd), dtype=float)
+        c = np.asarray(cycles, dtype=float)
+        out = e * c
+        if np.isscalar(vdd) and np.isscalar(cycles):
+            return float(out)
+        return out
+
+    # ------------------------------------------------------------------
+    # Convenience anchors
+    # ------------------------------------------------------------------
+    @property
+    def max_frequency(self) -> float:
+        """Frequency at the nominal supply voltage (Hz); ≈3.09 GHz at 70 nm."""
+        return float(self.frequency(self.tech.vdd0))
+
+    def normalized_frequency(self, vdd: ArrayLike) -> ArrayLike:
+        """``f(vdd) / f(vdd0)`` — the x-axis of the paper's Figs. 2 and 3."""
+        f = np.asarray(self.frequency(vdd), dtype=float)
+        return _match(vdd, f / self.max_frequency)
+
+    def vdd_for_frequency(self, f: float, *, tol: float = 1e-9) -> float:
+        """Invert the alpha-power law: smallest ``vdd`` giving frequency ``f``.
+
+        Closed form: ``(Vdd - Vth(Vdd))^alpha = f * Ld * K6`` is linear in
+        ``Vdd`` once the overdrive is isolated, because ``Vth`` is itself
+        linear in ``Vdd``.
+
+        Raises:
+            ValueError: if ``f`` exceeds what any physical voltage reaches
+                (no upper clamp is applied) or is negative.
+        """
+        if f < 0.0:
+            raise ValueError(f"frequency must be non-negative, got {f}")
+        t = self.tech
+        if f == 0.0:
+            return t.min_vdd
+        overdrive = (f * t.l_d * t.k6) ** (1.0 / t.alpha)
+        # Vdd - (vth1 - k1*Vdd - k2*vbs) = overdrive
+        vdd = (overdrive + t.vth1 - t.k2 * t.vbs) / (1.0 + t.k1)
+        if not np.isfinite(vdd):
+            raise ValueError(f"cannot reach frequency {f:g} Hz")
+        # Guard against rounding making frequency(vdd) fall a hair short.
+        if self.frequency(vdd) < f:
+            vdd += tol
+        return float(vdd)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PowerModel(fmax={self.max_frequency/1e9:.3f} GHz)"

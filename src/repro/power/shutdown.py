@@ -1,0 +1,95 @@
+"""Processor shutdown (deep sleep) cost model.
+
+Section 3.4 of the paper: a sleeping processor draws 50 µW and a full
+shutdown/resume pair costs 483 µJ (supply switching plus re-warming caches
+and predictors).  Shutting down during an idle gap only pays off when the
+gap is longer than the *breakeven* interval
+
+.. math:: t_{be} = E_{overhead} / (P_{idle} - P_{sleep}),
+
+which in cycles at half the maximum frequency is ≈1.7 million (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from .dvs import OperatingPoint
+
+ArrayLike = Union[float, np.ndarray]
+
+__all__ = ["SleepModel", "DEFAULT_SLEEP"]
+
+
+@dataclass(frozen=True, slots=True)
+class SleepModel:
+    """Deep-sleep parameters and the gap-energy arithmetic built on them.
+
+    Attributes:
+        sleep_power: power drawn in the sleep state (W).
+        overhead_energy: energy of one shutdown+resume pair (J).
+    """
+
+    sleep_power: float = 50e-6
+    overhead_energy: float = 483e-6
+
+    def __post_init__(self) -> None:
+        if self.sleep_power < 0:
+            raise ValueError(f"sleep_power must be >= 0, got {self.sleep_power}")
+        if self.overhead_energy < 0:
+            raise ValueError(
+                f"overhead_energy must be >= 0, got {self.overhead_energy}")
+
+    # ------------------------------------------------------------------
+    def breakeven_time(self, idle_power: ArrayLike) -> ArrayLike:
+        """Minimum idle duration for shutdown to save energy (s).
+
+        ``inf`` when idling is no more expensive than sleeping (then
+        shutdown can never pay for its overhead).
+        """
+        p = np.asarray(idle_power, dtype=float)
+        saving = p - self.sleep_power
+        with np.errstate(divide="ignore"):
+            t = np.where(saving > 0.0,
+                         self.overhead_energy / np.where(saving > 0.0, saving, 1.0),
+                         np.inf)
+        if np.isscalar(idle_power):
+            return float(t)
+        return t
+
+    def breakeven_cycles(self, point: OperatingPoint) -> float:
+        """Minimum idle gap in clock cycles at ``point`` (Fig. 3's y-axis)."""
+        return float(self.breakeven_time(point.idle_power)) * point.frequency
+
+    # ------------------------------------------------------------------
+    def gap_energy(self, duration: ArrayLike, idle_power: float) -> ArrayLike:
+        """Energy spent in an idle gap under the optimal on/off decision (J).
+
+        A gap longer than the breakeven interval is spent asleep
+        (overhead + sleep power); shorter gaps stay idle-but-on.
+        Vectorized over ``duration``.
+        """
+        t = np.asarray(duration, dtype=float)
+        if np.any(t < 0):
+            raise ValueError("gap duration must be non-negative")
+        stay_on = t * idle_power
+        shut_down = self.overhead_energy + t * self.sleep_power
+        e = np.minimum(stay_on, shut_down)
+        if np.isscalar(duration):
+            return float(e)
+        return e
+
+    def would_shut_down(self, duration: ArrayLike, idle_power: float) -> ArrayLike:
+        """Whether the optimal decision for a gap is to shut down."""
+        t = np.asarray(duration, dtype=float)
+        result = (self.overhead_energy + t * self.sleep_power) < t * idle_power
+        if np.isscalar(duration):
+            return bool(result)
+        return result
+
+
+#: The paper's sleep parameters (Jejurikar et al., DAC 2004).
+DEFAULT_SLEEP = SleepModel()

@@ -1,0 +1,93 @@
+"""Technology constants for the analytic CMOS power model.
+
+The model (and every numeric constant) comes from Martin et al., "Combined
+dynamic voltage scaling and adaptive body biasing for lower power
+microprocessors under dynamic workloads" (ICCAD 2002), as used by
+Jejurikar et al. (DAC 2004) and by de Langen & Juurlink (Table 1 of the
+paper).  All quantities are in SI units unless noted otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+
+@dataclass(frozen=True, slots=True)
+class Technology:
+    """Process/circuit constants that parameterize :class:`~repro.power.model.PowerModel`.
+
+    The defaults (see :data:`TECH_70NM`) reproduce the paper's Table 1, a
+    70 nm process whose maximum operating frequency is 3.1 GHz at
+    ``vdd = 1.0 V`` with a body bias of −0.7 V.
+
+    Attributes:
+        k1, k2: threshold-voltage coefficients, ``Vth = vth1 - k1*Vdd - k2*Vbs``.
+        k3, k4, k5: sub-threshold leakage coefficients,
+            ``Isubn = k3 * exp(k4*Vdd) * exp(k5*Vbs)`` (amperes per gate).
+        k6: technology constant in the alpha-power frequency law.
+        k7: body-bias charge-pump coefficient (unused here; listed in the
+            paper's Table 1 for completeness).
+        vdd0: nominal supply voltage (V); also the maximum supply used.
+        vbs: body-to-source bias voltage (V), fixed at −0.7 V in the paper.
+        alpha: velocity-saturation exponent of the alpha-power law.
+        vth1: zero-bias threshold-voltage constant (V).
+        i_j: reverse-bias junction leakage current per gate (A).
+        c_eff: effective switched capacitance per cycle (F).
+        l_d: logic depth (gates on the critical path).
+        l_g: number of gates contributing to leakage.
+        p_on: intrinsic power to keep a processor on (W).
+        activity: switching activity factor ``a`` in
+            ``P_AC = a * c_eff * Vdd^2 * f``.
+    """
+
+    k1: float = 0.063
+    k2: float = 0.153
+    k3: float = 5.38e-7
+    k4: float = 1.83
+    k5: float = 4.19
+    k6: float = 5.26e-12
+    k7: float = -0.144
+    vdd0: float = 1.0
+    vbs: float = -0.7
+    alpha: float = 1.5
+    vth1: float = 0.244
+    i_j: float = 4.8e-10
+    c_eff: float = 0.43e-9
+    l_d: float = 37.0
+    l_g: float = 4.0e6
+    p_on: float = 0.1
+    activity: float = 1.0
+
+    def with_overrides(self, **overrides: float) -> "Technology":
+        """Return a copy with the given fields replaced.
+
+        Useful for sensitivity studies (e.g. scaling ``l_g`` to model a
+        leakier process) without mutating the shared default.
+        """
+        return replace(self, **overrides)
+
+    @property
+    def min_vdd(self) -> float:
+        """Smallest supply voltage with a positive operating frequency.
+
+        The alpha-power law requires ``Vdd > Vth(Vdd)``; with
+        ``Vth = vth1 - k1*Vdd - k2*vbs`` this solves to
+        ``Vdd > (vth1 - k2*vbs) / (1 + k1)``.
+        """
+        return (self.vth1 - self.k2 * self.vbs) / (1.0 + self.k1)
+
+    def as_dict(self) -> Mapping[str, float]:
+        """Expose the constants as a plain mapping (for reports/serialisation)."""
+        return {
+            "K1": self.k1, "K2": self.k2, "K3": self.k3, "K4": self.k4,
+            "K5": self.k5, "K6": self.k6, "K7": self.k7,
+            "Vdd0": self.vdd0, "Vbs": self.vbs, "alpha": self.alpha,
+            "Vth1": self.vth1, "Ij": self.i_j, "Ceff": self.c_eff,
+            "Ld": self.l_d, "Lg": self.l_g, "Pon": self.p_on,
+            "activity": self.activity,
+        }
+
+
+#: The paper's Table 1 — 70 nm technology constants.
+TECH_70NM = Technology()

@@ -1,0 +1,23 @@
+"""Runtime substrate: discrete-event execution of static schedules with
+actual task times and online DVS policies (slack reclamation).
+"""
+
+from .simulator import (
+    DispatchContext,
+    FrequencyPolicy,
+    SimulationResult,
+    fixed_frequency_policy,
+    simulate,
+)
+from .slack_reclaim import greedy_reclaim_policy, \
+    leakage_aware_reclaim_policy
+
+__all__ = [
+    "simulate",
+    "SimulationResult",
+    "DispatchContext",
+    "FrequencyPolicy",
+    "fixed_frequency_policy",
+    "greedy_reclaim_policy",
+    "leakage_aware_reclaim_policy",
+]

@@ -1,0 +1,207 @@
+"""Discrete-event execution of a static schedule with actual task times.
+
+The scheduling model works with worst-case execution times (Section 3.1:
+weights are upper bounds).  At run time tasks usually finish early,
+creating *dynamic slack* that an online policy can reclaim by slowing
+later tasks — the technique of Zhu, Melhem & Childers (TPDS 2003), the
+paper from which S&S's schedule-then-stretch idea originates.
+
+:func:`simulate` replays a static schedule (assignment + per-processor
+order fixed at design time) with actual cycle counts and a pluggable
+per-dispatch frequency policy, returning the realised timing and energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Mapping, Optional
+
+import numpy as np
+
+from ..core.energy import EnergyBreakdown
+from ..core.platform import Platform, default_platform
+from ..power.dvs import OperatingPoint
+from ..sched.schedule import Schedule
+
+__all__ = ["DispatchContext", "FrequencyPolicy", "SimulationResult",
+           "simulate", "fixed_frequency_policy"]
+
+
+@dataclass(frozen=True)
+class DispatchContext:
+    """Information available to an online policy when a task dispatches.
+
+    Attributes:
+        task: the task id being dispatched.
+        processor: where it runs.
+        now: current wall-clock time (s).
+        planned_start: the task's start in the static plan (s), i.e.
+            where it would begin if every earlier task used its full
+            worst-case budget at the planned frequency.
+        remaining_wcet_cycles: worst-case cycles of this task.
+        deadline: the task's absolute deadline (s).
+    """
+
+    task: Hashable
+    processor: int
+    now: float
+    planned_start: float
+    remaining_wcet_cycles: float
+    deadline: float
+
+
+FrequencyPolicy = Callable[[DispatchContext], OperatingPoint]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one simulated execution.
+
+    Attributes:
+        energy: realised energy (busy at the per-task chosen points;
+            idle/sleep across the realised gaps, up to the deadline).
+        finish_seconds: realised finish time per dense node index.
+        task_points: the operating point each task actually used.
+        makespan_seconds: completion time of the last task.
+        deadline_misses: tasks that finished after their deadline.
+    """
+
+    energy: EnergyBreakdown
+    finish_seconds: np.ndarray
+    task_points: Mapping[Hashable, OperatingPoint]
+    makespan_seconds: float
+    deadline_misses: tuple
+
+    @property
+    def total_energy(self) -> float:
+        return self.energy.total
+
+
+def fixed_frequency_policy(point: OperatingPoint) -> FrequencyPolicy:
+    """The offline behaviour: every task runs at the planned point."""
+
+    def policy(ctx: DispatchContext) -> OperatingPoint:
+        return point
+
+    return policy
+
+
+def simulate(schedule: Schedule, point: OperatingPoint,
+             deadlines: np.ndarray, *,
+             actual_cycles: Optional[Mapping[Hashable, float]] = None,
+             policy: Optional[FrequencyPolicy] = None,
+             platform: Optional[Platform] = None,
+             use_sleep: bool = True) -> SimulationResult:
+    """Execute ``schedule`` with actual task durations and a DVS policy.
+
+    Args:
+        schedule: the static plan (cycle units = worst-case cycles).
+        point: the planned common operating point (used for the planned
+            timeline and as the default policy).
+        deadlines: per-task deadlines in reference cycles (at
+            ``platform.fmax``), as produced by
+            :func:`repro.sched.deadlines.task_deadlines`.
+        actual_cycles: realised cycle count per task; defaults to the
+            worst case.  Must not exceed the worst case.
+        policy: per-dispatch frequency choice; defaults to the fixed
+            planned point.
+        platform: for the energy model; defaults to the paper's.
+        use_sleep: apply the PS gap rule to realised idle gaps.
+
+    Returns:
+        A :class:`SimulationResult`.
+
+    Raises:
+        ValueError: if an actual cycle count exceeds its worst case.
+    """
+    platform = platform or default_platform()
+    graph = schedule.graph
+    w = graph.weights_array
+    policy = policy or fixed_frequency_policy(point)
+    d_seconds = np.asarray(deadlines, dtype=float) / platform.fmax
+    window = float(d_seconds.max())
+
+    actual = w.copy()
+    if actual_cycles is not None:
+        actual = np.array(actual)
+        for v, cycles in actual_cycles.items():
+            i = graph.index_of(v)
+            if cycles > w[i] * (1.0 + 1e-9):
+                raise ValueError(
+                    f"task {v!r}: actual cycles {cycles:g} exceed the "
+                    f"worst case {w[i]:g}")
+            actual[i] = float(cycles)
+
+    # Planned timeline at the planned point (for policies that compare
+    # against the plan, like slack reclamation), per dense node index.
+    planned = np.empty(graph.n)
+    for v in graph.node_ids:
+        planned[graph.index_of(v)] = \
+            schedule.placement(v).start / point.frequency
+
+    finish = np.zeros(graph.n)
+    start = np.zeros(graph.n)
+    task_points: Dict[Hashable, OperatingPoint] = {}
+    proc_free: Dict[int, float] = {}
+    # Same interleaving logic as multifreq.retime: original cycle start
+    # order is consistent with both the processor order and precedence.
+    topo_rank = {v: i for i, v in enumerate(graph.topo_indices)}
+    order = sorted(
+        (pl for p in range(schedule.n_processors)
+         for pl in schedule.processor_tasks(p)),
+        key=lambda pl: (pl.start, topo_rank[graph.index_of(pl.task)]))
+    preds = graph.pred_indices
+    for pl in order:
+        v = graph.index_of(pl.task)
+        ready = max((finish[u] for u in preds[v]), default=0.0)
+        now = max(ready, proc_free.get(pl.processor, 0.0))
+        ctx = DispatchContext(
+            task=pl.task, processor=pl.processor, now=now,
+            planned_start=planned[v],
+            remaining_wcet_cycles=float(w[v]),
+            deadline=float(d_seconds[v]))
+        p = policy(ctx)
+        task_points[pl.task] = p
+        start[v] = now
+        finish[v] = now + actual[v] / p.frequency
+        proc_free[pl.processor] = finish[v]
+
+    # Energy: busy per task at its own point; per-processor gaps from
+    # the realised timeline, window = the latest deadline.
+    busy = sum(actual[graph.index_of(v)] * task_points[v].energy_per_cycle
+               for v in graph.node_ids)
+    idle = sleep_e = overhead = 0.0
+    n_shut = 0
+    sleep = platform.sleep if use_sleep else None
+    for proc in range(schedule.n_processors):
+        tasks = schedule.processor_tasks(proc)
+        if not tasks:
+            continue
+        # The processor idles at the *planned* point between tasks (it
+        # has no work to run, its setting is whatever the last task
+        # used; the planned point is the conservative choice).
+        idle_power = point.idle_power
+        t = 0.0
+        gaps = []
+        for pl in sorted(tasks, key=lambda pl: start[graph.index_of(pl.task)]):
+            v = graph.index_of(pl.task)
+            if start[v] > t + 1e-15:
+                gaps.append(start[v] - t)
+            t = finish[v]
+        if window > t:
+            gaps.append(window - t)
+        for gap in gaps:
+            if sleep is not None and sleep.would_shut_down(gap, idle_power):
+                sleep_e += gap * sleep.sleep_power
+                overhead += sleep.overhead_energy
+                n_shut += 1
+            else:
+                idle += gap * idle_power
+    energy = EnergyBreakdown(busy=busy, idle=idle, sleep=sleep_e,
+                             overhead=overhead, n_shutdowns=n_shut)
+    misses = tuple(
+        graph.id_of(i) for i in range(graph.n)
+        if finish[i] > d_seconds[i] * (1.0 + 1e-9))
+    return SimulationResult(
+        energy=energy, finish_seconds=finish, task_points=task_points,
+        makespan_seconds=float(finish.max()), deadline_misses=misses)

@@ -1,0 +1,72 @@
+"""Online greedy slack reclamation (Zhu, Melhem & Childers, TPDS 2003).
+
+When a task is dispatched *earlier* than the static plan anticipated
+(because earlier tasks finished under their worst-case budgets), the
+gap between now and the latest time the task could still start —
+bounded by its own planned start plus the planned slack — is dynamic
+slack.  Greedy reclamation gives all of it to the current task: the
+task may run slow enough to finish where the plan would have finished
+it, never later, so every downstream guarantee of the static plan is
+preserved.
+
+Two policies are provided:
+
+* :func:`greedy_reclaim_policy` — classic per-task reclamation down to
+  the ladder's slowest point that still finishes by the planned finish
+  time.
+* :func:`leakage_aware_reclaim_policy` — the same, but never below the
+  critical frequency: below it, energy per cycle rises again, so a
+  leakage-aware reclaimer stops at the critical speed and leaves the
+  rest of the slack to the shutdown mechanism (the paper's §3.3
+  insight applied online).
+"""
+
+from __future__ import annotations
+
+from ..power.dvs import DVSLadder, OperatingPoint
+from .simulator import DispatchContext, FrequencyPolicy
+
+__all__ = ["greedy_reclaim_policy", "leakage_aware_reclaim_policy"]
+
+
+def _reclaim(ctx: DispatchContext, planned_point: OperatingPoint,
+             ladder: DVSLadder, floor_frequency: float) -> OperatingPoint:
+    planned_finish = ctx.planned_start \
+        + ctx.remaining_wcet_cycles / planned_point.frequency
+    budget = planned_finish - ctx.now
+    if budget <= 0:
+        return planned_point  # running at/behind plan: no slack
+    f_needed = ctx.remaining_wcet_cycles / budget
+    f_needed = max(f_needed, floor_frequency)
+    if f_needed >= planned_point.frequency:
+        return planned_point
+    try:
+        return ladder.slowest_at_least(f_needed * (1.0 - 1e-12))
+    except ValueError:  # pragma: no cover - budget > 0 implies feasible
+        return planned_point
+
+
+def greedy_reclaim_policy(planned_point: OperatingPoint,
+                          ladder: DVSLadder) -> FrequencyPolicy:
+    """Give each dispatched task all currently available slack."""
+
+    def policy(ctx: DispatchContext) -> OperatingPoint:
+        return _reclaim(ctx, planned_point, ladder, 0.0)
+
+    return policy
+
+
+def leakage_aware_reclaim_policy(planned_point: OperatingPoint,
+                                 ladder: DVSLadder) -> FrequencyPolicy:
+    """Greedy reclamation, floored at the critical frequency.
+
+    Below the critical speed the energy per cycle increases again
+    (Fig. 2b), so a leakage-aware reclaimer never scales past it —
+    remaining slack is more valuable as shutdown time.
+    """
+    floor = ladder.critical_point().frequency
+
+    def policy(ctx: DispatchContext) -> OperatingPoint:
+        return _reclaim(ctx, planned_point, ladder, floor)
+
+    return policy

@@ -1,0 +1,86 @@
+"""Per-task deadline assignment.
+
+The EDF list scheduler needs a deadline for every task, but the
+application model supplies only a graph-level deadline ``D`` (or, for
+unrolled KPNs, deadlines on output tasks).  Deadlines are propagated
+backwards: a task must finish early enough that every successor can
+still meet *its* deadline — the classic as-late-as-possible (ALAP)
+assignment.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Optional
+
+import numpy as np
+
+from ..graphs.dag import TaskGraph
+
+__all__ = ["task_deadlines", "InfeasibleDeadlineError"]
+
+
+class InfeasibleDeadlineError(ValueError):
+    """The deadline is shorter than the critical path — no schedule can
+    meet it even on infinitely many processors at the reference speed."""
+
+
+def task_deadlines(graph: TaskGraph, deadline: float, *,
+                   overrides: Optional[Mapping[Hashable, float]] = None,
+                   check_feasible: bool = True) -> np.ndarray:
+    """ALAP deadline (cycles) per dense node index.
+
+    Args:
+        graph: the task graph.
+        deadline: graph-level deadline in cycles at the reference
+            frequency; every task must finish by it.
+        overrides: optional tighter deadlines for specific tasks (e.g.
+            KPN output nodes).  Values above ``deadline`` are clamped.
+        check_feasible: when true, raise if some task's deadline is below
+            its earliest possible finish (top level), i.e. not even an
+            ideal schedule could meet it.
+
+    Returns:
+        Array ``d`` with ``d[i]`` = latest finish time of node ``i``.
+
+    Raises:
+        InfeasibleDeadlineError: see ``check_feasible``.
+        KeyError: if an override references an unknown task.
+    """
+    if deadline <= 0:
+        raise ValueError(f"deadline must be positive, got {deadline}")
+    d = np.full(graph.n, float(deadline))
+    if overrides:
+        for task, value in overrides.items():
+            if value <= 0:
+                raise ValueError(
+                    f"override deadline for {task!r} must be positive")
+            i = graph.index_of(task)  # raises KeyError for unknown tasks
+            d[i] = min(d[i], float(value))
+
+    w = graph.weights_array
+    succs = graph.succ_indices
+    for v in reversed(graph.topo_indices):
+        for s in succs[v]:
+            latest = d[s] - w[s]
+            if latest < d[v]:
+                d[v] = latest
+
+    if check_feasible:
+        # Earliest finish = top level; computed inline to avoid a cycle
+        # with the analysis module at import time.
+        tl = np.zeros(graph.n)
+        preds = graph.pred_indices
+        for v in graph.topo_indices:
+            best = 0.0
+            for p in preds[v]:
+                if tl[p] > best:
+                    best = tl[p]
+            tl[v] = best + w[v]
+        bad = np.nonzero(tl > d + 1e-9)[0]
+        if bad.size:
+            worst = int(bad[np.argmax(tl[bad] - d[bad])])
+            raise InfeasibleDeadlineError(
+                f"task {graph.id_of(worst)!r} cannot finish before its "
+                f"deadline {d[worst]:g} (earliest finish {tl[worst]:g}); "
+                f"deadline below the critical path?")
+    return d

@@ -1,0 +1,39 @@
+"""ASCII Gantt rendering of schedules (for the worked examples)."""
+
+from __future__ import annotations
+
+from .schedule import Schedule
+
+__all__ = ["render_gantt"]
+
+
+def render_gantt(schedule: Schedule, *, width: int = 72,
+                 horizon: float | None = None) -> str:
+    """Render ``schedule`` as an ASCII Gantt chart.
+
+    Each processor gets one row; tasks are drawn as ``[label ]`` blocks
+    proportional to their duration.  ``horizon`` (cycles) extends the
+    time axis beyond the makespan (e.g. to the deadline).
+    """
+    span = horizon if horizon is not None else schedule.makespan
+    if span <= 0:
+        raise ValueError("schedule has zero span")
+    scale = width / span
+    lines = []
+    for proc in range(schedule.n_processors):
+        tasks = schedule.processor_tasks(proc)
+        if not tasks:
+            continue
+        row = [" "] * (int(span * scale) + 1)
+        for pl in tasks:
+            a = int(pl.start * scale)
+            b = max(a + 1, int(pl.finish * scale))
+            label = str(pl.task)
+            block = list("[" + label[: max(0, b - a - 2)].ljust(b - a - 2,
+                                                                "=") + "]"
+                         if b - a >= 2 else "|")
+            row[a:a + len(block)] = block
+        lines.append(f"P{proc}: " + "".join(row).rstrip())
+    axis = f"     0{'cycles'.rjust(int(span * scale) - 5)}= {span:g}"
+    lines.append(axis)
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""Event-driven non-preemptive list scheduler.
+
+Implements the paper's LS-EDF (Section 4): a work-conserving simulation
+in which, whenever a processor is free and tasks are ready (all
+predecessors finished), the ready task with the best priority key is
+dispatched.  All ties are broken deterministically (priority key, then
+dense node index; lowest-numbered free processor first), so schedules
+are reproducible and "employed processors" is meaningful — tasks pack
+onto low-numbered processors instead of spreading across all of them.
+
+The hot loop uses flat arrays and ``heapq`` — no per-event object churn —
+so scheduling a 5000-task graph onto hundreds of processors stays in the
+tens of milliseconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..graphs.dag import TaskGraph
+from .priorities import PriorityPolicy, priority_keys
+from .schedule import Placement, Schedule
+
+__all__ = ["list_schedule"]
+
+
+def list_schedule(graph: TaskGraph, n_processors: int,
+                  deadlines: Optional[np.ndarray] = None, *,
+                  policy: Union[str, PriorityPolicy] = "edf") -> Schedule:
+    """Schedule ``graph`` on ``n_processors`` identical processors.
+
+    Args:
+        graph: the task graph (weights in cycles).
+        n_processors: number of available processors (>= 1).
+        deadlines: per-task deadline vector for deadline-based policies
+            (EDF).  May be omitted for structural policies; EDF then
+            falls back to bottom-level-free zeros, which degenerates to
+            index order — pass real deadlines for meaningful EDF.
+        policy: priority policy name or callable (see
+            :mod:`repro.sched.priorities`).
+
+    Returns:
+        A :class:`Schedule` in cycle units.
+    """
+    if n_processors < 1:
+        raise ValueError("n_processors must be >= 1")
+    n = graph.n
+    if deadlines is None:
+        deadlines = np.zeros(n)
+    keys = priority_keys(graph, deadlines, policy)
+
+    w = graph.weights_array
+    succs = graph.succ_indices
+    n_pending = np.array([len(p) for p in graph.pred_indices])
+
+    ready: List[tuple] = [(keys[v], v) for v in range(n) if n_pending[v] == 0]
+    heapq.heapify(ready)
+    # (finish_time, task, proc); tie-handling drains equal timestamps.
+    running: List[tuple] = []
+    free_procs = list(range(n_processors))  # min-heap: lowest id first
+    heapq.heapify(free_procs)
+
+    starts = np.empty(n)
+    finishes = np.empty(n)
+    procs = np.empty(n, dtype=int)
+    time = 0.0
+    scheduled = 0
+    while scheduled < n:
+        while ready and free_procs:
+            _, v = heapq.heappop(ready)
+            p = heapq.heappop(free_procs)
+            starts[v] = time
+            finishes[v] = time + w[v]
+            procs[v] = p
+            heapq.heappush(running, (finishes[v], v, p))
+            scheduled += 1
+        if not running:
+            break  # all remaining tasks were sources already dispatched
+        # Advance to the next completion and drain everything that
+        # completes at that same instant, so simultaneous releases
+        # compete on priority rather than pop order.
+        time, v, p = heapq.heappop(running)
+        _complete(v, p, free_procs, ready, keys, n_pending, succs)
+        while running and running[0][0] <= time:
+            _, v2, p2 = heapq.heappop(running)
+            _complete(v2, p2, free_procs, ready, keys, n_pending, succs)
+
+    placements = [
+        Placement(task=graph.id_of(v), processor=int(procs[v]),
+                  start=float(starts[v]), finish=float(finishes[v]))
+        for v in range(n)
+    ]
+    return Schedule(graph, n_processors, placements)
+
+
+def _complete(v: int, p: int, free_procs: list, ready: list,
+              keys: np.ndarray, n_pending: np.ndarray, succs) -> None:
+    heapq.heappush(free_procs, p)
+    for s in succs[v]:
+        n_pending[s] -= 1
+        if n_pending[s] == 0:
+            heapq.heappush(ready, (keys[s], s))

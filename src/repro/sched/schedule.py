@@ -1,0 +1,159 @@
+"""Schedule data structures.
+
+A :class:`Schedule` maps every task of a graph to a processor and a
+``[start, finish)`` interval measured in *cycles* (the task weights'
+unit).  Because all processors share one operating frequency that is
+constant over the whole schedule (the paper's execution model), the same
+cycle-level schedule is valid at every frequency — wall-clock times are
+obtained by dividing by ``f``.  That lets the heuristics schedule once
+and sweep operating points cheaply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..graphs.dag import TaskGraph
+
+__all__ = ["Placement", "Schedule"]
+
+
+@dataclass(frozen=True, slots=True)
+class Placement:
+    """Assignment of one task: processor and cycle interval."""
+
+    task: Hashable
+    processor: int
+    start: float     #: start time (cycles)
+    finish: float    #: finish time (cycles); ``start + weight``
+
+
+class Schedule:
+    """A complete non-preemptive schedule of a task graph.
+
+    Args:
+        graph: the scheduled task graph.
+        n_processors: number of processors the scheduler was given.  The
+            number actually *employed* (that received at least one task)
+            may be smaller; see :attr:`employed_processors`.
+        placements: one placement per task.
+
+    The constructor performs no validation beyond indexing; use
+    :func:`repro.sched.validate.validate_schedule` to check precedence
+    and overlap invariants.
+    """
+
+    __slots__ = ("graph", "n_processors", "_by_task", "_by_proc",
+                 "_finish", "makespan")
+
+    def __init__(self, graph: TaskGraph, n_processors: int,
+                 placements: Sequence[Placement]) -> None:
+        if n_processors < 1:
+            raise ValueError("n_processors must be >= 1")
+        self.graph = graph
+        self.n_processors = n_processors
+        self._by_task: Dict[Hashable, Placement] = {}
+        by_proc: List[List[Placement]] = [[] for _ in range(n_processors)]
+        finish = np.zeros(graph.n)
+        for pl in placements:
+            if pl.task in self._by_task:
+                raise ValueError(f"task {pl.task!r} placed twice")
+            if not 0 <= pl.processor < n_processors:
+                raise ValueError(
+                    f"placement on processor {pl.processor} out of range")
+            self._by_task[pl.task] = pl
+            by_proc[pl.processor].append(pl)
+            finish[graph.index_of(pl.task)] = pl.finish
+        if len(self._by_task) != graph.n:
+            missing = set(graph.node_ids) - set(self._by_task)
+            raise ValueError(f"unplaced tasks: {sorted(map(str, missing))[:5]}")
+        for lst in by_proc:
+            lst.sort(key=lambda p: p.start)
+        self._by_proc: Tuple[Tuple[Placement, ...], ...] = tuple(
+            tuple(lst) for lst in by_proc)
+        self._finish = finish
+        self._finish.setflags(write=False)
+        self.makespan: float = float(finish.max()) if graph.n else 0.0
+
+    # ------------------------------------------------------------------
+    def placement(self, task: Hashable) -> Placement:
+        """The placement of ``task``."""
+        return self._by_task[task]
+
+    def processor_tasks(self, proc: int) -> Tuple[Placement, ...]:
+        """Placements on ``proc``, ordered by start time."""
+        return self._by_proc[proc]
+
+    @property
+    def finish_times(self) -> np.ndarray:
+        """Finish time (cycles) per dense node index."""
+        return self._finish
+
+    @property
+    def employed_processors(self) -> int:
+        """Number of processors that execute at least one task."""
+        return sum(1 for lst in self._by_proc if lst)
+
+    def busy_cycles(self, proc: int) -> float:
+        """Total executing cycles on ``proc``."""
+        return float(sum(p.finish - p.start for p in self._by_proc[proc]))
+
+    def idle_gaps(self, proc: int, horizon: float) -> List[Tuple[float, float]]:
+        """Idle intervals on ``proc`` within ``[0, horizon]`` (cycles).
+
+        Includes the leading gap before the first task and the trailing
+        gap up to ``horizon``.  An entirely unused processor yields a
+        single full-horizon gap.
+
+        Raises:
+            ValueError: if ``horizon`` is before the processor's last
+                finish time (the schedule would not fit).
+        """
+        gaps: List[Tuple[float, float]] = []
+        t = 0.0
+        for pl in self._by_proc[proc]:
+            if pl.start > t:
+                gaps.append((t, pl.start))
+            t = pl.finish
+        # Relative tolerance: horizons come from seconds-to-cycles
+        # round trips, so representation error scales with magnitude.
+        tol = 1e-9 * max(1.0, abs(t))
+        if horizon < t - tol:
+            raise ValueError(
+                f"horizon {horizon:g} is before processor {proc}'s last "
+                f"finish {t:g}")
+        if horizon > t + tol:
+            gaps.append((t, horizon))
+        return gaps
+
+    def gap_lengths(self, proc: int, horizon: float) -> np.ndarray:
+        """Lengths (cycles) of the idle gaps of ``proc`` (vector form)."""
+        gaps = self.idle_gaps(proc, horizon)
+        return np.array([b - a for a, b in gaps]) if gaps else np.empty(0)
+
+    def required_reference_frequency(self, deadlines: np.ndarray) -> float:
+        """Smallest frequency multiplier meeting per-task deadlines.
+
+        ``deadlines`` is indexed by dense node index, in the same cycle
+        units as the weights (i.e. cycles *at the reference frequency*).
+        The schedule meets them when run at ``f >= r * f_ref`` where
+        ``r = max(finish / deadline)`` is the returned ratio.
+
+        Returns ``inf`` if any deadline is non-positive while its finish
+        time is positive.
+        """
+        d = np.asarray(deadlines, dtype=float)
+        if d.shape != self._finish.shape:
+            raise ValueError("deadline vector has wrong length")
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratios = np.where(d > 0, self._finish / np.where(d > 0, d, 1.0),
+                              np.where(self._finish > 0, np.inf, 0.0))
+        return float(ratios.max()) if ratios.size else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Schedule({self.graph.name!r}, procs={self.n_processors}, "
+                f"employed={self.employed_processors}, "
+                f"makespan={self.makespan:g})")

@@ -1,0 +1,93 @@
+"""Schedule validation.
+
+Every schedule the heuristics produce is checked against the execution
+model's invariants in the test suite, and the experiments validate their
+final schedules too — a wrong schedule would silently corrupt every
+energy number downstream.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .schedule import Schedule
+
+__all__ = ["ScheduleInvariantError", "validate_schedule", "check_deadlines"]
+
+_EPS = 1e-6
+
+
+class ScheduleInvariantError(AssertionError):
+    """A schedule violates the execution model."""
+
+
+def validate_schedule(schedule: Schedule) -> None:
+    """Check all structural invariants of ``schedule``.
+
+    * every task appears exactly once (enforced at construction; the
+      interval and duration are re-checked here);
+    * each task runs for exactly its weight;
+    * intervals on one processor do not overlap;
+    * no task starts before all its predecessors have finished;
+    * no negative times.
+
+    Raises:
+        ScheduleInvariantError: on the first violated invariant, with a
+            message naming the offending task(s).
+    """
+    graph = schedule.graph
+    problems: List[str] = []
+
+    for v in graph.node_ids:
+        pl = schedule.placement(v)
+        if pl.start < -_EPS:
+            problems.append(f"task {v!r} starts at negative time {pl.start:g}")
+        dur = pl.finish - pl.start
+        if abs(dur - graph.weight(v)) > _EPS * max(1.0, graph.weight(v)):
+            problems.append(
+                f"task {v!r} runs {dur:g} cycles, weight is {graph.weight(v):g}")
+        for u in graph.predecessors(v):
+            pu = schedule.placement(u)
+            if pu.finish > pl.start + _EPS:
+                problems.append(
+                    f"task {v!r} starts at {pl.start:g} before predecessor "
+                    f"{u!r} finishes at {pu.finish:g}")
+        if problems:
+            break
+
+    if not problems:
+        for proc in range(schedule.n_processors):
+            tasks = schedule.processor_tasks(proc)
+            for a, b in zip(tasks, tasks[1:]):
+                if a.finish > b.start + _EPS:
+                    problems.append(
+                        f"processor {proc}: {a.task!r} (ends {a.finish:g}) "
+                        f"overlaps {b.task!r} (starts {b.start:g})")
+                    break
+            if problems:
+                break
+
+    if problems:
+        raise ScheduleInvariantError(problems[0])
+
+
+def check_deadlines(schedule: Schedule, deadlines: np.ndarray,
+                    *, frequency_ratio: float = 1.0) -> Optional[str]:
+    """Check per-task deadlines at a frequency ``ratio * f_ref``.
+
+    Returns ``None`` when all deadlines are met, otherwise a message
+    naming the first late task.  ``deadlines`` is in reference cycles.
+    """
+    if frequency_ratio <= 0:
+        raise ValueError("frequency_ratio must be positive")
+    d = np.asarray(deadlines, dtype=float)
+    finish = schedule.finish_times / frequency_ratio
+    late = np.nonzero(finish > d * (1.0 + _EPS))[0]
+    if late.size == 0:
+        return None
+    v = int(late[np.argmax(finish[late] - d[late])])
+    return (f"task {schedule.graph.id_of(v)!r} finishes at "
+            f"{finish[v]:g} > deadline {d[v]:g} "
+            f"(frequency ratio {frequency_ratio:g})")

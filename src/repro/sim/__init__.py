@@ -1,0 +1,19 @@
+"""Trace-level simulation substrate: processor power-state machines,
+power traces, and the execution engine that cross-validates the
+analytic energy accounting.
+"""
+
+from .engine import execute
+from .render import render_trace
+from .states import DEFAULT_TRANSITIONS, ProcState, TransitionModel
+from .trace import PowerTrace, TraceSegment
+
+__all__ = [
+    "execute",
+    "render_trace",
+    "PowerTrace",
+    "TraceSegment",
+    "ProcState",
+    "TransitionModel",
+    "DEFAULT_TRANSITIONS",
+]

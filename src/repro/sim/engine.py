@@ -1,0 +1,112 @@
+"""Trace-level execution of a schedule at one operating point.
+
+:func:`execute` turns a cycle-level schedule plus an operating point
+into a full :class:`~repro.sim.trace.PowerTrace`: RUN segments for
+tasks, IDLE segments for short gaps, and TRANS_DOWN/SLEEP/TRANS_UP
+triples for gaps worth sleeping through, with the wake initiated early
+enough to hide the resume latency (Section 3.4).
+
+With zero transition latencies the integrated trace energy equals the
+analytic accounting of :func:`repro.core.energy.schedule_energy`
+exactly — the cross-validation the test suite enforces.  With real
+latencies the sleepable span of each gap shrinks and very short gaps
+become unsleepable even when the lumped arithmetic said otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.platform import Platform, default_platform
+from ..power.dvs import OperatingPoint
+from ..sched.schedule import Schedule
+from .states import DEFAULT_TRANSITIONS, ProcState, TransitionModel
+from .trace import PowerTrace, TraceSegment
+
+__all__ = ["execute"]
+
+
+def _gap_segments(proc: int, a: float, b: float, point: OperatingPoint,
+                  platform: Platform, shutdown: bool,
+                  trans: TransitionModel) -> List[TraceSegment]:
+    """Segments covering an idle gap ``[a, b]`` of one processor."""
+    duration = b - a
+    segs: List[TraceSegment] = []
+    sleepable = (shutdown
+                 and duration >= trans.total_latency
+                 and _sleep_saves(duration, point, platform, trans))
+    if not sleepable:
+        segs.append(TraceSegment(proc, a, b, ProcState.IDLE,
+                                 duration * point.idle_power))
+        return segs
+    t_down_end = a + trans.down_latency
+    t_up_start = b - trans.up_latency
+    segs.append(TraceSegment(proc, a, t_down_end, ProcState.TRANS_DOWN,
+                             trans.energy / 2))
+    segs.append(TraceSegment(
+        proc, t_down_end, t_up_start, ProcState.SLEEP,
+        (t_up_start - t_down_end) * platform.sleep.sleep_power))
+    segs.append(TraceSegment(proc, t_up_start, b, ProcState.TRANS_UP,
+                             trans.energy / 2))
+    return segs
+
+
+def _sleep_saves(duration: float, point: OperatingPoint,
+                 platform: Platform, trans: TransitionModel) -> bool:
+    """Sleeping vs idling for a gap, with the latency-trimmed span."""
+    sleep_span = duration - trans.total_latency
+    e_sleep = trans.energy + sleep_span * platform.sleep.sleep_power
+    return e_sleep < duration * point.idle_power
+
+
+def execute(schedule: Schedule, point: OperatingPoint,
+            deadline_seconds: float, *,
+            platform: Optional[Platform] = None,
+            shutdown: bool = True,
+            transitions: TransitionModel = DEFAULT_TRANSITIONS
+            ) -> PowerTrace:
+    """Produce the power trace of running ``schedule`` at ``point``.
+
+    Args:
+        schedule: cycle-level schedule.
+        point: common operating point of all active processors.
+        deadline_seconds: the on-window; the trace spans ``[0, D]``.
+        platform: sleep parameters and power model; defaults to the
+            paper's.
+        shutdown: allow deep sleep during beneficial gaps.
+        transitions: sleep transition latencies and lumped energy.
+
+    Raises:
+        ValueError: if the schedule does not fit the window at this
+            operating point.
+    """
+    platform = platform or default_platform()
+    f = point.frequency
+    if schedule.makespan / f > deadline_seconds * (1.0 + 1e-9):
+        raise ValueError(
+            f"schedule needs {schedule.makespan / f:g} s, window is "
+            f"{deadline_seconds:g} s")
+
+    segments: List[TraceSegment] = []
+    for proc in range(schedule.n_processors):
+        tasks = schedule.processor_tasks(proc)
+        if not tasks:
+            continue
+        t = 0.0
+        for pl in tasks:
+            start_s = pl.start / f
+            finish_s = pl.finish / f
+            if start_s > t + 1e-15:
+                segments.extend(_gap_segments(
+                    proc, t, start_s, point, platform, shutdown,
+                    transitions))
+            cycles = pl.finish - pl.start
+            segments.append(TraceSegment(
+                proc, start_s, finish_s, ProcState.RUN,
+                cycles * point.energy_per_cycle, task=pl.task))
+            t = finish_s
+        if deadline_seconds > t + 1e-15:
+            segments.extend(_gap_segments(
+                proc, t, deadline_seconds, point, platform, shutdown,
+                transitions))
+    return PowerTrace(segments, deadline_seconds)

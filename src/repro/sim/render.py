@@ -1,0 +1,48 @@
+"""ASCII rendering of power traces.
+
+One row per processor; each column is a time slice whose character is
+the dominant power state: ``#`` running, ``.`` idle, ``v``/``^`` the
+sleep transitions, ``z`` deep sleep, blank off.  Makes shutdown
+behaviour visible in a terminal next to the Gantt chart.
+"""
+
+from __future__ import annotations
+
+from .states import ProcState
+from .trace import PowerTrace
+
+__all__ = ["render_trace"]
+
+_GLYPH = {
+    ProcState.RUN: "#",
+    ProcState.IDLE: ".",
+    ProcState.TRANS_DOWN: "v",
+    ProcState.SLEEP: "z",
+    ProcState.TRANS_UP: "^",
+    ProcState.OFF: " ",
+}
+
+
+def render_trace(trace: PowerTrace, *, width: int = 72) -> str:
+    """Render ``trace`` as one ASCII row per employed processor."""
+    if width < 8:
+        raise ValueError("width must be >= 8")
+    dt = trace.horizon / width
+    lines = []
+    for proc in trace.processors:
+        row = []
+        segs = trace.segments(proc)
+        for col in range(width):
+            t0, t1 = col * dt, (col + 1) * dt
+            # Dominant state in the slice by overlap duration.
+            best_state, best_overlap = ProcState.OFF, 0.0
+            for seg in segs:
+                overlap = min(seg.end, t1) - max(seg.start, t0)
+                if overlap > best_overlap:
+                    best_overlap = overlap
+                    best_state = seg.state
+            row.append(_GLYPH[best_state])
+        lines.append(f"P{proc}: " + "".join(row))
+    lines.append(f"     0{' ' * (width - 12)}t = {trace.horizon:.4g} s")
+    lines.append("     # run   . idle   v shutdown   z sleep   ^ wake")
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Processor power states and transition model for the trace simulator.
+
+The analytic energy accounting (``repro.core.energy``) treats a
+shutdown as an instantaneous event with a lumped 483 µJ cost.  The
+trace simulator refines this: a processor is a small state machine
+
+::
+
+    RUN <-> IDLE -> TRANS_DOWN -> SLEEP -> TRANS_UP -> IDLE/RUN
+
+with configurable transition latencies.  The paper notes the wake-up
+delay "can be hidden by waking up the processor a short time before the
+end of the idle period" — the planner does exactly that, initiating the
+wake so the processor is hot when its next task starts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["ProcState", "TransitionModel", "DEFAULT_TRANSITIONS"]
+
+
+class ProcState(enum.Enum):
+    """Power state of one processor at one instant."""
+
+    RUN = "run"                #: executing a task
+    IDLE = "idle"              #: on, clock gated (P_DC + P_on)
+    TRANS_DOWN = "trans_down"  #: saving state / ramping supplies down
+    SLEEP = "sleep"            #: deep sleep (50 µW)
+    TRANS_UP = "trans_up"      #: restoring state / warming caches
+    OFF = "off"                #: never employed in this schedule
+
+
+@dataclass(frozen=True, slots=True)
+class TransitionModel:
+    """Latency/energy model of the sleep transitions.
+
+    The lumped shutdown+wake energy (the paper's 483 µJ) is split
+    evenly across the two transition segments.  Latencies default to
+    zero, which makes the trace energy *exactly* equal to the analytic
+    accounting — the cross-validation anchor; realistic sub-millisecond
+    latencies shave the sleepable span of each gap.
+
+    Attributes:
+        down_latency: seconds to enter deep sleep.
+        up_latency: seconds to resume (cache/predictor warm-up).
+        energy: total energy of one down+up pair (J).
+    """
+
+    down_latency: float = 0.0
+    up_latency: float = 0.0
+    energy: float = 483e-6
+
+    def __post_init__(self) -> None:
+        if self.down_latency < 0 or self.up_latency < 0:
+            raise ValueError("transition latencies must be >= 0")
+        if self.energy < 0:
+            raise ValueError("transition energy must be >= 0")
+
+    @property
+    def total_latency(self) -> float:
+        """Minimum gap duration that physically fits a sleep episode."""
+        return self.down_latency + self.up_latency
+
+
+#: Instantaneous transitions with the paper's 483 µJ lumped cost.
+DEFAULT_TRANSITIONS = TransitionModel()

@@ -1,0 +1,157 @@
+"""Power traces: the trace simulator's output.
+
+A :class:`PowerTrace` is a per-processor sequence of contiguous
+:class:`TraceSegment` s covering ``[0, horizon]``, each with a state and
+an energy.  Traces support integration (total and by state), occupancy
+statistics, and structural validation — the properties the test suite
+checks against the analytic accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from .states import ProcState
+
+__all__ = ["TraceSegment", "PowerTrace"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class TraceSegment:
+    """One contiguous interval of one processor in one power state.
+
+    Attributes:
+        processor: processor id.
+        start, end: interval bounds (seconds).
+        state: the power state.
+        energy: energy dissipated over the interval (J).  For
+            zero-length transition segments this is the impulse cost.
+        task: the task id for RUN segments.
+    """
+
+    processor: int
+    start: float
+    end: float
+    state: ProcState
+    energy: float
+    task: Optional[Hashable] = None
+
+    def __post_init__(self) -> None:
+        if self.end < self.start - _EPS:
+            raise ValueError(
+                f"segment ends ({self.end:g}) before it starts "
+                f"({self.start:g})")
+        if self.energy < -_EPS:
+            raise ValueError("segment energy must be >= 0")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def mean_power(self) -> float:
+        """Average power over the segment (inf for impulses)."""
+        if self.duration <= 0:
+            return float("inf") if self.energy > 0 else 0.0
+        return self.energy / self.duration
+
+
+class PowerTrace:
+    """A complete execution trace of a multiprocessor schedule."""
+
+    def __init__(self, segments: Sequence[TraceSegment],
+                 horizon: float) -> None:
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        self.horizon = float(horizon)
+        by_proc: Dict[int, List[TraceSegment]] = {}
+        for seg in segments:
+            by_proc.setdefault(seg.processor, []).append(seg)
+        for segs in by_proc.values():
+            segs.sort(key=lambda s: (s.start, s.end))
+        self._by_proc: Dict[int, Tuple[TraceSegment, ...]] = {
+            p: tuple(v) for p, v in by_proc.items()}
+
+    # ------------------------------------------------------------------
+    @property
+    def processors(self) -> Tuple[int, ...]:
+        """Ids of processors with at least one segment."""
+        return tuple(sorted(self._by_proc))
+
+    def segments(self, proc: int) -> Tuple[TraceSegment, ...]:
+        """The time-ordered segments of ``proc``."""
+        return self._by_proc.get(proc, ())
+
+    def energy(self) -> float:
+        """Total energy over all processors (J)."""
+        return sum(seg.energy for segs in self._by_proc.values()
+                   for seg in segs)
+
+    def energy_by_state(self) -> Dict[ProcState, float]:
+        """Energy split by power state (J)."""
+        out: Dict[ProcState, float] = {}
+        for segs in self._by_proc.values():
+            for seg in segs:
+                out[seg.state] = out.get(seg.state, 0.0) + seg.energy
+        return out
+
+    def time_in_state(self, proc: int, state: ProcState) -> float:
+        """Total seconds ``proc`` spends in ``state``."""
+        return sum(s.duration for s in self.segments(proc)
+                   if s.state is state)
+
+    def utilization(self, proc: int) -> float:
+        """Fraction of the horizon ``proc`` spends running."""
+        return self.time_in_state(proc, ProcState.RUN) / self.horizon
+
+    def state_at(self, proc: int, t: float) -> ProcState:
+        """The state of ``proc`` at time ``t`` (OFF if unemployed)."""
+        if not 0 <= t <= self.horizon + _EPS:
+            raise ValueError(f"time {t:g} outside [0, {self.horizon:g}]")
+        for seg in self.segments(proc):
+            if seg.start - _EPS <= t < seg.end - _EPS or \
+                    (t >= seg.start and seg.end >= self.horizon - _EPS
+                     and t <= seg.end + _EPS):
+                if seg.duration > 0:
+                    return seg.state
+        return ProcState.OFF
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants.
+
+        Every employed processor's segments must tile ``[0, horizon]``
+        contiguously without overlap (zero-length impulse segments are
+        allowed at any boundary).
+
+        Raises:
+            AssertionError: naming the first violation.
+        """
+        for proc, segs in self._by_proc.items():
+            timed = [s for s in segs if s.duration > 0]
+            if not timed:
+                raise AssertionError(
+                    f"processor {proc} has only impulse segments")
+            if abs(timed[0].start) > _EPS:
+                raise AssertionError(
+                    f"processor {proc} starts at {timed[0].start:g}, "
+                    f"not 0")
+            for a, b in zip(timed, timed[1:]):
+                if abs(a.end - b.start) > _EPS * max(1.0, self.horizon):
+                    raise AssertionError(
+                        f"processor {proc}: gap/overlap between "
+                        f"{a.state.value} ending {a.end:g} and "
+                        f"{b.state.value} starting {b.start:g}")
+            if abs(timed[-1].end - self.horizon) > \
+                    _EPS * max(1.0, self.horizon):
+                raise AssertionError(
+                    f"processor {proc} ends at {timed[-1].end:g}, "
+                    f"horizon is {self.horizon:g}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        n = sum(len(s) for s in self._by_proc.values())
+        return (f"PowerTrace({len(self._by_proc)} processors, "
+                f"{n} segments, E={self.energy():.4g} J)")

@@ -1,0 +1,5 @@
+"""Shared utilities: report rendering and unit formatting."""
+
+from .tables import format_percent, format_si, render_series, render_table
+
+__all__ = ["render_table", "render_series", "format_si", "format_percent"]

@@ -1,0 +1,122 @@
+"""Plain-text table and series rendering for experiment reports.
+
+The harness reproduces the paper's tables and figures as text: tables as
+aligned columns, figure series as ``x<TAB>y...`` blocks that can be
+dropped into any plotting tool.  No plotting dependency is required.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["render_table", "render_series", "render_scatter",
+           "format_si", "format_percent"]
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 *, title: str = "") -> str:
+    """Render rows as an aligned monospace table.
+
+    Floats are shown with 4 significant digits; everything else via
+    ``str``.
+    """
+    def cell(x: object) -> str:
+        if isinstance(x, float):
+            return f"{x:.4g}"
+        return str(x)
+
+    str_rows: List[List[str]] = [[cell(x) for x in row] for row in rows]
+    cols = len(headers)
+    for i, row in enumerate(str_rows):
+        if len(row) != cols:
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {cols}")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, s in enumerate(row):
+            widths[j] = max(widths[j], len(s))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(s.rjust(w) for s, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def render_series(x_label: str, x_values: Sequence[float],
+                  series: "dict[str, Sequence[float]]",
+                  *, title: str = "") -> str:
+    """Render one or more y-series over a shared x-axis as a table."""
+    headers = [x_label, *series.keys()]
+    n = len(x_values)
+    for name, ys in series.items():
+        if len(ys) != n:
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points, x has {n}")
+    rows = [[x, *(series[name][i] for name in series)]
+            for i, x in enumerate(x_values)]
+    return render_table(headers, rows, title=title)
+
+
+def render_scatter(points: "dict[str, list[tuple[float, float]]]", *,
+                   width: int = 64, height: int = 16, title: str = "",
+                   x_label: str = "x", y_label: str = "y") -> str:
+    """Render labelled (x, y) point sets as an ASCII scatter plot.
+
+    Each series is drawn with the first character of its name;
+    overlapping cells show ``*``.  Used by the Fig. 12/13 harness to
+    make the energy-vs-parallelism cloud visible in a terminal.
+    """
+    all_pts = [p for pts in points.values() for p in pts]
+    if not all_pts:
+        raise ValueError("no points to plot")
+    xs = [p[0] for p in all_pts]
+    ys = [p[1] for p in all_pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for name, pts in points.items():
+        mark = name[0]
+        for x, y in pts:
+            col = min(width - 1, int((x - x_lo) / x_span * (width - 1)))
+            row = min(height - 1,
+                      int((y_hi - y) / y_span * (height - 1)))
+            grid[row][col] = "*" if grid[row][col] not in (" ", mark) \
+                else mark
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} in [{y_lo:.4g}, {y_hi:.4g}]")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_lo:.4g} .. {x_hi:.4g}   legend: "
+                 + ", ".join(f"{name[0]}={name}" for name in points))
+    return "\n".join(lines)
+
+
+def format_si(value: float, unit: str = "") -> str:
+    """Format with an SI prefix: ``format_si(3.1e9, 'Hz') == '3.1 GHz'``."""
+    prefixes = [(1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k"),
+                (1.0, ""), (1e-3, "m"), (1e-6, "µ"), (1e-9, "n"),
+                (1e-12, "p")]
+    if value == 0:
+        return f"0 {unit}".strip()
+    mag = abs(value)
+    for scale, prefix in prefixes:
+        if mag >= scale:
+            return f"{value/scale:.3g} {prefix}{unit}".strip()
+    scale, prefix = prefixes[-1]
+    return f"{value/scale:.3g} {prefix}{unit}".strip()
+
+
+def format_percent(ratio: float) -> str:
+    """Format a ratio as a percentage with one decimal."""
+    return f"{100.0 * ratio:.1f}%"

@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core.platform import default_platform
+from repro.graphs.dag import TaskGraph
+
+
+@pytest.fixture(scope="session")
+def platform():
+    """The paper's default platform — the same singleton the heuristics
+    fall back to, so identity checks on operating points hold."""
+    return default_platform()
+
+
+@pytest.fixture(scope="session")
+def ladder(platform):
+    return platform.ladder
+
+
+@pytest.fixture(scope="session")
+def model(platform):
+    return platform.model
+
+
+@pytest.fixture
+def diamond():
+    """A 4-task diamond: a -> {b, c} -> d, weights 1/2/3/1."""
+    return TaskGraph(
+        {"a": 1.0, "b": 2.0, "c": 3.0, "d": 1.0},
+        [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")],
+        name="diamond")
+
+
+@pytest.fixture
+def fig4_graph():
+    """The paper's 5-task illustration graph (unit weights)."""
+    return TaskGraph(
+        {"T1": 2.0, "T2": 6.0, "T3": 4.0, "T4": 4.0, "T5": 2.0},
+        [("T1", "T2"), ("T1", "T3"), ("T2", "T5"), ("T3", "T5")],
+        name="fig4")

@@ -1,0 +1,149 @@
+"""Scenario tests: the heuristics' decisions on structurally clear
+workloads, where the energetically right answer is known by reasoning.
+"""
+
+import pytest
+
+from repro.core import (
+    Heuristic,
+    default_platform,
+    lamps,
+    lamps_ps,
+    paper_suite,
+    schedule,
+    sns,
+    sns_ps,
+)
+from repro.graphs.analysis import critical_path_length
+from repro.graphs.generators import (
+    chain,
+    fork_join,
+    independent_tasks,
+    parallel_chains,
+)
+
+
+class TestChainWorkloads:
+    """A chain has parallelism 1: extra processors are pure waste."""
+
+    def test_lamps_uses_one_processor(self):
+        g = chain(20, weights=[5.0] * 20).scaled(3.1e6)
+        r = lamps(g, 2 * critical_path_length(g))
+        assert r.n_processors == 1
+
+    def test_sns_also_uses_one(self):
+        # Even S&S cannot spread a chain: employed == 1.
+        g = chain(20, weights=[5.0] * 20).scaled(3.1e6)
+        r = sns(g, 2 * critical_path_length(g))
+        assert r.n_processors == 1
+
+    def test_lamps_equals_sns_on_chains(self):
+        # With identical processor counts and stretch, the heuristics
+        # coincide — LAMPS's advantage exists only when S&S spreads.
+        g = chain(15, weights=[7.0] * 15).scaled(3.1e6)
+        deadline = 2 * critical_path_length(g)
+        assert lamps(g, deadline).total_energy == pytest.approx(
+            sns(g, deadline).total_energy)
+
+
+class TestIndependentTasks:
+    """n equal independent tasks: the processor count is a pure knob."""
+
+    def test_tight_deadline_forces_all_processors(self):
+        g = independent_tasks(6, weights=[10.0] * 6).scaled(3.1e6)
+        r = lamps(g, 1.0 * critical_path_length(g))
+        assert r.n_processors == 6
+
+    def test_loose_deadline_packs_processors(self):
+        # Without PS the trade is subtle (a mid count at the critical
+        # speed can beat fewer, slower processors), but the count must
+        # drop well below the tight-deadline six.
+        g = independent_tasks(6, weights=[10.0] * 6).scaled(3.1e6)
+        r = lamps(g, 6 * critical_path_length(g))
+        assert r.n_processors <= 3
+        # With shutdown available the packing is aggressive.
+        r_ps = lamps_ps(g, 6 * critical_path_length(g))
+        assert r_ps.total_energy <= r.total_energy + 1e-12
+
+    def test_processor_count_matches_work_bound(self):
+        # At deadline k x CPL, at least ceil(6/k) processors are needed.
+        g = independent_tasks(6, weights=[10.0] * 6).scaled(3.1e6)
+        for k, n_min in ((2.0, 3), (3.0, 2)):
+            r = lamps(g, k * critical_path_length(g))
+            assert r.n_processors >= n_min
+
+
+class TestForkJoinWorkloads:
+    def test_sns_spreads_to_width(self):
+        g = fork_join(5, 2, weight=10.0).scaled(3.1e6)
+        r = sns(g, 2 * critical_path_length(g))
+        assert r.n_processors == 5
+
+    def test_lamps_beats_sns_on_bursty_shape(self):
+        # Fork-join burns idle power on the joins under S&S.
+        g = fork_join(5, 2, weight=10.0).scaled(3.1e6)
+        deadline = 4 * critical_path_length(g)
+        assert lamps(g, deadline).total_energy < \
+            sns(g, deadline).total_energy
+
+
+class TestFrequencyChoices:
+    def test_ps_never_scales_below_critical(self):
+        # With shutdown available, running below the critical speed is
+        # dominated: the chosen point is at or above it.
+        plat = default_platform()
+        crit = plat.ladder.critical_point().frequency
+        g = parallel_chains(3, 12, 5, mean_weight=20.0).scaled(3.1e6)
+        for k in (2.0, 8.0):
+            r = lamps_ps(g, k * critical_path_length(g))
+            assert r.point.frequency >= crit * (1 - 1e-9)
+
+    def test_plain_sns_does_scale_below_critical(self):
+        # Without PS, stretching below the critical speed still beats
+        # idling at it (the §3.3 remark) — at loose deadlines S&S's
+        # point drops under the critical frequency.
+        plat = default_platform()
+        crit = plat.ladder.critical_point().frequency
+        g = chain(15, weights=[7.0] * 15).scaled(3.1e6)
+        r = sns(g, 8 * critical_path_length(g))
+        assert r.point.frequency < crit
+
+    def test_deadline_exactly_cpl_needs_full_speed(self):
+        g = fork_join(3, 3, weight=10.0).scaled(3.1e6)
+        plat = default_platform()
+        r = sns(g, critical_path_length(g))
+        assert r.point is plat.ladder.max_point
+
+
+class TestSuiteConsistency:
+    def test_limits_agree_on_loose_deadlines(self):
+        # At 8x CPL the critical point is feasible, so the two bounds
+        # coincide — the paper states this for the 4x/8x columns.
+        g = parallel_chains(4, 10, 2, mean_weight=15.0).scaled(3.1e6)
+        res = paper_suite(g, 8 * critical_path_length(g))
+        assert res[Heuristic.LIMIT_SF].total_energy == pytest.approx(
+            res[Heuristic.LIMIT_MF].total_energy)
+
+    def test_facade_matches_direct_calls(self):
+        g = fork_join(4, 2, weight=8.0).scaled(3.1e6)
+        deadline = 2 * critical_path_length(g)
+        assert schedule(g, deadline, heuristic="S&S+PS").total_energy \
+            == pytest.approx(sns_ps(g, deadline).total_energy)
+
+    def test_energy_breakdown_components_nonnegative(self):
+        g = fork_join(4, 2, weight=8.0).scaled(3.1e6)
+        res = paper_suite(g, 2 * critical_path_length(g))
+        for r in res.values():
+            e = r.energy
+            assert e.busy >= 0 and e.idle >= 0
+            assert e.sleep >= 0 and e.overhead >= 0
+            assert e.n_shutdowns >= 0
+
+    def test_shutdown_count_consistent_with_overhead(self):
+        plat = default_platform()
+        g = fork_join(4, 2, weight=8.0).scaled(3.1e6)
+        res = paper_suite(g, 4 * critical_path_length(g))
+        for h in (Heuristic.SNS_PS, Heuristic.LAMPS_PS):
+            e = res[h].energy
+            assert e.overhead == pytest.approx(
+                e.n_shutdowns * plat.sleep.overhead_energy)

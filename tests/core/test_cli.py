@@ -1,0 +1,122 @@
+"""Tests for the top-level CLI (python -m repro)."""
+
+import pytest
+
+from repro.cli import main
+from repro.graphs.generators import stg_random_graph
+from repro.graphs.stg import save_stg
+
+
+@pytest.fixture
+def stg_file(tmp_path):
+    g = stg_random_graph(25, 3, name="demo")
+    path = tmp_path / "demo.stg"
+    save_stg(g, path)
+    return str(path)
+
+
+class TestInfo:
+    def test_prints_stats(self, stg_file, capsys):
+        assert main(["info", stg_file]) == 0
+        out = capsys.readouterr().out
+        assert "tasks" in out and "parallelism" in out
+        assert "25" in out
+
+    def test_scale_affects_cpl(self, stg_file, capsys):
+        main(["info", stg_file, "--scale", "1.0"])
+        unscaled = capsys.readouterr().out
+        main(["info", stg_file])
+        scaled = capsys.readouterr().out
+        assert unscaled != scaled
+
+
+class TestSchedule:
+    def test_default_heuristic(self, stg_file, capsys):
+        assert main(["schedule", stg_file]) == 0
+        out = capsys.readouterr().out
+        assert "LAMPS+PS" in out and "J on" in out
+
+    def test_explicit_heuristic(self, stg_file, capsys):
+        assert main(["schedule", stg_file, "--heuristic", "S&S"]) == 0
+        assert "S&S:" in capsys.readouterr().out
+
+    def test_gantt_flag(self, stg_file, capsys):
+        assert main(["schedule", stg_file, "--gantt"]) == 0
+        assert "P0:" in capsys.readouterr().out
+
+    def test_unknown_heuristic_rejected(self, stg_file):
+        with pytest.raises(SystemExit):
+            main(["schedule", stg_file, "--heuristic", "MAGIC"])
+
+
+class TestSweep:
+    def test_all_factors_present(self, stg_file, capsys):
+        assert main(["sweep", stg_file,
+                     "--deadline-factors", "1.5", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "1.5" in out and "LIMIT-MF" in out
+
+
+class TestGenerate:
+    def test_writes_files(self, tmp_path, capsys):
+        out_dir = tmp_path / "graphs"
+        assert main(["generate", "--nodes", "20", "--count", "3",
+                     "--out-dir", str(out_dir)]) == 0
+        assert len(list(out_dir.glob("*.stg"))) == 3
+
+    def test_generated_files_load_back(self, tmp_path, capsys):
+        out_dir = tmp_path / "g"
+        main(["generate", "--nodes", "15", "--count", "1",
+              "--out-dir", str(out_dir)])
+        stg = next(out_dir.glob("*.stg"))
+        assert main(["info", str(stg)]) == 0
+
+
+class TestPower:
+    def test_prints_ladder(self, capsys):
+        assert main(["power"]) == 0
+        out = capsys.readouterr().out
+        assert "critical point" in out
+        assert "0.70" in out  # the critical Vdd
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["info", str(tmp_path / "nope.stg")])
+
+
+class TestBundled:
+    def test_lists_dataset(self, capsys):
+        assert main(["bundled"]) == 0
+        out = capsys.readouterr().out
+        assert "mpeg1" in out and "fpppp" in out
+
+    def test_bundled_name_as_graph_argument(self, capsys):
+        assert main(["info", "robot"]) == 0
+        assert "88" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_renders_trace(self, capsys):
+        assert main(["trace", "robot", "--width", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "P0:" in out and "# run" in out
+        assert "run" in out  # per-state energy table
+
+    def test_limit_heuristics_excluded(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "robot", "--heuristic", "LIMIT-SF"])
+
+
+class TestPareto:
+    def test_front_and_knee(self, capsys):
+        assert main(["pareto", "rand50_000",
+                     "--deadline-factors", "1.5", "2", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "knee point" in out
+        assert "1.5" in out

@@ -1,0 +1,139 @@
+"""Tests for the communication-aware extension."""
+
+import numpy as np
+import pytest
+
+from repro.comm.heuristics import comm_lamps
+from repro.comm.model import CommGraph, uniform_ccr
+from repro.comm.scheduler import comm_aware_schedule
+from repro.core import lamps_ps
+from repro.graphs.analysis import critical_path_length
+from repro.graphs.dag import TaskGraph
+from repro.graphs.generators import layered_dag, stg_random_graph
+from repro.sched.deadlines import task_deadlines
+from repro.sched.list_scheduler import list_schedule
+from repro.sched.validate import validate_schedule
+
+
+class TestCommGraph:
+    def test_costs_lookup(self, diamond):
+        cg = CommGraph(diamond, {("a", "b"): 5.0})
+        assert cg.comm_cycles("a", "b") == 5.0
+        assert cg.comm_cycles("a", "c") == 0.0
+
+    def test_non_edge_rejected(self, diamond):
+        with pytest.raises(KeyError):
+            CommGraph(diamond, {("a", "d"): 5.0})
+
+    def test_negative_cost_rejected(self, diamond):
+        with pytest.raises(ValueError):
+            CommGraph(diamond, {("a", "b"): -1.0})
+
+    def test_ccr(self, diamond):
+        cg = CommGraph(diamond, {("a", "b"): 7.0})
+        assert cg.ccr == pytest.approx(1.0)  # work is 7
+
+    def test_uniform_ccr_hits_target(self):
+        g = stg_random_graph(40, 3)
+        for target in (0.5, 1.0, 2.0):
+            cg = uniform_ccr(g, target, 1)
+            assert cg.ccr == pytest.approx(target, rel=1e-9)
+
+    def test_zero_ccr_means_no_costs(self, diamond):
+        cg = uniform_ccr(diamond, 0.0)
+        assert cg.total_comm == 0.0
+
+    def test_negative_ccr_rejected(self, diamond):
+        with pytest.raises(ValueError):
+            uniform_ccr(diamond, -1.0)
+
+
+class TestCommScheduler:
+    def test_zero_comm_matches_plain_scheduler_makespan(self):
+        g = stg_random_graph(40, 5)
+        d = task_deadlines(g, 8 * critical_path_length(g))
+        cg = uniform_ccr(g, 0.0)
+        a = comm_aware_schedule(cg, 4, d)
+        b = list_schedule(g, 4, d)
+        # Same model, possibly different tie-breaks; the makespans
+        # agree because both are work-conserving EDF.
+        assert a.makespan == pytest.approx(b.makespan, rel=0.05)
+
+    def test_schedules_valid(self):
+        g = stg_random_graph(40, 5)
+        d = task_deadlines(g, 8 * critical_path_length(g))
+        for ccr in (0.0, 1.0, 3.0):
+            cg = uniform_ccr(g, ccr, 2)
+            for n in (1, 3, 6):
+                validate_schedule(comm_aware_schedule(cg, n, d))
+
+    def test_cross_processor_delay_enforced(self):
+        # a -> b with cost 10; on one processor no delay, on two the
+        # consumer must wait for the transfer.
+        g = TaskGraph({"a": 5.0, "b": 5.0, "filler": 8.0},
+                      [("a", "b")])
+        cg = CommGraph(g, {("a", "b"): 10.0})
+        d = task_deadlines(g, 100.0)
+        s1 = comm_aware_schedule(cg, 1, d)
+        assert s1.placement("b").start - s1.placement("a").finish \
+            < 10.0  # same processor: no transfer wait
+        # Force a spread: b's only predecessor is a; with the filler
+        # occupying processor 0 right after a, b may move to another
+        # processor and pay the transfer.
+        s2 = comm_aware_schedule(cg, 2, d)
+        pa, pb = s2.placement("a"), s2.placement("b")
+        if pa.processor != pb.processor:
+            assert pb.start >= pa.finish + 10.0 - 1e-9
+
+    def test_locality_preferred_when_free(self):
+        # Two processors, expensive edge: the consumer should stay on
+        # the producer's processor rather than pay the transfer.
+        g = TaskGraph({"a": 5.0, "b": 5.0}, [("a", "b")])
+        cg = CommGraph(g, {("a", "b"): 100.0})
+        d = task_deadlines(g, 1000.0)
+        s = comm_aware_schedule(cg, 2, d)
+        assert s.placement("a").processor == s.placement("b").processor
+
+    def test_makespan_nondecreasing_in_ccr(self):
+        g = layered_dag(50, 5, 7, edge_prob=0.4)
+        d = task_deadlines(g, 8 * critical_path_length(g))
+        spans = []
+        for ccr in (0.0, 1.0, 4.0):
+            cg = uniform_ccr(g, ccr, 3)
+            spans.append(comm_aware_schedule(cg, 6, d).makespan)
+        assert spans == sorted(spans)
+
+
+class TestCommLamps:
+    def test_zero_ccr_close_to_plain_lamps(self):
+        g = stg_random_graph(50, 7).scaled(3.1e6)
+        deadline = 2 * critical_path_length(g)
+        plain = lamps_ps(g, deadline)
+        comm = comm_lamps(uniform_ccr(g, 0.0), deadline)
+        assert comm.total_energy == pytest.approx(plain.total_energy,
+                                                  rel=0.05)
+
+    def test_energy_rises_with_ccr(self):
+        g = layered_dag(50, 5, 7, edge_prob=0.4).scaled(3.1e6)
+        deadline = 2 * critical_path_length(g)
+        energies = [comm_lamps(uniform_ccr(g, c, 3), deadline)
+                    .total_energy for c in (0.0, 2.0, 4.0)]
+        assert energies[0] <= energies[-1] + 1e-12
+
+    def test_valid_and_feasible(self):
+        g = stg_random_graph(40, 9).scaled(3.1e6)
+        deadline = 2 * critical_path_length(g)
+        r = comm_lamps(uniform_ccr(g, 1.0, 1), deadline)
+        validate_schedule(r.schedule)
+        assert r.schedule.makespan / r.point.frequency <= \
+            r.deadline_seconds * (1 + 1e-9)
+
+    def test_infeasible_raises(self):
+        from repro.core.results import InfeasibleScheduleError
+        from repro.sched.deadlines import InfeasibleDeadlineError
+
+        g = stg_random_graph(30, 1).scaled(3.1e6)
+        with pytest.raises((InfeasibleScheduleError,
+                            InfeasibleDeadlineError)):
+            comm_lamps(uniform_ccr(g, 1.0),
+                       0.5 * critical_path_length(g))

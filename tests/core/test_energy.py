@@ -1,0 +1,131 @@
+"""Tests for schedule energy accounting."""
+
+import pytest
+
+from repro.core.energy import EnergyBreakdown, schedule_energy
+from repro.graphs.dag import TaskGraph
+from repro.power.shutdown import SleepModel
+from repro.sched.schedule import Placement, Schedule
+
+
+@pytest.fixture
+def single_task_schedule():
+    g = TaskGraph({"t": 1e9}, [], name="one")
+    return Schedule(g, 2, [Placement("t", 0, 0.0, 1e9)])
+
+
+class TestBreakdown:
+    def test_total_sums_components(self):
+        b = EnergyBreakdown(busy=1.0, idle=2.0, sleep=0.5, overhead=0.25,
+                            n_shutdowns=3)
+        assert b.total == 3.75
+
+    def test_addition(self):
+        a = EnergyBreakdown(busy=1.0, idle=2.0)
+        b = EnergyBreakdown(busy=0.5, idle=0.0, sleep=1.0, overhead=0.1,
+                            n_shutdowns=2)
+        c = a + b
+        assert c.busy == 1.5 and c.sleep == 1.0 and c.n_shutdowns == 2
+
+
+class TestBusyAccounting:
+    def test_busy_energy_is_cycles_times_epc(self, single_task_schedule,
+                                             ladder):
+        p = ladder.max_point
+        deadline = 1e9 / p.frequency  # exactly the makespan
+        e = schedule_energy(single_task_schedule, p, deadline)
+        assert e.busy == pytest.approx(1e9 * p.energy_per_cycle)
+        assert e.idle == pytest.approx(0.0, abs=1e-12)
+
+    def test_unused_processor_costs_nothing(self, single_task_schedule,
+                                            ladder):
+        p = ladder.max_point
+        # Window twice the execution time: proc 0 idles half the window,
+        # proc 1 (never employed) contributes nothing.
+        deadline = 2e9 / p.frequency
+        e = schedule_energy(single_task_schedule, p, deadline)
+        expect_idle = (1e9 / p.frequency) * p.idle_power
+        assert e.idle == pytest.approx(expect_idle)
+
+
+class TestIdleWindow:
+    def test_idle_grows_with_deadline(self, single_task_schedule, ladder):
+        p = ladder.max_point
+        t_exec = 1e9 / p.frequency
+        e1 = schedule_energy(single_task_schedule, p, 2 * t_exec)
+        e2 = schedule_energy(single_task_schedule, p, 4 * t_exec)
+        assert e2.idle == pytest.approx(3 * e1.idle)
+        assert e2.busy == pytest.approx(e1.busy)
+
+    def test_schedule_not_fitting_raises(self, single_task_schedule, ladder):
+        p = ladder[0]  # slowest point
+        tiny = 1e9 / ladder.fmax  # the full-speed duration
+        with pytest.raises(ValueError, match="exceeds"):
+            schedule_energy(single_task_schedule, p, tiny)
+
+
+class TestShutdownAccounting:
+    def test_long_gap_sleeps(self, single_task_schedule, ladder):
+        p = ladder.max_point
+        sleep = SleepModel()
+        t_exec = 1e9 / p.frequency
+        deadline = t_exec + 10.0  # 10 s trailing gap: way past breakeven
+        e = schedule_energy(single_task_schedule, p, deadline, sleep=sleep)
+        assert e.n_shutdowns == 1
+        assert e.overhead == pytest.approx(sleep.overhead_energy)
+        assert e.sleep == pytest.approx(10.0 * sleep.sleep_power)
+        assert e.idle == pytest.approx(0.0, abs=1e-12)
+
+    def test_short_gap_stays_on(self, single_task_schedule, ladder):
+        p = ladder.max_point
+        sleep = SleepModel()
+        t_exec = 1e9 / p.frequency
+        gap = 1e-6  # far below breakeven
+        e = schedule_energy(single_task_schedule, p, t_exec + gap,
+                            sleep=sleep)
+        assert e.n_shutdowns == 0
+        assert e.idle == pytest.approx(gap * p.idle_power, rel=1e-3)
+
+    def test_ps_never_worse_than_idle(self, single_task_schedule, ladder):
+        sleep = SleepModel()
+        for p in ladder:
+            deadline = 1e9 / p.frequency * 3
+            plain = schedule_energy(single_task_schedule, p, deadline)
+            ps = schedule_energy(single_task_schedule, p, deadline,
+                                 sleep=sleep)
+            assert ps.total <= plain.total + 1e-12
+
+    def test_interior_gap_decision(self, ladder):
+        # Two tasks with a forced dependence gap between them.
+        g = TaskGraph({"a": 1e9, "b": 1e9, "filler": 5e9},
+                      [("a", "filler"), ("filler", "b")], name="gap")
+        s = Schedule(g, 2, [
+            Placement("a", 0, 0.0, 1e9),
+            Placement("filler", 1, 1e9, 6e9),
+            Placement("b", 0, 6e9, 7e9),
+        ])
+        p = ladder.max_point
+        sleep = SleepModel()
+        deadline = 7e9 / p.frequency
+        e = schedule_energy(s, p, deadline, sleep=sleep)
+        # Proc 0's interior 5e9-cycle gap (~1.6 s) sleeps; proc 1's
+        # leading and trailing 1e9-cycle gaps (~0.32 s) also exceed the
+        # ~0.6 ms breakeven.
+        assert e.n_shutdowns == 3
+
+
+class TestMultiProcessor:
+    def test_two_processors_sum(self, diamond, ladder):
+        g = diamond.scaled(1e9)
+        s = Schedule(g, 2, [
+            Placement("a", 0, 0.0, 1e9),
+            Placement("b", 1, 1e9, 3e9),
+            Placement("c", 0, 1e9, 4e9),
+            Placement("d", 0, 4e9, 5e9),
+        ])
+        p = ladder.max_point
+        deadline = 5e9 / p.frequency
+        e = schedule_energy(s, p, deadline)
+        assert e.busy == pytest.approx(7e9 * p.energy_per_cycle)
+        # Proc 1 idles 3e9 cycles ([0,1e9] and [3e9,5e9]).
+        assert e.idle == pytest.approx(3e9 / p.frequency * p.idle_power)

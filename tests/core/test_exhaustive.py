@@ -1,0 +1,105 @@
+"""Tests for the exhaustive optimal baseline, and heuristic validation
+against it on tiny instances."""
+
+import pytest
+
+from repro.core.exhaustive import enumerate_schedules, \
+    optimal_single_frequency
+from repro.core import lamps, lamps_ps, limit_mf
+from repro.graphs.analysis import critical_path_length
+from repro.graphs.dag import TaskGraph
+from repro.graphs.generators import chain, independent_tasks, \
+    stg_random_graph
+from repro.sched.validate import validate_schedule
+
+
+class TestEnumeration:
+    def test_chain_has_single_schedule(self):
+        g = chain(4)
+        scheds = enumerate_schedules(g, 2)
+        # A chain admits exactly one non-delay schedule shape (delays
+        # cannot help and collapse to the same placements).
+        makespans = {s.makespan for s in scheds}
+        assert makespans == {4.0}
+
+    def test_two_independent_tasks_on_two_procs(self):
+        g = independent_tasks(2, weights=[1, 2])
+        scheds = enumerate_schedules(g, 2)
+        # Parallel (both at 0) and the two serial orders.
+        makespans = sorted(s.makespan for s in scheds)
+        assert 2.0 in makespans and 3.0 in makespans
+
+    def test_all_enumerated_schedules_valid(self, fig4_graph):
+        for s in enumerate_schedules(fig4_graph, 2):
+            validate_schedule(s)
+
+    def test_too_large_rejected(self):
+        g = independent_tasks(13)
+        with pytest.raises(ValueError, match="caps"):
+            enumerate_schedules(g, 2)
+
+    def test_limit_guard(self, fig4_graph):
+        with pytest.raises(ValueError, match="limit"):
+            enumerate_schedules(fig4_graph, 3, limit=5)
+
+
+class TestOptimalBaseline:
+    def test_fig4_lamps_ps_is_optimal(self, fig4_graph):
+        g = fig4_graph.scaled(3.1e6)
+        for factor in (1.5, 2.0):
+            deadline = factor * critical_path_length(g)
+            opt = optimal_single_frequency(g, deadline)
+            heur = lamps_ps(g, deadline)
+            assert heur.total_energy >= opt.total_energy - 1e-12
+            assert heur.total_energy == pytest.approx(opt.total_energy)
+
+    def test_heuristics_never_beat_optimal(self):
+        for seed in range(4):
+            g = stg_random_graph(6, seed).scaled(3.1e6)
+            deadline = 2 * critical_path_length(g)
+            opt = optimal_single_frequency(g, deadline,
+                                           max_processors=4)
+            for fn in (lamps, lamps_ps):
+                assert fn(g, deadline).total_energy >= \
+                    opt.total_energy - 1e-12
+
+    def test_lamps_ps_close_to_optimal_on_tiny_pool(self):
+        gaps = []
+        for seed in range(6):
+            g = stg_random_graph(6, seed).scaled(3.1e6)
+            deadline = 2 * critical_path_length(g)
+            opt = optimal_single_frequency(g, deadline,
+                                           max_processors=4)
+            heur = lamps_ps(g, deadline)
+            gaps.append(heur.total_energy / opt.total_energy - 1.0)
+        assert max(gaps) < 0.05  # within 5% of true optimal everywhere
+
+    def test_optimal_above_limit_mf(self):
+        g = stg_random_graph(6, 1).scaled(3.1e6)
+        deadline = 2 * critical_path_length(g)
+        opt = optimal_single_frequency(g, deadline)
+        assert opt.total_energy >= \
+            limit_mf(g, deadline).total_energy * (1 - 1e-9)
+
+    def test_infeasible_deadline_raises(self, fig4_graph):
+        from repro.core.results import InfeasibleScheduleError
+        from repro.sched.deadlines import InfeasibleDeadlineError
+
+        g = fig4_graph.scaled(3.1e6)
+        with pytest.raises((InfeasibleScheduleError,
+                            InfeasibleDeadlineError)):
+            optimal_single_frequency(
+                g, 0.5 * critical_path_length(g))
+
+    def test_no_ps_variant(self, fig4_graph):
+        g = fig4_graph.scaled(3.1e6)
+        deadline = 2 * critical_path_length(g)
+        opt_ps = optimal_single_frequency(g, deadline, shutdown=True)
+        opt_plain = optimal_single_frequency(g, deadline, shutdown=False)
+        assert opt_ps.total_energy <= opt_plain.total_energy + 1e-12
+
+    def test_max_processors_cap(self, fig4_graph):
+        g = fig4_graph.scaled(3.1e6)
+        deadline = 2 * critical_path_length(g)
+        opt = optimal_single_frequency(g, deadline, max_processors=1)
+        assert opt.n_processors == 1

@@ -1,0 +1,177 @@
+"""Tests for the heterogeneous multiprocessor extension."""
+
+import pytest
+
+from repro.core import lamps_ps
+from repro.graphs.analysis import critical_path_length
+from repro.graphs.generators import chain, stg_random_graph
+from repro.hetero import (
+    BIG_LITTLE,
+    CoreType,
+    HeteroSystem,
+    hetero_energy,
+    hetero_lamps,
+    hetero_schedule,
+    validate_hetero_schedule,
+)
+from repro.sched.deadlines import task_deadlines
+
+
+class TestCoreType:
+    def test_efficiency(self):
+        little = CoreType("little", cycle_multiplier=2.0,
+                          power_scale=0.3)
+        assert little.energy_efficiency == pytest.approx(0.6)
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            CoreType("x", cycle_multiplier=0.0)
+        with pytest.raises(ValueError):
+            CoreType("x", power_scale=-1.0)
+
+
+class TestHeteroSystem:
+    def test_layout(self):
+        assert BIG_LITTLE.n_processors == 8
+        assert BIG_LITTLE.core_type(0).name == "big"
+        assert BIG_LITTLE.core_type(7).name == "little"
+
+    def test_processors_of(self):
+        assert BIG_LITTLE.processors_of("little") == [4, 5, 6, 7]
+
+    def test_counts(self):
+        assert BIG_LITTLE.counts_by_name() == {"big": 4, "little": 4}
+
+    def test_subsystem(self):
+        sub = BIG_LITTLE.subsystem({"big": 1, "little": 2})
+        assert sub.counts_by_name() == {"big": 1, "little": 2}
+
+    def test_subsystem_overdraw_rejected(self):
+        with pytest.raises(ValueError, match="have"):
+            BIG_LITTLE.subsystem({"big": 9})
+
+    def test_subsystem_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            BIG_LITTLE.subsystem({"medium": 1})
+
+    def test_empty_system_rejected(self):
+        with pytest.raises(ValueError):
+            HeteroSystem([])
+        with pytest.raises(ValueError):
+            HeteroSystem([(CoreType("big"), 0)])
+
+
+class TestHeteroScheduler:
+    def test_slow_core_stretches_duration(self):
+        g = chain(1, weights=[100.0])
+        little_only = HeteroSystem([(CoreType("little", 2.0, 0.3), 1)])
+        s = hetero_schedule(g, little_only, task_deadlines(g, 1e6))
+        assert s.placement(0).finish == 200.0
+
+    def test_prefers_fast_core_when_free(self):
+        g = chain(1, weights=[100.0])
+        s = hetero_schedule(g, BIG_LITTLE, task_deadlines(g, 1e6))
+        assert BIG_LITTLE.core_type(s.placement(0).processor).name \
+            == "big"
+
+    def test_validates(self):
+        g = stg_random_graph(30, 2).scaled(3.1e6)
+        d = task_deadlines(g, 8 * critical_path_length(g))
+        s = hetero_schedule(g, BIG_LITTLE, d)
+        validate_hetero_schedule(s, BIG_LITTLE)
+
+    def test_homogeneous_system_matches_plain_scheduler(self):
+        from repro.sched.list_scheduler import list_schedule
+
+        g = stg_random_graph(30, 2)
+        d = task_deadlines(g, 8 * critical_path_length(g))
+        homo = HeteroSystem([(CoreType("big"), 4)])
+        a = hetero_schedule(g, homo, d)
+        b = list_schedule(g, 4, d)
+        assert a.makespan == pytest.approx(b.makespan)
+
+    def test_validator_catches_wrong_duration(self):
+        g = chain(1, weights=[100.0])
+        little_only = HeteroSystem([(CoreType("little", 2.0, 0.3), 1)])
+        s = hetero_schedule(g, little_only, task_deadlines(g, 1e6))
+        big_only = HeteroSystem([(CoreType("big"), 1)])
+        with pytest.raises(AssertionError, match="expected"):
+            validate_hetero_schedule(s, big_only)
+
+
+class TestHeteroEnergy:
+    def test_power_scale_applies(self, platform):
+        g = chain(1, weights=[1e9])
+        for scale in (0.3, 1.0):
+            sys1 = HeteroSystem([(CoreType("c", 1.0, scale), 1)])
+            s = hetero_schedule(g, sys1, task_deadlines(g, 1e10))
+            p = platform.ladder.max_point
+            e = hetero_energy(s, sys1, p, 1e9 / p.frequency,
+                              use_sleep=False)
+            assert e.busy == pytest.approx(
+                1e9 * p.energy_per_cycle * scale)
+
+    def test_reference_type_matches_homogeneous_accounting(self,
+                                                           platform):
+        from repro.core.energy import schedule_energy
+
+        g = stg_random_graph(30, 5).scaled(3.1e6)
+        d = task_deadlines(g, 2 * critical_path_length(g))
+        homo = HeteroSystem([(CoreType("ref"), 4)])
+        s = hetero_schedule(g, homo, d)
+        p = platform.ladder.critical_point()
+        f_req = s.required_reference_frequency(d) * platform.fmax
+        p = platform.ladder.slowest_at_least(f_req)
+        seconds = platform.seconds(2 * critical_path_length(g))
+        he = hetero_energy(s, homo, p, seconds, use_sleep=True)
+        ref = schedule_energy(s, p, seconds, sleep=platform.sleep)
+        assert he.total == pytest.approx(ref.total, rel=1e-12)
+
+
+class TestHeteroLamps:
+    @pytest.fixture(scope="class")
+    def instance(self):
+        g = stg_random_graph(40, 6).scaled(3.1e6)
+        return g
+
+    def test_loose_deadline_prefers_little_cores(self, instance):
+        g = instance
+        r = hetero_lamps(g, 8 * critical_path_length(g), BIG_LITTLE)
+        assert r.counts["big"] == 0 and r.counts["little"] >= 1
+
+    def test_hetero_beats_big_only_when_time_allows(self, instance):
+        g = instance
+        deadline = 4 * critical_path_length(g)
+        hetero = hetero_lamps(g, deadline, BIG_LITTLE)
+        big_only = lamps_ps(g, deadline)
+        assert hetero.total_energy < big_only.total_energy
+
+    def test_tight_deadline_needs_big_cores(self, instance):
+        g = instance
+        r = hetero_lamps(g, 1.05 * critical_path_length(g), BIG_LITTLE)
+        assert r.counts["big"] >= 1
+
+    def test_schedules_validate(self, instance):
+        g = instance
+        for k in (1.5, 4.0):
+            r = hetero_lamps(g, k * critical_path_length(g), BIG_LITTLE)
+            validate_hetero_schedule(r.schedule, r.system)
+            makespan_s = r.schedule.makespan / r.point.frequency
+            assert makespan_s <= k * critical_path_length(g) \
+                / 3.086e9 * (1 + 1e-6)
+
+    def test_infeasible_raises(self, instance):
+        from repro.core.results import InfeasibleScheduleError
+        from repro.sched.deadlines import InfeasibleDeadlineError
+
+        g = instance
+        with pytest.raises((InfeasibleScheduleError,
+                            InfeasibleDeadlineError)):
+            hetero_lamps(g, 0.5 * critical_path_length(g), BIG_LITTLE)
+
+    def test_no_ps_variant_not_better(self, instance):
+        g = instance
+        deadline = 2 * critical_path_length(g)
+        ps = hetero_lamps(g, deadline, BIG_LITTLE, shutdown=True)
+        plain = hetero_lamps(g, deadline, BIG_LITTLE, shutdown=False)
+        assert ps.total_energy <= plain.total_energy + 1e-12

@@ -1,0 +1,135 @@
+"""Tests for LAMPS and LAMPS+PS."""
+
+import math
+
+import pytest
+
+from repro.core.lamps import energy_vs_processors, lamps, lamps_ps, \
+    lamps_search
+from repro.core.results import Heuristic, InfeasibleScheduleError
+from repro.core.sns import sns, sns_ps
+from repro.graphs.analysis import critical_path_length, total_work
+from repro.graphs.generators import independent_tasks, stg_random_graph
+from repro.sched.validate import validate_schedule
+
+
+@pytest.fixture
+def coarse_fig4(fig4_graph):
+    return fig4_graph.scaled(3.1e6)
+
+
+class TestLamps:
+    def test_heuristic_tag(self, coarse_fig4):
+        r = lamps(coarse_fig4, 2 * critical_path_length(coarse_fig4))
+        assert r.heuristic is Heuristic.LAMPS
+
+    def test_valid_schedule_meets_deadline(self, coarse_fig4):
+        r = lamps(coarse_fig4, 2 * critical_path_length(coarse_fig4))
+        validate_schedule(r.schedule)
+        assert r.schedule.makespan / r.point.frequency <= \
+            r.deadline_seconds * (1 + 1e-9)
+
+    def test_never_worse_than_sns(self):
+        for seed in range(5):
+            g = stg_random_graph(40, seed).scaled(3.1e6)
+            for k in (1.5, 4):
+                deadline = k * critical_path_length(g)
+                assert lamps(g, deadline).total_energy <= \
+                    sns(g, deadline).total_energy + 1e-12
+
+    def test_uses_fewer_processors_on_loose_deadline(self):
+        g = stg_random_graph(50, 7).scaled(3.1e6)
+        tight = lamps(g, 1.5 * critical_path_length(g))
+        loose = lamps(g, 8 * critical_path_length(g))
+        assert loose.n_processors <= tight.n_processors
+
+    def test_example_graph_drops_to_two_processors(self, coarse_fig4):
+        # Fig. 7a: LAMPS schedules the example on 2 processors.
+        r = lamps(coarse_fig4, 1.5 * critical_path_length(coarse_fig4))
+        assert r.n_processors == 2
+
+    def test_work_lower_bound_respected(self):
+        # The chosen processor count can never beat ceil(work / D).
+        g = independent_tasks(8, weights=[10.0] * 8).scaled(3.1e6)
+        deadline = 2 * critical_path_length(g)  # 20 units for 80 work
+        r = lamps(g, deadline)
+        assert r.n_processors >= math.ceil(
+            total_work(g) / deadline)
+
+    def test_infeasible_raises(self, coarse_fig4):
+        from repro.sched.deadlines import InfeasibleDeadlineError
+
+        with pytest.raises((InfeasibleScheduleError,
+                            InfeasibleDeadlineError)):
+            lamps(coarse_fig4, 0.9 * critical_path_length(coarse_fig4))
+
+    def test_bad_phase2_mode_rejected(self, coarse_fig4):
+        with pytest.raises(ValueError, match="phase2"):
+            lamps_search(coarse_fig4, 1e9, phase2="quadratic")
+
+
+class TestLampsPs:
+    def test_heuristic_tag(self, coarse_fig4):
+        r = lamps_ps(coarse_fig4, 2 * critical_path_length(coarse_fig4))
+        assert r.heuristic is Heuristic.LAMPS_PS
+
+    def test_never_worse_than_lamps(self):
+        for seed in range(5):
+            g = stg_random_graph(40, seed).scaled(3.1e6)
+            deadline = 2 * critical_path_length(g)
+            assert lamps_ps(g, deadline).total_energy <= \
+                lamps(g, deadline).total_energy + 1e-12
+
+    def test_never_worse_than_sns_ps(self):
+        # LAMPS+PS's sweep includes the fully spread S&S schedule.
+        for seed in range(5):
+            g = stg_random_graph(40, seed).scaled(3.1e6)
+            deadline = 2 * critical_path_length(g)
+            assert lamps_ps(g, deadline).total_energy <= \
+                sns_ps(g, deadline).total_energy + 1e-12
+
+    def test_fine_grain_matches_lamps(self, fig4_graph):
+        # Gaps below breakeven: PS cannot help, results coincide.
+        g = fig4_graph.scaled(3.1e4)
+        deadline = 2 * critical_path_length(g)
+        assert lamps_ps(g, deadline).total_energy == pytest.approx(
+            lamps(g, deadline).total_energy)
+
+
+class TestEnergyVsProcessors:
+    def test_curve_length_and_feasibility(self, coarse_fig4):
+        deadline = 2 * critical_path_length(coarse_fig4)
+        curve = energy_vs_processors(coarse_fig4, deadline,
+                                     max_processors=5)
+        assert [n for n, _ in curve] == [1, 2, 3, 4, 5]
+        # 1 processor: work 18 vs deadline 20 units — feasible here.
+        assert all(e is not None for _, e in curve)
+
+    def test_infeasible_counts_are_none(self):
+        g = independent_tasks(4, weights=[10.0] * 4).scaled(3.1e6)
+        deadline = 1.0 * critical_path_length(g)  # needs all 4 procs
+        curve = energy_vs_processors(g, deadline, max_processors=4)
+        assert curve[0][1] is None and curve[-1][1] is not None
+
+    def test_auto_stop_at_makespan_plateau(self, coarse_fig4):
+        deadline = 2 * critical_path_length(coarse_fig4)
+        curve = energy_vs_processors(coarse_fig4, deadline)
+        # The example graph cannot use more than 3 processors.
+        assert len(curve) <= 4
+
+    def test_min_matches_lamps_choice(self, coarse_fig4):
+        deadline = 2 * critical_path_length(coarse_fig4)
+        curve = energy_vs_processors(coarse_fig4, deadline)
+        best = min((e.total for _, e in curve if e is not None))
+        assert lamps(coarse_fig4, deadline).total_energy == \
+            pytest.approx(best)
+
+
+class TestPhase2Modes:
+    def test_greedy_never_beats_linear(self):
+        for seed in range(4):
+            g = stg_random_graph(50, seed).scaled(3.1e6)
+            deadline = 2 * critical_path_length(g)
+            lin = lamps_search(g, deadline, phase2="linear")
+            greedy = lamps_search(g, deadline, phase2="greedy")
+            assert lin.total_energy <= greedy.total_energy + 1e-12

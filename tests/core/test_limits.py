@@ -1,0 +1,84 @@
+"""Tests for the LIMIT-SF and LIMIT-MF lower bounds."""
+
+import pytest
+
+from repro.core.limits import limit_mf, limit_sf
+from repro.core.results import Heuristic, InfeasibleScheduleError
+from repro.core.suite import paper_suite
+from repro.graphs.analysis import critical_path_length, total_work
+from repro.graphs.generators import stg_random_graph
+
+
+@pytest.fixture
+def coarse(fig4_graph):
+    return fig4_graph.scaled(3.1e6)
+
+
+class TestLimitSf:
+    def test_energy_is_work_times_epc(self, coarse, platform):
+        deadline = 2 * critical_path_length(coarse)
+        r = limit_sf(coarse, deadline)
+        assert r.total_energy == pytest.approx(
+            total_work(coarse) * r.point.energy_per_cycle)
+        assert r.energy.idle == 0.0
+
+    def test_loose_deadline_uses_critical_point(self, coarse, platform):
+        r = limit_sf(coarse, 8 * critical_path_length(coarse))
+        assert r.point is platform.ladder.critical_point()
+
+    def test_tight_deadline_uses_faster_point(self, coarse, platform):
+        r = limit_sf(coarse, 1.05 * critical_path_length(coarse))
+        assert r.point.frequency > \
+            platform.ladder.critical_point().frequency
+
+    def test_deadline_equal_cpl_needs_full_speed(self, coarse, platform):
+        r = limit_sf(coarse, critical_path_length(coarse))
+        assert r.point is platform.ladder.max_point
+
+    def test_below_cpl_raises(self, coarse):
+        with pytest.raises(InfeasibleScheduleError):
+            limit_sf(coarse, 0.9 * critical_path_length(coarse))
+
+    def test_no_processor_count(self, coarse):
+        r = limit_sf(coarse, 2 * critical_path_length(coarse))
+        assert r.n_processors is None and r.schedule is None
+
+    def test_tag(self, coarse):
+        assert limit_sf(coarse, 2 * critical_path_length(coarse)) \
+            .heuristic is Heuristic.LIMIT_SF
+
+
+class TestLimitMf:
+    def test_always_critical_point(self, coarse, platform):
+        for k in (1.0, 2.0, 8.0):
+            r = limit_mf(coarse, k * critical_path_length(coarse))
+            assert r.point is platform.ladder.critical_point()
+
+    def test_meets_deadline_flag(self, coarse, platform):
+        tight = limit_mf(coarse, 1.0 * critical_path_length(coarse))
+        loose = limit_mf(coarse, 8 * critical_path_length(coarse))
+        # At the critical speed (0.41 fmax) a 1x deadline is missed.
+        assert not tight.meets_deadline
+        assert loose.meets_deadline
+
+    def test_never_above_limit_sf(self, coarse):
+        for k in (1.2, 2.0, 4.0):
+            deadline = k * critical_path_length(coarse)
+            assert limit_mf(coarse, deadline).total_energy <= \
+                limit_sf(coarse, deadline).total_energy + 1e-15
+
+
+class TestBoundsDominateHeuristics:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("factor", [1.5, 4.0])
+    def test_ordering_chain(self, seed, factor):
+        g = stg_random_graph(40, seed).scaled(3.1e6)
+        res = paper_suite(g, factor * critical_path_length(g))
+        e = {h: r.total_energy for h, r in res.items()}
+        tol = 1e-9
+        assert e[Heuristic.LIMIT_MF] <= e[Heuristic.LIMIT_SF] + tol
+        assert e[Heuristic.LIMIT_SF] <= e[Heuristic.LAMPS_PS] * (1 + tol)
+        assert e[Heuristic.LAMPS_PS] <= e[Heuristic.LAMPS] + tol
+        assert e[Heuristic.LAMPS_PS] <= e[Heuristic.SNS_PS] + tol
+        assert e[Heuristic.LAMPS] <= e[Heuristic.SNS] + tol
+        assert e[Heuristic.SNS_PS] <= e[Heuristic.SNS] + tol

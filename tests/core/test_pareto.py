@@ -1,0 +1,66 @@
+"""Tests for the energy-deadline Pareto exploration."""
+
+import pytest
+
+from repro.core.pareto import FrontPoint, energy_deadline_front, \
+    knee_point
+from repro.graphs import load_bundled
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_bundled("rand50_000").scaled(3.1e6)
+
+
+@pytest.fixture(scope="module")
+def front(graph):
+    return energy_deadline_front(graph,
+                                 factors=(1.0, 1.5, 2.0, 4.0, 8.0))
+
+
+class TestFront:
+    def test_ascending_deadlines(self, front):
+        factors = [p.deadline_factor for p in front]
+        assert factors == sorted(factors)
+
+    def test_pruned_front_strictly_improves(self, front):
+        energies = [p.energy for p in front]
+        assert all(b < a for a, b in zip(energies, energies[1:]))
+
+    def test_unpruned_keeps_all_factors(self, graph):
+        pts = energy_deadline_front(graph, factors=(1.0, 2.0, 4.0),
+                                    prune_dominated=False)
+        assert [p.deadline_factor for p in pts] == [1.0, 2.0, 4.0]
+
+    def test_tightest_point_runs_fastest(self, front):
+        assert front[0].frequency == max(p.frequency for p in front)
+
+    def test_results_carry_full_schedule(self, front):
+        from repro.sched.validate import validate_schedule
+
+        for p in front:
+            validate_schedule(p.result.schedule)
+
+    def test_heuristic_choice_matters(self, graph):
+        ps = energy_deadline_front(graph, factors=(2.0,),
+                                   heuristic="LAMPS+PS")
+        plain = energy_deadline_front(graph, factors=(2.0,),
+                                      heuristic="S&S")
+        assert ps[0].energy <= plain[0].energy + 1e-12
+
+
+class TestKnee:
+    def test_knee_is_on_front(self, front):
+        assert knee_point(front) in front
+
+    def test_zero_threshold_gives_minimum(self, front):
+        k = knee_point(front, threshold=0.0)
+        assert k.energy == min(p.energy for p in front)
+
+    def test_loose_threshold_gives_early_point(self, front):
+        k = knee_point(front, threshold=0.9)
+        assert k is front[0]
+
+    def test_empty_front_rejected(self):
+        with pytest.raises(ValueError):
+            knee_point([])

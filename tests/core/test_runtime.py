@@ -1,0 +1,143 @@
+"""Tests for the runtime simulator and slack-reclamation policies."""
+
+import numpy as np
+import pytest
+
+from repro.core import default_platform, lamps_ps, sns
+from repro.graphs.analysis import critical_path_length
+from repro.graphs.generators import stg_random_graph
+from repro.graphs.transforms import weight_jitter
+from repro.runtime import (
+    fixed_frequency_policy,
+    greedy_reclaim_policy,
+    leakage_aware_reclaim_policy,
+    simulate,
+)
+from repro.sched.deadlines import task_deadlines
+
+
+@pytest.fixture(scope="module")
+def plan():
+    g = stg_random_graph(50, 4).scaled(3.1e6)
+    deadline = 2 * critical_path_length(g)
+    result = lamps_ps(g, deadline)
+    d = task_deadlines(g, deadline)
+    return g, result, d
+
+
+@pytest.fixture(scope="module")
+def actual(plan):
+    g, _, _ = plan
+    jittered = weight_jitter(g, 0.5, 3)
+    return {v: jittered.weight(v) for v in g.node_ids}
+
+
+class TestWcetReplay:
+    def test_matches_planned_energy_exactly(self, plan):
+        g, result, d = plan
+        sim = simulate(result.schedule, result.point, d)
+        assert sim.total_energy == pytest.approx(result.total_energy,
+                                                 rel=1e-12)
+
+    def test_no_deadline_misses(self, plan):
+        g, result, d = plan
+        sim = simulate(result.schedule, result.point, d)
+        assert sim.deadline_misses == ()
+
+    def test_finish_times_match_plan(self, plan):
+        g, result, d = plan
+        sim = simulate(result.schedule, result.point, d)
+        expect = result.schedule.finish_times / result.point.frequency
+        assert np.allclose(sim.finish_seconds, expect)
+
+
+class TestActualTimes:
+    def test_early_completion_saves_energy(self, plan, actual):
+        g, result, d = plan
+        wcet = simulate(result.schedule, result.point, d)
+        act = simulate(result.schedule, result.point, d,
+                       actual_cycles=actual)
+        assert act.total_energy < wcet.total_energy
+        assert act.makespan_seconds <= wcet.makespan_seconds + 1e-12
+
+    def test_actual_above_wcet_rejected(self, plan):
+        g, result, d = plan
+        v = g.node_ids[0]
+        with pytest.raises(ValueError, match="exceed"):
+            simulate(result.schedule, result.point, d,
+                     actual_cycles={v: g.weight(v) * 2})
+
+    def test_partial_actual_map(self, plan):
+        g, result, d = plan
+        v = g.node_ids[0]
+        sim = simulate(result.schedule, result.point, d,
+                       actual_cycles={v: g.weight(v) / 2})
+        assert sim.deadline_misses == ()
+
+
+class TestSlackReclamation:
+    def test_reclaim_never_misses_deadlines(self, plan, actual):
+        g, result, d = plan
+        plat = default_platform()
+        for mk in (greedy_reclaim_policy, leakage_aware_reclaim_policy):
+            sim = simulate(result.schedule, result.point, d,
+                           actual_cycles=actual,
+                           policy=mk(result.point, plat.ladder))
+            assert sim.deadline_misses == ()
+
+    def test_reclaim_saves_vs_no_reclaim(self, plan, actual):
+        g, result, d = plan
+        plat = default_platform()
+        base = simulate(result.schedule, result.point, d,
+                        actual_cycles=actual)
+        rec = simulate(result.schedule, result.point, d,
+                       actual_cycles=actual,
+                       policy=greedy_reclaim_policy(result.point,
+                                                    plat.ladder))
+        assert rec.total_energy <= base.total_energy + 1e-12
+
+    def test_leakage_aware_beats_greedy_here(self, plan, actual):
+        # With leakage, reclaiming below the critical speed wastes
+        # energy; the floored policy must not do worse.
+        g, result, d = plan
+        plat = default_platform()
+        greedy = simulate(result.schedule, result.point, d,
+                          actual_cycles=actual,
+                          policy=greedy_reclaim_policy(result.point,
+                                                       plat.ladder))
+        aware = simulate(result.schedule, result.point, d,
+                         actual_cycles=actual,
+                         policy=leakage_aware_reclaim_policy(
+                             result.point, plat.ladder))
+        assert aware.total_energy <= greedy.total_energy + 1e-12
+
+    def test_leakage_floor_respected(self, plan, actual):
+        g, result, d = plan
+        plat = default_platform()
+        crit = plat.ladder.critical_point().frequency
+        sim = simulate(result.schedule, result.point, d,
+                       actual_cycles=actual,
+                       policy=leakage_aware_reclaim_policy(
+                           result.point, plat.ladder))
+        for p in sim.task_points.values():
+            assert p.frequency >= crit * (1 - 1e-9)
+
+    def test_no_slack_means_planned_point(self, plan):
+        # With worst-case times there is no dynamic slack to reclaim:
+        # an S&S plan is already maximally stretched.
+        g, result, d = plan
+        plat = default_platform()
+        base = sns(g, 2 * critical_path_length(g))
+        sim = simulate(base.schedule, base.point, d,
+                       policy=greedy_reclaim_policy(base.point,
+                                                    plat.ladder))
+        for p in sim.task_points.values():
+            assert p.frequency <= base.point.frequency * (1 + 1e-9)
+
+
+class TestFixedPolicy:
+    def test_fixed_policy_returns_given_point(self, plan):
+        g, result, d = plan
+        pol = fixed_frequency_policy(result.point)
+        sim = simulate(result.schedule, result.point, d, policy=pol)
+        assert all(p is result.point for p in sim.task_points.values())

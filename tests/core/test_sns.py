@@ -1,0 +1,129 @@
+"""Tests for Schedule & Stretch (S&S) and S&S+PS."""
+
+import pytest
+
+from repro.core.results import Heuristic, InfeasibleScheduleError
+from repro.core.sns import schedule_and_stretch, sns, sns_ps
+from repro.graphs.analysis import critical_path_length
+from repro.graphs.generators import stg_random_graph
+from repro.sched.validate import validate_schedule
+
+
+@pytest.fixture
+def coarse_fig4(fig4_graph):
+    return fig4_graph.scaled(3.1e6)
+
+
+class TestSns:
+    def test_heuristic_tag(self, coarse_fig4):
+        r = sns(coarse_fig4, 2 * critical_path_length(coarse_fig4))
+        assert r.heuristic is Heuristic.SNS
+
+    def test_schedule_is_valid_and_meets_deadline(self, coarse_fig4,
+                                                  platform):
+        deadline = 2 * critical_path_length(coarse_fig4)
+        r = sns(coarse_fig4, deadline)
+        validate_schedule(r.schedule)
+        makespan_s = r.schedule.makespan / r.point.frequency
+        assert makespan_s <= r.deadline_seconds * (1 + 1e-9)
+
+    def test_stretches_to_slowest_feasible(self, coarse_fig4, platform):
+        deadline = 2 * critical_path_length(coarse_fig4)
+        r = sns(coarse_fig4, deadline)
+        slower = [p for p in platform.ladder
+                  if p.frequency < r.point.frequency]
+        for p in slower:
+            assert r.schedule.makespan / p.frequency > \
+                r.deadline_seconds * (1 - 1e-9)
+
+    def test_loose_deadlines_backfire_without_ps(self, coarse_fig4):
+        # The leakage effect the paper motivates: S&S keeps processors
+        # on until the deadline, so a very loose deadline *costs* energy
+        # (idle leakage) — while S&S+PS keeps improving or holds.
+        cpl = critical_path_length(coarse_fig4)
+        e_sns = [sns(coarse_fig4, k * cpl).total_energy for k in (1.5, 8)]
+        assert e_sns[1] > e_sns[0]
+        e_ps = [sns_ps(coarse_fig4, k * cpl).total_energy
+                for k in (1.5, 2, 4, 8)]
+        # "Holds" up to the residual sleep power over the longer window
+        # (50 µW x a few ms — orders below the busy energy).
+        assert all(b <= a * (1 + 1e-3) for a, b in zip(e_ps, e_ps[1:]))
+        assert e_ps[-1] < e_ps[0]
+
+    def test_employs_makespan_minimizing_processors(self, coarse_fig4):
+        r = sns(coarse_fig4, 1.5 * critical_path_length(coarse_fig4))
+        # Fig. 4's example needs 3 processors for the minimum makespan.
+        assert r.n_processors == 3
+
+    def test_tight_deadline_runs_fast(self, coarse_fig4, platform):
+        cpl = critical_path_length(coarse_fig4)
+        r = sns(coarse_fig4, 1.0 * cpl)
+        assert r.point is platform.ladder.max_point
+
+    def test_infeasible_deadline_raises(self, coarse_fig4):
+        from repro.sched.deadlines import InfeasibleDeadlineError
+
+        cpl = critical_path_length(coarse_fig4)
+        with pytest.raises((InfeasibleScheduleError,
+                            InfeasibleDeadlineError)):
+            sns(coarse_fig4, 0.5 * cpl)
+
+    def test_max_processors_cap(self, coarse_fig4):
+        deadline = 2 * critical_path_length(coarse_fig4)
+        r = schedule_and_stretch(coarse_fig4, deadline, max_processors=1)
+        assert r.n_processors == 1
+
+    def test_zero_processors_rejected(self, coarse_fig4):
+        with pytest.raises(ValueError):
+            schedule_and_stretch(coarse_fig4, 1e9, max_processors=0)
+
+
+class TestSnsPs:
+    def test_heuristic_tag(self, coarse_fig4):
+        r = sns_ps(coarse_fig4, 2 * critical_path_length(coarse_fig4))
+        assert r.heuristic is Heuristic.SNS_PS
+
+    def test_never_worse_than_sns(self, coarse_fig4):
+        for k in (1.5, 2, 4, 8):
+            deadline = k * critical_path_length(coarse_fig4)
+            assert sns_ps(coarse_fig4, deadline).total_energy <= \
+                sns(coarse_fig4, deadline).total_energy + 1e-12
+
+    def test_never_worse_than_sns_random_graphs(self):
+        for seed in range(4):
+            g = stg_random_graph(40, seed).scaled(3.1e6)
+            deadline = 2 * critical_path_length(g)
+            assert sns_ps(g, deadline).total_energy <= \
+                sns(g, deadline).total_energy + 1e-12
+
+    def test_may_run_faster_than_max_stretch(self):
+        # With PS the best frequency is at or above the S&S one (scaling
+        # below the critical speed never helps when gaps can sleep).
+        g = stg_random_graph(40, 3).scaled(3.1e6)
+        deadline = 8 * critical_path_length(g)
+        fast = sns_ps(g, deadline)
+        slow = sns(g, deadline)
+        assert fast.point.frequency >= slow.point.frequency - 1e-9
+
+    def test_fine_grain_rarely_shuts_down(self, fig4_graph):
+        # 10 µs tasks leave gaps far below the ~ms breakeven.
+        g = fig4_graph.scaled(3.1e4)
+        r = sns_ps(g, 2 * critical_path_length(g))
+        assert r.energy.n_shutdowns == 0
+
+    def test_coarse_grain_uses_shutdown_on_loose_deadline(self):
+        g = stg_random_graph(40, 3).scaled(3.1e6)
+        r = sns_ps(g, 8 * critical_path_length(g))
+        assert r.energy.n_shutdowns > 0
+
+
+class TestResultFields:
+    def test_deadline_fields_consistent(self, coarse_fig4, platform):
+        deadline = 2 * critical_path_length(coarse_fig4)
+        r = sns(coarse_fig4, deadline)
+        assert r.deadline_cycles == deadline
+        assert r.deadline_seconds == pytest.approx(deadline / platform.fmax)
+
+    def test_total_energy_matches_breakdown(self, coarse_fig4):
+        r = sns_ps(coarse_fig4, 4 * critical_path_length(coarse_fig4))
+        assert r.total_energy == pytest.approx(r.energy.total)

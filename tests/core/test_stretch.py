@@ -1,0 +1,55 @@
+"""Tests for schedule stretching (frequency selection)."""
+
+import numpy as np
+import pytest
+
+from repro.core.stretch import feasible_points, required_frequency, \
+    stretch_point
+from repro.sched.deadlines import task_deadlines
+from repro.sched.list_scheduler import list_schedule
+
+
+class TestRequiredFrequency:
+    def test_exactly_meeting_deadline(self, diamond, platform):
+        d = task_deadlines(diamond, 10.0)
+        s = list_schedule(diamond, 2, d)
+        # Makespan 5 in reference cycles, deadline 10: half speed.
+        f = required_frequency(s, d, platform.fmax)
+        assert f == pytest.approx(0.5 * platform.fmax)
+
+    def test_scales_inverse_with_deadline(self, diamond, platform):
+        d1 = task_deadlines(diamond, 10.0)
+        d2 = task_deadlines(diamond, 20.0)
+        s = list_schedule(diamond, 2, d1)
+        assert required_frequency(s, d2, platform.fmax) == pytest.approx(
+            0.5 * required_frequency(s, d1, platform.fmax))
+
+
+class TestStretchPoint:
+    def test_picks_slowest_feasible(self, ladder):
+        f_req = 0.5 * (ladder[4].frequency + ladder[5].frequency)
+        assert stretch_point(ladder, f_req) is ladder[5]
+
+    def test_exact_ladder_frequency_not_rounded_up(self, ladder):
+        # A requirement equal (within fp noise) to a ladder point must
+        # select that point, not the next one.
+        p = ladder[6]
+        assert stretch_point(ladder, p.frequency * (1 + 1e-12)) is p
+
+    def test_infeasible_raises(self, ladder):
+        with pytest.raises(ValueError):
+            stretch_point(ladder, ladder.fmax * 1.1)
+
+
+class TestFeasiblePoints:
+    def test_ascending_and_feasible(self, ladder):
+        pts = feasible_points(ladder, ladder[3].frequency)
+        assert pts[0] is ladder[3]
+        freqs = [p.frequency for p in pts]
+        assert freqs == sorted(freqs)
+
+    def test_zero_requirement_gives_whole_ladder(self, ladder):
+        assert len(feasible_points(ladder, 0.0)) == len(ladder)
+
+    def test_empty_when_impossible(self, ladder):
+        assert feasible_points(ladder, ladder.fmax * 2) == ()

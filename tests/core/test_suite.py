@@ -1,0 +1,39 @@
+"""Tests that the fast paper_suite agrees with the individual heuristics."""
+
+import pytest
+
+from repro.core.api import schedule
+from repro.core.results import Heuristic
+from repro.core.suite import paper_suite
+from repro.graphs.analysis import critical_path_length
+from repro.graphs.generators import stg_random_graph
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("factor", [1.5, 4.0])
+    def test_matches_individual_calls(self, seed, factor):
+        g = stg_random_graph(40, seed).scaled(3.1e6)
+        deadline = factor * critical_path_length(g)
+        fast = paper_suite(g, deadline)
+        for h in Heuristic:
+            slow = schedule(g, deadline, heuristic=h)
+            assert fast[h].total_energy == pytest.approx(
+                slow.total_energy, rel=1e-12), h
+            assert fast[h].n_processors == slow.n_processors, h
+
+    def test_presentation_order(self, fig4_graph):
+        g = fig4_graph.scaled(3.1e6)
+        res = paper_suite(g, 2 * critical_path_length(g))
+        assert list(res) == [Heuristic.SNS, Heuristic.LAMPS,
+                             Heuristic.SNS_PS, Heuristic.LAMPS_PS,
+                             Heuristic.LIMIT_SF, Heuristic.LIMIT_MF]
+
+    def test_infeasible_raises(self, fig4_graph):
+        from repro.core.results import InfeasibleScheduleError
+        from repro.sched.deadlines import InfeasibleDeadlineError
+
+        g = fig4_graph.scaled(3.1e6)
+        with pytest.raises((InfeasibleScheduleError,
+                            InfeasibleDeadlineError)):
+            paper_suite(g, 0.5 * critical_path_length(g))

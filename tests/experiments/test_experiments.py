@@ -1,0 +1,241 @@
+"""Tests for the experiment harness (each paper artifact regenerates)."""
+
+import pytest
+
+from repro.experiments import (
+    fig02_power_curves,
+    fig03_breakeven,
+    fig04_07_example,
+    fig06_energy_vs_n,
+    fig10_11_relative_energy,
+    fig12_13_parallelism,
+    headline,
+    table2_benchmarks,
+    table3_mpeg,
+)
+from repro.experiments.registry import COARSE, FINE, benchmark_suite
+from repro.experiments.reporting import Report
+
+
+class TestFig2:
+    def test_report_structure(self):
+        rep = fig02_power_curves.run(samples=11)
+        assert isinstance(rep, Report)
+        assert rep.experiment == "fig2"
+        assert "critical" in rep.text
+
+    def test_paper_anchors(self):
+        d = fig02_power_curves.run(samples=11).data
+        assert d["fmax_hz"] == pytest.approx(3.1e9, rel=0.01)
+        assert d["f_crit_continuous_norm"] == pytest.approx(0.38, abs=0.01)
+        assert d["f_crit_discrete_norm"] == pytest.approx(0.41, abs=0.01)
+        assert d["f_crit_discrete_vdd"] == pytest.approx(0.7)
+
+
+class TestFig3:
+    def test_breakeven_anchor(self):
+        d = fig03_breakeven.run(samples=8).data
+        assert d["breakeven_half_speed_cycles"] == pytest.approx(
+            1.7e6, rel=0.02)
+
+    def test_curve_lengths_match(self):
+        d = fig03_breakeven.run(samples=8).data
+        assert len(d["f_norm"]) == len(d["breakeven_cycles"]) == 8
+
+
+class TestFig4:
+    def test_lamps_uses_fewer_processors(self):
+        d = fig04_07_example.run().data
+        assert d["processors"]["LAMPS"] < d["processors"]["S&S"]
+
+    def test_energy_ordering(self):
+        d = fig04_07_example.run().data
+        e = d["energies"]
+        assert e["LAMPS+PS"] <= e["LAMPS"] + 1e-12
+        assert e["LIMIT-MF"] <= e["LIMIT-SF"] + 1e-12
+
+    def test_gantt_rendered(self):
+        assert "P0:" in fig04_07_example.run().text
+
+
+class TestFig6:
+    def test_applications_plus_demo(self):
+        rep = fig06_energy_vs_n.run(max_processors=16)
+        assert set(rep.data) == {"fpppp", "robot", "sparse",
+                                 "rand60-demo"}
+
+    def test_demo_graph_has_local_minima(self):
+        # The paper's reason for LAMPS's linear phase-2 search.
+        rep = fig06_energy_vs_n.run(max_processors=16)
+        assert rep.data["rand60-demo"]["local_minima_at"]
+
+    def test_curve_has_feasible_region(self):
+        # sparse (parallelism ~16) needs 13+ processors at 2x CPL.
+        rep = fig06_energy_vs_n.run(max_processors=16)
+        for info in rep.data.values():
+            assert any(e is not None for e in info["energies"])
+
+    def test_local_minima_helper(self):
+        assert fig06_energy_vs_n.local_minima([3, 1, 2, 1.5, 2.5]) == [3]
+        assert fig06_energy_vs_n.local_minima([None, 2, 1, 2]) == []
+        assert fig06_energy_vs_n.local_minima([]) == []
+
+
+class TestFig10And11:
+    @pytest.fixture(scope="class")
+    def coarse_report(self):
+        return fig10_11_relative_energy.run(
+            scenario=COARSE, graphs_per_group=2, sizes=(50,),
+            deadline_factors=(2.0,))
+
+    def test_experiment_id(self, coarse_report):
+        assert coarse_report.experiment == "fig10"
+
+    def test_fine_gets_fig11(self):
+        rep = fig10_11_relative_energy.run(
+            scenario=FINE, graphs_per_group=1, sizes=(50,),
+            deadline_factors=(2.0,))
+        assert rep.experiment == "fig11"
+
+    def test_sns_is_baseline_100(self, coarse_report):
+        for bench in coarse_report.data["factor_2.0"].values():
+            assert bench["S&S"] == pytest.approx(1.0)
+
+    def test_lamps_ps_beats_sns(self, coarse_report):
+        for bench in coarse_report.data["factor_2.0"].values():
+            assert bench["LAMPS+PS"] <= 1.0 + 1e-9
+
+    def test_limit_sf_below_heuristics(self, coarse_report):
+        for bench in coarse_report.data["factor_2.0"].values():
+            assert bench["LIMIT-SF"] <= bench["LAMPS+PS"] * (1 + 1e-9)
+
+
+class TestFig12And13:
+    def test_points_cover_parallelism_range(self):
+        rep = fig12_13_parallelism.run(
+            scenario=COARSE, node_counts=(200,), graphs_per_size=6)
+        pars = [p["parallelism"] for p in rep.data["points"]]
+        assert len(pars) == 6 and min(pars) >= 1.0
+
+    def test_sns_worst_at_low_parallelism(self):
+        rep = fig12_13_parallelism.run(
+            scenario=COARSE, node_counts=(200,), graphs_per_size=8)
+        low = [p for p in rep.data["points"] if p["parallelism"] < 3]
+        for p in low:
+            assert p["S&S"] >= p["LAMPS"] - 1e-15
+
+
+class TestTable2:
+    def test_contains_all_benchmarks(self):
+        rep = table2_benchmarks.run(graphs_per_group=2, sizes=(50, 100))
+        assert {"50", "100", "fpppp", "robot", "sparse"} <= set(rep.data)
+
+    def test_applications_match_paper_exactly(self):
+        rep = table2_benchmarks.run(graphs_per_group=1, sizes=())
+        assert rep.data["fpppp"]["nodes"] == 334
+        assert rep.data["fpppp"]["edges"] == 1196
+        assert rep.data["robot"]["critical_path"] == 545
+        assert rep.data["sparse"]["total_work"] == 1920
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return table3_mpeg.run()
+
+    def test_processor_counts_match_paper(self, report):
+        assert report.data["LAMPS"]["processors"] == 3
+        assert report.data["LAMPS+PS"]["processors"] == 6
+
+    def test_relative_energies_close_to_paper(self, report):
+        for approach in ("LAMPS", "S&S+PS", "LAMPS+PS", "LIMIT-SF"):
+            ours = report.data[approach]["relative"]
+            paper = report.data[approach]["paper_relative"]
+            assert ours == pytest.approx(paper, abs=0.05), approach
+
+    def test_ps_variants_near_limit(self, report):
+        assert report.data["LAMPS+PS"]["energy"] <= \
+            report.data["LIMIT-SF"]["energy"] * 1.01
+
+
+class TestHeadline:
+    def test_structure(self):
+        rep = headline.run(graphs_per_group=1, sizes=(50,))
+        assert "coarse" in rep.data and "fine" in rep.data
+        for claims in rep.data.values():
+            for c in claims.values():
+                assert 0.0 <= c["max_saving_vs_sns"] <= 1.0
+
+
+class TestRegistry:
+    def test_suite_keys(self):
+        suite = benchmark_suite(graphs_per_group=1, sizes=(50, 100))
+        assert set(suite) == {"50", "100", "fpppp", "robot", "sparse"}
+
+    def test_without_applications(self):
+        suite = benchmark_suite(graphs_per_group=1, sizes=(50,),
+                                include_applications=False)
+        assert set(suite) == {"50"}
+
+    def test_scenario_scales(self):
+        suite = benchmark_suite(graphs_per_group=1, sizes=(50,))
+        g = suite["50"][0]
+        assert COARSE.apply(g).weight(g.node_ids[0]) == \
+            pytest.approx(g.weight(g.node_ids[0]) * 3.1e6)
+        assert FINE.cycles_per_unit == pytest.approx(3.1e4)
+
+    def test_invalid_group_size_raises(self):
+        with pytest.raises(ValueError):
+            benchmark_suite(graphs_per_group=0)
+
+
+class TestMainEntry:
+    def test_cli_runs_subset(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["fig2", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out and "Fig. 3" in out
+
+    def test_cli_rejects_unknown(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["nosuch"])
+
+    def test_cli_writes_file(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        out = tmp_path / "report.txt"
+        assert main(["fig2", "--out", str(out)]) == 0
+        assert "Fig. 2" in out.read_text()
+
+
+class TestJsonDir:
+    def test_cli_writes_json(self, tmp_path, capsys):
+        import json
+
+        from repro.experiments.__main__ import main
+
+        out = tmp_path / "json"
+        assert main(["fig2", "--json-dir", str(out)]) == 0
+        data = json.loads((out / "fig2.json").read_text())
+        assert data["experiment"] == "fig2"
+
+
+class TestScorecard:
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.experiments import scorecard
+
+        return scorecard.run()
+
+    def test_all_checks_pass(self, report):
+        assert report.data["failed"] == []
+        assert report.data["passed"] == report.data["total"]
+
+    def test_covers_all_anchor_families(self, report):
+        text = report.text
+        for needle in ("max frequency", "critical point", "breakeven",
+                       "Table 2", "Table 3", "attainment"):
+            assert needle in text

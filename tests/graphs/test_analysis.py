@@ -1,0 +1,127 @@
+"""Tests for graph analysis (CPL, work, parallelism, levels)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.analysis import (
+    alap_times,
+    asap_times,
+    average_parallelism,
+    bottom_levels,
+    critical_path,
+    critical_path_length,
+    graph_stats,
+    top_levels,
+    total_work,
+)
+from repro.graphs.dag import TaskGraph
+from repro.graphs.generators import chain, fork_join, independent_tasks
+
+
+class TestCriticalPath:
+    def test_chain_cpl_is_total_weight(self):
+        g = chain(5, weights=[1, 2, 3, 4, 5])
+        assert critical_path_length(g) == 15.0
+
+    def test_independent_cpl_is_max_weight(self):
+        g = independent_tasks(4, weights=[1, 7, 3, 2])
+        assert critical_path_length(g) == 7.0
+
+    def test_diamond(self, diamond):
+        # a(1) -> c(3) -> d(1) is the longest path.
+        assert critical_path_length(diamond) == 5.0
+
+    def test_critical_path_nodes(self, diamond):
+        assert critical_path(diamond) == ("a", "c", "d")
+
+    def test_critical_path_is_a_path(self, fig4_graph):
+        path = critical_path(fig4_graph)
+        for u, v in zip(path, path[1:]):
+            assert v in fig4_graph.successors(u)
+
+    def test_critical_path_length_matches_path_weights(self, fig4_graph):
+        path = critical_path(fig4_graph)
+        assert sum(fig4_graph.weight(v) for v in path) == pytest.approx(
+            critical_path_length(fig4_graph))
+
+    def test_fig4_cpl(self, fig4_graph):
+        # T1(2) -> T2(6) -> T5(2) = 10.
+        assert critical_path_length(fig4_graph) == 10.0
+
+
+class TestLevels:
+    def test_top_levels_chain(self):
+        g = chain(3, weights=[2, 3, 4])
+        assert list(top_levels(g)) == [2, 5, 9]
+
+    def test_bottom_levels_chain(self):
+        g = chain(3, weights=[2, 3, 4])
+        assert list(bottom_levels(g)) == [9, 7, 4]
+
+    def test_top_plus_bottom_on_critical_path(self, diamond):
+        tl, bl = top_levels(diamond), bottom_levels(diamond)
+        cpl = critical_path_length(diamond)
+        w = diamond.weights_array
+        # tl + bl - w == cpl exactly on critical nodes, <= elsewhere.
+        assert np.all(tl + bl - w <= cpl + 1e-9)
+        crit = [diamond.index_of(v) for v in critical_path(diamond)]
+        for i in crit:
+            assert tl[i] + bl[i] - w[i] == pytest.approx(cpl)
+
+    def test_asap_is_top_level_minus_weight(self, diamond):
+        assert np.allclose(asap_times(diamond),
+                           top_levels(diamond) - diamond.weights_array)
+
+
+class TestAlap:
+    def test_chain_alap(self):
+        g = chain(3, weights=[2, 3, 4])
+        d = alap_times(g, 20.0)
+        # Latest starts: node0 at 11, node1 at 13, node2 at 16.
+        assert list(d) == [11, 13, 16]
+
+    def test_deadline_below_cpl_raises(self, diamond):
+        with pytest.raises(ValueError, match="critical path"):
+            alap_times(diamond, 4.0)
+
+    def test_deadline_equal_cpl_ok(self, diamond):
+        d = alap_times(diamond, 5.0)
+        # On the critical path the latest start equals the earliest one.
+        assert d[diamond.index_of("a")] == pytest.approx(0.0)
+
+
+class TestWorkAndParallelism:
+    def test_total_work(self, diamond):
+        assert total_work(diamond) == 7.0
+
+    def test_chain_parallelism_is_one(self):
+        assert average_parallelism(chain(10)) == pytest.approx(1.0)
+
+    def test_independent_parallelism_is_n(self):
+        assert average_parallelism(independent_tasks(8)) == pytest.approx(8.0)
+
+    def test_fork_join_parallelism_between_1_and_width(self):
+        g = fork_join(6, 3)
+        p = average_parallelism(g)
+        assert 1.0 < p < 6.0
+
+    def test_parallelism_at_least_one(self, fig4_graph):
+        assert average_parallelism(fig4_graph) >= 1.0
+
+
+class TestGraphStats:
+    def test_fields(self, diamond):
+        s = graph_stats(diamond)
+        assert s.name == "diamond"
+        assert s.n == 4 and s.m == 4
+        assert s.cpl == 5.0 and s.work == 7.0
+        assert s.parallelism == pytest.approx(1.4)
+
+    def test_as_dict(self, diamond):
+        d = graph_stats(diamond).as_dict()
+        assert d["nodes"] == 4
+        assert d["parallelism"] == pytest.approx(1.4)
+
+    def test_scaling_invariance_of_parallelism(self, diamond):
+        assert graph_stats(diamond.scaled(1e6)).parallelism == \
+            pytest.approx(graph_stats(diamond).parallelism)

@@ -1,0 +1,89 @@
+"""Tests for the exact-statistics application graph synthesis."""
+
+import pytest
+
+from repro.graphs.analysis import (
+    critical_path_length,
+    total_work,
+)
+from repro.graphs.applications import (
+    APPLICATION_STATS,
+    application_graph,
+    application_suite,
+    synthesize_with_stats,
+)
+
+
+class TestApplicationGraphs:
+    @pytest.mark.parametrize("name", sorted(APPLICATION_STATS))
+    def test_exact_table2_stats(self, name):
+        n, m, cpl, work = APPLICATION_STATS[name]
+        g = application_graph(name)
+        assert g.n == n
+        assert g.m == m
+        assert critical_path_length(g) == pytest.approx(cpl)
+        assert total_work(g) == pytest.approx(work)
+
+    @pytest.mark.parametrize("name", sorted(APPLICATION_STATS))
+    def test_acyclic_and_weights_in_range(self, name):
+        g = application_graph(name)
+        g.topological_order()
+        assert g.weights_array.min() >= 1
+        assert g.weights_array.max() <= 300
+
+    def test_deterministic(self):
+        a = application_graph("robot")
+        b = application_graph("robot")
+        assert set(a.edges()) == set(b.edges())
+
+    def test_different_seed_different_graph(self):
+        a = application_graph("robot", seed=1)
+        b = application_graph("robot", seed=2)
+        assert set(a.edges()) != set(b.edges())
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown application"):
+            application_graph("gcc")
+
+    def test_suite_contains_all(self):
+        suite = application_suite()
+        assert set(suite) == set(APPLICATION_STATS)
+
+    def test_not_all_parallel_at_t0(self):
+        # The synthesis must not dump every extra node at the sources
+        # (that shape distorts the S&S baseline; see module docstring).
+        g = application_graph("fpppp")
+        assert len(g.sources()) < g.n / 3
+
+
+class TestSynthesizeWithStats:
+    def test_small_feasible_case(self):
+        g = synthesize_with_stats("t", 10, 12, 20, 50, seed=1)
+        assert g.n == 10 and g.m == 12
+        assert critical_path_length(g) == 20
+        assert total_work(g) == 50
+
+    def test_chain_like(self):
+        g = synthesize_with_stats("c", 5, 4, 25, 25, seed=3)
+        assert critical_path_length(g) == 25
+
+    def test_work_above_capacity_raises(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            synthesize_with_stats("x", 2, 1, 10, 10_000)
+
+    def test_work_below_node_count_raises(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            synthesize_with_stats("x", 10, 5, 3, 5)
+
+    def test_cpl_above_work_raises(self):
+        with pytest.raises(ValueError):
+            synthesize_with_stats("x", 10, 5, 100, 50)
+
+    def test_too_many_edges_raises(self):
+        # 4 nodes can carry at most 6 edges.
+        with pytest.raises(ValueError):
+            synthesize_with_stats("x", 4, 10, 10, 20)
+
+    def test_custom_wmax(self):
+        g = synthesize_with_stats("w", 6, 5, 40, 60, seed=2, wmax=50)
+        assert g.weights_array.max() <= 50

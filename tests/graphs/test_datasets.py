@@ -1,0 +1,55 @@
+"""Tests for the bundled STG dataset."""
+
+import pytest
+
+from repro.graphs.analysis import critical_path_length, total_work
+from repro.graphs.applications import APPLICATION_STATS
+from repro.graphs.datasets import bundled_names, load_all_bundled, \
+    load_bundled
+from repro.graphs.mpeg import mpeg1_gop_graph
+
+
+class TestBundledDataset:
+    def test_names_listed(self):
+        names = bundled_names()
+        assert "mpeg1" in names
+        assert {"fpppp", "robot", "sparse"} <= set(names)
+        assert any(n.startswith("rand50") for n in names)
+
+    def test_unknown_name_lists_options(self):
+        with pytest.raises(FileNotFoundError, match="available"):
+            load_bundled("nope")
+
+    @pytest.mark.parametrize("name", sorted(APPLICATION_STATS))
+    def test_application_files_match_table2(self, name):
+        n, m, cpl, work = APPLICATION_STATS[name]
+        g = load_bundled(name)
+        assert g.n == n and g.m == m
+        assert critical_path_length(g) == cpl
+        assert total_work(g) == work
+
+    def test_mpeg_file_matches_builder(self):
+        bundled = load_bundled("mpeg1")
+        built = mpeg1_gop_graph()
+        assert bundled.n == built.n
+        assert total_work(bundled) == total_work(built)
+        assert critical_path_length(bundled) == \
+            critical_path_length(built)
+
+    def test_keep_dummies(self):
+        with_d = load_bundled("robot", keep_dummies=True)
+        without = load_bundled("robot")
+        assert with_d.n == without.n + 2
+
+    def test_load_all(self):
+        graphs = load_all_bundled()
+        assert set(graphs) == set(bundled_names())
+        for g in graphs.values():
+            g.topological_order()
+
+    def test_bundled_graphs_schedule(self):
+        from repro.core import schedule
+
+        g = load_bundled("rand50_001").scaled(3.1e6)
+        r = schedule(g, deadline_factor=2.0, heuristic="LAMPS")
+        assert r.total_energy > 0

@@ -1,0 +1,265 @@
+"""Tests for the random task-graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.analysis import (
+    average_parallelism,
+    critical_path_length,
+    graph_stats,
+    total_work,
+)
+from repro.graphs.generators import (
+    chain,
+    fork_join,
+    independent_tasks,
+    layered_dag,
+    parallel_chains,
+    parallelism_sweep,
+    sameprob_dag,
+    stg_group,
+    stg_random_graph,
+)
+
+
+class TestChain:
+    def test_structure(self):
+        g = chain(4)
+        assert g.m == 3
+        assert g.successors(0) == (1,)
+        assert g.sinks() == (3,)
+
+    def test_custom_weights(self):
+        g = chain(3, weights=[5, 6, 7])
+        assert total_work(g) == 18
+
+    def test_wrong_weight_count_raises(self):
+        with pytest.raises(ValueError, match="length"):
+            chain(3, weights=[1, 2])
+
+    def test_zero_length_raises(self):
+        with pytest.raises(ValueError):
+            chain(0)
+
+    def test_single_node(self):
+        g = chain(1)
+        assert g.n == 1 and g.m == 0
+
+
+class TestIndependent:
+    def test_no_edges(self):
+        assert independent_tasks(5).m == 0
+
+    def test_parallelism(self):
+        assert average_parallelism(independent_tasks(5)) == 5.0
+
+
+class TestForkJoin:
+    def test_node_count(self):
+        g = fork_join(4, 3)
+        assert g.n == 3 * 4 + 3 + 1
+
+    def test_stage_depends_on_previous_join(self):
+        g = fork_join(2, 2)
+        assert set(g.predecessors("s1_0")) == {"j0"}
+        assert set(g.predecessors("j1")) == {"s1_0", "s1_1"}
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError):
+            fork_join(0, 1)
+
+
+class TestLayered:
+    def test_every_noninitial_node_has_predecessor(self):
+        g = layered_dag(30, 5, 3)
+        sources = set(g.sources())
+        # Only first-layer nodes may be sources: exactly ceil(30/5) = 6.
+        assert len(sources) == 6
+
+    def test_depth_equals_layers(self):
+        g = layered_dag(20, 4, 1, edge_prob=1.0, mean_weight=5.0)
+        # With all weights equal and full wiring, CPL spans 4 layers.
+        tl_depth = 0
+        from repro.graphs.analysis import critical_path
+
+        assert len(critical_path(g)) == 4
+
+    def test_layers_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            layered_dag(5, 6, 0)
+
+    def test_deterministic_for_seed(self):
+        a = layered_dag(25, 5, 42)
+        b = layered_dag(25, 5, 42)
+        assert set(a.edges()) == set(b.edges())
+        assert np.array_equal(a.weights_array, b.weights_array)
+
+
+class TestSameprob:
+    def test_probability_zero_gives_no_edges(self):
+        assert sameprob_dag(20, 0.0, 1).m == 0
+
+    def test_probability_one_gives_complete_dag(self):
+        g = sameprob_dag(10, 1.0, 1)
+        assert g.m == 10 * 9 // 2
+
+    def test_acyclic_by_construction(self):
+        g = sameprob_dag(50, 0.3, 5)
+        g.topological_order()  # raises on a cycle
+
+    def test_bad_probability_raises(self):
+        with pytest.raises(ValueError):
+            sameprob_dag(10, 1.5, 0)
+
+    def test_weights_in_stg_range(self):
+        g = sameprob_dag(100, 0.1, 3)
+        assert g.weights_array.min() >= 1
+        assert g.weights_array.max() <= 300
+
+
+class TestStgRandom:
+    def test_requested_size(self):
+        assert stg_random_graph(77, 0).n == 77
+
+    def test_deterministic(self):
+        a, b = stg_random_graph(40, 9), stg_random_graph(40, 9)
+        assert set(a.edges()) == set(b.edges())
+
+    def test_different_seeds_differ(self):
+        a, b = stg_random_graph(40, 1), stg_random_graph(40, 2)
+        assert set(a.edges()) != set(b.edges()) or \
+            not np.array_equal(a.weights_array, b.weights_array)
+
+    def test_stats_within_table2_ballpark(self):
+        # Table 2 for n=50: work 204-644, CPL 24-447.  Averages over a
+        # group must land inside a generous widening of those ranges.
+        graphs = stg_group(50, 30, seed=4)
+        works = [total_work(g) for g in graphs]
+        cpls = [critical_path_length(g) for g in graphs]
+        assert 150 < np.mean(works) < 800
+        assert 20 < np.mean(cpls) < 500
+
+
+class TestStgGroup:
+    def test_group_size(self):
+        assert len(stg_group(50, 7, seed=1)) == 7
+
+    def test_group_members_distinct(self):
+        graphs = stg_group(50, 5, seed=1)
+        edge_sets = [frozenset(g.edges()) for g in graphs]
+        assert len(set(edge_sets)) > 1
+
+    def test_group_deterministic(self):
+        a = stg_group(100, 3, seed=9)
+        b = stg_group(100, 3, seed=9)
+        for ga, gb in zip(a, b):
+            assert set(ga.edges()) == set(gb.edges())
+
+    def test_group_names(self):
+        graphs = stg_group(50, 2, seed=0)
+        assert graphs[0].name == "rand50_000"
+
+    def test_invalid_count_raises(self):
+        with pytest.raises(ValueError):
+            stg_group(50, 0)
+
+
+class TestParallelChains:
+    def test_parallelism_close_to_chain_count(self):
+        g = parallel_chains(8, 50, 3, cross_prob=0.0, mean_weight=10.0)
+        assert average_parallelism(g) == pytest.approx(8.0, rel=0.35)
+
+    def test_single_chain_parallelism_one(self):
+        g = parallel_chains(1, 30, 0, cross_prob=0.0)
+        assert average_parallelism(g) == pytest.approx(1.0)
+
+    def test_cross_edges_keep_acyclicity(self):
+        g = parallel_chains(5, 20, 2, cross_prob=0.5)
+        g.topological_order()
+
+    def test_node_count(self):
+        assert parallel_chains(4, 25, 0).n == 100
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError):
+            parallel_chains(0, 5)
+
+
+class TestParallelismSweep:
+    def test_count_and_size(self):
+        graphs = parallelism_sweep(n_nodes=200, graphs=6, seed=1)
+        assert len(graphs) == 6
+        for g in graphs:
+            assert g.n == 200
+
+    def test_spans_a_range_of_parallelism(self):
+        graphs = parallelism_sweep(n_nodes=300, max_parallelism=30,
+                                   graphs=25, seed=7)
+        pars = [average_parallelism(g) for g in graphs]
+        assert min(pars) < 4
+        assert max(pars) > 8
+
+    def test_deterministic(self):
+        a = parallelism_sweep(n_nodes=100, graphs=3, seed=5)
+        b = parallelism_sweep(n_nodes=100, graphs=3, seed=5)
+        for ga, gb in zip(a, b):
+            assert set(ga.edges()) == set(gb.edges())
+
+
+class TestSamepred:
+    def test_mean_in_degree(self):
+        from repro.graphs.generators import samepred_dag
+
+        g = samepred_dag(400, 2.0, 3)
+        assert 1.0 < g.m / g.n < 3.0
+
+    def test_zero_preds_gives_no_edges(self):
+        from repro.graphs.generators import samepred_dag
+
+        assert samepred_dag(50, 0.0, 0).m == 0
+
+    def test_acyclic(self):
+        from repro.graphs.generators import samepred_dag
+
+        samepred_dag(80, 3.0, 1).topological_order()
+
+    def test_negative_mean_rejected(self):
+        from repro.graphs.generators import samepred_dag
+
+        with pytest.raises(ValueError):
+            samepred_dag(10, -1.0, 0)
+
+    def test_deterministic(self):
+        from repro.graphs.generators import samepred_dag
+
+        a, b = samepred_dag(60, 2.0, 5), samepred_dag(60, 2.0, 5)
+        assert set(a.edges()) == set(b.edges())
+
+
+class TestLayrpred:
+    def test_every_noninitial_node_has_predecessor(self):
+        from repro.graphs.generators import layrpred_dag
+
+        g = layrpred_dag(40, 8, 1.5, 2)
+        assert len(g.sources()) == 5  # exactly the first layer
+
+    def test_edges_connect_adjacent_layers_only(self):
+        from repro.graphs.generators import layrpred_dag
+        from repro.graphs.analysis import critical_path
+
+        g = layrpred_dag(30, 6, 2.0, 1, mean_weight=5.0)
+        # Depth in nodes equals the layer count for equal weights.
+        assert len(critical_path(g)) == 6
+
+    def test_bad_layer_count_rejected(self):
+        from repro.graphs.generators import layrpred_dag
+
+        with pytest.raises(ValueError):
+            layrpred_dag(5, 9, 1.0, 0)
+
+    def test_deterministic(self):
+        from repro.graphs.generators import layrpred_dag
+
+        a = layrpred_dag(40, 5, 2.0, 9)
+        b = layrpred_dag(40, 5, 2.0, 9)
+        assert set(a.edges()) == set(b.edges())

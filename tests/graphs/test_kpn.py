@@ -1,0 +1,113 @@
+"""Tests for the Kahn Process Network model and its DAG unrolling."""
+
+import pytest
+
+from repro.graphs.kpn import Channel, ProcessNetwork
+
+
+@pytest.fixture
+def fig1_network():
+    """The paper's Fig. 1 KPN: T1 -> T2 <- T3, with T2 -> T3 delayed."""
+    return ProcessNetwork(
+        {"T1": 10.0, "T2": 20.0, "T3": 15.0},
+        [Channel("T1", "T2"), Channel("T3", "T2"),
+         Channel("T2", "T3", delay=1)])
+
+
+class TestChannel:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="delay"):
+            Channel("a", "b", delay=-1)
+
+    def test_default_delay_zero(self):
+        assert Channel("a", "b").delay == 0
+
+
+class TestProcessNetwork:
+    def test_unknown_channel_endpoint_rejected(self):
+        with pytest.raises(KeyError):
+            ProcessNetwork({"a": 1.0}, [Channel("a", "zzz")])
+
+    def test_zero_delay_self_channel_rejected(self):
+        with pytest.raises(ValueError, match="self-channel"):
+            ProcessNetwork({"a": 1.0}, [Channel("a", "a")])
+
+    def test_delayed_self_channel_allowed(self):
+        net = ProcessNetwork({"a": 1.0}, [Channel("a", "a", delay=1)])
+        assert len(net.channels) == 1
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(ValueError, match="positive weight"):
+            ProcessNetwork({"a": 0.0}, [])
+
+    def test_outputs_default_to_sinks(self, fig1_network):
+        # T2 feeds T3 only through a delayed channel, so both T2 and T3
+        # are zero-delay sinks... T2 -> T3 has delay 1, T2 has no
+        # zero-delay outgoing channel: outputs = {T2, T3} minus sources
+        # of zero-delay channels {T1, T3} -> {T2}.
+        assert fig1_network.outputs == ("T2",)
+
+    def test_explicit_outputs(self):
+        net = ProcessNetwork({"a": 1.0, "b": 1.0}, [Channel("a", "b")],
+                             outputs=["a", "b"])
+        assert net.outputs == ("a", "b")
+
+    def test_unknown_output_rejected(self):
+        with pytest.raises(KeyError):
+            ProcessNetwork({"a": 1.0}, [], outputs=["b"])
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessNetwork({}, [])
+
+
+class TestUnroll:
+    def test_node_count(self, fig1_network):
+        u = fig1_network.unroll(4, period=100.0, first_deadline=200.0)
+        assert u.graph.n == 12
+
+    def test_intra_copy_edges(self, fig1_network):
+        u = fig1_network.unroll(3, period=100.0, first_deadline=200.0)
+        g = u.graph
+        assert ("T2", 0) in [t for t in g.successors(("T1", 0))]
+
+    def test_delayed_channel_crosses_copies(self, fig1_network):
+        u = fig1_network.unroll(3, period=100.0, first_deadline=200.0)
+        g = u.graph
+        # T2 of copy i feeds T3 of copy i+1 (Fig. 1b).
+        assert ("T3", 1) in g.successors(("T2", 0))
+        # and not its own copy.
+        assert ("T3", 0) not in g.successors(("T2", 0))
+
+    def test_successive_copies_linked(self, fig1_network):
+        u = fig1_network.unroll(2, period=100.0, first_deadline=200.0)
+        g = u.graph
+        for p in ("T1", "T2", "T3"):
+            assert (p, 1) in g.successors((p, 0))
+
+    def test_deadlines_spaced_by_period(self, fig1_network):
+        u = fig1_network.unroll(3, period=100.0, first_deadline=200.0)
+        assert u.deadlines[("T2", 0)] == 200.0
+        assert u.deadlines[("T2", 1)] == 300.0
+        assert u.deadlines[("T2", 2)] == 400.0
+
+    def test_horizon_is_last_deadline(self, fig1_network):
+        u = fig1_network.unroll(3, period=100.0, first_deadline=200.0)
+        assert u.horizon == 400.0
+
+    def test_graph_is_acyclic(self, fig1_network):
+        u = fig1_network.unroll(5, period=50.0, first_deadline=100.0)
+        u.graph.topological_order()
+
+    def test_weights_copied_per_iteration(self, fig1_network):
+        u = fig1_network.unroll(2, period=100.0, first_deadline=200.0)
+        assert u.graph.weight(("T2", 0)) == 20.0
+        assert u.graph.weight(("T2", 1)) == 20.0
+
+    def test_invalid_args_raise(self, fig1_network):
+        with pytest.raises(ValueError):
+            fig1_network.unroll(0, period=1.0, first_deadline=1.0)
+        with pytest.raises(ValueError):
+            fig1_network.unroll(2, period=0.0, first_deadline=1.0)
+        with pytest.raises(ValueError):
+            fig1_network.unroll(2, period=1.0, first_deadline=-1.0)

@@ -1,0 +1,106 @@
+"""Tests for workload characterization metrics."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import (
+    chain,
+    fork_join,
+    independent_tasks,
+    parallel_chains,
+    stg_random_graph,
+)
+from repro.graphs.metrics import (
+    max_width,
+    profile,
+    slack_distribution,
+    width_profile,
+    width_statistics,
+)
+
+
+class TestWidthProfile:
+    def test_chain_is_flat_one(self):
+        g = chain(6)
+        times, widths = width_profile(g)
+        assert set(widths.tolist()) == {1}
+
+    def test_independent_tasks_peak_at_n(self):
+        g = independent_tasks(7)
+        assert max_width(g) == 7
+
+    def test_fork_join_peaks_at_width(self):
+        g = fork_join(5, 2, weight=3.0)
+        assert max_width(g) == 5
+
+    def test_profile_covers_cpl(self):
+        from repro.graphs.analysis import critical_path_length
+
+        g = stg_random_graph(40, 3)
+        times, widths = width_profile(g)
+        assert times[0] == 0.0
+        assert times[-1] < critical_path_length(g)
+
+    def test_diamond(self, diamond):
+        # a alone, then b and c together, then d alone.
+        assert max_width(diamond) == 2
+
+
+class TestWidthStatistics:
+    def test_average_equals_parallelism(self):
+        from repro.graphs.analysis import average_parallelism
+
+        for seed in range(4):
+            g = stg_random_graph(30, seed)
+            avg, peak = width_statistics(g)
+            assert avg == pytest.approx(average_parallelism(g))
+            assert peak >= avg - 1e-9
+
+    def test_parallel_chains_not_bursty(self):
+        g = parallel_chains(4, 20, 1, cross_prob=0.0, mean_weight=10.0)
+        p = profile(g)
+        assert p.burstiness < 1.6
+
+    def test_bursty_shapes_detected(self):
+        # A fork-join is burstier than parallel chains: its joins
+        # serialise between wide stages.
+        flat = profile(parallel_chains(5, 20, 1, cross_prob=0.0,
+                                       mean_weight=10.0))
+        bursty = profile(fork_join(5, 4, weight=10.0))
+        assert bursty.burstiness > flat.burstiness
+
+
+class TestMaxWidthPredictsSns:
+    def test_sns_employs_max_width_processors(self):
+        """The link to Fig. 12's over-provisioning: S&S's employed
+        count is exactly the ASAP peak concurrency."""
+        from repro.core import sns
+        from repro.graphs.analysis import critical_path_length
+
+        for seed in range(4):
+            g = stg_random_graph(30, seed).scaled(3.1e6)
+            r = sns(g, 2 * critical_path_length(g))
+            assert r.n_processors == max_width(g)
+
+
+class TestSlack:
+    def test_zero_on_critical_path_at_cpl(self, diamond):
+        from repro.graphs.analysis import critical_path, \
+            critical_path_length
+
+        slack = slack_distribution(diamond, critical_path_length(diamond))
+        for v in critical_path(diamond):
+            assert slack[diamond.index_of(v)] == pytest.approx(0.0)
+
+    def test_grows_with_deadline(self, diamond):
+        s1 = slack_distribution(diamond, 10.0)
+        s2 = slack_distribution(diamond, 20.0)
+        assert np.all(s2 >= s1)
+        assert np.all(s2 - s1 == pytest.approx(10.0))
+
+    def test_nonnegative(self):
+        from repro.graphs.analysis import critical_path_length
+
+        g = stg_random_graph(30, 5)
+        slack = slack_distribution(g, 1.5 * critical_path_length(g))
+        assert np.all(slack >= -1e-9)

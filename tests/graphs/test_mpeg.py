@@ -1,0 +1,100 @@
+"""Tests for the MPEG-1 GOP task graph (paper Fig. 9)."""
+
+import pytest
+
+from repro.graphs.analysis import critical_path_length, total_work
+from repro.graphs.mpeg import (
+    B_FRAME_CYCLES,
+    GOP_PATTERN,
+    I_FRAME_CYCLES,
+    P_FRAME_CYCLES,
+    mpeg1_gop_graph,
+)
+
+
+class TestSingleGop:
+    def test_fifteen_frames(self):
+        assert mpeg1_gop_graph().n == 15
+
+    def test_pattern(self):
+        assert GOP_PATTERN == "IBBPBBPBBPBBPBB"
+
+    def test_frame_weights(self):
+        g = mpeg1_gop_graph()
+        assert g.weight("I0") == I_FRAME_CYCLES
+        assert g.weight("B1") == B_FRAME_CYCLES
+        assert g.weight("P3") == P_FRAME_CYCLES
+
+    def test_total_work(self):
+        # 1 I + 10 B + 4 P.
+        expect = I_FRAME_CYCLES + 10 * B_FRAME_CYCLES + 4 * P_FRAME_CYCLES
+        assert total_work(mpeg1_gop_graph()) == expect
+
+    def test_anchor_chain(self):
+        g = mpeg1_gop_graph()
+        assert "P3" in g.successors("I0")
+        assert "P6" in g.successors("P3")
+        assert "P12" in g.successors("P9")
+
+    def test_b_frames_depend_on_surrounding_anchors(self):
+        g = mpeg1_gop_graph()
+        assert set(g.predecessors("B4")) == {"P3", "P6"}
+        assert set(g.predecessors("B1")) == {"I0", "P3"}
+
+    def test_trailing_b_frames_depend_on_last_anchor_only(self):
+        g = mpeg1_gop_graph()
+        assert set(g.predecessors("B13")) == {"P12"}
+        assert set(g.predecessors("B14")) == {"P12"}
+
+    def test_i_frame_is_sole_source(self):
+        assert mpeg1_gop_graph().sources() == ("I0",)
+
+    def test_critical_path_value(self):
+        # I0 -> P3 -> P6 -> P9 -> P12 -> B13: anchors plus one B frame.
+        expect = (I_FRAME_CYCLES + 4 * P_FRAME_CYCLES + B_FRAME_CYCLES)
+        assert critical_path_length(mpeg1_gop_graph()) == expect
+
+    def test_real_time_feasible_at_full_speed(self):
+        # The GOP's CPL must fit well inside the 0.5 s deadline at 3.1 GHz.
+        cpl_seconds = critical_path_length(mpeg1_gop_graph()) / 3.1e9
+        assert cpl_seconds < 0.5
+
+
+class TestMultiGop:
+    def test_two_gops_double_nodes(self):
+        assert mpeg1_gop_graph(gops=2).n == 30
+
+    def test_gops_are_independent(self):
+        g = mpeg1_gop_graph(gops=2)
+        assert g.predecessors("g1_I0") == ()
+
+    def test_names_prefixed(self):
+        g = mpeg1_gop_graph(gops=2)
+        assert "g0_I0" in g and "g1_B14" in g
+
+    def test_zero_gops_raises(self):
+        with pytest.raises(ValueError):
+            mpeg1_gop_graph(gops=0)
+
+
+class TestCustomPattern:
+    def test_short_pattern(self):
+        g = mpeg1_gop_graph(pattern="IBP")
+        assert g.n == 3
+        assert set(g.predecessors("B1")) == {"I0", "P2"}
+
+    def test_must_start_with_i(self):
+        with pytest.raises(ValueError, match="pattern"):
+            mpeg1_gop_graph(pattern="BIP")
+
+    def test_invalid_letter_rejected(self):
+        with pytest.raises(ValueError, match="pattern"):
+            mpeg1_gop_graph(pattern="IXP")
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            mpeg1_gop_graph(pattern="")
+
+    def test_i_only_pattern(self):
+        g = mpeg1_gop_graph(pattern="I")
+        assert g.n == 1 and g.m == 0

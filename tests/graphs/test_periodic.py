@@ -1,0 +1,117 @@
+"""Tests for the frame-based periodic task model."""
+
+import pytest
+
+from repro.graphs.periodic import (
+    FrameBasedWorkload,
+    PeriodicTask,
+    frame_based_dag,
+    hyperperiod,
+)
+
+
+class TestPeriodicTask:
+    def test_utilization(self):
+        t = PeriodicTask("a", wcet=2e6, period=10e6)
+        assert t.utilization == pytest.approx(0.2)
+
+    def test_wcet_above_period_rejected(self):
+        with pytest.raises(ValueError, match="period"):
+            PeriodicTask("a", wcet=5.0, period=4.0)
+
+    def test_non_positive_wcet_rejected(self):
+        with pytest.raises(ValueError, match="wcet"):
+            PeriodicTask("a", wcet=0.0, period=4.0)
+
+
+class TestHyperperiod:
+    def test_lcm(self):
+        tasks = [PeriodicTask("a", 1, 4), PeriodicTask("b", 1, 6)]
+        assert hyperperiod(tasks) == 12.0
+
+    def test_single_task(self):
+        assert hyperperiod([PeriodicTask("a", 1, 5)]) == 5.0
+
+    def test_non_integer_period_rejected(self):
+        with pytest.raises(ValueError, match="integral"):
+            hyperperiod([PeriodicTask("a", 1, 4.5)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            hyperperiod([])
+
+
+class TestFrameBasedDag:
+    @pytest.fixture
+    def workload(self):
+        return frame_based_dag([
+            PeriodicTask("a", wcet=1e6, period=4e6),
+            PeriodicTask("b", wcet=2e6, period=8e6),
+        ])
+
+    def test_job_counts(self, workload):
+        # Hyperperiod 8e6: a has 2 jobs, b has 1.
+        assert workload.graph.n == 3
+        assert ("a", 0) in workload.graph
+        assert ("a", 1) in workload.graph
+        assert ("b", 0) in workload.graph
+
+    def test_job_chains(self, workload):
+        assert ("a", 1) in workload.graph.successors(("a", 0))
+        assert workload.graph.predecessors(("b", 0)) == ()
+
+    def test_deadlines_at_period_boundaries(self, workload):
+        assert workload.deadlines[("a", 0)] == 4e6
+        assert workload.deadlines[("a", 1)] == 8e6
+        assert workload.deadlines[("b", 0)] == 8e6
+
+    def test_releases(self, workload):
+        assert workload.releases[("a", 1)] == 4e6
+
+    def test_horizon_is_hyperperiod(self, workload):
+        assert workload.horizon == 8e6
+
+    def test_utilization(self, workload):
+        # (2*1e6 + 2e6) / 8e6 = 0.5.
+        assert workload.utilization == pytest.approx(0.5)
+
+    def test_unchained_jobs(self):
+        w = frame_based_dag([PeriodicTask("a", 1e6, 4e6)],
+                            chain_jobs=False)
+        # With 1 task the hyperperiod equals the period: 1 job, no edges.
+        assert w.graph.m == 0
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            frame_based_dag([PeriodicTask("a", 1, 4),
+                             PeriodicTask("a", 1, 8)])
+
+
+class TestSchedulingIntegration:
+    def test_feeds_the_facade(self):
+        from repro.core import schedule
+        from repro.sched.validate import validate_schedule
+
+        w = frame_based_dag([
+            PeriodicTask("sensor", wcet=2e6, period=16e6),
+            PeriodicTask("control", wcet=6e6, period=32e6),
+            PeriodicTask("log", wcet=1e6, period=8e6),
+        ])
+        r = schedule(w.graph, w.horizon, heuristic="LAMPS+PS",
+                     deadline_overrides=w.deadlines)
+        validate_schedule(r.schedule)
+        assert r.total_energy > 0
+
+    def test_tight_utilization_needs_speed(self):
+        from repro.core import schedule
+
+        # Utilization 0.9 on one processor leaves little stretch room.
+        w_tight = frame_based_dag([PeriodicTask("hot", 9e6, 10e6)])
+        w_loose = frame_based_dag([PeriodicTask("cool", 2e6, 10e6)])
+        r_tight = schedule(w_tight.graph, w_tight.horizon,
+                           heuristic="LAMPS",
+                           deadline_overrides=w_tight.deadlines)
+        r_loose = schedule(w_loose.graph, w_loose.horizon,
+                           heuristic="LAMPS",
+                           deadline_overrides=w_loose.deadlines)
+        assert r_tight.point.frequency > r_loose.point.frequency

@@ -1,0 +1,146 @@
+"""Tests for the STG file format reader/writer."""
+
+import pytest
+
+from repro.graphs.dag import TaskGraph
+from repro.graphs.generators import stg_random_graph
+from repro.graphs.stg import (
+    STGFormatError,
+    format_stg,
+    load_stg,
+    parse_stg,
+    save_stg,
+    strip_dummies,
+)
+
+SAMPLE = """\
+3
+  0   0   0
+  1   5   1   0
+  2   7   1   1
+  3   2   2   1 2
+  4   0   1   3
+# trailing comment
+"""
+
+
+class TestParse:
+    def test_sample_counts(self):
+        g = parse_stg(SAMPLE)
+        assert g.n == 5  # 3 tasks + 2 dummies
+        assert g.weight(1) == 5.0
+        assert g.weight(0) == 0.0
+
+    def test_sample_edges(self):
+        g = parse_stg(SAMPLE)
+        assert set(g.predecessors(3)) == {1, 2}
+        assert g.predecessors(1) == (0,)
+
+    def test_comments_and_blanks_ignored(self):
+        g = parse_stg("# hi\n\n1\n0 0 0\n1 3 1 0\n2 0 1 1\n")
+        assert g.n == 3
+
+    def test_name_passthrough(self):
+        assert parse_stg(SAMPLE, name="demo").name == "demo"
+
+    def test_empty_raises(self):
+        with pytest.raises(STGFormatError, match="empty"):
+            parse_stg("")
+
+    def test_bad_header_raises(self):
+        with pytest.raises(STGFormatError, match="task count"):
+            parse_stg("3 4\n")
+
+    def test_non_numeric_header_raises(self):
+        with pytest.raises(STGFormatError, match="bad task count"):
+            parse_stg("abc\n")
+
+    def test_short_record_raises(self):
+        with pytest.raises(STGFormatError, match="short task record"):
+            parse_stg("1\n0 0\n")
+
+    def test_predecessor_count_mismatch_raises(self):
+        with pytest.raises(STGFormatError, match="predecessors"):
+            parse_stg("1\n0 0 0\n1 3 2 0\n")
+
+    def test_duplicate_task_raises(self):
+        with pytest.raises(STGFormatError, match="duplicate"):
+            parse_stg("1\n0 0 0\n0 3 0\n")
+
+    def test_unknown_predecessor_raises(self):
+        with pytest.raises(STGFormatError, match="unknown predecessor"):
+            parse_stg("1\n0 0 0\n1 3 1 99\n2 0 1 1\n")
+
+    def test_wrong_total_raises(self):
+        with pytest.raises(STGFormatError, match="declares"):
+            parse_stg("5\n0 0 0\n1 3 1 0\n")
+
+    def test_without_dummies_count_accepted(self):
+        # Exactly `declared` records (no dummy entry/exit) also parses.
+        g = parse_stg("2\n1 3 0\n2 4 1 1\n")
+        assert g.n == 2
+
+
+class TestStripDummies:
+    def test_removes_zero_weight_endpoints(self):
+        g = strip_dummies(parse_stg(SAMPLE))
+        assert set(g.node_ids) == {1, 2, 3}
+        assert set(g.predecessors(3)) == {1, 2}
+
+    def test_noop_without_dummies(self, diamond):
+        assert strip_dummies(diamond) is diamond
+
+    def test_all_dummies_raises(self):
+        g = TaskGraph({"a": 0.0, "b": 0.0}, [("a", "b")])
+        with pytest.raises(ValueError, match="solely"):
+            strip_dummies(g)
+
+    def test_zero_weight_interior_node_kept(self):
+        g = TaskGraph({"a": 1.0, "mid": 0.0, "b": 1.0},
+                      [("a", "mid"), ("mid", "b")])
+        assert strip_dummies(g) is g
+
+
+class TestFormat:
+    def test_roundtrip_with_dummies(self, diamond):
+        text = format_stg(diamond)
+        back = strip_dummies(parse_stg(text))
+        assert back.n == diamond.n
+        assert back.m == diamond.m
+
+    def test_roundtrip_preserves_structure(self):
+        g = stg_random_graph(40, 7, name="t")
+        back = strip_dummies(parse_stg(format_stg(g)))
+        from repro.graphs.analysis import critical_path_length, total_work
+
+        assert back.n == g.n and back.m == g.m
+        assert critical_path_length(back) == critical_path_length(g)
+        assert total_work(back) == total_work(g)
+
+    def test_header_is_task_count(self, diamond):
+        assert format_stg(diamond).splitlines()[0] == "4"
+
+    def test_without_dummies(self, diamond):
+        text = format_stg(diamond, with_dummies=False)
+        g = parse_stg(text)
+        assert g.n == 4
+
+    def test_entry_connects_to_orphan_sources(self):
+        g = TaskGraph({"a": 1.0, "b": 2.0}, [])
+        text = format_stg(g)
+        parsed = parse_stg(text)
+        # Both real tasks hang off the dummy entry.
+        assert set(parsed.successors(0)) == {1, 2}
+
+
+class TestFileIO:
+    def test_save_and_load(self, tmp_path, diamond):
+        path = tmp_path / "diamond.stg"
+        save_stg(diamond, path)
+        g = load_stg(path)
+        assert g.name == "diamond"  # named after the file stem
+        assert strip_dummies(g).n == 4
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_stg(tmp_path / "nope.stg")

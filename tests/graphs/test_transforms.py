@@ -1,0 +1,167 @@
+"""Tests for task-graph transformations."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.analysis import (
+    average_parallelism,
+    critical_path_length,
+    total_work,
+)
+from repro.graphs.dag import TaskGraph
+from repro.graphs.generators import chain, fork_join, stg_random_graph
+from repro.graphs.transforms import (
+    linear_cluster,
+    merge_graphs,
+    transitive_reduction,
+    weight_jitter,
+)
+
+
+class TestLinearCluster:
+    def test_chain_collapses_to_one_task(self):
+        g = chain(6, weights=[1, 2, 3, 4, 5, 6])
+        c = linear_cluster(g)
+        assert c.n == 1
+        assert total_work(c) == 21.0
+
+    def test_diamond_is_unchanged_in_size(self, diamond):
+        # No node pair in a diamond is a 1-succ/1-pred chain link...
+        # except none: a has two successors, d two predecessors.
+        c = linear_cluster(diamond)
+        assert c.n == diamond.n
+
+    def test_preserves_cpl_and_work(self):
+        for seed in range(5):
+            g = stg_random_graph(50, seed)
+            c = linear_cluster(g)
+            assert critical_path_length(c) == pytest.approx(
+                critical_path_length(g))
+            assert total_work(c) == pytest.approx(total_work(g))
+
+    def test_reduces_task_count_on_chainy_graphs(self):
+        g = TaskGraph(
+            {"a": 1, "b": 1, "c": 1, "d": 1, "e": 1},
+            [("a", "b"), ("b", "c"), ("c", "d"), ("c", "e")])
+        c = linear_cluster(g)
+        # a-b-c merge into one; d and e stay.
+        assert c.n == 3
+        assert ("a", "b", "c") in c.node_ids
+
+    def test_acyclic_result(self):
+        g = stg_random_graph(60, 9)
+        linear_cluster(g).topological_order()
+
+    def test_improves_ps_for_fine_grain(self):
+        """The practical payoff: clustering coarsens gaps enough for PS."""
+        from repro.core.sns import sns, sns_ps
+
+        g = stg_random_graph(60, 2).scaled(3.1e4)  # fine grain
+        deadline = 4 * critical_path_length(g)
+        clustered = linear_cluster(g)
+        raw_gain = sns(g, deadline).total_energy \
+            - sns_ps(g, deadline).total_energy
+        clu_gain = sns(clustered, deadline).total_energy \
+            - sns_ps(clustered, deadline).total_energy
+        assert clu_gain >= raw_gain - 1e-9
+
+
+class TestTransitiveReduction:
+    def test_removes_shortcut_edge(self):
+        g = TaskGraph({"a": 1, "b": 1, "c": 1},
+                      [("a", "b"), ("b", "c"), ("a", "c")])
+        r = transitive_reduction(g)
+        assert r.m == 2
+        assert ("a", "c") not in set(r.edges())
+
+    def test_preserves_cpl(self):
+        for seed in range(4):
+            g = stg_random_graph(40, seed)
+            r = transitive_reduction(g)
+            assert critical_path_length(r) == pytest.approx(
+                critical_path_length(g))
+            assert r.n == g.n
+
+    def test_preserves_reachability(self):
+        import networkx as nx
+
+        g = stg_random_graph(30, 3)
+        r = transitive_reduction(g)
+        tg = nx.transitive_closure(nx.DiGraph(list(g.edges())))
+        tr = nx.transitive_closure(nx.DiGraph(list(r.edges())))
+        assert set(tg.edges()) == set(tr.edges())
+
+
+class TestWeightJitter:
+    def test_down_never_increases(self):
+        g = stg_random_graph(30, 1)
+        j = weight_jitter(g, 0.3, 7)
+        for v in g.node_ids:
+            assert j.weight(v) <= g.weight(v) + 1e-12
+            assert j.weight(v) >= 0.7 * g.weight(v) - 1e-12
+
+    def test_structure_unchanged(self):
+        g = stg_random_graph(30, 1)
+        j = weight_jitter(g, 0.2, 0)
+        assert set(j.edges()) == set(g.edges())
+
+    def test_zero_fraction_is_identity_weights(self):
+        g = stg_random_graph(20, 4)
+        j = weight_jitter(g, 0.0, 0)
+        assert np.allclose(j.weights_array, g.weights_array)
+
+    def test_both_direction_can_increase(self):
+        g = stg_random_graph(30, 1)
+        j = weight_jitter(g, 0.3, 3, direction="both")
+        assert any(j.weight(v) > g.weight(v) for v in g.node_ids)
+
+    def test_bad_args(self):
+        g = chain(3)
+        with pytest.raises(ValueError):
+            weight_jitter(g, 1.5)
+        with pytest.raises(ValueError):
+            weight_jitter(g, 0.2, direction="sideways")
+
+    def test_deterministic(self):
+        g = stg_random_graph(20, 6)
+        a = weight_jitter(g, 0.2, 42)
+        b = weight_jitter(g, 0.2, 42)
+        assert np.allclose(a.weights_array, b.weights_array)
+
+    def test_schedule_still_valid_with_actual_times(self):
+        """Failure-injection: schedules built on worst-case weights stay
+        precedence-valid when tasks finish early (the runtime invariant
+        the frame-based model relies on)."""
+        from repro.sched.deadlines import task_deadlines
+        from repro.sched.list_scheduler import list_schedule
+
+        g = stg_random_graph(40, 8)
+        d = task_deadlines(g, 4 * critical_path_length(g))
+        s = list_schedule(g, 4, d)
+        actual = weight_jitter(g, 0.4, 5)
+        # Starting each task at its scheduled time but running the
+        # shorter actual duration can never violate precedence.
+        for u, v in g.edges():
+            finish_u = s.placement(u).start + actual.weight(u)
+            assert finish_u <= s.placement(v).start + 1e-9
+
+
+class TestMergeGraphs:
+    def test_counts_add(self, diamond, fig4_graph):
+        m = merge_graphs(diamond, fig4_graph)
+        assert m.n == diamond.n + fig4_graph.n
+        assert m.m == diamond.m + fig4_graph.m
+
+    def test_components_independent(self, diamond, fig4_graph):
+        m = merge_graphs(diamond, fig4_graph)
+        assert m.predecessors((1, "T1")) == ()
+        assert (0, "b") in m.successors((0, "a"))
+
+    def test_parallelism_grows(self, diamond):
+        single = average_parallelism(diamond)
+        double = average_parallelism(merge_graphs(diamond, diamond))
+        assert double == pytest.approx(2 * single)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_graphs()

@@ -1,0 +1,39 @@
+"""Smoke tests: every example script runs end-to-end.
+
+Examples are the adoption surface; a broken example is a broken
+deliverable, so each is executed as a real subprocess (the way a user
+would run it) and must exit cleanly with its headline output present.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+CASES = {
+    "quickstart.py": "LAMPS+PS",
+    "mpeg1_encoder.py": "Table 3",
+    "kpn_pipeline.py": "throughput met",
+    "periodic_tasks.py": "period deadlines",
+    "runtime_reclaim.py": "leakage-aware",
+    "big_little.py": "big.LITTLE",
+    "design_space.py": "LAMPS+PS best configuration",
+    "stg_campaign.py": "MEAN",
+}
+
+
+@pytest.mark.parametrize("script", sorted(CASES))
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert CASES[script] in proc.stdout
+
+
+def test_every_example_is_covered():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(CASES)

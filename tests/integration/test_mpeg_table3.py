@@ -1,0 +1,70 @@
+"""Integration test: the full MPEG-1 pipeline against the paper's Table 3."""
+
+import pytest
+
+from repro.core.platform import default_platform
+from repro.core.results import Heuristic
+from repro.core.suite import paper_suite
+from repro.graphs.mpeg import MPEG_DEADLINE_SECONDS, mpeg1_gop_graph
+from repro.sched.validate import validate_schedule
+
+
+@pytest.fixture(scope="module")
+def results():
+    plat = default_platform()
+    graph = mpeg1_gop_graph()
+    deadline = plat.reference_cycles(MPEG_DEADLINE_SECONDS)
+    return paper_suite(graph, deadline, platform=plat)
+
+
+class TestTable3Reproduction:
+    def test_lamps_uses_three_processors(self, results):
+        # Paper Table 3: LAMPS -> 3 processors.
+        assert results[Heuristic.LAMPS].n_processors == 3
+
+    def test_lamps_ps_uses_six_processors(self, results):
+        # Paper Table 3: LAMPS+PS -> 6 processors.
+        assert results[Heuristic.LAMPS_PS].n_processors == 6
+
+    def test_sns_spreads_wide(self, results):
+        # Paper: 7; EDF tie-breaking detail gives 7-8 here.
+        assert results[Heuristic.SNS].n_processors in (7, 8)
+
+    def test_lamps_saves_about_26_percent(self, results):
+        rel = results[Heuristic.LAMPS].total_energy / \
+            results[Heuristic.SNS].total_energy
+        # Paper: 13.290 / 18.116 = 0.734.
+        assert rel == pytest.approx(0.734, abs=0.03)
+
+    def test_ps_variants_save_about_40_percent(self, results):
+        for h in (Heuristic.SNS_PS, Heuristic.LAMPS_PS):
+            rel = results[h].total_energy / \
+                results[Heuristic.SNS].total_energy
+            # Paper: ~0.604.
+            assert rel == pytest.approx(0.604, abs=0.03)
+
+    def test_ps_variants_within_one_percent_of_limit(self, results):
+        limit = results[Heuristic.LIMIT_SF].total_energy
+        assert results[Heuristic.LAMPS_PS].total_energy <= limit * 1.01
+        assert results[Heuristic.SNS_PS].total_energy <= limit * 1.01
+
+    def test_limits_coincide_for_this_deadline(self, results):
+        # Table 3: LIMIT-SF == LIMIT-MF == 10.940 (the critical speed is
+        # feasible within the 0.5 s deadline).
+        assert results[Heuristic.LIMIT_SF].total_energy == pytest.approx(
+            results[Heuristic.LIMIT_MF].total_energy)
+
+    def test_limit_mf_meets_the_real_time_deadline(self, results):
+        assert results[Heuristic.LIMIT_MF].meets_deadline
+
+    def test_schedules_valid(self, results):
+        for h in (Heuristic.SNS, Heuristic.LAMPS, Heuristic.SNS_PS,
+                  Heuristic.LAMPS_PS):
+            validate_schedule(results[h].schedule)
+
+    def test_absolute_energy_scale(self, results):
+        # From the Fig. 9 cycle counts the model gives ~1.10 J at the
+        # limit (the paper's table prints 10.940 — a 10x unit quirk
+        # documented in DESIGN.md).
+        assert results[Heuristic.LIMIT_SF].total_energy == pytest.approx(
+            1.096, abs=0.02)

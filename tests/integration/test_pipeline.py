@@ -1,0 +1,113 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import schedule
+from repro.core.platform import Platform, default_platform
+from repro.core.results import Heuristic
+from repro.core.suite import paper_suite
+from repro.graphs.analysis import critical_path_length
+from repro.graphs.generators import stg_random_graph
+from repro.graphs.kpn import Channel, ProcessNetwork
+from repro.graphs.stg import format_stg, parse_stg, strip_dummies
+from repro.power.dvs import DVSLadder
+from repro.power.shutdown import SleepModel
+from repro.power.technology import TECH_70NM
+from repro.sched.deadlines import task_deadlines
+from repro.sched.validate import check_deadlines, validate_schedule
+
+
+class TestStgFileWorkflow:
+    def test_generate_save_load_schedule(self, tmp_path):
+        """The downstream-user workflow: graphs from STG files."""
+        g = stg_random_graph(40, 13, name="w")
+        path = tmp_path / "w.stg"
+        path.write_text(format_stg(g))
+        loaded = strip_dummies(parse_stg(path.read_text(), name="w"))
+        r = schedule(loaded.scaled(3.1e6), deadline_factor=2.0)
+        validate_schedule(r.schedule)
+        assert r.total_energy > 0
+
+
+class TestKpnWorkflow:
+    def test_unroll_and_schedule_with_overrides(self):
+        plat = default_platform()
+        net = ProcessNetwork(
+            {"src": 2e6, "work": 8e6, "sink": 2e6},
+            [Channel("src", "work"), Channel("work", "sink")])
+        unrolled = net.unroll(4, period=20e6, first_deadline=40e6)
+        r = schedule(unrolled.graph, unrolled.horizon,
+                     heuristic="LAMPS+PS",
+                     deadline_overrides=unrolled.deadlines)
+        validate_schedule(r.schedule)
+        d = task_deadlines(unrolled.graph, unrolled.horizon,
+                           overrides=unrolled.deadlines)
+        assert check_deadlines(
+            r.schedule, d,
+            frequency_ratio=r.point.frequency / plat.fmax) is None
+
+    def test_throughput_forces_faster_schedule(self):
+        net = ProcessNetwork({"a": 5e6, "b": 5e6},
+                             [Channel("a", "b")])
+        slow = net.unroll(4, period=40e6, first_deadline=40e6)
+        fast = net.unroll(4, period=11e6, first_deadline=11e6)
+        r_slow = schedule(slow.graph, slow.horizon, heuristic="LAMPS",
+                          deadline_overrides=slow.deadlines)
+        r_fast = schedule(fast.graph, fast.horizon, heuristic="LAMPS",
+                          deadline_overrides=fast.deadlines)
+        assert r_fast.point.frequency >= r_slow.point.frequency
+
+
+class TestCustomTechnologyPipeline:
+    def test_leakier_technology_favors_fewer_processors(self):
+        """More leakage -> turning processors off matters more."""
+        g = stg_random_graph(60, 3).scaled(3.1e6)
+        deadline = 4 * critical_path_length(g)
+        base = default_platform()
+        leaky = Platform(
+            ladder=DVSLadder(TECH_70NM.with_overrides(l_g=4.0e7)),
+            sleep=SleepModel())
+        r_base = schedule(g, deadline, heuristic="LAMPS", platform=base)
+        r_leaky = schedule(g, deadline, heuristic="LAMPS", platform=leaky)
+        assert r_leaky.n_processors <= r_base.n_processors
+
+    def test_no_leakage_makes_sns_near_optimal(self):
+        """With negligible static power the DVS-only baseline is fine —
+        the regime where S&S was designed (the paper's motivation)."""
+        g = stg_random_graph(60, 3).scaled(3.1e6)
+        deadline = 2 * critical_path_length(g)
+        lowleak = Platform(
+            ladder=DVSLadder(TECH_70NM.with_overrides(l_g=4.0e3,
+                                                      p_on=1e-4)),
+            sleep=SleepModel())
+        res = paper_suite(g, deadline, platform=lowleak)
+        rel = res[Heuristic.LAMPS_PS].total_energy / \
+            res[Heuristic.SNS].total_energy
+        assert rel > 0.9  # little left to win without leakage
+
+
+class TestGranularityCrossover:
+    def test_ps_gains_shrink_for_fine_grain(self):
+        """Fig. 10 vs Fig. 11: shutdown pays for coarse tasks only."""
+        g = stg_random_graph(50, 21)
+        deadline_factor = 2.0
+        gains = {}
+        for scale in (3.1e6, 3.1e4):
+            gg = g.scaled(scale)
+            res = paper_suite(gg, deadline_factor
+                              * critical_path_length(gg))
+            gains[scale] = 1.0 - res[Heuristic.SNS_PS].total_energy \
+                / res[Heuristic.SNS].total_energy
+        assert gains[3.1e6] >= gains[3.1e4] - 1e-9
+
+
+class TestDeterminismAcrossRuns:
+    def test_full_suite_reproducible(self):
+        g = stg_random_graph(40, 9).scaled(3.1e6)
+        deadline = 2 * critical_path_length(g)
+        a = paper_suite(g, deadline)
+        b = paper_suite(g, deadline)
+        for h in Heuristic:
+            assert a[h].total_energy == b[h].total_energy
+            assert a[h].n_processors == b[h].n_processors

@@ -1,0 +1,68 @@
+"""Golden-value regression tests on the bundled dataset.
+
+Every quantity here was produced by this repository and is fully
+deterministic (seeded workloads, closed-form energy model), so any
+drift indicates an unintended behaviour change in the scheduler, the
+heuristics, or the power model.  Tolerances are loose enough to absorb
+floating-point reassociation across numpy versions, tight enough to
+catch real changes.
+"""
+
+import pytest
+
+from repro.core import Heuristic, paper_suite
+from repro.graphs import load_bundled
+from repro.graphs.analysis import critical_path_length
+
+#: name -> heuristic -> (total energy [J], employed processors).
+GOLDEN = {
+    "rand50_000": {
+        "S&S": (1.1606680416578097, 9),
+        "LAMPS": (0.6338127343411065, 3),
+        "S&S+PS": (0.5374279531922647, 9),
+        "LAMPS+PS": (0.528683731576967, 4),
+        "LIMIT-SF": (0.5214247179294874, None),
+        "LIMIT-MF": (0.4921669544076176, None),
+    },
+    "rand50_001": {
+        "S&S": (0.9224262315936228, 3),
+        "LAMPS": (0.6239141724061642, 1),
+        "S&S+PS": (0.5593523110032383, 3),
+        "LAMPS+PS": (0.5545006152654298, 2),
+        "LIMIT-SF": (0.5486887554682841, None),
+        "LIMIT-MF": (0.5179011742459244, None),
+    },
+    "robot": {
+        "S&S": (8.09024637259841, 11),
+        "LAMPS": (5.324739398156168, 3),
+        "S&S+PS": (4.211785676729994, 11),
+        "LAMPS+PS": (4.197987968926623, 6),
+        "LIMIT-SF": (4.190141769243822, None),
+        "LIMIT-MF": (3.955027911399777, None),
+    },
+    "sparse": {
+        "S&S": (7.003684078510135, 44),
+        "LAMPS": (4.193493381511514, 17),
+        "S&S+PS": (3.317461519871898, 44),
+        "LAMPS+PS": (3.2991583273641947, 26),
+        "LIMIT-SF": (3.2716845046556076, None),
+        "LIMIT-MF": (3.0881063805968165, None),
+    },
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_golden_energies_and_processor_counts(name):
+    g = load_bundled(name).scaled(3.1e6)
+    deadline = 2 * critical_path_length(g)
+    results = paper_suite(g, deadline)
+    for h, r in results.items():
+        expect_e, expect_n = GOLDEN[name][h.value]
+        assert r.total_energy == pytest.approx(expect_e, rel=1e-6), \
+            (name, h.value)
+        assert r.n_processors == expect_n, (name, h.value)
+
+
+def test_golden_set_covers_all_heuristics():
+    for table in GOLDEN.values():
+        assert set(table) == {h.value for h in Heuristic}

@@ -1,0 +1,113 @@
+"""Tests for adaptive body biasing (DVS+ABB extension)."""
+
+import numpy as np
+import pytest
+
+from repro.power.bodybias import ABBLadder, optimal_body_bias
+from repro.power.dvs import DVSLadder
+from repro.power.model import PowerModel
+from repro.power.technology import TECH_70NM
+
+
+class TestModelWithVbs:
+    def test_default_vbs_matches_fixed(self):
+        m = PowerModel()
+        assert m.frequency(0.8) == m.frequency(0.8, TECH_70NM.vbs)
+        assert m.static_power(0.8) == m.static_power(0.8, TECH_70NM.vbs)
+
+    def test_deeper_bias_raises_threshold(self):
+        m = PowerModel()
+        assert m.threshold_voltage(0.8, -1.0) > \
+            m.threshold_voltage(0.8, -0.5)
+
+    def test_deeper_bias_cuts_subthreshold_leakage(self):
+        m = PowerModel()
+        assert m.subthreshold_current(0.8, -1.0) < \
+            m.subthreshold_current(0.8, -0.5)
+
+    def test_deeper_bias_slows_the_device(self):
+        m = PowerModel()
+        assert m.frequency(0.8, -1.0) < m.frequency(0.8, -0.3)
+
+    def test_vectorized_vbs(self):
+        m = PowerModel()
+        out = m.frequency(np.array([0.8, 0.8]), np.array([-0.7, -1.0]))
+        assert out[0] > out[1]
+
+
+class TestOptimalBodyBias:
+    def test_within_grid(self):
+        vbs = optimal_body_bias(TECH_70NM, 0.7)
+        assert -1.0 <= vbs <= 0.0
+
+    def test_minimises_energy_on_grid(self):
+        m = PowerModel()
+        vdd = 0.7
+        best = optimal_body_bias(TECH_70NM, vdd, vbs_step=0.1)
+        grid = np.arange(-1.0, 0.01, 0.1)
+        feasible = [b for b in grid if m.frequency(vdd, b) > 0]
+        energies = {b: m.energy_per_cycle(vdd, b) for b in feasible}
+        assert m.energy_per_cycle(vdd, best) == min(energies.values())
+
+    def test_performance_floor_respected(self):
+        m = PowerModel()
+        vdd = 0.8
+        floor = float(m.frequency(vdd))  # the fixed-bias speed
+        vbs = optimal_body_bias(TECH_70NM, vdd, min_frequency=floor)
+        assert m.frequency(vdd, vbs) >= floor * (1 - 1e-9)
+
+    def test_impossible_floor_raises(self):
+        with pytest.raises(ValueError, match="no feasible"):
+            optimal_body_bias(TECH_70NM, 0.5, min_frequency=1e12)
+
+    def test_bad_grid_raises(self):
+        with pytest.raises(ValueError):
+            optimal_body_bias(TECH_70NM, 0.7, vbs_min=0.0, vbs_max=-1.0)
+        with pytest.raises(ValueError):
+            optimal_body_bias(TECH_70NM, 0.7, vbs_step=0.0)
+
+
+class TestABBLadder:
+    def test_beats_fixed_bias_at_critical_point(self):
+        abb = ABBLadder()
+        fixed = DVSLadder()
+        assert abb.critical_point().energy_per_cycle < \
+            fixed.critical_point().energy_per_cycle
+
+    def test_reaches_lower_supplies_than_fixed(self):
+        # Forward bias (vbs -> 0) keeps the device conducting at
+        # supplies where the fixed -0.7 V bias cannot.
+        abb = ABBLadder()
+        fixed = DVSLadder()
+        assert min(p.vdd for p in abb) < min(p.vdd for p in fixed)
+
+    def test_points_carry_their_bias(self):
+        abb = ABBLadder()
+        assert any(p.vbs != TECH_70NM.vbs for p in abb)
+
+    def test_frequency_sorted(self):
+        abb = ABBLadder()
+        freqs = [p.frequency for p in abb]
+        assert freqs == sorted(freqs)
+
+    def test_ladder_interface_works(self):
+        abb = ABBLadder()
+        p = abb.slowest_at_least(0.5 * abb.fmax)
+        assert p.frequency >= 0.5 * abb.fmax
+        assert abb.best_point(0.0) is abb.critical_point()
+
+    def test_performance_neutral_keeps_fixed_fmax(self):
+        abb = ABBLadder(performance_neutral=True)
+        fixed = DVSLadder()
+        assert abb.fmax >= fixed.fmax * (1 - 1e-9)
+
+    def test_performance_neutral_never_worse_per_supply(self):
+        m = PowerModel()
+        abb = ABBLadder(performance_neutral=True)
+        for p in abb:
+            assert p.energy_per_cycle <= \
+                m.energy_per_cycle(p.vdd) * (1 + 1e-12)
+
+    def test_bad_step_raises(self):
+        with pytest.raises(ValueError):
+            ABBLadder(vdd_step=-0.1)

@@ -1,0 +1,165 @@
+"""Tests for the analytic power model against the paper's anchors."""
+
+import numpy as np
+import pytest
+
+from repro.power.model import PowerModel
+from repro.power.technology import TECH_70NM
+
+
+@pytest.fixture(scope="module")
+def m():
+    return PowerModel()
+
+
+class TestFrequency:
+    def test_max_frequency_is_3_1_ghz(self, m):
+        # Paper: "The maximum frequency of this processor is 3.1 GHz,
+        # which requires a supply voltage of 1 V."
+        assert m.max_frequency == pytest.approx(3.1e9, rel=0.01)
+
+    def test_frequency_monotone_in_vdd(self, m):
+        v = np.linspace(TECH_70NM.min_vdd + 1e-3, 1.0, 50)
+        f = m.frequency(v)
+        assert np.all(np.diff(f) > 0)
+
+    def test_zero_below_conduction_threshold(self, m):
+        assert m.frequency(TECH_70NM.min_vdd) == 0.0
+        assert m.frequency(0.1) == 0.0
+
+    def test_scalar_in_scalar_out(self, m):
+        assert isinstance(m.frequency(0.8), float)
+
+    def test_array_in_array_out(self, m):
+        out = m.frequency(np.array([0.7, 0.8]))
+        assert isinstance(out, np.ndarray) and out.shape == (2,)
+
+    def test_normalized_at_vdd0_is_one(self, m):
+        assert m.normalized_frequency(1.0) == pytest.approx(1.0)
+
+    def test_normalized_at_0_7v_is_0_41(self, m):
+        # The paper's discrete critical point anchor.
+        assert m.normalized_frequency(0.7) == pytest.approx(0.41, abs=0.005)
+
+
+class TestThresholdVoltage:
+    def test_linear_formula(self, m):
+        t = TECH_70NM
+        for vdd in (0.5, 0.7, 1.0):
+            expect = t.vth1 - t.k1 * vdd - t.k2 * t.vbs
+            assert m.threshold_voltage(vdd) == pytest.approx(expect)
+
+    def test_decreases_with_vdd(self, m):
+        assert m.threshold_voltage(1.0) < m.threshold_voltage(0.5)
+
+
+class TestPowerComponents:
+    def test_dynamic_power_formula(self, m):
+        t = TECH_70NM
+        vdd = 0.9
+        f = m.frequency(vdd)
+        assert m.dynamic_power(vdd) == pytest.approx(
+            t.activity * t.c_eff * vdd**2 * f)
+
+    def test_static_power_scale(self, m):
+        # P_DC at 1.0 V is ~0.7 W (comparable to P_AC, per Fig. 2a).
+        assert 0.5 < m.static_power(1.0) < 1.0
+
+    def test_static_power_positive_at_low_vdd(self, m):
+        assert m.static_power(0.4) > 0
+
+    def test_active_power_is_sum(self, m):
+        vdd = 0.75
+        total = (m.dynamic_power(vdd) + m.static_power(vdd)
+                 + TECH_70NM.p_on)
+        assert m.active_power(vdd) == pytest.approx(total)
+
+    def test_idle_power_excludes_dynamic(self, m):
+        vdd = 0.8
+        assert m.idle_power(vdd) == pytest.approx(
+            m.static_power(vdd) + TECH_70NM.p_on)
+        assert m.idle_power(vdd) < m.active_power(vdd)
+
+    def test_full_speed_power_magnitude(self, m):
+        # Fig. 2a: total power at f_max is a bit over 2 W.
+        assert 1.8 < m.active_power(1.0) < 2.5
+
+    def test_on_power_property(self, m):
+        assert m.on_power == TECH_70NM.p_on
+
+
+class TestEnergyPerCycle:
+    def test_value_at_full_speed(self, m):
+        # ~0.69 nJ/cycle at f_max with these constants.
+        assert m.energy_per_cycle(1.0) == pytest.approx(6.94e-10, rel=0.02)
+
+    def test_minimum_is_below_full_speed_value(self, m):
+        # Scaling down saves energy per cycle until the critical point.
+        assert m.energy_per_cycle(0.7) < m.energy_per_cycle(1.0)
+
+    def test_increases_again_at_very_low_vdd(self, m):
+        # Below the critical voltage leakage dominates.
+        assert m.energy_per_cycle(0.4) > m.energy_per_cycle(0.7)
+
+    def test_infinite_at_zero_frequency(self, m):
+        assert m.energy_per_cycle(TECH_70NM.min_vdd) == np.inf
+
+    def test_active_energy_scales_with_cycles(self, m):
+        assert m.active_energy(0.8, 2e9) == pytest.approx(
+            2 * m.active_energy(0.8, 1e9))
+
+    def test_active_energy_scalar(self, m):
+        assert isinstance(m.active_energy(0.8, 1e6), float)
+
+
+class TestVddForFrequency:
+    def test_roundtrip(self, m):
+        for frac in (0.2, 0.5, 0.9, 1.0):
+            f = frac * m.max_frequency
+            vdd = m.vdd_for_frequency(f)
+            assert m.frequency(vdd) >= f
+            assert m.frequency(vdd) == pytest.approx(f, rel=1e-6)
+
+    def test_half_speed_voltage(self, m):
+        # Derived by hand from the alpha-power law: ~0.752 V.
+        assert m.vdd_for_frequency(0.5 * m.max_frequency) == pytest.approx(
+            0.752, abs=0.002)
+
+    def test_zero_frequency_gives_floor(self, m):
+        assert m.vdd_for_frequency(0.0) == pytest.approx(TECH_70NM.min_vdd)
+
+    def test_negative_frequency_raises(self, m):
+        with pytest.raises(ValueError, match="non-negative"):
+            m.vdd_for_frequency(-1.0)
+
+    def test_above_max_is_allowed_extrapolation(self, m):
+        # No upper clamp: overclocking voltages are returned as-is.
+        vdd = m.vdd_for_frequency(1.2 * m.max_frequency)
+        assert vdd > 1.0
+
+
+class TestSubthresholdCurrent:
+    def test_exponential_in_vdd(self, m):
+        t = TECH_70NM
+        i1, i2 = m.subthreshold_current(0.5), m.subthreshold_current(0.7)
+        assert i2 / i1 == pytest.approx(np.exp(t.k4 * 0.2), rel=1e-9)
+
+    def test_magnitude(self, m):
+        # Per-gate current at 1 V is ~0.18 µA with these constants.
+        assert m.subthreshold_current(1.0) == pytest.approx(1.79e-7,
+                                                            rel=0.02)
+
+
+class TestCustomTechnology:
+    def test_leakier_process_has_higher_idle_power(self):
+        leaky = PowerModel(TECH_70NM.with_overrides(l_g=8.0e6))
+        base = PowerModel()
+        assert leaky.idle_power(0.8) > base.idle_power(0.8)
+
+    def test_activity_scales_dynamic_only(self):
+        half = PowerModel(TECH_70NM.with_overrides(activity=0.5))
+        base = PowerModel()
+        assert half.dynamic_power(0.9) == pytest.approx(
+            0.5 * base.dynamic_power(0.9))
+        assert half.static_power(0.9) == pytest.approx(
+            base.static_power(0.9))

@@ -1,0 +1,111 @@
+"""Tests for the deep-sleep / shutdown cost model."""
+
+import numpy as np
+import pytest
+
+from repro.power.dvs import DVSLadder
+from repro.power.model import PowerModel
+from repro.power.shutdown import DEFAULT_SLEEP, SleepModel
+
+
+class TestDefaults:
+    def test_paper_parameters(self):
+        assert DEFAULT_SLEEP.sleep_power == pytest.approx(50e-6)
+        assert DEFAULT_SLEEP.overhead_energy == pytest.approx(483e-6)
+
+    def test_negative_sleep_power_rejected(self):
+        with pytest.raises(ValueError, match="sleep_power"):
+            SleepModel(sleep_power=-1.0)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError, match="overhead_energy"):
+            SleepModel(overhead_energy=-1.0)
+
+
+class TestBreakeven:
+    def test_formula(self):
+        s = DEFAULT_SLEEP
+        p_idle = 0.5
+        expect = s.overhead_energy / (p_idle - s.sleep_power)
+        assert s.breakeven_time(p_idle) == pytest.approx(expect)
+
+    def test_infinite_when_idle_cheaper_than_sleep(self):
+        s = DEFAULT_SLEEP
+        assert s.breakeven_time(s.sleep_power) == np.inf
+        assert s.breakeven_time(s.sleep_power / 2) == np.inf
+
+    def test_vectorized(self):
+        out = DEFAULT_SLEEP.breakeven_time(np.array([0.1, 0.5]))
+        assert out.shape == (2,)
+        assert out[0] > out[1]
+
+    def test_paper_anchor_1_7_mcycles_at_half_speed(self):
+        # Fig. 3: "When clocked at half the maximum frequency ... an
+        # idle period of at least 1.7 million cycles is required."
+        m = PowerModel()
+        f = 0.5 * m.max_frequency
+        vdd = m.vdd_for_frequency(f)
+        t = DEFAULT_SLEEP.breakeven_time(m.idle_power(vdd))
+        assert t * f == pytest.approx(1.7e6, rel=0.02)
+
+    def test_breakeven_cycles_on_ladder_point(self):
+        lad = DVSLadder()
+        p = lad.max_point
+        cycles = DEFAULT_SLEEP.breakeven_cycles(p)
+        assert cycles == pytest.approx(
+            float(DEFAULT_SLEEP.breakeven_time(p.idle_power)) * p.frequency)
+
+
+class TestGapEnergy:
+    def test_short_gap_stays_on(self):
+        s = DEFAULT_SLEEP
+        p_idle = 0.4
+        t = 0.5 * float(s.breakeven_time(p_idle))
+        assert s.gap_energy(t, p_idle) == pytest.approx(t * p_idle)
+        assert not s.would_shut_down(t, p_idle)
+
+    def test_long_gap_sleeps(self):
+        s = DEFAULT_SLEEP
+        p_idle = 0.4
+        t = 10 * float(s.breakeven_time(p_idle))
+        assert s.gap_energy(t, p_idle) == pytest.approx(
+            s.overhead_energy + t * s.sleep_power)
+        assert s.would_shut_down(t, p_idle)
+
+    def test_gap_energy_is_min_of_both_options(self):
+        s = DEFAULT_SLEEP
+        p_idle = 0.35
+        for t in np.logspace(-6, 1, 30):
+            e = s.gap_energy(float(t), p_idle)
+            assert e <= t * p_idle + 1e-15
+            assert e <= s.overhead_energy + t * s.sleep_power + 1e-15
+
+    def test_zero_gap_costs_nothing(self):
+        assert DEFAULT_SLEEP.gap_energy(0.0, 0.4) == 0.0
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            DEFAULT_SLEEP.gap_energy(-1.0, 0.4)
+
+    def test_vectorized_gap_energy(self):
+        s = DEFAULT_SLEEP
+        t = np.array([1e-6, 1.0])
+        e = s.gap_energy(t, 0.4)
+        assert e.shape == (2,)
+        assert e[0] == pytest.approx(1e-6 * 0.4)
+
+    def test_vectorized_would_shut_down(self):
+        s = DEFAULT_SLEEP
+        out = s.would_shut_down(np.array([1e-9, 100.0]), 0.4)
+        assert list(out) == [False, True]
+
+    def test_free_overhead_always_sleeps(self):
+        s = SleepModel(sleep_power=0.0, overhead_energy=0.0)
+        assert s.would_shut_down(1e-12, 0.4)
+
+    def test_breakeven_is_decision_boundary(self):
+        s = DEFAULT_SLEEP
+        p_idle = 0.4
+        t_be = float(s.breakeven_time(p_idle))
+        assert not s.would_shut_down(t_be * 0.999, p_idle)
+        assert s.would_shut_down(t_be * 1.001, p_idle)

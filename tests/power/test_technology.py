@@ -1,0 +1,83 @@
+"""Tests for the technology constants (paper Table 1)."""
+
+import pytest
+
+from repro.power.technology import TECH_70NM, Technology
+
+
+class TestDefaults:
+    def test_table1_values(self):
+        t = TECH_70NM
+        assert t.k1 == 0.063
+        assert t.k2 == 0.153
+        assert t.k3 == 5.38e-7
+        assert t.k4 == 1.83
+        assert t.k5 == 4.19
+        assert t.k6 == 5.26e-12
+        assert t.k7 == -0.144
+        assert t.vdd0 == 1.0
+        assert t.vbs == -0.7
+        assert t.alpha == 1.5
+        assert t.vth1 == 0.244
+        assert t.i_j == 4.8e-10
+        assert t.c_eff == 0.43e-9
+        assert t.l_d == 37.0
+        assert t.l_g == 4.0e6
+
+    def test_intrinsic_on_power_is_paper_value(self):
+        assert TECH_70NM.p_on == pytest.approx(0.1)
+
+    def test_default_activity_factor(self):
+        assert TECH_70NM.activity == 1.0
+
+    def test_is_frozen(self):
+        with pytest.raises(AttributeError):
+            TECH_70NM.k1 = 0.5  # type: ignore[misc]
+
+
+class TestMinVdd:
+    def test_min_vdd_value(self):
+        # (vth1 - k2*vbs) / (1 + k1) for the 70 nm constants.
+        assert TECH_70NM.min_vdd == pytest.approx(0.3511 / 1.063, rel=1e-6)
+
+    def test_min_vdd_below_nominal(self):
+        assert TECH_70NM.min_vdd < TECH_70NM.vdd0
+
+    def test_min_vdd_tracks_body_bias(self):
+        # A stronger reverse bias raises Vth, hence the floor.
+        deeper = TECH_70NM.with_overrides(vbs=-1.0)
+        assert deeper.min_vdd > TECH_70NM.min_vdd
+
+
+class TestOverrides:
+    def test_with_overrides_returns_new_instance(self):
+        t2 = TECH_70NM.with_overrides(l_g=8.0e6)
+        assert t2.l_g == 8.0e6
+        assert TECH_70NM.l_g == 4.0e6
+        assert t2 is not TECH_70NM
+
+    def test_with_overrides_preserves_other_fields(self):
+        t2 = TECH_70NM.with_overrides(p_on=0.2)
+        assert t2.k4 == TECH_70NM.k4
+        assert t2.c_eff == TECH_70NM.c_eff
+
+    def test_with_unknown_field_raises(self):
+        with pytest.raises(TypeError):
+            TECH_70NM.with_overrides(not_a_field=1.0)
+
+
+class TestAsDict:
+    def test_contains_all_table1_keys(self):
+        d = TECH_70NM.as_dict()
+        for key in ("K1", "K2", "K3", "K4", "K5", "K6", "K7", "Vdd0",
+                    "Vbs", "alpha", "Vth1", "Ij", "Ceff", "Ld", "Lg"):
+            assert key in d
+
+    def test_values_match_fields(self):
+        d = TECH_70NM.as_dict()
+        assert d["K3"] == TECH_70NM.k3
+        assert d["Lg"] == TECH_70NM.l_g
+
+    def test_custom_technology(self):
+        t = Technology(p_on=0.5)
+        assert t.as_dict()["Pon"] == 0.5

@@ -1,0 +1,89 @@
+"""Property-based tests for the graph substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.analysis import (
+    average_parallelism,
+    bottom_levels,
+    critical_path_length,
+    top_levels,
+    total_work,
+)
+from repro.graphs.dag import TaskGraph
+from repro.graphs.generators import sameprob_dag, stg_random_graph
+from repro.graphs.stg import format_stg, parse_stg, strip_dummies
+
+
+@st.composite
+def random_dags(draw, max_nodes=30):
+    """Arbitrary weighted DAGs via a random upper-triangular edge mask."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    weights = draw(st.lists(
+        st.floats(min_value=1.0, max_value=100.0),
+        min_size=n, max_size=n))
+    edges = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            if draw(st.booleans()):
+                edges.append((u, v))
+    return TaskGraph({i: weights[i] for i in range(n)}, edges)
+
+
+class TestStructuralProperties:
+    @given(random_dags())
+    @settings(max_examples=40)
+    def test_topological_order_respects_edges(self, g):
+        pos = {v: i for i, v in enumerate(g.topological_order())}
+        for u, v in g.edges():
+            assert pos[u] < pos[v]
+
+    @given(random_dags())
+    @settings(max_examples=40)
+    def test_cpl_bounds(self, g):
+        cpl = critical_path_length(g)
+        assert cpl >= g.weights_array.max() - 1e-9
+        assert cpl <= total_work(g) + 1e-9
+
+    @given(random_dags())
+    @settings(max_examples=40)
+    def test_parallelism_at_least_one(self, g):
+        assert average_parallelism(g) >= 1.0 - 1e-9
+
+    @given(random_dags())
+    @settings(max_examples=40)
+    def test_levels_bound_cpl(self, g):
+        tl, bl = top_levels(g), bottom_levels(g)
+        cpl = critical_path_length(g)
+        assert np.all(tl + bl - g.weights_array <= cpl + 1e-6)
+        assert abs(tl.max() - bl.max()) <= 1e-9 * max(tl.max(), 1.0)
+
+    @given(random_dags(), st.floats(min_value=0.1, max_value=1000.0))
+    @settings(max_examples=40)
+    def test_scaling_linearity(self, g, k):
+        g2 = g.scaled(k)
+        assert critical_path_length(g2) == np.float64(
+            critical_path_length(g)) * k or abs(
+            critical_path_length(g2) - critical_path_length(g) * k) < \
+            1e-6 * critical_path_length(g2)
+        assert abs(total_work(g2) - total_work(g) * k) <= \
+            1e-9 * total_work(g2)
+
+
+class TestStgRoundtrip:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_generated_graphs_roundtrip(self, seed):
+        g = stg_random_graph(25, seed)
+        back = strip_dummies(parse_stg(format_stg(g)))
+        assert back.n == g.n
+        assert back.m == g.m
+        assert critical_path_length(back) == critical_path_length(g)
+        assert total_work(back) == total_work(g)
+
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.floats(min_value=0.0, max_value=0.9))
+    @settings(max_examples=20, deadline=None)
+    def test_sameprob_acyclic(self, seed, p):
+        sameprob_dag(20, p, seed).topological_order()

@@ -1,0 +1,96 @@
+"""Property-based tests for the power substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.power.dvs import DVSLadder
+from repro.power.model import PowerModel
+from repro.power.shutdown import SleepModel
+from repro.power.technology import TECH_70NM
+
+MODEL = PowerModel()
+LADDER = DVSLadder()
+
+voltages = st.floats(min_value=TECH_70NM.min_vdd + 1e-3, max_value=1.0)
+frequencies = st.floats(min_value=1e6, max_value=LADDER.fmax)
+
+
+class TestModelProperties:
+    @given(voltages, voltages)
+    def test_frequency_monotone(self, v1, v2):
+        lo, hi = sorted((v1, v2))
+        assert MODEL.frequency(lo) <= MODEL.frequency(hi)
+
+    @given(voltages)
+    def test_power_components_positive(self, v):
+        assert MODEL.dynamic_power(v) >= 0
+        assert MODEL.static_power(v) > 0
+        assert MODEL.idle_power(v) > TECH_70NM.p_on
+
+    @given(voltages)
+    def test_active_dominates_idle(self, v):
+        assert MODEL.active_power(v) >= MODEL.idle_power(v)
+
+    @given(frequencies)
+    def test_vdd_for_frequency_inverts(self, f):
+        vdd = MODEL.vdd_for_frequency(f)
+        achieved = MODEL.frequency(vdd)
+        assert achieved >= f * (1 - 1e-9)
+        assert achieved <= f * (1 + 1e-6)
+
+    @given(voltages)
+    def test_energy_per_cycle_consistent(self, v):
+        f = MODEL.frequency(v)
+        if f > 0:
+            assert MODEL.energy_per_cycle(v) * f == np.float64(
+                MODEL.active_power(v)) or abs(
+                MODEL.energy_per_cycle(v) * f
+                - MODEL.active_power(v)) < 1e-12
+
+
+class TestLadderProperties:
+    @given(st.floats(min_value=0.0, max_value=LADDER.fmax))
+    def test_slowest_at_least_is_tight(self, f_req):
+        p = LADDER.slowest_at_least(f_req)
+        assert p.frequency >= f_req
+        below = [q for q in LADDER if q.frequency < p.frequency]
+        for q in below:
+            assert q.frequency < f_req
+
+    @given(st.floats(min_value=0.0, max_value=LADDER.fmax))
+    def test_best_point_is_feasible_minimum(self, f_req):
+        best = LADDER.best_point(f_req)
+        feas = [q for q in LADDER if q.frequency >= f_req]
+        assert best.frequency >= f_req
+        assert best.energy_per_cycle == min(q.energy_per_cycle
+                                            for q in feas)
+
+
+class TestSleepProperties:
+    @given(st.floats(min_value=0.0, max_value=100.0),
+           st.floats(min_value=1e-4, max_value=3.0))
+    def test_gap_energy_is_lower_envelope(self, t, p_idle):
+        s = SleepModel()
+        e = s.gap_energy(t, p_idle)
+        assert e <= t * p_idle + 1e-12
+        assert e <= s.overhead_energy + t * s.sleep_power + 1e-12
+        assert e == min(t * p_idle, s.overhead_energy + t * s.sleep_power)
+
+    @given(st.floats(min_value=0.0, max_value=100.0),
+           st.floats(min_value=0.0, max_value=100.0),
+           st.floats(min_value=1e-4, max_value=3.0))
+    def test_gap_energy_monotone_in_duration(self, t1, t2, p_idle):
+        s = SleepModel()
+        lo, hi = sorted((t1, t2))
+        assert s.gap_energy(lo, p_idle) <= s.gap_energy(hi, p_idle) + 1e-12
+
+    @given(st.floats(min_value=0.0, max_value=10.0),
+           st.floats(min_value=1e-4, max_value=3.0))
+    @settings(max_examples=50)
+    def test_decision_matches_energy(self, t, p_idle):
+        s = SleepModel()
+        shut = s.would_shut_down(t, p_idle)
+        stay_on = t * p_idle
+        sleep = s.overhead_energy + t * s.sleep_power
+        assert shut == (sleep < stay_on)

@@ -1,0 +1,109 @@
+"""Property-based tests for the runtime and trace simulators."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import default_platform, lamps_ps, sns
+from repro.graphs.analysis import critical_path_length
+from repro.graphs.generators import stg_random_graph
+from repro.graphs.transforms import weight_jitter
+from repro.runtime import (
+    greedy_reclaim_policy,
+    leakage_aware_reclaim_policy,
+    simulate,
+)
+from repro.sched.deadlines import task_deadlines
+from repro.sim import ProcState, TransitionModel, execute
+
+seeds = st.integers(min_value=0, max_value=500)
+
+
+def _plan(seed, factor=2.0):
+    g = stg_random_graph(20, seed).scaled(3.1e6)
+    deadline = factor * critical_path_length(g)
+    return g, lamps_ps(g, deadline), task_deadlines(g, deadline)
+
+
+class TestRuntimeProperties:
+    @given(seeds, st.floats(min_value=0.0, max_value=0.9))
+    @settings(max_examples=20, deadline=None)
+    def test_wcet_replay_matches_plan(self, seed, _unused):
+        g, plan, d = _plan(seed)
+        sim = simulate(plan.schedule, plan.point, d)
+        assert abs(sim.total_energy - plan.total_energy) \
+            <= 1e-9 * plan.total_energy
+
+    @given(seeds, st.floats(min_value=0.0, max_value=0.9),
+           st.integers(min_value=0, max_value=100))
+    @settings(max_examples=25, deadline=None)
+    def test_no_policy_misses_deadlines(self, seed, jitter, jseed):
+        g, plan, d = _plan(seed)
+        plat = default_platform()
+        actual_graph = weight_jitter(g, jitter, jseed)
+        actual = {v: actual_graph.weight(v) for v in g.node_ids}
+        for policy in (None,
+                       greedy_reclaim_policy(plan.point, plat.ladder),
+                       leakage_aware_reclaim_policy(plan.point,
+                                                    plat.ladder)):
+            sim = simulate(plan.schedule, plan.point, d,
+                           actual_cycles=actual, policy=policy)
+            assert sim.deadline_misses == ()
+
+    @given(seeds, st.floats(min_value=0.0, max_value=0.9),
+           st.integers(min_value=0, max_value=100))
+    @settings(max_examples=20, deadline=None)
+    def test_early_finish_never_costs_more(self, seed, jitter, jseed):
+        g, plan, d = _plan(seed)
+        actual_graph = weight_jitter(g, jitter, jseed)
+        actual = {v: actual_graph.weight(v) for v in g.node_ids}
+        wcet = simulate(plan.schedule, plan.point, d)
+        act = simulate(plan.schedule, plan.point, d,
+                       actual_cycles=actual)
+        assert act.total_energy <= wcet.total_energy + 1e-9
+
+
+class TestTraceProperties:
+    @given(seeds, st.sampled_from([1.5, 2.0, 4.0]))
+    @settings(max_examples=20, deadline=None)
+    def test_trace_always_validates_and_matches(self, seed, factor):
+        g, plan, d = _plan(seed, factor)
+        trace = execute(plan.schedule, plan.point, plan.deadline_seconds)
+        trace.validate()
+        assert abs(trace.energy() - plan.total_energy) \
+            <= 1e-9 * plan.total_energy
+
+    @given(seeds,
+           st.floats(min_value=0.0, max_value=1e-3),
+           st.floats(min_value=0.0, max_value=1e-3))
+    @settings(max_examples=20, deadline=None)
+    def test_latency_energy_bounded_around_instant(
+            self, seed, t_down, t_up):
+        # Latencies have two opposite effects: they trim the span that
+        # draws sleep power (the lumped transition energy is fixed, so
+        # a sleeping gap gets *cheaper* by at most sleep_power * trim),
+        # and they disqualify short gaps from sleeping at all (costlier).
+        g, plan, d = _plan(seed)
+        plat = default_platform()
+        instant = execute(plan.schedule, plan.point,
+                          plan.deadline_seconds)
+        slow = execute(plan.schedule, plan.point, plan.deadline_seconds,
+                       transitions=TransitionModel(down_latency=t_down,
+                                                   up_latency=t_up))
+        slow.validate()
+        max_gaps = g.n + plan.schedule.n_processors
+        trim_credit = (t_down + t_up) * plat.sleep.sleep_power * max_gaps
+        assert slow.energy() >= instant.energy() - trim_credit - 1e-12
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_no_ps_trace_has_no_sleep(self, seed):
+        g = stg_random_graph(20, seed).scaled(3.1e6)
+        deadline = 2 * critical_path_length(g)
+        r = sns(g, deadline)
+        trace = execute(r.schedule, r.point, r.deadline_seconds,
+                        shutdown=False)
+        states = set()
+        for p in trace.processors:
+            states |= {s.state for s in trace.segments(p)}
+        assert ProcState.SLEEP not in states

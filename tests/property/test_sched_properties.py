@@ -1,0 +1,136 @@
+"""Property-based tests for scheduling and the energy orderings."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.results import Heuristic
+from repro.core.suite import paper_suite
+from repro.graphs.analysis import critical_path_length, total_work
+from repro.graphs.generators import stg_random_graph
+from repro.sched.deadlines import task_deadlines
+from repro.sched.list_scheduler import list_schedule
+from repro.sched.validate import check_deadlines, validate_schedule
+
+seeds = st.integers(min_value=0, max_value=10_000)
+proc_counts = st.integers(min_value=1, max_value=12)
+policies = st.sampled_from(["edf", "hlfet", "fifo", "lpt", "spt"])
+
+
+class TestSchedulerProperties:
+    @given(seeds, proc_counts, policies)
+    @settings(max_examples=40, deadline=None)
+    def test_schedules_always_valid(self, seed, n_procs, policy):
+        g = stg_random_graph(25, seed)
+        d = task_deadlines(g, 8 * critical_path_length(g))
+        s = list_schedule(g, n_procs, d, policy=policy)
+        validate_schedule(s)
+
+    @given(seeds, proc_counts)
+    @settings(max_examples=40, deadline=None)
+    def test_makespan_bounds(self, seed, n_procs):
+        g = stg_random_graph(25, seed)
+        d = task_deadlines(g, 8 * critical_path_length(g))
+        s = list_schedule(g, n_procs, d)
+        cpl, work = critical_path_length(g), total_work(g)
+        assert s.makespan >= max(cpl, work / n_procs) - 1e-6
+        assert s.makespan <= work / n_procs + cpl * (n_procs - 1) \
+            / n_procs + 1e-6
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_enough_processors_reach_cpl(self, seed):
+        g = stg_random_graph(20, seed)
+        d = task_deadlines(g, 8 * critical_path_length(g))
+        s = list_schedule(g, g.n, d)
+        assert s.makespan == critical_path_length(g)
+
+    @given(seeds, proc_counts)
+    @settings(max_examples=30, deadline=None)
+    def test_employed_at_most_given(self, seed, n_procs):
+        g = stg_random_graph(25, seed)
+        d = task_deadlines(g, 8 * critical_path_length(g))
+        s = list_schedule(g, n_procs, d)
+        assert 1 <= s.employed_processors <= n_procs
+
+
+class TestHeuristicOrderingProperties:
+    @given(seeds, st.sampled_from([1.5, 2.0, 4.0, 8.0]),
+           st.sampled_from([3.1e4, 3.1e6]))
+    @settings(max_examples=25, deadline=None)
+    def test_energy_ordering_invariants(self, seed, factor, scale):
+        g = stg_random_graph(20, seed).scaled(scale)
+        deadline = factor * critical_path_length(g)
+        res = paper_suite(g, deadline)
+        e = {h: r.total_energy for h, r in res.items()}
+        tol = 1e-9
+        assert e[Heuristic.LIMIT_MF] <= e[Heuristic.LIMIT_SF] + tol
+        assert e[Heuristic.LIMIT_SF] <= e[Heuristic.LAMPS_PS] * (1 + tol)
+        assert e[Heuristic.LAMPS_PS] <= min(
+            e[Heuristic.LAMPS], e[Heuristic.SNS_PS]) + tol
+        assert e[Heuristic.SNS_PS] <= e[Heuristic.SNS] + tol
+        assert e[Heuristic.LAMPS] <= e[Heuristic.SNS] + tol
+
+    @given(seeds, st.sampled_from([1.5, 2.0, 4.0]))
+    @settings(max_examples=25, deadline=None)
+    def test_results_meet_deadlines(self, seed, factor):
+        g = stg_random_graph(20, seed).scaled(3.1e6)
+        deadline = factor * critical_path_length(g)
+        d = task_deadlines(g, deadline)
+        res = paper_suite(g, deadline)
+        from repro.core.platform import default_platform
+
+        fmax = default_platform().fmax
+        for h in (Heuristic.SNS, Heuristic.LAMPS, Heuristic.SNS_PS,
+                  Heuristic.LAMPS_PS):
+            r = res[h]
+            # Per task: finish / f <= d / fmax, i.e. the deadline check
+            # at frequency ratio f / fmax must pass.
+            assert check_deadlines(r.schedule, d,
+                                   frequency_ratio=r.point.frequency
+                                   / fmax) is None
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_employed_processors_ordering(self, seed):
+        # LAMPS never employs more processors than S&S.
+        g = stg_random_graph(25, seed).scaled(3.1e6)
+        res = paper_suite(g, 4 * critical_path_length(g))
+        assert res[Heuristic.LAMPS].n_processors <= \
+            res[Heuristic.SNS].n_processors
+
+
+class TestCommSchedulerProperties:
+    @given(seeds, proc_counts,
+           st.floats(min_value=0.0, max_value=4.0))
+    @settings(max_examples=25, deadline=None)
+    def test_comm_schedules_always_valid(self, seed, n_procs, ccr):
+        from repro.comm import comm_aware_schedule, uniform_ccr
+
+        g = stg_random_graph(20, seed)
+        d = task_deadlines(g, 8 * critical_path_length(g))
+        cg = uniform_ccr(g, ccr, seed)
+        validate_schedule(comm_aware_schedule(cg, n_procs, d))
+
+    @given(seeds, st.floats(min_value=0.0, max_value=4.0))
+    @settings(max_examples=20, deadline=None)
+    def test_single_processor_immune_to_comm(self, seed, ccr):
+        from repro.comm import comm_aware_schedule, uniform_ccr
+
+        g = stg_random_graph(20, seed)
+        d = task_deadlines(g, 8 * critical_path_length(g))
+        free = comm_aware_schedule(uniform_ccr(g, 0.0), 1, d)
+        costly = comm_aware_schedule(uniform_ccr(g, ccr, seed), 1, d)
+        # One processor never pays transfer costs.
+        assert costly.makespan == free.makespan
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_zero_comm_work_conserving_makespan(self, seed):
+        from repro.comm import comm_aware_schedule, uniform_ccr
+
+        g = stg_random_graph(20, seed)
+        d = task_deadlines(g, 8 * critical_path_length(g))
+        s = comm_aware_schedule(uniform_ccr(g, 0.0), g.n, d)
+        # With enough processors and no transfer cost, every task can
+        # run at its top level: makespan == CPL.
+        assert s.makespan == critical_path_length(g)

@@ -1,0 +1,31 @@
+"""Tests for the ASCII Gantt renderer."""
+
+import pytest
+
+from repro.sched.deadlines import task_deadlines
+from repro.sched.gantt import render_gantt
+from repro.sched.list_scheduler import list_schedule
+
+
+class TestRenderGantt:
+    def test_one_row_per_employed_processor(self, fig4_graph):
+        s = list_schedule(fig4_graph, 3,
+                          task_deadlines(fig4_graph, 100.0))
+        text = render_gantt(s)
+        rows = [l for l in text.splitlines() if l.startswith("P")]
+        assert len(rows) == s.employed_processors
+
+    def test_task_labels_appear(self, diamond):
+        s = list_schedule(diamond, 2, task_deadlines(diamond, 100.0))
+        text = render_gantt(s, width=60)
+        assert "a" in text and "d" in text
+
+    def test_horizon_extends_axis(self, diamond):
+        s = list_schedule(diamond, 2, task_deadlines(diamond, 100.0))
+        long = render_gantt(s, horizon=20.0)
+        assert "= 20" in long
+
+    def test_zero_span_raises(self, diamond):
+        s = list_schedule(diamond, 2, task_deadlines(diamond, 100.0))
+        with pytest.raises(ValueError):
+            render_gantt(s, horizon=0.0)

@@ -1,0 +1,91 @@
+"""Tests for the insertion-based list scheduler."""
+
+import pytest
+
+from repro.graphs.analysis import critical_path_length, total_work
+from repro.graphs.dag import TaskGraph
+from repro.graphs.generators import chain, independent_tasks, \
+    stg_random_graph
+from repro.sched.deadlines import task_deadlines
+from repro.sched.insertion import insertion_schedule
+from repro.sched.list_scheduler import list_schedule
+from repro.sched.validate import validate_schedule
+
+
+class TestBasics:
+    def test_chain_serial(self):
+        g = chain(5, weights=[1, 2, 3, 4, 5])
+        s = insertion_schedule(g, 3, task_deadlines(g, 100.0))
+        assert s.makespan == 15.0
+
+    def test_independent_spread(self):
+        g = independent_tasks(6, weights=[1] * 6)
+        s = insertion_schedule(g, 3, task_deadlines(g, 100.0))
+        assert s.makespan == 2.0
+
+    def test_valid_on_random_graphs(self):
+        for seed in range(6):
+            g = stg_random_graph(40, seed)
+            d = task_deadlines(g, 8 * critical_path_length(g))
+            for n in (1, 3, 8):
+                validate_schedule(insertion_schedule(g, n, d))
+
+    def test_zero_processors_rejected(self, diamond):
+        with pytest.raises(ValueError):
+            insertion_schedule(diamond, 0)
+
+    def test_deterministic(self):
+        g = stg_random_graph(40, 3)
+        d = task_deadlines(g, 4 * critical_path_length(g))
+        a = insertion_schedule(g, 4, d)
+        b = insertion_schedule(g, 4, d)
+        for v in g.node_ids:
+            assert a.placement(v) == b.placement(v)
+
+
+class TestGapFilling:
+    def test_fills_a_forced_gap(self):
+        # c blocks behind long b; a later-priority short task x fits in
+        # the hole before c on the same processor.
+        g = TaskGraph(
+            {"a": 1.0, "b": 10.0, "c": 2.0, "x": 3.0},
+            [("a", "c"), ("b", "c")])
+        import numpy as np
+
+        # Priorities: schedule a, b, then c (waits until 10), then x.
+        d = np.array([1.0, 2.0, 3.0, 4.0])
+        s = insertion_schedule(g, 2, d, policy="edf")
+        x = s.placement("x")
+        # x must start immediately in the gap, not after c.
+        assert x.start <= 1.0 + 1e-9
+
+    def test_event_scheduler_does_not_backfill(self):
+        # The same scenario under the work-conserving event scheduler:
+        # x dispatches at time >= 0 anyway (it is a source), so compare
+        # makespans on a graph where insertion genuinely helps.
+        g = TaskGraph(
+            {"a": 1.0, "b": 10.0, "c": 2.0, "x": 3.0},
+            [("a", "c"), ("b", "c")])
+        import numpy as np
+
+        d = np.array([1.0, 2.0, 3.0, 4.0])
+        ins = insertion_schedule(g, 2, d)
+        evt = list_schedule(g, 2, d)
+        assert ins.makespan <= evt.makespan + 1e-9
+
+
+class TestComparableQuality:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_makespan_bounds_hold(self, seed):
+        g = stg_random_graph(50, seed)
+        d = task_deadlines(g, 8 * critical_path_length(g))
+        for n in (2, 4):
+            s = insertion_schedule(g, n, d)
+            assert s.makespan >= max(critical_path_length(g),
+                                     total_work(g) / n) - 1e-6
+
+    def test_policies_supported(self):
+        g = stg_random_graph(30, 1)
+        d = task_deadlines(g, 4 * critical_path_length(g))
+        for policy in ("edf", "hlfet", "lpt"):
+            validate_schedule(insertion_schedule(g, 3, d, policy=policy))

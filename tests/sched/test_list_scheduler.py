@@ -1,0 +1,125 @@
+"""Tests for the event-driven list scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.analysis import critical_path_length, total_work
+from repro.graphs.dag import TaskGraph
+from repro.graphs.generators import chain, independent_tasks, \
+    stg_random_graph
+from repro.sched.deadlines import task_deadlines
+from repro.sched.list_scheduler import list_schedule
+from repro.sched.validate import validate_schedule
+
+
+class TestBasics:
+    def test_chain_is_serial_regardless_of_processors(self):
+        g = chain(5, weights=[1, 2, 3, 4, 5])
+        s = list_schedule(g, 4, task_deadlines(g, 100.0))
+        assert s.makespan == 15.0
+        assert s.employed_processors == 1
+
+    def test_independent_tasks_spread(self):
+        g = independent_tasks(6, weights=[1] * 6)
+        s = list_schedule(g, 3, task_deadlines(g, 100.0))
+        assert s.makespan == 2.0
+        assert s.employed_processors == 3
+
+    def test_single_processor_serializes(self, diamond):
+        s = list_schedule(diamond, 1, task_deadlines(diamond, 100.0))
+        assert s.makespan == total_work(diamond)
+
+    def test_enough_processors_reach_cpl(self, fig4_graph):
+        s = list_schedule(fig4_graph, fig4_graph.n,
+                          task_deadlines(fig4_graph, 100.0))
+        assert s.makespan == critical_path_length(fig4_graph)
+
+    def test_zero_processors_rejected(self, diamond):
+        with pytest.raises(ValueError):
+            list_schedule(diamond, 0)
+
+    def test_schedule_is_valid(self, fig4_graph):
+        for n in (1, 2, 3, 5):
+            validate_schedule(list_schedule(
+                fig4_graph, n, task_deadlines(fig4_graph, 100.0)))
+
+
+class TestWorkConservation:
+    def test_no_idle_while_ready(self, diamond):
+        # Work conserving: a at 0; b and c dispatch the moment a ends.
+        s = list_schedule(diamond, 2, task_deadlines(diamond, 100.0))
+        assert s.placement("b").start == 1.0
+        assert s.placement("c").start == 1.0
+
+    def test_packs_low_processor_ids_first(self):
+        g = independent_tasks(2)
+        s = list_schedule(g, 8, task_deadlines(g, 10.0))
+        procs = {s.placement(v).processor for v in g.node_ids}
+        assert procs == {0, 1}
+
+
+class TestEdfOrdering:
+    def test_tighter_deadline_goes_first(self):
+        g = independent_tasks(2, weights=[5, 5])
+        d = np.array([50.0, 10.0])
+        s = list_schedule(g, 1, d)
+        assert s.placement(1).start == 0.0
+        assert s.placement(0).start == 5.0
+
+    def test_tie_broken_by_node_index(self):
+        g = independent_tasks(2, weights=[5, 5])
+        s = list_schedule(g, 1, np.array([10.0, 10.0]))
+        assert s.placement(0).start == 0.0
+
+    def test_simultaneous_release_competes_on_priority(self):
+        # x and y finish together; of their successors the tighter
+        # deadline must be dispatched on the single free processor.
+        g = TaskGraph({"x": 2.0, "y": 2.0, "late": 1.0, "soon": 1.0},
+                      [("x", "late"), ("y", "soon")])
+        d = np.array([100.0, 100.0, 100.0, 3.0])
+        s = list_schedule(g, 2, d)
+        assert s.placement("soon").start == 2.0
+
+
+class TestPolicies:
+    @pytest.mark.parametrize("policy", ["edf", "hlfet", "fifo", "lpt", "spt"])
+    def test_all_policies_produce_valid_schedules(self, policy):
+        g = stg_random_graph(60, 11)
+        d = task_deadlines(g, 4 * critical_path_length(g))
+        s = list_schedule(g, 4, d, policy=policy)
+        validate_schedule(s)
+
+    def test_policy_changes_schedule(self):
+        g = stg_random_graph(60, 11)
+        d = task_deadlines(g, 4 * critical_path_length(g))
+        a = list_schedule(g, 3, d, policy="edf")
+        b = list_schedule(g, 3, d, policy="spt")
+        assert any(a.placement(v) != b.placement(v) for v in g.node_ids)
+
+
+class TestDeterminism:
+    def test_same_inputs_same_schedule(self):
+        g = stg_random_graph(80, 5)
+        d = task_deadlines(g, 2 * critical_path_length(g))
+        a = list_schedule(g, 4, d)
+        b = list_schedule(g, 4, d)
+        for v in g.node_ids:
+            assert a.placement(v) == b.placement(v)
+
+
+class TestMakespanBounds:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_classic_bounds(self, seed):
+        g = stg_random_graph(100, seed)
+        d = task_deadlines(g, 8 * critical_path_length(g))
+        for n in (1, 2, 5):
+            s = list_schedule(g, n, d)
+            cpl = critical_path_length(g)
+            work = total_work(g)
+            assert s.makespan >= max(cpl, work / n) - 1e-6
+            # Graham's bound for any list schedule.
+            assert s.makespan <= work / n + cpl * (n - 1) / n + 1e-6
+
+    def test_default_deadline_vector(self, diamond):
+        # Without deadlines the scheduler still produces a valid schedule.
+        validate_schedule(list_schedule(diamond, 2))

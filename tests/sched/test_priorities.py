@@ -1,0 +1,76 @@
+"""Tests for the list-scheduling priority policies."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import chain
+from repro.sched.deadlines import task_deadlines
+from repro.sched.priorities import PRIORITY_POLICIES, priority_keys, \
+    random_policy
+
+
+class TestEdf:
+    def test_keys_are_deadlines(self, diamond):
+        d = task_deadlines(diamond, 10.0)
+        keys = priority_keys(diamond, d, "edf")
+        assert np.array_equal(keys, d)
+
+
+class TestHlfet:
+    def test_longest_path_first(self, diamond):
+        keys = priority_keys(diamond, np.zeros(diamond.n), "hlfet")
+        # a has bottom level 5 (longest), so the smallest key.
+        order = np.argsort(keys)
+        assert diamond.id_of(int(order[0])) == "a"
+
+
+class TestFifo:
+    def test_topological_ranks(self, diamond):
+        keys = priority_keys(diamond, np.zeros(diamond.n), "fifo")
+        topo = diamond.topological_order()
+        for rank, v in enumerate(topo):
+            assert keys[diamond.index_of(v)] == rank
+
+
+class TestSizePolicies:
+    def test_lpt_prefers_heavy(self, diamond):
+        keys = priority_keys(diamond, np.zeros(diamond.n), "lpt")
+        assert keys[diamond.index_of("c")] < keys[diamond.index_of("a")]
+
+    def test_spt_prefers_light(self, diamond):
+        keys = priority_keys(diamond, np.zeros(diamond.n), "spt")
+        assert keys[diamond.index_of("a")] < keys[diamond.index_of("c")]
+
+
+class TestRandom:
+    def test_deterministic_per_seed(self, diamond):
+        pol = random_policy(3)
+        a = priority_keys(diamond, np.zeros(diamond.n), pol)
+        b = priority_keys(diamond, np.zeros(diamond.n), pol)
+        assert np.array_equal(a, b)
+
+    def test_is_a_permutation(self, diamond):
+        keys = priority_keys(diamond, np.zeros(diamond.n), random_policy(1))
+        assert sorted(keys) == list(range(diamond.n))
+
+
+class TestResolution:
+    def test_registry_names_all_work(self, diamond):
+        d = task_deadlines(diamond, 10.0)
+        for name in PRIORITY_POLICIES:
+            keys = priority_keys(diamond, d, name)
+            assert keys.shape == (diamond.n,)
+
+    def test_unknown_name_raises(self, diamond):
+        with pytest.raises(KeyError):
+            priority_keys(diamond, np.zeros(diamond.n), "bogus")
+
+    def test_callable_policy(self, diamond):
+        keys = priority_keys(diamond, np.zeros(diamond.n),
+                             lambda g, d: np.arange(g.n, dtype=float))
+        assert keys[0] == 0.0
+
+    def test_wrong_shape_rejected(self, diamond):
+        with pytest.raises(ValueError, match="shape"):
+            priority_keys(diamond, np.zeros(diamond.n),
+                          lambda g, d: np.zeros(2))

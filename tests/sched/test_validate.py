@@ -1,0 +1,93 @@
+"""Tests for the schedule validator (it must catch bad schedules)."""
+
+import numpy as np
+import pytest
+
+from repro.sched.schedule import Placement, Schedule
+from repro.sched.validate import (
+    ScheduleInvariantError,
+    check_deadlines,
+    validate_schedule,
+)
+
+
+def make(diamond, placements):
+    return Schedule(diamond, 3, placements)
+
+
+@pytest.fixture
+def good(diamond):
+    return make(diamond, [
+        Placement("a", 0, 0.0, 1.0),
+        Placement("b", 1, 1.0, 3.0),
+        Placement("c", 0, 1.0, 4.0),
+        Placement("d", 0, 4.0, 5.0),
+    ])
+
+
+class TestValidate:
+    def test_accepts_valid(self, good):
+        validate_schedule(good)
+
+    def test_catches_precedence_violation(self, diamond):
+        s = make(diamond, [
+            Placement("a", 0, 0.0, 1.0),
+            Placement("b", 1, 0.5, 2.5),  # starts before a finishes
+            Placement("c", 0, 1.0, 4.0),
+            Placement("d", 2, 4.0, 5.0),
+        ])
+        with pytest.raises(ScheduleInvariantError, match="predecessor"):
+            validate_schedule(s)
+
+    def test_catches_overlap(self, diamond):
+        s = make(diamond, [
+            Placement("a", 0, 0.0, 1.0),
+            Placement("b", 0, 0.5, 2.5),  # overlaps a on proc 0
+            Placement("c", 1, 1.0, 4.0),
+            Placement("d", 2, 4.0, 5.0),
+        ])
+        with pytest.raises(ScheduleInvariantError):
+            validate_schedule(s)
+
+    def test_catches_wrong_duration(self, diamond):
+        s = make(diamond, [
+            Placement("a", 0, 0.0, 1.0),
+            Placement("b", 1, 1.0, 2.0),  # weight is 2, runs 1
+            Placement("c", 0, 1.0, 4.0),
+            Placement("d", 2, 4.0, 5.0),
+        ])
+        with pytest.raises(ScheduleInvariantError, match="weight"):
+            validate_schedule(s)
+
+    def test_catches_negative_start(self, diamond):
+        s = make(diamond, [
+            Placement("a", 0, -1.0, 0.0),
+            Placement("b", 1, 0.0, 2.0),
+            Placement("c", 0, 0.0, 3.0),
+            Placement("d", 2, 3.0, 4.0),
+        ])
+        with pytest.raises(ScheduleInvariantError, match="negative"):
+            validate_schedule(s)
+
+
+class TestCheckDeadlines:
+    def test_met(self, good, diamond):
+        assert check_deadlines(good, np.full(diamond.n, 5.0)) is None
+
+    def test_missed_names_task(self, good, diamond):
+        msg = check_deadlines(good, np.full(diamond.n, 4.5))
+        assert msg is not None and "'d'" in msg
+
+    def test_frequency_ratio_rescues(self, good, diamond):
+        # At double speed everything finishes by 2.5.
+        assert check_deadlines(good, np.full(diamond.n, 2.5),
+                               frequency_ratio=2.0) is None
+
+    def test_slowdown_breaks(self, good, diamond):
+        assert check_deadlines(good, np.full(diamond.n, 5.0),
+                               frequency_ratio=0.5) is not None
+
+    def test_bad_ratio_rejected(self, good, diamond):
+        with pytest.raises(ValueError):
+            check_deadlines(good, np.full(diamond.n, 5.0),
+                            frequency_ratio=0.0)
