@@ -1,0 +1,74 @@
+"""Bench: process-pool and cache scaling of the experiment runner.
+
+A fixed 40-instance campaign (10 STG graphs x 4 deadline factors,
+coarse grain) evaluated serially, with 2 and 4 workers, and against a
+cold then warm result cache.  Prints a JSON blob with the wall-clock
+trajectory so successive PRs can track the runner's scaling, and
+asserts the modes agree bit-for-bit — speed must never buy different
+numbers.
+"""
+
+import json
+import time
+
+from repro.core.suite import paper_suite  # noqa: F401  (campaign dep)
+from repro.exec import ExecOptions, evaluate_suite_instances
+from repro.experiments.registry import COARSE, DEADLINE_FACTORS
+from repro.graphs.analysis import critical_path_length
+from repro.graphs.generators import stg_group
+
+
+def _campaign_instances():
+    graphs = [COARSE.apply(g) for g in stg_group(50, 10, seed=2006)]
+    return [(g, factor * critical_path_length(g))
+            for g in graphs for factor in DEADLINE_FACTORS]
+
+
+def _energies(results):
+    return [[r.total_energy for r in per_instance.values()]
+            for per_instance in results]
+
+
+def _timed(instances, options):
+    t0 = time.perf_counter()
+    results = evaluate_suite_instances(instances, options=options)
+    return time.perf_counter() - t0, results
+
+
+def test_runner_scaling(once, tmp_path):
+    instances = _campaign_instances()
+    assert len(instances) == 40
+
+    # Headline number (pytest-benchmark): the cold serial campaign.
+    baseline = once(evaluate_suite_instances, instances,
+                    options=ExecOptions(jobs=1, use_cache=False))
+    timings = {}
+    for jobs in (1, 2, 4):
+        timings[f"jobs{jobs}_nocache"], results = _timed(
+            instances, ExecOptions(jobs=jobs, use_cache=False))
+        assert _energies(results) == _energies(baseline), jobs
+
+    cache_dir = tmp_path / "cache"
+    timings["jobs4_cold_cache"], _ = _timed(
+        instances, ExecOptions(jobs=4, cache_dir=cache_dir))
+    warm_options = ExecOptions(jobs=1, cache_dir=cache_dir)
+    timings["jobs1_warm_cache"], warm = _timed(instances, warm_options)
+
+    stats = warm_options.open_cache().stats
+    assert stats.hits == 40 and stats.misses == 0
+    assert _energies(warm) == _energies(baseline)
+    # A warm cache replaces scheduling with 40 small JSON reads; it must
+    # beat the cold serial run outright.
+    assert timings["jobs1_warm_cache"] < timings["jobs1_nocache"]
+
+    print()
+    print(json.dumps({
+        "bench": "runner_scaling",
+        "instances": len(instances),
+        "seconds": {k: round(v, 4) for k, v in timings.items()},
+        "speedup_vs_serial": {
+            k: round(timings["jobs1_nocache"] / v, 2)
+            for k, v in timings.items() if v > 0},
+        "warm_cache": {"hits": stats.hits, "misses": stats.misses,
+                       "bytes_read": stats.bytes_read},
+    }, indent=2, sort_keys=True))

@@ -1,0 +1,255 @@
+"""Content-addressed on-disk cache for experiment results.
+
+An *instance* is everything that determines a :func:`paper_suite`
+outcome: the graph's structure and weights, the deadline, the platform
+parameters, and the priority policy.  :func:`instance_digest` folds all
+of it (plus :data:`CACHE_SCHEMA_VERSION`) into a SHA-256 key, so equal
+inputs hit the same entry across processes and machines while any
+change in the model parameters transparently misses.
+
+What is cached: the :class:`~repro.core.results.ScheduleResult`
+*summaries* — heuristic, energy breakdown, operating point, processor
+count, deadlines, feasibility flag.  What is **not** cached: the
+concrete :class:`~repro.sched.schedule.Schedule` (task placements), so
+restored results carry ``schedule=None``.  Floats survive the JSON
+round-trip exactly (shortest-repr encoding), which is what makes warm
+and cold campaigns byte-identical.
+
+Writes are atomic (temp file + ``os.replace`` in the same directory);
+a truncated, corrupt or schema-stale entry is treated as a miss and
+removed, never an error.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Union
+
+from ..core.platform import Platform
+from ..core.results import Heuristic, ScheduleResult
+from ..graphs.dag import TaskGraph
+from ..power.dvs import OperatingPoint
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION", "CacheStats", "ResultCache",
+    "instance_digest", "summarize_results", "restore_results",
+]
+
+#: Bump when the cached payload layout or the energy model semantics
+#: change; the version participates in the digest, so old entries are
+#: silently orphaned rather than misread.
+CACHE_SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Instance digests
+# ----------------------------------------------------------------------
+def _graph_fingerprint(graph: TaskGraph) -> dict:
+    """Structure + weights of ``graph`` over dense node indices.
+
+    Node *labels* do not influence scheduling (the schedulers operate on
+    dense indices), but the name is included so a cached result is never
+    replayed under a different benchmark label.
+    """
+    return {
+        "name": graph.name,
+        "weights": graph.weights_array.tolist(),
+        "edges": [[u, v] for u, succs in enumerate(graph.succ_indices)
+                  for v in succs],
+    }
+
+
+def _platform_fingerprint(platform: Platform) -> dict:
+    """Everything of the platform that reaches the energy numbers."""
+    ladder = platform.ladder
+    return {
+        "technology": dataclasses.asdict(ladder.tech),
+        "vdd_step": ladder.vdd_step,
+        "points": [[p.frequency, p.vdd, p.vbs] for p in ladder],
+        "sleep": dataclasses.asdict(platform.sleep),
+    }
+
+
+def instance_digest(
+    graph: TaskGraph,
+    deadline: float,
+    platform: Platform,
+    policy: str,
+    *,
+    deadline_overrides: Optional[Mapping[Hashable, float]] = None,
+    schema: Optional[int] = None,
+) -> str:
+    """Stable SHA-256 key of one (graph, deadline, platform, policy).
+
+    The digest is computed over a canonical JSON rendering (sorted keys,
+    no hash-seed dependence), so it is stable across process restarts
+    and ``PYTHONHASHSEED`` values.  Only string policies are digestible;
+    a callable policy has no stable identity and must bypass the cache.
+    """
+    if not isinstance(policy, str):
+        raise TypeError(
+            f"only named policies are cacheable, got {policy!r}")
+    fingerprint = {
+        "schema": CACHE_SCHEMA_VERSION if schema is None else schema,
+        "graph": _graph_fingerprint(graph),
+        "deadline": float(deadline),
+        "platform": _platform_fingerprint(platform),
+        "policy": policy,
+        "deadline_overrides": None if deadline_overrides is None else
+        sorted([graph.index_of(k), float(v)]
+               for k, v in deadline_overrides.items()),
+    }
+    blob = json.dumps(fingerprint, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Result (de)serialisation
+# ----------------------------------------------------------------------
+def _summarize_result(r: ScheduleResult) -> dict:
+    return {
+        "heuristic": r.heuristic.value,
+        "graph_name": r.graph_name,
+        "energy": {
+            "busy": r.energy.busy,
+            "idle": r.energy.idle,
+            "sleep": r.energy.sleep,
+            "overhead": r.energy.overhead,
+            "n_shutdowns": r.energy.n_shutdowns,
+        },
+        "point": None if r.point is None else {
+            "frequency": r.point.frequency,
+            "vdd": r.point.vdd,
+            "active_power": r.point.active_power,
+            "idle_power": r.point.idle_power,
+            "energy_per_cycle": r.point.energy_per_cycle,
+            "vbs": r.point.vbs,
+        },
+        "n_processors": r.n_processors,
+        "deadline_cycles": r.deadline_cycles,
+        "deadline_seconds": r.deadline_seconds,
+        "meets_deadline": r.meets_deadline,
+    }
+
+
+def summarize_results(results: Mapping[Heuristic, ScheduleResult]
+                      ) -> List[dict]:
+    """JSON-able summaries of a :func:`paper_suite` outcome, in order.
+
+    The concrete schedules are dropped — see the module docstring.
+    """
+    return [_summarize_result(r) for r in results.values()]
+
+
+def restore_results(payload: List[dict]) -> Dict[Heuristic, ScheduleResult]:
+    """Inverse of :func:`summarize_results` (with ``schedule=None``)."""
+    from ..core.energy import EnergyBreakdown
+
+    out: Dict[Heuristic, ScheduleResult] = {}
+    for d in payload:
+        h = Heuristic(d["heuristic"])
+        point = d["point"]
+        out[h] = ScheduleResult(
+            heuristic=h,
+            graph_name=d["graph_name"],
+            energy=EnergyBreakdown(**d["energy"]),
+            point=None if point is None else OperatingPoint(**point),
+            n_processors=d["n_processors"],
+            deadline_cycles=d["deadline_cycles"],
+            deadline_seconds=d["deadline_seconds"],
+            schedule=None,
+            meets_deadline=d["meets_deadline"],
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# The on-disk store
+# ----------------------------------------------------------------------
+@dataclass
+class CacheStats:
+    """Hit/miss and traffic counters of one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultCache:
+    """Content-addressed JSON store under ``root``.
+
+    Entries are sharded by the first two hex digits of the key.  ``get``
+    never raises on bad entries: unreadable, truncated, corrupt or
+    schema-stale files count as misses and are unlinked so the caller
+    simply recomputes.  ``put`` is atomic — readers see either the old
+    entry or the complete new one, and a crash leaves no partial file
+    under a final entry name.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> Path:
+        """Entry path for digest ``key``."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[List[dict]]:
+        """Cached payload for ``key``, or ``None`` on any kind of miss."""
+        path = self.path_for(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            entry = json.loads(text)
+            if entry["schema"] != CACHE_SCHEMA_VERSION:
+                raise ValueError("stale cache schema")
+            payload = entry["results"]
+            if not isinstance(payload, list):
+                raise ValueError("malformed cache payload")
+        except (ValueError, KeyError, TypeError):
+            with contextlib.suppress(OSError):
+                path.unlink()
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self.stats.bytes_read += len(text)
+        return payload
+
+    def put(self, key: str, payload: List[dict]) -> None:
+        """Atomically store ``payload`` (a :func:`summarize_results` list)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(
+            {"schema": CACHE_SCHEMA_VERSION, "results": payload},
+            sort_keys=True, separators=(",", ":"))
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+        self.stats.bytes_written += len(text)

@@ -1,0 +1,120 @@
+"""Chunked process-pool fan-out over experiment instances.
+
+:func:`run_instances` applies a picklable function to every item of a
+work list, either in-process (``jobs=1`` — zero overhead, exceptions
+surface with their natural tracebacks) or across a
+``ProcessPoolExecutor``.  Items are distributed in contiguous chunks to
+amortise pickling, each application is timed in the worker, and results
+always come back in *input order* regardless of completion order, so
+callers never see scheduling nondeterminism.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+__all__ = ["InstanceResult", "run_instances"]
+
+ProgressCallback = Callable[[int, int], None]
+
+
+@dataclass(frozen=True)
+class InstanceResult:
+    """One work item's outcome.
+
+    Attributes:
+        index: position of the item in the input sequence.
+        value: what the worker function returned.
+        seconds: wall-clock time of the single ``fn(item)`` call,
+            measured inside the worker process.
+    """
+
+    index: int
+    value: Any
+    seconds: float
+
+
+def _run_chunk(fn: Callable[[Any], Any], start: int,
+               items: Sequence[Any]) -> List[InstanceResult]:
+    """Worker-side body: apply ``fn`` to a contiguous chunk, timed."""
+    out: List[InstanceResult] = []
+    for offset, item in enumerate(items):
+        t0 = time.perf_counter()
+        value = fn(item)
+        out.append(InstanceResult(start + offset, value,
+                                  time.perf_counter() - t0))
+    return out
+
+
+def run_instances(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    *,
+    jobs: int = 1,
+    chunksize: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> List[InstanceResult]:
+    """Apply ``fn`` to every item, possibly across worker processes.
+
+    Args:
+        fn: a picklable (module-level) single-argument callable.
+        items: the work list; each element is passed to ``fn`` as-is.
+        jobs: worker processes; ``1`` runs in-process with no pool.
+        chunksize: items per pool task (default: ~4 chunks per worker).
+        progress: called as ``progress(done, total)`` after each item
+            (serial) or each completed chunk (parallel); ``done`` is
+            strictly increasing and ends at ``total``.
+
+    Returns:
+        One :class:`InstanceResult` per item, in input order.
+
+    Raises:
+        Whatever ``fn`` raises — a worker exception aborts the run
+        (fail-fast; pending chunks are cancelled) and propagates.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    total = len(items)
+    if total == 0:
+        return []
+
+    if jobs == 1:
+        results = []
+        for i, item in enumerate(items):
+            t0 = time.perf_counter()
+            value = fn(item)
+            results.append(InstanceResult(i, value,
+                                          time.perf_counter() - t0))
+            if progress is not None:
+                progress(i + 1, total)
+        return results
+
+    if chunksize is None:
+        chunksize = max(1, math.ceil(total / (jobs * 4)))
+    chunks: List[Tuple[int, Sequence[Any]]] = [
+        (start, items[start:start + chunksize])
+        for start in range(0, total, chunksize)
+    ]
+
+    out: List[Optional[InstanceResult]] = [None] * total
+    with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
+        futures = {pool.submit(_run_chunk, fn, start, chunk): len(chunk)
+                   for start, chunk in chunks}
+        done = 0
+        try:
+            for future in as_completed(futures):
+                for result in future.result():
+                    out[result.index] = result
+                done += futures[future]
+                if progress is not None:
+                    progress(done, total)
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+    assert all(r is not None for r in out)
+    return out  # type: ignore[return-value]

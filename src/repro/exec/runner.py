@@ -1,0 +1,121 @@
+"""Cache-aware parallel evaluation of paper-suite instances.
+
+:func:`evaluate_suite_instances` is the bridge between the experiment
+modules and the :mod:`cache <repro.exec.cache>`/:mod:`pool
+<repro.exec.pool>` layers: look every instance up, fan the misses out
+over :func:`run_instances`, store fresh summaries, and hand back
+restored :class:`~repro.core.results.ScheduleResult` dicts in input
+order.  Both cached and fresh results pass through the same
+summarize/restore round-trip, so the three execution modes (serial,
+parallel, warm cache) are observably identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.platform import Platform, default_platform
+from ..core.results import Heuristic, ScheduleResult
+from ..graphs.dag import TaskGraph
+from .cache import ResultCache, instance_digest, restore_results, \
+    summarize_results
+from .pool import run_instances
+
+__all__ = ["ExecOptions", "evaluate_suite_instances"]
+
+#: One experiment instance: (scenario-scaled graph, deadline in cycles).
+Instance = Tuple[TaskGraph, float]
+
+
+@dataclass
+class ExecOptions:
+    """How an experiment campaign executes (not *what* it computes).
+
+    Attributes:
+        jobs: worker processes for the instance fan-out (1 = serial,
+            in-process).
+        cache_dir: root of the on-disk result cache; ``None`` disables
+            caching entirely.
+        use_cache: master switch — ``False`` ignores ``cache_dir``
+            (the CLI's ``--no-cache``).
+        progress: optional ``(done, total)`` callback forwarded to
+            :func:`repro.exec.pool.run_instances`.
+    """
+
+    jobs: int = 1
+    cache_dir: Optional[Union[str, Path]] = None
+    use_cache: bool = True
+    progress: Optional[object] = None
+    _cache: Optional[ResultCache] = field(
+        default=None, init=False, repr=False, compare=False)
+
+    def open_cache(self) -> Optional[ResultCache]:
+        """The shared :class:`ResultCache`, or ``None`` when disabled."""
+        if not self.use_cache or self.cache_dir is None:
+            return None
+        if self._cache is None:
+            self._cache = ResultCache(self.cache_dir)
+        return self._cache
+
+
+def _suite_worker(item) -> List[dict]:
+    """Evaluate one instance; returns JSON-able summaries (picklable)."""
+    from ..core.suite import paper_suite
+
+    graph, deadline, platform, policy = item
+    return summarize_results(
+        paper_suite(graph, deadline, platform=platform, policy=policy))
+
+
+def evaluate_suite_instances(
+    instances: Sequence[Instance],
+    *,
+    platform: Optional[Platform] = None,
+    policy: str = "edf",
+    options: Optional[ExecOptions] = None,
+) -> List[Dict[Heuristic, ScheduleResult]]:
+    """Run :func:`paper_suite` on every instance, cached and in parallel.
+
+    Args:
+        instances: ``(graph, deadline_cycles)`` pairs; graphs must
+            already be scenario-scaled.
+        platform: shared platform (default: the paper's 70 nm one).
+        policy: list-scheduling priority; only named (string) policies
+            are cacheable — callables silently bypass the cache.
+        options: execution knobs; default is serial and uncached,
+            which reproduces the historical behaviour exactly.
+
+    Returns:
+        One heuristic→result dict per instance, in input order.  The
+        results carry ``schedule=None`` (summaries only — see
+        :mod:`repro.exec.cache`).
+    """
+    platform = platform or default_platform()
+    options = options or ExecOptions()
+    cache = options.open_cache() if isinstance(policy, str) else None
+
+    results: List[Optional[Dict[Heuristic, ScheduleResult]]] = \
+        [None] * len(instances)
+    keys: List[Optional[str]] = [None] * len(instances)
+    pending: List[int] = []
+    for i, (graph, deadline) in enumerate(instances):
+        if cache is not None:
+            keys[i] = instance_digest(graph, deadline, platform, policy)
+            payload = cache.get(keys[i])
+            if payload is not None:
+                results[i] = restore_results(payload)
+                continue
+        pending.append(i)
+
+    work = [(instances[i][0], instances[i][1], platform, policy)
+            for i in pending]
+    for item in run_instances(_suite_worker, work, jobs=options.jobs,
+                              progress=options.progress):
+        i = pending[item.index]
+        if cache is not None:
+            cache.put(keys[i], item.value)
+        results[i] = restore_results(item.value)
+    assert all(r is not None for r in results)
+    return results  # type: ignore[return-value]

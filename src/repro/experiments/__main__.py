@@ -5,16 +5,19 @@ Examples::
     python -m repro.experiments                # everything, quick sizes
     python -m repro.experiments fig2 table3    # a subset
     python -m repro.experiments --full         # larger benchmark groups
+    python -m repro.experiments --full --jobs 8 --cache-dir ~/.cache/repro
     python -m repro.experiments --out report.txt
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Callable, Dict
 
+from ..exec import ExecOptions
 from . import (
     ext_abb,
     ext_comm,
@@ -34,28 +37,36 @@ from . import (
     table3_mpeg,
 )
 from .registry import COARSE, FINE
+from .reporting import cache_stats_line
 
 __all__ = ["main"]
 
 
-def _experiments(full: bool) -> Dict[str, Callable[[], object]]:
+def _experiments(full: bool, exec_options: ExecOptions
+                 ) -> Dict[str, Callable[[], object]]:
     gpg = 20 if full else 5
     sizes_small = None if full else (50, 100, 500, 1000, 2000)
+    ex = exec_options
     return {
         "fig2": lambda: fig02_power_curves.run(),
         "fig3": lambda: fig03_breakeven.run(),
         "fig4": lambda: fig04_07_example.run(),
         "fig6": lambda: fig06_energy_vs_n.run(),
-        "table2": lambda: table2_benchmarks.run(graphs_per_group=gpg),
+        "table2": lambda: table2_benchmarks.run(graphs_per_group=gpg,
+                                                exec_options=ex),
         "fig10": lambda: fig10_11_relative_energy.run(
-            scenario=COARSE, graphs_per_group=gpg, sizes=sizes_small),
+            scenario=COARSE, graphs_per_group=gpg, sizes=sizes_small,
+            exec_options=ex),
         "fig11": lambda: fig10_11_relative_energy.run(
-            scenario=FINE, graphs_per_group=gpg, sizes=sizes_small),
+            scenario=FINE, graphs_per_group=gpg, sizes=sizes_small,
+            exec_options=ex),
         "fig12": lambda: fig12_13_parallelism.run(
-            scenario=COARSE, graphs_per_size=20 if full else 10),
+            scenario=COARSE, graphs_per_size=20 if full else 10,
+            exec_options=ex),
         "fig13": lambda: fig12_13_parallelism.run(
-            scenario=FINE, graphs_per_size=20 if full else 10),
-        "table3": lambda: table3_mpeg.run(),
+            scenario=FINE, graphs_per_size=20 if full else 10,
+            exec_options=ex),
+        "table3": lambda: table3_mpeg.run(exec_options=ex),
         "headline": lambda: headline.run(
             graphs_per_group=8 if full else 4),
         "ext-multifreq": lambda: ext_multifreq.run(
@@ -83,13 +94,26 @@ def main(argv: "list[str] | None" = None) -> int:
                              "e.g. fig2 fig10 table3")
     parser.add_argument("--full", action="store_true",
                         help="paper-scale benchmark groups (slower)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the instance fan-out "
+                             "(default: 1, serial)")
+    parser.add_argument("--cache-dir", metavar="PATH",
+                        default=os.environ.get("REPRO_CACHE_DIR"),
+                        help="content-addressed result cache directory "
+                             "(default: $REPRO_CACHE_DIR, else no cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore any configured cache directory")
     parser.add_argument("--out", metavar="FILE",
                         help="also write the report to FILE")
     parser.add_argument("--json-dir", metavar="DIR",
                         help="also write per-experiment JSON data files")
     args = parser.parse_args(argv)
 
-    registry = _experiments(args.full)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    exec_options = ExecOptions(jobs=args.jobs, cache_dir=args.cache_dir,
+                               use_cache=not args.no_cache)
+    registry = _experiments(args.full, exec_options)
     chosen = args.experiments or list(registry)
     unknown = [e for e in chosen if e not in registry]
     if unknown:
@@ -112,6 +136,11 @@ def main(argv: "list[str] | None" = None) -> int:
             from pathlib import Path
 
             report.save_json(Path(args.json_dir) / f"{exp_id}.json")
+    cache = exec_options.open_cache()
+    if cache is not None and cache.stats.lookups:
+        # stderr, so --out/stdout report text is identical with and
+        # without caching (the JSON data already is, by construction).
+        print(cache_stats_line(cache.stats), file=sys.stderr)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write("\n".join(blocks))

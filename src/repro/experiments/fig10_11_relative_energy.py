@@ -5,6 +5,10 @@ each deadline factor (1.5x, 2x, 4x, 8x the CPL) and each granularity
 scenario, runs the full heuristic lineup and reports energies relative
 to the S&S baseline (= 100%), exactly the bars of Figs. 10 (coarse) and
 11 (fine).  Group results are averaged over the group's graphs.
+
+The campaign is flattened into one instance list and routed through
+:func:`repro.exec.evaluate_suite_instances`, so ``--jobs``/``--cache-dir``
+parallelise and memoise it without changing a single reported number.
 """
 
 from __future__ import annotations
@@ -16,6 +20,7 @@ import numpy as np
 from ..core.platform import Platform, default_platform
 from ..core.results import Heuristic
 from ..core.suite import paper_suite
+from ..exec import ExecOptions, evaluate_suite_instances
 from ..graphs.analysis import critical_path_length
 from ..graphs.dag import TaskGraph
 from ..util.tables import render_table
@@ -46,25 +51,45 @@ def run(*, platform: Optional[Platform] = None,
         deadline_factors: Sequence[float] = DEADLINE_FACTORS,
         graphs_per_group: int = 5,
         sizes: Optional[Sequence[int]] = None,
-        seed: int = 2006) -> Report:
+        seed: int = 2006,
+        include_applications: bool = True,
+        exec_options: Optional[ExecOptions] = None) -> Report:
     """Reproduce Fig. 10 (``scenario=COARSE``) or Fig. 11 (``FINE``)."""
     platform = platform or default_platform()
-    suite_kwargs = dict(graphs_per_group=graphs_per_group, seed=seed)
+    suite_kwargs = dict(graphs_per_group=graphs_per_group, seed=seed,
+                        include_applications=include_applications)
     if sizes is not None:
         suite_kwargs["sizes"] = tuple(sizes)
     suite = benchmark_suite(**suite_kwargs)
 
+    # Flatten the campaign: one instance per (factor, bench, graph), in
+    # the same nesting order the aggregation below consumes.
+    instances = []
+    labels: List[tuple] = []
+    for factor in deadline_factors:
+        for bench, graphs in suite.items():
+            for unit_graph in graphs:
+                g = scenario.apply(unit_graph)
+                instances.append((g, factor * critical_path_length(g)))
+                labels.append((factor, bench))
+    all_results = evaluate_suite_instances(
+        instances, platform=platform, options=exec_options)
+
     sections: List[str] = []
     data: Dict[str, dict] = {}
+    cursor = 0
     for factor in deadline_factors:
         rows = []
         per_bench: Dict[str, Dict[str, float]] = {}
         for bench, graphs in suite.items():
             rel = np.zeros(len(_ORDER))
-            for unit_graph in graphs:
-                g = scenario.apply(unit_graph)
-                r = relative_energies(g, factor, platform=platform)
-                rel += np.array([r[h] for h in _ORDER])
+            for _ in graphs:
+                assert labels[cursor] == (factor, bench)
+                results = all_results[cursor]
+                cursor += 1
+                base = results[Heuristic.SNS].total_energy
+                rel += np.array([results[h].total_energy / base
+                                 for h in _ORDER])
             rel /= len(graphs)
             per_bench[bench] = {h.value: float(x)
                                 for h, x in zip(_ORDER, rel)}

@@ -5,6 +5,10 @@ Each point is one task graph (~1000–3000 nodes) scheduled with deadline
 paper's observation: S&S (and, for fine grain, S&S+PS) blows up at low
 parallelism because over-provisioned processors idle expensively, while
 LAMPS(+PS) stays flat.
+
+The per-graph evaluations are independent, so they run through
+:func:`repro.exec.evaluate_suite_instances` — ``exec_options`` adds
+process-pool fan-out and result caching with identical output.
 """
 
 from __future__ import annotations
@@ -13,7 +17,7 @@ from typing import List, Optional, Sequence
 
 from ..core.platform import Platform, default_platform
 from ..core.results import Heuristic
-from ..core.suite import paper_suite
+from ..exec import ExecOptions, evaluate_suite_instances
 from ..graphs.analysis import average_parallelism, critical_path_length, \
     total_work
 from ..util.tables import render_table
@@ -29,32 +33,37 @@ _ORDER = (Heuristic.SNS, Heuristic.LAMPS, Heuristic.SNS_PS,
 def run(*, platform: Optional[Platform] = None,
         scenario: Scenario = COARSE, deadline_factor: float = 2.0,
         node_counts: Sequence[int] = (1000, 2000),
-        graphs_per_size: int = 12, seed: int = 2006) -> Report:
+        graphs_per_size: int = 12, seed: int = 2006,
+        exec_options: Optional[ExecOptions] = None) -> Report:
     """Reproduce Fig. 12 (``COARSE``) or Fig. 13 (``FINE``)."""
     from ..graphs.generators import parallelism_sweep
 
     platform = platform or default_platform()
-    rows: List[tuple] = []
-    points: List[dict] = []
+    instances = []
     for n_nodes in node_counts:
         graphs = parallelism_sweep(n_nodes=n_nodes, graphs=graphs_per_size,
                                    seed=seed)
         for unit_graph in graphs:
             g = scenario.apply(unit_graph)
-            par = average_parallelism(g)
-            work = total_work(g)
-            deadline = deadline_factor * critical_path_length(g)
-            results = paper_suite(g, deadline, platform=platform)
-            e_per_work = {h.value: results[h].total_energy / work
-                          for h in _ORDER}
-            points.append({"graph": g.name, "parallelism": par,
-                           "sns_processors":
-                               results[Heuristic.SNS].n_processors,
-                           "lamps_processors":
-                               results[Heuristic.LAMPS].n_processors,
-                           **e_per_work})
-            rows.append((g.name, round(par, 2),
-                         *(f"{e_per_work[h.value]:.4g}" for h in _ORDER)))
+            instances.append((g, deadline_factor * critical_path_length(g)))
+    all_results = evaluate_suite_instances(
+        instances, platform=platform, options=exec_options)
+
+    rows: List[tuple] = []
+    points: List[dict] = []
+    for (g, _deadline), results in zip(instances, all_results):
+        par = average_parallelism(g)
+        work = total_work(g)
+        e_per_work = {h.value: results[h].total_energy / work
+                      for h in _ORDER}
+        points.append({"graph": g.name, "parallelism": par,
+                       "sns_processors":
+                           results[Heuristic.SNS].n_processors,
+                       "lamps_processors":
+                           results[Heuristic.LAMPS].n_processors,
+                       **e_per_work})
+        rows.append((g.name, round(par, 2),
+                     *(f"{e_per_work[h.value]:.4g}" for h in _ORDER)))
     rows.sort(key=lambda r: r[1])
     table = render_table(
         ["graph", "parallelism", *(h.value for h in _ORDER)], rows,

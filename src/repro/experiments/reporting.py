@@ -7,7 +7,18 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Union
 
-__all__ = ["Report"]
+__all__ = ["Report", "cache_stats_line"]
+
+
+def cache_stats_line(stats) -> str:
+    """One-line summary of a :class:`repro.exec.CacheStats`.
+
+    Printed by the CLI after a cached campaign, e.g.
+    ``cache: 248/252 hits (98%), 4 misses, 310 kB read, 5 kB written``.
+    """
+    return (f"cache: {stats.hits}/{stats.lookups} hits "
+            f"({100 * stats.hit_rate:.0f}%), {stats.misses} misses, "
+            f"{stats.bytes_read} B read, {stats.bytes_written} B written")
 
 
 def _jsonable(obj: Any) -> Any:

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from ..exec import ExecOptions, run_instances
 from ..graphs.analysis import graph_stats
 from ..graphs.applications import APPLICATION_STATS
 from ..util.tables import render_table
@@ -31,14 +32,26 @@ PAPER_GROUP_RANGES = {
 
 
 def run(*, graphs_per_group: int = 10, seed: int = 2006,
-        sizes: Optional[Sequence[int]] = None) -> Report:
+        sizes: Optional[Sequence[int]] = None,
+        exec_options: Optional[ExecOptions] = None) -> Report:
     suite = benchmark_suite(
         graphs_per_group=graphs_per_group, seed=seed,
         **({"sizes": tuple(sizes)} if sizes is not None else {}))
+    # Stats of the whole suite are independent per graph — fan them out
+    # (stats are cheap, so there is nothing worth caching here).
+    jobs = exec_options.jobs if exec_options is not None else 1
+    all_graphs = [g for graphs in suite.values() for g in graphs]
+    all_stats = [r.value for r in
+                 run_instances(graph_stats, all_graphs, jobs=jobs)]
+    stats_by_bench = {}
+    cursor = 0
+    for bench, graphs in suite.items():
+        stats_by_bench[bench] = all_stats[cursor:cursor + len(graphs)]
+        cursor += len(graphs)
     rows = []
     data = {}
     for bench, graphs in suite.items():
-        stats = [graph_stats(g) for g in graphs]
+        stats = stats_by_bench[bench]
         edges = [s.m for s in stats]
         cpls = [s.cpl for s in stats]
         works = [s.work for s in stats]

@@ -17,7 +17,7 @@ from typing import Optional
 
 from ..core.platform import Platform, default_platform
 from ..core.results import Heuristic
-from ..core.suite import paper_suite
+from ..exec import ExecOptions, evaluate_suite_instances
 from ..graphs.mpeg import MPEG_DEADLINE_SECONDS, mpeg1_gop_graph
 from ..util.tables import render_table
 from .reporting import Report
@@ -36,11 +36,14 @@ PAPER_TABLE3 = {
 
 
 def run(*, platform: Optional[Platform] = None,
-        deadline_seconds: float = MPEG_DEADLINE_SECONDS) -> Report:
+        deadline_seconds: float = MPEG_DEADLINE_SECONDS,
+        exec_options: Optional[ExecOptions] = None) -> Report:
     platform = platform or default_platform()
     graph = mpeg1_gop_graph()
     deadline = platform.reference_cycles(deadline_seconds)
-    results = paper_suite(graph, deadline, platform=platform)
+    # One instance — the pool is pointless but the cache is not.
+    [results] = evaluate_suite_instances(
+        [(graph, deadline)], platform=platform, options=exec_options)
 
     base = results[Heuristic.SNS].total_energy
     paper_base = PAPER_TABLE3[Heuristic.SNS][0]

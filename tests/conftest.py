@@ -1,9 +1,20 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and Hypothesis profiles for the test suite."""
+
+import os
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.core.platform import default_platform
 from repro.graphs.dag import TaskGraph
+
+# A fast profile for CI: capped example counts and no per-example
+# deadline, so property tests don't flake on slow shared runners.
+# Select with HYPOTHESIS_PROFILE=ci (the GitHub Actions workflow does).
+settings.register_profile(
+    "ci", max_examples=20, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,163 @@
+"""Unit tests for the content-addressed result cache."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.platform import default_platform
+from repro.core.suite import paper_suite
+from repro.exec import cache as cache_mod
+from repro.exec.cache import (
+    CACHE_SCHEMA_VERSION,
+    ResultCache,
+    instance_digest,
+    restore_results,
+    summarize_results,
+)
+from repro.graphs.analysis import critical_path_length
+from repro.graphs.generators import stg_random_graph
+
+
+@pytest.fixture
+def instance():
+    g = stg_random_graph(30, 7, name="rand30").scaled(3.1e6)
+    return g, 2.0 * critical_path_length(g)
+
+
+@pytest.fixture
+def payload(instance, platform):
+    g, deadline = instance
+    return summarize_results(paper_suite(g, deadline, platform=platform))
+
+
+class TestDigest:
+    def test_equal_inputs_equal_keys(self, instance, platform):
+        g, deadline = instance
+        # A freshly rebuilt but identical graph must map to the same key.
+        g2 = stg_random_graph(30, 7, name="rand30").scaled(3.1e6)
+        assert instance_digest(g, deadline, platform, "edf") == \
+            instance_digest(g2, deadline, platform, "edf")
+
+    def test_key_covers_every_input(self, instance, platform):
+        g, deadline = instance
+        base = instance_digest(g, deadline, platform, "edf")
+        assert instance_digest(g, deadline * 1.5, platform, "edf") != base
+        assert instance_digest(g, deadline, platform, "hlfet") != base
+        assert instance_digest(g.scaled(2.0), deadline, platform,
+                               "edf") != base
+        from repro.core.platform import Platform
+        from repro.power.shutdown import SleepModel
+
+        leaky = Platform(sleep=SleepModel(sleep_power=99e-6))
+        assert instance_digest(g, deadline, leaky, "edf") != base
+
+    def test_overrides_participate(self, instance, platform):
+        g, deadline = instance
+        node = g.node_ids[0]
+        base = instance_digest(g, deadline, platform, "edf")
+        tight = instance_digest(g, deadline, platform, "edf",
+                                deadline_overrides={node: deadline / 2})
+        assert tight != base
+
+    def test_callable_policy_rejected(self, instance, platform):
+        g, deadline = instance
+        with pytest.raises(TypeError):
+            instance_digest(g, deadline, platform, lambda g, d: d)
+
+    def test_stable_across_process_restarts(self, instance, platform):
+        """The key must not depend on the hash seed or process state."""
+        g, deadline = instance
+        code = (
+            "from repro.graphs.generators import stg_random_graph\n"
+            "from repro.core.platform import default_platform\n"
+            "from repro.exec.cache import instance_digest\n"
+            "g = stg_random_graph(30, 7, name='rand30').scaled(3.1e6)\n"
+            f"print(instance_digest(g, {deadline!r}, default_platform(), "
+            "'edf'))\n"
+        )
+        env = dict(os.environ, PYTHONHASHSEED="12345")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p)
+        out = subprocess.run([sys.executable, "-c", code], env=env,
+                             capture_output=True, text=True, check=True)
+        assert out.stdout.strip() == \
+            instance_digest(g, deadline, platform, "edf")
+
+
+class TestRoundTrip:
+    def test_summaries_restore_exactly(self, instance, platform, payload):
+        g, deadline = instance
+        results = paper_suite(g, deadline, platform=platform)
+        # ... and through JSON text, which is what the cache stores.
+        restored = restore_results(json.loads(json.dumps(payload)))
+        assert list(restored) == list(results)
+        for h, r in results.items():
+            assert restored[h].total_energy == r.total_energy
+            assert restored[h].energy == r.energy
+            assert restored[h].point == r.point
+            assert restored[h].n_processors == r.n_processors
+            assert restored[h].meets_deadline == r.meets_deadline
+            assert restored[h].schedule is None  # summaries only
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path, instance, platform, payload):
+        g, deadline = instance
+        cache = ResultCache(tmp_path)
+        key = instance_digest(g, deadline, platform, "edf")
+        assert cache.get(key) is None
+        cache.put(key, payload)
+        assert cache.get(key) == payload
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.bytes_read > 0
+        assert cache.stats.bytes_written > 0
+        assert cache.stats.hit_rate == 0.5
+
+    def test_schema_version_changes_key(self, instance, platform):
+        g, deadline = instance
+        assert instance_digest(g, deadline, platform, "edf") != \
+            instance_digest(g, deadline, platform, "edf",
+                            schema=CACHE_SCHEMA_VERSION + 1)
+
+    def test_schema_version_invalidates_entry(self, tmp_path, instance,
+                                              platform, payload,
+                                              monkeypatch):
+        g, deadline = instance
+        cache = ResultCache(tmp_path)
+        key = instance_digest(g, deadline, platform, "edf")
+        cache.put(key, payload)
+        monkeypatch.setattr(cache_mod, "CACHE_SCHEMA_VERSION",
+                            CACHE_SCHEMA_VERSION + 1)
+        assert cache.get(key) is None          # stale entry is a miss...
+        assert not cache.path_for(key).exists()  # ...and is dropped
+
+    @pytest.mark.parametrize("corruption", [
+        "", "{", '{"schema": 1, "results": ', "not json at all",
+        '{"schema": 1}', '{"schema": 1, "results": 42}',
+    ])
+    def test_corrupt_entry_falls_back_to_recompute(
+            self, tmp_path, instance, platform, payload, corruption):
+        g, deadline = instance
+        cache = ResultCache(tmp_path)
+        key = instance_digest(g, deadline, platform, "edf")
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(corruption)
+        assert cache.get(key) is None
+        assert not path.exists()
+        cache.put(key, payload)  # recompute-and-store works afterwards
+        assert cache.get(key) == payload
+
+    def test_atomic_write_leaves_no_partial_files(
+            self, tmp_path, instance, platform, payload):
+        g, deadline = instance
+        cache = ResultCache(tmp_path)
+        key = instance_digest(g, deadline, platform, "edf")
+        cache.put(key, payload)
+        cache.put(key, payload)  # overwrite is atomic too
+        files = [p for p in tmp_path.rglob("*") if p.is_file()]
+        assert files == [cache.path_for(key)]
+        json.loads(files[0].read_text())  # the surviving file is complete

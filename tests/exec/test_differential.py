@@ -1,0 +1,52 @@
+"""Differential test: paper_suite == six independent schedule() calls.
+
+The parallel runner leans on :func:`paper_suite`'s shared-schedule-cache
+optimisation; this test pins that optimisation against the unshared
+:func:`repro.core.api.schedule` path on a broad sample of registry
+instances, so a regression in the sharing would surface here before it
+could silently poison cached results.
+"""
+
+import random
+
+import pytest
+
+from repro.core.api import schedule
+from repro.core.results import Heuristic
+from repro.core.suite import paper_suite
+from repro.experiments.registry import COARSE, DEADLINE_FACTORS, \
+    benchmark_suite
+from repro.graphs.analysis import critical_path_length
+
+N_INSTANCES = 20
+
+
+def _registry_instances():
+    """~20 random (graph, deadline) instances from the registry."""
+    suite = benchmark_suite(graphs_per_group=3, sizes=(50, 100),
+                            include_applications=False, seed=2006)
+    pool = [(COARSE.apply(g), factor)
+            for graphs in suite.values() for g in graphs
+            for factor in DEADLINE_FACTORS]
+    rng = random.Random(2006)
+    return rng.sample(pool, N_INSTANCES)
+
+
+@pytest.mark.parametrize("case", _registry_instances(),
+                         ids=lambda c: f"{c[0].name}-x{c[1]}")
+def test_suite_matches_independent_calls(case, platform):
+    graph, factor = case
+    deadline = factor * critical_path_length(graph)
+    fast = paper_suite(graph, deadline, platform=platform)
+    assert list(fast) == list(Heuristic)  # presentation order
+    for h in Heuristic:
+        slow = schedule(graph, deadline, heuristic=h, platform=platform)
+        assert fast[h].total_energy == pytest.approx(
+            slow.total_energy, rel=1e-12), h
+        assert fast[h].n_processors == slow.n_processors, h
+        if slow.point is None:
+            assert fast[h].point is None, h
+        else:
+            # The chosen operating point is identical, not just close.
+            assert fast[h].point.frequency == slow.point.frequency, h
+            assert fast[h].point.vdd == slow.point.vdd, h

@@ -1,0 +1,74 @@
+"""Unit tests for the chunked process-pool fan-out."""
+
+import pytest
+
+from repro.exec.pool import InstanceResult, run_instances
+
+
+# Workers must live at module level so the pool can pickle them.
+def _square(x):
+    return x * x
+
+
+def _boom_on_three(x):
+    if x == 3:
+        raise ValueError("instance 3 is cursed")
+    return x
+
+
+class TestSerial:
+    def test_empty_input(self):
+        assert run_instances(_square, [], jobs=1) == []
+        assert run_instances(_square, [], jobs=4) == []
+
+    def test_values_and_order(self):
+        results = run_instances(_square, list(range(7)), jobs=1)
+        assert [r.value for r in results] == [x * x for x in range(7)]
+        assert [r.index for r in results] == list(range(7))
+
+    def test_per_instance_timing(self):
+        results = run_instances(_square, [1, 2], jobs=1)
+        assert all(isinstance(r, InstanceResult) and r.seconds >= 0.0
+                   for r in results)
+
+    def test_exception_propagates(self):
+        with pytest.raises(ValueError, match="cursed"):
+            run_instances(_boom_on_three, [1, 2, 3, 4], jobs=1)
+
+    def test_progress_ordering(self):
+        calls = []
+        run_instances(_square, list(range(5)), jobs=1,
+                      progress=lambda done, total: calls.append((done, total)))
+        assert calls == [(i, 5) for i in range(1, 6)]
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            run_instances(_square, [1], jobs=0)
+
+
+class TestParallel:
+    def test_matches_serial(self):
+        serial = run_instances(_square, list(range(11)), jobs=1)
+        parallel = run_instances(_square, list(range(11)), jobs=3,
+                                 chunksize=2)
+        assert [r.value for r in parallel] == [r.value for r in serial]
+        assert [r.index for r in parallel] == [r.index for r in serial]
+
+    def test_more_jobs_than_items(self):
+        results = run_instances(_square, [5], jobs=8)
+        assert [r.value for r in results] == [25]
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError, match="cursed"):
+            run_instances(_boom_on_three, list(range(8)), jobs=2,
+                          chunksize=1)
+
+    def test_progress_monotonic_and_complete(self):
+        calls = []
+        run_instances(_square, list(range(9)), jobs=3, chunksize=2,
+                      progress=lambda done, total: calls.append((done, total)))
+        dones = [d for d, _ in calls]
+        assert dones == sorted(dones)           # strictly increasing...
+        assert len(set(dones)) == len(dones)
+        assert dones[-1] == 9                   # ...and reaches the total
+        assert all(t == 9 for _, t in calls)
