@@ -1,0 +1,119 @@
+"""Strict-mode sweep over the bundled STG + MPEG corpus.
+
+:func:`audit_corpus` replays :func:`repro.core.suite.paper_suite` on
+every bundled benchmark graph across the paper's deadline factors with
+the full invariant-audit layer enabled, and returns the audit log plus
+one summary row per instance — the data behind the ``repro audit`` CLI
+subcommand's tables.  A clean sweep (zero violations) is the
+acceptance bar for every change to the heuristic pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core.platform import Platform, default_platform
+from .report import AuditLog
+
+__all__ = ["CorpusRow", "CorpusAudit", "audit_corpus"]
+
+#: Default coarse-grain scale (cycles per STG weight unit, §5.1).
+COARSE_SCALE = 3.1e6
+
+#: Bundled graphs whose weights are already in cycles (no scaling).
+_CYCLE_UNIT_GRAPHS = frozenset({"mpeg1"})
+
+
+@dataclass(frozen=True)
+class CorpusRow:
+    """Audit outcome of one (graph, deadline factor) instance."""
+
+    graph_name: str
+    n_tasks: int
+    deadline_factor: float
+    checks_passed: int
+    violations: int
+    error: str = ""  # non-audit failure (e.g. infeasible instance)
+
+
+@dataclass
+class CorpusAudit:
+    """Outcome of one corpus sweep: the shared log + per-instance rows."""
+
+    log: AuditLog
+    rows: List[CorpusRow]
+
+    @property
+    def clean(self) -> bool:
+        """No violations and no instance-level errors."""
+        return self.log.clean and all(not r.error for r in self.rows)
+
+
+def audit_corpus(
+    *,
+    names: Optional[Sequence[str]] = None,
+    deadline_factors: Sequence[float] = (1.5, 2.0, 4.0, 8.0),
+    platform: Optional[Platform] = None,
+    scale: float = COARSE_SCALE,
+    strict: bool = False,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> CorpusAudit:
+    """Audit the paper lineup on the bundled corpus.
+
+    Args:
+        names: bundled graph names (default: all of
+            :func:`repro.graphs.datasets.bundled_names` — the STG
+            applications, the random groups, and the MPEG-1 GOP).
+        deadline_factors: deadlines as multiples of each graph's
+            critical path length.
+        platform: shared platform (default: the paper's 70 nm one).
+        scale: cycles per STG weight unit for the STG-unit graphs
+            (``mpeg1`` ships in cycles and is never scaled).
+        strict: raise on the first violation instead of collecting all
+            of them into the returned log.
+        progress: optional ``(done, total)`` callback per instance.
+
+    Returns:
+        A :class:`CorpusAudit`; ``.clean`` is the pass/fail verdict.
+    """
+    # Imported lazily: the corpus sweep sits on top of the whole core
+    # package, which itself imports the audit primitives.
+    from ..core.suite import paper_suite
+    from ..graphs.analysis import critical_path_length
+    from ..graphs.datasets import bundled_names, load_bundled
+
+    platform = platform or default_platform()
+    log = AuditLog(strict=strict)
+    rows: List[CorpusRow] = []
+    chosen = list(names) if names is not None else bundled_names()
+    total = len(chosen) * len(deadline_factors)
+    done = 0
+    for name in chosen:
+        graph = load_bundled(name)
+        if name not in _CYCLE_UNIT_GRAPHS and scale != 1.0:
+            graph = graph.scaled(scale)
+        cpl = critical_path_length(graph)
+        for factor in deadline_factors:
+            before_checks = log.invariant_checks_passed
+            before_violations = len(log.violations)
+            error = ""
+            try:
+                paper_suite(graph, factor * cpl, platform=platform,
+                            audit=log)
+            except Exception as exc:  # noqa: BLE001 - reported, not hidden
+                if strict:
+                    raise
+                error = f"{type(exc).__name__}: {exc}"
+            rows.append(CorpusRow(
+                graph_name=name,
+                n_tasks=graph.n,
+                deadline_factor=factor,
+                checks_passed=log.invariant_checks_passed - before_checks,
+                violations=len(log.violations) - before_violations,
+                error=error,
+            ))
+            done += 1
+            if progress is not None:
+                progress(done, total)
+    return CorpusAudit(log=log, rows=rows)

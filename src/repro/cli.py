@@ -162,6 +162,53 @@ def _cmd_pareto(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from .audit import audit_corpus
+
+    def progress(done: int, total: int) -> None:
+        print(f"\r[audit] {done}/{total} instances", end="",
+              file=sys.stderr, flush=True)
+
+    outcome = audit_corpus(
+        names=args.graphs or None,
+        deadline_factors=args.deadline_factors,
+        scale=args.scale,
+        progress=progress if sys.stderr.isatty() else None,
+    )
+    if sys.stderr.isatty():
+        print(file=sys.stderr)
+
+    rows = [
+        (r.graph_name, r.n_tasks, f"{r.deadline_factor:g}",
+         r.checks_passed, r.violations, r.error or "ok")
+        for r in outcome.rows
+    ]
+    print(render_table(
+        ["graph", "tasks", "deadline xCPL", "checks", "violations",
+         "status"],
+        rows, title="Invariant audit of the bundled corpus"))
+    log = outcome.log
+    print()
+    print(render_table(
+        ["counter", "value"],
+        [("schedules built", log.schedules_built),
+         ("anomaly retries", log.anomaly_retries),
+         ("operating points evaluated", log.operating_points_evaluated),
+         ("invariant checks passed", log.invariant_checks_passed),
+         ("violations", len(log.violations))]))
+    if log.violations:
+        print()
+        print(render_table(
+            ["kind", "context", "message"],
+            [(v.kind, v.context, v.message) for v in log.violations],
+            title="Violations"))
+    if not outcome.clean:
+        print("\naudit FAILED", file=sys.stderr)
+        return 1
+    print(f"\n{log.summary_line()}")
+    return 0
+
+
 def _cmd_power(args: argparse.Namespace) -> int:
     plat = default_platform()
     rows = [
@@ -222,6 +269,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("power", help="print the DVS operating points")
     p.set_defaults(func=_cmd_power)
+
+    p = sub.add_parser(
+        "audit",
+        help="sweep the bundled corpus under the invariant checks")
+    p.add_argument("graphs", nargs="*",
+                   help="bundled graph names (default: all)")
+    p.add_argument("--deadline-factors", type=float, nargs="+",
+                   default=[1.5, 2.0, 4.0, 8.0])
+    p.add_argument("--scale", type=float, default=3.1e6,
+                   help="cycles per STG weight unit "
+                        "(default: coarse grain, 3.1e6)")
+    p.set_defaults(func=_cmd_audit)
 
     p = sub.add_parser("bundled", help="list the bundled task graphs")
     p.set_defaults(func=_cmd_bundled)

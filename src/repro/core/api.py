@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Mapping, Optional, Union
 
+from ..audit.report import AuditLog
 from ..graphs.analysis import critical_path_length
 from ..graphs.dag import TaskGraph
 from .lamps import lamps_search
@@ -39,6 +40,8 @@ def schedule(
     platform: Optional[Platform] = None,
     policy: str = "edf",
     deadline_overrides: Optional[Mapping[Hashable, float]] = None,
+    strict: bool = False,
+    audit: Optional[AuditLog] = None,
 ) -> ScheduleResult:
     """Schedule ``graph`` for minimum energy under a deadline.
 
@@ -54,6 +57,14 @@ def schedule(
         policy: list-scheduling priority (the paper's default is EDF).
         deadline_overrides: tighter per-task deadlines, e.g. from an
             unrolled KPN.
+        strict: re-validate every intermediate schedule and the energy
+            invariants of the result (see :mod:`repro.audit`); a no-op
+            on the returned values.  Violations raise
+            :class:`~repro.audit.report.AuditViolationError`.
+        audit: an :class:`~repro.audit.report.AuditLog` to record
+            counters/violations into (implies the strict checks; its
+            own ``strict`` flag decides raise-vs-collect).  Ignored by
+            the LIMIT bounds, which build no schedule.
 
     Returns:
         A :class:`ScheduleResult` with the chosen processor count,
@@ -73,19 +84,20 @@ def schedule(
         deadline = deadline_from_factor(graph, deadline_factor)
     h = Heuristic(heuristic)
     kwargs = dict(platform=platform, deadline_overrides=deadline_overrides)
+    check = dict(strict=strict, audit=audit)
 
     if h is Heuristic.SNS:
         return schedule_and_stretch(graph, deadline, shutdown=False,
-                                    policy=policy, **kwargs)
+                                    policy=policy, **kwargs, **check)
     if h is Heuristic.SNS_PS:
         return schedule_and_stretch(graph, deadline, shutdown=True,
-                                    policy=policy, **kwargs)
+                                    policy=policy, **kwargs, **check)
     if h is Heuristic.LAMPS:
         return lamps_search(graph, deadline, shutdown=False,
-                            policy=policy, **kwargs)
+                            policy=policy, **kwargs, **check)
     if h is Heuristic.LAMPS_PS:
         return lamps_search(graph, deadline, shutdown=True,
-                            policy=policy, **kwargs)
+                            policy=policy, **kwargs, **check)
     if h is Heuristic.LIMIT_SF:
         return limit_sf(graph, deadline, **kwargs)
     if h is Heuristic.LIMIT_MF:
@@ -102,17 +114,21 @@ def evaluate_all(
     policy: str = "edf",
     heuristics: Optional[tuple] = None,
     deadline_overrides: Optional[Mapping[Hashable, float]] = None,
+    strict: bool = False,
+    audit: Optional[AuditLog] = None,
 ) -> Dict[Heuristic, ScheduleResult]:
     """Run every heuristic (or a chosen subset) on one instance.
 
     Returns a dict keyed by :class:`Heuristic`, in the paper's
-    presentation order.
+    presentation order.  ``strict``/``audit`` behave as in
+    :func:`schedule` and apply to every heuristic run.
     """
     chosen = heuristics or tuple(Heuristic)
     return {
         Heuristic(h): schedule(
             graph, deadline, deadline_factor=deadline_factor,
             heuristic=h, platform=platform, policy=policy,
-            deadline_overrides=deadline_overrides)
+            deadline_overrides=deadline_overrides,
+            strict=strict, audit=audit)
         for h in chosen
     }

@@ -50,6 +50,8 @@ class EnergyBreakdown:
         return self.busy + self.idle + self.sleep + self.overhead
 
     def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        if not isinstance(other, EnergyBreakdown):
+            return NotImplemented
         return EnergyBreakdown(
             busy=self.busy + other.busy,
             idle=self.idle + other.idle,
@@ -57,6 +59,13 @@ class EnergyBreakdown:
             overhead=self.overhead + other.overhead,
             n_shutdowns=self.n_shutdowns + other.n_shutdowns,
         )
+
+    def __radd__(self, other) -> "EnergyBreakdown":
+        # Support ``sum(breakdowns)``, whose implicit start value is the
+        # integer 0.
+        if other == 0:
+            return self
+        return NotImplemented
 
 
 def schedule_energy(schedule: Schedule, point: OperatingPoint,

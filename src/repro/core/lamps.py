@@ -24,6 +24,9 @@ from __future__ import annotations
 import math
 from typing import Dict, Hashable, Mapping, Optional, Union
 
+from ..audit.invariants import audit_energy, audit_intermediate_schedule, \
+    audit_result
+from ..audit.report import AuditLog
 from ..graphs.dag import TaskGraph
 from ..sched.deadlines import task_deadlines
 from ..sched.list_scheduler import list_schedule
@@ -46,6 +49,8 @@ def lamps_search(
     policy: Union[str, PriorityPolicy] = "edf",
     deadline_overrides: Optional[Mapping[Hashable, float]] = None,
     phase2: str = "linear",
+    strict: bool = False,
+    audit: Optional[AuditLog] = None,
 ) -> ScheduleResult:
     """Run LAMPS (``shutdown=False``) or LAMPS+PS (``shutdown=True``).
 
@@ -56,6 +61,13 @@ def lamps_search(
         phase2: ``"linear"`` (the paper's choice — robust to local
             minima) or ``"binary"``-style early stopping at the first
             energy increase (the ablation showing why linear is needed).
+        strict: validate every intermediate schedule and the energy
+            invariants of the final result (no-op on the returned
+            values; violations raise
+            :class:`~repro.audit.report.AuditViolationError`).
+        audit: an :class:`~repro.audit.report.AuditLog` to record
+            counters and violations into (implies the strict checks;
+            its own ``strict`` flag decides raise-vs-collect).
 
     Raises:
         InfeasibleScheduleError: the deadline cannot be met at full
@@ -67,12 +79,17 @@ def lamps_search(
     d = task_deadlines(graph, deadline, overrides=deadline_overrides)
     deadline_seconds = platform.seconds(deadline)
     sleep = platform.sleep if shutdown else None
+    log = audit if audit is not None else (AuditLog() if strict else None)
 
     cache: Dict[int, Schedule] = {}
 
     def sched(n: int) -> Schedule:
         if n not in cache:
             cache[n] = list_schedule(graph, n, d, policy=policy)
+            if log is not None:
+                log.schedules_built += 1
+                audit_intermediate_schedule(
+                    cache[n], log, f"{graph.name or 'graph'}[n={n}]")
         return cache[n]
 
     def feasible(n: int) -> bool:
@@ -93,6 +110,15 @@ def lamps_search(
         else:
             lo = mid + 1
     n_min = lo
+    # The binary search assumes feasibility is monotone in the processor
+    # count; scheduling anomalies (more processors -> longer makespan)
+    # can break that, so verify and advance linearly until feasible —
+    # Phase 2 must never start from an infeasible count (n_upb is
+    # feasible, so this terminates).
+    while n_min < n_upb and not feasible(n_min):
+        n_min += 1
+        if log is not None:
+            log.anomaly_retries += 1
 
     # ---- Phase 2: sweep processor counts ---------------------------------
     best: Optional[tuple] = None  # (energy, n, point, schedule)
@@ -101,31 +127,43 @@ def lamps_search(
         s = sched(n)
         f_req = required_frequency(s, d, platform.fmax)
         if f_req > platform.fmax * (1.0 + 1e-9):
-            continue  # scheduling anomaly made this count infeasible
-        energy, point = _best_operating_point(
-            s, f_req, platform, deadline_seconds, sleep)
-        if best is None or energy.total < best[0].total:
-            best = (energy, n, point, s)
-        elif phase2 == "greedy" and energy.total > best[0].total:
-            break
-        if s.makespan >= prev_makespan - 1e-9:
-            break  # more processors no longer shorten the schedule
+            # Scheduling anomaly made this count infeasible: skip it but
+            # keep sweeping — a later count can recover.
+            if log is not None:
+                log.anomaly_retries += 1
+        else:
+            energy, point = _best_operating_point(
+                s, f_req, platform, deadline_seconds, sleep, log)
+            if best is None or energy.total < best[0].total:
+                best = (energy, n, point, s)
+            elif phase2 == "greedy" and energy.total > best[0].total:
+                break
+            if s.makespan >= prev_makespan - 1e-9:
+                break  # more processors no longer shorten the schedule
+        # Track *every* makespan, not only the feasible ones — comparing
+        # a later feasible count against a makespan from before an
+        # anomalous stretch used to truncate the sweep one point early.
         prev_makespan = s.makespan
     if shutdown:
         # Fig. 8 sweeps up to the number of processors that can be
         # employed efficiently; the fully spread schedule (the S&S one)
         # can win under PS because longer per-processor gaps sleep
-        # better, so include it as a candidate.
+        # better, so include it as a candidate — unless an anomaly made
+        # it infeasible (it usually is feasible: the upfront check ran
+        # on this very schedule).
         s = sched(graph.n)
         f_req = required_frequency(s, d, platform.fmax)
-        energy, point = _best_operating_point(
-            s, f_req, platform, deadline_seconds, sleep)
-        if best is None or energy.total < best[0].total:
-            best = (energy, graph.n, point, s)
+        if f_req <= platform.fmax * (1.0 + 1e-9):
+            energy, point = _best_operating_point(
+                s, f_req, platform, deadline_seconds, sleep, log)
+            if best is None or energy.total < best[0].total:
+                best = (energy, graph.n, point, s)
+        elif log is not None:
+            log.anomaly_retries += 1
     assert best is not None  # n_min is always feasible
     energy, _, point, schedule = best
 
-    return ScheduleResult(
+    result = ScheduleResult(
         heuristic=Heuristic.LAMPS_PS if shutdown else Heuristic.LAMPS,
         graph_name=graph.name,
         energy=energy,
@@ -135,23 +173,48 @@ def lamps_search(
         deadline_seconds=deadline_seconds,
         schedule=schedule,
     )
+    if log is not None:
+        audit_result(result, d, platform, log, sleep=sleep)
+    return result
 
 
 def _best_operating_point(schedule: Schedule, f_req: float,
                           platform: Platform, deadline_seconds: float,
-                          sleep) -> tuple:
+                          sleep, log: Optional[AuditLog] = None) -> tuple:
     """Best (energy, point) for a fixed schedule.
 
     Without PS: the maximally stretched point (the paper stretches to
     finish "as close as possible to the deadline").  With PS: the best
     point over the whole feasible range (Fig. 8's inner loop).
+
+    Raises:
+        InfeasibleScheduleError: no ladder point meets ``f_req`` (e.g.
+            float round-off pushed it marginally above ``fmax``).
     """
     if sleep is None:
-        point = stretch_point(platform.ladder, f_req)
+        try:
+            point = stretch_point(platform.ladder, f_req)
+        except ValueError as exc:
+            raise InfeasibleScheduleError(
+                f"{schedule.graph.name or 'graph'}: needs "
+                f"{f_req / 1e9:.6g} GHz, ladder tops out at "
+                f"{platform.fmax / 1e9:.6g} GHz "
+                f"(deadline window {deadline_seconds:.6g} s)") from exc
+        if log is not None:
+            log.operating_points_evaluated += 1
         return schedule_energy(schedule, point, deadline_seconds), point
+    points = feasible_points(platform.ladder, f_req)
+    if not points:
+        raise InfeasibleScheduleError(
+            f"{schedule.graph.name or 'graph'}: no feasible operating "
+            f"point — needs {f_req / 1e9:.6g} GHz, ladder tops out at "
+            f"{platform.fmax / 1e9:.6g} GHz "
+            f"(deadline window {deadline_seconds:.6g} s)")
+    if log is not None:
+        log.operating_points_evaluated += len(points)
     candidates = [
         (schedule_energy(schedule, p, deadline_seconds, sleep=sleep), p)
-        for p in feasible_points(platform.ladder, f_req)
+        for p in points
     ]
     return min(candidates, key=lambda c: c[0].total)
 
@@ -174,6 +237,8 @@ def energy_vs_processors(
     shutdown: bool = False,
     policy: Union[str, PriorityPolicy] = "edf",
     max_processors: Optional[int] = None,
+    strict: bool = False,
+    audit: Optional[AuditLog] = None,
 ) -> "list[tuple[int, Optional[EnergyBreakdown]]]":
     """Energy as a function of the processor count (the data of Fig. 6).
 
@@ -185,19 +250,35 @@ def energy_vs_processors(
     d = task_deadlines(graph, deadline)
     deadline_seconds = platform.seconds(deadline)
     sleep = platform.sleep if shutdown else None
+    log = audit if audit is not None else (AuditLog() if strict else None)
     out: list[tuple[int, Optional[EnergyBreakdown]]] = []
     prev_makespan = math.inf
     n_cap = max_processors or graph.n
     for n in range(1, n_cap + 1):
         s = list_schedule(graph, n, d, policy=policy)
+        if log is not None:
+            log.schedules_built += 1
+            audit_intermediate_schedule(
+                s, log, f"{graph.name or 'graph'}[n={n}]")
         f_req = required_frequency(s, d, platform.fmax)
         if f_req > platform.fmax * (1.0 + 1e-9):
             out.append((n, None))
-            continue
-        energy, _ = _best_operating_point(
-            s, f_req, platform, deadline_seconds, sleep)
-        out.append((n, energy))
-        if max_processors is None and s.makespan >= prev_makespan - 1e-9:
-            break
+            if log is not None:
+                log.anomaly_retries += 1
+        else:
+            energy, point = _best_operating_point(
+                s, f_req, platform, deadline_seconds, sleep, log)
+            out.append((n, energy))
+            if log is not None:
+                audit_energy(s, energy, point, deadline_seconds, sleep,
+                             log, f"{graph.name or 'graph'}[n={n}]")
+            if max_processors is None and \
+                    s.makespan >= prev_makespan - 1e-9:
+                break  # a feasible count stopped improving the makespan
+        # Track *every* makespan, not only the feasible ones — comparing
+        # a later feasible count against a makespan from before an
+        # infeasible stretch used to truncate the Fig. 6 sweep one
+        # point early (and an anomalously *long* infeasible count must
+        # not end the sweep either).
         prev_makespan = s.makespan
     return out

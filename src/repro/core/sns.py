@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Hashable, Mapping, Optional, Union
 
+from ..audit.invariants import audit_intermediate_schedule, audit_result
+from ..audit.report import AuditLog
 from ..graphs.dag import TaskGraph
 from ..sched.deadlines import task_deadlines
 from ..sched.list_scheduler import list_schedule
@@ -38,6 +40,8 @@ def schedule_and_stretch(
     policy: Union[str, PriorityPolicy] = "edf",
     deadline_overrides: Optional[Mapping[Hashable, float]] = None,
     max_processors: Optional[int] = None,
+    strict: bool = False,
+    audit: Optional[AuditLog] = None,
 ) -> ScheduleResult:
     """Run S&S (``shutdown=False``) or S&S+PS (``shutdown=True``).
 
@@ -50,6 +54,11 @@ def schedule_and_stretch(
         deadline_overrides: tighter per-task deadlines (KPN outputs).
         max_processors: cap on available processors; defaults to ``|V|``
             (the paper's upper bound — more can never help).
+        strict: validate the schedule and the energy invariants of the
+            result (no-op on the returned values; violations raise
+            :class:`~repro.audit.report.AuditViolationError`).
+        audit: an :class:`~repro.audit.report.AuditLog` to record
+            counters and violations into (implies the strict checks).
 
     Raises:
         InfeasibleScheduleError: deadline unreachable even at full speed.
@@ -58,9 +67,14 @@ def schedule_and_stretch(
     n_procs = graph.n if max_processors is None else min(max_processors, graph.n)
     if n_procs < 1:
         raise ValueError("need at least one processor")
+    log = audit if audit is not None else (AuditLog() if strict else None)
 
     d = task_deadlines(graph, deadline, overrides=deadline_overrides)
     sched = list_schedule(graph, n_procs, d, policy=policy)
+    if log is not None:
+        log.schedules_built += 1
+        audit_intermediate_schedule(
+            sched, log, f"{graph.name or 'graph'}[n={n_procs}]")
     f_req = required_frequency(sched, d, platform.fmax)
     deadline_seconds = platform.seconds(deadline)
 
@@ -70,6 +84,8 @@ def schedule_and_stretch(
             raise InfeasibleScheduleError(
                 f"{graph.name or 'graph'}: needs {f_req/1e9:.3f} GHz, "
                 f"ladder tops out at {platform.fmax/1e9:.3f} GHz")
+        if log is not None:
+            log.operating_points_evaluated += len(points)
         candidates = [
             (schedule_energy(sched, p, deadline_seconds,
                              sleep=platform.sleep), p)
@@ -82,10 +98,12 @@ def schedule_and_stretch(
             point = stretch_point(platform.ladder, f_req)
         except ValueError as exc:
             raise InfeasibleScheduleError(str(exc)) from exc
+        if log is not None:
+            log.operating_points_evaluated += 1
         energy = schedule_energy(sched, point, deadline_seconds)
         heuristic = Heuristic.SNS
 
-    return ScheduleResult(
+    result = ScheduleResult(
         heuristic=heuristic,
         graph_name=graph.name,
         energy=energy,
@@ -95,6 +113,10 @@ def schedule_and_stretch(
         deadline_seconds=deadline_seconds,
         schedule=sched,
     )
+    if log is not None:
+        audit_result(result, d, platform, log,
+                     sleep=platform.sleep if shutdown else None)
+    return result
 
 
 def sns(graph: TaskGraph, deadline: float, **kwargs) -> ScheduleResult:

@@ -15,6 +15,8 @@ from __future__ import annotations
 import math
 from typing import Dict, Hashable, Mapping, Optional, Union
 
+from ..audit.invariants import audit_intermediate_schedule, audit_result
+from ..audit.report import AuditLog
 from ..graphs.dag import TaskGraph
 from ..sched.deadlines import task_deadlines
 from ..sched.list_scheduler import list_schedule
@@ -37,21 +39,32 @@ def paper_suite(
     platform: Optional[Platform] = None,
     policy: Union[str, PriorityPolicy] = "edf",
     deadline_overrides: Optional[Mapping[Hashable, float]] = None,
+    strict: bool = False,
+    audit: Optional[AuditLog] = None,
 ) -> Dict[Heuristic, ScheduleResult]:
     """All six approaches on one (graph, deadline) instance.
 
     Returns a dict in the paper's presentation order: S&S, LAMPS,
     S&S+PS, LAMPS+PS, LIMIT-SF, LIMIT-MF.
+
+    ``strict``/``audit`` enable the invariant checks of
+    :mod:`repro.audit` on every intermediate schedule and every
+    schedule-bearing result; the returned results are unaffected.
     """
     platform = platform or default_platform()
     d = task_deadlines(graph, deadline, overrides=deadline_overrides)
     deadline_seconds = platform.seconds(deadline)
+    log = audit if audit is not None else (AuditLog() if strict else None)
 
     cache: Dict[int, Schedule] = {}
 
     def sched(n: int) -> Schedule:
         if n not in cache:
             cache[n] = list_schedule(graph, n, d, policy=policy)
+            if log is not None:
+                log.schedules_built += 1
+                audit_intermediate_schedule(
+                    cache[n], log, f"{graph.name or 'graph'}[n={n}]")
         return cache[n]
 
     def result(heuristic: Heuristic, energy, point, s: Schedule
@@ -71,11 +84,13 @@ def paper_suite(
         raise InfeasibleScheduleError(
             f"{graph.name or 'graph'}: infeasible even at full speed")
     point = stretch_point(platform.ladder, f_req)
+    if log is not None:
+        log.operating_points_evaluated += 1
     out[Heuristic.SNS] = result(
         Heuristic.SNS, schedule_energy(s_full, point, deadline_seconds),
         point, s_full)
     e_ps, p_ps = _best_operating_point(
-        s_full, f_req, platform, deadline_seconds, platform.sleep)
+        s_full, f_req, platform, deadline_seconds, platform.sleep, log)
     out[Heuristic.SNS_PS] = result(Heuristic.SNS_PS, e_ps, p_ps, s_full)
 
     # ---- LAMPS family: shared processor-count sweep ----------------------
@@ -88,6 +103,15 @@ def paper_suite(
         else:
             lo = mid + 1
     n_min = lo
+    # Feasibility can be non-monotone under scheduling anomalies, which
+    # breaks the binary search's assumption; advance linearly until
+    # feasible (graph.n is feasible, so this terminates) — see
+    # repro.core.lamps.lamps_search for the same guard.
+    while (n_min < graph.n
+           and sched(n_min).required_reference_frequency(d) > 1.0 + 1e-9):
+        n_min += 1
+        if log is not None:
+            log.anomaly_retries += 1
 
     best_plain: Optional[tuple] = None
     best_ps: Optional[tuple] = None
@@ -97,15 +121,19 @@ def paper_suite(
         fr = required_frequency(s, d, platform.fmax)
         if fr <= platform.fmax * (1.0 + 1e-9):
             e, p = _best_operating_point(s, fr, platform, deadline_seconds,
-                                         None)
+                                         None, log)
             if best_plain is None or e.total < best_plain[0].total:
                 best_plain = (e, p, s)
             e, p = _best_operating_point(s, fr, platform, deadline_seconds,
-                                         platform.sleep)
+                                         platform.sleep, log)
             if best_ps is None or e.total < best_ps[0].total:
                 best_ps = (e, p, s)
-        if s.makespan >= prev_makespan - 1e-9:
-            break
+            if s.makespan >= prev_makespan - 1e-9:
+                break  # plateau on a feasible count ends the sweep
+        elif log is not None:
+            log.anomaly_retries += 1
+        # Same anomaly rule as lamps_search: track every makespan, and
+        # never let an infeasible (anomalous) count end the sweep.
         prev_makespan = s.makespan
     # The fully spread schedule is a valid +PS candidate (Fig. 8's Nmax);
     # it can beat packed configurations because long gaps sleep cheaply.
@@ -122,6 +150,12 @@ def paper_suite(
     out[Heuristic.LIMIT_MF] = limit_mf(
         graph, deadline, platform=platform,
         deadline_overrides=deadline_overrides)
+    if log is not None:
+        for h, res in out.items():
+            audit_result(
+                res, d, platform, log,
+                sleep=platform.sleep
+                if h in (Heuristic.SNS_PS, Heuristic.LAMPS_PS) else None)
     # Re-key into presentation order.
     order = (Heuristic.SNS, Heuristic.LAMPS, Heuristic.SNS_PS,
              Heuristic.LAMPS_PS, Heuristic.LIMIT_SF, Heuristic.LIMIT_MF)

@@ -45,7 +45,11 @@ __all__ = [
 #: Bump when the cached payload layout or the energy model semantics
 #: change; the version participates in the digest, so old entries are
 #: silently orphaned rather than misread.
-CACHE_SCHEMA_VERSION = 1
+#:
+#: History: 2 — Phase-1 anomaly guard + always-advancing makespan
+#: plateau in the LAMPS sweeps can (rarely) change which configuration
+#: wins, so results cached under the old search are stale.
+CACHE_SCHEMA_VERSION = 2
 
 
 # ----------------------------------------------------------------------

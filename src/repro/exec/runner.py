@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..audit.report import AuditLog
 from ..core.platform import Platform, default_platform
 from ..core.results import Heuristic, ScheduleResult
 from ..graphs.dag import TaskGraph
@@ -42,13 +43,22 @@ class ExecOptions:
             (the CLI's ``--no-cache``).
         progress: optional ``(done, total)`` callback forwarded to
             :func:`repro.exec.pool.run_instances`.
+        strict: run every fresh instance under the
+            :mod:`repro.audit` invariant checks.  A violation raises
+            :class:`~repro.audit.report.AuditViolationError` in the
+            worker; counters from all workers are merged into
+            :meth:`open_audit`'s log.  Strict mode never changes the
+            results or what is written to the cache.
     """
 
     jobs: int = 1
     cache_dir: Optional[Union[str, Path]] = None
     use_cache: bool = True
     progress: Optional[object] = None
+    strict: bool = False
     _cache: Optional[ResultCache] = field(
+        default=None, init=False, repr=False, compare=False)
+    _audit: Optional[AuditLog] = field(
         default=None, init=False, repr=False, compare=False)
 
     def open_cache(self) -> Optional[ResultCache]:
@@ -59,14 +69,34 @@ class ExecOptions:
             self._cache = ResultCache(self.cache_dir)
         return self._cache
 
+    def open_audit(self) -> Optional[AuditLog]:
+        """The campaign-wide :class:`AuditLog` (``None`` unless strict)."""
+        if not self.strict:
+            return None
+        if self._audit is None:
+            self._audit = AuditLog(strict=True)
+        return self._audit
 
-def _suite_worker(item) -> List[dict]:
-    """Evaluate one instance; returns JSON-able summaries (picklable)."""
+
+def _suite_worker(item):
+    """Evaluate one instance; returns JSON-able summaries (picklable).
+
+    In strict mode the return value is wrapped as ``{"results": ...,
+    "audit": counters}`` so the runner can merge worker-side audit
+    counters; the cacheable payload (the summaries) is identical either
+    way — strict must never change what lands on disk.
+    """
     from ..core.suite import paper_suite
 
-    graph, deadline, platform, policy = item
-    return summarize_results(
-        paper_suite(graph, deadline, platform=platform, policy=policy))
+    graph, deadline, platform, policy, strict = item
+    if not strict:
+        return summarize_results(
+            paper_suite(graph, deadline, platform=platform, policy=policy))
+    log = AuditLog(strict=True)
+    summaries = summarize_results(
+        paper_suite(graph, deadline, platform=platform, policy=policy,
+                    audit=log))
+    return {"results": summaries, "audit": log.counters()}
 
 
 def evaluate_suite_instances(
@@ -95,6 +125,7 @@ def evaluate_suite_instances(
     platform = platform or default_platform()
     options = options or ExecOptions()
     cache = options.open_cache() if isinstance(policy, str) else None
+    audit = options.open_audit()
 
     results: List[Optional[Dict[Heuristic, ScheduleResult]]] = \
         [None] * len(instances)
@@ -106,16 +137,25 @@ def evaluate_suite_instances(
             payload = cache.get(keys[i])
             if payload is not None:
                 results[i] = restore_results(payload)
+                if audit is not None:
+                    # Summaries carry no schedule, so there is nothing
+                    # to re-validate — count the restore instead.
+                    audit.cache_hits += 1
                 continue
         pending.append(i)
 
-    work = [(instances[i][0], instances[i][1], platform, policy)
+    work = [(instances[i][0], instances[i][1], platform, policy,
+             audit is not None)
             for i in pending]
     for item in run_instances(_suite_worker, work, jobs=options.jobs,
                               progress=options.progress):
         i = pending[item.index]
+        payload = item.value
+        if audit is not None:
+            audit.merge(payload["audit"])
+            payload = payload["results"]
         if cache is not None:
-            cache.put(keys[i], item.value)
-        results[i] = restore_results(item.value)
+            cache.put(keys[i], payload)
+        results[i] = restore_results(payload)
     assert all(r is not None for r in results)
     return results  # type: ignore[return-value]

@@ -103,6 +103,10 @@ def main(argv: "list[str] | None" = None) -> int:
                              "(default: $REPRO_CACHE_DIR, else no cache)")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore any configured cache directory")
+    parser.add_argument("--strict", action="store_true",
+                        help="run the repro.audit invariant checks on "
+                             "every fresh instance (identical results, "
+                             "fails loudly on any violation)")
     parser.add_argument("--out", metavar="FILE",
                         help="also write the report to FILE")
     parser.add_argument("--json-dir", metavar="DIR",
@@ -112,7 +116,8 @@ def main(argv: "list[str] | None" = None) -> int:
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
     exec_options = ExecOptions(jobs=args.jobs, cache_dir=args.cache_dir,
-                               use_cache=not args.no_cache)
+                               use_cache=not args.no_cache,
+                               strict=args.strict)
     registry = _experiments(args.full, exec_options)
     chosen = args.experiments or list(registry)
     unknown = [e for e in chosen if e not in registry]
@@ -141,6 +146,11 @@ def main(argv: "list[str] | None" = None) -> int:
         # stderr, so --out/stdout report text is identical with and
         # without caching (the JSON data already is, by construction).
         print(cache_stats_line(cache.stats), file=sys.stderr)
+    audit = exec_options.open_audit()
+    if audit is not None:
+        # stderr for the same reason: strict mode must not perturb the
+        # report text.
+        print(audit.summary_line(), file=sys.stderr)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write("\n".join(blocks))

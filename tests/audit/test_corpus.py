@@ -1,0 +1,47 @@
+"""Tests for the corpus sweep and the ``repro audit`` CLI subcommand."""
+
+from repro.audit import audit_corpus
+from repro.cli import main
+
+
+class TestAuditCorpus:
+    def test_small_sweep_is_clean(self):
+        outcome = audit_corpus(names=["mpeg1", "rand50_000"],
+                               deadline_factors=(1.5, 4.0))
+        assert outcome.clean
+        assert len(outcome.rows) == 4
+        assert all(r.checks_passed > 0 and not r.error
+                   for r in outcome.rows)
+        assert outcome.log.schedules_built > 0
+
+    def test_progress_callback_counts_instances(self):
+        seen = []
+        audit_corpus(names=["mpeg1"], deadline_factors=(2.0, 4.0),
+                     progress=lambda done, total: seen.append((done, total)))
+        assert seen == [(1, 2), (2, 2)]
+
+    def test_rows_carry_instance_metadata(self):
+        outcome = audit_corpus(names=["mpeg1"], deadline_factors=(2.0,))
+        (row,) = outcome.rows
+        assert row.graph_name == "mpeg1"
+        assert row.n_tasks == 15
+        assert row.deadline_factor == 2.0
+
+
+class TestAuditCli:
+    def test_exit_zero_and_tables(self, capsys):
+        assert main(["audit", "mpeg1",
+                     "--deadline-factors", "2.0", "4.0"]) == 0
+        out = capsys.readouterr().out
+        assert "Invariant audit" in out
+        assert "mpeg1" in out
+        assert "invariant checks passed" in out
+        assert "[audit]" in out
+
+    def test_unknown_graph_surfaces_clearly(self, capsys):
+        try:
+            main(["audit", "no_such_graph"])
+        except FileNotFoundError as exc:
+            assert "no_such_graph" in str(exc)
+        else:  # pragma: no cover - the load must fail
+            raise AssertionError("expected a FileNotFoundError")

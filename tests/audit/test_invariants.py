@@ -1,0 +1,203 @@
+"""Unit tests for the invariant checks and the audit log."""
+
+import dataclasses
+
+import pytest
+
+from repro.audit import (
+    AuditLog,
+    AuditViolationError,
+    audit_energy,
+    audit_intermediate_schedule,
+    audit_result,
+    reference_energy,
+)
+from repro.core.energy import EnergyBreakdown, schedule_energy
+from repro.core.sns import sns, sns_ps
+from repro.graphs.analysis import critical_path_length
+from repro.graphs.generators import stg_random_graph
+from repro.sched.deadlines import task_deadlines
+from repro.sched.list_scheduler import list_schedule
+from repro.sched.schedule import Placement, Schedule
+
+
+@pytest.fixture
+def scheduled(platform):
+    """A real schedule + a comfortable deadline window."""
+    g = stg_random_graph(20, 3, name="rand20").scaled(3.1e6)
+    deadline = 2.0 * critical_path_length(g)
+    d = task_deadlines(g, deadline)
+    s = list_schedule(g, 4, d)
+    return g, s, platform.seconds(deadline)
+
+
+class TestReferenceEnergy:
+    @pytest.mark.parametrize("point_index", [0, 3, -1])
+    @pytest.mark.parametrize("use_sleep", [False, True])
+    def test_matches_schedule_energy(self, scheduled, platform,
+                                     point_index, use_sleep):
+        _, s, window = scheduled
+        point = list(platform.ladder)[point_index]
+        sleep = platform.sleep if use_sleep else None
+        # Stretch the window so the schedule fits at every ladder point.
+        window = max(window, s.makespan / point.frequency)
+        got = schedule_energy(s, point, window, sleep=sleep)
+        ref = reference_energy(s, point, window, sleep=sleep)
+        for name in ("busy", "idle", "sleep", "overhead"):
+            assert getattr(ref, name) == pytest.approx(
+                getattr(got, name), rel=1e-12, abs=1e-15)
+        assert ref.n_shutdowns == got.n_shutdowns
+
+    def test_exact_fit_has_no_trailing_gap(self, diamond, platform):
+        d = task_deadlines(diamond, 10.0)
+        s = list_schedule(diamond, 1, d)
+        point = platform.ladder.max_point
+        window = s.makespan / point.frequency  # finishes exactly on time
+        ref = reference_energy(s, point, window)
+        assert ref.idle == 0.0
+        assert ref.total == pytest.approx(
+            schedule_energy(s, point, window).total, rel=1e-12)
+
+    def test_unemployed_processors_are_free(self, diamond, platform):
+        d = task_deadlines(diamond, 100.0)
+        one = list_schedule(diamond, 1, d)
+        padded = Schedule(diamond, 8, list(one.processor_tasks(0)))
+        point = platform.ladder.max_point
+        window = platform.seconds(100.0)
+        assert reference_energy(padded, point, window).total == \
+            pytest.approx(reference_energy(one, point, window).total,
+                          rel=1e-12)
+
+
+class TestAuditLog:
+    def test_strict_raises_on_first_violation(self):
+        log = AuditLog(strict=True)
+        with pytest.raises(AuditViolationError, match=r"\[energy\] ctx"):
+            log.fail("energy", "ctx", "boom")
+        assert not log.clean
+
+    def test_collect_mode_accumulates(self):
+        log = AuditLog(strict=False)
+        log.fail("structure", "a", "x")
+        log.fail("deadline", "b", "y")
+        assert [v.kind for v in log.violations] == ["structure", "deadline"]
+        assert not log.clean
+
+    def test_counters_merge_roundtrip(self):
+        log = AuditLog(strict=False, schedules_built=2, cache_hits=1,
+                       anomaly_retries=3, operating_points_evaluated=4,
+                       invariant_checks_passed=5)
+        other = AuditLog()
+        other.merge(log.counters())
+        other.merge(log.counters())
+        assert other.counters() == {
+            "schedules_built": 4, "cache_hits": 2, "anomaly_retries": 6,
+            "operating_points_evaluated": 8, "invariant_checks_passed": 10}
+
+    def test_summary_line_mentions_every_counter(self):
+        log = AuditLog(schedules_built=7, cache_hits=1, anomaly_retries=2,
+                       operating_points_evaluated=31,
+                       invariant_checks_passed=12)
+        line = log.summary_line()
+        for token in ("7 schedules", "1 cache", "2 anomaly",
+                      "31 operating", "12 invariant", "0 violations"):
+            assert token in line
+
+
+class TestAuditEnergy:
+    def test_real_breakdown_is_clean(self, scheduled, platform):
+        _, s, window = scheduled
+        point = platform.ladder.max_point
+        energy = schedule_energy(s, point, window, sleep=platform.sleep)
+        log = AuditLog(strict=True)
+        audit_energy(s, energy, point, window, platform.sleep, log, "t")
+        assert log.clean and log.invariant_checks_passed == 3
+
+    def test_negative_component_is_flagged(self, scheduled, platform):
+        _, s, window = scheduled
+        point = platform.ladder.max_point
+        energy = schedule_energy(s, point, window)
+        bogus = dataclasses.replace(energy, idle=-energy.idle)
+        log = AuditLog(strict=False)
+        audit_energy(s, bogus, point, window, None, log, "t")
+        assert [v.kind for v in log.violations].count("energy") >= 1
+        assert "negative" in log.violations[0].message
+
+    def test_tampered_total_is_flagged(self, scheduled, platform):
+        _, s, window = scheduled
+        point = platform.ladder.max_point
+        energy = schedule_energy(s, point, window)
+        bogus = dataclasses.replace(energy, busy=energy.busy * 1.5)
+        log = AuditLog(strict=False)
+        audit_energy(s, bogus, point, window, None, log, "t")
+        assert any("independent integral" in v.message
+                   for v in log.violations)
+
+    def test_strict_log_raises(self, scheduled, platform):
+        _, s, window = scheduled
+        point = platform.ladder.max_point
+        bogus = EnergyBreakdown(busy=-1.0, idle=0.0)
+        with pytest.raises(AuditViolationError):
+            audit_energy(s, bogus, point, window, None,
+                         AuditLog(strict=True), "t")
+
+
+class TestAuditIntermediateSchedule:
+    def test_overlap_is_flagged(self, diamond):
+        overlapping = Schedule(diamond, 1, [
+            Placement("a", 0, 0.0, 1.0),
+            Placement("b", 0, 0.5, 2.5),   # overlaps "a"
+            Placement("c", 0, 2.5, 5.5),
+            Placement("d", 0, 5.5, 6.5),
+        ])
+        log = AuditLog(strict=False)
+        audit_intermediate_schedule(overlapping, log, "diamond[n=1]")
+        assert [v.kind for v in log.violations] == ["structure"]
+        assert log.violations[0].context == "diamond[n=1]"
+
+    def test_valid_schedule_counts_a_pass(self, diamond):
+        d = task_deadlines(diamond, 10.0)
+        s = list_schedule(diamond, 2, d)
+        log = AuditLog(strict=True)
+        audit_intermediate_schedule(s, log, "diamond[n=2]")
+        assert log.clean and log.invariant_checks_passed == 1
+
+
+class TestAuditResult:
+    def test_clean_on_real_results(self, diamond, platform):
+        d = task_deadlines(diamond, 14.0)
+        for shutdown, run in ((False, sns), (True, sns_ps)):
+            r = run(diamond, 14.0)
+            log = AuditLog(strict=True)
+            audit_result(r, d, platform, log,
+                         sleep=platform.sleep if shutdown else None)
+            assert log.clean and log.invariant_checks_passed >= 4
+
+    def test_schedule_less_results_are_skipped(self, diamond, platform):
+        d = task_deadlines(diamond, 14.0)
+        r = dataclasses.replace(sns(diamond, 14.0), schedule=None)
+        log = AuditLog(strict=True)
+        audit_result(r, d, platform, log)
+        assert log.clean and log.invariant_checks_passed == 0
+
+    def test_late_schedule_is_flagged(self, diamond, platform):
+        r = sns(diamond, 14.0)
+        d = task_deadlines(diamond, 14.0) / 4.0  # impossibly tight
+        log = AuditLog(strict=False)
+        audit_result(r, d, platform, log)
+        assert any(v.kind == "deadline" for v in log.violations)
+
+
+class TestEnergyBreakdownSum:
+    def test_sum_builtin(self):
+        parts = [EnergyBreakdown(busy=1.0, idle=0.5),
+                 EnergyBreakdown(busy=2.0, idle=0.25, sleep=0.125,
+                                 overhead=0.0625, n_shutdowns=3)]
+        total = sum(parts)
+        assert total == EnergyBreakdown(busy=3.0, idle=0.75, sleep=0.125,
+                                        overhead=0.0625, n_shutdowns=3)
+        assert sum([]) == 0  # the empty sum stays the int 0
+
+    def test_adding_non_breakdown_is_a_type_error(self):
+        with pytest.raises(TypeError):
+            EnergyBreakdown(busy=1.0, idle=0.0) + 5

@@ -1,0 +1,95 @@
+"""Property/differential tests behind the invariant-audit layer.
+
+The paper's ordering guarantees — LAMPS never loses to S&S, a +PS
+variant never loses to its no-PS base — double as differential oracles
+for the implementation, so they are asserted here over randomly drawn
+STG-style instances.  The strict-mode no-op property (auditing never
+perturbs a result) is asserted on the same draws.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.audit import AuditLog, reference_energy
+from repro.core.energy import schedule_energy
+from repro.core.lamps import lamps, lamps_ps
+from repro.core.platform import default_platform
+from repro.core.sns import sns, sns_ps
+from repro.core.suite import paper_suite
+from repro.graphs.analysis import critical_path_length
+from repro.graphs.generators import stg_random_graph
+from repro.sched.deadlines import task_deadlines
+from repro.sched.list_scheduler import list_schedule
+
+
+@st.composite
+def instances(draw):
+    """A scenario-scaled random STG instance with a feasible deadline."""
+    seed = draw(st.integers(min_value=0, max_value=5_000))
+    n = draw(st.sampled_from([8, 15, 25]))
+    factor = draw(st.sampled_from([1.2, 1.5, 2.0, 4.0, 8.0]))
+    g = stg_random_graph(n, seed).scaled(3.1e6)
+    return g, factor * critical_path_length(g)
+
+
+class TestDominanceOrderings:
+    @given(instances())
+    @settings(max_examples=25, deadline=None)
+    def test_lamps_never_worse_than_sns(self, inst):
+        g, deadline = inst
+        assert lamps(g, deadline).total_energy <= \
+            sns(g, deadline).total_energy + 1e-12
+
+    @given(instances())
+    @settings(max_examples=25, deadline=None)
+    def test_ps_never_worse_than_no_ps(self, inst):
+        g, deadline = inst
+        assert sns_ps(g, deadline).total_energy <= \
+            sns(g, deadline).total_energy + 1e-12
+        assert lamps_ps(g, deadline).total_energy <= \
+            lamps(g, deadline).total_energy + 1e-12
+
+    @given(instances())
+    @settings(max_examples=15, deadline=None)
+    def test_lamps_ps_never_worse_than_sns_ps(self, inst):
+        g, deadline = inst
+        assert lamps_ps(g, deadline).total_energy <= \
+            sns_ps(g, deadline).total_energy + 1e-12
+
+
+class TestStrictModeNoOp:
+    @given(instances())
+    @settings(max_examples=15, deadline=None)
+    def test_audited_suite_is_identical_and_clean(self, inst):
+        g, deadline = inst
+        log = AuditLog(strict=False)
+        audited = paper_suite(g, deadline, audit=log)
+        plain = paper_suite(g, deadline)
+        assert log.clean, [str(v) for v in log.violations]
+        assert log.invariant_checks_passed > 0
+        assert list(audited) == list(plain)
+        for h in plain:
+            assert audited[h].energy == plain[h].energy
+            assert audited[h].point == plain[h].point
+            assert audited[h].n_processors == plain[h].n_processors
+
+
+class TestEnergyConservation:
+    @given(instances(), st.integers(min_value=1, max_value=6),
+           st.integers(min_value=0, max_value=10),
+           st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_reference_integral_matches(self, inst, n_procs, point_seed,
+                                        use_sleep):
+        g, deadline = inst
+        platform = default_platform()
+        s = list_schedule(g, n_procs, task_deadlines(g, deadline))
+        point = list(platform.ladder)[point_seed % len(platform.ladder)]
+        sleep = platform.sleep if use_sleep else None
+        window = max(platform.seconds(deadline),
+                     s.makespan / point.frequency)
+        got = schedule_energy(s, point, window, sleep=sleep)
+        ref = reference_energy(s, point, window, sleep=sleep)
+        assert ref.total == pytest.approx(got.total, rel=1e-9)
+        assert ref.n_shutdowns == got.n_shutdowns

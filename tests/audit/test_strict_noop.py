@@ -1,0 +1,78 @@
+"""Campaign-level proof that strict mode is a byte-identical no-op.
+
+Mirrors the PR 1 determinism suite: the same small fig10-style campaign
+is run with and without ``ExecOptions(strict=True)`` (serial, parallel,
+and against a warm cache) and the JSON reports must be *byte*-identical.
+The on-disk cache trees written by strict and non-strict campaigns must
+also match file for file — strict must never change what is persisted.
+"""
+
+import json
+
+import pytest
+
+from repro.exec import ExecOptions
+from repro.experiments import fig10_11_relative_energy
+from repro.experiments.registry import COARSE
+
+
+def _campaign(exec_options=None):
+    return fig10_11_relative_energy.run(
+        scenario=COARSE, graphs_per_group=2, sizes=(50,),
+        deadline_factors=(1.5, 2.0), include_applications=False,
+        exec_options=exec_options)
+
+
+@pytest.fixture(scope="module")
+def plain_report():
+    return _campaign(ExecOptions(jobs=1, use_cache=False))
+
+
+def test_strict_serial_byte_identical(plain_report):
+    options = ExecOptions(jobs=1, use_cache=False, strict=True)
+    strict = _campaign(options)
+    assert strict.to_json() == plain_report.to_json()
+    audit = options.open_audit()
+    assert audit.clean
+    assert audit.schedules_built > 0
+    assert audit.invariant_checks_passed > 0
+
+
+def test_strict_parallel_and_warm_cache_byte_identical(plain_report,
+                                                       tmp_path):
+    cold_options = ExecOptions(jobs=4, cache_dir=tmp_path / "c",
+                               strict=True)
+    cold = _campaign(cold_options)
+    assert cold.to_json() == plain_report.to_json()
+    assert cold_options.open_audit().clean
+
+    warm_options = ExecOptions(jobs=4, cache_dir=tmp_path / "c",
+                               strict=True)
+    warm = _campaign(warm_options)
+    assert warm.to_json() == plain_report.to_json()
+    audit = warm_options.open_audit()
+    assert audit.clean
+    assert audit.cache_hits > 0
+    assert audit.schedules_built == 0  # fully served from the cache
+
+
+def test_strict_writes_identical_cache_entries(tmp_path):
+    plain_dir, strict_dir = tmp_path / "plain", tmp_path / "strict"
+    _campaign(ExecOptions(jobs=1, cache_dir=plain_dir))
+    _campaign(ExecOptions(jobs=1, cache_dir=strict_dir, strict=True))
+
+    def tree(root):
+        return {p.relative_to(root).as_posix(): p.read_text()
+                for p in sorted(root.rglob("*.json"))}
+
+    plain, strict = tree(plain_dir), tree(strict_dir)
+    assert plain and plain.keys() == strict.keys()
+    assert plain == strict  # same digests AND same bytes
+    for text in plain.values():
+        json.loads(text)  # every shared entry is well-formed JSON
+
+
+def test_non_strict_options_have_no_audit():
+    options = ExecOptions(jobs=1, use_cache=False)
+    _campaign(options)
+    assert options.open_audit() is None

@@ -122,6 +122,24 @@ class TestResultCache:
             instance_digest(g, deadline, platform, "edf",
                             schema=CACHE_SCHEMA_VERSION + 1)
 
+    def test_schema_bump_orphans_pre_bump_entries(self, tmp_path, instance,
+                                                  platform, payload):
+        """Results cached before the Phase-1/plateau search fixes were
+        computed by a (rarely) different search and must never be served
+        again: the schema bump must both re-key the digest and reject a
+        literal schema-1 entry found under the current key."""
+        g, deadline = instance
+        assert CACHE_SCHEMA_VERSION >= 2  # the bump actually happened
+        assert instance_digest(g, deadline, platform, "edf", schema=1) != \
+            instance_digest(g, deadline, platform, "edf")
+        cache = ResultCache(tmp_path)
+        key = instance_digest(g, deadline, platform, "edf")
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"schema": 1, "results": payload}))
+        assert cache.get(key) is None      # stale version is a miss...
+        assert not path.exists()           # ...and the entry is dropped
+
     def test_schema_version_invalidates_entry(self, tmp_path, instance,
                                               platform, payload,
                                               monkeypatch):
