@@ -20,7 +20,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from .core.api import evaluate_all, schedule
+from .core.api import deadline_from_factor, evaluate_all, schedule
 from .core.platform import default_platform
 from .core.results import Heuristic
 from .graphs.analysis import graph_stats
@@ -162,6 +162,51 @@ def _cmd_pareto(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .core.suite import paper_suite
+    from .obs import ObsLog, format_log_stats, write_chrome_trace, \
+        write_metrics_jsonl
+
+    graph = _load(args.graph, args.scale)
+    deadline = deadline_from_factor(graph, args.deadline_factor)
+    log = ObsLog()
+    with log.span("cli.profile", category="cli", graph=graph.name):
+        results = paper_suite(graph, deadline, obs=log)
+    for r in results.values():
+        procs = r.n_processors if r.n_processors is not None else "-"
+        print(f"{r.heuristic.value}: {r.total_energy:.6g} J on "
+              f"{procs} processors")
+    trace_path = write_chrome_trace(log, args.out)
+    metrics_path = write_metrics_jsonl(
+        log, trace_path.with_name(trace_path.name + ".metrics.jsonl"))
+    print(file=sys.stderr)
+    print(format_log_stats(log), file=sys.stderr)
+    print(f"\ntrace written to {trace_path} (open in "
+          f"https://ui.perfetto.dev); metrics in {metrics_path}",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .obs import aggregate_trace_events, format_stats, load_trace
+
+    events, embedded = load_trace(args.trace)
+    if embedded is not None:
+        aggregates = embedded.get("spanAggregates") or \
+            aggregate_trace_events(events)
+        counters = embedded.get("counters")
+        histograms = embedded.get("histograms")
+    else:
+        aggregates = aggregate_trace_events(events)
+        counters = histograms = None
+    if not aggregates and not counters:
+        print(f"{args.trace}: no span events found", file=sys.stderr)
+        return 1
+    print(format_stats(aggregates=aggregates, counters=counters,
+                       histograms=histograms))
+    return 0
+
+
 def _cmd_audit(args: argparse.Namespace) -> int:
     from .audit import audit_corpus
 
@@ -295,6 +340,23 @@ def build_parser() -> argparse.ArgumentParser:
                                          Heuristic.LIMIT_MF)])
     p.add_argument("--width", type=int, default=72)
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "profile",
+        help="run the paper suite on one graph under the repro.obs "
+             "recorder and write a Chrome-trace/Perfetto JSON")
+    add_graph_opts(p)
+    p.add_argument("--deadline-factor", type=float, default=2.0)
+    p.add_argument("--out", default="repro-trace.json", metavar="PATH",
+                   help="trace output path (default: repro-trace.json)")
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "stats",
+        help="print the aggregated self-time table of a recorded trace")
+    p.add_argument("trace", help="a trace JSON written by --profile or "
+                                 "'repro profile'")
+    p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser("pareto",
                        help="energy-deadline trade-off exploration")

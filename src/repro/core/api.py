@@ -11,6 +11,7 @@ from typing import Dict, Hashable, Mapping, Optional, Union
 from ..audit.report import AuditLog
 from ..graphs.analysis import critical_path_length
 from ..graphs.dag import TaskGraph
+from ..obs import ObsLog
 from .lamps import lamps_search
 from .limits import limit_mf, limit_sf
 from .platform import Platform
@@ -42,6 +43,7 @@ def schedule(
     deadline_overrides: Optional[Mapping[Hashable, float]] = None,
     strict: bool = False,
     audit: Optional[AuditLog] = None,
+    obs: Optional[ObsLog] = None,
 ) -> ScheduleResult:
     """Schedule ``graph`` for minimum energy under a deadline.
 
@@ -65,6 +67,9 @@ def schedule(
             counters/violations into (implies the strict checks; its
             own ``strict`` flag decides raise-vs-collect).  Ignored by
             the LIMIT bounds, which build no schedule.
+        obs: an :class:`~repro.obs.ObsLog` recording spans/counters of
+            the search (see :mod:`repro.obs`); never changes the
+            result.  Ignored by the LIMIT bounds.
 
     Returns:
         A :class:`ScheduleResult` with the chosen processor count,
@@ -84,7 +89,7 @@ def schedule(
         deadline = deadline_from_factor(graph, deadline_factor)
     h = Heuristic(heuristic)
     kwargs = dict(platform=platform, deadline_overrides=deadline_overrides)
-    check = dict(strict=strict, audit=audit)
+    check = dict(strict=strict, audit=audit, obs=obs)
 
     if h is Heuristic.SNS:
         return schedule_and_stretch(graph, deadline, shutdown=False,
@@ -116,6 +121,7 @@ def evaluate_all(
     deadline_overrides: Optional[Mapping[Hashable, float]] = None,
     strict: bool = False,
     audit: Optional[AuditLog] = None,
+    obs: Optional[ObsLog] = None,
 ) -> Dict[Heuristic, ScheduleResult]:
     """Run every heuristic (or a chosen subset) on one instance.
 
@@ -129,6 +135,6 @@ def evaluate_all(
             graph, deadline, deadline_factor=deadline_factor,
             heuristic=h, platform=platform, policy=policy,
             deadline_overrides=deadline_overrides,
-            strict=strict, audit=audit)
+            strict=strict, audit=audit, obs=obs)
         for h in chosen
     }

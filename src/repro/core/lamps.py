@@ -28,6 +28,7 @@ from ..audit.invariants import audit_energy, audit_intermediate_schedule, \
     audit_result
 from ..audit.report import AuditLog
 from ..graphs.dag import TaskGraph
+from ..obs import ObsLog, live
 from ..sched.deadlines import task_deadlines
 from ..sched.list_scheduler import list_schedule
 from ..sched.priorities import PriorityPolicy
@@ -51,6 +52,7 @@ def lamps_search(
     phase2: str = "linear",
     strict: bool = False,
     audit: Optional[AuditLog] = None,
+    obs: Optional[ObsLog] = None,
 ) -> ScheduleResult:
     """Run LAMPS (``shutdown=False``) or LAMPS+PS (``shutdown=True``).
 
@@ -68,6 +70,9 @@ def lamps_search(
         audit: an :class:`~repro.audit.report.AuditLog` to record
             counters and violations into (implies the strict checks;
             its own ``strict`` flag decides raise-vs-collect).
+        obs: an :class:`~repro.obs.ObsLog` recording phase spans,
+            binary-search iterations, anomaly retries and operating
+            points evaluated (no effect on the result).
 
     Raises:
         InfeasibleScheduleError: the deadline cannot be met at full
@@ -80,12 +85,13 @@ def lamps_search(
     deadline_seconds = platform.seconds(deadline)
     sleep = platform.sleep if shutdown else None
     log = audit if audit is not None else (AuditLog() if strict else None)
+    o = live(obs)
 
     cache: Dict[int, Schedule] = {}
 
     def sched(n: int) -> Schedule:
         if n not in cache:
-            cache[n] = list_schedule(graph, n, d, policy=policy)
+            cache[n] = list_schedule(graph, n, d, policy=policy, obs=obs)
             if log is not None:
                 log.schedules_built += 1
                 audit_intermediate_schedule(
@@ -96,72 +102,82 @@ def lamps_search(
         return sched(n).required_reference_frequency(d) <= 1.0 + 1e-9
 
     # ---- Phase 1: minimal processor count (binary search) ---------------
-    n_lwb = max(1, math.ceil(float(graph.weights_array.sum()) / deadline))
-    n_upb = graph.n
-    if not feasible(n_upb):
-        raise InfeasibleScheduleError(
-            f"{graph.name or 'graph'}: deadline {deadline:g} cycles "
-            f"unreachable even with {n_upb} processors at full speed")
-    lo, hi = n_lwb, n_upb
-    while lo < hi:
-        mid = (lo + hi) // 2
-        if feasible(mid):
-            hi = mid
-        else:
-            lo = mid + 1
-    n_min = lo
-    # The binary search assumes feasibility is monotone in the processor
-    # count; scheduling anomalies (more processors -> longer makespan)
-    # can break that, so verify and advance linearly until feasible —
-    # Phase 2 must never start from an infeasible count (n_upb is
-    # feasible, so this terminates).
-    while n_min < n_upb and not feasible(n_min):
-        n_min += 1
-        if log is not None:
-            log.anomaly_retries += 1
-
-    # ---- Phase 2: sweep processor counts ---------------------------------
-    best: Optional[tuple] = None  # (energy, n, point, schedule)
-    prev_makespan = math.inf
-    for n in range(n_min, n_upb + 1):
-        s = sched(n)
-        f_req = required_frequency(s, d, platform.fmax)
-        if f_req > platform.fmax * (1.0 + 1e-9):
-            # Scheduling anomaly made this count infeasible: skip it but
-            # keep sweeping — a later count can recover.
+    with o.span("lamps.phase1", category="core",
+                graph=graph.name, shutdown=shutdown):
+        n_lwb = max(1, math.ceil(float(graph.weights_array.sum()) / deadline))
+        n_upb = graph.n
+        if not feasible(n_upb):
+            raise InfeasibleScheduleError(
+                f"{graph.name or 'graph'}: deadline {deadline:g} cycles "
+                f"unreachable even with {n_upb} processors at full speed")
+        lo, hi = n_lwb, n_upb
+        while lo < hi:
+            mid = (lo + hi) // 2
+            o.count("lamps.binary_search_iterations")
+            if feasible(mid):
+                hi = mid
+            else:
+                lo = mid + 1
+        n_min = lo
+        # The binary search assumes feasibility is monotone in the
+        # processor count; scheduling anomalies (more processors ->
+        # longer makespan) can break that, so verify and advance
+        # linearly until feasible — Phase 2 must never start from an
+        # infeasible count (n_upb is feasible, so this terminates).
+        while n_min < n_upb and not feasible(n_min):
+            n_min += 1
+            o.count("lamps.anomaly_retries")
             if log is not None:
                 log.anomaly_retries += 1
-        else:
-            energy, point = _best_operating_point(
-                s, f_req, platform, deadline_seconds, sleep, log)
-            if best is None or energy.total < best[0].total:
-                best = (energy, n, point, s)
-            elif phase2 == "greedy" and energy.total > best[0].total:
-                break
-            if s.makespan >= prev_makespan - 1e-9:
-                break  # more processors no longer shorten the schedule
-        # Track *every* makespan, not only the feasible ones — comparing
-        # a later feasible count against a makespan from before an
-        # anomalous stretch used to truncate the sweep one point early.
-        prev_makespan = s.makespan
-    if shutdown:
-        # Fig. 8 sweeps up to the number of processors that can be
-        # employed efficiently; the fully spread schedule (the S&S one)
-        # can win under PS because longer per-processor gaps sleep
-        # better, so include it as a candidate — unless an anomaly made
-        # it infeasible (it usually is feasible: the upfront check ran
-        # on this very schedule).
-        s = sched(graph.n)
-        f_req = required_frequency(s, d, platform.fmax)
-        if f_req <= platform.fmax * (1.0 + 1e-9):
-            energy, point = _best_operating_point(
-                s, f_req, platform, deadline_seconds, sleep, log)
-            if best is None or energy.total < best[0].total:
-                best = (energy, graph.n, point, s)
-        elif log is not None:
-            log.anomaly_retries += 1
-    assert best is not None  # n_min is always feasible
-    energy, _, point, schedule = best
+
+    # ---- Phase 2: sweep processor counts ---------------------------------
+    with o.span("lamps.phase2", category="core",
+                graph=graph.name, n_min=n_min, shutdown=shutdown):
+        best: Optional[tuple] = None  # (energy, n, point, schedule)
+        prev_makespan = math.inf
+        for n in range(n_min, n_upb + 1):
+            s = sched(n)
+            f_req = required_frequency(s, d, platform.fmax)
+            if f_req > platform.fmax * (1.0 + 1e-9):
+                # Scheduling anomaly made this count infeasible: skip it
+                # but keep sweeping — a later count can recover.
+                o.count("lamps.anomaly_retries")
+                if log is not None:
+                    log.anomaly_retries += 1
+            else:
+                energy, point = _best_operating_point(
+                    s, f_req, platform, deadline_seconds, sleep, log, o)
+                if best is None or energy.total < best[0].total:
+                    best = (energy, n, point, s)
+                elif phase2 == "greedy" and energy.total > best[0].total:
+                    break
+                if s.makespan >= prev_makespan - 1e-9:
+                    break  # more processors no longer shorten the schedule
+            # Track *every* makespan, not only the feasible ones —
+            # comparing a later feasible count against a makespan from
+            # before an anomalous stretch used to truncate the sweep
+            # one point early.
+            prev_makespan = s.makespan
+        if shutdown:
+            # Fig. 8 sweeps up to the number of processors that can be
+            # employed efficiently; the fully spread schedule (the S&S
+            # one) can win under PS because longer per-processor gaps
+            # sleep better, so include it as a candidate — unless an
+            # anomaly made it infeasible (it usually is feasible: the
+            # upfront check ran on this very schedule).
+            s = sched(graph.n)
+            f_req = required_frequency(s, d, platform.fmax)
+            if f_req <= platform.fmax * (1.0 + 1e-9):
+                energy, point = _best_operating_point(
+                    s, f_req, platform, deadline_seconds, sleep, log, o)
+                if best is None or energy.total < best[0].total:
+                    best = (energy, graph.n, point, s)
+            else:
+                o.count("lamps.anomaly_retries")
+                if log is not None:
+                    log.anomaly_retries += 1
+        assert best is not None  # n_min is always feasible
+        energy, _, point, schedule = best
 
     result = ScheduleResult(
         heuristic=Heuristic.LAMPS_PS if shutdown else Heuristic.LAMPS,
@@ -180,17 +196,21 @@ def lamps_search(
 
 def _best_operating_point(schedule: Schedule, f_req: float,
                           platform: Platform, deadline_seconds: float,
-                          sleep, log: Optional[AuditLog] = None) -> tuple:
+                          sleep, log: Optional[AuditLog] = None,
+                          o=None) -> tuple:
     """Best (energy, point) for a fixed schedule.
 
     Without PS: the maximally stretched point (the paper stretches to
     finish "as close as possible to the deadline").  With PS: the best
     point over the whole feasible range (Fig. 8's inner loop).
+    ``o`` is an already-normalised obs recorder (``ObsLog`` or
+    ``NULL_OBS``) counting the points evaluated.
 
     Raises:
         InfeasibleScheduleError: no ladder point meets ``f_req`` (e.g.
             float round-off pushed it marginally above ``fmax``).
     """
+    o = o if o is not None else live(None)
     if sleep is None:
         try:
             point = stretch_point(platform.ladder, f_req)
@@ -200,6 +220,7 @@ def _best_operating_point(schedule: Schedule, f_req: float,
                 f"{f_req / 1e9:.6g} GHz, ladder tops out at "
                 f"{platform.fmax / 1e9:.6g} GHz "
                 f"(deadline window {deadline_seconds:.6g} s)") from exc
+        o.count("core.operating_points_evaluated")
         if log is not None:
             log.operating_points_evaluated += 1
         return schedule_energy(schedule, point, deadline_seconds), point
@@ -210,6 +231,7 @@ def _best_operating_point(schedule: Schedule, f_req: float,
             f"point — needs {f_req / 1e9:.6g} GHz, ladder tops out at "
             f"{platform.fmax / 1e9:.6g} GHz "
             f"(deadline window {deadline_seconds:.6g} s)")
+    o.count("core.operating_points_evaluated", len(points))
     if log is not None:
         log.operating_points_evaluated += len(points)
     candidates = [
@@ -239,6 +261,7 @@ def energy_vs_processors(
     max_processors: Optional[int] = None,
     strict: bool = False,
     audit: Optional[AuditLog] = None,
+    obs: Optional[ObsLog] = None,
 ) -> "list[tuple[int, Optional[EnergyBreakdown]]]":
     """Energy as a function of the processor count (the data of Fig. 6).
 
@@ -251,11 +274,12 @@ def energy_vs_processors(
     deadline_seconds = platform.seconds(deadline)
     sleep = platform.sleep if shutdown else None
     log = audit if audit is not None else (AuditLog() if strict else None)
+    o = live(obs)
     out: list[tuple[int, Optional[EnergyBreakdown]]] = []
     prev_makespan = math.inf
     n_cap = max_processors or graph.n
     for n in range(1, n_cap + 1):
-        s = list_schedule(graph, n, d, policy=policy)
+        s = list_schedule(graph, n, d, policy=policy, obs=obs)
         if log is not None:
             log.schedules_built += 1
             audit_intermediate_schedule(
@@ -263,11 +287,12 @@ def energy_vs_processors(
         f_req = required_frequency(s, d, platform.fmax)
         if f_req > platform.fmax * (1.0 + 1e-9):
             out.append((n, None))
+            o.count("lamps.anomaly_retries")
             if log is not None:
                 log.anomaly_retries += 1
         else:
             energy, point = _best_operating_point(
-                s, f_req, platform, deadline_seconds, sleep, log)
+                s, f_req, platform, deadline_seconds, sleep, log, o)
             out.append((n, energy))
             if log is not None:
                 audit_energy(s, energy, point, deadline_seconds, sleep,

@@ -20,6 +20,7 @@ from typing import Hashable, Mapping, Optional, Union
 from ..audit.invariants import audit_intermediate_schedule, audit_result
 from ..audit.report import AuditLog
 from ..graphs.dag import TaskGraph
+from ..obs import ObsLog, live
 from ..sched.deadlines import task_deadlines
 from ..sched.list_scheduler import list_schedule
 from ..sched.priorities import PriorityPolicy
@@ -42,6 +43,7 @@ def schedule_and_stretch(
     max_processors: Optional[int] = None,
     strict: bool = False,
     audit: Optional[AuditLog] = None,
+    obs: Optional[ObsLog] = None,
 ) -> ScheduleResult:
     """Run S&S (``shutdown=False``) or S&S+PS (``shutdown=True``).
 
@@ -59,6 +61,9 @@ def schedule_and_stretch(
             :class:`~repro.audit.report.AuditViolationError`).
         audit: an :class:`~repro.audit.report.AuditLog` to record
             counters and violations into (implies the strict checks).
+        obs: an :class:`~repro.obs.ObsLog` recording the stretch span,
+            the schedule build and the operating points evaluated (no
+            effect on the result).
 
     Raises:
         InfeasibleScheduleError: deadline unreachable even at full speed.
@@ -68,40 +73,45 @@ def schedule_and_stretch(
     if n_procs < 1:
         raise ValueError("need at least one processor")
     log = audit if audit is not None else (AuditLog() if strict else None)
+    o = live(obs)
 
     d = task_deadlines(graph, deadline, overrides=deadline_overrides)
-    sched = list_schedule(graph, n_procs, d, policy=policy)
+    sched = list_schedule(graph, n_procs, d, policy=policy, obs=obs)
     if log is not None:
         log.schedules_built += 1
         audit_intermediate_schedule(
             sched, log, f"{graph.name or 'graph'}[n={n_procs}]")
-    f_req = required_frequency(sched, d, platform.fmax)
-    deadline_seconds = platform.seconds(deadline)
+    with o.span("sns.stretch", category="core", graph=graph.name,
+                shutdown=shutdown):
+        f_req = required_frequency(sched, d, platform.fmax)
+        deadline_seconds = platform.seconds(deadline)
 
-    if shutdown:
-        points = feasible_points(platform.ladder, f_req)
-        if not points:
-            raise InfeasibleScheduleError(
-                f"{graph.name or 'graph'}: needs {f_req/1e9:.3f} GHz, "
-                f"ladder tops out at {platform.fmax/1e9:.3f} GHz")
-        if log is not None:
-            log.operating_points_evaluated += len(points)
-        candidates = [
-            (schedule_energy(sched, p, deadline_seconds,
-                             sleep=platform.sleep), p)
-            for p in points
-        ]
-        energy, point = min(candidates, key=lambda c: c[0].total)
-        heuristic = Heuristic.SNS_PS
-    else:
-        try:
-            point = stretch_point(platform.ladder, f_req)
-        except ValueError as exc:
-            raise InfeasibleScheduleError(str(exc)) from exc
-        if log is not None:
-            log.operating_points_evaluated += 1
-        energy = schedule_energy(sched, point, deadline_seconds)
-        heuristic = Heuristic.SNS
+        if shutdown:
+            points = feasible_points(platform.ladder, f_req)
+            if not points:
+                raise InfeasibleScheduleError(
+                    f"{graph.name or 'graph'}: needs {f_req/1e9:.3f} GHz, "
+                    f"ladder tops out at {platform.fmax/1e9:.3f} GHz")
+            o.count("core.operating_points_evaluated", len(points))
+            if log is not None:
+                log.operating_points_evaluated += len(points)
+            candidates = [
+                (schedule_energy(sched, p, deadline_seconds,
+                                 sleep=platform.sleep), p)
+                for p in points
+            ]
+            energy, point = min(candidates, key=lambda c: c[0].total)
+            heuristic = Heuristic.SNS_PS
+        else:
+            try:
+                point = stretch_point(platform.ladder, f_req)
+            except ValueError as exc:
+                raise InfeasibleScheduleError(str(exc)) from exc
+            o.count("core.operating_points_evaluated")
+            if log is not None:
+                log.operating_points_evaluated += 1
+            energy = schedule_energy(sched, point, deadline_seconds)
+            heuristic = Heuristic.SNS
 
     result = ScheduleResult(
         heuristic=heuristic,

@@ -18,6 +18,7 @@ from typing import Dict, Hashable, Mapping, Optional, Union
 from ..audit.invariants import audit_intermediate_schedule, audit_result
 from ..audit.report import AuditLog
 from ..graphs.dag import TaskGraph
+from ..obs import ObsLog, live
 from ..sched.deadlines import task_deadlines
 from ..sched.list_scheduler import list_schedule
 from ..sched.priorities import PriorityPolicy
@@ -41,6 +42,7 @@ def paper_suite(
     deadline_overrides: Optional[Mapping[Hashable, float]] = None,
     strict: bool = False,
     audit: Optional[AuditLog] = None,
+    obs: Optional[ObsLog] = None,
 ) -> Dict[Heuristic, ScheduleResult]:
     """All six approaches on one (graph, deadline) instance.
 
@@ -49,8 +51,31 @@ def paper_suite(
 
     ``strict``/``audit`` enable the invariant checks of
     :mod:`repro.audit` on every intermediate schedule and every
-    schedule-bearing result; the returned results are unaffected.
+    schedule-bearing result; ``obs`` records phase spans and search
+    counters into an :class:`~repro.obs.ObsLog`.  Neither affects the
+    returned results.
     """
+    o = live(obs)
+    with o.span("suite.paper_suite", category="suite",
+                graph=graph.name, tasks=graph.n):
+        return _paper_suite(graph, deadline, platform=platform,
+                            policy=policy,
+                            deadline_overrides=deadline_overrides,
+                            strict=strict, audit=audit, obs=obs, o=o)
+
+
+def _paper_suite(
+    graph: TaskGraph,
+    deadline: float,
+    *,
+    platform: Optional[Platform],
+    policy: Union[str, PriorityPolicy],
+    deadline_overrides: Optional[Mapping[Hashable, float]],
+    strict: bool,
+    audit: Optional[AuditLog],
+    obs: Optional[ObsLog],
+    o,
+) -> Dict[Heuristic, ScheduleResult]:
     platform = platform or default_platform()
     d = task_deadlines(graph, deadline, overrides=deadline_overrides)
     deadline_seconds = platform.seconds(deadline)
@@ -60,7 +85,7 @@ def paper_suite(
 
     def sched(n: int) -> Schedule:
         if n not in cache:
-            cache[n] = list_schedule(graph, n, d, policy=policy)
+            cache[n] = list_schedule(graph, n, d, policy=policy, obs=obs)
             if log is not None:
                 log.schedules_built += 1
                 audit_intermediate_schedule(
@@ -78,78 +103,98 @@ def paper_suite(
     out: Dict[Heuristic, ScheduleResult] = {}
 
     # ---- S&S family: one schedule on |V| processors ----------------------
-    s_full = sched(graph.n)
-    f_req = required_frequency(s_full, d, platform.fmax)
-    if f_req > platform.fmax * (1.0 + 1e-9):
-        raise InfeasibleScheduleError(
-            f"{graph.name or 'graph'}: infeasible even at full speed")
-    point = stretch_point(platform.ladder, f_req)
-    if log is not None:
-        log.operating_points_evaluated += 1
-    out[Heuristic.SNS] = result(
-        Heuristic.SNS, schedule_energy(s_full, point, deadline_seconds),
-        point, s_full)
-    e_ps, p_ps = _best_operating_point(
-        s_full, f_req, platform, deadline_seconds, platform.sleep, log)
-    out[Heuristic.SNS_PS] = result(Heuristic.SNS_PS, e_ps, p_ps, s_full)
+    with o.span("suite.sns_family", category="suite", graph=graph.name):
+        s_full = sched(graph.n)
+        f_req = required_frequency(s_full, d, platform.fmax)
+        if f_req > platform.fmax * (1.0 + 1e-9):
+            raise InfeasibleScheduleError(
+                f"{graph.name or 'graph'}: infeasible even at full speed")
+        point = stretch_point(platform.ladder, f_req)
+        o.count("core.operating_points_evaluated")
+        if log is not None:
+            log.operating_points_evaluated += 1
+        out[Heuristic.SNS] = result(
+            Heuristic.SNS,
+            schedule_energy(s_full, point, deadline_seconds),
+            point, s_full)
+        e_ps, p_ps = _best_operating_point(
+            s_full, f_req, platform, deadline_seconds, platform.sleep,
+            log, o)
+        out[Heuristic.SNS_PS] = result(Heuristic.SNS_PS, e_ps, p_ps,
+                                       s_full)
 
     # ---- LAMPS family: shared processor-count sweep ----------------------
-    n_lwb = max(1, math.ceil(float(graph.weights_array.sum()) / deadline))
-    lo, hi = n_lwb, graph.n
-    while lo < hi:
-        mid = (lo + hi) // 2
-        if sched(mid).required_reference_frequency(d) <= 1.0 + 1e-9:
-            hi = mid
-        else:
-            lo = mid + 1
-    n_min = lo
-    # Feasibility can be non-monotone under scheduling anomalies, which
-    # breaks the binary search's assumption; advance linearly until
-    # feasible (graph.n is feasible, so this terminates) — see
-    # repro.core.lamps.lamps_search for the same guard.
-    while (n_min < graph.n
-           and sched(n_min).required_reference_frequency(d) > 1.0 + 1e-9):
-        n_min += 1
-        if log is not None:
-            log.anomaly_retries += 1
+    with o.span("suite.lamps_phase1", category="suite",
+                graph=graph.name):
+        n_lwb = max(1,
+                    math.ceil(float(graph.weights_array.sum()) / deadline))
+        lo, hi = n_lwb, graph.n
+        while lo < hi:
+            mid = (lo + hi) // 2
+            o.count("lamps.binary_search_iterations")
+            if sched(mid).required_reference_frequency(d) <= 1.0 + 1e-9:
+                hi = mid
+            else:
+                lo = mid + 1
+        n_min = lo
+        # Feasibility can be non-monotone under scheduling anomalies,
+        # which breaks the binary search's assumption; advance linearly
+        # until feasible (graph.n is feasible, so this terminates) —
+        # see repro.core.lamps.lamps_search for the same guard.
+        while (n_min < graph.n
+               and sched(n_min).required_reference_frequency(d)
+               > 1.0 + 1e-9):
+            n_min += 1
+            o.count("lamps.anomaly_retries")
+            if log is not None:
+                log.anomaly_retries += 1
 
-    best_plain: Optional[tuple] = None
-    best_ps: Optional[tuple] = None
-    prev_makespan = math.inf
-    for n in range(n_min, graph.n + 1):
-        s = sched(n)
-        fr = required_frequency(s, d, platform.fmax)
-        if fr <= platform.fmax * (1.0 + 1e-9):
-            e, p = _best_operating_point(s, fr, platform, deadline_seconds,
-                                         None, log)
-            if best_plain is None or e.total < best_plain[0].total:
-                best_plain = (e, p, s)
-            e, p = _best_operating_point(s, fr, platform, deadline_seconds,
-                                         platform.sleep, log)
-            if best_ps is None or e.total < best_ps[0].total:
-                best_ps = (e, p, s)
-            if s.makespan >= prev_makespan - 1e-9:
-                break  # plateau on a feasible count ends the sweep
-        elif log is not None:
-            log.anomaly_retries += 1
-        # Same anomaly rule as lamps_search: track every makespan, and
-        # never let an infeasible (anomalous) count end the sweep.
-        prev_makespan = s.makespan
-    # The fully spread schedule is a valid +PS candidate (Fig. 8's Nmax);
-    # it can beat packed configurations because long gaps sleep cheaply.
-    if best_ps is None or e_ps.total < best_ps[0].total:
-        best_ps = (e_ps, p_ps, s_full)
-    assert best_plain is not None and best_ps is not None
-    out[Heuristic.LAMPS] = result(Heuristic.LAMPS, *best_plain)
-    out[Heuristic.LAMPS_PS] = result(Heuristic.LAMPS_PS, *best_ps)
+    with o.span("suite.lamps_phase2", category="suite",
+                graph=graph.name, n_min=n_min):
+        best_plain: Optional[tuple] = None
+        best_ps: Optional[tuple] = None
+        prev_makespan = math.inf
+        for n in range(n_min, graph.n + 1):
+            s = sched(n)
+            fr = required_frequency(s, d, platform.fmax)
+            if fr <= platform.fmax * (1.0 + 1e-9):
+                e, p = _best_operating_point(s, fr, platform,
+                                             deadline_seconds, None,
+                                             log, o)
+                if best_plain is None or e.total < best_plain[0].total:
+                    best_plain = (e, p, s)
+                e, p = _best_operating_point(s, fr, platform,
+                                             deadline_seconds,
+                                             platform.sleep, log, o)
+                if best_ps is None or e.total < best_ps[0].total:
+                    best_ps = (e, p, s)
+                if s.makespan >= prev_makespan - 1e-9:
+                    break  # plateau on a feasible count ends the sweep
+            else:
+                o.count("lamps.anomaly_retries")
+                if log is not None:
+                    log.anomaly_retries += 1
+            # Same anomaly rule as lamps_search: track every makespan,
+            # and never let an infeasible (anomalous) count end the
+            # sweep.
+            prev_makespan = s.makespan
+        # The fully spread schedule is a valid +PS candidate (Fig. 8's
+        # Nmax); it can beat packed configurations because long gaps
+        # sleep cheaply.
+        if best_ps is None or e_ps.total < best_ps[0].total:
+            best_ps = (e_ps, p_ps, s_full)
+        assert best_plain is not None and best_ps is not None
+        out[Heuristic.LAMPS] = result(Heuristic.LAMPS, *best_plain)
+        out[Heuristic.LAMPS_PS] = result(Heuristic.LAMPS_PS, *best_ps)
 
     # ---- Bounds -----------------------------------------------------------
-    out[Heuristic.LIMIT_SF] = limit_sf(
-        graph, deadline, platform=platform,
-        deadline_overrides=deadline_overrides)
-    out[Heuristic.LIMIT_MF] = limit_mf(
-        graph, deadline, platform=platform,
-        deadline_overrides=deadline_overrides)
+    with o.span("suite.limits", category="suite", graph=graph.name):
+        out[Heuristic.LIMIT_SF] = limit_sf(
+            graph, deadline, platform=platform,
+            deadline_overrides=deadline_overrides)
+        out[Heuristic.LIMIT_MF] = limit_mf(
+            graph, deadline, platform=platform,
+            deadline_overrides=deadline_overrides)
     if log is not None:
         for h, res in out.items():
             audit_result(

@@ -28,6 +28,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Hashable, List, Mapping, Optional, Union
@@ -35,6 +36,7 @@ from typing import Any, Dict, Hashable, List, Mapping, Optional, Union
 from ..core.platform import Platform
 from ..core.results import Heuristic, ScheduleResult
 from ..graphs.dag import TaskGraph
+from ..obs import ObsLog, live
 from ..power.dvs import OperatingPoint
 
 __all__ = [
@@ -206,11 +208,17 @@ class ResultCache:
     simply recomputes.  ``put`` is atomic — readers see either the old
     entry or the complete new one, and a crash leaves no partial file
     under a final entry name.
+
+    An optional :class:`~repro.obs.ObsLog` records hit/miss counters
+    and ``cache.get`` / ``cache.put`` latency histograms; it never
+    affects what is stored or returned.
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(self, root: Union[str, Path],
+                 obs: Optional[ObsLog] = None) -> None:
         self.root = Path(root)
         self.stats = CacheStats()
+        self.obs = obs
 
     def path_for(self, key: str) -> Path:
         """Entry path for digest ``key``."""
@@ -218,6 +226,14 @@ class ResultCache:
 
     def get(self, key: str) -> Optional[List[dict]]:
         """Cached payload for ``key``, or ``None`` on any kind of miss."""
+        t0 = time.perf_counter()
+        payload = self._get(key)
+        o = live(self.obs)
+        o.observe("cache.get", time.perf_counter() - t0)
+        o.count("cache.hits" if payload is not None else "cache.misses")
+        return payload
+
+    def _get(self, key: str) -> Optional[List[dict]]:
         path = self.path_for(key)
         try:
             text = path.read_text()
@@ -242,6 +258,13 @@ class ResultCache:
 
     def put(self, key: str, payload: List[dict]) -> None:
         """Atomically store ``payload`` (a :func:`summarize_results` list)."""
+        t0 = time.perf_counter()
+        self._put(key, payload)
+        o = live(self.obs)
+        o.observe("cache.put", time.perf_counter() - t0)
+        o.count("cache.writes")
+
+    def _put(self, key: str, payload: List[dict]) -> None:
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         text = json.dumps(

@@ -7,15 +7,29 @@ surface with their natural tracebacks) or across a
 amortise pickling, each application is timed in the worker, and results
 always come back in *input order* regardless of completion order, so
 callers never see scheduling nondeterminism.
+
+Failures identify their item: any exception raised by ``fn`` is
+annotated in flight with the index and ``repr`` of the failing instance
+(``instance_index`` / ``instance_repr`` attributes plus an exception
+note on Python >= 3.11) and still propagates with its original type.
+
+When an :class:`~repro.obs.ObsLog` is passed, each worker records
+per-chunk and per-instance spans into its own log and ships it back
+inside the chunk's last :class:`InstanceResult`; the coordinating
+process merges them, so a ``--jobs 8`` run yields one trace with a
+lane per worker pid.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..obs import ObsLog, live
 
 __all__ = ["InstanceResult", "run_instances"]
 
@@ -31,22 +45,64 @@ class InstanceResult:
         value: what the worker function returned.
         seconds: wall-clock time of the single ``fn(item)`` call,
             measured inside the worker process.
+        obs: a worker-side :meth:`repro.obs.ObsLog.to_dict` payload
+            carrying the chunk's spans (attached to the last result of
+            each chunk under profiling, ``None`` otherwise).
     """
 
     index: int
     value: Any
     seconds: float
+    obs: Optional[dict] = None
+
+
+def _identify_failure(exc: BaseException, index: int, item: Any) -> None:
+    """Annotate an in-flight worker exception with its failing item.
+
+    The original exception type (and message) is preserved — callers
+    keep catching what ``fn`` raises — but gains ``instance_index`` /
+    ``instance_repr`` attributes and, on Python >= 3.11, a traceback
+    note.  Both survive pickling across the pool boundary (they live in
+    the exception's ``__dict__``).
+    """
+    try:
+        item_repr = repr(item)
+    except Exception:  # repr() of a broken item must not mask the error
+        item_repr = f"<unreprable {type(item).__name__}>"
+    if len(item_repr) > 500:
+        item_repr = item_repr[:497] + "..."
+    try:
+        exc.instance_index = index  # type: ignore[attr-defined]
+        exc.instance_repr = item_repr  # type: ignore[attr-defined]
+    except Exception:  # exceptions with __slots__ cannot carry attrs
+        return
+    add_note = getattr(exc, "add_note", None)
+    if add_note is not None:
+        add_note(f"while evaluating instance {index}: {item_repr}")
 
 
 def _run_chunk(fn: Callable[[Any], Any], start: int,
-               items: Sequence[Any]) -> List[InstanceResult]:
+               items: Sequence[Any],
+               profile: bool = False) -> List[InstanceResult]:
     """Worker-side body: apply ``fn`` to a contiguous chunk, timed."""
+    log = ObsLog() if profile else None
+    o = live(log)
     out: List[InstanceResult] = []
-    for offset, item in enumerate(items):
-        t0 = time.perf_counter()
-        value = fn(item)
-        out.append(InstanceResult(start + offset, value,
-                                  time.perf_counter() - t0))
+    with o.span("exec.chunk", category="exec",
+                start=start, size=len(items)):
+        for offset, item in enumerate(items):
+            t0 = time.perf_counter()
+            try:
+                with o.span("exec.instance", category="exec",
+                            index=start + offset):
+                    value = fn(item)
+            except BaseException as exc:
+                _identify_failure(exc, start + offset, item)
+                raise
+            out.append(InstanceResult(start + offset, value,
+                                      time.perf_counter() - t0))
+    if log is not None and out:
+        out[-1] = dataclasses.replace(out[-1], obs=log.to_dict())
     return out
 
 
@@ -57,6 +113,7 @@ def run_instances(
     jobs: int = 1,
     chunksize: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
+    obs: Optional[ObsLog] = None,
 ) -> List[InstanceResult]:
     """Apply ``fn`` to every item, possibly across worker processes.
 
@@ -68,29 +125,44 @@ def run_instances(
         progress: called as ``progress(done, total)`` after each item
             (serial) or each completed chunk (parallel); ``done`` is
             strictly increasing and ends at ``total``.
+        obs: optional :class:`~repro.obs.ObsLog`; records the fan-out
+            span here plus per-chunk/per-instance worker spans (merged
+            in as chunks complete).  Never changes results.
 
     Returns:
         One :class:`InstanceResult` per item, in input order.
 
     Raises:
         Whatever ``fn`` raises — a worker exception aborts the run
-        (fail-fast; pending chunks are cancelled) and propagates.
+        (fail-fast; pending chunks are cancelled) and propagates,
+        annotated with the failing item's index and repr (see
+        :func:`_identify_failure`).
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     total = len(items)
     if total == 0:
         return []
+    o = live(obs)
 
     if jobs == 1:
         results = []
-        for i, item in enumerate(items):
-            t0 = time.perf_counter()
-            value = fn(item)
-            results.append(InstanceResult(i, value,
-                                          time.perf_counter() - t0))
-            if progress is not None:
-                progress(i + 1, total)
+        with o.span("exec.run_instances", category="exec",
+                    jobs=1, items=total):
+            for i, item in enumerate(items):
+                t0 = time.perf_counter()
+                try:
+                    with o.span("exec.instance", category="exec",
+                                index=i):
+                        value = fn(item)
+                except BaseException as exc:
+                    _identify_failure(exc, i, item)
+                    raise
+                results.append(InstanceResult(i, value,
+                                              time.perf_counter() - t0))
+                if progress is not None:
+                    progress(i + 1, total)
+        o.count("exec.instances_run", total)
         return results
 
     if chunksize is None:
@@ -101,20 +173,29 @@ def run_instances(
     ]
 
     out: List[Optional[InstanceResult]] = [None] * total
-    with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
-        futures = {pool.submit(_run_chunk, fn, start, chunk): len(chunk)
-                   for start, chunk in chunks}
-        done = 0
-        try:
-            for future in as_completed(futures):
-                for result in future.result():
-                    out[result.index] = result
-                done += futures[future]
-                if progress is not None:
-                    progress(done, total)
-        except BaseException:
-            for future in futures:
-                future.cancel()
-            raise
+    profile = obs is not None
+    with o.span("exec.run_instances", category="exec",
+                jobs=jobs, items=total, chunks=len(chunks)):
+        with ProcessPoolExecutor(
+                max_workers=min(jobs, len(chunks))) as pool:
+            futures = {pool.submit(_run_chunk, fn, start, chunk,
+                                   profile): len(chunk)
+                       for start, chunk in chunks}
+            done = 0
+            try:
+                for future in as_completed(futures):
+                    for result in future.result():
+                        if obs is not None and result.obs is not None:
+                            obs.merge_dict(result.obs)
+                        out[result.index] = result
+                    done += futures[future]
+                    if progress is not None:
+                        progress(done, total)
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise
+    o.count("exec.instances_run", total)
+    o.count("exec.chunks_run", len(chunks))
     assert all(r is not None for r in out)
     return out  # type: ignore[return-value]

@@ -20,6 +20,7 @@ from ..audit.report import AuditLog
 from ..core.platform import Platform, default_platform
 from ..core.results import Heuristic, ScheduleResult
 from ..graphs.dag import TaskGraph
+from ..obs import ObsLog, live
 from .cache import ResultCache, instance_digest, restore_results, \
     summarize_results
 from .pool import run_instances
@@ -49,6 +50,11 @@ class ExecOptions:
             worker; counters from all workers are merged into
             :meth:`open_audit`'s log.  Strict mode never changes the
             results or what is written to the cache.
+        profile: record spans/counters/latencies into
+            :meth:`open_obs`'s :class:`~repro.obs.ObsLog` — worker-side
+            logs are merged in, so a ``--jobs 8`` campaign yields one
+            coherent multi-process trace.  Like ``strict``, profiling
+            never changes the results or the cache bytes.
     """
 
     jobs: int = 1
@@ -56,17 +62,24 @@ class ExecOptions:
     use_cache: bool = True
     progress: Optional[object] = None
     strict: bool = False
+    profile: bool = False
     _cache: Optional[ResultCache] = field(
         default=None, init=False, repr=False, compare=False)
     _audit: Optional[AuditLog] = field(
         default=None, init=False, repr=False, compare=False)
+    _obs: Optional[ObsLog] = field(
+        default=None, init=False, repr=False, compare=False)
+    #: Worker-measured wall seconds of every *fresh* (non-cached)
+    #: instance across the campaign — the runner-summary satellite.
+    instance_seconds: List[float] = field(
+        default_factory=list, init=False, repr=False, compare=False)
 
     def open_cache(self) -> Optional[ResultCache]:
         """The shared :class:`ResultCache`, or ``None`` when disabled."""
         if not self.use_cache or self.cache_dir is None:
             return None
         if self._cache is None:
-            self._cache = ResultCache(self.cache_dir)
+            self._cache = ResultCache(self.cache_dir, obs=self.open_obs())
         return self._cache
 
     def open_audit(self) -> Optional[AuditLog]:
@@ -77,26 +90,55 @@ class ExecOptions:
             self._audit = AuditLog(strict=True)
         return self._audit
 
+    def open_obs(self) -> Optional[ObsLog]:
+        """The campaign-wide :class:`ObsLog` (``None`` unless profiling)."""
+        if not self.profile:
+            return None
+        if self._obs is None:
+            self._obs = ObsLog()
+        return self._obs
+
+    def timing_summary(self) -> Optional[str]:
+        """One-line wall-time summary of the fresh instances, or ``None``.
+
+        Surfaces the per-instance ``InstanceResult.seconds`` the pool
+        already measures: e.g. ``instances: 36 fresh, 12.41 s total,
+        0.345 s mean, 1.203 s max``.
+        """
+        times = self.instance_seconds
+        if not times:
+            return None
+        total = sum(times)
+        return (f"instances: {len(times)} fresh, {total:.2f} s total, "
+                f"{total / len(times):.3f} s mean, {max(times):.3f} s max")
+
 
 def _suite_worker(item):
     """Evaluate one instance; returns JSON-able summaries (picklable).
 
-    In strict mode the return value is wrapped as ``{"results": ...,
-    "audit": counters}`` so the runner can merge worker-side audit
-    counters; the cacheable payload (the summaries) is identical either
-    way — strict must never change what lands on disk.
+    In strict and/or profile mode the return value is wrapped as
+    ``{"results": ..., "audit": counters, "obs": payload}`` (absent
+    keys omitted) so the runner can merge worker-side audit counters
+    and obs spans; the cacheable payload (the summaries) is identical
+    either way — neither mode may change what lands on disk.
     """
     from ..core.suite import paper_suite
 
-    graph, deadline, platform, policy, strict = item
-    if not strict:
+    graph, deadline, platform, policy, strict, profile = item
+    if not strict and not profile:
         return summarize_results(
             paper_suite(graph, deadline, platform=platform, policy=policy))
-    log = AuditLog(strict=True)
+    log = AuditLog(strict=True) if strict else None
+    obs = ObsLog() if profile else None
     summaries = summarize_results(
         paper_suite(graph, deadline, platform=platform, policy=policy,
-                    audit=log))
-    return {"results": summaries, "audit": log.counters()}
+                    audit=log, obs=obs))
+    wrapped = {"results": summaries}
+    if log is not None:
+        wrapped["audit"] = log.counters()
+    if obs is not None:
+        wrapped["obs"] = obs.to_dict()
+    return wrapped
 
 
 def evaluate_suite_instances(
@@ -126,34 +168,45 @@ def evaluate_suite_instances(
     options = options or ExecOptions()
     cache = options.open_cache() if isinstance(policy, str) else None
     audit = options.open_audit()
+    obs = options.open_obs()
+    o = live(obs)
 
     results: List[Optional[Dict[Heuristic, ScheduleResult]]] = \
         [None] * len(instances)
     keys: List[Optional[str]] = [None] * len(instances)
     pending: List[int] = []
-    for i, (graph, deadline) in enumerate(instances):
-        if cache is not None:
-            keys[i] = instance_digest(graph, deadline, platform, policy)
-            payload = cache.get(keys[i])
-            if payload is not None:
-                results[i] = restore_results(payload)
-                if audit is not None:
-                    # Summaries carry no schedule, so there is nothing
-                    # to re-validate — count the restore instead.
-                    audit.cache_hits += 1
-                continue
-        pending.append(i)
+    with o.span("exec.cache_lookup", category="exec",
+                instances=len(instances), cached=cache is not None):
+        for i, (graph, deadline) in enumerate(instances):
+            if cache is not None:
+                keys[i] = instance_digest(graph, deadline, platform,
+                                          policy)
+                payload = cache.get(keys[i])
+                if payload is not None:
+                    results[i] = restore_results(payload)
+                    if audit is not None:
+                        # Summaries carry no schedule, so there is
+                        # nothing to re-validate — count the restore
+                        # instead.
+                        audit.cache_hits += 1
+                    continue
+            pending.append(i)
 
     work = [(instances[i][0], instances[i][1], platform, policy,
-             audit is not None)
+             audit is not None, obs is not None)
             for i in pending]
+    wrapped = audit is not None or obs is not None
     for item in run_instances(_suite_worker, work, jobs=options.jobs,
-                              progress=options.progress):
+                              progress=options.progress, obs=obs):
         i = pending[item.index]
         payload = item.value
-        if audit is not None:
-            audit.merge(payload["audit"])
+        if wrapped:
+            if audit is not None:
+                audit.merge(payload["audit"])
+            if obs is not None and "obs" in payload:
+                obs.merge_dict(payload["obs"])
             payload = payload["results"]
+        options.instance_seconds.append(item.seconds)
         if cache is not None:
             cache.put(keys[i], payload)
         results[i] = restore_results(payload)

@@ -7,6 +7,7 @@ Examples::
     python -m repro.experiments --full         # larger benchmark groups
     python -m repro.experiments --full --jobs 8 --cache-dir ~/.cache/repro
     python -m repro.experiments --out report.txt
+    python -m repro.experiments fig10 --jobs 4 --profile=trace.json
 """
 
 from __future__ import annotations
@@ -18,6 +19,8 @@ import time
 from typing import Callable, Dict
 
 from ..exec import ExecOptions
+from ..obs import format_log_stats, live, write_chrome_trace, \
+    write_metrics_jsonl
 from . import (
     ext_abb,
     ext_comm,
@@ -107,6 +110,15 @@ def main(argv: "list[str] | None" = None) -> int:
                         help="run the repro.audit invariant checks on "
                              "every fresh instance (identical results, "
                              "fails loudly on any violation)")
+    parser.add_argument("--profile", nargs="?", const="repro-trace.json",
+                        default=None, metavar="PATH",
+                        help="record spans/counters across the "
+                             "scheduler, search loops and exec fan-out; "
+                             "writes a Chrome-trace/Perfetto JSON to "
+                             "PATH (default: repro-trace.json) plus a "
+                             "<PATH>.metrics.jsonl dump, and prints a "
+                             "self-time table to stderr.  Results are "
+                             "byte-identical with and without it.")
     parser.add_argument("--out", metavar="FILE",
                         help="also write the report to FILE")
     parser.add_argument("--json-dir", metavar="DIR",
@@ -117,7 +129,8 @@ def main(argv: "list[str] | None" = None) -> int:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
     exec_options = ExecOptions(jobs=args.jobs, cache_dir=args.cache_dir,
                                use_cache=not args.no_cache,
-                               strict=args.strict)
+                               strict=args.strict,
+                               profile=args.profile is not None)
     registry = _experiments(args.full, exec_options)
     chosen = args.experiments or list(registry)
     unknown = [e for e in chosen if e not in registry]
@@ -130,10 +143,13 @@ def main(argv: "list[str] | None" = None) -> int:
 
         Path(args.json_dir).mkdir(parents=True, exist_ok=True)
 
+    obs = exec_options.open_obs()
+    o = live(obs)
     blocks = []
     for exp_id in chosen:
         t0 = time.time()
-        report = registry[exp_id]()
+        with o.span(f"experiment:{exp_id}", category="experiment"):
+            report = registry[exp_id]()
         elapsed = time.time() - t0
         blocks.append(str(report) + f"[{exp_id} completed in {elapsed:.1f}s]\n")
         print(blocks[-1])
@@ -146,11 +162,27 @@ def main(argv: "list[str] | None" = None) -> int:
         # stderr, so --out/stdout report text is identical with and
         # without caching (the JSON data already is, by construction).
         print(cache_stats_line(cache.stats), file=sys.stderr)
+    timing = exec_options.timing_summary()
+    if timing is not None:
+        # stderr alongside the cache-stats line: the per-instance wall
+        # times the pool measures, finally reported.
+        print(timing, file=sys.stderr)
     audit = exec_options.open_audit()
     if audit is not None:
         # stderr for the same reason: strict mode must not perturb the
         # report text.
         print(audit.summary_line(), file=sys.stderr)
+    if obs is not None:
+        # Profiling output is stderr + side files only — the report
+        # text and JSON stay byte-identical under --profile.
+        trace_path = write_chrome_trace(obs, args.profile)
+        metrics_path = write_metrics_jsonl(
+            obs, trace_path.with_name(trace_path.name + ".metrics.jsonl"))
+        print(format_log_stats(obs), file=sys.stderr)
+        print(obs.summary_line(), file=sys.stderr)
+        print(f"trace written to {trace_path} (open in "
+              f"https://ui.perfetto.dev); metrics in {metrics_path}",
+              file=sys.stderr)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write("\n".join(blocks))

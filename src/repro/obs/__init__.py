@@ -1,0 +1,51 @@
+"""Observability: spans, counters, histograms, and trace exporters.
+
+The measurement substrate for every performance PR: instrumented hot
+paths (:func:`repro.sched.list_scheduler.list_schedule`, the
+:mod:`repro.core.lamps` / :mod:`repro.core.sns` search loops, the
+:mod:`repro.exec` cache and pool) record into an :class:`ObsLog`, which
+merges across worker processes exactly like
+:class:`repro.audit.report.AuditLog` and exports to
+
+- Chrome trace-event / Perfetto JSON (:func:`write_chrome_trace`),
+- a JSONL metrics dump (:func:`write_metrics_jsonl`),
+- an aggregated self-time table (:func:`format_log_stats`).
+
+Profiling is result-neutral by construction: every instrumentation site
+takes ``obs=None`` and degrades to the no-op :data:`NULL_OBS`, and
+``tests/obs`` proves byte-identical experiment JSON and cache files
+with and without ``--profile``.
+"""
+
+from .export import (
+    aggregate_trace_events,
+    chrome_trace,
+    format_log_stats,
+    format_stats,
+    load_trace,
+    metrics_jsonl,
+    self_time_table,
+    span_aggregates,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
+from .log import NULL_OBS, Histogram, NullObs, ObsLog, SpanRecord, live
+
+__all__ = [
+    "ObsLog",
+    "NullObs",
+    "NULL_OBS",
+    "live",
+    "SpanRecord",
+    "Histogram",
+    "chrome_trace",
+    "write_chrome_trace",
+    "metrics_jsonl",
+    "write_metrics_jsonl",
+    "span_aggregates",
+    "aggregate_trace_events",
+    "self_time_table",
+    "format_stats",
+    "format_log_stats",
+    "load_trace",
+]

@@ -1,0 +1,264 @@
+"""Exporters: Chrome trace-event JSON, JSONL metrics, self-time tables.
+
+Three views of one :class:`~repro.obs.log.ObsLog`:
+
+- :func:`chrome_trace` / :func:`write_chrome_trace` — the Trace Event
+  Format (complete ``"ph": "X"`` events) that ``chrome://tracing`` and
+  Perfetto (https://ui.perfetto.dev) load directly.  Spans from pool
+  workers keep their recording pid/tid, so a ``--jobs 8`` campaign
+  renders as one timeline with a lane per worker process.  Counters and
+  histogram summaries ride along under the top-level ``reproObs`` key
+  (unknown keys are legal in the format and ignored by viewers).
+- :func:`metrics_jsonl` / :func:`write_metrics_jsonl` — one JSON object
+  per line (``counter`` / ``histogram`` / ``span`` records), the
+  machine-diffable dump for trend tooling.
+- :func:`format_stats` — the aggregated self-time table (plus counters
+  and latency histograms) printed to stderr after a ``--profile`` run
+  and by ``repro stats``.
+
+:func:`aggregate_trace_events` rebuilds the per-name aggregates from a
+bare ``traceEvents`` list, so ``repro stats`` also works on trace files
+produced elsewhere (or with the ``reproObs`` block stripped).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..util.tables import render_table
+from .log import ObsLog
+
+__all__ = [
+    "chrome_trace", "write_chrome_trace", "metrics_jsonl",
+    "write_metrics_jsonl", "span_aggregates", "aggregate_trace_events",
+    "self_time_table", "format_stats", "format_log_stats", "load_trace",
+]
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+def _span_events(log: ObsLog) -> List[Dict[str, Any]]:
+    """The ``"ph": "X"`` events of ``log``, µs relative to the earliest
+    span across *all* processes (wall-clock epoch is the shared
+    timebase), so worker and coordinator spans line up on one
+    timeline."""
+    origin = min((s.start for s in log.spans), default=0.0)
+    events: List[Dict[str, Any]] = []
+    for s in log.spans:
+        event: Dict[str, Any] = {
+            "name": s.name, "cat": s.category or "repro",
+            "ph": "X",
+            "ts": round((s.start - origin) * 1e6, 3),
+            "dur": round(s.duration * 1e6, 3),
+            "pid": s.pid, "tid": s.tid,
+        }
+        if s.args:
+            event["args"] = s.args
+        events.append(event)
+    return events
+
+
+def chrome_trace(log: ObsLog) -> Dict[str, Any]:
+    """Render ``log`` as a Trace Event Format dict."""
+    events: List[Dict[str, Any]] = []
+    pids = sorted({s.pid for s in log.spans})
+    main_pid = pids[0] if pids else 0
+    for pid in pids:
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": "main" if pid == main_pid
+                     else f"worker {pid}"},
+        })
+    span_events = _span_events(log)
+    events.extend(span_events)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "reproObs": {
+            "counters": dict(log.counters),
+            "histograms": {k: h.to_dict()
+                           for k, h in log.histograms.items()},
+            # Interval nesting, not the recorded per-log self times:
+            # a worker's pool spans and suite spans live in different
+            # logs, and only the (pid, tid, time) view nests across
+            # that boundary.
+            "spanAggregates": aggregate_trace_events(span_events),
+        },
+    }
+
+
+def write_chrome_trace(log: ObsLog, path: Union[str, Path]) -> Path:
+    """Write :func:`chrome_trace` to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(log)) + "\n")
+    return path
+
+
+def load_trace(path: Union[str, Path]
+               ) -> Tuple[List[dict], Optional[dict]]:
+    """Load a trace file: ``(traceEvents, reproObs-block-or-None)``.
+
+    Accepts both the dict form this module writes and a bare JSON array
+    of events (the format's legacy spelling).
+    """
+    doc = json.loads(Path(path).read_text())
+    if isinstance(doc, list):
+        return doc, None
+    return doc.get("traceEvents", []), doc.get("reproObs")
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+def span_aggregates(log: ObsLog) -> Dict[str, Dict[str, float]]:
+    """Per-name span aggregates: calls, total/self seconds, max seconds.
+
+    Self times here are the ones recorded live on the span stack —
+    exact within one :class:`ObsLog`, but blind to nesting *across*
+    merged logs (a pool worker's ``exec.instance`` and the suite spans
+    inside it are recorded into different logs).  The exporters use
+    :func:`aggregate_trace_events` instead, which recovers nesting
+    from the timeline and handles that case.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for s in log.spans:
+        agg = out.setdefault(s.name, {"calls": 0, "total_s": 0.0,
+                                      "self_s": 0.0, "max_s": 0.0})
+        agg["calls"] += 1
+        agg["total_s"] += s.duration
+        agg["self_s"] += s.self_time
+        if s.duration > agg["max_s"]:
+            agg["max_s"] = s.duration
+    return out
+
+
+def aggregate_trace_events(events: List[dict]) -> Dict[str, Dict[str, float]]:
+    """:func:`span_aggregates`, recomputed from raw ``traceEvents``.
+
+    Self time is recovered from the interval nesting per (pid, tid)
+    lane: sort by start (ties: longer first, so parents precede their
+    children), run a stack, and charge each event's duration to the
+    innermost enclosing event.
+    """
+    lanes: Dict[Tuple[Any, Any], List[Tuple[float, float, str]]] = {}
+    for e in events:
+        if e.get("ph") != "X":
+            continue
+        lanes.setdefault((e.get("pid"), e.get("tid")), []).append(
+            (float(e["ts"]), float(e.get("dur", 0.0)), e["name"]))
+    out: Dict[str, Dict[str, float]] = {}
+    for lane in lanes.values():
+        lane.sort(key=lambda t: (t[0], -t[1]))
+        stack: List[List[Any]] = []  # [end_ts, child_dur_accum, name, dur]
+        for ts, dur, name in lane:
+            while stack and ts >= stack[-1][0] - 1e-9:
+                _close(stack, out)
+            if stack:
+                stack[-1][1] += dur
+            stack.append([ts + dur, 0.0, name, dur])
+        while stack:
+            _close(stack, out)
+    return out
+
+
+def _close(stack: List[List[Any]], out: Dict[str, Dict[str, float]]
+           ) -> None:
+    _, child_dur, name, dur = stack.pop()
+    dur_s = dur / 1e6
+    agg = out.setdefault(name, {"calls": 0, "total_s": 0.0,
+                                "self_s": 0.0, "max_s": 0.0})
+    agg["calls"] += 1
+    agg["total_s"] += dur_s
+    agg["self_s"] += max(0.0, (dur - child_dur) / 1e6)
+    if dur_s > agg["max_s"]:
+        agg["max_s"] = dur_s
+
+
+# ----------------------------------------------------------------------
+# JSONL metrics
+# ----------------------------------------------------------------------
+def metrics_jsonl(log: ObsLog) -> str:
+    """One JSON object per line: counters, histograms, span aggregates."""
+    lines: List[str] = []
+    for name in sorted(log.counters):
+        lines.append(json.dumps(
+            {"type": "counter", "name": name,
+             "value": log.counters[name]}, sort_keys=True))
+    for name in sorted(log.histograms):
+        lines.append(json.dumps(
+            {"type": "histogram", "name": name,
+             **log.histograms[name].to_dict()}, sort_keys=True))
+    aggs = aggregate_trace_events(_span_events(log))
+    for name in sorted(aggs):
+        lines.append(json.dumps(
+            {"type": "span", "name": name, **aggs[name]},
+            sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_metrics_jsonl(log: ObsLog, path: Union[str, Path]) -> Path:
+    """Write :func:`metrics_jsonl` to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(metrics_jsonl(log))
+    return path
+
+
+# ----------------------------------------------------------------------
+# Self-time tables
+# ----------------------------------------------------------------------
+def self_time_table(aggregates: Dict[str, Dict[str, float]],
+                    *, title: str = "Span self-time") -> str:
+    """Render per-name aggregates sorted by self time, heaviest first."""
+    total_self = sum(a["self_s"] for a in aggregates.values()) or 1.0
+    rows = []
+    for name, a in sorted(aggregates.items(),
+                          key=lambda kv: -kv[1]["self_s"]):
+        calls = int(a["calls"])
+        rows.append((
+            name, calls, f"{a['self_s']:.4f}",
+            f"{100.0 * a['self_s'] / total_self:.1f}%",
+            f"{a['total_s']:.4f}",
+            f"{1e3 * a['total_s'] / calls:.3f}",
+            f"{1e3 * a['max_s']:.3f}",
+        ))
+    return render_table(
+        ["span", "calls", "self [s]", "self %", "total [s]",
+         "mean [ms]", "max [ms]"],
+        rows, title=title)
+
+
+def format_stats(*, aggregates: Dict[str, Dict[str, float]],
+                 counters: Optional[Dict[str, int]] = None,
+                 histograms: Optional[Dict[str, dict]] = None) -> str:
+    """The full ``repro stats`` / ``--profile`` stderr block."""
+    blocks = []
+    if aggregates:
+        blocks.append(self_time_table(aggregates))
+    if counters:
+        blocks.append(render_table(
+            ["counter", "value"],
+            sorted(counters.items()), title="Counters"))
+    if histograms:
+        rows = []
+        for name in sorted(histograms):
+            h = histograms[name]
+            count = int(h["count"])
+            mean = (float(h["total"]) / count) if count else 0.0
+            rows.append((name, count, f"{1e3 * mean:.4f}",
+                         f"{1e3 * float(h['min'] or 0.0):.4f}",
+                         f"{1e3 * float(h['max']):.4f}"))
+        blocks.append(render_table(
+            ["latency", "count", "mean [ms]", "min [ms]", "max [ms]"],
+            rows, title="Latency histograms"))
+    return "\n\n".join(blocks) if blocks else "(no observations)"
+
+
+def format_log_stats(log: ObsLog) -> str:
+    """:func:`format_stats` straight from a live :class:`ObsLog`."""
+    return format_stats(
+        aggregates=aggregate_trace_events(_span_events(log)),
+        counters=log.counters,
+        histograms={k: h.to_dict() for k, h in log.histograms.items()})

@@ -1,0 +1,300 @@
+"""Spans, counters and latency histograms — the observability core.
+
+An :class:`ObsLog` is the mutable recorder the instrumented hot paths
+write into, mirroring the design of :class:`repro.audit.report.AuditLog`:
+it is cheap to carry around, picklable, JSON-friendly
+(:meth:`ObsLog.to_dict` / :meth:`ObsLog.merge_dict`) and mergeable, so
+worker processes ship their records back to the coordinating process
+and a ``--jobs 8`` campaign still yields *one* coherent log.
+
+Three primitives:
+
+- :meth:`ObsLog.span` — a context-manager timer.  Spans nest; each
+  records wall-clock start, duration, *self time* (duration minus the
+  durations of its direct children), the recording process/thread, and
+  optional small attributes.  The Chrome-trace exporter renders them as
+  a flame graph.
+- :meth:`ObsLog.count` — monotonic named counters.
+- :meth:`ObsLog.observe` — latency histograms with power-of-two
+  buckets (count/total/min/max are exact; the buckets give the shape).
+
+Instrumentation must be a provable no-op on results and nearly free
+when disabled: every instrumented function takes ``obs=None`` and runs
+against :data:`NULL_OBS`, whose methods do nothing and allocate
+nothing.  Use :func:`live` to normalise an optional log::
+
+    o = live(obs)
+    with o.span("sched.list_schedule", tasks=graph.n):
+        ...
+    o.count("sched.schedules_built")
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = ["SpanRecord", "Histogram", "ObsLog", "NullObs", "NULL_OBS",
+           "live"]
+
+
+@dataclass(frozen=True, slots=True)
+class SpanRecord:
+    """One closed span.
+
+    Attributes:
+        name: the span label, dot-namespaced (``"lamps.phase2"``).
+        category: coarse grouping for trace viewers (``"sched"``).
+        start: wall-clock start (``time.time()`` epoch seconds) — the
+            cross-process timebase the trace merge relies on.
+        duration: elapsed seconds (``perf_counter`` delta).
+        self_time: ``duration`` minus the durations of direct children.
+        pid: recording process id (distinct per pool worker).
+        tid: recording thread id (``threading.get_ident()``).
+        depth: nesting depth at record time (0 = top level).
+        args: small JSON-able attributes, or ``None``.
+    """
+
+    name: str
+    category: str
+    start: float
+    duration: float
+    self_time: float
+    pid: int
+    tid: int
+    depth: int
+    args: Optional[Dict[str, Any]] = None
+
+    def to_list(self) -> list:
+        """Compact JSON-able form (the ``to_dict`` wire format)."""
+        return [self.name, self.category, self.start, self.duration,
+                self.self_time, self.pid, self.tid, self.depth,
+                self.args]
+
+    @classmethod
+    def from_list(cls, row: list) -> "SpanRecord":
+        return cls(*row)
+
+
+class Histogram:
+    """A mergeable latency histogram with power-of-two buckets.
+
+    ``count``/``total``/``min``/``max`` are exact; ``buckets`` maps a
+    base-2 exponent ``e`` to the number of observations in
+    ``[2**(e-1), 2**e)`` seconds (non-positive values land in a single
+    underflow bucket).
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    #: Bucket key for observations <= 0 (a timer resolution artefact).
+    UNDERFLOW = -1024
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        """Record one observation (seconds)."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        key = math.frexp(value)[1] if value > 0.0 else self.UNDERFLOW
+        self.buckets[key] = self.buckets.get(key, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        """Mean observation, 0.0 when empty."""
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form (bucket keys become strings)."""
+        return {"count": self.count, "total": self.total,
+                "min": self.min if self.count else None, "max": self.max,
+                "buckets": {str(k): v for k, v in self.buckets.items()}}
+
+    def merge(self, other: Union["Histogram", Dict[str, Any]]) -> None:
+        """Fold another histogram (or its ``to_dict``) into this one."""
+        if isinstance(other, Histogram):
+            other = other.to_dict()
+        if not other["count"]:
+            return
+        self.count += int(other["count"])
+        self.total += float(other["total"])
+        self.min = min(self.min, float(other["min"]))
+        self.max = max(self.max, float(other["max"]))
+        for key, n in other["buckets"].items():
+            key = int(key)
+            self.buckets[key] = self.buckets.get(key, 0) + int(n)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Histogram(n={self.count}, mean={self.mean:.3g}s, "
+                f"max={self.max:.3g}s)")
+
+
+class _Span:
+    """The live context manager behind :meth:`ObsLog.span`."""
+
+    __slots__ = ("_log", "_name", "_category", "_args", "_wall", "_t0")
+
+    def __init__(self, log: "ObsLog", name: str, category: str,
+                 args: Optional[Dict[str, Any]]) -> None:
+        self._log = log
+        self._name = name
+        self._category = category
+        self._args = args
+
+    def __enter__(self) -> "_Span":
+        self._wall = time.time()
+        self._log._stack.append(0.0)  # children's duration accumulator
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = time.perf_counter() - self._t0
+        log = self._log
+        child_time = log._stack.pop()
+        depth = len(log._stack)
+        if depth:
+            log._stack[-1] += duration
+        log.spans.append(SpanRecord(
+            name=self._name, category=self._category, start=self._wall,
+            duration=duration, self_time=max(0.0, duration - child_time),
+            pid=log._pid, tid=threading.get_ident(), depth=depth,
+            args=self._args))
+        return None  # never swallow exceptions
+
+
+@dataclass
+class ObsLog:
+    """Spans, counters and histograms of one (part of a) run.
+
+    Mergeable across processes: workers build their own log and the
+    parent folds :meth:`to_dict` payloads in with :meth:`merge_dict`.
+    """
+
+    spans: List[SpanRecord] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+    histograms: Dict[str, Histogram] = field(default_factory=dict)
+    _stack: List[float] = field(default_factory=list, repr=False,
+                                compare=False)
+    _pid: int = field(default_factory=os.getpid, repr=False,
+                      compare=False)
+
+    #: Real recorder — lets callers branch on ``obs.enabled`` when an
+    #: instrumentation block itself costs something to set up.
+    enabled = True
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, *, category: str = "",
+             **attrs: Any) -> _Span:
+        """A context manager timing one labelled region."""
+        return _Span(self, name, category, attrs or None)
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump counter ``name`` by ``n``."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one latency observation into histogram ``name``."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(seconds)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able/picklable snapshot for shipping across processes."""
+        return {
+            "spans": [s.to_list() for s in self.spans],
+            "counters": dict(self.counters),
+            "histograms": {k: h.to_dict()
+                           for k, h in self.histograms.items()},
+        }
+
+    def merge_dict(self, payload: Dict[str, Any]) -> None:
+        """Fold a :meth:`to_dict` payload (e.g. from a worker) in."""
+        self.spans.extend(SpanRecord.from_list(row)
+                          for row in payload.get("spans", ()))
+        for name, n in payload.get("counters", {}).items():
+            self.count(name, int(n))
+        for name, hist in payload.get("histograms", {}).items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = Histogram()
+            mine.merge(hist)
+
+    def merge(self, other: "ObsLog") -> None:
+        """Fold another in-process log in."""
+        self.merge_dict(other.to_dict())
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ObsLog":
+        log = cls()
+        log.merge_dict(payload)
+        return log
+
+    # ------------------------------------------------------------------
+    def summary_line(self) -> str:
+        """One-line overview (span/counter totals), for stderr."""
+        total = sum(s.duration for s in self.spans if s.depth == 0)
+        return (f"[obs] {len(self.spans)} spans ({total:.3f} s at top "
+                f"level), {len(self.counters)} counters, "
+                f"{len(self.histograms)} histograms")
+
+
+class _NullSpan:
+    """Shared, stateless no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullObs:
+    """API-compatible no-op recorder — the disabled-mode fast path.
+
+    Every method body is a constant return; calling these in a hot loop
+    costs one attribute lookup and one call, which keeps disabled-mode
+    overhead far under the 2% budget.  Use the :data:`NULL_OBS`
+    singleton rather than instantiating.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def span(self, name: str, *, category: str = "",
+             **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def count(self, name: str, n: int = 1) -> None:
+        return None
+
+    def observe(self, name: str, seconds: float) -> None:
+        return None
+
+
+NULL_OBS = NullObs()
+
+
+def live(obs: Optional[ObsLog]) -> Union[ObsLog, NullObs]:
+    """Normalise an optional log: ``None`` becomes :data:`NULL_OBS`."""
+    return obs if obs is not None else NULL_OBS

@@ -16,6 +16,7 @@ from typing import List, Optional, Tuple, Union
 import numpy as np
 
 from ..graphs.dag import TaskGraph
+from ..obs import ObsLog, live
 from .priorities import PriorityPolicy, priority_keys
 from .schedule import Placement, Schedule
 
@@ -39,19 +40,35 @@ def _earliest_fit(intervals: List[Tuple[float, float]], ready: float,
 
 def insertion_schedule(graph: TaskGraph, n_processors: int,
                        deadlines: Optional[np.ndarray] = None, *,
-                       policy: Union[str, PriorityPolicy] = "edf"
-                       ) -> Schedule:
+                       policy: Union[str, PriorityPolicy] = "edf",
+                       obs: Optional[ObsLog] = None) -> Schedule:
     """Schedule by priority-ordered placement with gap insertion.
 
     Tasks are taken in a topologically consistent global priority order
     (priority key, then topological rank); each is placed on the
     processor offering the earliest feasible start, considering idle
-    gaps between already-placed tasks.
+    gaps between already-placed tasks.  ``obs`` records the build span
+    and the number of gap-fit insertion attempts.
 
     Args / returns: as :func:`repro.sched.list_scheduler.list_schedule`.
     """
     if n_processors < 1:
         raise ValueError("n_processors must be >= 1")
+    o = live(obs)
+    with o.span("sched.insertion_schedule", category="sched",
+                tasks=graph.n, procs=n_processors):
+        schedule, attempts = _insertion_schedule(
+            graph, n_processors, deadlines, policy)
+    o.count("sched.schedules_built")
+    o.count("sched.insertion_attempts", attempts)
+    return schedule
+
+
+def _insertion_schedule(graph: TaskGraph, n_processors: int,
+                        deadlines: Optional[np.ndarray],
+                        policy: Union[str, PriorityPolicy]
+                        ) -> Tuple[Schedule, int]:
+    """Body of :func:`insertion_schedule` plus its fit-attempt count."""
     n = graph.n
     if deadlines is None:
         deadlines = np.zeros(n)
@@ -79,6 +96,7 @@ def insertion_schedule(graph: TaskGraph, n_processors: int,
     finishes = np.zeros(n)
     procs = np.zeros(n, dtype=int)
     placed = 0
+    attempts = 0
     while ready:
         _, _, v = heapq.heappop(ready)
         ready_time = max((finishes[u] for u in preds[v]), default=0.0)
@@ -86,6 +104,7 @@ def insertion_schedule(graph: TaskGraph, n_processors: int,
         best_proc = 0
         for p in range(n_processors):
             s = _earliest_fit(busy[p], ready_time, w[v])
+            attempts += 1
             if s < best_start - 1e-15:
                 best_start = s
                 best_proc = p
@@ -117,4 +136,4 @@ def insertion_schedule(graph: TaskGraph, n_processors: int,
                   start=float(starts[v]), finish=float(finishes[v]))
         for v in range(n)
     ]
-    return Schedule(graph, n_processors, placements)
+    return Schedule(graph, n_processors, placements), attempts

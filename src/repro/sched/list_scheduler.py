@@ -21,6 +21,7 @@ from typing import List, Optional, Union
 import numpy as np
 
 from ..graphs.dag import TaskGraph
+from ..obs import ObsLog, live
 from .priorities import PriorityPolicy, priority_keys
 from .schedule import Placement, Schedule
 
@@ -29,7 +30,8 @@ __all__ = ["list_schedule"]
 
 def list_schedule(graph: TaskGraph, n_processors: int,
                   deadlines: Optional[np.ndarray] = None, *,
-                  policy: Union[str, PriorityPolicy] = "edf") -> Schedule:
+                  policy: Union[str, PriorityPolicy] = "edf",
+                  obs: Optional[ObsLog] = None) -> Schedule:
     """Schedule ``graph`` on ``n_processors`` identical processors.
 
     Args:
@@ -41,12 +43,28 @@ def list_schedule(graph: TaskGraph, n_processors: int,
             index order — pass real deadlines for meaningful EDF.
         policy: priority policy name or callable (see
             :mod:`repro.sched.priorities`).
+        obs: optional :class:`~repro.obs.ObsLog` recording a
+            per-schedule build span and dispatch counters (no effect on
+            the schedule).
 
     Returns:
         A :class:`Schedule` in cycle units.
     """
     if n_processors < 1:
         raise ValueError("n_processors must be >= 1")
+    o = live(obs)
+    with o.span("sched.list_schedule", category="sched",
+                tasks=graph.n, procs=n_processors):
+        schedule = _list_schedule(graph, n_processors, deadlines, policy)
+    o.count("sched.schedules_built")
+    o.count("sched.tasks_dispatched", graph.n)
+    return schedule
+
+
+def _list_schedule(graph: TaskGraph, n_processors: int,
+                   deadlines: Optional[np.ndarray],
+                   policy: Union[str, PriorityPolicy]) -> Schedule:
+    """The uninstrumented scheduler body — see :func:`list_schedule`."""
     n = graph.n
     if deadlines is None:
         deadlines = np.zeros(n)

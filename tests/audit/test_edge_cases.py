@@ -51,7 +51,7 @@ def _line_schedule(graph: TaskGraph, n: int, makespan: float) -> Schedule:
 
 
 def _patch_makespans(monkeypatch, makespan_by_n):
-    def fake_list_schedule(graph, n, deadlines, policy="edf"):
+    def fake_list_schedule(graph, n, deadlines, policy="edf", obs=None):
         return _line_schedule(graph, n, makespan_by_n[n])
     monkeypatch.setattr(lamps_mod, "list_schedule", fake_list_schedule)
 

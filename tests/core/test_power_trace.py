@@ -1,0 +1,150 @@
+"""Unit tests for sim.trace: segment edge cases and trace accounting."""
+
+import math
+
+import pytest
+
+from repro.sim.states import ProcState
+from repro.sim.trace import PowerTrace, TraceSegment
+
+
+class TestTraceSegmentEdgeCases:
+    def test_mean_power_ordinary_segment(self):
+        seg = TraceSegment(0, 0.0, 2.0, ProcState.RUN, energy=6.0)
+        assert seg.duration == 2.0
+        assert seg.mean_power == pytest.approx(3.0)
+
+    def test_mean_power_impulse_with_energy_is_inf(self):
+        # Zero-duration transition segments carry the impulse cost.
+        seg = TraceSegment(0, 1.0, 1.0, ProcState.TRANS_DOWN,
+                           energy=241.5e-6)
+        assert seg.duration == 0.0
+        assert seg.mean_power == math.inf
+
+    def test_mean_power_zero_energy_impulse_is_zero(self):
+        seg = TraceSegment(0, 1.0, 1.0, ProcState.TRANS_UP, energy=0.0)
+        assert seg.mean_power == 0.0
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError, match="before it starts"):
+            TraceSegment(0, 2.0, 1.0, ProcState.IDLE, energy=0.0)
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValueError, match="energy"):
+            TraceSegment(0, 0.0, 1.0, ProcState.IDLE, energy=-1.0)
+
+    def test_tiny_negative_duration_within_eps_allowed(self):
+        # Floating-point noise below _EPS must not raise.
+        seg = TraceSegment(0, 1.0, 1.0 - 1e-12, ProcState.IDLE,
+                           energy=0.0)
+        assert seg.duration == pytest.approx(0.0, abs=1e-11)
+
+
+@pytest.fixture
+def two_proc_trace():
+    """Hand-built trace over [0, 10] s:
+
+    proc 0: RUN [0,4] @ 2 W, IDLE [4,6] @ 0.5 W, RUN [6,10] @ 2 W
+    proc 1: IDLE [0,2] @ 0.5 W, impulse down, SLEEP [2,9] @ 50 µW,
+            impulse up, IDLE [9,10] @ 0.5 W
+    """
+    segs = [
+        TraceSegment(0, 0.0, 4.0, ProcState.RUN, 8.0, task="a"),
+        TraceSegment(0, 4.0, 6.0, ProcState.IDLE, 1.0),
+        TraceSegment(0, 6.0, 10.0, ProcState.RUN, 8.0, task="b"),
+        TraceSegment(1, 0.0, 2.0, ProcState.IDLE, 1.0),
+        TraceSegment(1, 2.0, 2.0, ProcState.TRANS_DOWN, 241.5e-6),
+        TraceSegment(1, 2.0, 9.0, ProcState.SLEEP, 7 * 50e-6),
+        TraceSegment(1, 9.0, 9.0, ProcState.TRANS_UP, 241.5e-6),
+        TraceSegment(1, 9.0, 10.0, ProcState.IDLE, 0.5),
+    ]
+    return PowerTrace(segs, horizon=10.0)
+
+
+class TestPowerTraceAccounting:
+    def test_validates(self, two_proc_trace):
+        two_proc_trace.validate()
+
+    def test_processors(self, two_proc_trace):
+        assert two_proc_trace.processors == (0, 1)
+        assert two_proc_trace.segments(99) == ()
+
+    def test_total_energy_hand_computed(self, two_proc_trace):
+        expected = (8.0 + 1.0 + 8.0            # proc 0
+                    + 1.0 + 0.5                # proc 1 idle
+                    + 2 * 241.5e-6 + 7 * 50e-6)  # transitions + sleep
+        assert two_proc_trace.energy() == pytest.approx(expected)
+
+    def test_energy_by_state_hand_computed(self, two_proc_trace):
+        by_state = two_proc_trace.energy_by_state()
+        assert by_state[ProcState.RUN] == pytest.approx(16.0)
+        assert by_state[ProcState.IDLE] == pytest.approx(2.5)
+        assert by_state[ProcState.SLEEP] == pytest.approx(350e-6)
+        assert by_state[ProcState.TRANS_DOWN] == pytest.approx(241.5e-6)
+        assert by_state[ProcState.TRANS_UP] == pytest.approx(241.5e-6)
+        assert sum(by_state.values()) == \
+            pytest.approx(two_proc_trace.energy())
+
+    def test_time_in_state_hand_computed(self, two_proc_trace):
+        t = two_proc_trace
+        assert t.time_in_state(0, ProcState.RUN) == pytest.approx(8.0)
+        assert t.time_in_state(0, ProcState.IDLE) == pytest.approx(2.0)
+        assert t.time_in_state(0, ProcState.SLEEP) == 0.0
+        assert t.time_in_state(1, ProcState.SLEEP) == pytest.approx(7.0)
+        assert t.time_in_state(1, ProcState.IDLE) == pytest.approx(3.0)
+        # Impulses contribute zero occupancy.
+        assert t.time_in_state(1, ProcState.TRANS_DOWN) == 0.0
+
+    def test_occupancy_covers_horizon(self, two_proc_trace):
+        for proc in two_proc_trace.processors:
+            covered = sum(
+                two_proc_trace.time_in_state(proc, state)
+                for state in ProcState)
+            assert covered == pytest.approx(two_proc_trace.horizon)
+
+    def test_utilization_hand_computed(self, two_proc_trace):
+        assert two_proc_trace.utilization(0) == pytest.approx(0.8)
+        assert two_proc_trace.utilization(1) == 0.0
+        assert two_proc_trace.utilization(42) == 0.0  # unemployed
+
+    def test_state_at(self, two_proc_trace):
+        t = two_proc_trace
+        assert t.state_at(0, 1.0) is ProcState.RUN
+        assert t.state_at(0, 5.0) is ProcState.IDLE
+        assert t.state_at(1, 5.0) is ProcState.SLEEP
+        assert t.state_at(2, 5.0) is ProcState.OFF
+
+
+class TestPowerTraceValidation:
+    def test_gap_detected(self):
+        trace = PowerTrace([
+            TraceSegment(0, 0.0, 4.0, ProcState.RUN, 1.0),
+            TraceSegment(0, 5.0, 10.0, ProcState.IDLE, 1.0),
+        ], horizon=10.0)
+        with pytest.raises(AssertionError, match="gap/overlap"):
+            trace.validate()
+
+    def test_late_start_detected(self):
+        trace = PowerTrace(
+            [TraceSegment(0, 1.0, 10.0, ProcState.IDLE, 1.0)],
+            horizon=10.0)
+        with pytest.raises(AssertionError, match="starts at"):
+            trace.validate()
+
+    def test_short_end_detected(self):
+        trace = PowerTrace(
+            [TraceSegment(0, 0.0, 9.0, ProcState.IDLE, 1.0)],
+            horizon=10.0)
+        with pytest.raises(AssertionError, match="horizon"):
+            trace.validate()
+
+    def test_only_impulses_detected(self):
+        trace = PowerTrace(
+            [TraceSegment(0, 0.0, 0.0, ProcState.TRANS_DOWN, 1e-6)],
+            horizon=10.0)
+        with pytest.raises(AssertionError, match="impulse"):
+            trace.validate()
+
+    def test_nonpositive_horizon_rejected(self):
+        with pytest.raises(ValueError, match="horizon"):
+            PowerTrace([], horizon=0.0)

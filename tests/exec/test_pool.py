@@ -1,5 +1,7 @@
 """Unit tests for the chunked process-pool fan-out."""
 
+import sys
+
 import pytest
 
 from repro.exec.pool import InstanceResult, run_instances
@@ -72,3 +74,60 @@ class TestParallel:
         assert len(set(dones)) == len(dones)
         assert dones[-1] == 9                   # ...and reaches the total
         assert all(t == 9 for _, t in calls)
+
+
+class _Unreprable:
+    def __repr__(self):
+        raise RuntimeError("repr is broken too")
+
+    def __eq__(self, other):
+        raise TypeError("do not compare me")
+
+
+def _boom_always(x):
+    raise KeyError("no such entry")
+
+
+class TestFailureIdentification:
+    """Worker exceptions name the failing item (index + repr)."""
+
+    def test_serial_exception_carries_index_and_repr(self):
+        with pytest.raises(ValueError, match="cursed") as excinfo:
+            run_instances(_boom_on_three, [10, 20, 3, 40], jobs=1)
+        assert excinfo.value.instance_index == 2
+        assert excinfo.value.instance_repr == "3"
+
+    def test_parallel_exception_carries_index_and_repr(self):
+        with pytest.raises(ValueError, match="cursed") as excinfo:
+            run_instances(_boom_on_three, list(range(8)), jobs=2,
+                          chunksize=2)
+        # Attributes survive the pool's pickle round-trip.
+        assert excinfo.value.instance_index == 3
+        assert excinfo.value.instance_repr == "3"
+
+    def test_original_exception_type_preserved(self):
+        with pytest.raises(KeyError) as excinfo:
+            run_instances(_boom_always, ["only"], jobs=1)
+        assert excinfo.value.instance_index == 0
+        assert excinfo.value.instance_repr == "'only'"
+
+    @pytest.mark.skipif(sys.version_info < (3, 11),
+                        reason="add_note needs Python >= 3.11")
+    def test_note_names_the_instance(self):
+        with pytest.raises(ValueError) as excinfo:
+            run_instances(_boom_on_three, [1, 2, 3], jobs=1)
+        notes = getattr(excinfo.value, "__notes__", [])
+        assert any("instance 2: 3" in n for n in notes)
+
+    def test_truncation_and_broken_repr(self):
+        from repro.exec.pool import _identify_failure
+
+        exc = ValueError("x")
+        _identify_failure(exc, 7, "y" * 2000)
+        assert len(exc.instance_repr) == 500
+        assert exc.instance_repr.endswith("...")
+
+        exc2 = ValueError("x")
+        _identify_failure(exc2, 0, _Unreprable())
+        assert exc2.instance_repr == "<unreprable _Unreprable>"
+        assert exc2.instance_index == 0

@@ -1,0 +1,189 @@
+"""Tests for the trace/metrics exporters and stats aggregation."""
+
+import json
+
+import pytest
+
+from repro.obs import ObsLog
+from repro.obs.export import (
+    aggregate_trace_events,
+    chrome_trace,
+    format_log_stats,
+    format_stats,
+    load_trace,
+    metrics_jsonl,
+    self_time_table,
+    span_aggregates,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
+from repro.obs.log import SpanRecord
+
+
+def _log_with_nested_spans():
+    log = ObsLog()
+    with log.span("outer", category="test", k=1):
+        with log.span("inner", category="test"):
+            pass
+    log.count("widgets", 3)
+    log.observe("lat", 0.5)
+    return log
+
+
+class TestChromeTrace:
+    def test_schema(self):
+        doc = chrome_trace(_log_with_nested_spans())
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["displayTimeUnit"] == "ms"
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in xs} == {"outer", "inner"}
+        for e in xs:
+            assert set(e) >= {"name", "cat", "ph", "ts", "dur", "pid",
+                              "tid"}
+            assert e["ts"] >= 0.0 and e["dur"] >= 0.0
+
+    def test_process_name_metadata(self):
+        doc = chrome_trace(_log_with_nested_spans())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert len(meta) == 1
+        assert meta[0]["name"] == "process_name"
+        assert meta[0]["args"]["name"] == "main"
+
+    def test_worker_pids_get_labels(self):
+        log = _log_with_nested_spans()
+        main_pid = log.spans[0].pid
+        worker_pid = main_pid + 1
+        log.merge_dict({"spans": [
+            SpanRecord("w", "", log.spans[0].start + 1.0, 0.5, 0.5,
+                       worker_pid, 1, 0, None).to_list()],
+            "counters": {}, "histograms": {}})
+        doc = chrome_trace(log)
+        meta = {e["pid"]: e["args"]["name"]
+                for e in doc["traceEvents"] if e["ph"] == "M"}
+        assert meta[main_pid] == "main"
+        assert meta[worker_pid] == f"worker {worker_pid}"
+
+    def test_timestamps_relative_to_earliest_span(self):
+        doc = chrome_trace(_log_with_nested_spans())
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert min(e["ts"] for e in xs) == 0.0
+
+    def test_repro_obs_block(self):
+        doc = chrome_trace(_log_with_nested_spans())
+        blk = doc["reproObs"]
+        assert blk["counters"] == {"widgets": 3}
+        assert blk["histograms"]["lat"]["count"] == 1
+        assert set(blk["spanAggregates"]) == {"outer", "inner"}
+
+    def test_write_and_load_roundtrip(self, tmp_path):
+        path = write_chrome_trace(_log_with_nested_spans(),
+                                  tmp_path / "t.json")
+        events, blk = load_trace(path)
+        assert {e["name"] for e in events if e["ph"] == "X"} == \
+            {"outer", "inner"}
+        assert blk["counters"] == {"widgets": 3}
+
+    def test_load_bare_array_form(self, tmp_path):
+        p = tmp_path / "bare.json"
+        p.write_text(json.dumps([{"name": "a", "ph": "X", "ts": 0,
+                                  "dur": 10, "pid": 1, "tid": 1}]))
+        events, blk = load_trace(p)
+        assert len(events) == 1 and blk is None
+
+    def test_empty_log_is_valid(self):
+        doc = chrome_trace(ObsLog())
+        assert doc["traceEvents"] == []
+        assert doc["reproObs"]["spanAggregates"] == {}
+
+
+class TestAggregation:
+    def test_span_aggregates(self):
+        log = ObsLog()
+        for _ in range(3):
+            with log.span("s"):
+                pass
+        agg = span_aggregates(log)["s"]
+        assert agg["calls"] == 3
+        assert agg["total_s"] == pytest.approx(
+            sum(s.duration for s in log.spans))
+        assert agg["max_s"] == max(s.duration for s in log.spans)
+
+    def test_aggregate_trace_events_matches_span_aggregates(self):
+        log = _log_with_nested_spans()
+        direct = span_aggregates(log)
+        from_events = aggregate_trace_events(
+            chrome_trace(log)["traceEvents"])
+        assert set(direct) == set(from_events)
+        for name in direct:
+            assert from_events[name]["calls"] == direct[name]["calls"]
+            assert from_events[name]["total_s"] == pytest.approx(
+                direct[name]["total_s"], abs=1e-5)
+            assert from_events[name]["self_s"] == pytest.approx(
+                direct[name]["self_s"], abs=1e-5)
+
+    def test_aggregate_hand_built_nesting(self):
+        # parent [0, 100µs] with child [20, 60µs]: self = 60µs.
+        events = [
+            {"name": "parent", "ph": "X", "ts": 0.0, "dur": 100.0,
+             "pid": 1, "tid": 1},
+            {"name": "child", "ph": "X", "ts": 20.0, "dur": 40.0,
+             "pid": 1, "tid": 1},
+        ]
+        agg = aggregate_trace_events(events)
+        assert agg["parent"]["self_s"] == pytest.approx(60e-6)
+        assert agg["child"]["self_s"] == pytest.approx(40e-6)
+
+    def test_aggregate_separate_lanes_do_not_nest(self):
+        # Same timestamps but different pids: no parent/child charge.
+        events = [
+            {"name": "a", "ph": "X", "ts": 0.0, "dur": 100.0,
+             "pid": 1, "tid": 1},
+            {"name": "b", "ph": "X", "ts": 10.0, "dur": 50.0,
+             "pid": 2, "tid": 1},
+        ]
+        agg = aggregate_trace_events(events)
+        assert agg["a"]["self_s"] == pytest.approx(100e-6)
+        assert agg["b"]["self_s"] == pytest.approx(50e-6)
+
+    def test_aggregate_skips_metadata_events(self):
+        events = [{"name": "process_name", "ph": "M", "pid": 1,
+                   "tid": 0, "args": {"name": "main"}}]
+        assert aggregate_trace_events(events) == {}
+
+
+class TestMetricsJsonl:
+    def test_one_json_object_per_line(self, tmp_path):
+        path = write_metrics_jsonl(_log_with_nested_spans(),
+                                   tmp_path / "m.jsonl")
+        lines = path.read_text().splitlines()
+        records = [json.loads(ln) for ln in lines]
+        kinds = {r["type"] for r in records}
+        assert kinds == {"counter", "histogram", "span"}
+        counter = next(r for r in records if r["type"] == "counter")
+        assert counter == {"type": "counter", "name": "widgets",
+                           "value": 3}
+
+    def test_empty_log_yields_empty_string(self):
+        assert metrics_jsonl(ObsLog()) == ""
+
+
+class TestStatsTables:
+    def test_self_time_table_sorted_heaviest_first(self):
+        aggs = {
+            "light": {"calls": 1, "total_s": 0.1, "self_s": 0.1,
+                      "max_s": 0.1},
+            "heavy": {"calls": 2, "total_s": 3.0, "self_s": 2.5,
+                      "max_s": 2.0},
+        }
+        text = self_time_table(aggs)
+        assert text.index("heavy") < text.index("light")
+        assert "self %" in text
+
+    def test_format_stats_includes_all_blocks(self):
+        text = format_log_stats(_log_with_nested_spans())
+        assert "Span self-time" in text
+        assert "Counters" in text and "widgets" in text
+        assert "Latency histograms" in text and "lat" in text
+
+    def test_format_stats_empty(self):
+        assert format_stats(aggregates={}) == "(no observations)"

@@ -1,0 +1,231 @@
+"""Unit tests for the ObsLog core: spans, counters, histograms."""
+
+import math
+import pickle
+import time
+
+import pytest
+
+from repro.obs import NULL_OBS, Histogram, NullObs, ObsLog, live
+from repro.obs.log import SpanRecord
+
+
+class TestSpans:
+    def test_span_records_name_and_duration(self):
+        log = ObsLog()
+        with log.span("work", category="test"):
+            time.sleep(0.01)
+        assert len(log.spans) == 1
+        s = log.spans[0]
+        assert s.name == "work"
+        assert s.category == "test"
+        assert s.duration >= 0.01
+        assert s.depth == 0
+
+    def test_nesting_depth_and_self_time(self):
+        log = ObsLog()
+        with log.span("outer"):
+            time.sleep(0.01)
+            with log.span("inner"):
+                time.sleep(0.02)
+        # Spans close inner-first.
+        inner, outer = log.spans
+        assert inner.name == "inner" and inner.depth == 1
+        assert outer.name == "outer" and outer.depth == 0
+        # Outer's self time excludes the child's full duration.
+        assert outer.duration >= inner.duration
+        assert outer.self_time == pytest.approx(
+            outer.duration - inner.duration, abs=1e-6)
+        # A leaf's self time is its duration.
+        assert inner.self_time == pytest.approx(inner.duration)
+
+    def test_self_time_sums_multiple_children(self):
+        log = ObsLog()
+        with log.span("parent"):
+            for _ in range(3):
+                with log.span("child"):
+                    time.sleep(0.005)
+        parent = log.spans[-1]
+        child_total = sum(s.duration for s in log.spans[:-1])
+        assert parent.self_time == pytest.approx(
+            parent.duration - child_total, abs=1e-6)
+
+    def test_span_attrs_recorded(self):
+        log = ObsLog()
+        with log.span("s", category="c", tasks=7, graph="g"):
+            pass
+        assert log.spans[0].args == {"tasks": 7, "graph": "g"}
+
+    def test_span_without_attrs_stores_none(self):
+        log = ObsLog()
+        with log.span("s"):
+            pass
+        assert log.spans[0].args is None
+
+    def test_exception_still_records_span_and_propagates(self):
+        log = ObsLog()
+        with pytest.raises(RuntimeError, match="boom"):
+            with log.span("failing"):
+                raise RuntimeError("boom")
+        assert [s.name for s in log.spans] == ["failing"]
+        assert log._stack == []  # accumulator stack unwound cleanly
+
+    def test_wall_clock_start_is_epoch(self):
+        before = time.time()
+        log = ObsLog()
+        with log.span("s"):
+            pass
+        assert before <= log.spans[0].start <= time.time()
+
+
+class TestCountersAndHistograms:
+    def test_count_accumulates(self):
+        log = ObsLog()
+        log.count("x")
+        log.count("x", 4)
+        log.count("y")
+        assert log.counters == {"x": 5, "y": 1}
+
+    def test_observe_exact_stats(self):
+        log = ObsLog()
+        for v in (0.5, 1.5, 0.25):
+            log.observe("lat", v)
+        h = log.histograms["lat"]
+        assert h.count == 3
+        assert h.total == pytest.approx(2.25)
+        assert h.min == 0.25
+        assert h.max == 1.5
+        assert h.mean == pytest.approx(0.75)
+
+    def test_histogram_power_of_two_buckets(self):
+        h = Histogram()
+        h.observe(0.75)   # [0.5, 1) -> frexp exponent 0
+        h.observe(0.6)    # same bucket
+        h.observe(1.5)    # [1, 2)   -> exponent 1
+        h.observe(0.0)    # underflow
+        h.observe(-1.0)   # underflow
+        assert h.buckets == {0: 2, 1: 1, Histogram.UNDERFLOW: 2}
+
+    def test_histogram_merge_and_roundtrip(self):
+        a, b = Histogram(), Histogram()
+        a.observe(0.5)
+        b.observe(2.0)
+        b.observe(0.1)
+        a.merge(b.to_dict())
+        assert a.count == 3
+        assert a.min == 0.1 and a.max == 2.0
+        assert a.total == pytest.approx(2.6)
+        # Merging an empty histogram is a no-op (min stays finite).
+        a.merge(Histogram())
+        assert a.count == 3 and a.min == 0.1
+
+    def test_empty_histogram_dict_has_null_min(self):
+        d = Histogram().to_dict()
+        assert d["count"] == 0 and d["min"] is None
+
+
+class TestMergeAndWireFormat:
+    def test_to_dict_from_dict_roundtrip(self):
+        log = ObsLog()
+        with log.span("a", category="x", k=1):
+            log.count("n", 2)
+            log.observe("lat", 0.125)
+        clone = ObsLog.from_dict(log.to_dict())
+        assert [s.to_list() for s in clone.spans] == \
+            [s.to_list() for s in log.spans]
+        assert clone.counters == log.counters
+        assert clone.histograms["lat"].to_dict() == \
+            log.histograms["lat"].to_dict()
+
+    def test_merge_preserves_worker_pid(self):
+        parent = ObsLog()
+        worker_payload = {
+            "spans": [SpanRecord("w", "", 1.0, 0.5, 0.5, 9999, 1, 0,
+                                 None).to_list()],
+            "counters": {"c": 3},
+            "histograms": {},
+        }
+        parent.merge_dict(worker_payload)
+        assert parent.spans[0].pid == 9999
+        assert parent.counters == {"c": 3}
+
+    def test_merge_two_logs(self):
+        a, b = ObsLog(), ObsLog()
+        a.count("x")
+        b.count("x", 2)
+        with b.span("s"):
+            pass
+        b.observe("lat", 0.5)
+        a.merge(b)
+        assert a.counters == {"x": 3}
+        assert len(a.spans) == 1
+        assert a.histograms["lat"].count == 1
+
+    def test_to_dict_is_json_and_picklable(self):
+        import json
+
+        log = ObsLog()
+        with log.span("s", k="v"):
+            pass
+        log.count("c")
+        log.observe("h", 0.25)
+        payload = log.to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert pickle.loads(pickle.dumps(payload)) == payload
+
+    def test_obslog_itself_is_picklable(self):
+        log = ObsLog()
+        with log.span("s"):
+            pass
+        clone = pickle.loads(pickle.dumps(log))
+        assert clone.spans == log.spans
+
+    def test_summary_line_mentions_totals(self):
+        log = ObsLog()
+        with log.span("s"):
+            pass
+        log.count("c")
+        line = log.summary_line()
+        assert "1 spans" in line and "1 counters" in line
+
+
+class TestNullObs:
+    def test_live_normalisation(self):
+        log = ObsLog()
+        assert live(log) is log
+        assert live(None) is NULL_OBS
+
+    def test_null_obs_is_inert(self):
+        n = NullObs()
+        with n.span("anything", category="x", k=1):
+            pass
+        n.count("c", 5)
+        n.observe("h", 1.0)
+        # Nothing to assert on state — NullObs has none (__slots__ = ()).
+        assert not hasattr(n, "__dict__")
+
+    def test_enabled_flags(self):
+        assert ObsLog().enabled is True
+        assert NULL_OBS.enabled is False
+
+    def test_null_span_is_shared_singleton(self):
+        a = NULL_OBS.span("a")
+        b = NULL_OBS.span("b", category="c", k=1)
+        assert a is b
+
+    def test_null_obs_overhead_is_small(self):
+        # Not a benchmark — just a sanity bound that the no-op path
+        # stays allocation-free and far under any hot-loop budget.
+        o = live(None)
+        t0 = time.perf_counter()
+        for _ in range(10_000):
+            o.count("x")
+        assert time.perf_counter() - t0 < 0.5
+
+
+class TestFrexpBucketsMath:
+    def test_bucket_semantics_match_docstring(self):
+        # bucket e holds [2**(e-1), 2**e)
+        for v, e in ((0.5, 0), (0.9999, 0), (1.0, 1), (1.9, 1),
+                     (2.0, 2), (3.99, 2)):
+            assert math.frexp(v)[1] == e, v

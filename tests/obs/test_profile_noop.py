@@ -1,0 +1,76 @@
+"""Profiling is a provable no-op on results — the acceptance bar.
+
+Runs the same small campaign serial, parallel, and parallel-with-
+profiling and asserts the report JSON is byte-identical and the cache
+directories hold byte-identical files, while the profiled run still
+produced a non-trivial merged ObsLog.
+"""
+
+import json
+
+import pytest
+
+from repro.exec import ExecOptions
+from repro.experiments import fig10_11_relative_energy
+from repro.experiments.registry import COARSE
+
+
+def _campaign(exec_options=None):
+    return fig10_11_relative_energy.run(
+        scenario=COARSE, graphs_per_group=2, sizes=(50,),
+        deadline_factors=(1.5, 2.0), include_applications=False,
+        exec_options=exec_options)
+
+
+def _cache_snapshot(root):
+    """{relative path: bytes} of every cache entry under ``root``."""
+    return {str(p.relative_to(root)): p.read_bytes()
+            for p in sorted(root.rglob("*.json"))}
+
+
+@pytest.fixture(scope="module")
+def baseline_report():
+    return _campaign(ExecOptions(jobs=1, use_cache=False))
+
+
+def test_profiled_serial_equals_baseline(baseline_report):
+    options = ExecOptions(jobs=1, use_cache=False, profile=True)
+    profiled = _campaign(options)
+    assert profiled.to_json() == baseline_report.to_json()
+    log = options.open_obs()
+    assert log.spans and log.counters  # profiling actually happened
+
+
+def test_profiled_parallel_equals_baseline(baseline_report):
+    options = ExecOptions(jobs=4, use_cache=False, profile=True)
+    profiled = _campaign(options)
+    assert json.loads(profiled.to_json()) == \
+        json.loads(baseline_report.to_json())
+    assert profiled.to_json() == baseline_report.to_json()
+    # The merged log carries coordinator *and* worker lanes.
+    pids = {s.pid for s in options.open_obs().spans}
+    assert len(pids) >= 2
+
+
+def test_cache_bytes_identical_with_and_without_profiling(tmp_path):
+    plain_dir = tmp_path / "plain"
+    prof_dir = tmp_path / "profiled"
+    _campaign(ExecOptions(jobs=2, cache_dir=plain_dir))
+    _campaign(ExecOptions(jobs=2, cache_dir=prof_dir, profile=True))
+    plain = _cache_snapshot(plain_dir)
+    profiled = _cache_snapshot(prof_dir)
+    assert plain  # the campaign did populate the cache
+    assert plain == profiled
+
+
+def test_profiled_warm_cache_equals_baseline(baseline_report, tmp_path):
+    cache_dir = tmp_path / "cache"
+    _campaign(ExecOptions(jobs=2, cache_dir=cache_dir))  # populate
+    options = ExecOptions(jobs=2, cache_dir=cache_dir, profile=True)
+    warm = _campaign(options)
+    assert warm.to_json() == baseline_report.to_json()
+    log = options.open_obs()
+    # Warm run is all hits; the cache instrumentation saw them.
+    assert log.counters.get("cache.hits", 0) > 0
+    assert log.histograms["cache.get"].count == \
+        options.open_cache().stats.lookups

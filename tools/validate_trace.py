@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Validate a repro ``--profile`` trace file and snapshot its timings.
+
+Checks the Chrome Trace Event Format schema that Perfetto relies on
+(complete ``"ph": "X"`` events with ``name``/``ts``/``dur``/``pid``/
+``tid``, ``process_name`` metadata per pid) plus the repro-specific
+contract (the ``reproObs`` block with counters, histograms and span
+aggregates; with ``--jobs > 1`` expected, at least two distinct pids).
+Exits non-zero with a message on the first violation — the CI
+profiling smoke job runs this against a fresh campaign trace.
+
+Usage::
+
+    python tools/validate_trace.py trace.json [--min-pids 2]
+        [--baseline-out BENCH_profile_baseline.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REQUIRED_X_KEYS = {"name", "ph", "ts", "dur", "pid", "tid"}
+
+
+def fail(msg: str) -> "None":
+    raise SystemExit(f"validate_trace: FAIL: {msg}")
+
+
+def validate(doc: object, *, min_pids: int) -> dict:
+    """Validate the trace document; returns the events-derived summary."""
+    if not isinstance(doc, dict):
+        fail(f"top level must be an object, got {type(doc).__name__}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents must be a non-empty array")
+
+    x_events = [e for e in events if e.get("ph") == "X"]
+    meta = [e for e in events if e.get("ph") == "M"]
+    if not x_events:
+        fail("no complete ('ph': 'X') events")
+    for e in x_events:
+        missing = REQUIRED_X_KEYS - set(e)
+        if missing:
+            fail(f"event {e.get('name')!r} missing keys {sorted(missing)}")
+        if not isinstance(e["name"], str) or not e["name"]:
+            fail("event with empty name")
+        if e["ts"] < 0 or e["dur"] < 0:
+            fail(f"event {e['name']!r} has negative ts/dur")
+
+    pids = {e["pid"] for e in x_events}
+    if len(pids) < min_pids:
+        fail(f"expected >= {min_pids} distinct pids, got {sorted(pids)}")
+    named_pids = {e["pid"] for e in meta
+                  if e.get("name") == "process_name"}
+    if not pids <= named_pids:
+        fail(f"pids without process_name metadata: "
+             f"{sorted(pids - named_pids)}")
+
+    obs = doc.get("reproObs")
+    if not isinstance(obs, dict):
+        fail("missing reproObs block")
+    for key in ("counters", "histograms", "spanAggregates"):
+        if not isinstance(obs.get(key), dict):
+            fail(f"reproObs.{key} must be an object")
+    for name, agg in obs["spanAggregates"].items():
+        for k in ("calls", "total_s", "self_s", "max_s"):
+            if k not in agg:
+                fail(f"spanAggregates[{name!r}] missing {k!r}")
+        if agg["self_s"] > agg["total_s"] + 1e-9:
+            fail(f"spanAggregates[{name!r}]: self_s > total_s")
+
+    return {
+        "events": len(x_events),
+        "pids": len(pids),
+        "span_names": sorted({e["name"] for e in x_events}),
+        "counters": obs["counters"],
+        "span_aggregates": obs["spanAggregates"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", type=Path)
+    parser.add_argument("--min-pids", type=int, default=1,
+                        help="minimum distinct pids expected "
+                             "(2+ for a --jobs > 1 campaign)")
+    parser.add_argument("--baseline-out", type=Path, default=None,
+                        metavar="PATH",
+                        help="also write a timing-baseline JSON snapshot "
+                             "(span aggregates + counters) to PATH")
+    args = parser.parse_args(argv)
+
+    doc = json.loads(args.trace.read_text())
+    summary = validate(doc, min_pids=args.min_pids)
+    print(f"validate_trace: OK: {summary['events']} events, "
+          f"{summary['pids']} pid(s), "
+          f"{len(summary['span_names'])} span names")
+    if args.baseline_out is not None:
+        args.baseline_out.write_text(
+            json.dumps(summary, indent=2, sort_keys=True) + "\n")
+        print(f"baseline written to {args.baseline_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
