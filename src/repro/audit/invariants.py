@@ -144,7 +144,31 @@ def audit_energy(schedule: Schedule, energy: "EnergyBreakdown",
     else:
         log.passed()
 
-    # 3. Shutdown never costs more than staying on (same schedule/point).
+    # 3. The reported breakdown matches the scalar reference evaluator
+    #    *exactly*.  The search loops produce their breakdowns with the
+    #    vectorized schedule_energy_sweep, which is bitwise-identical to
+    #    schedule_energy by construction — this is the check that keeps
+    #    it honest.
+    scalar = schedule_energy(schedule, point, deadline_seconds, sleep=sleep)
+    exact_diffs = [
+        f"{name} {got!r} != {want!r}"
+        for name, got, want in (
+            ("busy", energy.busy, scalar.busy),
+            ("idle", energy.idle, scalar.idle),
+            ("sleep", energy.sleep, scalar.sleep),
+            ("overhead", energy.overhead, scalar.overhead),
+            ("n_shutdowns", energy.n_shutdowns, scalar.n_shutdowns),
+        )
+        if got != want
+    ]
+    if exact_diffs:
+        log.fail("energy", context,
+                 "breakdown is not bitwise-equal to the scalar "
+                 "schedule_energy reference: " + "; ".join(exact_diffs))
+    else:
+        log.passed()
+
+    # 4. Shutdown never costs more than staying on (same schedule/point).
     if sleep is not None:
         no_ps = schedule_energy(schedule, point, deadline_seconds)
         if energy.total > no_ps.total * (1.0 + _ENERGY_REL_TOL):

@@ -3,7 +3,7 @@ the :func:`schedule` facade.
 """
 
 from .api import deadline_from_factor, evaluate_all, schedule
-from .energy import EnergyBreakdown, schedule_energy
+from .energy import EnergyBreakdown, schedule_energy, schedule_energy_sweep
 from .exhaustive import enumerate_schedules, optimal_single_frequency
 from .lamps import energy_vs_processors, lamps, lamps_ps, lamps_search
 from .limits import limit_mf, limit_sf
@@ -23,6 +23,7 @@ __all__ = [
     "InfeasibleScheduleError",
     "EnergyBreakdown",
     "schedule_energy",
+    "schedule_energy_sweep",
     "Platform",
     "default_platform",
     "sns",

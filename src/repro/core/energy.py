@@ -10,12 +10,24 @@ window, compute the total energy under the paper's model (Section 3):
   interval is spent in deep sleep instead, paying the 483 µJ overhead
   plus 50 µW for the gap's duration;
 * processors that execute no task at all are off and cost nothing.
+
+Two evaluators are provided.  :func:`schedule_energy` is the scalar
+reference implementation: one operating point, explicit per-processor
+loop.  :func:`schedule_energy_sweep` evaluates a whole DVS ladder in one
+pass over the schedule's precomputed gap/busy arrays — the search loops
+(LAMPS+PS, S&S+PS) use it, and audits cross-check it against the scalar
+form.  The sweep reproduces the scalar results *bitwise*: every
+floating-point operation is either the identical elementwise expression
+broadcast over points, or a sum over an array with the same length and
+contents (numpy's pairwise summation is deterministic for a given
+shape), so ``schedule_energy_sweep(s, pts, D) == [schedule_energy(s, p,
+D) for p in pts]`` exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -23,7 +35,7 @@ from ..power.dvs import OperatingPoint
 from ..power.shutdown import SleepModel
 from ..sched.schedule import Schedule
 
-__all__ = ["EnergyBreakdown", "schedule_energy"]
+__all__ = ["EnergyBreakdown", "schedule_energy", "schedule_energy_sweep"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -73,6 +85,9 @@ def schedule_energy(schedule: Schedule, point: OperatingPoint,
                     sleep: Optional[SleepModel] = None) -> EnergyBreakdown:
     """Total energy of running ``schedule`` at ``point`` until the deadline.
 
+    This is the scalar reference implementation; the search loops use
+    :func:`schedule_energy_sweep`, which must agree with it bitwise.
+
     Args:
         schedule: cycle-level schedule (weights are cycles).
         point: the common operating point of all active processors.
@@ -99,9 +114,7 @@ def schedule_energy(schedule: Schedule, point: OperatingPoint,
     sleep_e = 0.0
     overhead = 0.0
     n_shutdowns = 0
-    for proc in range(schedule.n_processors):
-        if not schedule.processor_tasks(proc):
-            continue  # never employed -> fully off
+    for proc in schedule.employed_processor_ids:  # others are fully off
         busy += schedule.busy_cycles(proc) * point.energy_per_cycle
         gaps = schedule.gap_lengths(proc, horizon_cycles) / f  # seconds
         if gaps.size == 0:
@@ -118,3 +131,119 @@ def schedule_energy(schedule: Schedule, point: OperatingPoint,
             n_shutdowns += k
     return EnergyBreakdown(busy=busy, idle=idle, sleep=sleep_e,
                            overhead=overhead, n_shutdowns=n_shutdowns)
+
+
+def schedule_energy_sweep(
+        schedule: Schedule, points: Sequence[OperatingPoint],
+        deadline_seconds: float, *,
+        sleep: Optional[SleepModel] = None) -> List[EnergyBreakdown]:
+    """Energy of ``schedule`` at every operating point, in one pass.
+
+    Evaluates the whole DVS ladder against the schedule's precomputed
+    kernel arrays instead of re-deriving the gap structure per point.
+    The internal idle gaps of a cycle-level schedule are frequency
+    -invariant (see :class:`~repro.sched.schedule.Schedule`): per
+    processor, only the trailing gap up to the horizon depends on the
+    operating point, so the per-gap arithmetic — division to seconds,
+    the PS breakeven rule — broadcasts over a gaps×points matrix.
+
+    Returns ``[schedule_energy(schedule, p, deadline_seconds,
+    sleep=sleep) for p in points]``, bitwise, including the exceptions
+    the scalar loop would raise (same type, same message, at the same
+    first offending point).
+
+    Args:
+        schedule: cycle-level schedule (weights are cycles).
+        points: operating points to evaluate, e.g. from
+            :func:`repro.core.stretch.feasible_points`.
+        deadline_seconds: the on-window, as in :func:`schedule_energy`.
+        sleep: PS gap rule; ``None`` keeps idle gaps on.
+
+    Raises:
+        ValueError: if the schedule does not fit in the window at some
+            requested point.
+    """
+    points = list(points)
+    m = len(points)
+    if m == 0:
+        return []
+    freqs = np.array([p.frequency for p in points])
+    epc = np.array([p.energy_per_cycle for p in points])
+    ip = np.array([p.idle_power for p in points])
+    horizons = deadline_seconds * freqs  # cycles, one per point
+
+    makespan = schedule.makespan
+    employed = schedule.employed_processor_ids
+    # Replicate the scalar loop's exception order exactly: per point (in
+    # order), first the makespan check, then gap_lengths' horizon guard
+    # per employed processor (in order).
+    t_arr = schedule.proc_last_finish[list(employed)] if employed \
+        else np.empty(0)
+    bad = horizons[:, None] < (t_arr - 1e-9 * np.maximum(1.0, np.abs(t_arr)))
+    for j in range(m):
+        if makespan > horizons[j] * (1.0 + 1e-9):
+            raise ValueError(
+                f"schedule makespan {makespan:g} cycles exceeds the "
+                f"deadline window {horizons[j]:g} cycles at "
+                f"{freqs[j]/1e9:.3f} GHz")
+        if bad[j].any():
+            k = int(np.argmax(bad[j]))
+            raise ValueError(
+                f"horizon {horizons[j]:g} is before processor "
+                f"{employed[k]}'s last finish {t_arr[k]:g}")
+
+    busy_v = np.zeros(m)
+    idle_v = np.zeros(m)
+    sleep_v = np.zeros(m)
+    over_v = np.zeros(m)
+    shut_v = np.zeros(m, dtype=np.intp)
+    gap_flat, gap_bounds = schedule.internal_gap_cycles
+    for proc in employed:
+        # Accumulate per processor in employed order — elementwise over
+        # points, each lane performs exactly the scalar loop's ``+=``.
+        busy_v += schedule.busy_cycles(proc) * epc
+        internal = gap_flat[gap_bounds[proc]:gap_bounds[proc + 1]]
+        g = internal.size
+        t = float(schedule.proc_last_finish[proc])
+        tol = 1e-9 * max(1.0, abs(t))
+        trail = horizons > t + tol         # trailing gap present, per point
+        rows = internal[None, :] / freqs[:, None]   # (points, gaps) seconds
+        tr = (horizons - t) / freqs                 # trailing gap, seconds
+        if sleep is None:
+            # Per-point gap sums: numpy's pairwise summation depends
+            # only on length and contents, and an axis-1 sum reduces
+            # each row exactly like a 1-D sum — so group the points by
+            # row length (with / without the trailing gap).
+            if trail.any():
+                with_tr = np.concatenate(
+                    [rows[trail], tr[trail, None]], axis=1)
+                idle_v[trail] += np.sum(with_tr, axis=1) * ip[trail]
+            if g:
+                no_tr = ~trail
+                if no_tr.any():
+                    idle_v[no_tr] += np.sum(rows[no_tr], axis=1) * ip[no_tr]
+        else:
+            # The PS rule compacts each point's gap vector by its shut
+            # mask before summing; compaction changes the summation
+            # tree, so reproduce the scalar's per-point arrays exactly.
+            sp = sleep.sleep_power
+            oh = sleep.overhead_energy
+            for j in range(m):
+                if trail[j]:
+                    gaps = np.append(rows[j], tr[j])
+                elif g:
+                    gaps = rows[j]
+                else:
+                    continue  # gaps.size == 0 -> scalar skips the proc
+                shut = np.asarray(sleep.would_shut_down(gaps, ip[j]))
+                stay = ~shut
+                idle_v[j] += float(gaps[stay].sum()) * ip[j]
+                sleep_v[j] += float(gaps[shut].sum()) * sp
+                k = int(shut.sum())
+                over_v[j] += k * oh
+                shut_v[j] += k
+    return [EnergyBreakdown(busy=float(busy_v[j]), idle=float(idle_v[j]),
+                            sleep=float(sleep_v[j]),
+                            overhead=float(over_v[j]),
+                            n_shutdowns=int(shut_v[j]))
+            for j in range(m)]

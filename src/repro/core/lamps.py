@@ -33,7 +33,7 @@ from ..sched.deadlines import task_deadlines
 from ..sched.list_scheduler import list_schedule
 from ..sched.priorities import PriorityPolicy
 from ..sched.schedule import Schedule
-from .energy import EnergyBreakdown, schedule_energy
+from .energy import EnergyBreakdown, schedule_energy, schedule_energy_sweep
 from .platform import Platform, default_platform
 from .results import Heuristic, InfeasibleScheduleError, ScheduleResult
 from .stretch import feasible_points, required_frequency, stretch_point
@@ -234,11 +234,11 @@ def _best_operating_point(schedule: Schedule, f_req: float,
     o.count("core.operating_points_evaluated", len(points))
     if log is not None:
         log.operating_points_evaluated += len(points)
-    candidates = [
-        (schedule_energy(schedule, p, deadline_seconds, sleep=sleep), p)
-        for p in points
-    ]
-    return min(candidates, key=lambda c: c[0].total)
+    # One-shot ladder sweep over the schedule's precomputed gap arrays;
+    # bitwise-identical to a per-point schedule_energy loop.
+    breakdowns = schedule_energy_sweep(schedule, points, deadline_seconds,
+                                       sleep=sleep)
+    return min(zip(breakdowns, points), key=lambda c: c[0].total)
 
 
 def lamps(graph: TaskGraph, deadline: float, **kwargs) -> ScheduleResult:

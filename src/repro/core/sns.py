@@ -24,7 +24,7 @@ from ..obs import ObsLog, live
 from ..sched.deadlines import task_deadlines
 from ..sched.list_scheduler import list_schedule
 from ..sched.priorities import PriorityPolicy
-from .energy import schedule_energy
+from .energy import schedule_energy, schedule_energy_sweep
 from .platform import Platform, default_platform
 from .results import Heuristic, InfeasibleScheduleError, ScheduleResult
 from .stretch import feasible_points, required_frequency, stretch_point
@@ -95,12 +95,12 @@ def schedule_and_stretch(
             o.count("core.operating_points_evaluated", len(points))
             if log is not None:
                 log.operating_points_evaluated += len(points)
-            candidates = [
-                (schedule_energy(sched, p, deadline_seconds,
-                                 sleep=platform.sleep), p)
-                for p in points
-            ]
-            energy, point = min(candidates, key=lambda c: c[0].total)
+            # One-shot ladder sweep (bitwise-identical to a per-point
+            # schedule_energy loop over ``points``).
+            breakdowns = schedule_energy_sweep(
+                sched, points, deadline_seconds, sleep=platform.sleep)
+            energy, point = min(zip(breakdowns, points),
+                                key=lambda c: c[0].total)
             heuristic = Heuristic.SNS_PS
         else:
             try:

@@ -8,6 +8,12 @@ harness calls this in its inner loop (thousands of instances), so the
 sharing matters — profiling shows list scheduling dominates the runtime,
 exactly as the paper's complexity analysis (``T_LAMPS ~ #schedules *
 T_ls``) predicts.
+
+Every ladder search here goes through
+:func:`repro.core.lamps._best_operating_point`, which evaluates the
+whole feasible ladder in one vectorized
+:func:`~repro.core.energy.schedule_energy_sweep` call over the
+array-native schedule kernel (see DESIGN.md, "Why one sweep is exact").
 """
 
 from __future__ import annotations

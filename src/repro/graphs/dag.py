@@ -12,7 +12,8 @@ guides' advice: keep the hot loops on flat arrays, not dict lookups.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, Mapping, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, Mapping, Optional, \
+    Tuple
 
 import numpy as np
 
@@ -44,7 +45,7 @@ class TaskGraph:
 
     __slots__ = (
         "name", "_ids", "_index", "_weights", "_preds", "_succs",
-        "_topo", "_n_edges",
+        "_topo", "_n_edges", "_in_degrees", "_weights_list",
     )
 
     def __init__(self, weights: Mapping[NodeId, float],
@@ -81,6 +82,8 @@ class TaskGraph:
         self._succs: Tuple[Tuple[int, ...], ...] = tuple(
             tuple(sorted(s)) for s in succ_sets)
         self._topo = self._toposort()
+        self._in_degrees: Optional[Tuple[int, ...]] = None
+        self._weights_list: Optional[Tuple[float, ...]] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -189,6 +192,29 @@ class TaskGraph:
     def topo_indices(self) -> Tuple[int, ...]:
         """A topological order over dense indices."""
         return self._topo
+
+    @property
+    def in_degrees(self) -> Tuple[int, ...]:
+        """Predecessor count per dense node index (cached).
+
+        The schedulers seed their pending-predecessor counters from
+        this on every build; graphs are immutable, so it is computed
+        once.
+        """
+        if self._in_degrees is None:
+            self._in_degrees = tuple(len(p) for p in self._preds)
+        return self._in_degrees
+
+    @property
+    def weights_list(self) -> Tuple[float, ...]:
+        """Weights as plain Python floats (cached).
+
+        The schedulers' event loops run on Python scalars; this avoids
+        a per-build ``weights_array.tolist()``.
+        """
+        if self._weights_list is None:
+            self._weights_list = tuple(self._weights.tolist())
+        return self._weights_list
 
     # ------------------------------------------------------------------
     # Transformations

@@ -19,16 +19,16 @@ def render_gantt(schedule: Schedule, *, width: int = 72,
     if span <= 0:
         raise ValueError("schedule has zero span")
     scale = width / span
+    ids = schedule.graph.node_ids
+    starts = schedule.start_times
+    finishes = schedule.finish_times
     lines = []
-    for proc in range(schedule.n_processors):
-        tasks = schedule.processor_tasks(proc)
-        if not tasks:
-            continue
+    for proc in schedule.employed_processor_ids:
         row = [" "] * (int(span * scale) + 1)
-        for pl in tasks:
-            a = int(pl.start * scale)
-            b = max(a + 1, int(pl.finish * scale))
-            label = str(pl.task)
+        for i in schedule.tasks_on(proc).tolist():
+            a = int(starts[i] * scale)
+            b = max(a + 1, int(finishes[i] * scale))
+            label = str(ids[i])
             block = list("[" + label[: max(0, b - a - 2)].ljust(b - a - 2,
                                                                 "=") + "]"
                          if b - a >= 2 else "|")

@@ -11,6 +11,8 @@ scheduling algorithms" Section 4.4 asks about.
 
 from __future__ import annotations
 
+import heapq
+from bisect import bisect_left, bisect_right
 from typing import List, Optional, Tuple, Union
 
 import numpy as np
@@ -18,19 +20,26 @@ import numpy as np
 from ..graphs.dag import TaskGraph
 from ..obs import ObsLog, live
 from .priorities import PriorityPolicy, priority_keys
-from .schedule import Placement, Schedule
+from .schedule import Schedule
 
 __all__ = ["insertion_schedule"]
 
 
-def _earliest_fit(intervals: List[Tuple[float, float]], ready: float,
-                  duration: float) -> float:
+def _earliest_fit(intervals: List[Tuple[float, float]], starts: List[float],
+                  ready: float, duration: float) -> float:
     """Earliest start >= ready of a length-``duration`` slot.
 
-    ``intervals`` is the processor's busy list, sorted by start.
+    ``intervals`` is the processor's busy list, sorted by start, with
+    ``starts`` the parallel list of interval starts.  Intervals that end
+    before ``ready`` cannot constrain the fit (the busy list is
+    non-overlapping), so the scan begins at the last interval starting
+    at or before ``ready`` instead of index 0.
     """
     t = ready
-    for s, e in intervals:
+    first = bisect_right(starts, ready) - 1
+    if first < 0:
+        first = 0
+    for s, e in intervals[first:]:
         if t + duration <= s:
             return t
         if e > t:
@@ -72,8 +81,8 @@ def _insertion_schedule(graph: TaskGraph, n_processors: int,
     n = graph.n
     if deadlines is None:
         deadlines = np.zeros(n)
-    keys = priority_keys(graph, deadlines, policy)
-    topo_rank = np.empty(n)
+    keys = priority_keys(graph, deadlines, policy).tolist()
+    topo_rank = [0] * n
     for rank, v in enumerate(graph.topo_indices):
         topo_rank[v] = rank
 
@@ -81,20 +90,19 @@ def _insertion_schedule(graph: TaskGraph, n_processors: int,
     # monotone-along-edges key.  Priority keys are not generally
     # monotone (e.g. LPT), so order by (key, topo) among *available*
     # tasks instead: a simple repeated selection over a ready set.
-    import heapq
-
-    w = graph.weights_array
+    w = graph.weights_list
     preds = graph.pred_indices
     succs = graph.succ_indices
-    pending = np.array([len(p) for p in preds])
+    pending = list(graph.in_degrees)
     ready = [(keys[v], topo_rank[v], v) for v in range(n)
-             if pending[v] == 0]
+             if not pending[v]]
     heapq.heapify(ready)
 
     busy: List[List[Tuple[float, float]]] = [[] for _ in range(n_processors)]
-    starts = np.zeros(n)
-    finishes = np.zeros(n)
-    procs = np.zeros(n, dtype=int)
+    busy_starts: List[List[float]] = [[] for _ in range(n_processors)]
+    starts = [0.0] * n
+    finishes = [0.0] * n
+    procs = [0] * n
     placed = 0
     attempts = 0
     while ready:
@@ -103,7 +111,7 @@ def _insertion_schedule(graph: TaskGraph, n_processors: int,
         best_start = np.inf
         best_proc = 0
         for p in range(n_processors):
-            s = _earliest_fit(busy[p], ready_time, w[v])
+            s = _earliest_fit(busy[p], busy_starts[p], ready_time, w[v])
             attempts += 1
             if s < best_start - 1e-15:
                 best_start = s
@@ -113,27 +121,18 @@ def _insertion_schedule(graph: TaskGraph, n_processors: int,
         starts[v] = best_start
         finishes[v] = best_start + w[v]
         interval = (best_start, finishes[v])
-        lst = busy[best_proc]
-        lo, hi = 0, len(lst)
-        while lo < hi:  # insert keeping start order
-            mid = (lo + hi) // 2
-            if lst[mid][0] < interval[0]:
-                lo = mid + 1
-            else:
-                hi = mid
-        lst.insert(lo, interval)
+        lo = bisect_left(busy_starts[best_proc], best_start)
+        busy[best_proc].insert(lo, interval)  # insert keeping start order
+        busy_starts[best_proc].insert(lo, best_start)
         procs[v] = best_proc
         placed += 1
         for s_ in succs[v]:
             pending[s_] -= 1
-            if pending[s_] == 0:
+            if not pending[s_]:
                 heapq.heappush(ready, (keys[s_], topo_rank[s_], s_))
     if placed != n:
         raise RuntimeError("insertion scheduler failed to place all tasks")
 
-    placements = [
-        Placement(task=graph.id_of(v), processor=int(procs[v]),
-                  start=float(starts[v]), finish=float(finishes[v]))
-        for v in range(n)
-    ]
-    return Schedule(graph, n_processors, placements), attempts
+    return Schedule.from_arrays(graph, n_processors,
+                                np.array(starts), np.array(finishes),
+                                np.array(procs, dtype=np.intp)), attempts

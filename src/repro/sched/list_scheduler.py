@@ -23,7 +23,7 @@ import numpy as np
 from ..graphs.dag import TaskGraph
 from ..obs import ObsLog, live
 from .priorities import PriorityPolicy, priority_keys
-from .schedule import Placement, Schedule
+from .schedule import Schedule
 
 __all__ = ["list_schedule"]
 
@@ -68,56 +68,52 @@ def _list_schedule(graph: TaskGraph, n_processors: int,
     n = graph.n
     if deadlines is None:
         deadlines = np.zeros(n)
-    keys = priority_keys(graph, deadlines, policy)
-
-    w = graph.weights_array
+    # The event loop runs on plain Python scalars and lists: elementwise
+    # numpy indexing and per-event helper calls dominated its profile.
+    keys = priority_keys(graph, deadlines, policy).tolist()
+    w = graph.weights_list
     succs = graph.succ_indices
-    n_pending = np.array([len(p) for p in graph.pred_indices])
+    n_pending = list(graph.in_degrees)
 
-    ready: List[tuple] = [(keys[v], v) for v in range(n) if n_pending[v] == 0]
+    ready: List[tuple] = [(keys[v], v) for v in range(n) if not n_pending[v]]
     heapq.heapify(ready)
     # (finish_time, task, proc); tie-handling drains equal timestamps.
     running: List[tuple] = []
     free_procs = list(range(n_processors))  # min-heap: lowest id first
     heapq.heapify(free_procs)
 
-    starts = np.empty(n)
-    finishes = np.empty(n)
-    procs = np.empty(n, dtype=int)
+    starts = [0.0] * n
+    finishes = [0.0] * n
+    procs = [0] * n
+    heappush, heappop = heapq.heappush, heapq.heappop
     time = 0.0
     scheduled = 0
     while scheduled < n:
         while ready and free_procs:
-            _, v = heapq.heappop(ready)
-            p = heapq.heappop(free_procs)
+            _, v = heappop(ready)
+            p = heappop(free_procs)
             starts[v] = time
-            finishes[v] = time + w[v]
+            finish = time + w[v]
+            finishes[v] = finish
             procs[v] = p
-            heapq.heappush(running, (finishes[v], v, p))
+            heappush(running, (finish, v, p))
             scheduled += 1
         if not running:
             break  # all remaining tasks were sources already dispatched
         # Advance to the next completion and drain everything that
         # completes at that same instant, so simultaneous releases
         # compete on priority rather than pop order.
-        time, v, p = heapq.heappop(running)
-        _complete(v, p, free_procs, ready, keys, n_pending, succs)
-        while running and running[0][0] <= time:
-            _, v2, p2 = heapq.heappop(running)
-            _complete(v2, p2, free_procs, ready, keys, n_pending, succs)
+        time, v, p = heappop(running)
+        while True:
+            heappush(free_procs, p)
+            for s in succs[v]:
+                n_pending[s] -= 1
+                if not n_pending[s]:
+                    heappush(ready, (keys[s], s))
+            if not (running and running[0][0] <= time):
+                break
+            _, v, p = heappop(running)
 
-    placements = [
-        Placement(task=graph.id_of(v), processor=int(procs[v]),
-                  start=float(starts[v]), finish=float(finishes[v]))
-        for v in range(n)
-    ]
-    return Schedule(graph, n_processors, placements)
-
-
-def _complete(v: int, p: int, free_procs: list, ready: list,
-              keys: np.ndarray, n_pending: np.ndarray, succs) -> None:
-    heapq.heappush(free_procs, p)
-    for s in succs[v]:
-        n_pending[s] -= 1
-        if n_pending[s] == 0:
-            heapq.heappush(ready, (keys[s], s))
+    return Schedule.from_arrays(graph, n_processors,
+                                np.array(starts), np.array(finishes),
+                                np.array(procs, dtype=np.intp))

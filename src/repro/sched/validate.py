@@ -38,33 +38,41 @@ def validate_schedule(schedule: Schedule) -> None:
             message naming the offending task(s).
     """
     graph = schedule.graph
+    ids = graph.node_ids
+    starts = schedule.start_times.tolist()
+    finishes = schedule.finish_times.tolist()
+    weights = graph.weights_list
     problems: List[str] = []
 
-    for v in graph.node_ids:
-        pl = schedule.placement(v)
-        if pl.start < -_EPS:
-            problems.append(f"task {v!r} starts at negative time {pl.start:g}")
-        dur = pl.finish - pl.start
-        if abs(dur - graph.weight(v)) > _EPS * max(1.0, graph.weight(v)):
+    # Dense-index iteration over the kernel arrays — no Placement
+    # materialization.  Report the first violated invariant only, in
+    # the same (task, then per-processor overlap) order as always.
+    for i in range(graph.n):
+        v = ids[i]
+        start, finish, w = starts[i], finishes[i], weights[i]
+        if start < -_EPS:
+            problems.append(f"task {v!r} starts at negative time {start:g}")
+        dur = finish - start
+        if abs(dur - w) > _EPS * max(1.0, w):
             problems.append(
-                f"task {v!r} runs {dur:g} cycles, weight is {graph.weight(v):g}")
-        for u in graph.predecessors(v):
-            pu = schedule.placement(u)
-            if pu.finish > pl.start + _EPS:
+                f"task {v!r} runs {dur:g} cycles, weight is {w:g}")
+        for u in graph.pred_indices[i]:
+            if finishes[u] > start + _EPS:
                 problems.append(
-                    f"task {v!r} starts at {pl.start:g} before predecessor "
-                    f"{u!r} finishes at {pu.finish:g}")
+                    f"task {v!r} starts at {start:g} before predecessor "
+                    f"{ids[u]!r} finishes at {finishes[u]:g}")
         if problems:
             break
 
     if not problems:
         for proc in range(schedule.n_processors):
-            tasks = schedule.processor_tasks(proc)
-            for a, b in zip(tasks, tasks[1:]):
-                if a.finish > b.start + _EPS:
+            row = schedule.tasks_on(proc).tolist()
+            for a, b in zip(row, row[1:]):
+                if finishes[a] > starts[b] + _EPS:
                     problems.append(
-                        f"processor {proc}: {a.task!r} (ends {a.finish:g}) "
-                        f"overlaps {b.task!r} (starts {b.start:g})")
+                        f"processor {proc}: {ids[a]!r} (ends "
+                        f"{finishes[a]:g}) overlaps {ids[b]!r} "
+                        f"(starts {starts[b]:g})")
                     break
             if problems:
                 break

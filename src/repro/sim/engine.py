@@ -87,23 +87,26 @@ def execute(schedule: Schedule, point: OperatingPoint,
             f"schedule needs {schedule.makespan / f:g} s, window is "
             f"{deadline_seconds:g} s")
 
+    ids = schedule.graph.node_ids
+    all_starts = schedule.start_times
+    all_finishes = schedule.finish_times
     segments: List[TraceSegment] = []
-    for proc in range(schedule.n_processors):
-        tasks = schedule.processor_tasks(proc)
-        if not tasks:
-            continue
+    for proc in schedule.employed_processor_ids:
+        row = schedule.tasks_on(proc)
+        row_starts = all_starts[row].tolist()
+        row_finishes = all_finishes[row].tolist()
         t = 0.0
-        for pl in tasks:
-            start_s = pl.start / f
-            finish_s = pl.finish / f
+        for i, start, finish in zip(row.tolist(), row_starts, row_finishes):
+            start_s = start / f
+            finish_s = finish / f
             if start_s > t + 1e-15:
                 segments.extend(_gap_segments(
                     proc, t, start_s, point, platform, shutdown,
                     transitions))
-            cycles = pl.finish - pl.start
+            cycles = finish - start
             segments.append(TraceSegment(
                 proc, start_s, finish_s, ProcState.RUN,
-                cycles * point.energy_per_cycle, task=pl.task))
+                cycles * point.energy_per_cycle, task=ids[i]))
             t = finish_s
         if deadline_seconds > t + 1e-15:
             segments.extend(_gap_segments(

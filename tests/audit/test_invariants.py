@@ -111,7 +111,7 @@ class TestAuditEnergy:
         energy = schedule_energy(s, point, window, sleep=platform.sleep)
         log = AuditLog(strict=True)
         audit_energy(s, energy, point, window, platform.sleep, log, "t")
-        assert log.clean and log.invariant_checks_passed == 3
+        assert log.clean and log.invariant_checks_passed == 4
 
     def test_negative_component_is_flagged(self, scheduled, platform):
         _, s, window = scheduled

@@ -51,6 +51,33 @@ def test_warm_cache_equals_serial(serial_report, tmp_path):
     assert stats.hit_rate > 0.9  # the acceptance criterion's bar
 
 
+def test_vectorized_sweep_is_invisible(serial_report, monkeypatch):
+    """The one-shot ladder sweep must not perturb campaign bytes.
+
+    Reruns the campaign with the search loops forced onto a per-point
+    scalar ``schedule_energy`` loop (the pre-kernel evaluation path)
+    and asserts the report is byte-identical to the normal run, which
+    uses ``schedule_energy_sweep``.
+    """
+    import importlib
+
+    from repro.core.energy import schedule_energy
+
+    # repro.core re-exports functions named like their modules, so go
+    # through importlib to reach the modules themselves.
+    lamps_mod = importlib.import_module("repro.core.lamps")
+    sns_mod = importlib.import_module("repro.core.sns")
+
+    def scalar_sweep(schedule, points, deadline_seconds, *, sleep=None):
+        return [schedule_energy(schedule, p, deadline_seconds, sleep=sleep)
+                for p in points]
+
+    monkeypatch.setattr(lamps_mod, "schedule_energy_sweep", scalar_sweep)
+    monkeypatch.setattr(sns_mod, "schedule_energy_sweep", scalar_sweep)
+    scalar = _campaign(ExecOptions(jobs=1, use_cache=False))
+    assert scalar.to_json() == serial_report.to_json()
+
+
 def test_no_cache_flag_bypasses_store(tmp_path):
     options = ExecOptions(jobs=1, cache_dir=tmp_path / "c", use_cache=False)
     _campaign(options)

@@ -1,0 +1,123 @@
+"""Equivalence of the two Schedule constructors.
+
+``Schedule.from_arrays`` is the schedulers' zero-copy fast path; the
+``Placement``-sequence constructor is the validating general entry.
+Fed the same assignment they must produce indistinguishable kernels:
+same makespan, same per-processor busy cycles and gap structure, and
+the same lazily materialized placement view.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.analysis import critical_path_length
+from repro.graphs.generators import stg_random_graph
+from repro.sched.deadlines import task_deadlines
+from repro.sched.list_scheduler import list_schedule
+from repro.sched.schedule import Placement, Schedule
+
+
+def _rebuild_via_placements(s: Schedule) -> Schedule:
+    """Route a schedule's assignment through the legacy constructor."""
+    g = s.graph
+    placements = [
+        Placement(task=g.id_of(i), processor=int(s.task_processors[i]),
+                  start=float(s.start_times[i]),
+                  finish=float(s.finish_times[i]))
+        for i in range(g.n)
+    ]
+    return Schedule(g, s.n_processors, placements)
+
+
+@st.composite
+def schedules(draw):
+    seed = draw(st.integers(min_value=0, max_value=5_000))
+    n = draw(st.sampled_from([5, 12, 26, 45]))
+    n_procs = draw(st.sampled_from([1, 3, 8]))
+    g = stg_random_graph(n, seed).scaled(3.1e6)
+    d = task_deadlines(g, 2.0 * critical_path_length(g))
+    return list_schedule(g, n_procs, d)
+
+
+class TestConstructorEquivalence:
+    @given(schedules())
+    @settings(max_examples=40, deadline=None)
+    def test_kernels_are_identical(self, s):
+        t = _rebuild_via_placements(s)
+        assert t.makespan == s.makespan
+        assert t.n_processors == s.n_processors
+        assert t.employed_processors == s.employed_processors
+        assert t.employed_processor_ids == s.employed_processor_ids
+        np.testing.assert_array_equal(t.proc_busy_cycles, s.proc_busy_cycles)
+        np.testing.assert_array_equal(t.proc_last_finish, s.proc_last_finish)
+        flat_t, off_t = t.internal_gap_cycles
+        flat_s, off_s = s.internal_gap_cycles
+        np.testing.assert_array_equal(flat_t, flat_s)
+        np.testing.assert_array_equal(off_t, off_s)
+        horizon = 2.0 * max(1.0, s.makespan)
+        for p in range(s.n_processors):
+            assert t.busy_cycles(p) == s.busy_cycles(p)
+            assert t.idle_gaps(p, horizon) == s.idle_gaps(p, horizon)
+            np.testing.assert_array_equal(t.gap_lengths(p, horizon),
+                                          s.gap_lengths(p, horizon))
+            np.testing.assert_array_equal(t.tasks_on(p), s.tasks_on(p))
+
+    @given(schedules())
+    @settings(max_examples=40, deadline=None)
+    def test_placement_views_are_identical(self, s):
+        t = _rebuild_via_placements(s)
+        for v in s.graph.node_ids:
+            assert t.placement(v) == s.placement(v)
+        for p in range(s.n_processors):
+            assert t.processor_tasks(p) == s.processor_tasks(p)
+
+
+class TestFromArraysValidation:
+    @pytest.fixture()
+    def small(self):
+        return stg_random_graph(6, 1)
+
+    def test_wrong_length_rejected(self, small):
+        n = small.n
+        with pytest.raises(ValueError, match="shape"):
+            Schedule.from_arrays(small, 2, np.zeros(n - 1), np.ones(n),
+                                 np.zeros(n, dtype=np.intp))
+
+    def test_processor_out_of_range_rejected(self, small):
+        n = small.n
+        procs = np.zeros(n, dtype=np.intp)
+        procs[-1] = 2
+        with pytest.raises(ValueError, match="out of range"):
+            Schedule.from_arrays(small, 2, np.zeros(n), np.ones(n), procs)
+
+    def test_negative_processor_rejected(self, small):
+        n = small.n
+        procs = np.zeros(n, dtype=np.intp)
+        procs[0] = -1
+        with pytest.raises(ValueError, match="out of range"):
+            Schedule.from_arrays(small, 2, np.zeros(n), np.ones(n), procs)
+
+    def test_arrays_are_adopted_and_frozen(self, small):
+        n = small.n
+        starts = np.arange(n, dtype=float)
+        finishes = starts + 1.0
+        procs = np.zeros(n, dtype=np.intp)
+        s = Schedule.from_arrays(small, 1, starts, finishes, procs)
+        # Contiguous float inputs are adopted without a copy...
+        assert s.start_times is starts and s.finish_times is finishes
+        # ...and frozen against mutation through any alias.
+        with pytest.raises(ValueError):
+            starts[0] = 99.0
+
+    def test_start_order_ties_match_legacy(self, small):
+        """Equal starts on one processor keep dense-index order."""
+        n = small.n
+        starts = np.zeros(n)
+        finishes = np.zeros(n)
+        procs = np.zeros(n, dtype=np.intp)
+        s = Schedule.from_arrays(small, 1, starts, finishes, procs)
+        assert s.tasks_on(0).tolist() == list(range(n))
+        assert [pl.task for pl in s.processor_tasks(0)] == \
+            list(small.node_ids)

@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""Kernel perf smoke: schedule build + full-ladder sweep + suite timing.
+
+Measures the three hot-path costs the array-native schedule kernel
+targets, on the same instances as
+``benchmarks/bench_scheduler_scaling.py``:
+
+* ``build_s`` — one ``list_schedule`` of an ``n``-task STG graph onto
+  16 processors;
+* ``sweep_s`` — evaluating the whole feasible DVS ladder (with the
+  sleep model) on that schedule, via
+  :func:`repro.core.energy.schedule_energy_sweep` when present and a
+  per-point ``schedule_energy`` loop otherwise (so the script also runs
+  on pre-kernel checkouts to produce comparable "before" numbers);
+* ``paper_suite_s`` — the full six-heuristic suite (skipped for the
+  largest sizes).
+
+Timings are best-of-``reps`` ``perf_counter`` wall-clock.  With
+``--baseline``, each metric is gated against the ``after`` section of a
+committed baseline JSON (see ``BENCH_kernel_baseline.json``) with a
+generous regression factor — CI catches order-of-magnitude slips, not
+runner noise.
+
+Usage:
+    python tools/perf_smoke.py --sizes 100 1000 --out perf.json
+    python tools/perf_smoke.py --sizes 100 \
+        --baseline BENCH_kernel_baseline.json --max-regression 3.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.platform import default_platform          # noqa: E402
+from repro.core.stretch import feasible_points, required_frequency  # noqa: E402
+from repro.core.suite import paper_suite                  # noqa: E402
+from repro.graphs.analysis import critical_path_length    # noqa: E402
+from repro.graphs.generators import stg_random_graph      # noqa: E402
+from repro.sched.deadlines import task_deadlines          # noqa: E402
+from repro.sched.list_scheduler import list_schedule      # noqa: E402
+
+try:
+    from repro.core.energy import schedule_energy_sweep
+except ImportError:  # pre-kernel checkout: fall back to the scalar loop
+    from repro.core.energy import schedule_energy
+
+    def schedule_energy_sweep(schedule, points, deadline_seconds, *,
+                              sleep=None):
+        return [schedule_energy(schedule, p, deadline_seconds, sleep=sleep)
+                for p in points]
+
+
+N_PROCESSORS = 16
+SEED = 7
+SCALE = 3.1e6  # cycles per unit weight — the paper's STG scaling
+SUITE_CAP = 1000  # paper_suite is skipped above this size
+
+
+def _best_of(fn, reps: int) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure_size(n: int, *, with_suite: bool = True) -> dict:
+    reps = 50 if n <= 100 else (10 if n <= 1000 else 3)
+    platform = default_platform()
+    g = stg_random_graph(n, SEED).scaled(SCALE)
+    deadline = 2.0 * critical_path_length(g)
+    d = task_deadlines(g, deadline)
+    window = platform.seconds(deadline)
+
+    list_schedule(g, N_PROCESSORS, d)  # warm caches before timing
+    build_s = _best_of(lambda: list_schedule(g, N_PROCESSORS, d), reps)
+
+    s = list_schedule(g, N_PROCESSORS, d)
+    f_req = required_frequency(s, d, platform.fmax)
+    points = feasible_points(platform.ladder, f_req)
+    sweep_s = _best_of(
+        lambda: schedule_energy_sweep(s, points, window,
+                                      sleep=platform.sleep), reps)
+
+    out = {"build_s": build_s, "sweep_s": sweep_s,
+           "ladder_points": len(points)}
+    if with_suite and n <= SUITE_CAP:
+        suite_reps = 20 if n <= 100 else 5
+        paper_suite(g, deadline, platform=platform)
+        out["paper_suite_s"] = _best_of(
+            lambda: paper_suite(g, deadline, platform=platform), suite_reps)
+    return out
+
+
+def gate(results: dict, baseline: dict, max_regression: float) -> list:
+    """Return a list of human-readable gate failures (empty = pass)."""
+    failures = []
+    reference = baseline.get("after", baseline)
+    for size, metrics in results.items():
+        base = reference.get(size)
+        if base is None:
+            continue
+        for name, value in metrics.items():
+            if not name.endswith("_s"):
+                continue
+            allowed = base.get(name)
+            if allowed is None:
+                continue
+            if value > allowed * max_regression:
+                failures.append(
+                    f"size {size}: {name} {value:.6f}s exceeds "
+                    f"{max_regression:g}x baseline {allowed:.6f}s")
+    return failures
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--sizes", type=int, nargs="+", default=[100, 1000])
+    ap.add_argument("--out", type=Path, default=None,
+                    help="write measured metrics as JSON")
+    ap.add_argument("--baseline", type=Path, default=None,
+                    help="baseline JSON to gate against (its 'after' "
+                         "section, or the whole file if absent)")
+    ap.add_argument("--max-regression", type=float, default=3.0,
+                    help="fail when a metric exceeds this multiple of "
+                         "the baseline (default: 3.0)")
+    ap.add_argument("--no-suite", action="store_true",
+                    help="skip the paper_suite timing")
+    args = ap.parse_args(argv)
+
+    results = {}
+    for n in args.sizes:
+        results[str(n)] = measure_size(n, with_suite=not args.no_suite)
+        row = "  ".join(f"{k}={v:.6f}" if isinstance(v, float) else
+                        f"{k}={v}" for k, v in results[str(n)].items())
+        print(f"[perf-smoke] n={n}: {row}")
+
+    if args.out is not None:
+        args.out.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"[perf-smoke] wrote {args.out}")
+
+    if args.baseline is not None:
+        baseline = json.loads(args.baseline.read_text())
+        failures = gate(results, baseline, args.max_regression)
+        for f in failures:
+            print(f"[perf-smoke] FAIL {f}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"[perf-smoke] within {args.max_regression:g}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
