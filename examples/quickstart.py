@@ -34,7 +34,7 @@ def main() -> None:
           f"{best.point.frequency / 1e9:.2f} GHz "
           f"(Vdd = {best.point.vdd:.2f} V)\n")
 
-    print(render_gantt(best.schedule, horizon=best.deadline_cycles
+    print(render_gantt(best.schedule, horizon_cycles=best.deadline_cycles
                        * best.point.frequency / 3.0863e9))
     print()
 

@@ -11,7 +11,7 @@ acceptance bar for every change to the heuristic pipeline.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence
 
 from ..core.platform import Platform, default_platform
 from .report import AuditLog

@@ -254,6 +254,12 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint.cli import main as lint_main
+
+    return lint_main(args.lint_args)
+
+
 def _cmd_power(args: argparse.Namespace) -> int:
     plat = default_platform()
     rows = [
@@ -327,6 +333,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: coarse grain, 3.1e6)")
     p.set_defaults(func=_cmd_audit)
 
+    p = sub.add_parser(
+        "lint",
+        help="static analysis: determinism, unit-safety and "
+             "kernel-discipline rules (see 'repro lint --list-rules')",
+        add_help=False)
+    p.add_argument("lint_args", nargs=argparse.REMAINDER,
+                   help="arguments forwarded to the lint CLI")
+    p.set_defaults(func=_cmd_lint)
+
     p = sub.add_parser("bundled", help="list the bundled task graphs")
     p.set_defaults(func=_cmd_bundled)
 
@@ -370,6 +385,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: "list[str] | None" = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # argparse.REMAINDER refuses a leading option-like token
+    # ('repro lint --list-rules'), so forward lint's argv wholesale.
+    if argv and argv[0] == "lint":
+        from .lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     return args.func(args)
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Optional
 
-from ..core.energy import schedule_energy
+from ..core.energy import schedule_energy_sweep
 from ..core.platform import Platform, default_platform
 from ..core.results import Heuristic, InfeasibleScheduleError, \
     ScheduleResult
@@ -69,13 +69,14 @@ def comm_lamps(cgraph: CommGraph, deadline: float, *,
         s = sched(n)
         f_req = required_frequency(s, d, platform.fmax)
         if f_req <= platform.fmax * (1.0 + 1e-9):
-            for point in feasible_points(platform.ladder, f_req):
-                e = schedule_energy(s, point, deadline_seconds,
-                                    sleep=sleep)
+            points = feasible_points(platform.ladder, f_req)
+            if sleep is None:
+                points = points[:1]  # plain LAMPS stretches maximally
+            sweep = schedule_energy_sweep(s, points, deadline_seconds,
+                                          sleep=sleep)
+            for e, point in zip(sweep, points):
                 if best is None or e.total < best[0].total:
                     best = (e, point, s)
-                if sleep is None:
-                    break  # plain LAMPS stretches maximally only
         if s.makespan >= prev_makespan - 1e-9:
             stall += 1
             if stall >= 3:  # non-monotone: require a plateau, not a blip

@@ -34,7 +34,7 @@ def deadline_from_factor(graph: TaskGraph, factor: float) -> float:
 
 def schedule(
     graph: TaskGraph,
-    deadline: Optional[float] = None,
+    deadline_cycles: Optional[float] = None,
     *,
     deadline_factor: Optional[float] = None,
     heuristic: Union[Heuristic, str] = Heuristic.LAMPS_PS,
@@ -47,7 +47,7 @@ def schedule(
 ) -> ScheduleResult:
     """Schedule ``graph`` for minimum energy under a deadline.
 
-    Exactly one of ``deadline`` (reference cycles — the task weights'
+    Exactly one of ``deadline_cycles`` (reference cycles — the task weights'
     unit) or ``deadline_factor`` (multiple of the critical path length)
     must be given.
 
@@ -82,37 +82,38 @@ def schedule(
         >>> res.n_processors >= 1
         True
     """
-    if (deadline is None) == (deadline_factor is None):
+    if (deadline_cycles is None) == (deadline_factor is None):
         raise ValueError(
-            "give exactly one of 'deadline' or 'deadline_factor'")
-    if deadline is None:
-        deadline = deadline_from_factor(graph, deadline_factor)
+            "give exactly one of 'deadline_cycles' or "
+            "'deadline_factor'")
+    if deadline_cycles is None:
+        deadline_cycles = deadline_from_factor(graph, deadline_factor)
     h = Heuristic(heuristic)
     kwargs = dict(platform=platform, deadline_overrides=deadline_overrides)
     check = dict(strict=strict, audit=audit, obs=obs)
 
     if h is Heuristic.SNS:
-        return schedule_and_stretch(graph, deadline, shutdown=False,
+        return schedule_and_stretch(graph, deadline_cycles, shutdown=False,
                                     policy=policy, **kwargs, **check)
     if h is Heuristic.SNS_PS:
-        return schedule_and_stretch(graph, deadline, shutdown=True,
+        return schedule_and_stretch(graph, deadline_cycles, shutdown=True,
                                     policy=policy, **kwargs, **check)
     if h is Heuristic.LAMPS:
-        return lamps_search(graph, deadline, shutdown=False,
+        return lamps_search(graph, deadline_cycles, shutdown=False,
                             policy=policy, **kwargs, **check)
     if h is Heuristic.LAMPS_PS:
-        return lamps_search(graph, deadline, shutdown=True,
+        return lamps_search(graph, deadline_cycles, shutdown=True,
                             policy=policy, **kwargs, **check)
     if h is Heuristic.LIMIT_SF:
-        return limit_sf(graph, deadline, **kwargs)
+        return limit_sf(graph, deadline_cycles, **kwargs)
     if h is Heuristic.LIMIT_MF:
-        return limit_mf(graph, deadline, **kwargs)
+        return limit_mf(graph, deadline_cycles, **kwargs)
     raise AssertionError(f"unhandled heuristic {h!r}")  # pragma: no cover
 
 
 def evaluate_all(
     graph: TaskGraph,
-    deadline: Optional[float] = None,
+    deadline_cycles: Optional[float] = None,
     *,
     deadline_factor: Optional[float] = None,
     platform: Optional[Platform] = None,
@@ -132,7 +133,7 @@ def evaluate_all(
     chosen = heuristics or tuple(Heuristic)
     return {
         Heuristic(h): schedule(
-            graph, deadline, deadline_factor=deadline_factor,
+            graph, deadline_cycles, deadline_factor=deadline_factor,
             heuristic=h, platform=platform, policy=policy,
             deadline_overrides=deadline_overrides,
             strict=strict, audit=audit, obs=obs)

@@ -72,7 +72,7 @@ class EnergyBreakdown:
             n_shutdowns=self.n_shutdowns + other.n_shutdowns,
         )
 
-    def __radd__(self, other) -> "EnergyBreakdown":
+    def __radd__(self, other: object) -> "EnergyBreakdown":
         # Support ``sum(breakdowns)``, whose implicit start value is the
         # integer 0.
         if other == 0:

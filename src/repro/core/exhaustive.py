@@ -17,12 +17,12 @@ no-PS objective and a lower bound anchor for the +PS one.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..graphs.dag import TaskGraph
 from ..sched.deadlines import task_deadlines
 from ..sched.schedule import Placement, Schedule
-from .energy import schedule_energy
+from .energy import schedule_energy_sweep
 from .platform import Platform, default_platform
 from .results import Heuristic, InfeasibleScheduleError, ScheduleResult
 from .stretch import feasible_points, required_frequency
@@ -97,7 +97,12 @@ def enumerate_schedules(graph: TaskGraph, n_processors: int,
         if running:
             _advance(placed, free, pending, ready, running, rec, succs)
 
-    def _advance(placed, free, pending, ready, running, rec, succs):
+    def _advance(placed: Dict[int, Tuple[int, float]],
+                 free: Tuple[float, ...], pending: Tuple[int, ...],
+                 ready: frozenset, running: Tuple[Tuple[float, int, int],
+                                                  ...],
+                 rec: Callable[..., None],
+                 succs: Sequence) -> None:
         finish, v, p = running[0]
         rest = running[1:]
         new_pending = list(pending)
@@ -118,7 +123,7 @@ def enumerate_schedules(graph: TaskGraph, n_processors: int,
 
 def optimal_single_frequency(
     graph: TaskGraph,
-    deadline: float,
+    deadline_cycles: float,
     *,
     platform: Optional[Platform] = None,
     shutdown: bool = True,
@@ -134,8 +139,8 @@ def optimal_single_frequency(
     search space it bounds (LAMPS+PS when ``shutdown`` else LAMPS).
     """
     platform = platform or default_platform()
-    d = task_deadlines(graph, deadline)
-    deadline_seconds = platform.seconds(deadline)
+    d = task_deadlines(graph, deadline_cycles)
+    deadline_seconds = platform.seconds(deadline_cycles)
     sleep = platform.sleep if shutdown else None
     n_max = min(graph.n, max_processors or graph.n)
 
@@ -145,9 +150,10 @@ def optimal_single_frequency(
             f_req = required_frequency(sched, d, platform.fmax)
             if f_req > platform.fmax * (1.0 + 1e-9):
                 continue
-            for point in feasible_points(platform.ladder, f_req):
-                energy = schedule_energy(sched, point, deadline_seconds,
-                                         sleep=sleep)
+            points = feasible_points(platform.ladder, f_req)
+            sweep = schedule_energy_sweep(sched, points,
+                                          deadline_seconds, sleep=sleep)
+            for energy, point in zip(sweep, points):
                 if best is None or energy.total < best[0].total:
                     best = (energy, point, sched)
     if best is None:
@@ -161,7 +167,7 @@ def optimal_single_frequency(
         energy=energy,
         point=point,
         n_processors=sched.employed_processors,
-        deadline_cycles=float(deadline),
+        deadline_cycles=float(deadline_cycles),
         deadline_seconds=deadline_seconds,
         schedule=sched,
     )

@@ -22,18 +22,20 @@ of only the maximally stretched point.
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, Mapping, Optional, Union
+from typing import Dict, Hashable, Mapping, Optional, Tuple, Union
 
 from ..audit.invariants import audit_energy, audit_intermediate_schedule, \
     audit_result
 from ..audit.report import AuditLog
 from ..graphs.dag import TaskGraph
-from ..obs import ObsLog, live
+from ..obs import NullObs, ObsLog, live
+from ..power.dvs import OperatingPoint
+from ..power.shutdown import SleepModel
 from ..sched.deadlines import task_deadlines
 from ..sched.list_scheduler import list_schedule
 from ..sched.priorities import PriorityPolicy
 from ..sched.schedule import Schedule
-from .energy import EnergyBreakdown, schedule_energy, schedule_energy_sweep
+from .energy import EnergyBreakdown, schedule_energy_sweep
 from .platform import Platform, default_platform
 from .results import Heuristic, InfeasibleScheduleError, ScheduleResult
 from .stretch import feasible_points, required_frequency, stretch_point
@@ -43,7 +45,7 @@ __all__ = ["lamps", "lamps_ps", "lamps_search", "energy_vs_processors"]
 
 def lamps_search(
     graph: TaskGraph,
-    deadline: float,
+    deadline_cycles: float,
     *,
     platform: Optional[Platform] = None,
     shutdown: bool = False,
@@ -57,7 +59,8 @@ def lamps_search(
     """Run LAMPS (``shutdown=False``) or LAMPS+PS (``shutdown=True``).
 
     Args:
-        graph, deadline, platform, policy, deadline_overrides: as in
+        graph, deadline_cycles, platform, policy, deadline_overrides:
+            as in
             :func:`repro.core.sns.schedule_and_stretch`.
         shutdown: enable the PS extension.
         phase2: ``"linear"`` (the paper's choice — robust to local
@@ -81,8 +84,8 @@ def lamps_search(
     if phase2 not in ("linear", "greedy"):
         raise ValueError(f"phase2 must be 'linear' or 'greedy', got {phase2!r}")
     platform = platform or default_platform()
-    d = task_deadlines(graph, deadline, overrides=deadline_overrides)
-    deadline_seconds = platform.seconds(deadline)
+    d = task_deadlines(graph, deadline_cycles, overrides=deadline_overrides)
+    deadline_seconds = platform.seconds(deadline_cycles)
     sleep = platform.sleep if shutdown else None
     log = audit if audit is not None else (AuditLog() if strict else None)
     o = live(obs)
@@ -104,11 +107,11 @@ def lamps_search(
     # ---- Phase 1: minimal processor count (binary search) ---------------
     with o.span("lamps.phase1", category="core",
                 graph=graph.name, shutdown=shutdown):
-        n_lwb = max(1, math.ceil(float(graph.weights_array.sum()) / deadline))
+        n_lwb = max(1, math.ceil(float(graph.weights_array.sum()) / deadline_cycles))
         n_upb = graph.n
         if not feasible(n_upb):
             raise InfeasibleScheduleError(
-                f"{graph.name or 'graph'}: deadline {deadline:g} cycles "
+                f"{graph.name or 'graph'}: deadline {deadline_cycles:g} cycles "
                 f"unreachable even with {n_upb} processors at full speed")
         lo, hi = n_lwb, n_upb
         while lo < hi:
@@ -185,7 +188,7 @@ def lamps_search(
         energy=energy,
         point=point,
         n_processors=schedule.employed_processors,
-        deadline_cycles=float(deadline),
+        deadline_cycles=float(deadline_cycles),
         deadline_seconds=deadline_seconds,
         schedule=schedule,
     )
@@ -194,10 +197,13 @@ def lamps_search(
     return result
 
 
-def _best_operating_point(schedule: Schedule, f_req: float,
-                          platform: Platform, deadline_seconds: float,
-                          sleep, log: Optional[AuditLog] = None,
-                          o=None) -> tuple:
+def _best_operating_point(
+        schedule: Schedule, f_req: float,
+        platform: Platform, deadline_seconds: float,
+        sleep: Optional[SleepModel],
+        log: Optional[AuditLog] = None,
+        o: Optional[Union[ObsLog, NullObs]] = None,
+) -> Tuple[EnergyBreakdown, OperatingPoint]:
     """Best (energy, point) for a fixed schedule.
 
     Without PS: the maximally stretched point (the paper stretches to
@@ -223,7 +229,9 @@ def _best_operating_point(schedule: Schedule, f_req: float,
         o.count("core.operating_points_evaluated")
         if log is not None:
             log.operating_points_evaluated += 1
-        return schedule_energy(schedule, point, deadline_seconds), point
+        sweep = schedule_energy_sweep(schedule, [point],
+                                      deadline_seconds)
+        return sweep[0], point
     points = feasible_points(platform.ladder, f_req)
     if not points:
         raise InfeasibleScheduleError(
@@ -241,19 +249,19 @@ def _best_operating_point(schedule: Schedule, f_req: float,
     return min(zip(breakdowns, points), key=lambda c: c[0].total)
 
 
-def lamps(graph: TaskGraph, deadline: float, **kwargs) -> ScheduleResult:
+def lamps(graph: TaskGraph, deadline_cycles: float, **kwargs) -> ScheduleResult:
     """LAMPS — see :func:`lamps_search`."""
-    return lamps_search(graph, deadline, shutdown=False, **kwargs)
+    return lamps_search(graph, deadline_cycles, shutdown=False, **kwargs)
 
 
-def lamps_ps(graph: TaskGraph, deadline: float, **kwargs) -> ScheduleResult:
+def lamps_ps(graph: TaskGraph, deadline_cycles: float, **kwargs) -> ScheduleResult:
     """LAMPS+PS — see :func:`lamps_search`."""
-    return lamps_search(graph, deadline, shutdown=True, **kwargs)
+    return lamps_search(graph, deadline_cycles, shutdown=True, **kwargs)
 
 
 def energy_vs_processors(
     graph: TaskGraph,
-    deadline: float,
+    deadline_cycles: float,
     *,
     platform: Optional[Platform] = None,
     shutdown: bool = False,
@@ -270,8 +278,8 @@ def energy_vs_processors(
     improving); ``None`` marks infeasible counts.
     """
     platform = platform or default_platform()
-    d = task_deadlines(graph, deadline)
-    deadline_seconds = platform.seconds(deadline)
+    d = task_deadlines(graph, deadline_cycles)
+    deadline_seconds = platform.seconds(deadline_cycles)
     sleep = platform.sleep if shutdown else None
     log = audit if audit is not None else (AuditLog() if strict else None)
     o = live(obs)

@@ -31,7 +31,7 @@ from .results import Heuristic, InfeasibleScheduleError, ScheduleResult
 __all__ = ["limit_sf", "limit_mf"]
 
 
-def _ideal_required_frequency(graph: TaskGraph, deadline: float,
+def _ideal_required_frequency(graph: TaskGraph, deadline_cycles: float,
                               platform: Platform,
                               overrides: Optional[Mapping[Hashable, float]]
                               ) -> float:
@@ -42,7 +42,7 @@ def _ideal_required_frequency(graph: TaskGraph, deadline: float,
     Feasibility is judged by the caller (LIMIT-MF deliberately ignores
     it), so the ALAP propagation runs without the feasibility check.
     """
-    d = task_deadlines(graph, deadline, overrides=overrides,
+    d = task_deadlines(graph, deadline_cycles, overrides=overrides,
                        check_feasible=False)
     tl = top_levels(graph)
     with np.errstate(divide="ignore"):
@@ -50,7 +50,7 @@ def _ideal_required_frequency(graph: TaskGraph, deadline: float,
     return ratio * platform.fmax
 
 
-def limit_sf(graph: TaskGraph, deadline: float, *,
+def limit_sf(graph: TaskGraph, deadline_cycles: float, *,
              platform: Optional[Platform] = None,
              deadline_overrides: Optional[Mapping[Hashable, float]] = None,
              ) -> ScheduleResult:
@@ -60,7 +60,7 @@ def limit_sf(graph: TaskGraph, deadline: float, *,
         InfeasibleScheduleError: deadline below the critical path length.
     """
     platform = platform or default_platform()
-    f_req = _ideal_required_frequency(graph, deadline, platform,
+    f_req = _ideal_required_frequency(graph, deadline_cycles, platform,
                                       deadline_overrides)
     if f_req > platform.fmax * (1.0 + 1e-9):
         raise InfeasibleScheduleError(
@@ -75,12 +75,12 @@ def limit_sf(graph: TaskGraph, deadline: float, *,
         energy=energy,
         point=point,
         n_processors=None,
-        deadline_cycles=float(deadline),
-        deadline_seconds=platform.seconds(deadline),
+        deadline_cycles=float(deadline_cycles),
+        deadline_seconds=platform.seconds(deadline_cycles),
     )
 
 
-def limit_mf(graph: TaskGraph, deadline: float, *,
+def limit_mf(graph: TaskGraph, deadline_cycles: float, *,
              platform: Optional[Platform] = None,
              deadline_overrides: Optional[Mapping[Hashable, float]] = None,
              ) -> ScheduleResult:
@@ -92,7 +92,7 @@ def limit_mf(graph: TaskGraph, deadline: float, *,
     """
     platform = platform or default_platform()
     point = platform.ladder.critical_point()
-    f_req = _ideal_required_frequency(graph, deadline, platform,
+    f_req = _ideal_required_frequency(graph, deadline_cycles, platform,
                                       deadline_overrides)
     energy = EnergyBreakdown(
         busy=total_work(graph) * point.energy_per_cycle, idle=0.0)
@@ -102,7 +102,7 @@ def limit_mf(graph: TaskGraph, deadline: float, *,
         energy=energy,
         point=point,
         n_processors=None,
-        deadline_cycles=float(deadline),
-        deadline_seconds=platform.seconds(deadline),
+        deadline_cycles=float(deadline_cycles),
+        deadline_seconds=platform.seconds(deadline_cycles),
         meets_deadline=bool(point.frequency >= f_req * (1.0 - 1e-9)),
     )

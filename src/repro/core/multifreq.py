@@ -56,6 +56,7 @@ class MultiFreqResult:
 
     @property
     def total_energy(self) -> float:
+        """Total energy of the assignment (J)."""
         return self.energy.total
 
     @property
@@ -158,7 +159,7 @@ def multifreq_energy(schedule: Schedule,
 
 def per_processor_stretch(
     graph: TaskGraph,
-    deadline: float,
+    deadline_cycles: float,
     *,
     platform: Optional[Platform] = None,
     use_sleep: bool = True,
@@ -171,7 +172,7 @@ def per_processor_stretch(
 
     Args:
         graph: task graph (weights in reference cycles).
-        deadline: graph deadline in reference cycles.
+        deadline_cycles: graph deadline in reference cycles.
         platform: ladder + sleep model.
         use_sleep: apply the PS gap rule in the energy objective.
         deadline_overrides: per-task deadlines (KPN outputs).
@@ -192,12 +193,12 @@ def per_processor_stretch(
         base single-frequency solution.
     """
     platform = platform or default_platform()
-    d_ref = task_deadlines(graph, deadline, overrides=deadline_overrides)
-    deadline_seconds = platform.seconds(deadline)
+    d_ref = task_deadlines(graph, deadline_cycles, overrides=deadline_overrides)
+    deadline_seconds = platform.seconds(deadline_cycles)
     d_seconds = d_ref / platform.fmax
 
     if base_schedule is None:
-        base = lamps_search(graph, deadline, platform=platform,
+        base = lamps_search(graph, deadline_cycles, platform=platform,
                             shutdown=use_sleep,
                             deadline_overrides=deadline_overrides)
         schedule, base_point = base.schedule, base.point

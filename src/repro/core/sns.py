@@ -24,7 +24,7 @@ from ..obs import ObsLog, live
 from ..sched.deadlines import task_deadlines
 from ..sched.list_scheduler import list_schedule
 from ..sched.priorities import PriorityPolicy
-from .energy import schedule_energy, schedule_energy_sweep
+from .energy import schedule_energy_sweep
 from .platform import Platform, default_platform
 from .results import Heuristic, InfeasibleScheduleError, ScheduleResult
 from .stretch import feasible_points, required_frequency, stretch_point
@@ -34,7 +34,7 @@ __all__ = ["schedule_and_stretch", "sns", "sns_ps"]
 
 def schedule_and_stretch(
     graph: TaskGraph,
-    deadline: float,
+    deadline_cycles: float,
     *,
     platform: Optional[Platform] = None,
     shutdown: bool = False,
@@ -49,7 +49,7 @@ def schedule_and_stretch(
 
     Args:
         graph: task graph, weights in cycles at the reference frequency.
-        deadline: graph deadline in the same reference cycles.
+        deadline_cycles: graph deadline in the same reference cycles.
         platform: DVS ladder + sleep model; defaults to the paper's.
         shutdown: enable the PS extension.
         policy: list-scheduling priority (the paper uses EDF).
@@ -75,7 +75,7 @@ def schedule_and_stretch(
     log = audit if audit is not None else (AuditLog() if strict else None)
     o = live(obs)
 
-    d = task_deadlines(graph, deadline, overrides=deadline_overrides)
+    d = task_deadlines(graph, deadline_cycles, overrides=deadline_overrides)
     sched = list_schedule(graph, n_procs, d, policy=policy, obs=obs)
     if log is not None:
         log.schedules_built += 1
@@ -84,7 +84,7 @@ def schedule_and_stretch(
     with o.span("sns.stretch", category="core", graph=graph.name,
                 shutdown=shutdown):
         f_req = required_frequency(sched, d, platform.fmax)
-        deadline_seconds = platform.seconds(deadline)
+        deadline_seconds = platform.seconds(deadline_cycles)
 
         if shutdown:
             points = feasible_points(platform.ladder, f_req)
@@ -110,7 +110,8 @@ def schedule_and_stretch(
             o.count("core.operating_points_evaluated")
             if log is not None:
                 log.operating_points_evaluated += 1
-            energy = schedule_energy(sched, point, deadline_seconds)
+            energy = schedule_energy_sweep(
+                sched, [point], deadline_seconds)[0]
             heuristic = Heuristic.SNS
 
     result = ScheduleResult(
@@ -119,7 +120,7 @@ def schedule_and_stretch(
         energy=energy,
         point=point,
         n_processors=sched.employed_processors,
-        deadline_cycles=float(deadline),
+        deadline_cycles=float(deadline_cycles),
         deadline_seconds=deadline_seconds,
         schedule=sched,
     )
@@ -129,11 +130,11 @@ def schedule_and_stretch(
     return result
 
 
-def sns(graph: TaskGraph, deadline: float, **kwargs) -> ScheduleResult:
+def sns(graph: TaskGraph, deadline_cycles: float, **kwargs) -> ScheduleResult:
     """S&S — see :func:`schedule_and_stretch`."""
-    return schedule_and_stretch(graph, deadline, shutdown=False, **kwargs)
+    return schedule_and_stretch(graph, deadline_cycles, shutdown=False, **kwargs)
 
 
-def sns_ps(graph: TaskGraph, deadline: float, **kwargs) -> ScheduleResult:
+def sns_ps(graph: TaskGraph, deadline_cycles: float, **kwargs) -> ScheduleResult:
     """S&S+PS — see :func:`schedule_and_stretch`."""
-    return schedule_and_stretch(graph, deadline, shutdown=True, **kwargs)
+    return schedule_and_stretch(graph, deadline_cycles, shutdown=True, **kwargs)

@@ -24,12 +24,13 @@ from typing import Dict, Hashable, Mapping, Optional, Union
 from ..audit.invariants import audit_intermediate_schedule, audit_result
 from ..audit.report import AuditLog
 from ..graphs.dag import TaskGraph
-from ..obs import ObsLog, live
+from ..obs import NullObs, ObsLog, live
+from ..power.dvs import OperatingPoint
 from ..sched.deadlines import task_deadlines
 from ..sched.list_scheduler import list_schedule
 from ..sched.priorities import PriorityPolicy
 from ..sched.schedule import Schedule
-from .energy import schedule_energy
+from .energy import EnergyBreakdown, schedule_energy_sweep
 from .lamps import _best_operating_point
 from .limits import limit_mf, limit_sf
 from .platform import Platform, default_platform
@@ -41,7 +42,7 @@ __all__ = ["paper_suite"]
 
 def paper_suite(
     graph: TaskGraph,
-    deadline: float,
+    deadline_cycles: float,
     *,
     platform: Optional[Platform] = None,
     policy: Union[str, PriorityPolicy] = "edf",
@@ -64,7 +65,7 @@ def paper_suite(
     o = live(obs)
     with o.span("suite.paper_suite", category="suite",
                 graph=graph.name, tasks=graph.n):
-        return _paper_suite(graph, deadline, platform=platform,
+        return _paper_suite(graph, deadline_cycles, platform=platform,
                             policy=policy,
                             deadline_overrides=deadline_overrides,
                             strict=strict, audit=audit, obs=obs, o=o)
@@ -72,7 +73,7 @@ def paper_suite(
 
 def _paper_suite(
     graph: TaskGraph,
-    deadline: float,
+    deadline_cycles: float,
     *,
     platform: Optional[Platform],
     policy: Union[str, PriorityPolicy],
@@ -80,11 +81,11 @@ def _paper_suite(
     strict: bool,
     audit: Optional[AuditLog],
     obs: Optional[ObsLog],
-    o,
+    o: Union[ObsLog, NullObs],
 ) -> Dict[Heuristic, ScheduleResult]:
     platform = platform or default_platform()
-    d = task_deadlines(graph, deadline, overrides=deadline_overrides)
-    deadline_seconds = platform.seconds(deadline)
+    d = task_deadlines(graph, deadline_cycles, overrides=deadline_overrides)
+    deadline_seconds = platform.seconds(deadline_cycles)
     log = audit if audit is not None else (AuditLog() if strict else None)
 
     cache: Dict[int, Schedule] = {}
@@ -98,12 +99,12 @@ def _paper_suite(
                     cache[n], log, f"{graph.name or 'graph'}[n={n}]")
         return cache[n]
 
-    def result(heuristic: Heuristic, energy, point, s: Schedule
-               ) -> ScheduleResult:
+    def result(heuristic: Heuristic, energy: EnergyBreakdown,
+               point: OperatingPoint, s: Schedule) -> ScheduleResult:
         return ScheduleResult(
             heuristic=heuristic, graph_name=graph.name, energy=energy,
             point=point, n_processors=s.employed_processors,
-            deadline_cycles=float(deadline),
+            deadline_cycles=float(deadline_cycles),
             deadline_seconds=deadline_seconds, schedule=s)
 
     out: Dict[Heuristic, ScheduleResult] = {}
@@ -121,7 +122,8 @@ def _paper_suite(
             log.operating_points_evaluated += 1
         out[Heuristic.SNS] = result(
             Heuristic.SNS,
-            schedule_energy(s_full, point, deadline_seconds),
+            schedule_energy_sweep(s_full, [point],
+                                  deadline_seconds)[0],
             point, s_full)
         e_ps, p_ps = _best_operating_point(
             s_full, f_req, platform, deadline_seconds, platform.sleep,
@@ -133,7 +135,7 @@ def _paper_suite(
     with o.span("suite.lamps_phase1", category="suite",
                 graph=graph.name):
         n_lwb = max(1,
-                    math.ceil(float(graph.weights_array.sum()) / deadline))
+                    math.ceil(float(graph.weights_array.sum()) / deadline_cycles))
         lo, hi = n_lwb, graph.n
         while lo < hi:
             mid = (lo + hi) // 2
@@ -196,10 +198,10 @@ def _paper_suite(
     # ---- Bounds -----------------------------------------------------------
     with o.span("suite.limits", category="suite", graph=graph.name):
         out[Heuristic.LIMIT_SF] = limit_sf(
-            graph, deadline, platform=platform,
+            graph, deadline_cycles, platform=platform,
             deadline_overrides=deadline_overrides)
         out[Heuristic.LIMIT_MF] = limit_mf(
-            graph, deadline, platform=platform,
+            graph, deadline_cycles, platform=platform,
             deadline_overrides=deadline_overrides)
     if log is not None:
         for h, res in out.items():

@@ -31,7 +31,7 @@ import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Hashable, List, Mapping, Optional, Union
+from typing import Dict, Hashable, List, Mapping, Optional, Union
 
 from ..core.platform import Platform
 from ..core.results import Heuristic, ScheduleResult

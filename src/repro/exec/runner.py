@@ -113,7 +113,9 @@ class ExecOptions:
                 f"{total / len(times):.3f} s mean, {max(times):.3f} s max")
 
 
-def _suite_worker(item):
+def _suite_worker(
+        item: "Tuple[TaskGraph, float, Optional[Platform], str, bool, bool]",
+) -> object:
     """Evaluate one instance; returns JSON-able summaries (picklable).
 
     In strict and/or profile mode the return value is wrapped as

@@ -40,7 +40,7 @@ def run(*, platform: Optional[Platform] = None,
     deadline = deadline_factor * critical_path_length(graph)
     d = task_deadlines(graph, deadline)
     edf = list_schedule(graph, 3, d)
-    gantt = render_gantt(edf, horizon=deadline)
+    gantt = render_gantt(edf, horizon_cycles=deadline)
 
     results = paper_suite(graph, deadline, platform=platform)
     rows = [

@@ -1,0 +1,35 @@
+"""Project-specific static analysis (``repro lint``).
+
+An AST-based rule engine with three rule families tailored to this
+codebase's correctness contracts:
+
+* **determinism** (``DET0xx``) — no unseeded RNG anywhere; no
+  wall-clock, environment or set-iteration-order dependence in any
+  module reachable from the exec-cache key construction or the report
+  serialization;
+* **unit-safety** (``UNIT0xx``) — the ``_seconds``/``_cycles``/
+  ``_hz``/``_volts``/``_joules``/``_watts`` naming convention on the
+  public surfaces of ``repro.power``, ``repro.core`` and
+  ``repro.sched``, plus a mixed-unit arithmetic check;
+* **kernel discipline** (``KER0xx``) — Schedule construction through
+  the blessed constructors only, frozen kernel arrays, and the scalar
+  energy evaluator confined to the audit cross-check.
+
+Findings are suppressed line-by-line with ``# repro: noqa[RULE]``
+(bare ``# repro: noqa`` suppresses everything on the line); a
+suppression that matches nothing is itself reported (``LINT001``).
+
+Entry points: :func:`run_lint` (library), :func:`repro.lint.cli.main`
+(``repro lint`` and ``tools/lint.py``).
+"""
+
+from __future__ import annotations
+
+from .engine import LintConfig, collect_files, run_lint
+from .finding import Finding, Suppression
+from .rules import Rule, RuleContext, registry
+
+__all__ = [
+    "Finding", "LintConfig", "Rule", "RuleContext", "Suppression",
+    "collect_files", "registry", "run_lint",
+]

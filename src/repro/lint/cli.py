@@ -1,0 +1,101 @@
+"""Command-line front end: ``repro lint`` / ``python tools/lint.py``.
+
+Human output is one ``path:line:col: CODE message`` per finding plus a
+summary line; ``--format json`` emits a machine-readable list for CI
+annotation tooling.  Exit status 0 means clean, 1 means findings, 2
+means usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .engine import LintConfig, run_lint
+from .rules import registry
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="project-specific static analysis: determinism, "
+                    "unit-safety and kernel-discipline rules")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories (default: src)")
+    parser.add_argument("--select", metavar="CODES",
+                        help="comma-separated rule codes to run "
+                             "(default: all)")
+    parser.add_argument("--ignore", metavar="CODES",
+                        help="comma-separated rule codes to skip")
+    parser.add_argument("--format", choices=("human", "json"),
+                        default="human")
+    parser.add_argument("--no-noqa", action="store_true",
+                        help="ignore '# repro: noqa' suppressions")
+    parser.add_argument("--all-scopes", action="store_true",
+                        help="apply reachability/package-scoped rules "
+                             "to every file (fixture testing)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    return parser
+
+
+def _parse_codes(raw: Optional[str]) -> Optional[frozenset]:
+    if raw is None:
+        return None
+    return frozenset(c.strip() for c in raw.split(",") if c.strip())
+
+
+def _print_rules() -> None:
+    rules = sorted(registry().items())
+    width = max(len(code) for code, _ in rules)
+    for code, cls in rules:
+        print(f"{code:<{width}}  {cls.name:<24} [{cls.scope:<9}] "
+              f"{cls.description}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        _print_rules()
+        return 0
+
+    known = set(registry())
+    select = _parse_codes(args.select)
+    ignore = _parse_codes(args.ignore) or frozenset()
+    for code in sorted(((select or set()) | ignore) - known):
+        print(f"unknown rule code: {code}", file=sys.stderr)
+        return 2
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    config = LintConfig(select=select, ignore=ignore,
+                        all_scopes=args.all_scopes,
+                        respect_noqa=not args.no_noqa)
+    findings = run_lint([Path(p) for p in args.paths], config)
+
+    if args.format == "json":
+        print(json.dumps([f.to_dict() for f in findings], indent=2,
+                         sort_keys=True))
+    else:
+        for finding in findings:
+            print(finding.format())
+        n = len(findings)
+        files = len({f.path for f in findings})
+        if n:
+            print(f"\n{n} finding{'s' if n != 1 else ''} in {files} "
+                  f"file{'s' if files != 1 else ''}")
+        else:
+            print("clean: no findings")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

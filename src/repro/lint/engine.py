@@ -1,0 +1,266 @@
+"""The lint engine: file collection, scoping, suppressions, dispatch.
+
+:func:`run_lint` is the single entry point: collect the files, build
+the static import graph once (for the reachability-scoped determinism
+rules), then per file parse the AST, run every enabled rule, and filter
+the findings through the ``# repro: noqa[RULE]`` suppressions.  A
+suppression that matches nothing is itself a finding (``LINT001``) — a
+stale ``noqa`` is how a once-justified exception outlives its
+justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, \
+    Tuple
+
+from .finding import Finding, Suppression
+from .imports import ModuleGraph, module_name_for
+from .rules import RuleContext, registry
+
+__all__ = ["LintConfig", "run_lint", "collect_files"]
+
+#: The suppression comment marker: ``repro: noqa`` after a hash, with
+#: an optional ``[CODE,...]`` selector.
+_NOQA = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<codes>[^\]]*)\])?")
+
+#: Engine-level finding codes (not suppressible, not rule classes).
+PARSE_ERROR = "LINT000"
+UNUSED_NOQA = "LINT001"
+UNKNOWN_NOQA_CODE = "LINT002"
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """What to check and how.
+
+    Attributes:
+        select: when given, only these rule codes run.
+        ignore: rule codes to skip (applied after ``select``).
+        determinism_roots: modules whose import-reachable set bounds
+            the scoped determinism rules (wall clock, environment,
+            set iteration).
+        unit_packages: package prefixes the unit-suffix convention
+            applies to.
+        all_scopes: treat every file as reachable and unit-scoped —
+            used by the fixture tests and ``--all-scopes``.
+        respect_noqa: honour ``# repro: noqa`` comments (and report
+            unused ones); ``False`` shows everything.
+    """
+
+    select: Optional[FrozenSet[str]] = None
+    ignore: FrozenSet[str] = frozenset()
+    determinism_roots: Tuple[str, ...] = (
+        "repro.exec.cache", "repro.experiments.reporting")
+    unit_packages: Tuple[str, ...] = (
+        "repro.power", "repro.core", "repro.sched")
+    all_scopes: bool = False
+    respect_noqa: bool = True
+
+    def enabled_codes(self) -> FrozenSet[str]:
+        """The rule codes that actually run under this config."""
+        codes = set(registry())
+        if self.select is not None:
+            codes &= self.select
+        return frozenset(codes - self.ignore)
+
+
+def collect_files(paths: Sequence[Path]) -> List[Path]:
+    """Python files under ``paths`` (files kept, directories walked)."""
+    out: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            out.extend(p for p in sorted(path.rglob("*.py"))
+                       if "__pycache__" not in p.parts)
+        elif path.suffix == ".py":
+            out.append(path)
+    seen = set()
+    unique = []
+    for p in out:
+        r = p.resolve()
+        if r not in seen:
+            seen.add(r)
+            unique.append(p)
+    return unique
+
+
+def _package_roots(files: Iterable[Path]) -> List[Path]:
+    """Top-level package directories containing the given files."""
+    roots = []
+    seen = set()
+    for path in files:
+        parent = path.resolve().parent
+        top = None
+        while (parent / "__init__.py").exists():
+            top = parent
+            parent = parent.parent
+        if top is not None and top not in seen:
+            seen.add(top)
+            roots.append(top)
+    return roots
+
+
+def _graph_for(files: Sequence[Path]) -> ModuleGraph:
+    """Import graph over the whole package(s) the files belong to.
+
+    Linting a single file must use the same reachable set as linting
+    the tree, so the graph always spans the full packages.
+    """
+    tree_files: List[Path] = list(files)
+    for root in _package_roots(files):
+        tree_files.extend(p for p in root.rglob("*.py")
+                          if "__pycache__" not in p.parts)
+    return ModuleGraph.build(tree_files)
+
+
+def _suppressions(path: str, text: str) -> List[Suppression]:
+    out: List[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _NOQA.search(tok.string)
+            if m is None:
+                continue
+            codes = m.group("codes")
+            parsed = None if codes is None else frozenset(
+                c.strip() for c in codes.split(",") if c.strip())
+            out.append(Suppression(
+                path=path, line=tok.start[0], codes=parsed,
+                col=tok.start[1] + m.start()))
+    except tokenize.TokenError:
+        pass
+    return out
+
+
+def _collect_aliases(tree: ast.Module) -> Dict[str, str]:
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    aliases[alias.asname] = alias.name
+    return aliases
+
+
+@dataclass
+class _FileReport:
+    findings: List[Finding] = field(default_factory=list)
+    suppressions: List[Suppression] = field(default_factory=list)
+
+
+def _lint_file(path: Path, config: LintConfig,
+               reachable: FrozenSet[str]) -> _FileReport:
+    report = _FileReport()
+    given = str(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        report.findings.append(Finding(
+            code=PARSE_ERROR, message=f"cannot read file: {exc}",
+            path=given, line=1, col=0))
+        return report
+    try:
+        tree = ast.parse(text, filename=given)
+    except SyntaxError as exc:
+        report.findings.append(Finding(
+            code=PARSE_ERROR, message=f"syntax error: {exc.msg}",
+            path=given, line=exc.lineno or 1, col=exc.offset or 0))
+        return report
+
+    module = module_name_for(path)
+    in_units = config.all_scopes or (module is not None and any(
+        module == p or module.startswith(p + ".")
+        for p in config.unit_packages))
+    ctx = RuleContext(
+        path=given, module=module,
+        reachable=config.all_scopes or (module in reachable),
+        in_unit_packages=in_units,
+        aliases=_collect_aliases(tree))
+
+    enabled = config.enabled_codes()
+    for code, rule_cls in sorted(registry().items()):
+        if code not in enabled:
+            continue
+        if rule_cls.scope == "reachable" and not ctx.reachable:
+            continue
+        if rule_cls.scope == "units" and not ctx.in_unit_packages:
+            continue
+        rule_cls(ctx).visit(tree)
+    report.findings = ctx.findings
+    if config.respect_noqa:
+        report.suppressions = _suppressions(given, text)
+    return report
+
+
+def _apply_suppressions(report: _FileReport,
+                        config: LintConfig) -> List[Finding]:
+    kept: List[Finding] = []
+    for finding in report.findings:
+        suppressed = False
+        for sup in report.suppressions:
+            if sup.matches(finding):
+                sup.used.append(finding.code)
+                suppressed = True
+        if not suppressed:
+            kept.append(finding)
+
+    known = set(registry())
+    enabled = config.enabled_codes()
+    fully_enabled = enabled == frozenset(known)
+    for sup in report.suppressions:
+        if sup.codes is not None:
+            unknown = sorted(sup.codes - known)
+            for code in unknown:
+                kept.append(Finding(
+                    code=UNKNOWN_NOQA_CODE,
+                    message=f"unknown rule code '{code}' in noqa",
+                    path=sup.path, line=sup.line, col=sup.col))
+            if unknown:
+                continue
+        if sup.used:
+            continue
+        # Only call a suppression unused when every rule it could have
+        # matched actually ran — a narrowed --select must not flag the
+        # noqa comments of the rules it skipped.
+        if sup.codes is None:
+            if not fully_enabled:
+                continue
+        elif not sup.codes <= enabled:
+            continue
+        label = ("noqa" if sup.codes is None
+                 else "noqa[" + ",".join(sorted(sup.codes)) + "]")
+        kept.append(Finding(
+            code=UNUSED_NOQA,
+            message=f"unused suppression '{label}': no finding on "
+                    f"this line matches it",
+            path=sup.path, line=sup.line, col=sup.col))
+    return kept
+
+
+def run_lint(paths: Sequence[Path],
+             config: Optional[LintConfig] = None) -> List[Finding]:
+    """Lint ``paths`` (files and/or directories) under ``config``.
+
+    Returns all surviving findings sorted by (path, line, col, code).
+    An empty list means the tree is clean.
+    """
+    config = config or LintConfig()
+    files = collect_files([Path(p) for p in paths])
+    reachable: FrozenSet[str] = frozenset()
+    if not config.all_scopes:
+        reachable = _graph_for(files).reachable_from(
+            config.determinism_roots)
+    findings: List[Finding] = []
+    for path in files:
+        report = _lint_file(path, config, reachable)
+        findings.extend(_apply_suppressions(report, config))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings

@@ -1,0 +1,70 @@
+"""Finding and suppression primitives of the lint engine.
+
+A :class:`Finding` is one rule violation at one source location.  A
+:class:`Suppression` is one ``# repro: noqa[RULE]`` comment; the engine
+matches findings against suppressions on the same physical line and
+reports suppressions that never matched anything (``LINT001``), so stale
+``noqa`` comments cannot silently rot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+__all__ = ["Finding", "Suppression"]
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation.
+
+    Attributes:
+        code: rule identifier, e.g. ``"DET001"``.
+        message: human-readable description of the violation.
+        path: file the violation is in (as given to the engine).
+        line: 1-based source line.
+        col: 0-based source column.
+    """
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int
+
+    def format(self) -> str:
+        """``path:line:col: CODE message`` (clickable in most editors)."""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.code} {self.message}")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able representation (the ``--format json`` payload)."""
+        return {"code": self.code, "message": self.message,
+                "path": self.path, "line": self.line, "col": self.col}
+
+
+@dataclass(slots=True)
+class Suppression:
+    """One ``# repro: noqa`` / ``# repro: noqa[A,B]`` comment.
+
+    Attributes:
+        path: file the comment is in.
+        line: 1-based line the comment sits on — suppresses findings
+            reported on that same line.
+        codes: the rule codes inside the brackets; ``None`` for a bare
+            ``# repro: noqa`` (suppresses every rule on the line).
+        col: 0-based column of the ``#``.
+    """
+
+    path: str
+    line: int
+    codes: Optional[FrozenSet[str]]
+    col: int = 0
+    used: List[str] = field(default_factory=list)
+
+    def matches(self, finding: Finding) -> bool:
+        """Whether this comment suppresses ``finding``."""
+        if finding.line != self.line:
+            return False
+        return self.codes is None or finding.code in self.codes

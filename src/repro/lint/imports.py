@@ -1,0 +1,126 @@
+"""Static import graph over the ``repro`` source tree.
+
+The determinism rules are scoped: wall-clock and environment reads are
+only forbidden in modules that can *feed* the exec-cache key
+construction or the report serialization (see ISSUE rationale — a
+wall-clock read in a CLI entry point is fine, one in a module the cache
+imports is a cache-poisoning hazard).  That scope is "every module
+reachable, through imports, from the configured root modules", which
+this module computes purely statically from the AST — nothing is
+imported or executed.
+
+Relative imports are resolved against the importing module's package;
+``from .x import y`` maps to ``pkg.x`` and, when ``pkg.x.y`` is itself
+a module, to that too (both edges are added — over-approximating keeps
+the reachable set sound).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+__all__ = ["ModuleGraph", "module_name_for"]
+
+
+def module_name_for(path: Path) -> Optional[str]:
+    """Dotted module name of ``path``, or ``None`` outside a package.
+
+    Walks up from the file through ``__init__.py``-bearing directories;
+    ``.../src/repro/exec/cache.py`` maps to ``"repro.exec.cache"``.
+    """
+    path = path.resolve()
+    parts: List[str] = []
+    if path.name != "__init__.py":
+        parts.append(path.stem)
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    if not parts:
+        return None
+    return ".".join(reversed(parts))
+
+
+class ModuleGraph:
+    """Import edges between the modules of one source tree."""
+
+    def __init__(self) -> None:
+        self._edges: Dict[str, Set[str]] = {}
+        self._modules: Set[str] = set()
+
+    @classmethod
+    def build(cls, files: Iterable[Path]) -> "ModuleGraph":
+        """Parse ``files`` and record every intra-tree import edge."""
+        graph = cls()
+        named = []
+        for path in files:
+            name = module_name_for(path)
+            if name is not None:
+                graph._modules.add(name)
+                named.append((name, path))
+        for name, path in named:
+            try:
+                tree = ast.parse(path.read_text(),
+                                 filename=str(path))
+            except (OSError, SyntaxError):
+                continue
+            is_package = path.name == "__init__.py"
+            graph._edges[name] = graph._imports_of(
+                name, tree, is_package)
+        return graph
+
+    def _imports_of(self, module: str, tree: ast.AST,
+                    is_package: bool) -> Set[str]:
+        out: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self._add_candidates(out, alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_base(module, node, is_package)
+                if base is None:
+                    continue
+                self._add_candidates(out, base)
+                for alias in node.names:
+                    self._add_candidates(out, f"{base}.{alias.name}")
+        return out
+
+    def _resolve_base(self, module: str, node: ast.ImportFrom,
+                      is_package: bool) -> Optional[str]:
+        """Absolute module a ``from ... import`` statement targets."""
+        if node.level == 0:
+            return node.module
+        parts = module.split(".")
+        # ``from . import x`` inside pkg.mod resolves against pkg: one
+        # level strips the module name itself, further levels strip
+        # packages.  A package __init__ *is* its package, so its first
+        # level strips nothing.
+        strip = node.level - 1 if is_package else node.level
+        if len(parts) < strip:
+            return None
+        base_parts = parts[:len(parts) - strip]
+        if node.module:
+            base_parts = base_parts + node.module.split(".")
+        return ".".join(base_parts) if base_parts else None
+
+    def _add_candidates(self, out: Set[str], name: str) -> None:
+        """Record ``name`` and every package prefix that is a module."""
+        parts = name.split(".")
+        for i in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:i])
+            if candidate in self._modules:
+                out.add(candidate)
+
+    def reachable_from(self, roots: Iterable[str]) -> FrozenSet[str]:
+        """Modules reachable from ``roots`` (roots included, if known)."""
+        seen: Set[str] = set()
+        stack = [r for r in roots if r in self._modules]
+        while stack:
+            module = stack.pop()
+            if module in seen:
+                continue
+            seen.add(module)
+            stack.extend(self._edges.get(module, ()))
+        return frozenset(seen)

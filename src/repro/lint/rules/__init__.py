@@ -1,0 +1,8 @@
+"""Rule registry: importing this package registers every rule."""
+
+from __future__ import annotations
+
+from . import determinism, kernel, units  # noqa: F401 (registration)
+from .base import Rule, RuleContext, registry
+
+__all__ = ["Rule", "RuleContext", "registry"]

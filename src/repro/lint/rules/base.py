@@ -1,0 +1,109 @@
+"""Rule framework: visitor base class, context, registry.
+
+A rule is an :class:`ast.NodeVisitor` with a class-level ``code``,
+``name``, ``scope`` and ``description``.  The engine instantiates every
+enabled rule once per file with a shared :class:`RuleContext` and runs
+its ``visit`` over the module tree; rules report through
+:meth:`Rule.report`.
+
+Scopes decide which files a rule applies to:
+
+``"global"``
+    every linted file (determinism of RNG, kernel discipline);
+``"reachable"``
+    only modules reachable, through imports, from the configured
+    determinism roots (wall-clock / environment / set-order rules);
+``"units"``
+    only modules inside the configured unit-convention packages
+    (``repro.power``, ``repro.core``, ``repro.sched`` by default).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Type
+
+from ..finding import Finding
+
+__all__ = ["Rule", "RuleContext", "register", "registry", "dotted_name"]
+
+_REGISTRY: Dict[str, Type["Rule"]] = {}
+
+
+def register(cls: Type["Rule"]) -> Type["Rule"]:
+    """Class decorator adding a rule to the global registry."""
+    if cls.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def registry() -> Dict[str, Type["Rule"]]:
+    """All registered rules, keyed by code (import-populated)."""
+    return dict(_REGISTRY)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass
+class RuleContext:
+    """Per-file state shared by every rule instance.
+
+    Attributes:
+        path: the file, as given to the engine (used in findings).
+        module: dotted module name, ``None`` outside a package.
+        reachable: whether the module is in the determinism-root
+            reachable set (scope ``"reachable"``).
+        in_unit_packages: whether the module is inside a
+            unit-convention package (scope ``"units"``).
+        aliases: import aliases seen in the file, canonical name per
+            local name (``{"np": "numpy"}``) — filled by the engine.
+        findings: the output list rules append to.
+    """
+
+    path: str
+    module: Optional[str]
+    reachable: bool
+    in_unit_packages: bool
+    aliases: Dict[str, str] = field(default_factory=dict)
+    findings: List[Finding] = field(default_factory=list)
+
+    def canonical(self, dotted: str) -> str:
+        """Resolve the leading alias of ``dotted`` (``np.x`` → ``numpy.x``)."""
+        head, _, rest = dotted.partition(".")
+        head = self.aliases.get(head, head)
+        return f"{head}.{rest}" if rest else head
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for lint rules (see the module docstring)."""
+
+    #: Stable identifier, e.g. ``"DET001"``.
+    code: str = ""
+    #: Short kebab-case name, e.g. ``"unseeded-rng"``.
+    name: str = ""
+    #: ``"global"``, ``"reachable"`` or ``"units"``.
+    scope: str = "global"
+    #: One-line description for ``--list-rules`` and the docs.
+    description: str = ""
+
+    def __init__(self, ctx: RuleContext) -> None:
+        self.ctx = ctx
+
+    def report(self, node: ast.AST, message: str) -> None:
+        """Record a finding at ``node``'s location."""
+        self.ctx.findings.append(Finding(
+            code=self.code, message=message, path=self.ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0)))

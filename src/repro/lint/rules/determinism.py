@@ -1,0 +1,263 @@
+"""Determinism rules (DET0xx).
+
+The content-addressed result cache and the byte-identical
+serial/parallel/warm-cache guarantees hold only if every code path that
+feeds a cache key or a serialized report is deterministic across
+processes, machines and ``PYTHONHASHSEED`` values.  These rules catch
+the three classic ways that breaks:
+
+* **DET001** — module-level (unseeded) random number generators;
+* **DET002** — wall-clock reads (``time.time``, ``datetime.now``);
+* **DET003** — environment reads (``os.environ`` / ``os.getenv``);
+* **DET004** — iteration over ``set`` expressions, whose order depends
+  on the per-process string-hash seed.
+
+DET001 applies everywhere (an unseeded RNG is never acceptable in this
+codebase).  DET002–DET004 are scoped to modules reachable from the
+exec-cache key construction and the report serialization; a CLI entry
+point may read the clock, a module the cache imports may not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from .base import Rule, dotted_name, register
+
+__all__ = ["UnseededRng", "WallClockRead", "EnvironmentRead",
+           "SetIteration"]
+
+#: ``numpy.random`` attributes that are fine to touch: explicit
+#: generator/seed machinery (flagged separately when called unseeded).
+_NP_RANDOM_OK = frozenset({
+    "Generator", "SeedSequence", "default_rng", "RandomState",
+    "BitGenerator", "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64",
+})
+
+#: ``random`` attributes that are fine to *name* (instances must still
+#: be seeded, which the call check enforces).
+_PY_RANDOM_OK = frozenset({"Random"})
+
+#: Wall-clock reads.  ``time.monotonic``/``perf_counter`` are fine —
+#: they never feed values into results, only into latency measurement.
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns", "time.localtime", "time.gmtime",
+    "time.ctime", "time.asctime", "time.strftime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+    # ``from datetime import datetime/date`` spellings:
+    "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+})
+
+#: Order-sensitive single-argument consumers of an iterable.
+_ORDER_SENSITIVE = frozenset({"list", "tuple", "enumerate", "iter",
+                              "reversed"})
+
+
+def _is_seeded_call(node: ast.Call) -> bool:
+    """Whether a generator-constructor call passes an explicit seed."""
+    return bool(node.args) or any(kw.arg in ("seed", "x", "entropy")
+                                  for kw in node.keywords)
+
+
+@register
+class UnseededRng(Rule):
+    """No module-level RNG state; generators must be explicitly seeded."""
+
+    code = "DET001"
+    name = "unseeded-rng"
+    scope = "global"
+    description = ("use of the module-level random state "
+                   "(random.* / numpy.random.*) or an unseeded "
+                   "generator constructor")
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name not in _PY_RANDOM_OK:
+                    self.report(node,
+                                f"import of random.{alias.name} uses "
+                                f"the unseeded module-level RNG")
+        elif node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name not in _NP_RANDOM_OK:
+                    self.report(node,
+                                f"import of numpy.random.{alias.name} "
+                                f"uses the global numpy RNG state")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None:
+            full = self.ctx.canonical(name)
+            self._check_call(node, full)
+        self.generic_visit(node)
+
+    def _check_call(self, node: ast.Call, full: str) -> None:
+        if full.startswith("random."):
+            attr = full[len("random."):]
+            if attr == "Random" or attr == "RandomState":
+                if not _is_seeded_call(node):
+                    self.report(node, f"{full}() without an explicit "
+                                      f"seed is nondeterministic")
+            elif attr == "SystemRandom":
+                self.report(node, "random.SystemRandom is "
+                                  "nondeterministic by design")
+            elif "." not in attr:
+                self.report(node,
+                            f"{full}() draws from the unseeded "
+                            f"module-level RNG; use a seeded "
+                            f"random.Random/np.random.default_rng")
+        elif full.startswith("numpy.random."):
+            attr = full[len("numpy.random."):]
+            if attr in ("default_rng", "RandomState", "SeedSequence"):
+                if not _is_seeded_call(node):
+                    self.report(node,
+                                f"numpy.random.{attr}() without an "
+                                f"explicit seed is nondeterministic")
+            elif "." not in attr and attr not in _NP_RANDOM_OK:
+                self.report(node,
+                            f"numpy.random.{attr}() uses the global "
+                            f"numpy RNG state; use a seeded "
+                            f"default_rng")
+
+
+@register
+class WallClockRead(Rule):
+    """No wall-clock reads in cache-key / report-serialization paths."""
+
+    code = "DET002"
+    name = "wall-clock-read"
+    scope = "reachable"
+    description = ("wall-clock read (time.time, datetime.now, ...) in "
+                   "a module reachable from cache-key construction or "
+                   "report serialization")
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if f"time.{alias.name}" in _WALL_CLOCK:
+                    self.report(node, f"import of time.{alias.name} "
+                                      f"(wall clock)")
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        self._check(node)
+        self.generic_visit(node)
+
+    def _check(self, node: ast.AST) -> None:
+        name = dotted_name(node)
+        if name is None:
+            return
+        full = self.ctx.canonical(name)
+        if full in _WALL_CLOCK:
+            self.report(node,
+                        f"{full} reads the wall clock; deterministic "
+                        f"paths may only use monotonic timers "
+                        f"(time.perf_counter) for latency measurement")
+
+
+@register
+class EnvironmentRead(Rule):
+    """No environment reads in cache-key / report paths."""
+
+    code = "DET003"
+    name = "environment-read"
+    scope = "reachable"
+    description = ("os.environ / os.getenv read in a module reachable "
+                   "from cache-key construction or report "
+                   "serialization")
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "os":
+            for alias in node.names:
+                if alias.name in ("environ", "getenv", "environb"):
+                    self.report(node, f"import of os.{alias.name}")
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        name = dotted_name(node)
+        if name is not None:
+            full = self.ctx.canonical(name)
+            if full.startswith(("os.environ", "os.getenv",
+                                "os.environb")):
+                self.report(node,
+                            f"{full} makes behaviour depend on the "
+                            f"process environment; thread explicit "
+                            f"parameters instead")
+                return  # avoid double report on os.environ.get
+        self.generic_visit(node)
+
+
+@register
+class SetIteration(Rule):
+    """No order-dependent iteration over set expressions."""
+
+    code = "DET004"
+    name = "set-iteration"
+    scope = "reachable"
+    description = ("iteration over a set expression (order depends on "
+                   "the per-process hash seed) in a module reachable "
+                   "from cache-key construction or report "
+                   "serialization")
+
+    _MESSAGE = ("iteration order of a set depends on PYTHONHASHSEED; "
+                "wrap it in sorted()")
+
+    @staticmethod
+    def _set_expr(node: ast.AST) -> Optional[ast.AST]:
+        """The node itself when it is syntactically a set expression."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return node
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Name) and \
+                node.func.id in ("set", "frozenset"):
+            return node
+        if isinstance(node, ast.BinOp) and \
+                isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub,
+                                     ast.BitXor)):
+            # Set algebra keeps set-ness: ``set(a) - set(b)`` etc.
+            if SetIteration._set_expr(node.left) is not None or \
+                    SetIteration._set_expr(node.right) is not None:
+                return node
+        return None
+
+    def visit_For(self, node: ast.For) -> None:
+        target = self._set_expr(node.iter)
+        if target is not None:
+            self.report(target, self._MESSAGE)
+        self.generic_visit(node)
+
+    def _visit_comprehensions(self, node) -> None:
+        for comp in node.generators:
+            target = self._set_expr(comp.iter)
+            if target is not None:
+                self.report(target, self._MESSAGE)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehensions
+    visit_SetComp = _visit_comprehensions
+    visit_DictComp = _visit_comprehensions
+    visit_GeneratorExp = _visit_comprehensions
+
+    def visit_Call(self, node: ast.Call) -> None:
+        consumer = None
+        if isinstance(node.func, ast.Name) and \
+                node.func.id in _ORDER_SENSITIVE:
+            consumer = node.func.id
+        elif isinstance(node.func, ast.Attribute) and \
+                node.func.attr == "join":
+            consumer = "join"
+        if consumer is not None and node.args:
+            target = self._set_expr(node.args[0])
+            if target is not None:
+                self.report(target,
+                            f"{consumer}() over a set: " + self._MESSAGE)
+        self.generic_visit(node)
+
+    def visit_Starred(self, node: ast.Starred) -> None:
+        target = self._set_expr(node.value)
+        if target is not None:
+            self.report(target, "unpacking a set: " + self._MESSAGE)
+        self.generic_visit(node)

@@ -1,0 +1,243 @@
+"""Unit-safety rules (UNIT0xx).
+
+The paper's model constantly converts between cycle counts (schedule
+time at the reference frequency), wall-clock seconds, hertz, volts,
+joules and watts; seconds-vs-cycles and volts-vs-frequency confusions
+are the dominant bug class in this problem family.  The convention:
+
+* public function **parameters** in ``repro.power`` / ``repro.core`` /
+  ``repro.sched`` whose name denotes a scalar physical quantity carry a
+  unit suffix — ``_seconds``, ``_cycles``, ``_hz``, ``_volts``,
+  ``_joules``, ``_watts`` (**UNIT001**);
+* public functions **returning** a bare ``float``/array quantity either
+  carry the suffix in their name or state the unit in their docstring,
+  e.g. ``"(Hz)"`` or ``"... in seconds"`` (**UNIT002**);
+* ``+``/``-``/comparison arithmetic must not mix identifiers with
+  *different* unit suffixes — ``x_seconds + y_cycles`` is always a bug;
+  ``*`` and ``/`` are conversions and stay legal (**UNIT003**).
+
+The convention is deliberately lightweight: vector parameters (per-task
+arrays such as ``deadlines``) document their unit at the type level,
+canonical physics symbols (``vdd``, ``vbs``, ``f``, ``fmax``) are
+exempt, and ``*_per_*`` names denote ratios.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Optional
+
+from .base import Rule, register
+
+__all__ = ["ParamUnitSuffix", "ReturnUnitDocumented",
+           "MixedUnitArithmetic"]
+
+#: Recognised unit suffixes and their dimension (each suffix is its own
+#: unit: ``_seconds`` and ``_cycles`` are both time-like but must never
+#: mix additively).
+SUFFIXES = ("seconds", "cycles", "hz", "volts", "joules", "watts")
+
+#: Quantity roots that demand a suffix, mapped to the suffixes that
+#: satisfy them.
+ROOTS = {
+    "deadline": ("seconds", "cycles"),
+    "horizon": ("seconds", "cycles"),
+    "duration": ("seconds", "cycles"),
+    "interval": ("seconds", "cycles"),
+    "period": ("seconds", "cycles"),
+    "elapsed": ("seconds", "cycles"),
+    "timeout": ("seconds", "cycles"),
+    "latency": ("seconds", "cycles"),
+    "freq": ("hz",),
+    "frequency": ("hz",),
+    "voltage": ("volts",),
+    "energy": ("joules",),
+    "power": ("watts",),
+}
+
+#: Canonical physics symbols from the paper's equations — exempt.
+CANONICAL = frozenset({"vdd", "vbs", "f", "fmax", "fmin", "tol"})
+
+#: Docstring markers accepted as a unit statement by UNIT002.
+_UNIT_DOC = re.compile(
+    r"(?ix) \b(seconds?|cycles?|hz|[gmk]hz|joules?|volts?|watts?|"
+    r"dimensionless|normali[sz]ed|ratio|fraction|multiplier)\b"
+    r"|[(\[](s|J|V|W|A|Hz|GHz)[)\]]")
+
+#: Return annotations that carry their own units (domain classes) —
+#: exempt from UNIT002.  Bare scalars/arrays are not self-describing.
+_SCALAR_RETURNS = frozenset({
+    "float", "int", "ArrayLike", "np.ndarray", "numpy.ndarray",
+    "ndarray", None,
+})
+
+
+#: Root-appropriate docstring examples for the UNIT002 message.
+_DOC_EXAMPLES = {
+    "seconds": "'in seconds' or 'in cycles'", "hz": "'(Hz)'",
+    "volts": "'(V)'", "joules": "'(J)'", "watts": "'(W)'",
+}
+
+
+def _root_of(name: str) -> Optional[str]:
+    """The quantity root ``name`` ends with, if any."""
+    if name in ROOTS:
+        return name
+    last = name.rsplit("_", 1)[-1]
+    return last if last in ROOTS else None
+
+
+def _has_suffix(name: str) -> bool:
+    """Whether ``name`` ends in (or is) a recognised unit suffix."""
+    if name in SUFFIXES:
+        return True
+    last = name.rsplit("_", 1)[-1]
+    return last in SUFFIXES
+
+
+def _suffix_of(name: str) -> Optional[str]:
+    """The unit suffix of an identifier, if it has one."""
+    last = name.rsplit("_", 1)[-1]
+    return last if last in SUFFIXES and last != name else (
+        name if name in SUFFIXES else None)
+
+
+def _exempt(name: str) -> bool:
+    return (name.startswith("_") or name in CANONICAL
+            or "_per_" in name)
+
+
+def _public_defs(tree: ast.Module) -> Iterable[ast.FunctionDef]:
+    """Public module-level defs and public methods of public classes."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not node.name.startswith("_"):
+                yield node
+        elif isinstance(node, ast.ClassDef) and \
+                not node.name.startswith("_"):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)) and \
+                        not item.name.startswith("_"):
+                    yield item
+
+
+def _annotation_text(node: Optional[ast.AST]) -> Optional[str]:
+    if node is None:
+        return None
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - malformed annotation
+        return None
+
+
+@register
+class ParamUnitSuffix(Rule):
+    """Public quantity-bearing parameters carry a unit suffix."""
+
+    code = "UNIT001"
+    name = "param-unit-suffix"
+    scope = "units"
+    description = ("public function parameter denotes a physical "
+                   "quantity but carries no unit suffix "
+                   "(_seconds/_cycles/_hz/_volts/_joules/_watts)")
+
+    def visit_Module(self, node: ast.Module) -> None:
+        for func in _public_defs(node):
+            args = func.args
+            for arg in (*args.posonlyargs, *args.args,
+                        *args.kwonlyargs):
+                self._check(arg)
+        # Deliberately no generic_visit: nested/private defs are out of
+        # scope — the convention is for the public surface.
+
+    def _check(self, arg: ast.arg) -> None:
+        name = arg.arg
+        if name in ("self", "cls") or _exempt(name) or \
+                _has_suffix(name):
+            return
+        root = _root_of(name)
+        if root is None:
+            return
+        if name.endswith("s") and _root_of(name[:-1]) is not None:
+            return  # plural = per-task vector; unit lives in the docs
+        expected = " or ".join(f"{name}_{s}" for s in ROOTS[root])
+        self.report(arg,
+                    f"parameter '{name}' denotes a quantity "
+                    f"({root}); name it {expected}")
+
+
+@register
+class ReturnUnitDocumented(Rule):
+    """Scalar-quantity returns carry a suffix or a documented unit."""
+
+    code = "UNIT002"
+    name = "return-unit-documented"
+    scope = "units"
+    description = ("public function returns a bare scalar quantity "
+                   "but neither its name nor its docstring states "
+                   "the unit")
+
+    def visit_Module(self, node: ast.Module) -> None:
+        for func in _public_defs(node):
+            self._check(func)
+
+    def _check(self, func: ast.FunctionDef) -> None:
+        name = func.name
+        if _exempt(name) or _has_suffix(name):
+            return
+        root = _root_of(name)
+        if root is None:
+            return
+        if _annotation_text(func.returns) not in _SCALAR_RETURNS:
+            return  # returns a unit-carrying domain object
+        doc = ast.get_docstring(func)
+        if doc is not None and _UNIT_DOC.search(doc):
+            return
+        example = _DOC_EXAMPLES.get(ROOTS[root][0], "'(Hz)'")
+        self.report(func,
+                    f"'{name}' names a quantity ({root}) but returns "
+                    f"a bare scalar; add a unit suffix to the name or "
+                    f"state the unit in the docstring (e.g. {example})")
+
+
+@register
+class MixedUnitArithmetic(Rule):
+    """No additive/comparison arithmetic across different unit suffixes."""
+
+    code = "UNIT003"
+    name = "mixed-unit-arithmetic"
+    scope = "units"
+    description = ("+/-/comparison between identifiers with different "
+                   "unit suffixes (e.g. x_seconds + y_cycles)")
+
+    @staticmethod
+    def _operand_suffix(node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return _suffix_of(node.id)
+        if isinstance(node, ast.Attribute):
+            return _suffix_of(node.attr)
+        return None
+
+    def _check_pair(self, node: ast.AST, left: ast.AST,
+                    right: ast.AST, op: str) -> None:
+        a = self._operand_suffix(left)
+        b = self._operand_suffix(right)
+        if a is not None and b is not None and a != b:
+            self.report(node,
+                        f"'{op}' mixes units: left is {a}, right is "
+                        f"{b}; convert explicitly (multiply/divide by "
+                        f"the rate) first")
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            op = "+" if isinstance(node.op, ast.Add) else "-"
+            self._check_pair(node, node.left, node.right, op)
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for left, right in zip(operands, operands[1:]):
+            self._check_pair(node, left, right, "comparison")
+        self.generic_visit(node)

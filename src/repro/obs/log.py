@@ -155,7 +155,9 @@ class _Span:
         self._args = args
 
     def __enter__(self) -> "_Span":
-        self._wall = time.time()
+        # Wall-clock anchors the Chrome-trace timeline only; it never
+        # reaches cache keys or results.
+        self._wall = time.time()  # repro: noqa[DET002]
         self._log._stack.append(0.0)  # children's duration accumulator
         self._t0 = time.perf_counter()
         return self

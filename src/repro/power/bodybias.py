@@ -31,13 +31,13 @@ __all__ = ["ABBLadder", "optimal_body_bias"]
 def optimal_body_bias(tech: Technology, vdd: float, *,
                       vbs_min: float = -1.0, vbs_max: float = 0.0,
                       vbs_step: float = 0.05,
-                      min_frequency: float = 0.0) -> float:
+                      min_frequency_hz: float = 0.0) -> float:
     """Body bias minimising energy per cycle at supply ``vdd``.
 
     Searches the discrete grid ``[vbs_min, vbs_max]`` (ABB hardware
     offers a few discrete wells, not a continuum).  Biases at which the
     device no longer conducts (frequency 0) or falls below
-    ``min_frequency`` are excluded — pass the fixed-bias frequency to
+    ``min_frequency_hz`` are excluded — pass the fixed-bias frequency to
     get *performance-neutral* ABB.
 
     Raises:
@@ -52,11 +52,11 @@ def optimal_body_bias(tech: Technology, vdd: float, *,
     n = int(np.floor((vbs_max - vbs_min) / vbs_step)) + 1
     grid = vbs_min + vbs_step * np.arange(n)
     freq = np.asarray(model.frequency(np.full(n, vdd), grid))
-    ok = (freq > 0.0) & (freq >= min_frequency * (1.0 - 1e-9))
+    ok = (freq > 0.0) & (freq >= min_frequency_hz * (1.0 - 1e-9))
     if not np.any(ok):
         raise ValueError(
             f"no feasible body bias in [{vbs_min}, {vbs_max}] "
-            f"at vdd={vdd} (min frequency {min_frequency:g} Hz)")
+            f"at vdd={vdd} (min frequency {min_frequency_hz:g} Hz)")
     energy = np.asarray(model.energy_per_cycle(np.full(n, vdd), grid))
     energy = np.where(ok, energy, np.inf)
     return float(grid[int(np.argmin(energy))])
@@ -105,7 +105,7 @@ class ABBLadder(DVSLadder):
                 vbs = optimal_body_bias(tech, vdd, vbs_min=vbs_min,
                                         vbs_max=vbs_max,
                                         vbs_step=vbs_step,
-                                        min_frequency=floor)
+                                        min_frequency_hz=floor)
             except ValueError:
                 break  # no feasible bias left at this supply
             point = _make_point(self.model, vdd, vbs)

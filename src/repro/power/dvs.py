@@ -101,7 +101,9 @@ class DVSLadder(Sequence[OperatingPoint]):
     def __len__(self) -> int:
         return len(self._points)
 
-    def __getitem__(self, i):  # type: ignore[override]
+    def __getitem__(  # type: ignore[override]
+            self, i: "int | slice"
+    ) -> "OperatingPoint | Sequence[OperatingPoint]":
         return self._points[i]
 
     def __iter__(self) -> Iterator[OperatingPoint]:

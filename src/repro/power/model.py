@@ -174,12 +174,13 @@ class PowerModel:
         return float(self.frequency(self.tech.vdd0))
 
     def normalized_frequency(self, vdd: ArrayLike) -> ArrayLike:
-        """``f(vdd) / f(vdd0)`` — the x-axis of the paper's Figs. 2 and 3."""
+        """``f(vdd) / f(vdd0)`` — a dimensionless ratio in [0, 1]; the
+        x-axis of the paper's Figs. 2 and 3."""
         f = np.asarray(self.frequency(vdd), dtype=float)
         return _match(vdd, f / self.max_frequency)
 
     def vdd_for_frequency(self, f: float, *, tol: float = 1e-9) -> float:
-        """Invert the alpha-power law: smallest ``vdd`` giving frequency ``f``.
+        """Invert the alpha-power law: smallest ``vdd`` (V) giving frequency ``f``.
 
         Closed form: ``(Vdd - Vth(Vdd))^alpha = f * Ld * K6`` is linear in
         ``Vdd`` once the overdrive is isolated, because ``Vth`` is itself

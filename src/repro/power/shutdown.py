@@ -44,19 +44,19 @@ class SleepModel:
                 f"overhead_energy must be >= 0, got {self.overhead_energy}")
 
     # ------------------------------------------------------------------
-    def breakeven_time(self, idle_power: ArrayLike) -> ArrayLike:
+    def breakeven_time(self, idle_power_watts: ArrayLike) -> ArrayLike:
         """Minimum idle duration for shutdown to save energy (s).
 
         ``inf`` when idling is no more expensive than sleeping (then
         shutdown can never pay for its overhead).
         """
-        p = np.asarray(idle_power, dtype=float)
+        p = np.asarray(idle_power_watts, dtype=float)
         saving = p - self.sleep_power
         with np.errstate(divide="ignore"):
             t = np.where(saving > 0.0,
                          self.overhead_energy / np.where(saving > 0.0, saving, 1.0),
                          np.inf)
-        if np.isscalar(idle_power):
+        if np.isscalar(idle_power_watts):
             return float(t)
         return t
 
@@ -65,28 +65,31 @@ class SleepModel:
         return float(self.breakeven_time(point.idle_power)) * point.frequency
 
     # ------------------------------------------------------------------
-    def gap_energy(self, duration: ArrayLike, idle_power: float) -> ArrayLike:
+    def gap_energy(self, duration_seconds: ArrayLike,
+                   idle_power_watts: float) -> ArrayLike:
         """Energy spent in an idle gap under the optimal on/off decision (J).
 
         A gap longer than the breakeven interval is spent asleep
         (overhead + sleep power); shorter gaps stay idle-but-on.
-        Vectorized over ``duration``.
+        Vectorized over ``duration_seconds``.
         """
-        t = np.asarray(duration, dtype=float)
+        t = np.asarray(duration_seconds, dtype=float)
         if np.any(t < 0):
             raise ValueError("gap duration must be non-negative")
-        stay_on = t * idle_power
+        stay_on = t * idle_power_watts
         shut_down = self.overhead_energy + t * self.sleep_power
         e = np.minimum(stay_on, shut_down)
-        if np.isscalar(duration):
+        if np.isscalar(duration_seconds):
             return float(e)
         return e
 
-    def would_shut_down(self, duration: ArrayLike, idle_power: float) -> ArrayLike:
+    def would_shut_down(self, duration_seconds: ArrayLike,
+                        idle_power_watts: float) -> ArrayLike:
         """Whether the optimal decision for a gap is to shut down."""
-        t = np.asarray(duration, dtype=float)
-        result = (self.overhead_energy + t * self.sleep_power) < t * idle_power
-        if np.isscalar(duration):
+        t = np.asarray(duration_seconds, dtype=float)
+        result = (self.overhead_energy
+                  + t * self.sleep_power) < t * idle_power_watts
+        if np.isscalar(duration_seconds):
             return bool(result)
         return result
 

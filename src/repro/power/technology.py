@@ -15,7 +15,7 @@ from typing import Mapping
 
 @dataclass(frozen=True, slots=True)
 class Technology:
-    """Process/circuit constants that parameterize :class:`~repro.power.model.PowerModel`.
+    """Process/circuit constants of the analytic CMOS power model.
 
     The defaults (see :data:`TECH_70NM`) reproduce the paper's Table 1, a
     70 nm process whose maximum operating frequency is 3.1 GHz at

@@ -24,17 +24,18 @@ class InfeasibleDeadlineError(ValueError):
     meet it even on infinitely many processors at the reference speed."""
 
 
-def task_deadlines(graph: TaskGraph, deadline: float, *,
+def task_deadlines(graph: TaskGraph, deadline_cycles: float, *,
                    overrides: Optional[Mapping[Hashable, float]] = None,
                    check_feasible: bool = True) -> np.ndarray:
     """ALAP deadline (cycles) per dense node index.
 
     Args:
         graph: the task graph.
-        deadline: graph-level deadline in cycles at the reference
+        deadline_cycles: graph-level deadline in cycles at the
+            reference
             frequency; every task must finish by it.
         overrides: optional tighter deadlines for specific tasks (e.g.
-            KPN output nodes).  Values above ``deadline`` are clamped.
+            KPN output nodes).  Values above ``deadline_cycles`` are clamped.
         check_feasible: when true, raise if some task's deadline is below
             its earliest possible finish (top level), i.e. not even an
             ideal schedule could meet it.
@@ -46,9 +47,9 @@ def task_deadlines(graph: TaskGraph, deadline: float, *,
         InfeasibleDeadlineError: see ``check_feasible``.
         KeyError: if an override references an unknown task.
     """
-    if deadline <= 0:
-        raise ValueError(f"deadline must be positive, got {deadline}")
-    d = np.full(graph.n, float(deadline))
+    if deadline_cycles <= 0:
+        raise ValueError(f"deadline must be positive, got {deadline_cycles}")
+    d = np.full(graph.n, float(deadline_cycles))
     if overrides:
         for task, value in overrides.items():
             if value <= 0:

@@ -8,14 +8,15 @@ __all__ = ["render_gantt"]
 
 
 def render_gantt(schedule: Schedule, *, width: int = 72,
-                 horizon: float | None = None) -> str:
+                 horizon_cycles: float | None = None) -> str:
     """Render ``schedule`` as an ASCII Gantt chart.
 
     Each processor gets one row; tasks are drawn as ``[label ]`` blocks
-    proportional to their duration.  ``horizon`` (cycles) extends the
+    proportional to their duration.  ``horizon_cycles`` extends the
     time axis beyond the makespan (e.g. to the deadline).
     """
-    span = horizon if horizon is not None else schedule.makespan
+    span = horizon_cycles if horizon_cycles is not None \
+        else schedule.makespan
     if span <= 0:
         raise ValueError("schedule has zero span")
     scale = width / span

@@ -313,16 +313,17 @@ class Schedule:
         """Total executing cycles on ``proc``."""
         return float(self._proc_busy[proc])
 
-    def idle_gaps(self, proc: int, horizon: float) -> List[Tuple[float, float]]:
-        """Idle intervals on ``proc`` within ``[0, horizon]`` (cycles).
+    def idle_gaps(self, proc: int,
+                  horizon_cycles: float) -> List[Tuple[float, float]]:
+        """Idle intervals on ``proc`` within ``[0, horizon_cycles]``.
 
         Includes the leading gap before the first task and the trailing
-        gap up to ``horizon``.  An entirely unused processor yields a
-        single full-horizon gap.
+        gap up to ``horizon_cycles``.  An entirely unused processor
+        yields a single full-horizon gap.
 
         Raises:
-            ValueError: if ``horizon`` is before the processor's last
-                finish time (the schedule would not fit).
+            ValueError: if ``horizon_cycles`` is before the processor's
+                last finish time (the schedule would not fit).
         """
         g0, g1 = self._gap_bounds[proc], self._gap_bounds[proc + 1]
         gaps = list(zip(self._gap_lo[g0:g1].tolist(),
@@ -331,30 +332,30 @@ class Schedule:
         # Relative tolerance: horizons come from seconds-to-cycles
         # round trips, so representation error scales with magnitude.
         tol = 1e-9 * max(1.0, abs(t))
-        if horizon < t - tol:
+        if horizon_cycles < t - tol:
             raise ValueError(
-                f"horizon {horizon:g} is before processor {proc}'s last "
-                f"finish {t:g}")
-        if horizon > t + tol:
-            gaps.append((t, horizon))
+                f"horizon {horizon_cycles:g} is before processor "
+                f"{proc}'s last finish {t:g}")
+        if horizon_cycles > t + tol:
+            gaps.append((t, horizon_cycles))
         return gaps
 
-    def gap_lengths(self, proc: int, horizon: float) -> np.ndarray:
+    def gap_lengths(self, proc: int, horizon_cycles: float) -> np.ndarray:
         """Lengths (cycles) of the idle gaps of ``proc`` (vector form).
 
         Internal gaps come from the precomputed kernel arrays; only the
-        trailing gap is computed against ``horizon``.
+        trailing gap is computed against ``horizon_cycles``.
         """
         internal = self._gap_len[self._gap_bounds[proc]:
                                  self._gap_bounds[proc + 1]]
         t = float(self._proc_last[proc])
         tol = 1e-9 * max(1.0, abs(t))
-        if horizon < t - tol:
+        if horizon_cycles < t - tol:
             raise ValueError(
-                f"horizon {horizon:g} is before processor {proc}'s last "
-                f"finish {t:g}")
-        if horizon > t + tol:
-            return np.append(internal, horizon - t)
+                f"horizon {horizon_cycles:g} is before processor "
+                f"{proc}'s last finish {t:g}")
+        if horizon_cycles > t + tol:
+            return np.append(internal, horizon_cycles - t)
         return internal
 
     def required_reference_frequency(self, deadlines: np.ndarray) -> float:

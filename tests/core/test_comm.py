@@ -1,6 +1,5 @@
 """Tests for the communication-aware extension."""
 
-import numpy as np
 import pytest
 
 from repro.comm.heuristics import comm_lamps

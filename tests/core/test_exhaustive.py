@@ -7,7 +7,6 @@ from repro.core.exhaustive import enumerate_schedules, \
     optimal_single_frequency
 from repro.core import lamps, lamps_ps, limit_mf
 from repro.graphs.analysis import critical_path_length
-from repro.graphs.dag import TaskGraph
 from repro.graphs.generators import chain, independent_tasks, \
     stg_random_graph
 from repro.sched.validate import validate_schedule

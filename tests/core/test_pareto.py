@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.core.pareto import FrontPoint, energy_deadline_front, \
-    knee_point
+from repro.core.pareto import energy_deadline_front, knee_point
 from repro.graphs import load_bundled
 
 

@@ -1,6 +1,5 @@
 """Tests for the trace-level simulator (states, traces, engine)."""
 
-import numpy as np
 import pytest
 
 from repro.core import default_platform, lamps_ps, schedule_energy, sns

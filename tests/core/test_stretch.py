@@ -1,6 +1,5 @@
 """Tests for schedule stretching (frequency selection)."""
 
-import numpy as np
 import pytest
 
 from repro.core.stretch import feasible_points, required_frequency, \

@@ -14,7 +14,6 @@ from repro.graphs.analysis import (
     top_levels,
     total_work,
 )
-from repro.graphs.dag import TaskGraph
 from repro.graphs.generators import chain, fork_join, independent_tasks
 
 

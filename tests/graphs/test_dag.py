@@ -1,6 +1,5 @@
 """Tests for the TaskGraph DAG structure."""
 
-import numpy as np
 import pytest
 
 from repro.graphs.dag import CycleError, TaskGraph

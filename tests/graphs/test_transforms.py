@@ -9,7 +9,7 @@ from repro.graphs.analysis import (
     total_work,
 )
 from repro.graphs.dag import TaskGraph
-from repro.graphs.generators import chain, fork_join, stg_random_graph
+from repro.graphs.generators import chain, stg_random_graph
 from repro.graphs.transforms import (
     linear_cluster,
     merge_graphs,

@@ -1,7 +1,5 @@
 """End-to-end integration tests across the whole stack."""
 
-import numpy as np
-import pytest
 
 from repro.core.api import schedule
 from repro.core.platform import Platform, default_platform

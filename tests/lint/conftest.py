@@ -1,0 +1,26 @@
+"""Shared helpers for the lint-engine tests."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+_EXPECT = re.compile(r"#\s*expect:\s*([A-Z0-9, ]+)")
+
+
+def expected_markers(path: Path) -> list:
+    """``(line, code)`` pairs from the ``# expect: CODE`` markers."""
+    out = []
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        m = _EXPECT.search(line)
+        if m:
+            for code in m.group(1).split(","):
+                out.append((lineno, code.strip()))
+    return sorted(out)
+
+
+@pytest.fixture
+def fixtures_dir() -> Path:
+    return FIXTURES

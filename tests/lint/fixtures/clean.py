@@ -1,0 +1,11 @@
+"""Fixture: a module with no findings under any scope."""
+
+import time
+
+
+def elapsed_seconds(t0: float) -> float:
+    return time.perf_counter() - t0
+
+
+def pick(rng, items: list):
+    return items[rng.integers(len(items))]

@@ -1,0 +1,62 @@
+"""Fixture: every determinism rule fires at the marked lines."""
+
+import random
+import time
+
+import numpy as np
+from random import gauss  # expect: DET001
+from numpy.random import rand  # expect: DET001
+from time import time as _wall  # expect: DET002
+from os import environ  # expect: DET003
+
+
+def draw() -> float:
+    return random.random()  # expect: DET001
+
+
+def draw_np() -> float:
+    return np.random.rand()  # expect: DET001
+
+
+def unseeded_generators() -> None:
+    random.Random()  # expect: DET001
+    np.random.default_rng()  # expect: DET001
+    np.random.RandomState()  # expect: DET001
+
+
+def seeded_generators_are_fine(seed: int) -> None:
+    random.Random(seed)
+    np.random.default_rng(seed)
+    np.random.default_rng(seed=seed)
+    np.random.SeedSequence(entropy=seed)
+
+
+def stamp() -> float:
+    return time.time()  # expect: DET002
+
+
+def monotonic_is_fine() -> float:
+    return time.perf_counter()
+
+
+def config() -> str:
+    import os
+    return os.environ["HOME"]  # expect: DET003
+
+
+def getenv_too() -> "str | None":
+    import os
+    return os.getenv("HOME")  # expect: DET003
+
+
+def set_order(items: list) -> list:
+    out = []
+    for x in {1, 2, 3}:  # expect: DET004
+        out.append(x)
+    out += [y for y in set(items)]  # expect: DET004
+    out += list({*items} - {1})  # expect: DET004
+    return out
+
+
+def sorted_sets_are_fine(items: list) -> list:
+    return sorted(set(items))

@@ -1,0 +1,39 @@
+"""Fixture: kernel-discipline rules fire at the marked lines."""
+
+
+def bypass_constructor(Schedule, graph):
+    s = Schedule.__new__(Schedule)  # expect: KER001
+    s._init_arrays(graph)  # expect: KER001
+    t = object.__new__(Schedule)  # expect: KER001
+    t._materialize()  # expect: KER001
+    return s, t
+
+
+def blessed_is_fine(Schedule, graph, placements, arrays):
+    a = Schedule(graph, 2, placements)
+    b = Schedule.from_arrays(graph, 2, *arrays)
+    return a, b
+
+
+def mutate(sched, value):
+    sched._starts[0] = value  # expect: KER002
+    sched.start_times[1] = value  # expect: KER002
+    sched._proc_busy += value  # expect: KER002
+    sched.finish_times = value  # expect: KER002
+    del sched._procs  # expect: KER002
+    sched._order.setflags(write=True)  # expect: KER002
+    return sched
+
+
+def thaw(arr):
+    arr.setflags(write=True)  # expect: KER002
+    arr.setflags(write=False)  # freezing your own array is fine
+    return arr
+
+
+def scalar_energy(schedule_energy, sched, point, deadline_seconds):
+    return schedule_energy(sched, point, deadline_seconds)  # expect: KER003
+
+
+def sweep_is_fine(schedule_energy_sweep, sched, points, deadline_seconds):
+    return schedule_energy_sweep(sched, points, deadline_seconds)[0]

@@ -1,0 +1,25 @@
+"""Fixture: noqa suppressions — used, bare, unused and unknown."""
+
+import random
+import time
+
+
+def suppressed_draw() -> float:
+    return random.random()  # repro: noqa[DET001]
+
+
+def bare_suppression() -> float:
+    return time.time()  # repro: noqa
+
+
+def multi_code() -> float:
+    x_seconds = time.time()  # repro: noqa[DET002,UNIT003]
+    return x_seconds
+
+
+def clean_line() -> int:
+    return 1  # repro: noqa[DET001]  # expect: LINT001
+
+
+def unknown_code() -> int:
+    return 2  # repro: noqa[NOPE999]  # expect: LINT002

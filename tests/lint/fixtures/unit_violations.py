@@ -1,0 +1,64 @@
+"""Fixture: unit-safety rules fire at the marked lines."""
+
+
+def stretch(deadline: float) -> float:  # expect: UNIT001
+    return deadline * 2.0
+
+
+def window(horizon, idle_power):  # expect: UNIT001, UNIT001
+    return horizon * idle_power
+
+
+def suffixed_is_fine(deadline_cycles: float,
+                     idle_power_watts: float) -> float:
+    return deadline_cycles * idle_power_watts
+
+
+def plural_vector_is_fine(deadlines: list) -> list:
+    return deadlines
+
+
+def canonical_symbols_are_fine(vdd: float, vbs: float, f: float) -> float:
+    return vdd + vbs + f
+
+
+def ratios_are_fine(cycles_per_period: float) -> float:
+    return cycles_per_period
+
+
+def total_energy(n: int) -> float:  # expect: UNIT002
+    return float(n)
+
+
+def total_energy_joules(n: int) -> float:
+    return float(n)
+
+
+def documented_energy(n: int) -> float:
+    """Energy of ``n`` somethings (J)."""
+    return float(n)
+
+
+def _private_energy(n: int) -> float:
+    return float(n)
+
+
+def mixed(x_seconds: float, y_cycles: float) -> float:
+    bad = x_seconds + y_cycles  # expect: UNIT003
+    worse = x_seconds < y_cycles  # expect: UNIT003
+    fine_product = x_seconds * y_cycles
+    fine_same = x_seconds + x_seconds
+    return bad + float(worse) + fine_product + fine_same
+
+
+class Model:
+    def latency(self, interval: float) -> float:  # expect: UNIT001, UNIT002
+        return interval
+
+    def _internal(self, duration: float) -> float:
+        return duration
+
+
+class _Hidden:
+    def voltage(self, period: float) -> float:
+        return period

@@ -1,0 +1,119 @@
+"""Engine behaviour: noqa suppressions, select/ignore, CLI contract."""
+
+import json
+
+import pytest
+
+from repro.lint import LintConfig, run_lint
+from repro.lint.cli import main
+from repro.lint.finding import Finding, Suppression
+
+from .conftest import FIXTURES, expected_markers
+
+ALL_SCOPES = LintConfig(all_scopes=True)
+
+
+def pairs(findings):
+    return sorted((f.line, f.code) for f in findings)
+
+
+class TestSuppressions:
+    def test_used_unused_and_unknown(self):
+        # suppressed.py carries one finding per suppression except the
+        # deliberately stale noqa[DET001] (-> LINT001) and the unknown
+        # code noqa[NOPE999] (-> LINT002).
+        path = FIXTURES / "suppressed.py"
+        findings = run_lint([path], ALL_SCOPES)
+        assert pairs(findings) == expected_markers(path)
+        assert {f.code for f in findings} == {"LINT001", "LINT002"}
+
+    def test_no_noqa_shows_everything(self):
+        config = LintConfig(all_scopes=True, respect_noqa=False)
+        findings = run_lint([FIXTURES / "suppressed.py"], config)
+        assert pairs(findings) == [(8, "DET001"), (12, "DET002"),
+                                   (16, "DET002")]
+
+    def test_narrow_select_keeps_foreign_noqa_quiet(self):
+        # A --select that skips DET001 must not call the noqa[DET001]
+        # comments stale; the unknown-code finding still surfaces.
+        config = LintConfig(select=frozenset({"KER001"}),
+                            all_scopes=True)
+        findings = run_lint([FIXTURES / "suppressed.py"], config)
+        assert pairs(findings) == [(25, "LINT002")]
+
+    def test_suppression_matches_same_line_only(self):
+        sup = Suppression(path="x.py", line=8,
+                          codes=frozenset({"DET001"}), col=0)
+        on_line = Finding(code="DET001", message="m", path="x.py",
+                          line=8, col=0)
+        next_line = Finding(code="DET001", message="m", path="x.py",
+                            line=9, col=0)
+        other_code = Finding(code="DET002", message="m", path="x.py",
+                             line=8, col=0)
+        assert sup.matches(on_line)
+        assert not sup.matches(next_line)
+        assert not sup.matches(other_code)
+
+    def test_bare_suppression_matches_any_code(self):
+        sup = Suppression(path="x.py", line=3, codes=None, col=0)
+        assert sup.matches(Finding(code="KER002", message="m",
+                                   path="x.py", line=3, col=0))
+
+
+class TestCli:
+    def test_clean_file_exits_zero(self, capsys):
+        rc = main([str(FIXTURES / "clean.py"), "--all-scopes"])
+        assert rc == 0
+        assert "clean: no findings" in capsys.readouterr().out
+
+    def test_findings_exit_one_with_summary(self, capsys):
+        rc = main([str(FIXTURES / "det_violations.py"), "--all-scopes",
+                   "--select", "DET001"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out
+        assert "findings in 1 file" in out
+
+    def test_json_format(self, capsys):
+        rc = main([str(FIXTURES / "det_violations.py"), "--all-scopes",
+                   "--select", "DET001", "--format", "json"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload and all(f["code"] == "DET001" for f in payload)
+        assert {"code", "message", "path", "line", "col"} <= \
+            set(payload[0])
+
+    def test_unknown_select_code_is_usage_error(self, capsys):
+        assert main(["--select", "NOPE123"]) == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert main(["does/not/exist.py"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_list_rules_names_every_family(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("DET001", "DET002", "DET003", "DET004",
+                     "UNIT001", "UNIT002", "UNIT003",
+                     "KER001", "KER002", "KER003"):
+            assert code in out
+
+    def test_ignore_drops_a_family(self, capsys):
+        rc = main([str(FIXTURES / "det_violations.py"), "--all-scopes",
+                   "--ignore", "DET001,DET002,DET003,DET004"])
+        assert rc == 0
+
+
+def test_parse_error_is_reported(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def oops(:\n")
+    findings = run_lint([bad], ALL_SCOPES)
+    assert [f.code for f in findings] == ["LINT000"]
+
+
+@pytest.mark.parametrize("fmt", ["human", "json"])
+def test_findings_are_sorted(fmt):
+    findings = run_lint([FIXTURES], ALL_SCOPES)
+    keys = [(f.path, f.line, f.col, f.code) for f in findings]
+    assert keys == sorted(keys)

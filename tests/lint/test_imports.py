@@ -1,0 +1,87 @@
+"""Static import graph: module naming, edges, reachability."""
+
+from pathlib import Path
+
+from repro.lint.imports import ModuleGraph, module_name_for
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+
+
+def test_module_name_for_package_member():
+    assert module_name_for(SRC / "repro" / "exec" / "cache.py") == \
+        "repro.exec.cache"
+    assert module_name_for(SRC / "repro" / "__init__.py") == "repro"
+
+
+def test_module_name_for_loose_file(tmp_path):
+    loose = tmp_path / "standalone.py"
+    loose.write_text("x = 1\n")
+    assert module_name_for(loose) == "standalone"
+
+
+def _graph(tmp_path, files):
+    paths = []
+    for rel, text in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        paths.append(path)
+    return ModuleGraph.build(paths)
+
+
+def test_relative_import_in_plain_module(tmp_path):
+    graph = _graph(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/a.py": "from .b import thing\n",
+        "pkg/b.py": "thing = 1\n",
+    })
+    assert "pkg.b" in graph.reachable_from(["pkg.a"])
+
+
+def test_relative_import_in_package_init(tmp_path):
+    # Regression: ``from .log import X`` inside pkg/__init__.py targets
+    # pkg.log, not the sibling of pkg.  Getting the level arithmetic
+    # wrong silently drops pkg.log from every reachable set.
+    graph = _graph(tmp_path, {
+        "pkg/__init__.py": "from .log import Logger\n",
+        "pkg/log.py": "class Logger: pass\n",
+    })
+    assert "pkg.log" in graph.reachable_from(["pkg"])
+
+
+def test_two_level_relative_import(tmp_path):
+    graph = _graph(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/util.py": "x = 1\n",
+        "pkg/sub/__init__.py": "",
+        "pkg/sub/mod.py": "from ..util import x\n",
+    })
+    assert "pkg.util" in graph.reachable_from(["pkg.sub.mod"])
+
+
+def test_reachability_is_transitive_and_bounded(tmp_path):
+    graph = _graph(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/root.py": "import pkg.mid\n",
+        "pkg/mid.py": "from pkg import leaf\n",
+        "pkg/leaf.py": "x = 1\n",
+        "pkg/island.py": "y = 2\n",
+    })
+    reachable = graph.reachable_from(["pkg.root"])
+    assert {"pkg.root", "pkg.mid", "pkg.leaf"} <= reachable
+    assert "pkg.island" not in reachable
+
+
+def test_real_tree_reaches_obs_log():
+    # The observability log feeds the runner (and thus the cache
+    # layer); the wall-clock rule must see it.  This held only after
+    # the package-__init__ relative-import fix above.
+    files = [p for p in (SRC / "repro").rglob("*.py")
+             if "__pycache__" not in p.parts]
+    graph = ModuleGraph.build(files)
+    reachable = graph.reachable_from(
+        ["repro.exec.cache", "repro.experiments.reporting"])
+    assert "repro.exec.cache" in reachable
+    assert "repro.obs.log" in reachable
+    assert "repro.sched.schedule" in reachable

@@ -1,0 +1,22 @@
+"""The codebase ships lint-clean: ``repro lint src/`` finds nothing."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint import LintConfig, run_lint
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_src_tree_is_clean():
+    findings = run_lint([REPO / "src"], LintConfig())
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_tools_wrapper_exits_zero():
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "lint.py"), "src"],
+        cwd=REPO, capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean: no findings" in proc.stdout

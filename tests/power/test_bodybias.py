@@ -53,12 +53,12 @@ class TestOptimalBodyBias:
         m = PowerModel()
         vdd = 0.8
         floor = float(m.frequency(vdd))  # the fixed-bias speed
-        vbs = optimal_body_bias(TECH_70NM, vdd, min_frequency=floor)
+        vbs = optimal_body_bias(TECH_70NM, vdd, min_frequency_hz=floor)
         assert m.frequency(vdd, vbs) >= floor * (1 - 1e-9)
 
     def test_impossible_floor_raises(self):
         with pytest.raises(ValueError, match="no feasible"):
-            optimal_body_bias(TECH_70NM, 0.5, min_frequency=1e12)
+            optimal_body_bias(TECH_70NM, 0.5, min_frequency_hz=1e12)
 
     def test_bad_grid_raises(self):
         with pytest.raises(ValueError):

@@ -3,8 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.power.dvs import DVSLadder, OperatingPoint, \
-    continuous_critical_frequency
+from repro.power.dvs import DVSLadder, continuous_critical_frequency
 from repro.power.model import PowerModel
 from repro.power.technology import TECH_70NM
 

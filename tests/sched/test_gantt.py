@@ -22,10 +22,10 @@ class TestRenderGantt:
 
     def test_horizon_extends_axis(self, diamond):
         s = list_schedule(diamond, 2, task_deadlines(diamond, 100.0))
-        long = render_gantt(s, horizon=20.0)
+        long = render_gantt(s, horizon_cycles=20.0)
         assert "= 20" in long
 
     def test_zero_span_raises(self, diamond):
         s = list_schedule(diamond, 2, task_deadlines(diamond, 100.0))
         with pytest.raises(ValueError):
-            render_gantt(s, horizon=0.0)
+            render_gantt(s, horizon_cycles=0.0)

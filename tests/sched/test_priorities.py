@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.graphs.generators import chain
 from repro.sched.deadlines import task_deadlines
 from repro.sched.priorities import PRIORITY_POLICIES, priority_keys, \
     random_policy

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.graphs.dag import TaskGraph
 from repro.sched.schedule import Placement, Schedule
 
 

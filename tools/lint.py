@@ -1,0 +1,23 @@
+#!/usr/bin/env python3
+"""Run the project lint pass (thin wrapper over ``repro lint``).
+
+Usage mirrors the CLI subcommand::
+
+    python tools/lint.py src/            # lint the tree
+    python tools/lint.py --list-rules    # show the rule table
+
+The wrapper makes ``src/`` importable so CI can run it without an
+installed package.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.lint.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
