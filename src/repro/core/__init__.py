@@ -3,6 +3,7 @@ the :func:`schedule` facade.
 """
 
 from .api import deadline_from_factor, evaluate_all, schedule
+from .batch import ScheduleBatch, SweepRequest, batch_energy_sweep
 from .energy import EnergyBreakdown, schedule_energy, schedule_energy_sweep
 from .exhaustive import enumerate_schedules, optimal_single_frequency
 from .lamps import energy_vs_processors, lamps, lamps_ps, lamps_search
@@ -12,7 +13,7 @@ from .pareto import FrontPoint, energy_deadline_front, knee_point
 from .platform import Platform, default_platform
 from .results import Heuristic, InfeasibleScheduleError, ScheduleResult
 from .sns import schedule_and_stretch, sns, sns_ps
-from .suite import paper_suite
+from .suite import paper_suite, paper_suite_batch
 
 __all__ = [
     "schedule",
@@ -24,6 +25,9 @@ __all__ = [
     "EnergyBreakdown",
     "schedule_energy",
     "schedule_energy_sweep",
+    "ScheduleBatch",
+    "SweepRequest",
+    "batch_energy_sweep",
     "Platform",
     "default_platform",
     "sns",
@@ -36,6 +40,7 @@ __all__ = [
     "limit_sf",
     "limit_mf",
     "paper_suite",
+    "paper_suite_batch",
     "MultiFreqResult",
     "per_processor_stretch",
     "optimal_single_frequency",

@@ -38,6 +38,28 @@ from ..sched.schedule import Schedule
 __all__ = ["EnergyBreakdown", "schedule_energy", "schedule_energy_sweep"]
 
 
+def _makespan_error(makespan: float, horizon_cycles: float,
+                    frequency_hz: float) -> ValueError:
+    """The exact infeasible-window error all evaluators must raise.
+
+    Shared by :func:`schedule_energy`, :func:`schedule_energy_sweep`
+    and :func:`repro.core.batch.batch_energy_sweep` so the three paths
+    cannot drift apart in message text.
+    """
+    return ValueError(
+        f"schedule makespan {makespan:g} cycles exceeds the "
+        f"deadline window {horizon_cycles:g} cycles at "
+        f"{frequency_hz/1e9:.3f} GHz")
+
+
+def _horizon_error(horizon_cycles: float, proc: int,
+                   last_finish_cycles: float) -> ValueError:
+    """The exact early-horizon error (see :meth:`Schedule.gap_lengths`)."""
+    return ValueError(
+        f"horizon {horizon_cycles:g} is before processor "
+        f"{proc}'s last finish {last_finish_cycles:g}")
+
+
 @dataclass(frozen=True, slots=True)
 class EnergyBreakdown:
     """Where a schedule's energy goes (joules).
@@ -104,10 +126,7 @@ def schedule_energy(schedule: Schedule, point: OperatingPoint,
     f = point.frequency
     horizon_cycles = deadline_seconds * f
     if schedule.makespan > horizon_cycles * (1.0 + 1e-9):
-        raise ValueError(
-            f"schedule makespan {schedule.makespan:g} cycles exceeds the "
-            f"deadline window {horizon_cycles:g} cycles at "
-            f"{f/1e9:.3f} GHz")
+        raise _makespan_error(schedule.makespan, horizon_cycles, f)
 
     busy = 0.0
     idle = 0.0
@@ -182,15 +201,12 @@ def schedule_energy_sweep(
     bad = horizons[:, None] < (t_arr - 1e-9 * np.maximum(1.0, np.abs(t_arr)))
     for j in range(m):
         if makespan > horizons[j] * (1.0 + 1e-9):
-            raise ValueError(
-                f"schedule makespan {makespan:g} cycles exceeds the "
-                f"deadline window {horizons[j]:g} cycles at "
-                f"{freqs[j]/1e9:.3f} GHz")
+            raise _makespan_error(makespan, float(horizons[j]),
+                                  float(freqs[j]))
         if bad[j].any():
             k = int(np.argmax(bad[j]))
-            raise ValueError(
-                f"horizon {horizons[j]:g} is before processor "
-                f"{employed[k]}'s last finish {t_arr[k]:g}")
+            raise _horizon_error(float(horizons[j]), employed[k],
+                                 float(t_arr[k]))
 
     busy_v = np.zeros(m)
     idle_v = np.zeros(m)

@@ -197,20 +197,22 @@ def lamps_search(
     return result
 
 
-def _best_operating_point(
+def _candidate_points(
         schedule: Schedule, f_req: float,
         platform: Platform, deadline_seconds: float,
         sleep: Optional[SleepModel],
         log: Optional[AuditLog] = None,
         o: Optional[Union[ObsLog, NullObs]] = None,
-) -> Tuple[EnergyBreakdown, OperatingPoint]:
-    """Best (energy, point) for a fixed schedule.
+) -> "list[OperatingPoint]":
+    """The ladder points a search evaluates for a fixed schedule.
 
-    Without PS: the maximally stretched point (the paper stretches to
-    finish "as close as possible to the deadline").  With PS: the best
-    point over the whole feasible range (Fig. 8's inner loop).
-    ``o`` is an already-normalised obs recorder (``ObsLog`` or
-    ``NULL_OBS``) counting the points evaluated.
+    Without PS: the single maximally stretched point (the paper
+    stretches to finish "as close as possible to the deadline").  With
+    PS: the whole feasible range (Fig. 8's inner loop).  Feasibility
+    checks, obs counters and audit counters all happen here — energy
+    does not enter the control flow, which is what lets the batched
+    campaign path (:func:`repro.core.suite.paper_suite_batch`) plan
+    every sweep up front and evaluate them together.
 
     Raises:
         InfeasibleScheduleError: no ladder point meets ``f_req`` (e.g.
@@ -229,9 +231,7 @@ def _best_operating_point(
         o.count("core.operating_points_evaluated")
         if log is not None:
             log.operating_points_evaluated += 1
-        sweep = schedule_energy_sweep(schedule, [point],
-                                      deadline_seconds)
-        return sweep[0], point
+        return [point]
     points = feasible_points(platform.ladder, f_req)
     if not points:
         raise InfeasibleScheduleError(
@@ -242,11 +242,45 @@ def _best_operating_point(
     o.count("core.operating_points_evaluated", len(points))
     if log is not None:
         log.operating_points_evaluated += len(points)
-    # One-shot ladder sweep over the schedule's precomputed gap arrays;
-    # bitwise-identical to a per-point schedule_energy loop.
+    return list(points)
+
+
+def _select_best(
+        breakdowns: "list[EnergyBreakdown]",
+        points: "list[OperatingPoint]",
+) -> Tuple[EnergyBreakdown, OperatingPoint]:
+    """The least-energy (energy, point) pair; ties keep the first.
+
+    The tie-break is load-bearing for byte identity: ``min`` keeps the
+    earliest minimal candidate, exactly like the historical per-point
+    loop, so the serial and batched paths pick the same point.
+    """
+    return min(zip(breakdowns, points), key=lambda c: c[0].total)
+
+
+def _best_operating_point(
+        schedule: Schedule, f_req: float,
+        platform: Platform, deadline_seconds: float,
+        sleep: Optional[SleepModel],
+        log: Optional[AuditLog] = None,
+        o: Optional[Union[ObsLog, NullObs]] = None,
+) -> Tuple[EnergyBreakdown, OperatingPoint]:
+    """Best (energy, point) for a fixed schedule.
+
+    ``_candidate_points`` decides *what* to evaluate (and counts it),
+    one :func:`~repro.core.energy.schedule_energy_sweep` evaluates the
+    ladder bitwise-identically to a per-point scalar loop, and
+    ``_select_best`` picks the winner.  ``o`` is an already-normalised
+    obs recorder (``ObsLog`` or ``NULL_OBS``).
+
+    Raises:
+        InfeasibleScheduleError: no ladder point meets ``f_req``.
+    """
+    points = _candidate_points(schedule, f_req, platform,
+                               deadline_seconds, sleep, log, o)
     breakdowns = schedule_energy_sweep(schedule, points, deadline_seconds,
                                        sleep=sleep)
-    return min(zip(breakdowns, points), key=lambda c: c[0].total)
+    return _select_best(breakdowns, points)
 
 
 def lamps(graph: TaskGraph, deadline_cycles: float, **kwargs) -> ScheduleResult:

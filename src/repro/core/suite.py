@@ -9,35 +9,46 @@ sharing matters — profiling shows list scheduling dominates the runtime,
 exactly as the paper's complexity analysis (``T_LAMPS ~ #schedules *
 T_ls``) predicts.
 
-Every ladder search here goes through
-:func:`repro.core.lamps._best_operating_point`, which evaluates the
-whole feasible ladder in one vectorized
-:func:`~repro.core.energy.schedule_energy_sweep` call over the
-array-native schedule kernel (see DESIGN.md, "Why one sweep is exact").
+The suite is organised as a *plan/finish* split: ``_plan_suite`` runs
+all control flow — schedule construction, feasibility checks, LAMPS
+phase 1 and the phase-2 processor-count walk — and emits the ordered
+list of ladder sweeps the searches need, without evaluating any energy
+(control flow is energy-independent; see DESIGN.md, "Why batched padded
+sweeps are exact").  ``_finish_suite`` turns the sweep results back into
+the six :class:`~repro.core.results.ScheduleResult` entries with the
+historical tie-breaking.  :func:`paper_suite` glues the two with one
+:func:`~repro.core.energy.schedule_energy_sweep` per planned sweep;
+:func:`paper_suite_batch` evaluates a whole chunk of instances' plans in
+a single :func:`~repro.core.batch.batch_energy_sweep` broadcast — both
+paths share the plan and finish code, so they cannot drift apart.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, Mapping, Optional, Union
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, \
+    Tuple, Union
 
 from ..audit.invariants import audit_intermediate_schedule, audit_result
 from ..audit.report import AuditLog
 from ..graphs.dag import TaskGraph
 from ..obs import NullObs, ObsLog, live
 from ..power.dvs import OperatingPoint
+from ..power.shutdown import SleepModel
 from ..sched.deadlines import task_deadlines
 from ..sched.list_scheduler import list_schedule
 from ..sched.priorities import PriorityPolicy
 from ..sched.schedule import Schedule
+from .batch import ScheduleBatch, SweepRequest, batch_energy_sweep
 from .energy import EnergyBreakdown, schedule_energy_sweep
-from .lamps import _best_operating_point
+from .lamps import _candidate_points, _select_best
 from .limits import limit_mf, limit_sf
 from .platform import Platform, default_platform
 from .results import Heuristic, InfeasibleScheduleError, ScheduleResult
 from .stretch import required_frequency, stretch_point
 
-__all__ = ["paper_suite"]
+__all__ = ["paper_suite", "paper_suite_batch"]
 
 
 def paper_suite(
@@ -71,7 +82,47 @@ def paper_suite(
                             strict=strict, audit=audit, obs=obs, o=o)
 
 
-def _paper_suite(
+@dataclass
+class _PlannedSweep:
+    """One deferred ladder sweep a suite plan wants evaluated.
+
+    ``schedule_energy_sweep(schedule, points, deadline_seconds,
+    sleep=sleep)`` — or its batched equivalent — produces the
+    breakdown list ``_finish_suite`` consumes.
+    """
+
+    schedule: Schedule
+    points: Tuple[OperatingPoint, ...]
+    sleep: Optional[SleepModel]
+
+
+@dataclass
+class _SuitePlan:
+    """Everything ``_finish_suite`` needs besides the sweep energies.
+
+    ``sweeps`` is ordered exactly as the historical serial suite
+    evaluated them (SNS, SNS+PS, then plain/PS pairs per feasible
+    phase-2 processor count), so evaluating them in order — serially or
+    batched — reproduces the historical floating-point story verbatim.
+    ``phase2`` holds ``(plain index, ps index, schedule)`` triples in
+    ascending processor-count order.
+    """
+
+    graph: TaskGraph
+    deadline_cycles: float
+    deadline_seconds: float
+    deadlines: object  # per-task deadline array (np.ndarray)
+    platform: Platform
+    deadline_overrides: Optional[Mapping[Hashable, float]]
+    log: Optional[AuditLog]
+    s_full: Schedule
+    sweeps: List[_PlannedSweep] = field(default_factory=list)
+    sns: int = -1
+    sns_ps: int = -1
+    phase2: List[Tuple[int, int, Schedule]] = field(default_factory=list)
+
+
+def _plan_suite(
     graph: TaskGraph,
     deadline_cycles: float,
     *,
@@ -82,7 +133,16 @@ def _paper_suite(
     audit: Optional[AuditLog],
     obs: Optional[ObsLog],
     o: Union[ObsLog, NullObs],
-) -> Dict[Heuristic, ScheduleResult]:
+) -> _SuitePlan:
+    """Run the suite's control flow; emit the sweeps it needs.
+
+    Builds every schedule, runs the feasibility checks, LAMPS phase 1
+    and the phase-2 walk, and raises the exact
+    :class:`~repro.core.results.InfeasibleScheduleError` the historical
+    suite raised, in the same order — none of which needs an energy
+    value.  Energy evaluation is deferred to the returned plan's
+    ``sweeps``.
+    """
     platform = platform or default_platform()
     d = task_deadlines(graph, deadline_cycles, overrides=deadline_overrides)
     deadline_seconds = platform.seconds(deadline_cycles)
@@ -99,19 +159,20 @@ def _paper_suite(
                     cache[n], log, f"{graph.name or 'graph'}[n={n}]")
         return cache[n]
 
-    def result(heuristic: Heuristic, energy: EnergyBreakdown,
-               point: OperatingPoint, s: Schedule) -> ScheduleResult:
-        return ScheduleResult(
-            heuristic=heuristic, graph_name=graph.name, energy=energy,
-            point=point, n_processors=s.employed_processors,
-            deadline_cycles=float(deadline_cycles),
-            deadline_seconds=deadline_seconds, schedule=s)
-
-    out: Dict[Heuristic, ScheduleResult] = {}
-
     # ---- S&S family: one schedule on |V| processors ----------------------
     with o.span("suite.sns_family", category="suite", graph=graph.name):
         s_full = sched(graph.n)
+        plan = _SuitePlan(
+            graph=graph, deadline_cycles=deadline_cycles,
+            deadline_seconds=deadline_seconds, deadlines=d,
+            platform=platform, deadline_overrides=deadline_overrides,
+            log=log, s_full=s_full)
+
+        def add(s: Schedule, points: Sequence[OperatingPoint],
+                sleep: Optional[SleepModel]) -> int:
+            plan.sweeps.append(_PlannedSweep(s, tuple(points), sleep))
+            return len(plan.sweeps) - 1
+
         f_req = required_frequency(s_full, d, platform.fmax)
         if f_req > platform.fmax * (1.0 + 1e-9):
             raise InfeasibleScheduleError(
@@ -120,16 +181,12 @@ def _paper_suite(
         o.count("core.operating_points_evaluated")
         if log is not None:
             log.operating_points_evaluated += 1
-        out[Heuristic.SNS] = result(
-            Heuristic.SNS,
-            schedule_energy_sweep(s_full, [point],
-                                  deadline_seconds)[0],
-            point, s_full)
-        e_ps, p_ps = _best_operating_point(
-            s_full, f_req, platform, deadline_seconds, platform.sleep,
-            log, o)
-        out[Heuristic.SNS_PS] = result(Heuristic.SNS_PS, e_ps, p_ps,
-                                       s_full)
+        plan.sns = add(s_full, [point], None)
+        plan.sns_ps = add(
+            s_full,
+            _candidate_points(s_full, f_req, platform, deadline_seconds,
+                              platform.sleep, log, o),
+            platform.sleep)
 
     # ---- LAMPS family: shared processor-count sweep ----------------------
     with o.span("suite.lamps_phase1", category="suite",
@@ -159,23 +216,19 @@ def _paper_suite(
 
     with o.span("suite.lamps_phase2", category="suite",
                 graph=graph.name, n_min=n_min):
-        best_plain: Optional[tuple] = None
-        best_ps: Optional[tuple] = None
         prev_makespan = math.inf
         for n in range(n_min, graph.n + 1):
             s = sched(n)
             fr = required_frequency(s, d, platform.fmax)
             if fr <= platform.fmax * (1.0 + 1e-9):
-                e, p = _best_operating_point(s, fr, platform,
-                                             deadline_seconds, None,
-                                             log, o)
-                if best_plain is None or e.total < best_plain[0].total:
-                    best_plain = (e, p, s)
-                e, p = _best_operating_point(s, fr, platform,
-                                             deadline_seconds,
-                                             platform.sleep, log, o)
-                if best_ps is None or e.total < best_ps[0].total:
-                    best_ps = (e, p, s)
+                plain_i = add(
+                    s, _candidate_points(s, fr, platform, deadline_seconds,
+                                         None, log, o), None)
+                ps_i = add(
+                    s, _candidate_points(s, fr, platform, deadline_seconds,
+                                         platform.sleep, log, o),
+                    platform.sleep)
+                plan.phase2.append((plain_i, ps_i, s))
                 if s.makespan >= prev_makespan - 1e-9:
                     break  # plateau on a feasible count ends the sweep
             else:
@@ -186,30 +239,210 @@ def _paper_suite(
             # and never let an infeasible (anomalous) count end the
             # sweep.
             prev_makespan = s.makespan
-        # The fully spread schedule is a valid +PS candidate (Fig. 8's
-        # Nmax); it can beat packed configurations because long gaps
-        # sleep cheaply.
-        if best_ps is None or e_ps.total < best_ps[0].total:
-            best_ps = (e_ps, p_ps, s_full)
-        assert best_plain is not None and best_ps is not None
-        out[Heuristic.LAMPS] = result(Heuristic.LAMPS, *best_plain)
-        out[Heuristic.LAMPS_PS] = result(Heuristic.LAMPS_PS, *best_ps)
+    return plan
+
+
+def _finish_suite(
+    plan: _SuitePlan,
+    energies: Sequence[List[EnergyBreakdown]],
+    o: Union[ObsLog, NullObs],
+) -> Dict[Heuristic, ScheduleResult]:
+    """Turn a plan's sweep energies into the six suite results.
+
+    ``energies[i]`` must be the breakdown list of ``plan.sweeps[i]`` —
+    from :func:`~repro.core.energy.schedule_energy_sweep` or the
+    batched equivalent, which agree bitwise.  Selection replays the
+    historical tie-breaking exactly: ``min`` keeps the first minimal
+    ladder point, cross-count comparison keeps the earlier processor
+    count on ties, and the fully spread +PS candidate only displaces a
+    strictly worse phase-2 winner.
+    """
+    graph = plan.graph
+    platform = plan.platform
+    log = plan.log
+
+    def result(heuristic: Heuristic, energy: EnergyBreakdown,
+               point: OperatingPoint, s: Schedule) -> ScheduleResult:
+        return ScheduleResult(
+            heuristic=heuristic, graph_name=graph.name, energy=energy,
+            point=point, n_processors=s.employed_processors,
+            deadline_cycles=float(plan.deadline_cycles),
+            deadline_seconds=plan.deadline_seconds, schedule=s)
+
+    def best(i: int) -> Tuple[EnergyBreakdown, OperatingPoint]:
+        return _select_best(list(energies[i]), list(plan.sweeps[i].points))
+
+    out: Dict[Heuristic, ScheduleResult] = {}
+    e_sns, p_sns = best(plan.sns)
+    out[Heuristic.SNS] = result(Heuristic.SNS, e_sns, p_sns, plan.s_full)
+    e_ps, p_ps = best(plan.sns_ps)
+    out[Heuristic.SNS_PS] = result(Heuristic.SNS_PS, e_ps, p_ps,
+                                   plan.s_full)
+
+    best_plain: Optional[tuple] = None
+    best_ps: Optional[tuple] = None
+    for plain_i, ps_i, s in plan.phase2:
+        e, p = best(plain_i)
+        if best_plain is None or e.total < best_plain[0].total:
+            best_plain = (e, p, s)
+        e, p = best(ps_i)
+        if best_ps is None or e.total < best_ps[0].total:
+            best_ps = (e, p, s)
+    # The fully spread schedule is a valid +PS candidate (Fig. 8's
+    # Nmax); it can beat packed configurations because long gaps sleep
+    # cheaply.
+    if best_ps is None or e_ps.total < best_ps[0].total:
+        best_ps = (e_ps, p_ps, plan.s_full)
+    assert best_plain is not None and best_ps is not None
+    out[Heuristic.LAMPS] = result(Heuristic.LAMPS, *best_plain)
+    out[Heuristic.LAMPS_PS] = result(Heuristic.LAMPS_PS, *best_ps)
 
     # ---- Bounds -----------------------------------------------------------
     with o.span("suite.limits", category="suite", graph=graph.name):
         out[Heuristic.LIMIT_SF] = limit_sf(
-            graph, deadline_cycles, platform=platform,
-            deadline_overrides=deadline_overrides)
+            graph, plan.deadline_cycles, platform=platform,
+            deadline_overrides=plan.deadline_overrides)
         out[Heuristic.LIMIT_MF] = limit_mf(
-            graph, deadline_cycles, platform=platform,
-            deadline_overrides=deadline_overrides)
+            graph, plan.deadline_cycles, platform=platform,
+            deadline_overrides=plan.deadline_overrides)
     if log is not None:
         for h, res in out.items():
             audit_result(
-                res, d, platform, log,
+                res, plan.deadlines, platform, log,
                 sleep=platform.sleep
                 if h in (Heuristic.SNS_PS, Heuristic.LAMPS_PS) else None)
     # Re-key into presentation order.
     order = (Heuristic.SNS, Heuristic.LAMPS, Heuristic.SNS_PS,
              Heuristic.LAMPS_PS, Heuristic.LIMIT_SF, Heuristic.LIMIT_MF)
     return {h: out[h] for h in order}
+
+
+def _paper_suite(
+    graph: TaskGraph,
+    deadline_cycles: float,
+    *,
+    platform: Optional[Platform],
+    policy: Union[str, PriorityPolicy],
+    deadline_overrides: Optional[Mapping[Hashable, float]],
+    strict: bool,
+    audit: Optional[AuditLog],
+    obs: Optional[ObsLog],
+    o: Union[ObsLog, NullObs],
+) -> Dict[Heuristic, ScheduleResult]:
+    plan = _plan_suite(graph, deadline_cycles, platform=platform,
+                       policy=policy,
+                       deadline_overrides=deadline_overrides,
+                       strict=strict, audit=audit, obs=obs, o=o)
+    energies = [
+        schedule_energy_sweep(ps.schedule, list(ps.points),
+                              plan.deadline_seconds, sleep=ps.sleep)
+        for ps in plan.sweeps]
+    return _finish_suite(plan, energies, o)
+
+
+def _annotate_instance_failure(exc: BaseException, index: int,
+                               instance: Tuple[TaskGraph, float]) -> None:
+    """Tag ``exc`` with the chunk-local failing instance, once.
+
+    The pool layer's :func:`repro.exec.pool._identify_failure` respects
+    an existing ``instance_index``, so annotating here — before the
+    exception crosses the chunk boundary — preserves per-instance
+    attribution even though the pool only sees whole chunks.  Callers
+    that know the chunk's global offset rebase the index in flight.
+    """
+    if getattr(exc, "instance_index", None) is not None:
+        return
+    try:
+        item_repr = repr(instance)
+    except Exception:  # a broken repr must not mask the real error
+        item_repr = f"<unreprable {type(instance).__name__}>"
+    if len(item_repr) > 500:
+        item_repr = item_repr[:497] + "..."
+    try:
+        exc.instance_index = index  # type: ignore[attr-defined]
+        exc.instance_repr = item_repr  # type: ignore[attr-defined]
+    except Exception:  # exceptions with __slots__ cannot carry attrs
+        pass
+
+
+def paper_suite_batch(
+    instances: Sequence[Tuple[TaskGraph, float]],
+    *,
+    platform: Optional[Platform] = None,
+    policy: Union[str, PriorityPolicy] = "edf",
+) -> List[Dict[Heuristic, ScheduleResult]]:
+    """:func:`paper_suite` on a chunk of instances, one broadcast sweep.
+
+    Plans every instance sequentially (so any
+    :class:`~repro.core.results.InfeasibleScheduleError` surfaces for
+    the same instance, in the same order, as a serial loop), stacks all
+    distinct planned schedules into one
+    :class:`~repro.core.batch.ScheduleBatch`, evaluates every planned
+    ladder in a single :func:`~repro.core.batch.batch_energy_sweep`
+    call, and finishes each instance from its slice of the results.
+    Bitwise-identical to ``[paper_suite(g, d, ...) for g, d in
+    instances]`` — the differential suites in
+    ``tests/core/test_batch_sweep.py`` and ``tests/exec/`` hold both
+    paths to byte equality.
+
+    Audit/obs knobs are deliberately absent: strict and profiling
+    campaigns use the serial path, whose span nesting reflects real
+    per-instance timing.
+
+    Returns:
+        One heuristic→result dict per instance, in input order.
+    """
+    o = live(None)
+    plans: List[_SuitePlan] = []
+    for i, (graph, deadline) in enumerate(instances):
+        try:
+            plans.append(_plan_suite(
+                graph, deadline, platform=platform, policy=policy,
+                deadline_overrides=None, strict=False, audit=None,
+                obs=None, o=o))
+        except BaseException as exc:
+            _annotate_instance_failure(exc, i, (graph, deadline))
+            raise
+    if not plans:
+        return []
+
+    schedules: List[Schedule] = []
+    index: Dict[int, int] = {}
+    requests: List[SweepRequest] = []
+    for plan in plans:
+        for ps in plan.sweeps:
+            key = id(ps.schedule)
+            if key not in index:
+                index[key] = len(schedules)
+                schedules.append(ps.schedule)
+            requests.append(SweepRequest(
+                schedule_index=index[key], points=ps.points,
+                deadline_seconds=plan.deadline_seconds, sleep=ps.sleep))
+    batch = ScheduleBatch.from_schedules(schedules)
+    try:
+        energies = batch_energy_sweep(batch, requests)
+    except ValueError:
+        # Exceptions must surface with serial per-instance attribution
+        # (the pool annotates them with the failing instance index), so
+        # re-run the sweeps serially; the first offender re-raises the
+        # identical error from its own instance's evaluation.
+        energies = None
+    out: List[Dict[Heuristic, ScheduleResult]] = []
+    cursor = 0
+    for i, plan in enumerate(plans):
+        k = len(plan.sweeps)
+        if energies is None:
+            try:
+                per_plan = [
+                    schedule_energy_sweep(ps.schedule, list(ps.points),
+                                          plan.deadline_seconds,
+                                          sleep=ps.sleep)
+                    for ps in plan.sweeps]
+            except BaseException as exc:
+                _annotate_instance_failure(exc, i, instances[i])
+                raise
+        else:
+            per_plan = energies[cursor:cursor + k]
+        cursor += k
+        out.append(_finish_suite(plan, per_plan, o))
+    return out

@@ -9,7 +9,11 @@ makes repeated campaigns cheap without touching the numerics:
   platform parameters, priority policy, schema version).
 - :mod:`repro.exec.pool` — :func:`run_instances`, a chunked
   ``ProcessPoolExecutor`` fan-out with per-instance timing, a progress
-  callback and an in-process fallback for ``jobs=1``.
+  callback and an in-process fallback for ``jobs=1``; and
+  :func:`run_instances_shm`, the same protocol with worker results
+  returned through coordinator-reserved
+  ``multiprocessing.shared_memory`` segments (:mod:`repro.exec.shm`)
+  instead of pickles.
 - :mod:`repro.exec.runner` — :func:`evaluate_suite_instances`, the
   cache-aware :func:`repro.core.suite.paper_suite` fan-out the
   experiment modules call.
@@ -27,8 +31,9 @@ from .cache import (
     restore_results,
     summarize_results,
 )
-from .pool import InstanceResult, run_instances
+from .pool import InstanceResult, run_instances, run_instances_shm
 from .runner import ExecOptions, evaluate_suite_instances
+from .shm import ShmHandle
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -39,6 +44,8 @@ __all__ = [
     "restore_results",
     "InstanceResult",
     "run_instances",
+    "run_instances_shm",
+    "ShmHandle",
     "ExecOptions",
     "evaluate_suite_instances",
 ]

@@ -3,11 +3,17 @@
 :func:`evaluate_suite_instances` is the bridge between the experiment
 modules and the :mod:`cache <repro.exec.cache>`/:mod:`pool
 <repro.exec.pool>` layers: look every instance up, fan the misses out
-over :func:`run_instances`, store fresh summaries, and hand back
-restored :class:`~repro.core.results.ScheduleResult` dicts in input
-order.  Both cached and fresh results pass through the same
-summarize/restore round-trip, so the three execution modes (serial,
-parallel, warm cache) are observably identical.
+over the pool, store fresh summaries, and hand back restored
+:class:`~repro.core.results.ScheduleResult` dicts in input order.
+
+Misses travel in contiguous *chunks* by default: each chunk is one
+:func:`repro.core.suite.paper_suite_batch` broadcast in the worker, and
+its summaries come back as a dense ``(chunk, 6, 16)`` float64 block —
+over :func:`repro.exec.pool.run_instances_shm` shared memory when
+parallel.  Strict and profile campaigns (and ``batch=False``) use the
+historical per-instance :func:`run_instances` path instead.  All modes
+— serial, batched, parallel, shm, warm cache — pass through the same
+summarize/restore round-trip and are byte-identical.
 """
 
 from __future__ import annotations
@@ -16,6 +22,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from ..audit.report import AuditLog
 from ..core.platform import Platform, default_platform
 from ..core.results import Heuristic, ScheduleResult
@@ -23,7 +31,7 @@ from ..graphs.dag import TaskGraph
 from ..obs import ObsLog, live
 from .cache import ResultCache, instance_digest, restore_results, \
     summarize_results
-from .pool import run_instances
+from .pool import run_instances, run_instances_shm
 
 __all__ = ["ExecOptions", "evaluate_suite_instances"]
 
@@ -55,6 +63,22 @@ class ExecOptions:
             logs are merged in, so a ``--jobs 8`` campaign yields one
             coherent multi-process trace.  Like ``strict``, profiling
             never changes the results or the cache bytes.
+        batch: evaluate cache misses in contiguous chunks through
+            :func:`repro.core.suite.paper_suite_batch` — one broadcast
+            ladder sweep per chunk instead of one
+            :func:`~repro.core.suite.paper_suite` call per instance.
+            Results (and cache bytes) are bitwise-identical either way;
+            strict and profile campaigns fall back to the per-instance
+            path automatically, because their per-instance audit
+            counters and span nesting only exist there.
+        shm: with ``jobs > 1``, ship chunk results back through
+            :func:`repro.exec.pool.run_instances_shm` shared-memory
+            segments instead of the pickle result queue.  Transport
+            only — bytes are identical.  Ignored when serial or when
+            the per-instance path is in effect.
+        batch_chunk: instances per batched chunk (the unit of pool
+            dispatch and of one :class:`~repro.core.batch.ScheduleBatch`
+            broadcast).
     """
 
     jobs: int = 1
@@ -63,6 +87,9 @@ class ExecOptions:
     progress: Optional[object] = None
     strict: bool = False
     profile: bool = False
+    batch: bool = True
+    shm: bool = True
+    batch_chunk: int = 32
     _cache: Optional[ResultCache] = field(
         default=None, init=False, repr=False, compare=False)
     _audit: Optional[AuditLog] = field(
@@ -143,6 +170,119 @@ def _suite_worker(
     return wrapped
 
 
+# ----------------------------------------------------------------------
+# Batched chunk evaluation
+# ----------------------------------------------------------------------
+#: Fixed row order of the (6, 16) per-instance summary array — the
+#: paper's presentation order, which is also the iteration order of
+#: :func:`~repro.exec.cache.summarize_results`.
+_ROW_ORDER = (Heuristic.SNS, Heuristic.LAMPS, Heuristic.SNS_PS,
+              Heuristic.LAMPS_PS, Heuristic.LIMIT_SF, Heuristic.LIMIT_MF)
+#: Columns: busy, idle, sleep, overhead, n_shutdowns, has_point,
+#: frequency, vdd, active_power, idle_power, energy_per_cycle, vbs,
+#: n_processors, deadline_cycles, deadline_seconds, meets_deadline.
+_N_COLS = 16
+
+
+def _encode_summaries(summaries: List[dict]) -> "np.ndarray":
+    """One instance's summary dicts as a dense (6, 16) float64 array.
+
+    The array transport (:func:`repro.exec.pool.run_instances_shm`)
+    carries homogeneous float64 blocks; this packs the exact
+    :func:`~repro.exec.cache.summarize_results` payload into one.  Every
+    value survives bit-exactly: the floats are float64 already, and the
+    integer/boolean fields (shutdown counts, processor counts, the
+    feasibility flag) are far below 2**53.
+    """
+    assert len(summaries) == len(_ROW_ORDER)
+    arr = np.zeros((len(_ROW_ORDER), _N_COLS))
+    for h, row, d in zip(_ROW_ORDER, arr, summaries):
+        assert d["heuristic"] == h.value
+        e = d["energy"]
+        row[0:5] = (e["busy"], e["idle"], e["sleep"], e["overhead"],
+                    e["n_shutdowns"])
+        p = d["point"]
+        if p is not None:
+            row[5] = 1.0
+            row[6:12] = (p["frequency"], p["vdd"], p["active_power"],
+                         p["idle_power"], p["energy_per_cycle"], p["vbs"])
+        # n_processors is None for the LIMIT bounds — NaN is its
+        # sentinel (a real count is always a small non-NaN integer).
+        row[12:16] = (np.nan if d["n_processors"] is None
+                      else d["n_processors"],
+                      d["deadline_cycles"], d["deadline_seconds"],
+                      1.0 if d["meets_deadline"] else 0.0)
+    return arr
+
+
+def _decode_summaries(arr: "np.ndarray", graph_name: Optional[str]
+                      ) -> List[dict]:
+    """Inverse of :func:`_encode_summaries`.
+
+    Rebuilds the exact :func:`~repro.exec.cache.summarize_results`
+    dicts — including Python types: ``n_shutdowns`` and
+    ``n_processors`` back to ``int``, ``meets_deadline`` back to
+    ``bool`` — so the JSON the cache writes is byte-identical to the
+    per-instance path's (``2`` and ``2.0`` are different JSON bytes).
+    ``graph_name`` is reattached from the coordinator's own instance
+    list; it never rides in the array.
+    """
+    out = []
+    for h, row in zip(_ROW_ORDER, arr):
+        point = None if row[5] == 0.0 else {
+            "frequency": float(row[6]),
+            "vdd": float(row[7]),
+            "active_power": float(row[8]),
+            "idle_power": float(row[9]),
+            "energy_per_cycle": float(row[10]),
+            "vbs": float(row[11]),
+        }
+        out.append({
+            "heuristic": h.value,
+            "graph_name": graph_name,
+            "energy": {
+                "busy": float(row[0]),
+                "idle": float(row[1]),
+                "sleep": float(row[2]),
+                "overhead": float(row[3]),
+                "n_shutdowns": int(row[4]),
+            },
+            "point": point,
+            "n_processors": None if np.isnan(row[12]) else int(row[12]),
+            "deadline_cycles": float(row[13]),
+            "deadline_seconds": float(row[14]),
+            "meets_deadline": bool(row[15]),
+        })
+    return out
+
+
+def _suite_chunk_worker(
+        item: "Tuple[int, Tuple[Instance, ...], Optional[Platform], str]",
+) -> "np.ndarray":
+    """Evaluate a contiguous chunk of instances in one batched sweep.
+
+    Returns a ``(len(chunk), 6, 16)`` float64 array of encoded
+    summaries — an ndarray so the shm transport applies.  ``start`` is
+    the chunk's offset in the pending work list: a failing instance is
+    annotated chunk-locally by :func:`paper_suite_batch` and rebased
+    here to the global pending index, exactly what the per-instance
+    path would have reported.
+    """
+    from ..core.suite import paper_suite_batch
+
+    start, chunk, platform, policy = item
+    try:
+        results = paper_suite_batch(list(chunk), platform=platform,
+                                    policy=policy)
+    except BaseException as exc:
+        local = getattr(exc, "instance_index", None)
+        if local is not None:
+            exc.instance_index = start + local  # type: ignore[attr-defined]
+        raise
+    return np.stack([_encode_summaries(summarize_results(r))
+                     for r in results])
+
+
 def evaluate_suite_instances(
     instances: Sequence[Instance],
     *,
@@ -194,23 +334,69 @@ def evaluate_suite_instances(
                     continue
             pending.append(i)
 
-    work = [(instances[i][0], instances[i][1], platform, policy,
-             audit is not None, obs is not None)
-            for i in pending]
-    wrapped = audit is not None or obs is not None
-    for item in run_instances(_suite_worker, work, jobs=options.jobs,
-                              progress=options.progress, obs=obs):
-        i = pending[item.index]
-        payload = item.value
-        if wrapped:
-            if audit is not None:
-                audit.merge(payload["audit"])
-            if obs is not None and "obs" in payload:
-                obs.merge_dict(payload["obs"])
-            payload = payload["results"]
-        options.instance_seconds.append(item.seconds)
-        if cache is not None:
-            cache.put(keys[i], payload)
-        results[i] = restore_results(payload)
+    use_batch = options.batch and audit is None and obs is None
+    if not use_batch:
+        # Per-instance path: the default for strict/profile campaigns
+        # (their audit counters and span nesting are per-instance) and
+        # the --no-batch escape hatch.  Byte-identical to the batched
+        # path below.
+        work = [(instances[i][0], instances[i][1], platform, policy,
+                 audit is not None, obs is not None)
+                for i in pending]
+        wrapped = audit is not None or obs is not None
+        for item in run_instances(_suite_worker, work, jobs=options.jobs,
+                                  progress=options.progress, obs=obs):
+            i = pending[item.index]
+            payload = item.value
+            if wrapped:
+                if audit is not None:
+                    audit.merge(payload["audit"])
+                if obs is not None and "obs" in payload:
+                    obs.merge_dict(payload["obs"])
+                payload = payload["results"]
+            options.instance_seconds.append(item.seconds)
+            if cache is not None:
+                cache.put(keys[i], payload)
+            results[i] = restore_results(payload)
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    # Batched path: contiguous chunks of pending instances, each
+    # evaluated by one paper_suite_batch broadcast in a worker, results
+    # shipped back as dense float64 blocks (shared memory when
+    # parallel) and decoded here into the exact summary payloads.
+    chunksize = max(1, options.batch_chunk)
+    total = len(pending)
+    chunk_items: List[Tuple[int, Tuple[Instance, ...],
+                            Optional[Platform], str]] = [
+        (start,
+         tuple(instances[i] for i in pending[start:start + chunksize]),
+         platform, policy)
+        for start in range(0, total, chunksize)
+    ]
+
+    progress = options.progress
+    chunk_progress = None
+    if progress is not None:
+        def chunk_progress(done: int, _total_chunks: int) -> None:
+            # The pool counts completed chunk-items; report instances.
+            progress(min(done * chunksize, total), total)
+
+    fan_out = run_instances_shm if options.shm else run_instances
+    for item in fan_out(_suite_chunk_worker, chunk_items,
+                        jobs=options.jobs, chunksize=1,
+                        progress=chunk_progress):
+        start = chunk_items[item.index][0]
+        block = item.value
+        k = block.shape[0]
+        mean_seconds = item.seconds / k
+        for local in range(k):
+            i = pending[start + local]
+            payload = _decode_summaries(block[local],
+                                        instances[i][0].name)
+            options.instance_seconds.append(mean_seconds)
+            if cache is not None:
+                cache.put(keys[i], payload)
+            results[i] = restore_results(payload)
     assert all(r is not None for r in results)
     return results  # type: ignore[return-value]

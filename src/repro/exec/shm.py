@@ -1,0 +1,149 @@
+"""Zero-copy numpy transport over ``multiprocessing.shared_memory``.
+
+The pool's chunk workers historically returned their payloads by
+pickling them through the ``ProcessPoolExecutor`` result queue.  For
+array payloads that is two full copies plus pickle framing; this module
+lets a worker *publish* an ndarray into a named shared-memory segment
+and return only a tiny :class:`ShmHandle`, which the coordinating
+process *takes* — copy out, close, unlink — on receipt.
+
+Lifecycle discipline (asserted by ``tests/exec/test_shm_lifecycle.py``):
+
+* every segment is unlinked exactly once, by the coordinating process —
+  on the happy path inside :func:`take_array`, otherwise by the
+  caller's cleanup sweep over its *reserved* names;
+* the coordinator reserves segment names up front
+  (:func:`reserve_names`) and passes them to workers, so even a
+  SIGKILLed worker leaves nothing behind: the sweep
+  (:func:`unlink_segment` per reserved name) runs in a ``finally`` and
+  removes whatever the worker managed to create;
+* name reservations use ``os.getpid`` plus ``secrets`` tokens — they
+  never feed results, reports, or cache keys, so determinism rules do
+  not apply to them.
+
+Worker-side ``publish_array`` closes its mapping immediately after the
+copy; with the default fork start method both processes talk to the
+same ``resource_tracker``, so the worker's create-registration is
+cancelled by the coordinator's unlink and no leak warnings are emitted.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ShmHandle", "publish_array", "take_array", "reserve_names",
+           "unlink_segment", "segment_exists"]
+
+
+@dataclass(frozen=True)
+class ShmHandle:
+    """A published array: segment name plus the ndarray metadata.
+
+    Attributes:
+        name: shared-memory segment name (no leading slash).
+        shape: array shape.
+        dtype: numpy dtype string, e.g. ``"float64"``.
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+def reserve_names(count: int, *, tag: str = "c") -> List[str]:
+    """``count`` fresh segment names the caller owns and must sweep.
+
+    Names are short enough for every platform's shm name limit and
+    collision-safe across processes (pid + 8 random hex chars); the
+    caller passes them to workers and, in a ``finally``, calls
+    :func:`unlink_segment` on each — that pair is what guarantees
+    cleanup after a worker crash.
+    """
+    # Start the resource tracker *now*, before any worker forks: the
+    # children then inherit the live tracker, so their create
+    # registrations land in the same cache this process's unlinks
+    # clear.  If the first shm use happened inside a forked worker
+    # instead, each worker would lazily spawn its own tracker, whose
+    # registrations nobody cancels — spurious "leaked shared_memory
+    # objects" warnings at shutdown.
+    resource_tracker.ensure_running()
+    token = secrets.token_hex(4)
+    return [f"rp{os.getpid():x}{tag}{token}i{i:x}" for i in range(count)]
+
+
+def publish_array(arr: np.ndarray, *, name: Optional[str] = None
+                  ) -> ShmHandle:
+    """Copy ``arr`` into a shared segment; return its handle.
+
+    Worker side of the transport.  The mapping is closed before
+    returning — the worker keeps no reference — and the segment lives
+    until the coordinator takes or sweeps it.  ``name=None`` creates an
+    anonymous (kernel-named) segment for callers managing their own
+    cleanup.
+    """
+    seg = shared_memory.SharedMemory(
+        create=True, size=max(1, arr.nbytes), name=name)
+    try:
+        if arr.nbytes:
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+            view[...] = arr
+    finally:
+        seg.close()
+    return ShmHandle(name=seg.name, shape=tuple(arr.shape),
+                     dtype=str(arr.dtype))
+
+
+def take_array(handle: ShmHandle) -> np.ndarray:
+    """Materialize a published array and release its segment.
+
+    Coordinator side: attach, copy out, close, unlink.  After this the
+    segment is gone; taking a handle twice raises ``FileNotFoundError``
+    like any stale name.
+    """
+    seg = shared_memory.SharedMemory(name=handle.name)
+    try:
+        view = np.ndarray(handle.shape, dtype=np.dtype(handle.dtype),
+                          buffer=seg.buf)
+        out = view.copy()
+    finally:
+        seg.close()
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # swept concurrently — already gone
+            pass
+    return out
+
+
+def unlink_segment(name: str) -> bool:
+    """Best-effort removal of a (possibly absent) segment.
+
+    The cleanup sweep: returns ``True`` if a segment existed and was
+    unlinked, ``False`` if there was nothing to remove.  Never raises
+    for missing names, so sweeping every reserved name is always safe.
+    """
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    seg.close()
+    try:
+        seg.unlink()
+    except FileNotFoundError:
+        return False
+    return True
+
+
+def segment_exists(name: str) -> bool:
+    """Whether a segment with ``name`` currently exists (test helper)."""
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    seg.close()
+    return True

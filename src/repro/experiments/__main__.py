@@ -106,6 +106,15 @@ def main(argv: "list[str] | None" = None) -> int:
                              "(default: $REPRO_CACHE_DIR, else no cache)")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore any configured cache directory")
+    parser.add_argument("--no-batch", action="store_true",
+                        help="evaluate instances one at a time instead "
+                             "of in chunked broadcast sweeps (results "
+                             "are byte-identical either way; --strict "
+                             "and --profile imply this)")
+    parser.add_argument("--no-shm", action="store_true",
+                        help="ship worker results through the pickle "
+                             "queue instead of shared-memory segments "
+                             "(transport only; relevant with --jobs>1)")
     parser.add_argument("--strict", action="store_true",
                         help="run the repro.audit invariant checks on "
                              "every fresh instance (identical results, "
@@ -130,7 +139,9 @@ def main(argv: "list[str] | None" = None) -> int:
     exec_options = ExecOptions(jobs=args.jobs, cache_dir=args.cache_dir,
                                use_cache=not args.no_cache,
                                strict=args.strict,
-                               profile=args.profile is not None)
+                               profile=args.profile is not None,
+                               batch=not args.no_batch,
+                               shm=not args.no_shm)
     registry = _experiments(args.full, exec_options)
     chosen = args.experiments or list(registry)
     unknown = [e for e in chosen if e not in registry]

@@ -45,7 +45,7 @@ class TaskGraph:
 
     __slots__ = (
         "name", "_ids", "_index", "_weights", "_preds", "_succs",
-        "_topo", "_n_edges", "_in_degrees", "_weights_list",
+        "_topo", "_n_edges", "_in_degrees", "_weights_list", "_succ_csr",
     )
 
     def __init__(self, weights: Mapping[NodeId, float],
@@ -84,6 +84,7 @@ class TaskGraph:
         self._topo = self._toposort()
         self._in_degrees: Optional[Tuple[int, ...]] = None
         self._weights_list: Optional[Tuple[float, ...]] = None
+        self._succ_csr: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -215,6 +216,25 @@ class TaskGraph:
         if self._weights_list is None:
             self._weights_list = tuple(self._weights.tolist())
         return self._weights_list
+
+    @property
+    def succ_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Successor lists as a CSR pair ``(flat, offsets)`` (cached).
+
+        ``flat[offsets[v]:offsets[v + 1]]`` are node ``v``'s successor
+        indices in ascending order; both arrays are ``intp`` and frozen.
+        The array-kernel scheduler (:mod:`repro.sched.jit`) iterates
+        this instead of the tuple-of-tuples :attr:`succ_indices`.
+        """
+        if self._succ_csr is None:
+            offsets = np.zeros(len(self._succs) + 1, dtype=np.intp)
+            np.cumsum([len(s) for s in self._succs], out=offsets[1:])
+            flat = np.array(
+                [s for succ in self._succs for s in succ], dtype=np.intp)
+            flat.setflags(write=False)
+            offsets.setflags(write=False)
+            self._succ_csr = (flat, offsets)
+        return self._succ_csr
 
     # ------------------------------------------------------------------
     # Transformations

@@ -8,12 +8,15 @@ that true:
 
 * **KER001** — schedules are built only through the blessed
   constructors (``Schedule(...)`` over placements, or
-  ``Schedule.from_arrays``); reaching for ``__new__`` or the private
-  ``_init_arrays``/``_materialize`` kernels bypasses validation and
-  the precomputation contract;
+  ``Schedule.from_arrays``; ``ScheduleBatch.from_schedules`` for the
+  batched stack in :mod:`repro.core.batch`); reaching for ``__new__``
+  or the private ``_init_arrays``/``_materialize`` kernels bypasses
+  validation and the precomputation contract;
 * **KER002** — the kernel arrays (``starts``/``finishes``/``procs``
-  and everything derived) are frozen; writing to them, or un-freezing
-  via ``setflags``, desynchronizes the precomputed aggregates;
+  and everything derived, on :class:`Schedule` and
+  :class:`ScheduleBatch` alike) are frozen; writing to them, or
+  un-freezing via ``setflags``, desynchronizes the precomputed
+  aggregates;
 * **KER003** — the scalar :func:`~repro.core.energy.schedule_energy`
   exists as the audit cross-check; search and evaluation paths must go
   through the vectorized ``schedule_energy_sweep`` (bitwise-identical
@@ -32,8 +35,10 @@ __all__ = ["BlessedConstruction", "KernelArrayMutation",
            "ScalarEnergyCall"]
 
 #: Modules that own the kernel internals (prefix match on the dotted
-#: module name).
-_KERNEL_OWNERS: Tuple[str, ...] = ("repro.sched.schedule",)
+#: module name): the Schedule kernel and the batched multi-schedule
+#: stack built on top of it.
+_KERNEL_OWNERS: Tuple[str, ...] = ("repro.sched.schedule",
+                                   "repro.core.batch")
 
 #: Modules allowed to call the scalar energy evaluator: its home and
 #: the audit cross-check layer.
@@ -47,6 +52,10 @@ _PROTECTED_ATTRS = frozenset({
     "_starts", "_finish", "_procs", "_order", "_bounds",
     "_proc_busy", "_proc_last", "_gap_lo", "_gap_hi", "_gap_len",
     "_gap_bounds",
+    # ScheduleBatch's stacked kernel arrays (repro.core.batch).
+    "starts", "finishes", "procs", "task_mask", "employed_counts",
+    "employed_ids", "proc_busy", "proc_last", "gap_flat",
+    "gap_counts", "gap_starts", "makespans",
 })
 
 _PRIVATE_KERNEL_METHODS = frozenset({"_init_arrays", "_materialize"})
@@ -79,18 +88,20 @@ class BlessedConstruction(Rule):
         if not self._in_owner():
             name = dotted_name(node.func)
             if name is not None:
-                if name.endswith("Schedule.__new__"):
+                if name.endswith("Schedule.__new__") or \
+                        name.endswith("ScheduleBatch.__new__"):
                     self.report(node,
-                                "Schedule.__new__ bypasses the "
-                                "blessed constructors; use "
-                                "Schedule(...) or "
-                                "Schedule.from_arrays(...)")
+                                "__new__ bypasses the blessed kernel "
+                                "constructors; use Schedule(...) / "
+                                "Schedule.from_arrays(...) / "
+                                "ScheduleBatch.from_schedules(...)")
                 elif name in ("object.__new__",) and node.args:
                     arg = dotted_name(node.args[0])
                     if arg is not None and \
-                            arg.endswith("Schedule"):
+                            (arg.endswith("Schedule")
+                             or arg.endswith("ScheduleBatch")):
                         self.report(node,
-                                    "object.__new__(Schedule) "
+                                    "object.__new__ on a kernel class "
                                     "bypasses the blessed "
                                     "constructors")
             if isinstance(node.func, ast.Attribute) and \

@@ -1,0 +1,208 @@
+"""Array-native list-scheduler kernel, numba-JIT'd when available.
+
+The ``heapq`` event loop in :mod:`repro.sched.list_scheduler` is the
+campaign's dominant cost after the energy sweeps were vectorized (PR 4's
+profiles).  This module re-expresses that loop over flat numpy arrays —
+three array-backed binary min-heaps and a CSR successor walk — in a form
+``numba.njit`` can compile to machine code.  When numba is installed
+and ``REPRO_NO_NUMBA`` is unset, :func:`schedule_kernel` dispatches to
+the compiled kernel; otherwise the same function body runs as plain
+Python (and :mod:`repro.sched.list_scheduler` keeps its ``heapq`` loop,
+which is faster than an interpreted array heap).
+
+Determinism: every heap holds *strictly totally ordered* entries —
+``(priority key, task)`` pairs and ``(finish, task, processor)``
+triples are unique because tasks are, and the free-processor heap holds
+distinct ids — so the pop sequence of any correct min-heap is the same.
+The kernel therefore produces arrays *identical* to the ``heapq`` path
+(asserted by ``tests/sched/test_jit_fallback.py``): the only
+floating-point arithmetic, ``finish = time + w[v]``, is the same
+float64 addition in both.
+
+The ``REPRO_NO_NUMBA`` gate is read once at import; it selects between
+bitwise-identical kernels and can never change results or cache bytes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["HAVE_NUMBA", "JIT_ACTIVE", "schedule_kernel",
+           "schedule_kernel_python"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit as _njit
+    HAVE_NUMBA = True
+except ImportError:
+    HAVE_NUMBA = False
+
+# Backend selection only — both backends are bitwise-identical, so this
+# flag cannot affect results, reports, or cache bytes.
+_DISABLED = bool(os.environ.get("REPRO_NO_NUMBA"))  # repro: noqa[DET003]
+
+#: True when :func:`schedule_kernel` dispatches to compiled code.
+JIT_ACTIVE = HAVE_NUMBA and not _DISABLED
+
+
+def _heap_less(a1: float, b1: int, c1: int,
+               a2: float, b2: int, c2: int) -> bool:
+    """Lexicographic ``(a, b, c) < (a, b, c)`` — tuple order, unrolled."""
+    if a1 != a2:
+        return a1 < a2
+    if b1 != b2:
+        return b1 < b2
+    return c1 < c2
+
+
+def _heap_push(ha: np.ndarray, hb: np.ndarray, hc: np.ndarray,
+               size: int, a: float, b: int, c: int) -> int:
+    """Push ``(a, b, c)`` onto the parallel-array heap; new size."""
+    i = size
+    ha[i] = a
+    hb[i] = b
+    hc[i] = c
+    while i > 0:
+        parent = (i - 1) >> 1
+        if _heap_less(ha[i], hb[i], hc[i],
+                      ha[parent], hb[parent], hc[parent]):
+            ha[i], ha[parent] = ha[parent], ha[i]
+            hb[i], hb[parent] = hb[parent], hb[i]
+            hc[i], hc[parent] = hc[parent], hc[i]
+            i = parent
+        else:
+            break
+    return size + 1
+
+
+def _heap_pop(ha: np.ndarray, hb: np.ndarray, hc: np.ndarray,
+              size: int) -> Tuple[float, int, int, int]:
+    """Pop the minimum; returns ``(a, b, c, new size)``."""
+    a0 = ha[0]
+    b0 = hb[0]
+    c0 = hc[0]
+    size -= 1
+    ha[0] = ha[size]
+    hb[0] = hb[size]
+    hc[0] = hc[size]
+    i = 0
+    while True:
+        left = 2 * i + 1
+        if left >= size:
+            break
+        smallest = left
+        right = left + 1
+        if right < size and _heap_less(ha[right], hb[right], hc[right],
+                                       ha[left], hb[left], hc[left]):
+            smallest = right
+        if _heap_less(ha[smallest], hb[smallest], hc[smallest],
+                      ha[i], hb[i], hc[i]):
+            ha[i], ha[smallest] = ha[smallest], ha[i]
+            hb[i], hb[smallest] = hb[smallest], hb[i]
+            hc[i], hc[smallest] = hc[smallest], hc[i]
+            i = smallest
+        else:
+            break
+    return a0, b0, c0, size
+
+
+def _schedule_arrays(keys: np.ndarray, w: np.ndarray,
+                     succ_flat: np.ndarray, succ_offsets: np.ndarray,
+                     in_degrees: np.ndarray, n_processors: int
+                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The list-scheduler event loop over flat arrays.
+
+    Mirrors ``repro.sched.list_scheduler._list_schedule`` exactly:
+    dispatch the smallest ``(key, task)`` among ready tasks to the
+    lowest free processor, advance to the next completion, and drain
+    every completion at that same timestamp before dispatching again.
+    Returns ``(start, finish, processor)`` arrays in cycles.
+    """
+    n = keys.shape[0]
+    starts = np.zeros(n)
+    finishes = np.zeros(n)
+    procs = np.zeros(n, dtype=np.intp)
+    n_pending = in_degrees.copy()
+
+    # Ready heap: (priority key, task, 0).
+    r_a = np.empty(n)
+    r_b = np.empty(n, dtype=np.intp)
+    r_c = np.zeros(n, dtype=np.intp)
+    r_n = 0
+    # Running heap: (finish time, task, processor).
+    q_a = np.empty(n)
+    q_b = np.empty(n, dtype=np.intp)
+    q_c = np.empty(n, dtype=np.intp)
+    q_n = 0
+    # Free-processor heap: (processor id, 0, 0) — ids < 2**53 are exact
+    # as float64, so the primary slot alone orders them.
+    f_a = np.empty(n_processors)
+    f_b = np.zeros(n_processors, dtype=np.intp)
+    f_c = np.zeros(n_processors, dtype=np.intp)
+    for p in range(n_processors):
+        f_a[p] = p  # ascending order is already a valid min-heap
+    f_n = n_processors
+
+    for v in range(n):
+        if n_pending[v] == 0:
+            r_n = _heap_push(r_a, r_b, r_c, r_n, keys[v], v, 0)
+
+    time = 0.0
+    scheduled = 0
+    while scheduled < n:
+        while r_n > 0 and f_n > 0:
+            _, v, _, r_n = _heap_pop(r_a, r_b, r_c, r_n)
+            pa, _, _, f_n = _heap_pop(f_a, f_b, f_c, f_n)
+            p = int(pa)
+            starts[v] = time
+            finish = time + w[v]
+            finishes[v] = finish
+            procs[v] = p
+            q_n = _heap_push(q_a, q_b, q_c, q_n, finish, v, p)
+            scheduled += 1
+        if q_n == 0:
+            break  # all remaining tasks were sources already dispatched
+        time, v, p, q_n = _heap_pop(q_a, q_b, q_c, q_n)
+        while True:
+            f_n = _heap_push(f_a, f_b, f_c, f_n, float(p), 0, 0)
+            for si in range(succ_offsets[v], succ_offsets[v + 1]):
+                s = succ_flat[si]
+                n_pending[s] -= 1
+                if n_pending[s] == 0:
+                    r_n = _heap_push(r_a, r_b, r_c, r_n, keys[s], s, 0)
+            if not (q_n > 0 and q_a[0] <= time):
+                break
+            _, v, p, q_n = _heap_pop(q_a, q_b, q_c, q_n)
+    return starts, finishes, procs
+
+
+#: The kernel as plain Python — always available, used by the
+#: differential tests and as the dispatch target when numba is absent.
+schedule_kernel_python = _schedule_arrays
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+    _heap_less = _njit(cache=True, inline="always")(_heap_less)
+    _heap_push = _njit(cache=True)(_heap_push)
+    _heap_pop = _njit(cache=True)(_heap_pop)
+    _schedule_compiled = _njit(cache=True)(_schedule_arrays)
+else:
+    _schedule_compiled = _schedule_arrays
+
+
+def schedule_kernel(keys: np.ndarray, w: np.ndarray,
+                    succ_flat: np.ndarray, succ_offsets: np.ndarray,
+                    in_degrees: np.ndarray, n_processors: int
+                    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Run the array kernel on the active backend.
+
+    Compiled when :data:`JIT_ACTIVE`, interpreted otherwise; both
+    produce identical ``(start, finish, processor)`` arrays (cycles).
+    """
+    fn = _schedule_compiled if JIT_ACTIVE else schedule_kernel_python
+    return fn(np.ascontiguousarray(keys, dtype=np.float64),
+              np.ascontiguousarray(w, dtype=np.float64),
+              succ_flat, succ_offsets,
+              np.ascontiguousarray(in_degrees, dtype=np.intp),
+              n_processors)

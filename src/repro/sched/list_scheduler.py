@@ -22,6 +22,7 @@ import numpy as np
 
 from ..graphs.dag import TaskGraph
 from ..obs import ObsLog, live
+from .jit import JIT_ACTIVE, schedule_kernel
 from .priorities import PriorityPolicy, priority_keys
 from .schedule import Schedule
 
@@ -68,6 +69,17 @@ def _list_schedule(graph: TaskGraph, n_processors: int,
     n = graph.n
     if deadlines is None:
         deadlines = np.zeros(n)
+    if JIT_ACTIVE:
+        # The compiled array kernel replays this exact event loop over
+        # flat heaps (see repro.sched.jit); its pop order — and hence
+        # every array it returns — is identical to the heapq path's.
+        key_arr = priority_keys(graph, deadlines, policy)
+        succ_flat, succ_offsets = graph.succ_csr
+        starts_a, finishes_a, procs_a = schedule_kernel(
+            key_arr, graph.weights_array, succ_flat, succ_offsets,
+            np.asarray(graph.in_degrees, dtype=np.intp), n_processors)
+        return Schedule.from_arrays(graph, n_processors,
+                                    starts_a, finishes_a, procs_a)
     # The event loop runs on plain Python scalars and lists: elementwise
     # numpy indexing and per-event helper calls dominated its profile.
     keys = priority_keys(graph, deadlines, policy).tolist()

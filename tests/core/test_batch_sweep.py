@@ -1,0 +1,300 @@
+"""Differential tests: the cross-instance batched sweep vs serial paths.
+
+:func:`repro.core.batch.batch_energy_sweep` claims that every request's
+breakdown list is *bitwise* equal to the per-instance
+:func:`repro.core.energy.schedule_energy_sweep` — and hence, by PR 4's
+differential suite, to the scalar :func:`repro.core.energy
+.schedule_energy` loop.  That chain is what lets the campaign runner
+evaluate whole chunks at once while reports, caches and golden files
+keep their exact historical bytes, so it is asserted with ``==`` on
+every component over drawn batches: mixed graph sizes and processor
+counts (ragged padded tails), mixed sleep models within one batch,
+single-member batches, duplicate and empty point tuples, and the
+exception order of infeasible windows.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.batch import ScheduleBatch, SweepRequest, batch_energy_sweep
+from repro.core.energy import schedule_energy, schedule_energy_sweep
+from repro.core.platform import default_platform
+from repro.core.stretch import feasible_points, required_frequency
+from repro.graphs.analysis import critical_path_length
+from repro.graphs.generators import stg_random_graph
+from repro.power.shutdown import SleepModel
+from repro.sched.deadlines import task_deadlines
+from repro.sched.list_scheduler import list_schedule
+
+PLATFORM = default_platform()
+
+
+def _instance(seed: int, n: int, n_procs: int, factor: float):
+    """One (schedule, feasible ladder, window) campaign instance."""
+    g = stg_random_graph(n, seed).scaled(3.1e6)
+    deadline = factor * critical_path_length(g)
+    d = task_deadlines(g, deadline)
+    s = list_schedule(g, n_procs, d)
+    f_req = required_frequency(s, d, PLATFORM.fmax)
+    points = feasible_points(PLATFORM.ladder, f_req)
+    return s, tuple(points), PLATFORM.seconds(deadline)
+
+
+@st.composite
+def batches(draw):
+    """A ScheduleBatch plus one sweep request per member, ragged shapes."""
+    k = draw(st.integers(min_value=1, max_value=5))
+    members = []
+    for i in range(k):
+        seed = draw(st.integers(min_value=0, max_value=2_000))
+        n = draw(st.sampled_from([5, 12, 25]))
+        n_procs = draw(st.sampled_from([1, 2, 4, 9]))
+        factor = draw(st.sampled_from([1.1, 1.5, 2.0, 4.0]))
+        members.append(_instance(seed, n, n_procs, factor))
+    assume(any(points for _, points, _ in members))
+    batch = ScheduleBatch.from_schedules([s for s, _, _ in members])
+    requests = [SweepRequest(schedule_index=i, points=points,
+                             deadline_seconds=window)
+                for i, (_, points, window) in enumerate(members)]
+    return batch, requests
+
+
+def assert_bitwise_equal(got, want):
+    assert len(got) == len(want)
+    for b_got, b_want in zip(got, want):
+        assert b_got.busy == b_want.busy
+        assert b_got.idle == b_want.idle
+        assert b_got.sleep == b_want.sleep
+        assert b_got.overhead == b_want.overhead
+        assert b_got.n_shutdowns == b_want.n_shutdowns
+
+
+def serial_reference(batch, requests):
+    """What the per-instance sweep produces, request by request."""
+    return [schedule_energy_sweep(batch.schedules[r.schedule_index],
+                                  r.points, r.deadline_seconds,
+                                  sleep=r.sleep)
+            for r in requests]
+
+
+class TestBatchMatchesSerial:
+    @given(batches())
+    @settings(max_examples=30, deadline=None)
+    def test_without_sleep(self, drawn):
+        batch, requests = drawn
+        got = batch_energy_sweep(batch, requests)
+        want = serial_reference(batch, requests)
+        for g_list, w_list in zip(got, want):
+            assert_bitwise_equal(g_list, w_list)
+
+    @given(batches())
+    @settings(max_examples=30, deadline=None)
+    def test_with_sleep(self, drawn):
+        batch, requests = drawn
+        requests = [SweepRequest(r.schedule_index, r.points,
+                                 r.deadline_seconds, sleep=PLATFORM.sleep)
+                    for r in requests]
+        got = batch_energy_sweep(batch, requests)
+        want = serial_reference(batch, requests)
+        for g_list, w_list in zip(got, want):
+            assert_bitwise_equal(g_list, w_list)
+
+    @given(batches(), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_mixed_sleep_models_within_one_batch(self, drawn, data):
+        """Lanes with different models (and None) must not interfere."""
+        batch, requests = drawn
+        models = [None, PLATFORM.sleep,
+                  SleepModel(sleep_power=data.draw(st.floats(
+                      min_value=0.0, max_value=1e-3)),
+                      overhead_energy=data.draw(st.floats(
+                          min_value=0.0, max_value=1e-2)))]
+        requests = [SweepRequest(r.schedule_index, r.points,
+                                 r.deadline_seconds,
+                                 sleep=models[i % len(models)])
+                    for i, r in enumerate(requests)]
+        got = batch_energy_sweep(batch, requests)
+        want = serial_reference(batch, requests)
+        for g_list, w_list in zip(got, want):
+            assert_bitwise_equal(g_list, w_list)
+
+    @given(batches())
+    @settings(max_examples=20, deadline=None)
+    def test_matches_scalar_reference(self, drawn):
+        """Close the chain: batched == scalar loop, point by point."""
+        batch, requests = drawn
+        requests = [SweepRequest(r.schedule_index, r.points,
+                                 r.deadline_seconds, sleep=PLATFORM.sleep)
+                    for r in requests]
+        got = batch_energy_sweep(batch, requests)
+        for r, g_list in zip(requests, got):
+            want = [schedule_energy(batch.schedules[r.schedule_index], p,
+                                    r.deadline_seconds, sleep=r.sleep)
+                    for p in r.points]
+            assert_bitwise_equal(g_list, want)
+
+
+class TestBatchShapes:
+    def _members(self):
+        return [_instance(7, 20, 2, 2.0), _instance(11, 5, 4, 1.5),
+                _instance(13, 25, 9, 4.0)]
+
+    def test_single_member_batch(self):
+        s, points, window = _instance(7, 20, 2, 2.0)
+        batch = ScheduleBatch.from_schedules([s])
+        got = batch_energy_sweep(
+            batch, [SweepRequest(0, points, window, sleep=PLATFORM.sleep)])
+        assert_bitwise_equal(
+            got[0],
+            schedule_energy_sweep(s, points, window, sleep=PLATFORM.sleep))
+
+    def test_empty_request_list(self):
+        s, _, _ = _instance(7, 20, 2, 2.0)
+        assert batch_energy_sweep(
+            ScheduleBatch.from_schedules([s]), []) == []
+
+    def test_empty_point_tuples_yield_empty_lists(self):
+        members = self._members()
+        batch = ScheduleBatch.from_schedules([s for s, _, _ in members])
+        requests = [SweepRequest(0, (), members[0][2]),
+                    SweepRequest(1, members[1][1], members[1][2]),
+                    SweepRequest(2, (), members[2][2])]
+        got = batch_energy_sweep(batch, requests)
+        assert got[0] == [] and got[2] == []
+        assert_bitwise_equal(got[1], schedule_energy_sweep(
+            members[1][0], members[1][1], members[1][2]))
+
+    def test_many_requests_per_member(self):
+        """Members may be swept repeatedly, with different windows."""
+        s, points, window = _instance(7, 20, 2, 2.0)
+        batch = ScheduleBatch.from_schedules([s])
+        requests = [SweepRequest(0, points, window),
+                    SweepRequest(0, points, 2.0 * window,
+                                 sleep=PLATFORM.sleep),
+                    SweepRequest(0, points[:1], window)]
+        got = batch_energy_sweep(batch, requests)
+        want = serial_reference(batch, requests)
+        for g_list, w_list in zip(got, want):
+            assert_bitwise_equal(g_list, w_list)
+
+    def test_one_task_member_among_larger_ones(self):
+        """Extreme ragged tail: a 1-task member next to 25-task ones."""
+        members = self._members()
+        tiny = _instance(0, 1, 8, 2.0)  # seed 0 avoids the sameprob draw
+        members.insert(1, tiny)
+        batch = ScheduleBatch.from_schedules([s for s, _, _ in members])
+        requests = [SweepRequest(i, points, window, sleep=PLATFORM.sleep)
+                    for i, (_, points, window) in enumerate(members)]
+        got = batch_energy_sweep(batch, requests)
+        want = serial_reference(batch, requests)
+        for g_list, w_list in zip(got, want):
+            assert_bitwise_equal(g_list, w_list)
+
+    def test_duplicate_points_evaluated_independently(self):
+        s, points, window = _instance(7, 20, 2, 2.0)
+        p = points[0]
+        batch = ScheduleBatch.from_schedules([s])
+        got = batch_energy_sweep(
+            batch, [SweepRequest(0, (p, p, p), window,
+                                 sleep=PLATFORM.sleep)])
+        assert got[0][0] == got[0][1] == got[0][2]
+
+    def test_arrays_are_frozen(self):
+        members = self._members()
+        batch = ScheduleBatch.from_schedules([s for s, _, _ in members])
+        for name in ("starts", "finishes", "procs", "task_mask",
+                     "proc_busy", "proc_last", "gap_flat", "makespans"):
+            arr = getattr(batch, name)
+            with pytest.raises(ValueError):
+                arr[...] = 0
+
+    def test_direct_construction_is_forbidden(self):
+        with pytest.raises(TypeError, match="from_schedules"):
+            ScheduleBatch()
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ScheduleBatch.from_schedules([])
+
+    def test_out_of_range_index(self):
+        s, points, window = _instance(7, 20, 2, 2.0)
+        batch = ScheduleBatch.from_schedules([s])
+        with pytest.raises(IndexError, match="outside batch"):
+            batch_energy_sweep(batch, [SweepRequest(1, points, window)])
+
+    def test_padding_rows_match_members(self):
+        members = self._members()
+        batch = ScheduleBatch.from_schedules([s for s, _, _ in members])
+        for i, (s, _, _) in enumerate(members):
+            n = s.graph.n
+            assert batch.n_tasks[i] == n
+            assert np.array_equal(batch.starts[i, :n], s.start_times)
+            assert np.array_equal(batch.finishes[i, :n], s.finish_times)
+            assert np.array_equal(batch.procs[i, :n], s.task_processors)
+            assert batch.task_mask[i, :n].all()
+            assert not batch.task_mask[i, n:].any()
+            e = s.employed_processors
+            ids = np.asarray(s.employed_processor_ids)
+            assert np.array_equal(batch.employed_ids[i, :e], ids)
+            assert (batch.employed_ids[i, e:] == -1).all()
+            assert np.array_equal(batch.proc_busy[i, :e],
+                                  s.proc_busy_cycles[ids])
+
+
+class TestBatchExceptionOrder:
+    def test_infeasible_window_raises_like_serial(self):
+        """First offending (request, point) wins, with the same message."""
+        s1, points1, window1 = _instance(7, 20, 2, 2.0)
+        s2, points2, _ = _instance(11, 25, 2, 1.1)
+        slow = PLATFORM.ladder[0]
+        bad_window = 0.5 * s2.makespan / slow.frequency
+        batch = ScheduleBatch.from_schedules([s1, s2])
+        requests = [SweepRequest(0, points1, window1),
+                    SweepRequest(1, tuple(PLATFORM.ladder), bad_window)]
+        with pytest.raises(ValueError) as serial_exc:
+            serial_reference(batch, requests)
+        with pytest.raises(ValueError) as batch_exc:
+            batch_energy_sweep(batch, requests)
+        assert str(batch_exc.value) == str(serial_exc.value)
+
+    def test_earlier_request_wins(self):
+        """Request order, not severity, decides which error surfaces."""
+        s1, _, _ = _instance(7, 20, 2, 1.1)
+        s2, _, _ = _instance(11, 25, 2, 1.1)
+        slow = PLATFORM.ladder[0]
+        batch = ScheduleBatch.from_schedules([s1, s2])
+        requests = [
+            SweepRequest(0, tuple(PLATFORM.ladder),
+                         0.5 * s1.makespan / slow.frequency),
+            SweepRequest(1, tuple(PLATFORM.ladder),
+                         0.1 * s2.makespan / slow.frequency),
+        ]
+        with pytest.raises(ValueError) as serial_exc:
+            serial_reference(batch, requests)
+        with pytest.raises(ValueError) as batch_exc:
+            batch_energy_sweep(batch, requests)
+        assert str(batch_exc.value) == str(serial_exc.value)
+
+    @given(batches(), st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=20, deadline=None)
+    def test_shrunk_windows_raise_identically(self, drawn, shrink):
+        """Shrinking every window reproduces the serial error exactly."""
+        batch, requests = drawn
+        requests = [SweepRequest(r.schedule_index, r.points,
+                                 shrink * r.deadline_seconds)
+                    for r in requests]
+        serial_err = batch_err = None
+        try:
+            want = serial_reference(batch, requests)
+        except ValueError as exc:
+            serial_err = str(exc)
+        try:
+            got = batch_energy_sweep(batch, requests)
+        except ValueError as exc:
+            batch_err = str(exc)
+        assert serial_err == batch_err
+        if serial_err is None:
+            for g_list, w_list in zip(got, want):
+                assert_bitwise_equal(g_list, w_list)

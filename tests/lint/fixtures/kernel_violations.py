@@ -15,6 +15,23 @@ def blessed_is_fine(Schedule, graph, placements, arrays):
     return a, b
 
 
+def bypass_batch_constructor(ScheduleBatch, schedules):
+    b = ScheduleBatch.__new__(ScheduleBatch)  # expect: KER001
+    c = object.__new__(ScheduleBatch)  # expect: KER001
+    return b, c
+
+
+def blessed_batch_is_fine(ScheduleBatch, schedules):
+    return ScheduleBatch.from_schedules(schedules)
+
+
+def mutate_batch(batch, value):
+    batch.gap_flat[0] = value  # expect: KER002
+    batch.employed_counts = value  # expect: KER002
+    batch.makespans.setflags(write=True)  # expect: KER002
+    return batch
+
+
 def mutate(sched, value):
     sched._starts[0] = value  # expect: KER002
     sched.start_times[1] = value  # expect: KER002

@@ -1,0 +1,171 @@
+"""Differential tests: the array scheduler kernel vs the heapq loop.
+
+:mod:`repro.sched.jit` claims its array-heap kernel replays the exact
+event loop of ``_list_schedule`` — every heap holds strictly totally
+ordered entries, so any correct min-heap pops the same sequence, and
+the only floating-point arithmetic is the same float64 addition.  The
+claim is asserted here with array equality (``==``, not tolerance) on
+drawn graphs, policies and processor counts.
+
+The kernel under test is whatever backend is active: with numba
+installed this exercises the compiled kernel; without (or under
+``REPRO_NO_NUMBA=1``, which CI runs the whole tier-1 suite with) it
+exercises the interpreted same-body fallback — so neither leg can rot.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.analysis import critical_path_length
+from repro.graphs.generators import stg_random_graph
+from repro.sched import jit
+from repro.sched.deadlines import task_deadlines
+from repro.sched.list_scheduler import list_schedule
+from repro.sched.priorities import priority_keys
+from repro.sched.schedule import Schedule
+
+
+def _heapq_reference(graph, n_processors, deadlines, policy="edf"):
+    """The historical heapq event loop, inlined as the reference."""
+    import heapq
+
+    n = graph.n
+    keys = priority_keys(graph, deadlines, policy).tolist()
+    w = graph.weights_list
+    succs = graph.succ_indices
+    n_pending = list(graph.in_degrees)
+    ready = [(keys[v], v) for v in range(n) if not n_pending[v]]
+    heapq.heapify(ready)
+    running = []
+    free_procs = list(range(n_processors))
+    heapq.heapify(free_procs)
+    starts = [0.0] * n
+    finishes = [0.0] * n
+    procs = [0] * n
+    time = 0.0
+    scheduled = 0
+    while scheduled < n:
+        while ready and free_procs:
+            _, v = heapq.heappop(ready)
+            p = heapq.heappop(free_procs)
+            starts[v] = time
+            finish = time + w[v]
+            finishes[v] = finish
+            procs[v] = p
+            heapq.heappush(running, (finish, v, p))
+            scheduled += 1
+        if not running:
+            break
+        time, v, p = heapq.heappop(running)
+        while True:
+            heapq.heappush(free_procs, p)
+            for s in succs[v]:
+                n_pending[s] -= 1
+                if not n_pending[s]:
+                    heapq.heappush(ready, (keys[s], s))
+            if not (running and running[0][0] <= time):
+                break
+            _, v, p = heapq.heappop(running)
+    return (np.array(starts), np.array(finishes),
+            np.array(procs, dtype=np.intp))
+
+
+def _kernel_arrays(graph, n_processors, deadlines, policy="edf"):
+    succ_flat, succ_offsets = graph.succ_csr
+    return jit.schedule_kernel(
+        priority_keys(graph, deadlines, policy), graph.weights_array,
+        succ_flat, succ_offsets,
+        np.asarray(graph.in_degrees, dtype=np.intp), n_processors)
+
+
+@st.composite
+def instances(draw):
+    seed = draw(st.integers(min_value=0, max_value=5_000))
+    n = draw(st.sampled_from([5, 12, 25, 60]))
+    n_procs = draw(st.sampled_from([1, 2, 4, 9, 16]))
+    factor = draw(st.sampled_from([1.2, 2.0, 5.0]))
+    g = stg_random_graph(n, seed).scaled(3.1e6)
+    d = task_deadlines(g, factor * critical_path_length(g))
+    return g, n_procs, d
+
+
+class TestKernelMatchesHeapq:
+    @given(instances())
+    @settings(max_examples=60, deadline=None)
+    def test_identical_arrays(self, inst):
+        g, n_procs, d = inst
+        ks, kf, kp = _kernel_arrays(g, n_procs, d)
+        hs, hf, hp = _heapq_reference(g, n_procs, d)
+        assert np.array_equal(ks, hs)
+        assert np.array_equal(kf, hf)
+        assert np.array_equal(kp, hp)
+
+    @given(instances(), st.sampled_from(["edf", "hlfet", "fifo"]))
+    @settings(max_examples=30, deadline=None)
+    def test_identical_across_policies(self, inst, policy):
+        g, n_procs, d = inst
+        ks, kf, kp = _kernel_arrays(g, n_procs, d, policy)
+        hs, hf, hp = _heapq_reference(g, n_procs, d, policy)
+        assert np.array_equal(ks, hs)
+        assert np.array_equal(kf, hf)
+        assert np.array_equal(kp, hp)
+
+    @given(instances())
+    @settings(max_examples=30, deadline=None)
+    def test_python_kernel_matches_dispatch(self, inst):
+        """The interpreted kernel body equals the dispatched backend."""
+        g, n_procs, d = inst
+        succ_flat, succ_offsets = g.succ_csr
+        keys = np.ascontiguousarray(priority_keys(g, d, "edf"),
+                                    dtype=np.float64)
+        w = np.ascontiguousarray(g.weights_array, dtype=np.float64)
+        deg = np.asarray(g.in_degrees, dtype=np.intp)
+        ps, pf, pp = jit.schedule_kernel_python(
+            keys, w, succ_flat, succ_offsets, deg.copy(), n_procs)
+        ds, df, dp = jit.schedule_kernel(
+            keys, w, succ_flat, succ_offsets, deg, n_procs)
+        assert np.array_equal(ps, ds)
+        assert np.array_equal(pf, df)
+        assert np.array_equal(pp, dp)
+
+
+class TestListScheduleDispatch:
+    def test_list_schedule_output_is_backend_invariant(self, monkeypatch):
+        """list_schedule returns the same Schedule either way the gate
+        falls — forced through both branches in one process."""
+        g = stg_random_graph(30, 5).scaled(3.1e6)
+        d = task_deadlines(g, 2.0 * critical_path_length(g))
+        import repro.sched.list_scheduler as ls
+
+        monkeypatch.setattr(ls, "JIT_ACTIVE", True)
+        via_kernel = list_schedule(g, 4, d)
+        monkeypatch.setattr(ls, "JIT_ACTIVE", False)
+        via_heapq = list_schedule(g, 4, d)
+        assert isinstance(via_kernel, Schedule)
+        assert np.array_equal(via_kernel.start_times,
+                              via_heapq.start_times)
+        assert np.array_equal(via_kernel.finish_times,
+                              via_heapq.finish_times)
+        assert np.array_equal(via_kernel.task_processors,
+                              via_heapq.task_processors)
+        assert via_kernel.makespan == via_heapq.makespan
+
+    def test_gate_reflects_environment(self):
+        """JIT can only be active when numba is importable and the
+        escape hatch is unset."""
+        if not jit.HAVE_NUMBA:
+            assert not jit.JIT_ACTIVE
+        import os
+        if os.environ.get("REPRO_NO_NUMBA"):
+            assert not jit.JIT_ACTIVE
+
+    def test_succ_csr_matches_succ_indices(self):
+        g = stg_random_graph(40, 9)
+        flat, offsets = g.succ_csr
+        assert offsets[0] == 0 and offsets[-1] == flat.size
+        for v in range(g.n):
+            assert tuple(flat[offsets[v]:offsets[v + 1]]) == \
+                g.succ_indices[v]
+        with np.testing.assert_raises(ValueError):
+            flat[...] = 0

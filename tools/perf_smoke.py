@@ -21,10 +21,20 @@ committed baseline JSON (see ``BENCH_kernel_baseline.json``) with a
 generous regression factor — CI catches order-of-magnitude slips, not
 runner noise.
 
+``--campaign`` switches to the campaign-throughput benchmark behind
+``BENCH_batch_baseline.json``: a fixed ~160-instance fig10-style
+instance set pushed through :func:`repro.exec.runner
+.evaluate_suite_instances` per-instance serially (``serial_s``, the
+"before" path), through the batched chunk evaluator (``batch_serial_s``)
+and through the batched evaluator with a 4-worker shared-memory pool
+(``batch_jobs4_shm_s``).
+
 Usage:
     python tools/perf_smoke.py --sizes 100 1000 --out perf.json
     python tools/perf_smoke.py --sizes 100 \
         --baseline BENCH_kernel_baseline.json --max-regression 3.0
+    python tools/perf_smoke.py --campaign \
+        --baseline BENCH_batch_baseline.json --max-regression 3.0
 """
 
 from __future__ import annotations
@@ -99,6 +109,49 @@ def measure_size(n: int, *, with_suite: bool = True) -> dict:
     return out
 
 
+CAMPAIGN_SIZES = (100, 150, 200, 250)
+CAMPAIGN_SEEDS = 40  # 4 sizes x 40 seeds = 160 instances
+CAMPAIGN_DEADLINE_FACTOR = 2.0
+
+
+def _campaign_instances() -> list:
+    return [
+        (g, CAMPAIGN_DEADLINE_FACTOR * critical_path_length(g))
+        for n in CAMPAIGN_SIZES
+        for g in (stg_random_graph(n, seed).scaled(SCALE)
+                  for seed in range(CAMPAIGN_SEEDS))
+    ]
+
+
+def measure_campaign(reps: int = 2) -> dict:
+    """Campaign throughput: per-instance serial vs batched vs parallel.
+
+    ``serial_s`` exercises the historical per-instance path
+    (``batch=False``), the "before" of the batched-kernel work;
+    ``batch_serial_s`` the chunked broadcast evaluation in-process; and
+    ``batch_jobs4_shm_s`` the same chunks fanned over a 4-worker pool
+    with the shared-memory result transport.  All three produce
+    byte-identical results (tests/exec/test_identity_regression.py),
+    so this measures cost, not behaviour.
+    """
+    from repro.exec.runner import ExecOptions, evaluate_suite_instances
+
+    instances = _campaign_instances()
+
+    def run(**kwargs):
+        evaluate_suite_instances(
+            instances, options=ExecOptions(use_cache=False, **kwargs))
+
+    run(jobs=1, batch=True)  # warm every lazy import before timing
+    out = {"instances": len(instances)}
+    out["serial_s"] = _best_of(lambda: run(jobs=1, batch=False), reps)
+    out["batch_serial_s"] = _best_of(lambda: run(jobs=1, batch=True),
+                                     reps)
+    out["batch_jobs4_shm_s"] = _best_of(
+        lambda: run(jobs=4, batch=True, shm=True), reps)
+    return out
+
+
 def gate(results: dict, baseline: dict, max_regression: float) -> list:
     """Return a list of human-readable gate failures (empty = pass)."""
     failures = []
@@ -133,14 +186,24 @@ def main(argv=None) -> int:
                          "the baseline (default: 3.0)")
     ap.add_argument("--no-suite", action="store_true",
                     help="skip the paper_suite timing")
+    ap.add_argument("--campaign", action="store_true",
+                    help="measure campaign throughput (serial vs "
+                         "batched vs parallel+shm) instead of the "
+                         "per-size kernel metrics")
     args = ap.parse_args(argv)
 
     results = {}
-    for n in args.sizes:
-        results[str(n)] = measure_size(n, with_suite=not args.no_suite)
+    if args.campaign:
+        results["campaign"] = measure_campaign()
         row = "  ".join(f"{k}={v:.6f}" if isinstance(v, float) else
-                        f"{k}={v}" for k, v in results[str(n)].items())
-        print(f"[perf-smoke] n={n}: {row}")
+                        f"{k}={v}" for k, v in results["campaign"].items())
+        print(f"[perf-smoke] campaign: {row}")
+    else:
+        for n in args.sizes:
+            results[str(n)] = measure_size(n, with_suite=not args.no_suite)
+            row = "  ".join(f"{k}={v:.6f}" if isinstance(v, float) else
+                            f"{k}={v}" for k, v in results[str(n)].items())
+            print(f"[perf-smoke] n={n}: {row}")
 
     if args.out is not None:
         args.out.write_text(json.dumps(results, indent=2) + "\n")
