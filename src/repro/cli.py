@@ -260,6 +260,45 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(args.lint_args)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .obs import format_log_stats, write_chrome_trace
+    from .serve import ScheduleServer
+
+    server = ScheduleServer(
+        cache_dir=args.cache_dir,
+        cache_max_bytes=args.cache_max_bytes,
+        jobs=args.jobs,
+        max_batch=args.max_batch,
+        window_seconds=args.batch_window_ms / 1e3,
+        max_pending=args.max_pending,
+    )
+
+    async def _run() -> None:
+        host, port = await server.start(args.host, args.port)
+        cache = "disabled" if args.cache_dir is None else args.cache_dir
+        print(f"repro serve: listening on http://{host}:{port} "
+              f"(cache: {cache}, jobs: {args.jobs})", file=sys.stderr)
+        try:
+            await asyncio.Event().wait()  # until cancelled
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    print(file=sys.stderr)
+    print(format_log_stats(server.obs), file=sys.stderr)
+    if args.profile is not None:
+        trace_path = write_chrome_trace(server.obs, args.profile)
+        print(f"trace written to {trace_path} "
+              f"(inspect with 'repro stats {trace_path}')",
+              file=sys.stderr)
+    return 0
+
+
 def _cmd_power(args: argparse.Namespace) -> int:
     plat = default_platform()
     rows = [
@@ -320,6 +359,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("power", help="print the DVS operating points")
     p.set_defaults(func=_cmd_power)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the async schedule service (HTTP/JSON over the "
+             "result cache; see tools/load_test.py for a client)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642)
+    p.add_argument("--cache-dir", metavar="PATH", default=None,
+                   help="result-cache root; warm requests are answered "
+                        "from it without any computation (default: "
+                        "no cache)")
+    p.add_argument("--cache-max-bytes", type=int, default=None,
+                   metavar="N",
+                   help="bound the cache: LRU-evict entries and sweep "
+                        "orphaned temp files past N bytes "
+                        "(default: unbounded)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes per batch dispatch "
+                        "(default: 1)")
+    p.add_argument("--max-batch", type=int, default=32, metavar="N",
+                   help="most requests coalesced into one dispatch "
+                        "(default: 32)")
+    p.add_argument("--batch-window-ms", type=float, default=2.0,
+                   metavar="MS",
+                   help="linger before dispatching so concurrent "
+                        "requests coalesce (default: 2 ms)")
+    p.add_argument("--max-pending", type=int, default=64, metavar="N",
+                   help="admission ceiling; excess requests are shed "
+                        "with 429 (default: 64)")
+    p.add_argument("--profile", nargs="?", const="repro-serve-trace.json",
+                   default=None, metavar="PATH",
+                   help="write a Chrome-trace JSON of the serving "
+                        "session on shutdown")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "audit",

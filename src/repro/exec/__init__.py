@@ -26,9 +26,11 @@ produce byte-identical JSON payloads.
 from .cache import (
     CACHE_SCHEMA_VERSION,
     CacheStats,
+    EvictionSweep,
     ResultCache,
     instance_digest,
     restore_results,
+    shard_lock,
     summarize_results,
 )
 from .pool import InstanceResult, run_instances, run_instances_shm
@@ -38,6 +40,8 @@ from .shm import ShmHandle
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "CacheStats",
+    "EvictionSweep",
+    "shard_lock",
     "ResultCache",
     "instance_digest",
     "summarize_results",

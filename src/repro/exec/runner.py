@@ -79,6 +79,11 @@ class ExecOptions:
         batch_chunk: instances per batched chunk (the unit of pool
             dispatch and of one :class:`~repro.core.batch.ScheduleBatch`
             broadcast).
+        cache_max_bytes: size bound of the on-disk cache; when set, the
+            cache evicts least-recently-used entries (and sweeps
+            orphaned temp files) as it grows past the budget — the
+            long-running-service mode.  ``None`` (the default) keeps
+            the historical unbounded behaviour, byte-for-byte.
     """
 
     jobs: int = 1
@@ -90,6 +95,7 @@ class ExecOptions:
     batch: bool = True
     shm: bool = True
     batch_chunk: int = 32
+    cache_max_bytes: Optional[int] = None
     _cache: Optional[ResultCache] = field(
         default=None, init=False, repr=False, compare=False)
     _audit: Optional[AuditLog] = field(
@@ -106,7 +112,8 @@ class ExecOptions:
         if not self.use_cache or self.cache_dir is None:
             return None
         if self._cache is None:
-            self._cache = ResultCache(self.cache_dir, obs=self.open_obs())
+            self._cache = ResultCache(self.cache_dir, obs=self.open_obs(),
+                                      max_bytes=self.cache_max_bytes)
         return self._cache
 
     def open_audit(self) -> Optional[AuditLog]:
@@ -279,6 +286,12 @@ def _suite_chunk_worker(
         if local is not None:
             exc.instance_index = start + local  # type: ignore[attr-defined]
         raise
+    if not results:
+        # A zero-instance chunk (the server's empty-dispatch path, or a
+        # fully-warm batch) must still round-trip the transport:
+        # np.stack refuses an empty list, but a (0, 6, 16) block
+        # publishes and takes fine.
+        return np.zeros((0, len(_ROW_ORDER), _N_COLS))
     return np.stack([_encode_summaries(summarize_results(r))
                      for r in results])
 

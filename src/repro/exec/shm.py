@@ -86,6 +86,12 @@ def publish_array(arr: np.ndarray, *, name: Optional[str] = None
     until the coordinator takes or sweeps it.  ``name=None`` creates an
     anonymous (kernel-named) segment for callers managing their own
     cleanup.
+
+    Zero-size arrays (an empty campaign chunk, a fully-warm batch) are
+    legal: the OS refuses 0-byte segments, so the segment is padded to
+    one byte while the handle records the true shape — the pad never
+    reaches :func:`take_array`'s reconstruction, which trusts the
+    handle's metadata, not the segment size.
     """
     seg = shared_memory.SharedMemory(
         create=True, size=max(1, arr.nbytes), name=name)
@@ -108,9 +114,15 @@ def take_array(handle: ShmHandle) -> np.ndarray:
     """
     seg = shared_memory.SharedMemory(name=handle.name)
     try:
-        view = np.ndarray(handle.shape, dtype=np.dtype(handle.dtype),
-                          buffer=seg.buf)
-        out = view.copy()
+        if 0 in handle.shape:
+            # The segment is a 1-byte pad (see publish_array); rebuild
+            # the empty array from the handle metadata alone rather
+            # than viewing a buffer the array doesn't actually use.
+            out = np.empty(handle.shape, dtype=np.dtype(handle.dtype))
+        else:
+            view = np.ndarray(handle.shape, dtype=np.dtype(handle.dtype),
+                              buffer=seg.buf)
+            out = view.copy()
     finally:
         seg.close()
         try:

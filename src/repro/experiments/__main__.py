@@ -106,6 +106,12 @@ def main(argv: "list[str] | None" = None) -> int:
                              "(default: $REPRO_CACHE_DIR, else no cache)")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore any configured cache directory")
+    parser.add_argument("--cache-max-bytes", type=int, default=None,
+                        metavar="N",
+                        help="bound the cache directory to N bytes: "
+                             "least-recently-used entries are evicted "
+                             "and orphaned temp files swept as it "
+                             "grows (default: unbounded)")
     parser.add_argument("--no-batch", action="store_true",
                         help="evaluate instances one at a time instead "
                              "of in chunked broadcast sweeps (results "
@@ -141,7 +147,8 @@ def main(argv: "list[str] | None" = None) -> int:
                                strict=args.strict,
                                profile=args.profile is not None,
                                batch=not args.no_batch,
-                               shm=not args.no_shm)
+                               shm=not args.no_shm,
+                               cache_max_bytes=args.cache_max_bytes)
     registry = _experiments(args.full, exec_options)
     chosen = args.experiments or list(registry)
     unknown = [e for e in chosen if e not in registry]

@@ -1,0 +1,38 @@
+"""Scheduling-as-a-service: the async batch server over the exec cache.
+
+The ROADMAP's millions-of-users direction: a long-running asyncio
+HTTP/JSON service (stdlib only — ``asyncio`` plus a minimal HTTP/1.1
+layer) that answers schedule requests out of the PR-1 content-addressed
+:class:`~repro.exec.cache.ResultCache` and computes misses through the
+PR-6 batched kernel path.  The division of labour:
+
+- :mod:`repro.serve.protocol` — request/response JSON schema; parsing
+  ends in the cache's :func:`~repro.exec.cache.instance_digest`, so the
+  wire protocol and the store share one notion of instance identity.
+- :mod:`repro.serve.admission` — bounded in-flight window; overload is
+  shed with 429 instead of queued into unbounded latency.
+- :mod:`repro.serve.batcher` — dedupes identical in-flight requests
+  onto one future and coalesces compatible misses into single
+  :func:`~repro.core.suite.paper_suite_batch` pool dispatches via
+  :func:`~repro.exec.runner.evaluate_suite_instances`.
+- :mod:`repro.serve.app` — the :class:`ScheduleServer` HTTP front:
+  warm hits answered without touching a worker, ``/stats`` as a live
+  service dashboard, per-request :mod:`repro.obs` spans.
+
+Start one with ``python -m repro serve --cache-dir CACHE``; drive it
+with ``tools/load_test.py``.
+"""
+
+from .admission import AdmissionController
+from .app import ScheduleServer
+from .batcher import ScheduleBatcher
+from .protocol import ProtocolError, ScheduleRequest, parse_request
+
+__all__ = [
+    "AdmissionController",
+    "ScheduleServer",
+    "ScheduleBatcher",
+    "ProtocolError",
+    "ScheduleRequest",
+    "parse_request",
+]

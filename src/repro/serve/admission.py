@@ -1,0 +1,62 @@
+"""Admission control: a bounded in-flight window with load shedding.
+
+A long-running service must refuse work it cannot finish promptly —
+queueing without bound turns overload into unbounded latency for
+*every* client ("Power-aware scheduling for makespan and flow" frames
+exactly this latency/throughput trade-off).  The controller admits at
+most ``max_pending`` requests into the parse→lookup→dispatch pipeline;
+request ``max_pending + 1`` is shed immediately with a 429-style
+response and a retry hint, costing the server one refused socket write
+instead of a queue slot.
+
+Purely event-loop-local state: the server handles admission on the
+asyncio thread, so plain integers suffice — no locks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = ["AdmissionController"]
+
+
+@dataclass
+class AdmissionController:
+    """Counting semaphore with shed-instead-of-wait semantics.
+
+    Attributes:
+        max_pending: admitted-but-unanswered request ceiling.
+        pending: currently admitted requests.
+        admitted: total requests ever admitted.
+        shed: total requests refused at the door.
+        peak_pending: high-water mark of ``pending``.
+    """
+
+    max_pending: int = 64
+    pending: int = field(default=0, init=False)
+    admitted: int = field(default=0, init=False)
+    shed: int = field(default=0, init=False)
+    peak_pending: int = field(default=0, init=False)
+
+    def try_enter(self) -> bool:
+        """Admit one request, or refuse (the caller answers 429)."""
+        if self.pending >= self.max_pending:
+            self.shed += 1
+            return False
+        self.pending += 1
+        self.admitted += 1
+        if self.pending > self.peak_pending:
+            self.peak_pending = self.pending
+        return True
+
+    def leave(self) -> None:
+        """Release one admitted request's slot (response written)."""
+        assert self.pending > 0, "leave() without a matching try_enter()"
+        self.pending -= 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able state for the ``/stats`` dashboard."""
+        return {"max_pending": self.max_pending, "pending": self.pending,
+                "admitted": self.admitted, "shed": self.shed,
+                "peak_pending": self.peak_pending}

@@ -179,3 +179,129 @@ class TestResultCache:
         files = [p for p in tmp_path.rglob("*") if p.is_file()]
         assert files == [cache.path_for(key)]
         json.loads(files[0].read_text())  # the surviving file is complete
+
+    def test_binary_garbage_entry_is_a_miss(self, tmp_path, instance,
+                                            platform, payload):
+        """Non-UTF-8 bytes must count as a corrupt miss, not crash.
+
+        ``read_text`` raises ``UnicodeDecodeError`` here, which is *not*
+        an ``OSError`` — an implementation reading text would let it
+        escape the miss handling and take down the caller."""
+        g, deadline = instance
+        cache = ResultCache(tmp_path)
+        key = instance_digest(g, deadline, platform, "edf")
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"\xff\xfe\x00garbage\x80\x81")
+        assert cache.get(key) is None
+        assert not path.exists()
+        cache.put(key, payload)
+        assert cache.get(key) == payload
+
+    def test_corrupt_drop_revalidates_before_unlink(
+            self, tmp_path, instance, platform, payload, monkeypatch):
+        """A corrupt read that a concurrent put has since replaced must
+        be served, not unlinked.
+
+        The race: this process reads corrupt bytes; before it unlinks
+        them, another process ``os.replace``\\ s a *valid* entry at the
+        same path.  A blind unlink would destroy that fresh write.  The
+        interleaving is simulated by handing ``_get`` corrupt bytes on
+        the first read while the file on disk is already valid."""
+        g, deadline = instance
+        cache = ResultCache(tmp_path)
+        key = instance_digest(g, deadline, platform, "edf")
+        cache.put(key, payload)  # the concurrent put has already landed
+
+        real_read = cache._read_entry
+        raced = {"done": False}
+
+        def corrupt_once(path):
+            if not raced["done"]:
+                raced["done"] = True
+                return b"truncated garb"
+            return real_read(path)
+
+        monkeypatch.setattr(cache, "_read_entry", corrupt_once)
+        # Served as a hit from the re-read under the shard lock...
+        assert cache.get(key) == payload
+        assert raced["done"]
+        # ...and the valid entry was NOT destroyed.
+        assert cache.path_for(key).exists()
+        monkeypatch.undo()
+        assert cache.get(key) == payload
+
+
+class TestEviction:
+    def _fill(self, cache, platform, instance, n, pad=2000):
+        """Store ``n`` distinct keyed entries of ~``pad`` bytes each."""
+        g, deadline = instance
+        keys = []
+        for i in range(n):
+            key = instance_digest(g, deadline * (1 + i), platform, "edf")
+            cache.put(key, [{"i": i, "pad": "x" * pad}])
+            keys.append(key)
+        return keys
+
+    def test_unbounded_cache_never_evicts(self, tmp_path, instance,
+                                          platform):
+        cache = ResultCache(tmp_path)  # max_bytes=None
+        keys = self._fill(cache, platform, instance, 8)
+        assert cache.stats.evictions == 0
+        assert all(cache.get(k) is not None for k in keys)
+
+    def test_put_bounds_the_tree(self, tmp_path, instance, platform):
+        cache = ResultCache(tmp_path, max_bytes=10_000)
+        self._fill(cache, platform, instance, 20)
+        assert cache.total_bytes() <= 10_000
+        assert cache.stats.evictions > 0
+        files = list(tmp_path.rglob("*.json"))
+        assert 0 < len(files) < 20
+
+    def test_eviction_is_least_recently_used(self, tmp_path, instance,
+                                             platform):
+        cache = ResultCache(tmp_path, max_bytes=1 << 30)
+        keys = self._fill(cache, platform, instance, 6)
+        # Age five entries far into the past; keep one recent.
+        for key in keys[:-1]:
+            os.utime(cache.path_for(key), (1.0, 1.0))
+        cache.max_bytes = cache.path_for(keys[-1]).stat().st_size
+        sweep = cache.evict()
+        assert sweep.entries_removed == 5
+        assert cache.get(keys[-1]) is not None  # the recent one survives
+        assert all(cache.get(k) is None for k in keys[:-1])
+
+    def test_hit_refreshes_recency(self, tmp_path, instance, platform):
+        cache = ResultCache(tmp_path, max_bytes=1 << 30)
+        keys = self._fill(cache, platform, instance, 6)
+        for key in keys:
+            os.utime(cache.path_for(key), (1.0, 1.0))
+        assert cache.get(keys[0]) is not None  # the hit bumps atime
+        cache.max_bytes = cache.path_for(keys[0]).stat().st_size
+        cache.evict()
+        assert cache.get(keys[0]) is not None
+        assert all(cache.get(k) is None for k in keys[1:])
+
+    def test_sweep_removes_aged_tmp_keeps_fresh(self, tmp_path, instance,
+                                                platform):
+        cache = ResultCache(tmp_path, max_bytes=None, tmp_ttl_seconds=60)
+        self._fill(cache, platform, instance, 1)
+        shard = next(p for p in tmp_path.iterdir() if p.is_dir())
+        aged = shard / "dead-writer.tmp"
+        aged.write_text("partial")
+        os.utime(aged, (1.0, 1.0))
+        fresh = shard / "live-writer.tmp"
+        fresh.write_text("partial")
+        sweep = cache.evict()  # unbounded: sweeps orphans only
+        assert sweep.tmp_removed == 1
+        assert sweep.entries_removed == 0
+        assert not aged.exists()
+        assert fresh.exists()
+        assert cache.stats.tmp_swept == 1
+
+    def test_total_bytes_counts_entries_only(self, tmp_path, instance,
+                                             platform):
+        cache = ResultCache(tmp_path)
+        self._fill(cache, platform, instance, 3)
+        want = sum(p.stat().st_size for p in tmp_path.rglob("*.json"))
+        assert cache.total_bytes() == want

@@ -1,0 +1,191 @@
+"""Multi-process safety of the result cache.
+
+The :mod:`repro.serve` service runs many writers against one cache
+tree — possibly alongside campaign processes sharing the directory.
+These tests drive the store from real concurrent processes and assert
+the multi-writer contract:
+
+* no reader ever observes a partial or corrupt payload (atomic
+  replace + bytes-validated decode),
+* a valid entry is never lost to a concurrent corrupt-entry unlink
+  (the satellite-1 race: revalidate under the shard lock), and
+* ``*.tmp`` orphans of SIGKILLed writers are swept by the eviction
+  pass — and only aged ones.
+
+Workers are separate interpreter processes (not threads): advisory
+``flock`` serialises *processes*, which is the deployment reality.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.exec.cache import ResultCache
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(__import__("os"), "fork"),
+    reason="multi-process cache tests need POSIX")
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH", "")) if p)
+    return env
+
+
+def _payload_for(i):
+    """The deterministic payload every process stores under key ``i``."""
+    return [{"instance": i, "energy": i * 1.25, "pad": "x" * (50 + i)}]
+
+
+def _keys(n):
+    """Distinct synthetic 64-hex keys spread across shards."""
+    return [f"{i:02x}" + "ab" * 31 for i in range(n)]
+
+
+WORKER = textwrap.dedent("""\
+    import json, sys
+    from repro.exec.cache import ResultCache
+
+    root, seed, rounds, n_keys = (sys.argv[1], int(sys.argv[2]),
+                                  int(sys.argv[3]), int(sys.argv[4]))
+
+    def payload_for(i):
+        return [{"instance": i, "energy": i * 1.25,
+                 "pad": "x" * (50 + i)}]
+
+    keys = [f"{i:02x}" + "ab" * 31 for i in range(n_keys)]
+    cache = ResultCache(root)
+    bad = 0
+    for r in range(rounds):
+        for i, key in enumerate(keys):
+            if (r + seed + i) % 3 == 0:
+                cache.put(key, payload_for(i))
+            else:
+                got = cache.get(key)
+                # The one invariant: absent or byte-exact — never a
+                # torn/partial/foreign payload.
+                if got is not None and got != payload_for(i):
+                    bad += 1
+        if seed == 0 and r % 4 == 3:
+            cache.evict()  # concurrent maintenance passes are legal too
+    print(json.dumps({"bad": bad, "hits": cache.stats.hits,
+                      "misses": cache.stats.misses}))
+    """)
+
+
+class TestConcurrentStress:
+    def test_concurrent_get_put_evict_never_tears(self, tmp_path):
+        """4 processes x interleaved get/put/evict: every observed
+        payload must be byte-identical to what a serial run stores."""
+        n_keys, rounds = 8, 24
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", WORKER, str(tmp_path), str(seed),
+                 str(rounds), str(n_keys)],
+                env=_env(), stdout=subprocess.PIPE, text=True)
+            for seed in range(4)
+        ]
+        reports = []
+        for p in procs:
+            out, _ = p.communicate(timeout=120)
+            assert p.returncode == 0
+            reports.append(json.loads(out))
+        assert all(r["bad"] == 0 for r in reports)
+        assert sum(r["hits"] for r in reports) > 0
+
+        # Quiesced: the tree serves exactly the serial payloads.
+        cache = ResultCache(tmp_path)
+        for i, key in enumerate(_keys(n_keys)):
+            got = cache.get(key)
+            assert got is None or got == _payload_for(i)
+        # ... and holds no stray files beyond entries.
+        stray = [p for p in tmp_path.rglob("*")
+                 if p.is_file() and p.suffix != ".json"]
+        assert stray == []
+
+    def test_corrupt_drop_vs_put_race_two_processes(self, tmp_path):
+        """Loop the satellite-1 interleaving across two real processes:
+        a reader hitting corrupt bytes races a writer replacing them
+        with a valid entry.  Whatever the timing, the end state must be
+        the writer's valid entry — a blind unlink loses it."""
+        key = _keys(1)[0]
+        script = textwrap.dedent("""\
+            import sys
+            from repro.exec.cache import ResultCache
+            root, role, key = sys.argv[1], sys.argv[2], sys.argv[3]
+            cache = ResultCache(root)
+            payload = [{"instance": 0, "energy": 0.0, "pad": "x" * 50}]
+            for _ in range(200):
+                if role == "reader":
+                    got = cache.get(key)
+                    assert got in (None, payload), got
+                else:
+                    cache.put(key, payload)
+            """)
+        for _ in range(5):
+            cache = ResultCache(tmp_path)
+            path = cache.path_for(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_bytes(b"{corrupt")
+            procs = [
+                subprocess.Popen(
+                    [sys.executable, "-c", script, str(tmp_path), role,
+                     key], env=_env())
+                for role in ("reader", "writer")
+            ]
+            for p in procs:
+                assert p.wait(timeout=120) == 0
+            # The writer's last put must have survived the reader's
+            # corrupt-entry handling.
+            assert cache.get(key) == _payload_for(0)
+
+
+class TestTmpOrphanLifecycle:
+    def test_sigkilled_writer_orphan_is_swept(self, tmp_path):
+        """A writer killed between ``mkstemp`` and ``os.replace`` leaks
+        its tmp (``finally`` never runs); the eviction pass reclaims it
+        once aged."""
+        key = _keys(1)[0]
+        script = textwrap.dedent("""\
+            import os, signal, sys, tempfile
+            from repro.exec.cache import ResultCache
+            cache = ResultCache(sys.argv[1])
+            path = cache.path_for(sys.argv[2])
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            os.write(fd, b'{"schema": 2, "resu')  # mid-entry...
+            os.fsync(fd)
+            os.kill(os.getpid(), signal.SIGKILL)  # ...and gone
+            """)
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(tmp_path), key],
+            env=_env(), timeout=120)
+        assert proc.returncode == -signal.SIGKILL
+        cache = ResultCache(tmp_path, tmp_ttl_seconds=0.0)
+        orphans = list(tmp_path.rglob("*.tmp"))
+        assert len(orphans) == 1  # the leak is real
+        time.sleep(0.05)  # let the orphan age past the zero TTL
+        sweep = cache.evict()
+        assert sweep.tmp_removed == 1
+        assert not orphans[0].exists()
+
+    def test_fresh_tmp_survives_the_sweep(self, tmp_path):
+        """A *live* writer's tmp (younger than the TTL) is never taken
+        for an orphan."""
+        key = _keys(1)[0]
+        cache = ResultCache(tmp_path, tmp_ttl_seconds=3600.0)
+        shard = cache.path_for(key).parent
+        shard.mkdir(parents=True)
+        live_tmp = shard / "inflight.tmp"
+        live_tmp.write_text("partial write in progress")
+        sweep = cache.evict()
+        assert sweep.tmp_removed == 0
+        assert live_tmp.exists()

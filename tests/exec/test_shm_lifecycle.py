@@ -60,6 +60,20 @@ class TestRoundTrip:
         back = take_array(handle)
         assert back.shape == (0, 17)
 
+    def test_empty_array_keeps_dtype_and_unlinks(self):
+        """The zero-size path (1-byte pad segment) must preserve dtype
+        and release its segment like any other take."""
+        handle = publish_array(np.empty((0, 6, 16), dtype=np.float64))
+        assert segment_exists(handle.name)
+        back = take_array(handle)
+        assert back.shape == (0, 6, 16)
+        assert back.dtype == np.float64
+        assert not segment_exists(handle.name)
+
+    def test_empty_int_array_round_trip(self):
+        back = take_array(publish_array(np.empty((3, 0), dtype=np.int32)))
+        assert back.shape == (3, 0) and back.dtype == np.int32
+
     def test_non_contiguous_publish(self):
         arr = np.arange(24.0).reshape(4, 6)[:, ::2]
         handle = publish_array(np.ascontiguousarray(arr))
@@ -168,6 +182,24 @@ class TestPoolTransport:
         dones = [d for d, _ in seen]
         assert dones == sorted(dones)
         assert seen[-1] == (len(self.SPECS), len(self.SPECS))
+
+    def test_empty_result_arrays_through_the_pool(self):
+        """Workers returning zero-size arrays must round-trip the shm
+        transport — the server's fully-warm / empty-dispatch shape."""
+        specs = [(seed, (0, 17)) for seed in range(4)]
+        out = run_instances_shm(_payload, specs, jobs=2, chunksize=2)
+        assert len(out) == len(specs)
+        for item in out:
+            assert item.value.shape == (0, 17)
+
+    def test_suite_chunk_worker_empty_chunk(self):
+        """A zero-instance chunk encodes to a (0, 6, 16) block instead
+        of tripping ``np.stack`` on an empty list."""
+        from repro.exec.runner import _suite_chunk_worker
+
+        arr = _suite_chunk_worker((0, (), None, "edf"))
+        assert arr.shape == (0, 6, 16)
+        assert arr.dtype == np.float64
 
     def test_existing_annotation_not_overwritten(self):
         """_identify_failure must respect worker-side attribution."""
