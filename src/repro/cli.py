@@ -273,6 +273,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         window_seconds=args.batch_window_ms / 1e3,
         max_pending=args.max_pending,
+        obs_max_spans=args.obs_max_spans if args.obs_max_spans > 0
+        else None,
+        metrics_window_seconds=args.metrics_window_seconds,
     )
 
     async def _run() -> None:
@@ -297,6 +300,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"(inspect with 'repro stats {trace_path}')",
               file=sys.stderr)
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .serve.top import run_top
+
+    return run_top(args.url, interval_seconds=args.interval,
+                   iterations=1 if args.once else None)
 
 
 def _cmd_power(args: argparse.Namespace) -> int:
@@ -388,11 +398,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-pending", type=int, default=64, metavar="N",
                    help="admission ceiling; excess requests are shed "
                         "with 429 (default: 64)")
+    p.add_argument("--obs-max-spans", type=int, default=50_000,
+                   metavar="N",
+                   help="span-retention bound of the service log; "
+                        "older spans fold into streaming aggregates "
+                        "(default: 50000; 0 = unbounded, campaign "
+                        "semantics)")
+    p.add_argument("--metrics-window-seconds", type=float, default=60.0,
+                   metavar="S",
+                   help="sliding window behind the /metrics and /stats "
+                        "rate/quantile gauges (default: 60)")
     p.add_argument("--profile", nargs="?", const="repro-serve-trace.json",
                    default=None, metavar="PATH",
                    help="write a Chrome-trace JSON of the serving "
                         "session on shutdown")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "top",
+        help="live terminal dashboard polling a running serve's /stats")
+    p.add_argument("--url", default="http://127.0.0.1:8642",
+                   help="server base URL "
+                        "(default: http://127.0.0.1:8642)")
+    p.add_argument("--interval", type=float, default=2.0, metavar="S",
+                   help="seconds between polls (default: 2)")
+    p.add_argument("--once", action="store_true",
+                   help="render a single frame and exit (scripting)")
+    p.set_defaults(func=_cmd_top)
 
     p = sub.add_parser(
         "audit",

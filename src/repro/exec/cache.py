@@ -416,6 +416,15 @@ class ResultCache:
             total += st.st_size
         return total
 
+    def usage(self) -> Tuple[int, int]:
+        """Current ``(entry_count, total_bytes)`` in one tree walk.
+
+        The ``/metrics`` gauge pair — one :meth:`_scan_entries` pass
+        serves both numbers, so a scrape costs a single directory walk.
+        """
+        entries = self._scan_entries()
+        return len(entries), sum(st.st_size for _path, st in entries)
+
     def _scan_entries(self) -> List[Tuple[Path, os.stat_result]]:
         """Stat every entry file, in sorted order; vanished ones skipped."""
         out: List[Tuple[Path, os.stat_result]] = []

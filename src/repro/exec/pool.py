@@ -18,6 +18,13 @@ per-chunk and per-instance spans into its own log and ships it back
 inside the chunk's last :class:`InstanceResult`; the coordinating
 process merges them, so a ``--jobs 8`` run yields one trace with a
 lane per worker pid.
+
+Callers can attach per-item span attributes via ``tags`` (one optional
+dict per item) — the serve layer uses this to stamp each worker-side
+``exec.instance`` span with the ``request_ids`` it is computing for,
+so a service trace correlates pool work back to HTTP requests.  Tags
+ride only in span args: they never reach ``fn`` and cannot change
+results.
 """
 
 from __future__ import annotations
@@ -27,7 +34,7 @@ import math
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -91,9 +98,27 @@ def _identify_failure(exc: BaseException, index: int, item: Any) -> None:
         add_note(f"while evaluating instance {index}: {item_repr}")
 
 
+#: Per-item span attributes: one optional small dict per work item.
+ItemTags = Optional[Sequence[Optional[Dict[str, Any]]]]
+
+
+def _check_tags(tags: ItemTags, total: int) -> None:
+    if tags is not None and len(tags) != total:
+        raise ValueError(f"tags length {len(tags)} != items {total}")
+
+
+def _instance_attrs(index: int, tags: ItemTags,
+                    offset: int) -> Dict[str, Any]:
+    attrs: Dict[str, Any] = {"index": index}
+    if tags is not None and tags[offset]:
+        attrs.update(tags[offset])  # type: ignore[arg-type]
+    return attrs
+
+
 def _run_chunk(fn: Callable[[Any], Any], start: int,
                items: Sequence[Any],
-               profile: bool = False) -> List[InstanceResult]:
+               profile: bool = False,
+               tags: ItemTags = None) -> List[InstanceResult]:
     """Worker-side body: apply ``fn`` to a contiguous chunk, timed."""
     log = ObsLog() if profile else None
     o = live(log)
@@ -104,7 +129,8 @@ def _run_chunk(fn: Callable[[Any], Any], start: int,
             t0 = time.perf_counter()
             try:
                 with o.span("exec.instance", category="exec",
-                            index=start + offset):
+                            **_instance_attrs(start + offset, tags,
+                                              offset)):
                     value = fn(item)
             except BaseException as exc:
                 _identify_failure(exc, start + offset, item)
@@ -124,6 +150,7 @@ def run_instances(
     chunksize: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
     obs: Optional[ObsLog] = None,
+    tags: ItemTags = None,
 ) -> List[InstanceResult]:
     """Apply ``fn`` to every item, possibly across worker processes.
 
@@ -138,6 +165,11 @@ def run_instances(
         obs: optional :class:`~repro.obs.ObsLog`; records the fan-out
             span here plus per-chunk/per-instance worker spans (merged
             in as chunks complete).  Never changes results.
+        tags: optional per-item span attributes (one small dict or
+            ``None`` per item, same length as ``items``), merged into
+            each item's ``exec.instance`` span args — request
+            correlation for the serve layer.  Ignored when ``obs`` is
+            ``None``; never passed to ``fn``.
 
     Returns:
         One :class:`InstanceResult` per item, in input order.
@@ -153,6 +185,7 @@ def run_instances(
     total = len(items)
     if total == 0:
         return []
+    _check_tags(tags, total)
     o = live(obs)
 
     if jobs == 1:
@@ -163,7 +196,7 @@ def run_instances(
                 t0 = time.perf_counter()
                 try:
                     with o.span("exec.instance", category="exec",
-                                index=i):
+                                **_instance_attrs(i, tags, i)):
                         value = fn(item)
                 except BaseException as exc:
                     _identify_failure(exc, i, item)
@@ -188,8 +221,10 @@ def run_instances(
                 jobs=jobs, items=total, chunks=len(chunks)):
         with ProcessPoolExecutor(
                 max_workers=min(jobs, len(chunks))) as pool:
-            futures = {pool.submit(_run_chunk, fn, start, chunk,
-                                   profile): len(chunk)
+            futures = {pool.submit(
+                _run_chunk, fn, start, chunk, profile,
+                tags[start:start + len(chunk)] if tags is not None
+                else None): len(chunk)
                        for start, chunk in chunks}
             done = 0
             try:
@@ -213,7 +248,8 @@ def run_instances(
 
 def _run_chunk_shm(fn: Callable[[Any], Any], start: int,
                    items: Sequence[Any], names: Sequence[str],
-                   profile: bool = False) -> List[InstanceResult]:
+                   profile: bool = False,
+                   tags: ItemTags = None) -> List[InstanceResult]:
     """Worker-side body of the shm transport: publish, return handles.
 
     ``fn`` must return an ndarray per item; each is published under the
@@ -229,7 +265,8 @@ def _run_chunk_shm(fn: Callable[[Any], Any], start: int,
             t0 = time.perf_counter()
             try:
                 with o.span("exec.instance", category="exec",
-                            index=start + offset):
+                            **_instance_attrs(start + offset, tags,
+                                              offset)):
                     value = fn(item)
                 handle = publish_array(np.ascontiguousarray(value),
                                        name=names[offset])
@@ -251,6 +288,7 @@ def run_instances_shm(
     chunksize: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
     obs: Optional[ObsLog] = None,
+    tags: ItemTags = None,
 ) -> List[InstanceResult]:
     """:func:`run_instances` for array-returning ``fn``, via shm blocks.
 
@@ -275,9 +313,10 @@ def run_instances_shm(
     total = len(items)
     if total == 0:
         return []
+    _check_tags(tags, total)
     if jobs == 1:
         return run_instances(fn, items, jobs=1, progress=progress,
-                             obs=obs)
+                             obs=obs, tags=tags)
     o = live(obs)
 
     if chunksize is None:
@@ -298,7 +337,9 @@ def run_instances_shm(
                 futures = {
                     pool.submit(_run_chunk_shm, fn, start, chunk,
                                 names[start:start + len(chunk)],
-                                profile): len(chunk)
+                                profile,
+                                tags[start:start + len(chunk)]
+                                if tags is not None else None): len(chunk)
                     for start, chunk in chunks}
                 done = 0
                 try:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -84,6 +84,14 @@ class ExecOptions:
             orphaned temp files) as it grows past the budget — the
             long-running-service mode.  ``None`` (the default) keeps
             the historical unbounded behaviour, byte-for-byte.
+        live_obs: an externally-owned :class:`~repro.obs.ObsLog` (the
+            serve app's, typically retention-bounded) that evaluation
+            spans are recorded into *without* switching the execution
+            path: unlike ``profile`` — which forces the per-instance
+            path so suite-internal span nesting exists — ``live_obs``
+            leaves batching/shm exactly as configured and captures the
+            pool-level ``exec.chunk`` / ``exec.instance`` worker spans.
+            ``None`` (campaigns) records nothing extra.
     """
 
     jobs: int = 1
@@ -96,6 +104,8 @@ class ExecOptions:
     shm: bool = True
     batch_chunk: int = 32
     cache_max_bytes: Optional[int] = None
+    live_obs: Optional[ObsLog] = field(
+        default=None, repr=False, compare=False)
     _cache: Optional[ResultCache] = field(
         default=None, init=False, repr=False, compare=False)
     _audit: Optional[AuditLog] = field(
@@ -112,7 +122,8 @@ class ExecOptions:
         if not self.use_cache or self.cache_dir is None:
             return None
         if self._cache is None:
-            self._cache = ResultCache(self.cache_dir, obs=self.open_obs(),
+            self._cache = ResultCache(self.cache_dir,
+                                      obs=self.open_obs() or self.live_obs,
                                       max_bytes=self.cache_max_bytes)
         return self._cache
 
@@ -302,6 +313,7 @@ def evaluate_suite_instances(
     platform: Optional[Platform] = None,
     policy: str = "edf",
     options: Optional[ExecOptions] = None,
+    request_ids: Optional[Sequence[Optional[Sequence[str]]]] = None,
 ) -> List[Dict[Heuristic, ScheduleResult]]:
     """Run :func:`paper_suite` on every instance, cached and in parallel.
 
@@ -313,6 +325,13 @@ def evaluate_suite_instances(
             are cacheable — callables silently bypass the cache.
         options: execution knobs; default is serial and uncached,
             which reproduces the historical behaviour exactly.
+        request_ids: optional request correlation, one entry per
+            instance: the originating serve-layer request ids (several
+            when dedupe coalesced identical requests).  They become
+            span attributes on the worker-side ``exec.chunk`` /
+            ``exec.instance`` spans when an obs log is live
+            (``profile`` or ``options.live_obs``); they never affect
+            evaluation or the cache.
 
     Returns:
         One heuristic→result dict per instance, in input order.  The
@@ -321,10 +340,19 @@ def evaluate_suite_instances(
     """
     platform = platform or default_platform()
     options = options or ExecOptions()
+    if (request_ids is not None
+            and len(request_ids) != len(instances)):
+        raise ValueError(
+            f"request_ids length {len(request_ids)} != instances "
+            f"{len(instances)}")
     cache = options.open_cache() if isinstance(policy, str) else None
     audit = options.open_audit()
     obs = options.open_obs()
-    o = live(obs)
+    # The profile log switches the execution path (per-instance, so
+    # suite-internal nesting exists); the serve app's live_obs must
+    # not — it only *receives* the spans the configured path records.
+    pool_obs = obs if obs is not None else options.live_obs
+    o = live(pool_obs)
 
     results: List[Optional[Dict[Heuristic, ScheduleResult]]] = \
         [None] * len(instances)
@@ -356,9 +384,14 @@ def evaluate_suite_instances(
         work = [(instances[i][0], instances[i][1], platform, policy,
                  audit is not None, obs is not None)
                 for i in pending]
+        tags: Optional[List[Optional[Dict[str, Any]]]] = None
+        if request_ids is not None:
+            tags = [{"request_ids": list(request_ids[i] or ())}
+                    if request_ids[i] else None for i in pending]
         wrapped = audit is not None or obs is not None
         for item in run_instances(_suite_worker, work, jobs=options.jobs,
-                                  progress=options.progress, obs=obs):
+                                  progress=options.progress, obs=pool_obs,
+                                  tags=tags):
             i = pending[item.index]
             payload = item.value
             if wrapped:
@@ -395,10 +428,21 @@ def evaluate_suite_instances(
             # The pool counts completed chunk-items; report instances.
             progress(min(done * chunksize, total), total)
 
+    chunk_tags: Optional[List[Optional[Dict[str, Any]]]] = None
+    if request_ids is not None:
+        chunk_tags = []
+        for start in range(0, total, chunksize):
+            rids: List[str] = []
+            for i in pending[start:start + chunksize]:
+                if request_ids[i]:
+                    rids.extend(request_ids[i])
+            chunk_tags.append({"request_ids": rids} if rids else None)
+
     fan_out = run_instances_shm if options.shm else run_instances
     for item in fan_out(_suite_chunk_worker, chunk_items,
                         jobs=options.jobs, chunksize=1,
-                        progress=chunk_progress):
+                        progress=chunk_progress, obs=pool_obs,
+                        tags=chunk_tags):
         start = chunk_items[item.index][0]
         block = item.value
         k = block.shape[0]

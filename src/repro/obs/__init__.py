@@ -15,6 +15,11 @@ Profiling is result-neutral by construction: every instrumentation site
 takes ``obs=None`` and degrades to the no-op :data:`NULL_OBS`, and
 ``tests/obs`` proves byte-identical experiment JSON and cache files
 with and without ``--profile``.
+
+For long-running services, :mod:`repro.obs.metrics` adds the live
+layer: bounded span retention (``ObsLog(max_spans=N)``), sliding-window
+rates and quantiles (:class:`WindowAggregator`), and Prometheus text
+exposition (:func:`render_prometheus` / :func:`validate_exposition`).
 """
 
 from .export import (
@@ -30,6 +35,16 @@ from .export import (
     write_metrics_jsonl,
 )
 from .log import NULL_OBS, Histogram, NullObs, ObsLog, SpanRecord, live
+from .metrics import (
+    WindowAggregator,
+    bucket_bounds,
+    histogram_quantiles,
+    parse_prometheus,
+    prometheus_name,
+    quantile_from_buckets,
+    render_prometheus,
+    validate_exposition,
+)
 
 __all__ = [
     "ObsLog",
@@ -38,6 +53,14 @@ __all__ = [
     "live",
     "SpanRecord",
     "Histogram",
+    "WindowAggregator",
+    "bucket_bounds",
+    "histogram_quantiles",
+    "quantile_from_buckets",
+    "prometheus_name",
+    "render_prometheus",
+    "parse_prometheus",
+    "validate_exposition",
     "chrome_trace",
     "write_chrome_trace",
     "metrics_jsonl",

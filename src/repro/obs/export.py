@@ -61,8 +61,30 @@ def _span_events(log: ObsLog) -> List[Dict[str, Any]]:
     return events
 
 
+def _fold_aggregates(base: Dict[str, Dict[str, float]],
+                     extra: Dict[str, Dict[str, float]]
+                     ) -> Dict[str, Dict[str, float]]:
+    """Fold per-name span aggregates ``extra`` into ``base`` in place."""
+    for name, agg in extra.items():
+        mine = base.setdefault(name, {"calls": 0, "total_s": 0.0,
+                                      "self_s": 0.0, "max_s": 0.0})
+        mine["calls"] += agg["calls"]
+        mine["total_s"] += agg["total_s"]
+        mine["self_s"] += agg["self_s"]
+        if agg["max_s"] > mine["max_s"]:
+            mine["max_s"] = agg["max_s"]
+    return base
+
+
 def chrome_trace(log: ObsLog) -> Dict[str, Any]:
-    """Render ``log`` as a Trace Event Format dict."""
+    """Render ``log`` as a Trace Event Format dict.
+
+    A retention-bounded log renders its *retained* spans as events and
+    folds the evicted spans' streaming aggregates into
+    ``spanAggregates``, so the table stays exact even when the timeline
+    is a ring of the newest records.  An unbounded (campaign) log emits
+    exactly the pre-retention document.
+    """
     events: List[Dict[str, Any]] = []
     pids = sorted({s.pid for s in log.spans})
     main_pid = pids[0] if pids else 0
@@ -74,19 +96,23 @@ def chrome_trace(log: ObsLog) -> Dict[str, Any]:
         })
     span_events = _span_events(log)
     events.extend(span_events)
+    # Interval nesting, not the recorded per-log self times: a worker's
+    # pool spans and suite spans live in different logs, and only the
+    # (pid, tid, time) view nests across that boundary.
+    aggregates = aggregate_trace_events(span_events)
+    obs_block: Dict[str, Any] = {
+        "counters": dict(log.counters),
+        "histograms": {k: h.to_dict()
+                       for k, h in log.histograms.items()},
+        "spanAggregates": aggregates,
+    }
+    if log.evicted_spans:
+        _fold_aggregates(aggregates, log.evicted_aggregates)
+        obs_block["evictedSpans"] = log.evicted_spans
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "reproObs": {
-            "counters": dict(log.counters),
-            "histograms": {k: h.to_dict()
-                           for k, h in log.histograms.items()},
-            # Interval nesting, not the recorded per-log self times:
-            # a worker's pool spans and suite spans live in different
-            # logs, and only the (pid, tid, time) view nests across
-            # that boundary.
-            "spanAggregates": aggregate_trace_events(span_events),
-        },
+        "reproObs": obs_block,
     }
 
 
@@ -132,6 +158,8 @@ def span_aggregates(log: ObsLog) -> Dict[str, Dict[str, float]]:
         agg["self_s"] += s.self_time
         if s.duration > agg["max_s"]:
             agg["max_s"] = s.duration
+    if log.evicted_spans:
+        _fold_aggregates(out, log.evicted_aggregates)
     return out
 
 
@@ -192,6 +220,8 @@ def metrics_jsonl(log: ObsLog) -> str:
             {"type": "histogram", "name": name,
              **log.histograms[name].to_dict()}, sort_keys=True))
     aggs = aggregate_trace_events(_span_events(log))
+    if log.evicted_spans:
+        _fold_aggregates(aggs, log.evicted_aggregates)
     for name in sorted(aggs):
         lines.append(json.dumps(
             {"type": "span", "name": name, **aggs[name]},
@@ -258,7 +288,10 @@ def format_stats(*, aggregates: Dict[str, Dict[str, float]],
 
 def format_log_stats(log: ObsLog) -> str:
     """:func:`format_stats` straight from a live :class:`ObsLog`."""
+    aggregates = aggregate_trace_events(_span_events(log))
+    if log.evicted_spans:
+        _fold_aggregates(aggregates, log.evicted_aggregates)
     return format_stats(
-        aggregates=aggregate_trace_events(_span_events(log)),
+        aggregates=aggregates,
         counters=log.counters,
         histograms={k: h.to_dict() for k, h in log.histograms.items()})

@@ -27,6 +27,26 @@ nothing.  Use :func:`live` to normalise an optional log::
     with o.span("sched.list_schedule", tasks=graph.n):
         ...
     o.count("sched.schedules_built")
+
+**The since-boot contract.**  Counters and histograms are *cumulative
+for the lifetime of the log*: counters only grow, histograms only
+accumulate, and nothing in this module ever resets them.  That is what
+makes logs mergeable and what ``/stats`` reports.  Anything windowed —
+requests per second "now", the p99 over the last minute — is a *derived*
+view computed by :class:`repro.obs.metrics.WindowAggregator` from
+snapshots of this cumulative state; the recorder itself stays
+monotonic.  Counters and histograms are bounded by the number of
+distinct *names* (a handful per subsystem), so they are safe to keep
+forever even in a long-running server.
+
+Span records are the one per-event collection.  A campaign log keeps
+every span (profile export must be lossless), but a server that runs
+for a week cannot: construct with ``ObsLog(max_spans=N)`` and the log
+keeps only the *newest* ``N`` span records, folding each evicted record
+into per-name streaming aggregates (``evicted_spans`` /
+``evicted_aggregates``) so ``/stats`` totals and self-time tables stay
+exact while memory stays constant.  The default (``max_spans=None``)
+is today's unbounded capture — campaign profiles are byte-identical.
 """
 
 from __future__ import annotations
@@ -35,8 +55,9 @@ import math
 import os
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, Iterable, List, Optional, Union
 
 __all__ = ["SpanRecord", "Histogram", "ObsLog", "NullObs", "NULL_OBS",
            "live"]
@@ -177,12 +198,52 @@ class _Span:
         return None  # never swallow exceptions
 
 
+class _BoundedSpans(deque):
+    """Ring of the newest ``max_spans`` span records.
+
+    Every producer reaches spans through ``append``/``extend`` (the
+    span context manager, ``merge_dict``, the serve app), so overriding
+    those two is enough to enforce the bound.  Not built on
+    ``deque(maxlen=...)`` because eviction must *fold* the dropped
+    record into the owning log's streaming aggregates, and ``maxlen``
+    drops silently.  ``popleft`` keeps eviction O(1) per append.
+
+    A small lock serialises writers: in serve mode the event-loop
+    thread appends request spans while the dispatch thread merges
+    worker payloads.  The unbounded campaign path never constructs
+    this class and pays nothing.
+    """
+
+    def __init__(self, log: "ObsLog", max_spans: int,
+                 initial: Iterable[SpanRecord] = ()) -> None:
+        super().__init__()
+        self._log = log
+        self._max = max(1, int(max_spans))
+        self._lock = threading.Lock()
+        self.extend(initial)
+
+    def append(self, record: SpanRecord) -> None:
+        with self._lock:
+            while len(self) >= self._max:
+                self._log._fold_evicted(super().popleft())
+            super().append(record)
+
+    def extend(self, records: Iterable[SpanRecord]) -> None:
+        for record in records:
+            self.append(record)
+
+
 @dataclass
 class ObsLog:
     """Spans, counters and histograms of one (part of a) run.
 
     Mergeable across processes: workers build their own log and the
     parent folds :meth:`to_dict` payloads in with :meth:`merge_dict`.
+
+    With ``max_spans`` set, only the newest ``max_spans`` span records
+    are retained; older ones fold into :attr:`evicted_aggregates` (see
+    the module docstring).  Counters and histograms are never bounded —
+    they are cumulative by contract and small by construction.
     """
 
     spans: List[SpanRecord] = field(default_factory=list)
@@ -192,6 +253,20 @@ class ObsLog:
                                 compare=False)
     _pid: int = field(default_factory=os.getpid, repr=False,
                       compare=False)
+    #: Retention bound for span records; ``None`` = unbounded capture.
+    max_spans: Optional[int] = None
+    #: Spans dropped by the retention bound (0 in campaign mode).
+    evicted_spans: int = field(default=0, compare=False)
+    #: Streaming per-name aggregates of evicted spans, in the same
+    #: ``{"calls", "total_s", "self_s", "max_s"}`` shape as
+    #: :func:`repro.obs.export.span_aggregates`.
+    evicted_aggregates: Dict[str, Dict[str, float]] = field(
+        default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.max_spans is not None:
+            self.spans = _BoundedSpans(  # type: ignore[assignment]
+                self, self.max_spans, self.spans)
 
     #: Real recorder — lets callers branch on ``obs.enabled`` when an
     #: instrumentation block itself costs something to set up.
@@ -214,15 +289,40 @@ class ObsLog:
             hist = self.histograms[name] = Histogram()
         hist.observe(seconds)
 
+    def _fold_evicted(self, record: SpanRecord) -> None:
+        """Fold one retention-evicted span into streaming aggregates."""
+        self.evicted_spans += 1
+        agg = self.evicted_aggregates.get(record.name)
+        if agg is None:
+            agg = self.evicted_aggregates[record.name] = {
+                "calls": 0, "total_s": 0.0, "self_s": 0.0, "max_s": 0.0}
+        agg["calls"] += 1
+        agg["total_s"] += record.duration
+        agg["self_s"] += record.self_time
+        if record.duration > agg["max_s"]:
+            agg["max_s"] = record.duration
+
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-able/picklable snapshot for shipping across processes."""
-        return {
+        """JSON-able/picklable snapshot for shipping across processes.
+
+        The wire format only grows the ``evicted_*`` keys when the
+        retention bound actually dropped something, so unbounded
+        campaign payloads are byte-identical to before retention
+        existed.
+        """
+        doc: Dict[str, Any] = {
             "spans": [s.to_list() for s in self.spans],
             "counters": dict(self.counters),
             "histograms": {k: h.to_dict()
                            for k, h in self.histograms.items()},
         }
+        if self.evicted_spans:
+            doc["evicted_spans"] = self.evicted_spans
+            doc["evicted_aggregates"] = {
+                name: dict(agg)
+                for name, agg in self.evicted_aggregates.items()}
+        return doc
 
     def merge_dict(self, payload: Dict[str, Any]) -> None:
         """Fold a :meth:`to_dict` payload (e.g. from a worker) in."""
@@ -235,6 +335,17 @@ class ObsLog:
             if mine is None:
                 mine = self.histograms[name] = Histogram()
             mine.merge(hist)
+        self.evicted_spans += int(payload.get("evicted_spans", 0))
+        for name, agg in payload.get("evicted_aggregates", {}).items():
+            mine_agg = self.evicted_aggregates.get(name)
+            if mine_agg is None:
+                mine_agg = self.evicted_aggregates[name] = {
+                    "calls": 0, "total_s": 0.0, "self_s": 0.0,
+                    "max_s": 0.0}
+            mine_agg["calls"] += agg["calls"]
+            mine_agg["total_s"] += agg["total_s"]
+            mine_agg["self_s"] += agg["self_s"]
+            mine_agg["max_s"] = max(mine_agg["max_s"], agg["max_s"])
 
     def merge(self, other: "ObsLog") -> None:
         """Fold another in-process log in."""
@@ -250,8 +361,10 @@ class ObsLog:
     def summary_line(self) -> str:
         """One-line overview (span/counter totals), for stderr."""
         total = sum(s.duration for s in self.spans if s.depth == 0)
-        return (f"[obs] {len(self.spans)} spans ({total:.3f} s at top "
-                f"level), {len(self.counters)} counters, "
+        evicted = (f" (+{self.evicted_spans} evicted)"
+                   if self.evicted_spans else "")
+        return (f"[obs] {len(self.spans)} spans{evicted} ({total:.3f} s "
+                f"at top level), {len(self.counters)} counters, "
                 f"{len(self.histograms)} histograms")
 
 

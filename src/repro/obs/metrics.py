@@ -1,0 +1,552 @@
+"""Live telemetry over :class:`~repro.obs.log.ObsLog`: rolling windows,
+quantile estimation and Prometheus text exposition.
+
+:mod:`repro.obs.log` records *since-boot* cumulative state: counters
+only grow, histograms only accumulate.  That contract is what makes
+logs mergeable across workers, but an operator watching a long-running
+``repro serve`` needs the derivative, not the integral — requests per
+second *now*, the p99 over the *last minute*.  This module derives the
+live view without touching the recorder:
+
+- :class:`WindowAggregator` keeps a short ring of (monotonic-time,
+  counters, histogram-state) snapshots of one log and reports rates and
+  latency quantiles over the sliding window between the oldest retained
+  snapshot and the newest.  Snapshots are taken lazily on scrape (a
+  Prometheus poll or a ``repro top`` refresh *is* the sampling clock),
+  are bounded in number (``max_samples``) and hold only small dicts, so
+  a week of scraping costs constant memory.
+- :func:`quantile_from_buckets` estimates quantiles from the
+  power-of-two latency buckets the histograms already carry: the
+  observation at quantile ``q`` lies in a known ``[2**(e-1), 2**e)``
+  interval, and linear interpolation inside it bounds the relative
+  error by the bucket width (a factor of two, tested in
+  ``tests/obs``).
+- :func:`render_prometheus` writes the whole state — counters,
+  histograms in cumulative ``le`` form, caller-supplied gauges and the
+  window's rate/quantile gauges — in the Prometheus text exposition
+  format (version 0.0.4), and :func:`parse_prometheus` /
+  :func:`validate_exposition` read it back; the parser feeds ``repro
+  top`` and the validator gates CI (``tools/validate_metrics.py``).
+
+Exposition is non-finite-safe by construction: an empty histogram's
+``min`` is ``math.inf`` in-process, but no NaN or infinity is ever
+written — empty families render their zero counts only.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, List, Mapping, Optional, \
+    Tuple
+
+from .log import Histogram, ObsLog
+
+__all__ = [
+    "bucket_bounds", "quantile_from_buckets", "histogram_quantiles",
+    "WindowAggregator", "prometheus_name", "render_prometheus",
+    "parse_prometheus", "validate_exposition",
+]
+
+
+# ----------------------------------------------------------------------
+# Quantile estimation from power-of-two buckets
+# ----------------------------------------------------------------------
+def bucket_bounds(exponent: int) -> Tuple[float, float]:
+    """The ``[lo, hi)`` seconds interval of one histogram bucket.
+
+    The underflow bucket (non-positive observations, a timer-resolution
+    artefact) maps to the degenerate ``(0.0, 0.0)``.
+    """
+    if exponent == Histogram.UNDERFLOW:
+        return 0.0, 0.0
+    return 2.0 ** (exponent - 1), 2.0 ** exponent
+
+
+def quantile_from_buckets(buckets: Mapping[int, int], q: float) -> float:
+    """Estimate the ``q``-quantile (seconds) of bucketed observations.
+
+    The rank-``q`` observation lies in a known power-of-two interval;
+    midpoint-rank linear interpolation inside that interval returns a
+    value *strictly inside* it, so the estimate is never off by more
+    than the bucket width (relative error < 2x for positive
+    observations).  Returns ``0.0`` for an empty bucket set.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = sum(buckets.values())
+    if total == 0:
+        return 0.0
+    rank = max(1.0, q * total)
+    seen = 0
+    last_hi = 0.0
+    for exponent in sorted(buckets):
+        n = buckets[exponent]
+        if n <= 0:
+            continue
+        lo, hi = bucket_bounds(exponent)
+        if seen + n >= rank:
+            # Midpoint convention: the k-th of n observations sits at
+            # (k - 0.5) / n through the bucket, never on its edges.
+            fraction = (rank - seen - 0.5) / n
+            return lo + fraction * (hi - lo)
+        seen += n
+        last_hi = hi
+    return last_hi  # rounding fell off the end: the top bucket's edge
+
+
+def histogram_quantiles(hist: Histogram,
+                        qs: Iterable[float] = (0.5, 0.9, 0.99),
+                        ) -> Dict[float, float]:
+    """Per-quantile estimates for one histogram (empty → all zeros)."""
+    return {q: quantile_from_buckets(hist.buckets, q) for q in qs}
+
+
+# ----------------------------------------------------------------------
+# Rolling-window aggregation
+# ----------------------------------------------------------------------
+#: One histogram's cumulative state inside a snapshot.
+_HistState = Tuple[int, float, Dict[int, int]]
+
+
+class WindowAggregator:
+    """Sliding-window rates and quantiles over one log's cumulative state.
+
+    Snapshots are cheap (small dict copies) and taken explicitly via
+    :meth:`sample` — the serve app samples on every ``/metrics`` and
+    ``/stats`` scrape, so the scraper's poll interval is the effective
+    resolution.  At most ``max_samples`` snapshots are retained and
+    samples closer than ``window_seconds / max_samples`` to the
+    previous one are coalesced, so memory is constant no matter how
+    aggressively the endpoint is polled.
+
+    All window arithmetic is deltas between the newest snapshot and the
+    oldest retained one; with fewer than two snapshots every rate is
+    0.0 and every quantile falls back to the since-boot buckets.
+    """
+
+    def __init__(self, log: ObsLog, *, window_seconds: float = 60.0,
+                 max_samples: int = 120) -> None:
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        self.log = log
+        self.window_seconds = float(window_seconds)
+        self.max_samples = max(2, int(max_samples))
+        self._min_spacing = self.window_seconds / self.max_samples
+        self._samples: Deque[
+            Tuple[float, Dict[str, int], Dict[str, _HistState]]] = deque()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def sample(self, now: Optional[float] = None) -> None:
+        """Snapshot the log's cumulative state (monotonic-clock stamped)."""
+        if now is None:
+            now = time.monotonic()
+        hists = {name: (h.count, h.total, dict(h.buckets))
+                 for name, h in self.log.histograms.items()}
+        counters = dict(self.log.counters)
+        with self._lock:
+            if (self._samples
+                    and now - self._samples[-1][0] < self._min_spacing):
+                return
+            self._samples.append((now, counters, hists))
+            cutoff = now - self.window_seconds
+            # Keep one sample at or before the cutoff as the baseline,
+            # so the window really spans ~window_seconds.
+            while (len(self._samples) > 2
+                   and self._samples[1][0] <= cutoff):
+                self._samples.popleft()
+            while len(self._samples) > self.max_samples:
+                self._samples.popleft()
+
+    @property
+    def samples_retained(self) -> int:
+        """Snapshots currently held (bounded by ``max_samples``)."""
+        return len(self._samples)
+
+    def _edges(self) -> Optional[Tuple[
+            Tuple[float, Dict[str, int], Dict[str, _HistState]],
+            Tuple[float, Dict[str, int], Dict[str, _HistState]]]]:
+        with self._lock:
+            if len(self._samples) < 2:
+                return None
+            return self._samples[0], self._samples[-1]
+
+    # ------------------------------------------------------------------
+    def elapsed_seconds(self) -> float:
+        """Span of the current window (0.0 until two samples exist)."""
+        edges = self._edges()
+        if edges is None:
+            return 0.0
+        return edges[1][0] - edges[0][0]
+
+    def rates(self) -> Dict[str, float]:
+        """Per-counter increase rate (1/s) over the window."""
+        edges = self._edges()
+        if edges is None:
+            return {}
+        (t0, old, _), (t1, new, _) = edges
+        elapsed = t1 - t0
+        if elapsed <= 0.0:
+            return {}
+        return {name: max(0, value - old.get(name, 0)) / elapsed
+                for name, value in new.items()}
+
+    def bucket_deltas(self, name: str) -> Dict[int, int]:
+        """Window-local bucket counts of histogram ``name``.
+
+        Falls back to the since-boot buckets before two samples exist,
+        so early scrapes still see a latency shape.
+        """
+        edges = self._edges()
+        if edges is None:
+            hist = self.log.histograms.get(name)
+            return dict(hist.buckets) if hist is not None else {}
+        (_, _, old), (_, _, new) = edges
+        if name not in new:
+            return {}
+        old_buckets = old.get(name, (0, 0.0, {}))[2]
+        deltas = {
+            e: n - old_buckets.get(e, 0)
+            for e, n in new[name][2].items()
+            if n - old_buckets.get(e, 0) > 0
+        }
+        return deltas
+
+    def quantiles(self, name: str,
+                  qs: Iterable[float] = (0.5, 0.9, 0.99),
+                  ) -> Dict[float, float]:
+        """Window-local quantile estimates of histogram ``name``."""
+        deltas = self.bucket_deltas(name)
+        return {q: quantile_from_buckets(deltas, q) for q in qs}
+
+    def counts(self, name: str) -> Tuple[int, float]:
+        """Window-local (count, total-seconds) of histogram ``name``."""
+        edges = self._edges()
+        if edges is None:
+            hist = self.log.histograms.get(name)
+            if hist is None:
+                return 0, 0.0
+            return hist.count, hist.total
+        (_, _, old), (_, _, new) = edges
+        if name not in new:
+            return 0, 0.0
+        count, total = new[name][0], new[name][1]
+        old_count, old_total = old.get(name, (0, 0.0, {}))[:2]
+        return max(0, count - old_count), max(0.0, total - old_total)
+
+    # ------------------------------------------------------------------
+    def document(self) -> Dict[str, Any]:
+        """The JSON ``window`` block of ``/stats``."""
+        quantile_block = {}
+        for name in sorted(self.log.histograms):
+            count, total = self.counts(name)
+            entry: Dict[str, Any] = {"count": count,
+                                     "total_seconds": total}
+            for q, value in self.quantiles(name).items():
+                entry[f"p{int(q * 100)}_seconds"] = value
+            quantile_block[name] = entry
+        return {
+            "window_seconds": self.window_seconds,
+            "elapsed_seconds": self.elapsed_seconds(),
+            "samples": self.samples_retained,
+            "rates_per_second": {k: v for k, v in
+                                 sorted(self.rates().items())},
+            "latency": quantile_block,
+        }
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition (format version 0.0.4)
+# ----------------------------------------------------------------------
+_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?\s+(?P<value>\S+)(?:\s+\d+)?$")
+_LABEL_PAIR = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"')
+
+
+def prometheus_name(name: str, *, namespace: str = "repro") -> str:
+    """Sanitize a dotted obs name into a Prometheus metric name."""
+    flat = _NAME_SANITIZE.sub("_", name)
+    return f"{namespace}_{flat}" if namespace else flat
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _format_value(value: float) -> str:
+    """One sample value; non-finite input is a caller bug by contract."""
+    if isinstance(value, bool):  # bool is an int subclass — be explicit
+        value = int(value)
+    if isinstance(value, int):
+        return str(value)
+    if not math.isfinite(value):
+        raise ValueError(f"non-finite sample value {value!r}")
+    return repr(float(value))
+
+
+def _histogram_lines(family: str, hist_doc: Mapping[str, Any],
+                     labels: str) -> List[str]:
+    """Cumulative ``le`` bucket lines plus ``_sum``/``_count``.
+
+    ``hist_doc`` is a :meth:`Histogram.to_dict` payload (bucket keys may
+    be strings).  The underflow bucket's observations are ``<= 0`` and
+    therefore belong in *every* finite ``le`` bucket.
+    """
+    count = int(hist_doc["count"])
+    total = float(hist_doc["total"])
+    buckets = {int(k): int(v) for k, v in hist_doc["buckets"].items()}
+    underflow = buckets.pop(Histogram.UNDERFLOW, 0)
+    lines = []
+    cumulative = underflow
+    prefix = "{" + labels + "," if labels else "{"
+    for exponent in sorted(buckets):
+        cumulative += buckets[exponent]
+        le = _format_value(2.0 ** exponent)
+        lines.append(f'{family}_bucket{prefix}le="{le}"}} {cumulative}')
+    lines.append(f'{family}_bucket{prefix}le="+Inf"}} {count}')
+    if not math.isfinite(total):
+        total = 0.0  # never emit a non-finite exposition value
+    suffix = "{" + labels + "}" if labels else ""
+    lines.append(f"{family}_sum{suffix} {_format_value(total)}")
+    lines.append(f"{family}_count{suffix} {count}")
+    return lines
+
+
+def render_prometheus(
+    log: ObsLog,
+    *,
+    gauges: Optional[Mapping[str, float]] = None,
+    extra_counters: Optional[Mapping[str, int]] = None,
+    window: Optional[WindowAggregator] = None,
+    namespace: str = "repro",
+) -> str:
+    """The log's full state in the Prometheus text exposition format.
+
+    Args:
+        log: the cumulative recorder; its counters render as
+            ``<namespace>_<name>_total`` counter families and its
+            histograms as ``<namespace>_<name>_seconds`` histogram
+            families with cumulative power-of-two ``le`` buckets.
+        gauges: point-in-time values (queue depths, in-flight requests,
+            cache bytes); non-finite values are skipped, never written.
+        extra_counters: monotonic totals tracked outside the log (cache
+            hit/eviction counters, admission totals).
+        window: optional :class:`WindowAggregator` (sampled by the
+            caller); renders per-counter rate gauges and per-histogram
+            p50/p90/p99 gauges labelled by origin name and quantile.
+        namespace: metric-name prefix (default ``repro``).
+    """
+    out: List[str] = []
+
+    counters: Dict[str, int] = dict(log.counters)
+    for name, value in (extra_counters or {}).items():
+        counters[name] = counters.get(name, 0) + int(value)
+    for name in sorted(counters):
+        metric = prometheus_name(name, namespace=namespace) + "_total"
+        out.append(f"# HELP {metric} Cumulative since-boot count of "
+                   f"{name}.")
+        out.append(f"# TYPE {metric} counter")
+        out.append(f"{metric} {int(counters[name])}")
+
+    for name in sorted(log.histograms):
+        family = prometheus_name(name, namespace=namespace) + "_seconds"
+        out.append(f"# HELP {family} Since-boot latency of {name} "
+                   f"(power-of-two buckets).")
+        out.append(f"# TYPE {family} histogram")
+        out.extend(_histogram_lines(
+            family, log.histograms[name].to_dict(), ""))
+
+    for name in sorted(gauges or {}):
+        value = (gauges or {})[name]
+        if value is None or not math.isfinite(float(value)):
+            continue
+        metric = prometheus_name(name, namespace=namespace)
+        out.append(f"# HELP {metric} Point-in-time gauge of {name}.")
+        out.append(f"# TYPE {metric} gauge")
+        out.append(f"{metric} {_format_value(value)}")
+
+    if window is not None:
+        rate_metric = f"{namespace}_window_rate_per_second"
+        out.append(f"# HELP {rate_metric} Counter increase rate over "
+                   f"the sliding window.")
+        out.append(f"# TYPE {rate_metric} gauge")
+        for name, rate in sorted(window.rates().items()):
+            label = _escape_label(name)
+            out.append(f'{rate_metric}{{name="{label}"}} '
+                       f"{_format_value(rate)}")
+        q_metric = f"{namespace}_window_latency_seconds"
+        out.append(f"# HELP {q_metric} Latency quantile estimates over "
+                   f"the sliding window.")
+        out.append(f"# TYPE {q_metric} gauge")
+        for name in sorted(log.histograms):
+            label = _escape_label(name)
+            for q, value in sorted(window.quantiles(name).items()):
+                out.append(
+                    f'{q_metric}{{name="{label}",quantile="{q:g}"}} '
+                    f"{_format_value(value)}")
+        span_metric = f"{namespace}_window_span_seconds"
+        out.append(f"# HELP {span_metric} Width of the sliding window "
+                   f"actually covered by samples.")
+        out.append(f"# TYPE {span_metric} gauge")
+        out.append(f"{span_metric} "
+                   f"{_format_value(window.elapsed_seconds())}")
+
+    return "\n".join(out) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Parsing and validation (repro top, tools/validate_metrics.py, tests)
+# ----------------------------------------------------------------------
+def parse_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse a text exposition into families.
+
+    Returns ``{family_name: {"type": str|None, "help": str|None,
+    "samples": [(metric_name, labels_dict, value), ...]}}`` where a
+    histogram's ``_bucket``/``_sum``/``_count`` samples all belong to
+    the base family, as in the exposition format spec.
+
+    Raises:
+        ValueError: on an unparseable line — the caller (validator,
+            ``repro top``) treats that as a hard failure.
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+
+    def family_of(metric: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = metric[: -len(suffix)] if metric.endswith(suffix) \
+                else None
+            if base and families.get(base, {}).get("type") == "histogram":
+                return base
+        return metric
+
+    def entry(name: str) -> Dict[str, Any]:
+        return families.setdefault(
+            name, {"type": None, "help": None, "samples": []})
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "HELP":
+                entry(parts[2])["help"] = parts[3]
+            elif len(parts) >= 4 and parts[1] == "TYPE":
+                entry(parts[2])["type"] = parts[3].strip()
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: unparseable sample "
+                             f"{raw!r}")
+        metric = match.group("name")
+        labels: Dict[str, str] = {}
+        label_text = match.group("labels")
+        if label_text:
+            consumed = 0
+            for pair in _LABEL_PAIR.finditer(label_text):
+                labels[pair.group("key")] = (
+                    pair.group("value").replace(r"\"", '"')
+                    .replace(r"\n", "\n").replace(r"\\", "\\"))
+                consumed += len(pair.group(0))
+            stripped = re.sub(r"[,\s]", "", label_text)
+            matched = re.sub(r"[,\s]", "", "".join(
+                p.group(0) for p in _LABEL_PAIR.finditer(label_text)))
+            if stripped != matched:
+                raise ValueError(
+                    f"line {lineno}: malformed labels {label_text!r}")
+        value_text = match.group("value")
+        try:
+            value = float(value_text)
+        except ValueError:
+            raise ValueError(f"line {lineno}: non-numeric value "
+                             f"{value_text!r}") from None
+        entry(family_of(metric))["samples"].append(
+            (metric, labels, value))
+    return families
+
+
+def validate_exposition(text: str) -> List[str]:
+    """Check an exposition document; returns failures (empty = valid).
+
+    Beyond parseability this enforces the contracts our dashboards and
+    CI rely on: every sample value finite, counters named ``*_total``
+    and typed, histogram buckets cumulative and consistent with their
+    ``_count``, and a terminating newline.
+    """
+    failures: List[str] = []
+    if text and not text.endswith("\n"):
+        failures.append("exposition must end with a newline")
+    try:
+        families = parse_prometheus(text)
+    except ValueError as exc:
+        return failures + [str(exc)]
+    if not families:
+        failures.append("empty exposition: no metric families")
+    for name, family in families.items():
+        if not _METRIC_NAME.match(name):
+            failures.append(f"invalid metric name {name!r}")
+        kind = family["type"]
+        if kind is None:
+            failures.append(f"{name}: missing # TYPE line")
+            continue
+        samples = family["samples"]
+        for metric, _labels, value in samples:
+            if not math.isfinite(value):
+                failures.append(f"{metric}: non-finite value {value}")
+        if kind == "counter":
+            if not name.endswith("_total"):
+                failures.append(f"{name}: counter must end in _total")
+            for _metric, _labels, value in samples:
+                if value < 0:
+                    failures.append(f"{name}: negative counter {value}")
+        elif kind == "histogram":
+            failures.extend(_check_histogram(name, samples))
+        elif kind not in ("gauge", "summary", "untyped"):
+            failures.append(f"{name}: unknown type {kind!r}")
+    return failures
+
+
+def _check_histogram(name: str,
+                     samples: List[Tuple[str, Dict[str, str], float]],
+                     ) -> List[str]:
+    failures: List[str] = []
+    buckets: List[Tuple[float, float]] = []
+    count: Optional[float] = None
+    for metric, labels, value in samples:
+        if metric == f"{name}_bucket":
+            le = labels.get("le")
+            if le is None:
+                failures.append(f"{name}: bucket sample without le")
+                continue
+            buckets.append((math.inf if le == "+Inf" else float(le),
+                            value))
+        elif metric == f"{name}_count":
+            count = value
+    if not any(math.isinf(le) for le, _ in buckets):
+        failures.append(f"{name}: missing le=\"+Inf\" bucket")
+    if count is None:
+        failures.append(f"{name}: missing _count sample")
+    ordered = sorted(buckets)
+    for (_, prev), (le, cur) in zip(ordered, ordered[1:]):
+        if cur < prev:
+            failures.append(
+                f"{name}: non-cumulative buckets (le={le:g} count "
+                f"{cur:g} < {prev:g})")
+            break
+    if (count is not None and ordered
+            and ordered[-1][1] != count):
+        failures.append(
+            f"{name}: +Inf bucket {ordered[-1][1]:g} != _count "
+            f"{count:g}")
+    if not any(metric == f"{name}_sum" for metric, _, _ in samples):
+        failures.append(f"{name}: missing _sum sample")
+    return failures

@@ -16,17 +16,24 @@ PR-6 batched kernel path.  The division of labour:
   :func:`~repro.core.suite.paper_suite_batch` pool dispatches via
   :func:`~repro.exec.runner.evaluate_suite_instances`.
 - :mod:`repro.serve.app` — the :class:`ScheduleServer` HTTP front:
-  warm hits answered without touching a worker, ``/stats`` as a live
-  service dashboard, per-request :mod:`repro.obs` spans.
+  warm hits answered without touching a worker, ``/stats`` and the
+  Prometheus ``/metrics`` exposition as live service dashboards, a
+  readiness ``/healthz``, per-request :mod:`repro.obs` spans carrying
+  minted ``request_id`` correlation through the batcher into the pool
+  workers.
+- :mod:`repro.serve.top` — the ``repro top`` terminal dashboard that
+  polls ``/stats`` and renders live QPS, hit/shed/dedupe rates and
+  window latency quantiles.
 
 Start one with ``python -m repro serve --cache-dir CACHE``; drive it
-with ``tools/load_test.py``.
+with ``tools/load_test.py`` and watch it with ``python -m repro top``.
 """
 
 from .admission import AdmissionController
 from .app import ScheduleServer
 from .batcher import ScheduleBatcher
 from .protocol import ProtocolError, ScheduleRequest, parse_request
+from .top import fetch_stats, render_frame, run_top
 
 __all__ = [
     "AdmissionController",
@@ -35,4 +42,7 @@ __all__ = [
     "ProtocolError",
     "ScheduleRequest",
     "parse_request",
+    "fetch_stats",
+    "render_frame",
+    "run_top",
 ]

@@ -33,7 +33,8 @@ from __future__ import annotations
 
 import asyncio
 import concurrent.futures
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
 from ..core.platform import Platform, default_platform
@@ -57,6 +58,11 @@ class _Flight:
     request: ScheduleRequest
     future: "asyncio.Future[FlightResult]"
     waiters: int = 1
+    #: Correlation ids of every HTTP request riding this flight — the
+    #: submitter's plus each deduped joiner's, in arrival order.  They
+    #: travel into the dispatch as span attributes so the trace shows
+    #: which requests a chunk served, dedupe included.
+    request_ids: List[str] = field(default_factory=list)
 
 
 @dataclass
@@ -120,23 +126,42 @@ class ScheduleBatcher:
         self._executor.shutdown(wait=True)
 
     # ------------------------------------------------------------------
-    async def submit(self, request: ScheduleRequest
+    @property
+    def running(self) -> bool:
+        """True while the dispatch loop task is alive (readiness)."""
+        return self._task is not None and not self._task.done()
+
+    @property
+    def queue_depth(self) -> int:
+        """Flights queued but not yet taken into a dispatch (gauge)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    async def submit(self, request: ScheduleRequest,
+                     request_id: Optional[str] = None
                      ) -> "tuple[FlightResult, bool]":
         """Resolve one cache-missed request; returns (result, deduped).
 
         The first request for a key registers a flight and queues it;
         identical requests while that flight is open piggyback on its
         future.  The caller inspects the result: a payload list on
-        success, the instance's exception otherwise.
+        success, the instance's exception otherwise.  ``request_id``
+        (when given) is recorded on the flight for trace correlation —
+        every rider's id reaches the dispatch spans, not just the
+        opener's.
         """
         flight = self._flights.get(request.key)
         if flight is not None:
             flight.waiters += 1
+            if request_id is not None:
+                flight.request_ids.append(request_id)
             self.stats.deduped += 1
             live(self.obs).count("serve.deduped")
             return await asyncio.shield(flight.future), True
         loop = asyncio.get_running_loop()
-        flight = _Flight(request=request, future=loop.create_future())
+        flight = _Flight(request=request, future=loop.create_future(),
+                         request_ids=[request_id]
+                         if request_id is not None else [])
         self._flights[request.key] = flight
         self._queue.append(request.key)
         self._wake.set()
@@ -185,10 +210,14 @@ class ScheduleBatcher:
         o.count("serve.dispatches")
         o.count("serve.dispatched_instances", len(batch))
         requests = [f.request for f in batch]
+        # Snapshot correlation ids on the event loop before handing off:
+        # joiners that dedupe onto a flight *after* this point get the
+        # payload but arrived too late to be part of this dispatch.
+        request_ids = [list(f.request_ids) for f in batch]
         loop = asyncio.get_running_loop()
         try:
             outcomes = await loop.run_in_executor(
-                self._executor, self._compute, requests)
+                self._executor, self._compute, requests, request_ids)
         except BaseException as exc:  # defensive: _compute never raises
             outcomes = [exc] * len(batch)
         for flight, outcome in zip(batch, outcomes):
@@ -200,26 +229,35 @@ class ScheduleBatcher:
                 flight.future.set_result(outcome)
 
     # ------------------------------------------------------------------
-    def _compute(self, requests: List[ScheduleRequest]
+    def _compute(self, requests: List[ScheduleRequest],
+                 request_ids: Optional[List[List[str]]] = None
                  ) -> List[FlightResult]:
         """Worker-thread body: one batched campaign over the requests.
 
         Failures are attributed per instance and retried without the
-        offender, so one infeasible request cannot fail its batch.
+        offender, so one infeasible request cannot fail its batch —
+        and each retry re-sends the *surviving* requests' correlation
+        ids, so attribution follows the instances, not the batch.
         """
         o = live(self.obs)
         outcomes: List[Optional[FlightResult]] = [None] * len(requests)
         todo = list(range(len(requests)))
         policy = requests[0].policy
+        if request_ids is None:
+            request_ids = [[] for _ in requests]
+        all_ids = [rid for ids in request_ids for rid in ids]
+        t0 = time.perf_counter()
         with o.span("serve.dispatch", category="serve",
-                    instances=len(requests), policy=policy):
+                    instances=len(requests), policy=policy,
+                    request_ids=all_ids):
             while todo:
                 instances = [(requests[i].graph,
                               requests[i].deadline_cycles) for i in todo]
                 try:
                     results = evaluate_suite_instances(
                         instances, platform=self.platform, policy=policy,
-                        options=self.options)
+                        options=self.options,
+                        request_ids=[request_ids[i] for i in todo])
                 except Exception as exc:
                     idx = getattr(exc, "instance_index", None)
                     if idx is None or not 0 <= idx < len(todo):
@@ -227,12 +265,14 @@ class ScheduleBatcher:
                             outcomes[i] = exc
                         break
                     outcomes[todo.pop(idx)] = exc
+                    o.count("serve.batch_retries")
                     continue
                 for i, res in zip(todo, results):
                     # Round-trips exactly: summaries are what the cache
                     # stored and what restore_results rebuilt.
                     outcomes[i] = summarize_results(res)
                 break
+        o.observe("serve.dispatch_seconds", time.perf_counter() - t0)
         fresh = self.options.instance_seconds
         if fresh:
             o.count("serve.fresh_instances", len(fresh))

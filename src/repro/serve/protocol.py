@@ -23,7 +23,15 @@ Request body (``POST /v1/schedule``)::
 Success response::
 
     {"key": "<sha256>", "cached": true|false, "deduped": true|false,
+     "request_id": "r00000042",       // server-minted correlation id
      "results": [<summary>, ...]}     // one per heuristic, paper order
+
+The ``request_id`` is minted by the server per HTTP request and echoed
+on every response (success or error); the same id appears as a span
+attribute throughout the service's trace — on the ``serve.request``
+span, the batch dispatch that served it, and the worker-side
+``exec.chunk``/``exec.instance`` spans — so a Perfetto timeline
+correlates wire traffic with pool work.
 
 ``results`` carries the exact :func:`repro.exec.cache.summarize_results`
 payload — the same JSON the cache stores, so a served answer and a
@@ -163,16 +171,23 @@ def parse_request(body: bytes, platform: Platform) -> ScheduleRequest:
 
 
 def encode_ok(key: str, results: List[dict], *, cached: bool,
-              deduped: bool = False) -> Dict[str, Any]:
+              deduped: bool = False,
+              request_id: Optional[str] = None) -> Dict[str, Any]:
     """The success response document."""
-    return {"key": key, "cached": cached, "deduped": deduped,
-            "results": results}
+    doc: Dict[str, Any] = {"key": key, "cached": cached,
+                           "deduped": deduped, "results": results}
+    if request_id is not None:
+        doc["request_id"] = request_id
+    return doc
 
 
 def encode_error(kind: str, detail: str,
-                 key: Optional[str] = None) -> Dict[str, Any]:
+                 key: Optional[str] = None,
+                 request_id: Optional[str] = None) -> Dict[str, Any]:
     """The error response document."""
     doc: Dict[str, Any] = {"error": kind, "detail": detail}
     if key is not None:
         doc["key"] = key
+    if request_id is not None:
+        doc["request_id"] = request_id
     return doc

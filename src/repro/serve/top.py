@@ -1,0 +1,184 @@
+"""``repro top`` — a live terminal dashboard over the serve endpoints.
+
+Polls ``GET /stats`` (the JSON twin of ``/metrics``) at a fixed
+interval and renders one compact ANSI frame per poll: request rate,
+warm-hit/dedupe/shed percentages, sliding-window latency quantiles,
+batcher and admission state, cache size and span-retention health.
+Stdlib only (``urllib``), so it runs anywhere the repo does, against
+any reachable server.
+
+The renderer is a pure function (:func:`render_frame`) of the fetched
+document plus the previous poll — client-side counter deltas back up
+the server's window rates when the window has not accumulated two
+samples yet — which is what the tests drive, no socket needed.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, TextIO
+
+__all__ = ["fetch_stats", "render_frame", "run_top"]
+
+#: ANSI: clear screen, cursor home — the whole "TUI".
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def fetch_stats(url: str, *, timeout: float = 5.0) -> Dict[str, Any]:
+    """GET ``<url>/stats`` and decode the JSON document.
+
+    ``url`` is the server base (``http://127.0.0.1:8642``); a trailing
+    slash or an explicit ``/stats`` suffix both work.
+    """
+    base = url.rstrip("/")
+    if not base.endswith("/stats"):
+        base += "/stats"
+    with urllib.request.urlopen(base, timeout=timeout) as response:
+        return json.loads(response.read().decode())
+
+
+def _rate(doc: Dict[str, Any], prev: Optional[Dict[str, Any]],
+          elapsed: Optional[float], counter: str) -> float:
+    """Best-effort per-second rate of one counter.
+
+    Prefers the server's sliding-window rate; falls back to the
+    client-side delta between two polls (useful in the first window
+    seconds of a fresh server).
+    """
+    window = doc.get("window", {})
+    rate = window.get("rates_per_second", {}).get(counter)
+    if rate is not None and window.get("elapsed_seconds", 0) > 0:
+        return float(rate)
+    if prev is not None and elapsed and elapsed > 0:
+        now = doc.get("counters", {}).get(counter, 0)
+        before = prev.get("counters", {}).get(counter, 0)
+        return max(0, now - before) / elapsed
+    return 0.0
+
+
+def _pct(part: float, whole: float) -> str:
+    return f"{100.0 * part / whole:5.1f}%" if whole else "    —"
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024.0
+    return f"{n:.1f} GiB"  # pragma: no cover - unreachable
+
+
+def render_frame(doc: Dict[str, Any],
+                 prev: Optional[Dict[str, Any]] = None,
+                 elapsed: Optional[float] = None,
+                 *, source: str = "") -> str:
+    """One dashboard frame (multi-line string) from a ``/stats`` doc."""
+    counters = doc.get("counters", {})
+    window = doc.get("window", {})
+    latency = window.get("latency", {})
+    admission = doc.get("admission", {})
+    batcher = doc.get("batcher", {})
+    cache = doc.get("cache", {})
+    obs = doc.get("obs", {})
+
+    requests = counters.get("serve.requests", 0)
+    warm = counters.get("serve.warm_hits", 0)
+    deduped = counters.get("serve.deduped", 0)
+    shed = counters.get("serve.shed", 0)
+    computed = counters.get("serve.computed", 0)
+
+    lines: List[str] = []
+    title = "repro top"
+    if source:
+        title += f" — {source}"
+    lines.append(title)
+    lines.append("=" * max(40, len(title)))
+
+    qps = _rate(doc, prev, elapsed, "serve.requests")
+    lines.append(f"requests   {requests:>10d} total   "
+                 f"{qps:8.1f} req/s")
+    lines.append(f"  warm hits {_pct(warm, requests)}   "
+                 f"deduped {_pct(deduped, requests)}   "
+                 f"shed {_pct(shed, requests)}   "
+                 f"computed {computed}")
+
+    req_window = latency.get("serve.request", {})
+    if req_window:
+        lines.append(
+            f"latency    p50 {1e3 * req_window.get('p50_seconds', 0):8.2f} ms"
+            f"   p90 {1e3 * req_window.get('p90_seconds', 0):8.2f} ms"
+            f"   p99 {1e3 * req_window.get('p99_seconds', 0):8.2f} ms"
+            f"   (window {window.get('window_seconds', 0):.0f}s)")
+
+    span = window.get("elapsed_seconds", 0.0)
+    busy = latency.get("serve.dispatch_seconds", {}).get(
+        "total_seconds", 0.0)
+    if span:
+        # Fraction of the window the dispatch thread spent computing —
+        # the service's single-worker occupancy.
+        lines.append(f"occupancy  {_pct(min(busy, span), span)} "
+                     f"dispatch-thread busy over the window")
+
+    lines.append(
+        f"admission  {admission.get('pending', 0)}/"
+        f"{admission.get('max_pending', 0)} pending   "
+        f"peak {admission.get('peak_pending', 0)}   "
+        f"shed {admission.get('shed', 0)}")
+    lines.append(
+        f"batcher    {batcher.get('dispatches', 0)} dispatches   "
+        f"max batch {batcher.get('max_batch_seen', 0)}   "
+        f"failed {batcher.get('failed_instances', 0)}")
+    if cache.get("enabled"):
+        lines.append(
+            f"cache      {cache.get('hits', 0)} hits / "
+            f"{cache.get('misses', 0)} misses   "
+            f"{_fmt_bytes(cache.get('bytes', 0))}   "
+            f"evictions {cache.get('evictions', 0)}")
+    if obs:
+        bound = obs.get("max_spans")
+        lines.append(
+            f"obs        {obs.get('spans_retained', 0)} spans retained"
+            f" (bound {bound if bound is not None else '∞'})   "
+            f"{obs.get('evicted_spans', 0)} evicted")
+    return "\n".join(lines)
+
+
+def run_top(url: str, *, interval_seconds: float = 2.0,
+            iterations: Optional[int] = None,
+            out: Optional[TextIO] = None) -> int:
+    """Poll ``url`` and redraw until interrupted (or ``iterations``).
+
+    Returns a process exit code: 0 on a clean exit (including Ctrl-C),
+    1 when the very first poll fails (server unreachable).
+    """
+    out = out if out is not None else sys.stdout
+    clear = _CLEAR if out.isatty() else ""
+    prev: Optional[Dict[str, Any]] = None
+    prev_t: Optional[float] = None
+    polled = 0
+    while iterations is None or polled < iterations:
+        try:
+            doc = fetch_stats(url)
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            if prev is None:
+                print(f"repro top: cannot reach {url}: {exc}",
+                      file=sys.stderr)
+                return 1
+            doc = prev  # transient blip: keep the last good frame
+        now = time.monotonic()
+        elapsed = now - prev_t if prev_t is not None else None
+        frame = render_frame(doc, prev, elapsed, source=url)
+        print(f"{clear}{frame}", file=out, flush=True)
+        prev, prev_t = doc, now
+        polled += 1
+        if iterations is not None and polled >= iterations:
+            break
+        try:
+            time.sleep(interval_seconds)
+        except KeyboardInterrupt:
+            break
+    return 0

@@ -1,0 +1,126 @@
+"""Bucket semantics of the power-of-two Histogram.
+
+These pin the properties the metrics layer builds on: an observation
+``v > 0`` lands in bucket ``e = frexp(v)[1]`` covering
+``[2**(e-1), 2**e)``; non-positive observations land in the UNDERFLOW
+bucket; merge is associative and commutative on the exact fields.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.obs import Histogram
+from repro.obs.metrics import bucket_bounds, quantile_from_buckets
+
+
+def _hist(values):
+    h = Histogram()
+    for v in values:
+        h.observe(v)
+    return h
+
+
+class TestBucketPlacement:
+    @pytest.mark.parametrize("value", [1e-6, 0.1, 0.5, 0.75, 1.5, 3.0,
+                                       100.0])
+    def test_observation_lands_inside_its_bounds(self, value):
+        h = _hist([value])
+        (exponent,) = h.buckets
+        lo, hi = bucket_bounds(exponent)
+        assert lo <= value < hi
+
+    @pytest.mark.parametrize("exponent", [-3, 0, 1, 5])
+    def test_exact_power_of_two_opens_the_next_bucket(self, exponent):
+        """2**e is the *exclusive* top of bucket e — it lands in e+1."""
+        value = 2.0 ** exponent
+        h = _hist([value])
+        assert set(h.buckets) == {exponent + 1}
+        lo, hi = bucket_bounds(exponent + 1)
+        assert lo == value and hi == 2.0 * value
+
+    @pytest.mark.parametrize("value", [0.0, -1.0, -1e-9])
+    def test_nonpositive_goes_to_underflow(self, value):
+        h = _hist([value])
+        assert set(h.buckets) == {Histogram.UNDERFLOW}
+        assert bucket_bounds(Histogram.UNDERFLOW) == (0.0, 0.0)
+
+    def test_adjacent_buckets_tile_the_line(self):
+        for e in range(-10, 10):
+            assert bucket_bounds(e)[1] == bucket_bounds(e + 1)[0]
+
+
+class TestMergeAlgebra:
+    def _assert_equal_exact(self, a, b):
+        """Exact fields must match; ``total`` only approximately
+        (float addition is not associative)."""
+        assert a.count == b.count
+        assert a.min == b.min
+        assert a.max == b.max
+        assert a.buckets == b.buckets
+        assert a.total == pytest.approx(b.total)
+
+    def test_merge_is_commutative(self):
+        rng = random.Random(7)
+        xs = [rng.uniform(0.0001, 10.0) for _ in range(50)]
+        ys = [rng.uniform(0.0001, 10.0) for _ in range(50)]
+        ab = _hist(xs)
+        ab.merge(_hist(ys))
+        ba = _hist(ys)
+        ba.merge(_hist(xs))
+        self._assert_equal_exact(ab, ba)
+
+    def test_merge_is_associative(self):
+        rng = random.Random(11)
+        parts = [[rng.uniform(1e-4, 5.0) for _ in range(20)]
+                 for _ in range(3)]
+        left = _hist(parts[0])
+        left.merge(_hist(parts[1]))
+        left.merge(_hist(parts[2]))
+        bc = _hist(parts[1])
+        bc.merge(_hist(parts[2]))
+        right = _hist(parts[0])
+        right.merge(bc)
+        self._assert_equal_exact(left, right)
+
+    def test_merge_equals_direct_observation(self):
+        rng = random.Random(13)
+        values = [rng.uniform(1e-4, 8.0) for _ in range(100)]
+        split = _hist(values[:40])
+        split.merge(_hist(values[40:]))
+        self._assert_equal_exact(split, _hist(values))
+
+    def test_merge_accepts_wire_dicts(self):
+        a = _hist([0.5, 1.5])
+        b = _hist([0.1])
+        a.merge(b.to_dict())
+        assert a.count == 3
+        assert a.min == 0.1
+
+    def test_merging_empty_is_identity(self):
+        a = _hist([0.5])
+        before = (a.count, a.total, a.min, a.max, dict(a.buckets))
+        a.merge(Histogram())
+        assert (a.count, a.total, a.min, a.max, dict(a.buckets)) == before
+
+
+class TestQuantileErrorBound:
+    def test_estimate_within_bucket_of_truth(self):
+        """For any positive sample set, the q-quantile estimate shares
+        a bucket with the true rank statistic — relative error < 2x."""
+        rng = random.Random(42)
+        for trial in range(20):
+            values = sorted(rng.uniform(1e-4, 50.0)
+                            for _ in range(rng.randrange(1, 200)))
+            h = _hist(values)
+            for q in (0.01, 0.5, 0.9, 0.99, 1.0):
+                estimate = quantile_from_buckets(h.buckets, q)
+                rank = max(1, math.ceil(q * len(values)))
+                true = values[rank - 1]
+                assert 0.5 < estimate / true < 2.0, \
+                    (trial, q, estimate, true)
+
+    def test_underflow_only_estimates_zero(self):
+        h = _hist([0.0, -1.0])
+        assert quantile_from_buckets(h.buckets, 0.5) == 0.0

@@ -1,0 +1,252 @@
+"""Unit tests for repro.obs.metrics: windows, quantiles, exposition."""
+
+import math
+
+import pytest
+
+from repro.obs import ObsLog
+from repro.obs.metrics import (
+    WindowAggregator,
+    histogram_quantiles,
+    parse_prometheus,
+    prometheus_name,
+    quantile_from_buckets,
+    render_prometheus,
+    validate_exposition,
+)
+
+
+class TestQuantiles:
+    def test_single_observation_estimate_inside_its_bucket(self):
+        log = ObsLog()
+        log.observe("h", 0.5)  # bucket [0.5, 1.0)
+        estimate = quantile_from_buckets(log.histograms["h"].buckets, 0.5)
+        assert 0.5 <= estimate < 1.0
+
+    def test_relative_error_under_two(self):
+        log = ObsLog()
+        values = [0.001, 0.004, 0.01, 0.3, 0.5, 0.9, 1.5, 7.0]
+        for v in values:
+            log.observe("h", v)
+        ordered = sorted(values)
+        for q in (0.5, 0.9, 0.99):
+            estimate = quantile_from_buckets(
+                log.histograms["h"].buckets, q)
+            rank = max(1, round(q * len(ordered)))
+            true = ordered[rank - 1]
+            assert estimate / true < 2.0
+            assert true / estimate < 2.0
+
+    def test_empty_buckets_are_zero(self):
+        assert quantile_from_buckets({}, 0.5) == 0.0
+
+    def test_out_of_range_quantile_raises(self):
+        with pytest.raises(ValueError):
+            quantile_from_buckets({1: 1}, 1.5)
+
+    def test_histogram_quantiles_defaults(self):
+        log = ObsLog()
+        log.observe("h", 0.25)
+        qs = histogram_quantiles(log.histograms["h"])
+        assert set(qs) == {0.5, 0.9, 0.99}
+        # 0.25 lands in bucket [0.25, 0.5); every estimate stays inside.
+        assert all(0.25 <= v < 0.5 for v in qs.values())
+
+
+class TestWindowAggregator:
+    def test_rates_are_deltas_over_elapsed(self):
+        log = ObsLog()
+        window = WindowAggregator(log, window_seconds=60.0)
+        window.sample(now=100.0)
+        for _ in range(30):
+            log.count("serve.requests")
+        window.sample(now=110.0)
+        assert window.rates()["serve.requests"] == pytest.approx(3.0)
+        assert window.elapsed_seconds() == pytest.approx(10.0)
+
+    def test_window_forgets_old_samples(self):
+        log = ObsLog()
+        window = WindowAggregator(log, window_seconds=10.0,
+                                  max_samples=100)
+        window.sample(now=0.0)
+        for _ in range(1000):
+            log.count("c")
+        window.sample(now=1.0)  # burst happened here
+        for t in range(2, 20):
+            window.sample(now=float(t))
+        # The burst is now outside the 10 s window: rate ~ 0.
+        assert window.rates()["c"] == pytest.approx(0.0)
+
+    def test_sample_count_is_bounded(self):
+        log = ObsLog()
+        window = WindowAggregator(log, window_seconds=60.0,
+                                  max_samples=8)
+        for t in range(1000):
+            window.sample(now=float(t) * 100.0)
+        assert window.samples_retained <= 8
+
+    def test_rapid_samples_coalesce(self):
+        log = ObsLog()
+        window = WindowAggregator(log, window_seconds=60.0,
+                                  max_samples=60)  # min spacing 1 s
+        for i in range(100):
+            window.sample(now=10.0 + i * 0.001)
+        assert window.samples_retained == 1
+
+    def test_quantiles_are_window_local(self):
+        log = ObsLog()
+        window = WindowAggregator(log, window_seconds=60.0)
+        for _ in range(100):
+            log.observe("lat", 4.0)  # slow history
+        window.sample(now=0.0)
+        for _ in range(100):
+            log.observe("lat", 0.01)  # fast window
+        window.sample(now=10.0)
+        p50 = window.quantiles("lat")[0.5]
+        assert p50 < 0.02  # sees only the fast observations
+        # Since-boot estimate would have straddled both populations.
+        boot = histogram_quantiles(log.histograms["lat"])[0.5]
+        assert boot > p50
+
+    def test_before_two_samples_falls_back_to_boot(self):
+        log = ObsLog()
+        log.observe("lat", 0.5)
+        window = WindowAggregator(log)
+        assert window.rates() == {}
+        assert window.elapsed_seconds() == 0.0
+        # Quantiles fall back to the since-boot shape.
+        assert 0.25 <= window.quantiles("lat")[0.5] < 1.0
+
+    def test_document_shape(self):
+        log = ObsLog()
+        log.count("serve.requests")
+        log.observe("serve.request", 0.01)
+        window = WindowAggregator(log, window_seconds=30.0)
+        window.sample(now=0.0)
+        window.sample(now=5.0)
+        doc = window.document()
+        assert doc["window_seconds"] == 30.0
+        assert doc["elapsed_seconds"] == pytest.approx(5.0)
+        assert "serve.requests" in doc["rates_per_second"]
+        entry = doc["latency"]["serve.request"]
+        assert set(entry) == {"count", "total_seconds", "p50_seconds",
+                              "p90_seconds", "p99_seconds"}
+        # Everything in the document is finite and JSON-safe.
+        for value in entry.values():
+            assert math.isfinite(value)
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            WindowAggregator(ObsLog(), window_seconds=0.0)
+
+
+class TestExposition:
+    def _busy_log(self):
+        log = ObsLog()
+        for _ in range(5):
+            log.count("serve.requests")
+        log.count("exec.cache.hits")
+        for v in (0.001, 0.01, 0.2, 1.5):
+            log.observe("serve.request", v)
+        log.observe("serve.request", 0.0)  # underflow bucket
+        return log
+
+    def test_render_validates_clean(self):
+        text = render_prometheus(
+            self._busy_log(),
+            gauges={"serve.inflight_requests": 2},
+            extra_counters={"serve.admitted": 5})
+        assert validate_exposition(text) == []
+
+    def test_roundtrip_counters(self):
+        text = render_prometheus(self._busy_log())
+        families = parse_prometheus(text)
+        fam = families["repro_serve_requests_total"]
+        assert fam["type"] == "counter"
+        assert fam["samples"] == [
+            ("repro_serve_requests_total", {}, 5.0)]
+
+    def test_histogram_buckets_cumulative_with_underflow(self):
+        text = render_prometheus(self._busy_log())
+        fam = parse_prometheus(text)["repro_serve_request_seconds"]
+        buckets = {labels["le"]: value
+                   for metric, labels, value in fam["samples"]
+                   if metric.endswith("_bucket")}
+        assert buckets["+Inf"] == 5.0
+        finite = sorted(((float(le), n) for le, n in buckets.items()
+                         if le != "+Inf"))
+        counts = [n for _, n in finite]
+        assert counts == sorted(counts)  # cumulative
+        # The 0.0 underflow observation is <= every finite bound.
+        assert counts[0] >= 1
+
+    def test_empty_histogram_never_emits_nonfinite(self):
+        """An un-observed histogram (min == math.inf in-process) must
+        still render a finite, valid family."""
+        log = ObsLog()
+        log.observe("once", 1.0)
+        hist = log.histograms["once"]
+        hist.count = 0
+        hist.total = 0.0
+        hist.min = math.inf
+        hist.buckets.clear()
+        text = render_prometheus(log)
+        assert "inf" not in text.lower().replace("+inf", "")
+        assert validate_exposition(text) == []
+
+    def test_nonfinite_gauges_are_skipped(self):
+        log = ObsLog()
+        log.count("c")
+        text = render_prometheus(
+            log, gauges={"bad": math.inf, "worse": math.nan, "ok": 3.0})
+        assert "bad" not in text and "worse" not in text
+        assert "repro_ok 3.0" in text
+        assert validate_exposition(text) == []
+
+    def test_window_section_renders(self):
+        log = self._busy_log()
+        window = WindowAggregator(log, window_seconds=60.0)
+        window.sample(now=0.0)
+        log.count("serve.requests")
+        log.observe("serve.request", 0.05)
+        window.sample(now=10.0)
+        text = render_prometheus(log, window=window)
+        assert validate_exposition(text) == []
+        families = parse_prometheus(text)
+        rates = {labels["name"]: value for _m, labels, value in
+                 families["repro_window_rate_per_second"]["samples"]}
+        assert rates["serve.requests"] == pytest.approx(0.1)
+        quantiles = families["repro_window_latency_seconds"]["samples"]
+        assert any(labels == {"name": "serve.request",
+                              "quantile": "0.5"}
+                   for _m, labels, _v in quantiles)
+
+    def test_prometheus_name_sanitizes(self):
+        assert prometheus_name("serve.warm_hits") == \
+            "repro_serve_warm_hits"
+        assert prometheus_name("a-b c", namespace="") == "a_b_c"
+
+    def test_validator_catches_noncumulative_buckets(self):
+        bad = (
+            "# TYPE x histogram\n"
+            'x_bucket{le="0.5"} 5\n'
+            'x_bucket{le="1.0"} 3\n'
+            'x_bucket{le="+Inf"} 5\n'
+            "x_sum 1.0\n"
+            "x_count 5\n")
+        assert any("non-cumulative" in f
+                   for f in validate_exposition(bad))
+
+    def test_validator_catches_missing_inf_and_count(self):
+        bad = ("# TYPE x histogram\n"
+               'x_bucket{le="1.0"} 1\n'
+               "x_sum 0.5\n")
+        failures = validate_exposition(bad)
+        assert any("+Inf" in f for f in failures)
+        assert any("_count" in f for f in failures)
+
+    def test_validator_requires_total_suffix_and_newline(self):
+        bad = "# TYPE repro_requests counter\nrepro_requests 5"
+        failures = validate_exposition(bad)
+        assert any("_total" in f for f in failures)
+        assert any("newline" in f for f in failures)

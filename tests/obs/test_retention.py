@@ -1,0 +1,123 @@
+"""Bounded span retention: the ObsLog(max_spans=N) ring.
+
+The since-boot contract says counters and histograms grow forever (they
+are bounded by *name* count), but spans are per-event and unbounded —
+a week of ``repro serve`` would OOM a campaign-sized span list.  The
+``max_spans`` bound caps retention while folding every evicted span
+into per-name aggregates, so totals stay exact.
+"""
+
+import math
+
+from repro.obs import ObsLog
+from repro.obs.export import format_log_stats, span_aggregates
+from repro.obs.log import SpanRecord
+
+
+def _span(name, duration=0.5, depth=0):
+    return SpanRecord(name=name, category="t", start=0.0,
+                      duration=duration, self_time=duration,
+                      pid=1, tid=1, depth=depth)
+
+
+class TestBound:
+    def test_retention_never_exceeds_bound(self):
+        log = ObsLog(max_spans=8)
+        for i in range(50):
+            log.spans.append(_span(f"s{i % 3}"))
+        assert len(log.spans) == 8
+        assert log.evicted_spans == 42
+
+    def test_newest_spans_survive(self):
+        log = ObsLog(max_spans=4)
+        for i in range(10):
+            log.spans.append(_span(f"s{i}"))
+        assert [s.name for s in log.spans] == ["s6", "s7", "s8", "s9"]
+
+    def test_span_context_manager_respects_bound(self):
+        log = ObsLog(max_spans=3)
+        for _ in range(10):
+            with log.span("work", category="test"):
+                pass
+        assert len(log.spans) == 3
+        assert log.evicted_spans == 7
+
+    def test_unbounded_default_is_plain_list_semantics(self):
+        log = ObsLog()
+        for i in range(100):
+            log.spans.append(_span(f"s{i}"))
+        assert len(log.spans) == 100
+        assert log.evicted_spans == 0
+        assert log.evicted_aggregates == {}
+
+
+class TestEvictedAggregates:
+    def test_aggregates_are_exact(self):
+        log = ObsLog(max_spans=2)
+        for _ in range(5):
+            log.spans.append(_span("a", duration=0.25))
+        log.spans.append(_span("b", duration=1.0))
+        # The bound held the last two ("a", "b"); four "a" were evicted.
+        agg = log.evicted_aggregates["a"]
+        assert agg["calls"] == 4
+        assert math.isclose(agg["total_s"], 1.0)
+        assert agg["max_s"] == 0.25
+        assert "b" not in log.evicted_aggregates
+
+    def test_totals_survive_eviction(self):
+        """Retained + evicted aggregates == what an unbounded log sees."""
+        bounded = ObsLog(max_spans=4)
+        unbounded = ObsLog()
+        for i in range(40):
+            record = _span(f"s{i % 2}", duration=0.1 * (i % 5 + 1))
+            bounded.spans.append(record)
+            unbounded.spans.append(record)
+        full = span_aggregates(unbounded)
+        folded = span_aggregates(bounded)
+        for name, want in full.items():
+            got = folded[name]
+            assert got["calls"] == want["calls"]
+            assert math.isclose(got["total_s"], want["total_s"])
+            assert math.isclose(got["max_s"], want["max_s"])
+
+    def test_wire_format_only_grows_when_evicting(self):
+        clean = ObsLog(max_spans=10)
+        clean.spans.append(_span("a"))
+        payload = clean.to_dict()
+        assert "evicted_spans" not in payload
+        assert "evicted_aggregates" not in payload
+
+        dirty = ObsLog(max_spans=1)
+        dirty.spans.append(_span("a"))
+        dirty.spans.append(_span("a"))
+        payload = dirty.to_dict()
+        assert payload["evicted_spans"] == 1
+        assert "a" in payload["evicted_aggregates"]
+
+    def test_merge_roundtrip_preserves_evictions(self):
+        worker = ObsLog(max_spans=2)
+        for _ in range(6):
+            worker.spans.append(_span("w", duration=0.5))
+        parent = ObsLog()
+        parent.merge_dict(worker.to_dict())
+        assert parent.evicted_spans == 4
+        assert parent.evicted_aggregates["w"]["calls"] == 4
+        agg = span_aggregates(parent)
+        assert agg["w"]["calls"] == 6
+
+    def test_merging_into_bounded_parent_keeps_bound(self):
+        parent = ObsLog(max_spans=3)
+        worker = ObsLog()
+        for i in range(10):
+            worker.spans.append(_span("w"))
+        parent.merge_dict(worker.to_dict())
+        assert len(parent.spans) == 3
+        assert parent.evicted_spans == 7
+
+    def test_summary_line_reports_evictions(self):
+        log = ObsLog(max_spans=1)
+        log.spans.append(_span("a"))
+        log.spans.append(_span("a"))
+        assert "evicted" in log.summary_line()
+        stats = format_log_stats(log)
+        assert "a" in stats

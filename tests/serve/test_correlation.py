@@ -1,0 +1,141 @@
+"""Request correlation: minted request_ids thread through the batcher
+into dispatch, chunk and per-instance worker spans — surviving dedupe
+and the infeasible-retry path — and come back out in trace exports."""
+
+import asyncio
+import json
+
+from repro.obs.export import chrome_trace
+from repro.serve import ScheduleServer
+
+SMALL = {"graph": {"name": "corr", "weights": [3.1e6, 6.2e6, 4.0e6],
+                   "edges": [[0, 1], [0, 2]]},
+         "deadline_factor": 2.0, "policy": "edf"}
+
+
+async def _request(host, port, method, target, body=None):
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        payload = json.dumps(body).encode() if body is not None else b""
+        writer.write((f"{method} {target} HTTP/1.1\r\nHost: t\r\n"
+                      f"Content-Length: {len(payload)}\r\n"
+                      f"Connection: close\r\n\r\n").encode() + payload)
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+    head, _, rest = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, json.loads(rest) if rest else {}
+
+
+def _serve(test_body, **server_kw):
+    async def main():
+        server = ScheduleServer(**server_kw)
+        host, port = await server.start(port=0)
+        try:
+            await test_body(server, host, port)
+        finally:
+            await server.stop()
+
+    asyncio.run(main())
+
+
+def _spans(server, name):
+    return [s for s in server.obs.spans if s.name == name]
+
+
+class TestCorrelation:
+    def test_response_echoes_minted_request_id(self, tmp_path):
+        async def body(server, host, port):
+            _, doc = await _request(host, port, "POST", "/v1/schedule",
+                                    SMALL)
+            assert doc["request_id"] == "r00000001"
+            _, doc = await _request(host, port, "POST", "/v1/schedule",
+                                    SMALL)
+            assert doc["request_id"] == "r00000002"
+            # Errors carry the id too.
+            _, doc = await _request(host, port, "POST", "/v1/schedule",
+                                    {"bad": 1})
+            assert doc["request_id"] == "r00000003"
+
+        _serve(body, cache_dir=str(tmp_path))
+
+    def test_ids_reach_dispatch_and_worker_spans(self, tmp_path):
+        async def body(server, host, port):
+            _, doc = await _request(host, port, "POST", "/v1/schedule",
+                                    SMALL)
+            rid = doc["request_id"]
+
+            (dispatch,) = _spans(server, "serve.dispatch")
+            assert dispatch.args["request_ids"] == [rid]
+
+            instances = _spans(server, "exec.instance")
+            assert instances, "live_obs recorded no worker spans"
+            assert all(s.args.get("request_ids") == [rid]
+                       for s in instances)
+            request_spans = _spans(server, "serve.request")
+            assert request_spans[0].args["request_id"] == rid
+
+        _serve(body, cache_dir=str(tmp_path))
+
+    def test_deduped_riders_all_appear_on_the_flight(self, tmp_path):
+        async def body(server, host, port):
+            pairs = await asyncio.gather(*[
+                _request(host, port, "POST", "/v1/schedule", SMALL)
+                for _ in range(4)
+            ])
+            rids = {doc["request_id"] for _s, doc in pairs}
+            assert len(rids) == 4  # every HTTP request got its own id
+
+            (dispatch,) = _spans(server, "serve.dispatch")
+            riding = set(dispatch.args["request_ids"])
+            # Every id was minted for this burst; at least the flight
+            # opener must be on the dispatch, and nothing foreign is.
+            assert riding <= rids and riding
+            assert server.batcher.stats.dispatched_instances == 1
+
+        _serve(body, cache_dir=str(tmp_path), window_seconds=0.05)
+
+    def test_retry_drops_only_the_offender_ids(self, tmp_path):
+        async def body(server, host, port):
+            hopeless = dict(SMALL, deadline_factor=0.25)
+            pairs = await asyncio.gather(
+                _request(host, port, "POST", "/v1/schedule", SMALL),
+                _request(host, port, "POST", "/v1/schedule", hopeless),
+            )
+            by_status = {status: doc for status, doc in pairs}
+            assert set(by_status) == {200, 422}
+            ok_rid = by_status[200]["request_id"]
+            bad_rid = by_status[422]["request_id"]
+
+            (dispatch,) = _spans(server, "serve.dispatch")
+            assert set(dispatch.args["request_ids"]) == {ok_rid, bad_rid}
+            assert server.obs.counters["serve.batch_retries"] == 1
+
+            # The retry re-dispatched only the survivor: the last
+            # chunk's instance spans carry the ok id alone, while the
+            # first attempt's spans named both riders.
+            instance_ids = [tuple(s.args.get("request_ids") or ())
+                            for s in _spans(server, "exec.instance")]
+            assert instance_ids, "no worker spans recorded"
+            first, last = instance_ids[0], instance_ids[-1]
+            assert set(last) == {ok_rid}
+            assert bad_rid in first and ok_rid in first
+
+        _serve(body, cache_dir=str(tmp_path), window_seconds=0.05)
+
+    def test_chrome_trace_events_carry_request_ids(self, tmp_path):
+        async def body(server, host, port):
+            _, doc = await _request(host, port, "POST", "/v1/schedule",
+                                    SMALL)
+            rid = doc["request_id"]
+            trace = chrome_trace(server.obs)
+            tagged = [e for e in trace["traceEvents"]
+                      if (e.get("args") or {}).get("request_ids")
+                      == [rid]]
+            names = {e["name"] for e in tagged}
+            assert "serve.dispatch" in names
+            assert "exec.instance" in names
+
+        _serve(body, cache_dir=str(tmp_path))

@@ -62,8 +62,9 @@ def _serve(test_body, **server_kw):
 class TestHttpSurface:
     def test_health_and_routing(self, tmp_path):
         async def body(server, host, port):
-            assert await _request(host, port, "GET", "/healthz") == \
-                (200, {"ok": True})
+            status, doc = await _request(host, port, "GET", "/healthz")
+            assert status == 200 and doc["ok"] is True
+            assert all(doc["checks"].values())
             status, doc = await _request(host, port, "GET", "/nope")
             assert status == 404 and doc["error"] == "not_found"
             status, doc = await _request(host, port, "GET", "/v1/schedule")
@@ -81,7 +82,7 @@ class TestHttpSurface:
                 for _ in range(3):
                     status, doc = await _request_on(
                         reader, writer, "GET", "/healthz")
-                    assert (status, doc) == (200, {"ok": True})
+                    assert status == 200 and doc["ok"] is True
             finally:
                 writer.close()
 
@@ -92,7 +93,7 @@ class TestHttpSurface:
             status, doc = await _request(host, port, "GET", "/stats")
             assert status == 200
             assert set(doc) == {"counters", "latency", "admission",
-                                "batcher", "cache"}
+                                "batcher", "cache", "window", "obs"}
             assert doc["cache"]["enabled"] is True
             assert doc["admission"]["max_pending"] == 64
 

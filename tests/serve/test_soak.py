@@ -1,0 +1,111 @@
+"""Soak the serve telemetry: sustained traffic under a small span
+bound must hold memory constant while every counter stays exact.
+
+Drives ``ScheduleServer._route`` directly (no sockets — the routing,
+admission, cache and obs layers are the system under test) with four
+orders of magnitude more requests than the retention bound.
+"""
+
+import asyncio
+import json
+
+from repro.obs.metrics import parse_prometheus, validate_exposition
+from repro.serve import ScheduleServer
+
+SMALL = {"graph": {"name": "soak", "weights": [3.1e6, 6.2e6, 4.0e6],
+                   "edges": [[0, 1], [0, 2]]},
+         "deadline_factor": 2.0, "policy": "edf"}
+
+BOUND = 256
+REQUESTS = 10_000
+
+
+def test_soak_bounded_retention_and_exact_counters(tmp_path):
+    body = json.dumps(SMALL).encode()
+
+    async def main():
+        server = ScheduleServer(cache_dir=str(tmp_path),
+                                obs_max_spans=BOUND)
+        await server.batcher.start()
+        try:
+            # One cold compute, then warm hits only: the soak measures
+            # the telemetry layer, not the scheduler.
+            status, doc = await server._route("POST", "/v1/schedule",
+                                              body)
+            assert status == 200 and doc["cached"] is False
+            for i in range(REQUESTS - 1):
+                status, doc = await server._route("POST", "/v1/schedule",
+                                                  body)
+                assert status == 200 and doc["cached"] is True
+                if i % 2000 == 0:
+                    # Interleaved scrapes: sampling the window and
+                    # rendering must not disturb retention or counts.
+                    assert validate_exposition(
+                        server.metrics_document()) == []
+
+            # Retention held: the ring never grew past its bound even
+            # though ~40x more spans were recorded.
+            assert len(server.obs.spans) <= BOUND
+            assert server.obs.evicted_spans > 0
+            assert (len(server.obs.spans) + server.obs.evicted_spans
+                    >= REQUESTS)
+
+            # Counters stayed exact despite span eviction.
+            assert server.obs.counters["serve.requests"] == REQUESTS
+            assert server.obs.counters["serve.warm_hits"] == \
+                REQUESTS - 1
+            assert server.obs.counters["serve.computed"] == 1
+            hist = server.obs.histograms["serve.request"]
+            assert hist.count == REQUESTS
+
+            # Evicted aggregates account for every dropped span.
+            evicted_calls = sum(
+                agg["calls"]
+                for agg in server.obs.evicted_aggregates.values())
+            assert evicted_calls == server.obs.evicted_spans
+
+            # /stats and /metrics agree with the in-process state.
+            stats = server.stats_document()
+            assert stats["counters"]["serve.requests"] == REQUESTS
+            assert stats["obs"]["spans_retained"] == \
+                len(server.obs.spans)
+            assert stats["obs"]["max_spans"] == BOUND
+            assert stats["obs"]["evicted_spans"] == \
+                server.obs.evicted_spans
+
+            text = server.metrics_document()
+            assert validate_exposition(text) == []
+            families = parse_prometheus(text)
+            assert families["repro_serve_requests_total"]["samples"][
+                0][2] == float(REQUESTS)
+            assert families["repro_obs_spans_retained"]["samples"][
+                0][2] <= BOUND
+            assert families["repro_obs_evicted_spans_total"]["samples"][
+                0][2] == float(server.obs.evicted_spans)
+        finally:
+            await server.batcher.stop()
+
+    asyncio.run(main())
+
+
+def test_soak_unbounded_log_keeps_everything(tmp_path):
+    """The campaign-mode default (max_spans=None) still captures all."""
+    body = json.dumps(SMALL).encode()
+
+    async def main():
+        server = ScheduleServer(cache_dir=str(tmp_path),
+                                obs_max_spans=None)
+        await server.batcher.start()
+        try:
+            for _ in range(500):
+                status, _ = await server._route("POST", "/v1/schedule",
+                                                body)
+                assert status == 200
+            assert server.obs.evicted_spans == 0
+            request_spans = [s for s in server.obs.spans
+                             if s.name == "serve.request"]
+            assert len(request_spans) == 500
+        finally:
+            await server.batcher.stop()
+
+    asyncio.run(main())

@@ -1,0 +1,109 @@
+"""The repro top dashboard renderer — pure-function tests, no socket."""
+
+import io
+
+from repro.serve.top import _rate, render_frame, run_top
+
+
+def _doc(**overrides):
+    doc = {
+        "counters": {"serve.requests": 200, "serve.warm_hits": 150,
+                     "serve.deduped": 10, "serve.shed": 4,
+                     "serve.computed": 36},
+        "window": {
+            "window_seconds": 60.0,
+            "elapsed_seconds": 10.0,
+            "samples": 5,
+            "rates_per_second": {"serve.requests": 12.5},
+            "latency": {
+                "serve.request": {"count": 125, "total_seconds": 1.0,
+                                  "p50_seconds": 0.004,
+                                  "p90_seconds": 0.012,
+                                  "p99_seconds": 0.040},
+                "serve.dispatch_seconds": {"count": 3,
+                                           "total_seconds": 2.5,
+                                           "p50_seconds": 0.8,
+                                           "p90_seconds": 1.0,
+                                           "p99_seconds": 1.0},
+            },
+        },
+        "admission": {"pending": 2, "max_pending": 64,
+                      "peak_pending": 9, "shed": 4, "admitted": 196},
+        "batcher": {"dispatches": 30, "max_batch_seen": 6,
+                    "failed_instances": 1, "deduped": 10,
+                    "dispatched_instances": 36, "empty_dispatches": 0},
+        "cache": {"enabled": True, "hits": 150, "misses": 36,
+                  "bytes": 90_000, "evictions": 2},
+        "obs": {"spans_retained": 256, "max_spans": 256,
+                "evicted_spans": 1234},
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestRenderFrame:
+    def test_frame_contains_headline_numbers(self):
+        frame = render_frame(_doc(), source="http://h:1")
+        assert "repro top — http://h:1" in frame
+        assert "200 total" in frame
+        assert "12.5 req/s" in frame  # server window rate
+        assert "75.0%" in frame       # warm hits of requests
+        assert "evictions 2" in frame
+        assert "256 spans retained" in frame
+        assert "1234 evicted" in frame
+
+    def test_latency_line_scales_to_ms(self):
+        frame = render_frame(_doc())
+        assert "p50     4.00 ms" in frame
+        assert "p99    40.00 ms" in frame
+
+    def test_occupancy_is_dispatch_over_window(self):
+        frame = render_frame(_doc())
+        # 2.5 s busy over a 10 s window.
+        assert "occupancy   25.0%" in frame
+
+    def test_empty_doc_renders_without_crashing(self):
+        frame = render_frame({})
+        assert "repro top" in frame
+        assert "0 total" in frame
+
+    def test_unbounded_retention_shows_infinity(self):
+        doc = _doc(obs={"spans_retained": 7, "max_spans": None,
+                        "evicted_spans": 0})
+        assert "bound ∞" in render_frame(doc)
+
+
+class TestRate:
+    def test_prefers_server_window_rate(self):
+        assert _rate(_doc(), None, None, "serve.requests") == 12.5
+
+    def test_falls_back_to_client_delta(self):
+        doc = _doc(window={})
+        prev = {"counters": {"serve.requests": 100}}
+        assert _rate(doc, prev, 10.0, "serve.requests") == 10.0
+
+    def test_no_history_means_zero(self):
+        assert _rate(_doc(window={}), None, None, "serve.requests") == 0.0
+
+
+class TestRunTop:
+    def test_unreachable_server_exits_nonzero(self):
+        out = io.StringIO()
+        code = run_top("http://127.0.0.1:9", interval_seconds=0.01,
+                       iterations=1, out=out)
+        assert code == 1
+
+    def test_iterations_bound_polling(self, monkeypatch):
+        calls = []
+
+        def fake_fetch(url, *, timeout=5.0):
+            calls.append(url)
+            return _doc()
+
+        monkeypatch.setattr("repro.serve.top.fetch_stats", fake_fetch)
+        out = io.StringIO()
+        code = run_top("http://fake", interval_seconds=0.0,
+                       iterations=3, out=out)
+        assert code == 0
+        assert len(calls) == 3
+        assert "repro top — http://fake" in out.getvalue()

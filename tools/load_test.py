@@ -14,7 +14,13 @@ ephemeral port) with raw asyncio HTTP clients through four phases:
   (``serve.deduped`` >= clients-1, one dispatched instance);
 * **churn** — a stream of fresh instances against a ``--max-bytes``
   bounded cache: afterwards the tree must measure at or under the
-  bound.
+  bound;
+* **metrics** — scrape ``GET /metrics`` before the cold phase and
+  after churn: both expositions must pass
+  :func:`repro.obs.metrics.validate_exposition`, and the
+  ``repro_serve_requests_total`` counter must have advanced by the
+  number of requests the harness sent (``--metrics-out`` saves the
+  final exposition for offline checking).
 
 Latency is reported per phase as p50/p99 milliseconds over per-request
 wall clock.  Results are written as JSON (``--out``), matching the
@@ -44,6 +50,10 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.obs.metrics import parse_prometheus  # noqa: E402
+from repro.obs.metrics import validate_exposition  # noqa: E402
 
 #: Three-task explicit request graphs: big enough to exercise the full
 #: six-heuristic suite, small enough that the harness measures the
@@ -79,6 +89,22 @@ async def request(host: str, port: int, method: str, target: str,
     head, _, rest = raw.partition(b"\r\n\r\n")
     status = int(head.split(b" ", 2)[1])
     return status, json.loads(rest) if rest else {}
+
+
+async def request_text(host: str, port: int, target: str
+                       ) -> Tuple[int, str]:
+    """GET a non-JSON endpoint (``/metrics``) and return the raw body."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write((f"GET {target} HTTP/1.1\r\nHost: load\r\n"
+                      f"Content-Length: 0\r\n"
+                      f"Connection: close\r\n\r\n").encode())
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+    head, _, rest = raw.partition(b"\r\n\r\n")
+    return int(head.split(b" ", 2)[1]), rest.decode()
 
 
 async def timed_schedule(host: str, port: int, body: dict,
@@ -120,6 +146,14 @@ def phase_stats(latencies: List[float]) -> Dict[str, Any]:
             "total_s": round(sum(latencies), 4)}
 
 
+def counter_total(exposition: str, family: str) -> float:
+    """Sum every sample of one family in a parsed exposition."""
+    fam = parse_prometheus(exposition).get(family)
+    if fam is None:
+        return 0.0
+    return sum(value for _name, _labels, value in fam["samples"])
+
+
 # ----------------------------------------------------------------------
 # The scenario
 # ----------------------------------------------------------------------
@@ -130,6 +164,16 @@ async def run_load(host: str, port: int, *, instances: int, clients: int,
         raise RuntimeError(f"server unhealthy: {status}")
 
     report: Dict[str, Any] = {"phases": {}, "checks": {}}
+
+    # Phase 0: scrape /metrics cold — the exposition must already be
+    # valid before any schedule traffic exists (empty-histogram case).
+    status, cold_metrics = await request_text(host, port, "/metrics")
+    report["checks"]["metrics_status"] = status
+    report["checks"]["metrics_cold_violations"] = \
+        validate_exposition(cold_metrics) if status == 200 else \
+        ["scrape failed"]
+    requests_before = counter_total(cold_metrics,
+                                    "repro_serve_requests_total")
 
     async def stats() -> dict:
         return (await request(host, port, "GET", "/stats"))[1]
@@ -183,6 +227,19 @@ async def run_load(host: str, port: int, *, instances: int, clients: int,
                                                     max_bytes)
     report["checks"]["cache_evictions"] = cache.get("evictions", 0)
     report["final_stats"] = final
+
+    # Phase 5: scrape /metrics warm — still valid, and the request
+    # counter must have advanced by everything the harness sent.
+    status, warm_metrics = await request_text(host, port, "/metrics")
+    report["checks"]["metrics_warm_violations"] = \
+        validate_exposition(warm_metrics) if status == 200 else \
+        ["scrape failed"]
+    sent = 2 * instances + clients + churn
+    report["checks"]["metrics_requests_delta"] = (
+        counter_total(warm_metrics, "repro_serve_requests_total")
+        - requests_before)
+    report["checks"]["metrics_requests_expected"] = sent
+    report["metrics_exposition"] = warm_metrics
     return report
 
 
@@ -222,6 +279,18 @@ def verify(report: dict, *, clients: int, instances: int) -> List[str]:
                 "sustained churn never triggered an eviction — the "
                 "bound was not exercised (raise --churn or lower "
                 "--max-bytes)")
+    if checks.get("metrics_status") != 200:
+        failures.append(
+            f"GET /metrics answered {checks.get('metrics_status')}")
+    for phase in ("cold", "warm"):
+        for violation in checks.get(f"metrics_{phase}_violations", []):
+            failures.append(f"{phase} /metrics exposition: {violation}")
+    delta = checks.get("metrics_requests_delta")
+    expected = checks.get("metrics_requests_expected")
+    if delta is not None and delta != expected:
+        failures.append(
+            f"repro_serve_requests_total advanced by {delta}, "
+            f"expected {expected} (one per schedule request sent)")
     return failures
 
 
@@ -273,6 +342,9 @@ def main(argv=None) -> int:
                          "warm hits survive and churn must evict)")
     ap.add_argument("--out", type=Path, default=None,
                     help="write the report JSON here")
+    ap.add_argument("--metrics-out", type=Path, default=None,
+                    help="write the final /metrics exposition here "
+                         "(feed it to tools/validate_metrics.py)")
     ap.add_argument("--check", action="store_true",
                     help="fail (exit 1) when a behavioural check fails")
     args = ap.parse_args(argv)
@@ -328,6 +400,9 @@ def main(argv=None) -> int:
     if args.out is not None:
         args.out.write_text(json.dumps(doc, indent=2) + "\n")
         print(f"[load-test] wrote {args.out}")
+    if args.metrics_out is not None:
+        args.metrics_out.write_text(report["metrics_exposition"])
+        print(f"[load-test] wrote {args.metrics_out}")
 
     failures = verify(report, clients=args.clients,
                       instances=args.instances)

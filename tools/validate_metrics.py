@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Validate a Prometheus text-exposition document.
+
+The CI gate for the serve ``/metrics`` endpoint: parse the exposition,
+enforce the contracts dashboards rely on (finite values, ``*_total``
+counters, cumulative histogram buckets consistent with ``_count``), and
+list every violation.  Reads a file argument or stdin:
+
+    python tools/validate_metrics.py serve-metrics.prom
+    curl -s localhost:8642/metrics | python tools/validate_metrics.py
+
+Exit code 0 when valid, 1 with one violation per line otherwise.  The
+checker itself lives in :func:`repro.obs.metrics.validate_exposition`,
+so tests, this tool and the load-test client all agree on validity.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.obs.metrics import parse_prometheus, validate_exposition  # noqa: E402
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) > 1:
+        print("usage: validate_metrics.py [exposition-file]",
+              file=sys.stderr)
+        return 2
+    if argv and argv[0] != "-":
+        text = Path(argv[0]).read_text()
+        source = argv[0]
+    else:
+        text = sys.stdin.read()
+        source = "<stdin>"
+    failures = validate_exposition(text)
+    if failures:
+        for failure in failures:
+            print(f"{source}: {failure}", file=sys.stderr)
+        return 1
+    families = parse_prometheus(text)
+    samples = sum(len(f["samples"]) for f in families.values())
+    print(f"{source}: OK — {len(families)} metric families, "
+          f"{samples} samples")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
