@@ -14,6 +14,7 @@ from ..graphs.dag import TaskGraph
 from ..obs import ObsLog
 from .lamps import lamps_search
 from .limits import limit_mf, limit_sf
+from .plans import PlanCache
 from .platform import Platform
 from .results import Heuristic, ScheduleResult
 from .sns import schedule_and_stretch
@@ -44,6 +45,7 @@ def schedule(
     strict: bool = False,
     audit: Optional[AuditLog] = None,
     obs: Optional[ObsLog] = None,
+    plans: Optional[PlanCache] = None,
 ) -> ScheduleResult:
     """Schedule ``graph`` for minimum energy under a deadline.
 
@@ -70,6 +72,11 @@ def schedule(
         obs: an :class:`~repro.obs.ObsLog` recording spans/counters of
             the search (see :mod:`repro.obs`); never changes the
             result.  Ignored by the LIMIT bounds.
+        plans: a shared per-instance
+            :class:`~repro.core.plans.PlanCache` so multiple heuristic
+            runs on the same instance build each schedule once
+            (ignored under strict/audit — see
+            :func:`~repro.core.plans.plan_scope`).
 
     Returns:
         A :class:`ScheduleResult` with the chosen processor count,
@@ -90,7 +97,7 @@ def schedule(
         deadline_cycles = deadline_from_factor(graph, deadline_factor)
     h = Heuristic(heuristic)
     kwargs = dict(platform=platform, deadline_overrides=deadline_overrides)
-    check = dict(strict=strict, audit=audit, obs=obs)
+    check = dict(strict=strict, audit=audit, obs=obs, plans=plans)
 
     if h is Heuristic.SNS:
         return schedule_and_stretch(graph, deadline_cycles, shutdown=False,
@@ -105,9 +112,9 @@ def schedule(
         return lamps_search(graph, deadline_cycles, shutdown=True,
                             policy=policy, **kwargs, **check)
     if h is Heuristic.LIMIT_SF:
-        return limit_sf(graph, deadline_cycles, **kwargs)
+        return limit_sf(graph, deadline_cycles, plans=plans, **kwargs)
     if h is Heuristic.LIMIT_MF:
-        return limit_mf(graph, deadline_cycles, **kwargs)
+        return limit_mf(graph, deadline_cycles, plans=plans, **kwargs)
     raise AssertionError(f"unhandled heuristic {h!r}")  # pragma: no cover
 
 
@@ -123,19 +130,26 @@ def evaluate_all(
     strict: bool = False,
     audit: Optional[AuditLog] = None,
     obs: Optional[ObsLog] = None,
+    plans: Optional[PlanCache] = None,
 ) -> Dict[Heuristic, ScheduleResult]:
     """Run every heuristic (or a chosen subset) on one instance.
 
     Returns a dict keyed by :class:`Heuristic`, in the paper's
     presentation order.  ``strict``/``audit`` behave as in
-    :func:`schedule` and apply to every heuristic run.
+    :func:`schedule` and apply to every heuristic run.  The heuristics
+    share one per-instance :class:`~repro.core.plans.PlanCache` (pass
+    ``plans`` to share it wider), so overlapping schedule
+    configurations — e.g. S&S's full-spread build and LAMPS's upper
+    probes — are built once; under strict/audit every search falls back
+    to its own fresh cache (see :func:`~repro.core.plans.plan_scope`).
     """
     chosen = heuristics or tuple(Heuristic)
+    shared = plans if plans is not None else PlanCache()
     return {
         Heuristic(h): schedule(
             graph, deadline_cycles, deadline_factor=deadline_factor,
             heuristic=h, platform=platform, policy=policy,
             deadline_overrides=deadline_overrides,
-            strict=strict, audit=audit, obs=obs)
+            strict=strict, audit=audit, obs=obs, plans=shared)
         for h in chosen
     }

@@ -37,6 +37,15 @@ from ..sched.schedule import Schedule
 
 __all__ = ["EnergyBreakdown", "schedule_energy", "schedule_energy_sweep"]
 
+#: Work size (points x (processors + internal gaps)) below which
+#: :func:`schedule_energy_sweep` delegates to the scalar loop: for tiny
+#: sweeps the broadcast setup costs more than the per-point evaluation
+#: it amortises (the reference sweep_100 benchmark sits at ~0.91x under
+#: the broadcast path, ~1.25x via the scalar loop).  Deliberately
+#: conservative — large ladders stay on the one-pass path; see
+#: tests/core/test_energy_sweep.py for the identity of both sides.
+_SCALAR_SWEEP_CUTOVER = 64
+
 
 def _makespan_error(makespan: float, horizon_cycles: float,
                     frequency_hz: float) -> ValueError:
@@ -186,13 +195,20 @@ def schedule_energy_sweep(
     m = len(points)
     if m == 0:
         return []
+    employed = schedule.employed_processor_ids
+    gap_flat, gap_bounds = schedule.internal_gap_cycles
+    if m * (len(employed) + gap_flat.size) <= _SCALAR_SWEEP_CUTOVER:
+        # Small sweeps: the broadcast machinery costs more than it
+        # saves, and the scalar loop is the bitwise reference this
+        # function is specified against — delegation cannot diverge.
+        return [schedule_energy(schedule, p, deadline_seconds, sleep=sleep)
+                for p in points]
     freqs = np.array([p.frequency for p in points])
     epc = np.array([p.energy_per_cycle for p in points])
     ip = np.array([p.idle_power for p in points])
     horizons = deadline_seconds * freqs  # cycles, one per point
 
     makespan = schedule.makespan
-    employed = schedule.employed_processor_ids
     # Replicate the scalar loop's exception order exactly: per point (in
     # order), first the makespan check, then gap_lengths' horizon guard
     # per employed processor (in order).
@@ -213,7 +229,6 @@ def schedule_energy_sweep(
     sleep_v = np.zeros(m)
     over_v = np.zeros(m)
     shut_v = np.zeros(m, dtype=np.intp)
-    gap_flat, gap_bounds = schedule.internal_gap_cycles
     for proc in employed:
         # Accumulate per processor in employed order — elementwise over
         # points, each lane performs exactly the scalar loop's ``+=``.

@@ -22,23 +22,22 @@ of only the maximally stretched point.
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, Mapping, Optional, Tuple, Union
+from typing import Hashable, List, Mapping, Optional, Tuple, Union
 
-from ..audit.invariants import audit_energy, audit_intermediate_schedule, \
-    audit_result
+from ..audit.invariants import audit_energy, audit_result
 from ..audit.report import AuditLog
 from ..graphs.dag import TaskGraph
 from ..obs import NullObs, ObsLog, live
 from ..power.dvs import OperatingPoint
 from ..power.shutdown import SleepModel
-from ..sched.deadlines import task_deadlines
 from ..sched.list_scheduler import list_schedule
 from ..sched.priorities import PriorityPolicy
 from ..sched.schedule import Schedule
 from .energy import EnergyBreakdown, schedule_energy_sweep
+from .plans import PlanCache, PlannedSweep, plan_scope, sweep_energies
 from .platform import Platform, default_platform
 from .results import Heuristic, InfeasibleScheduleError, ScheduleResult
-from .stretch import feasible_points, required_frequency, stretch_point
+from .stretch import feasible_points, stretch_point
 
 __all__ = ["lamps", "lamps_ps", "lamps_search", "energy_vs_processors"]
 
@@ -55,6 +54,7 @@ def lamps_search(
     strict: bool = False,
     audit: Optional[AuditLog] = None,
     obs: Optional[ObsLog] = None,
+    plans: Optional[PlanCache] = None,
 ) -> ScheduleResult:
     """Run LAMPS (``shutdown=False``) or LAMPS+PS (``shutdown=True``).
 
@@ -76,6 +76,20 @@ def lamps_search(
         obs: an :class:`~repro.obs.ObsLog` recording phase spans,
             binary-search iterations, anomaly retries and operating
             points evaluated (no effect on the result).
+        plans: a shared per-instance :class:`~repro.core.plans.PlanCache`
+            (e.g. from :func:`~repro.core.api.evaluate_all`); ignored
+            under strict/audit, which replay the historical per-call
+            cache exactly (see :func:`~repro.core.plans.plan_scope`).
+
+    Phase 2 is organised as a plan/finish split: the processor-count
+    walk plans every candidate's ladder points (control flow is energy
+    -independent — the plateau break reads only makespans), one
+    :func:`~repro.core.plans.sweep_energies` broadcast evaluates every
+    candidate's full ladder in a single batched kernel call, and the
+    finish replays the historical selection (first-minimum ties, the
+    greedy ablation's energy-increase break, the +PS full-spread
+    displacement) over the precomputed energies — bitwise-identical to
+    the historical interleaved loop.
 
     Raises:
         InfeasibleScheduleError: the deadline cannot be met at full
@@ -84,25 +98,23 @@ def lamps_search(
     if phase2 not in ("linear", "greedy"):
         raise ValueError(f"phase2 must be 'linear' or 'greedy', got {phase2!r}")
     platform = platform or default_platform()
-    d = task_deadlines(graph, deadline_cycles, overrides=deadline_overrides)
+    log = audit if audit is not None else (AuditLog() if strict else None)
+    plans = plan_scope(plans, log)
+    d = plans.deadline_vector(graph, deadline_cycles,
+                              overrides=deadline_overrides)
     deadline_seconds = platform.seconds(deadline_cycles)
     sleep = platform.sleep if shutdown else None
-    log = audit if audit is not None else (AuditLog() if strict else None)
     o = live(obs)
 
-    cache: Dict[int, Schedule] = {}
-
     def sched(n: int) -> Schedule:
-        if n not in cache:
-            cache[n] = list_schedule(graph, n, d, policy=policy, obs=obs)
-            if log is not None:
-                log.schedules_built += 1
-                audit_intermediate_schedule(
-                    cache[n], log, f"{graph.name or 'graph'}[n={n}]")
-        return cache[n]
+        # ``build=list_schedule`` resolves this module's global at call
+        # time, so the anomaly tests' monkeypatched builders are used
+        # (and automatically disable the cache's width aliasing).
+        return plans.schedule(graph, n, d, policy=policy, obs=obs,
+                              log=log, build=list_schedule)
 
     def feasible(n: int) -> bool:
-        return sched(n).required_reference_frequency(d) <= 1.0 + 1e-9
+        return plans.ratio(sched(n), d) <= 1.0 + 1e-9
 
     # ---- Phase 1: minimal processor count (binary search) ---------------
     with o.span("lamps.phase1", category="core",
@@ -136,11 +148,16 @@ def lamps_search(
     # ---- Phase 2: sweep processor counts ---------------------------------
     with o.span("lamps.phase2", category="core",
                 graph=graph.name, n_min=n_min, shutdown=shutdown):
-        best: Optional[tuple] = None  # (energy, n, point, schedule)
+        # Plan: walk the counts, collecting each feasible candidate's
+        # ladder points.  The walk is energy-independent — the plateau
+        # break reads only makespans — so every candidate's sweep can
+        # be deferred to one batched broadcast below.
+        cands: List[Tuple[int, Schedule]] = []
+        sweeps: List[PlannedSweep] = []
         prev_makespan = math.inf
         for n in range(n_min, n_upb + 1):
             s = sched(n)
-            f_req = required_frequency(s, d, platform.fmax)
+            f_req = plans.ratio(s, d) * platform.fmax
             if f_req > platform.fmax * (1.0 + 1e-9):
                 # Scheduling anomaly made this count infeasible: skip it
                 # but keep sweeping — a later count can recover.
@@ -148,12 +165,10 @@ def lamps_search(
                 if log is not None:
                     log.anomaly_retries += 1
             else:
-                energy, point = _best_operating_point(
-                    s, f_req, platform, deadline_seconds, sleep, log, o)
-                if best is None or energy.total < best[0].total:
-                    best = (energy, n, point, s)
-                elif phase2 == "greedy" and energy.total > best[0].total:
-                    break
+                points = _candidate_points(s, f_req, platform,
+                                           deadline_seconds, sleep, log, o)
+                cands.append((n, s))
+                sweeps.append(PlannedSweep(s, tuple(points), sleep))
                 if s.makespan >= prev_makespan - 1e-9:
                     break  # more processors no longer shorten the schedule
             # Track *every* makespan, not only the feasible ones —
@@ -161,6 +176,7 @@ def lamps_search(
             # before an anomalous stretch used to truncate the sweep
             # one point early.
             prev_makespan = s.makespan
+        spread: Optional[int] = None
         if shutdown:
             # Fig. 8 sweeps up to the number of processors that can be
             # employed efficiently; the fully spread schedule (the S&S
@@ -169,16 +185,43 @@ def lamps_search(
             # anomaly made it infeasible (it usually is feasible: the
             # upfront check ran on this very schedule).
             s = sched(graph.n)
-            f_req = required_frequency(s, d, platform.fmax)
+            f_req = plans.ratio(s, d) * platform.fmax
             if f_req <= platform.fmax * (1.0 + 1e-9):
-                energy, point = _best_operating_point(
-                    s, f_req, platform, deadline_seconds, sleep, log, o)
-                if best is None or energy.total < best[0].total:
-                    best = (energy, graph.n, point, s)
+                points = _candidate_points(s, f_req, platform,
+                                           deadline_seconds, sleep, log, o)
+                spread = len(sweeps)
+                cands.append((graph.n, s))
+                sweeps.append(PlannedSweep(s, tuple(points), sleep))
             else:
                 o.count("lamps.anomaly_retries")
                 if log is not None:
                     log.anomaly_retries += 1
+
+        # One broadcast evaluates every candidate's full ladder; the
+        # batch kernel is bitwise-identical to per-candidate
+        # schedule_energy_sweep calls, including exception order.
+        energies = sweep_energies(sweeps, deadline_seconds)
+
+        # Finish: replay the historical selection over the precomputed
+        # energies — first-minimum ties, the greedy ablation's break on
+        # an energy increase, and the +PS full-spread candidate that
+        # only displaces a strictly worse winner (even after a greedy
+        # break, exactly as the historical post-loop evaluation did).
+        best: Optional[tuple] = None  # (energy, n, point, schedule)
+        for i, (n, s) in enumerate(cands):
+            if i == spread:
+                continue
+            energy, point = _select_best(energies[i],
+                                         list(sweeps[i].points))
+            if best is None or energy.total < best[0].total:
+                best = (energy, n, point, s)
+            elif phase2 == "greedy" and energy.total > best[0].total:
+                break
+        if spread is not None:
+            energy, point = _select_best(energies[spread],
+                                         list(sweeps[spread].points))
+            if best is None or energy.total < best[0].total:
+                best = (energy, graph.n, point, cands[spread][1])
         assert best is not None  # n_min is always feasible
         energy, _, point, schedule = best
 
@@ -304,41 +347,46 @@ def energy_vs_processors(
     strict: bool = False,
     audit: Optional[AuditLog] = None,
     obs: Optional[ObsLog] = None,
+    plans: Optional[PlanCache] = None,
 ) -> "list[tuple[int, Optional[EnergyBreakdown]]]":
     """Energy as a function of the processor count (the data of Fig. 6).
 
     Returns one ``(n, energy_or_None)`` pair per processor count from 1
     to ``max_processors`` (default: the count where the makespan stops
     improving); ``None`` marks infeasible counts.
+
+    Like :func:`lamps_search` phase 2, the sweep is a plan/finish
+    split: every count's schedule and ladder points are planned first
+    (the truncation rule reads only makespans), one batched broadcast
+    evaluates all the ladders, and the rows — and the strict-mode
+    per-count energy audits, in the same ascending order — are
+    assembled from the precomputed results.
     """
     platform = platform or default_platform()
-    d = task_deadlines(graph, deadline_cycles)
+    log = audit if audit is not None else (AuditLog() if strict else None)
+    plans = plan_scope(plans, log)
+    d = plans.deadline_vector(graph, deadline_cycles)
     deadline_seconds = platform.seconds(deadline_cycles)
     sleep = platform.sleep if shutdown else None
-    log = audit if audit is not None else (AuditLog() if strict else None)
     o = live(obs)
-    out: list[tuple[int, Optional[EnergyBreakdown]]] = []
+    planned: "list[tuple[int, Schedule, Optional[int]]]" = []
+    sweeps: List[PlannedSweep] = []
     prev_makespan = math.inf
     n_cap = max_processors or graph.n
     for n in range(1, n_cap + 1):
-        s = list_schedule(graph, n, d, policy=policy, obs=obs)
-        if log is not None:
-            log.schedules_built += 1
-            audit_intermediate_schedule(
-                s, log, f"{graph.name or 'graph'}[n={n}]")
-        f_req = required_frequency(s, d, platform.fmax)
+        s = plans.schedule(graph, n, d, policy=policy, obs=obs, log=log,
+                           build=list_schedule)
+        f_req = plans.ratio(s, d) * platform.fmax
         if f_req > platform.fmax * (1.0 + 1e-9):
-            out.append((n, None))
+            planned.append((n, s, None))
             o.count("lamps.anomaly_retries")
             if log is not None:
                 log.anomaly_retries += 1
         else:
-            energy, point = _best_operating_point(
-                s, f_req, platform, deadline_seconds, sleep, log, o)
-            out.append((n, energy))
-            if log is not None:
-                audit_energy(s, energy, point, deadline_seconds, sleep,
-                             log, f"{graph.name or 'graph'}[n={n}]")
+            points = _candidate_points(s, f_req, platform,
+                                       deadline_seconds, sleep, log, o)
+            planned.append((n, s, len(sweeps)))
+            sweeps.append(PlannedSweep(s, tuple(points), sleep))
             if max_processors is None and \
                     s.makespan >= prev_makespan - 1e-9:
                 break  # a feasible count stopped improving the makespan
@@ -348,4 +396,17 @@ def energy_vs_processors(
         # point early (and an anomalously *long* infeasible count must
         # not end the sweep either).
         prev_makespan = s.makespan
+
+    energies = sweep_energies(sweeps, deadline_seconds)
+    out: list[tuple[int, Optional[EnergyBreakdown]]] = []
+    for n, s, sweep_i in planned:
+        if sweep_i is None:
+            out.append((n, None))
+            continue
+        energy, point = _select_best(energies[sweep_i],
+                                     list(sweeps[sweep_i].points))
+        out.append((n, energy))
+        if log is not None:
+            audit_energy(s, energy, point, deadline_seconds, sleep,
+                         log, f"{graph.name or 'graph'}[n={n}]")
     return out

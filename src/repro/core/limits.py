@@ -25,6 +25,7 @@ from ..graphs.analysis import top_levels, total_work
 from ..graphs.dag import TaskGraph
 from ..sched.deadlines import task_deadlines
 from .energy import EnergyBreakdown
+from .plans import PlanCache
 from .platform import Platform, default_platform
 from .results import Heuristic, InfeasibleScheduleError, ScheduleResult
 
@@ -33,7 +34,8 @@ __all__ = ["limit_sf", "limit_mf"]
 
 def _ideal_required_frequency(graph: TaskGraph, deadline_cycles: float,
                               platform: Platform,
-                              overrides: Optional[Mapping[Hashable, float]]
+                              overrides: Optional[Mapping[Hashable, float]],
+                              plans: Optional[PlanCache] = None,
                               ) -> float:
     """Minimum frequency for the ideal (one-task-per-processor) schedule.
 
@@ -41,10 +43,18 @@ def _ideal_required_frequency(graph: TaskGraph, deadline_cycles: float,
     requirement is ``fmax * max(top_level / deadline)`` over tasks.
     Feasibility is judged by the caller (LIMIT-MF deliberately ignores
     it), so the ALAP propagation runs without the feasibility check.
+    ``plans`` shares the deadline vector and top levels with the
+    heuristics evaluated on the same instance.
     """
-    d = task_deadlines(graph, deadline_cycles, overrides=overrides,
-                       check_feasible=False)
-    tl = top_levels(graph)
+    if plans is not None:
+        d = plans.deadline_vector(graph, deadline_cycles,
+                                  overrides=overrides,
+                                  check_feasible=False)
+        tl = plans.top_levels(graph)
+    else:
+        d = task_deadlines(graph, deadline_cycles, overrides=overrides,
+                           check_feasible=False)
+        tl = top_levels(graph)
     with np.errstate(divide="ignore"):
         ratio = float(np.max(tl / d))
     return ratio * platform.fmax
@@ -53,6 +63,7 @@ def _ideal_required_frequency(graph: TaskGraph, deadline_cycles: float,
 def limit_sf(graph: TaskGraph, deadline_cycles: float, *,
              platform: Optional[Platform] = None,
              deadline_overrides: Optional[Mapping[Hashable, float]] = None,
+             plans: Optional[PlanCache] = None,
              ) -> ScheduleResult:
     """Single-frequency lower bound (LIMIT-SF).
 
@@ -61,7 +72,7 @@ def limit_sf(graph: TaskGraph, deadline_cycles: float, *,
     """
     platform = platform or default_platform()
     f_req = _ideal_required_frequency(graph, deadline_cycles, platform,
-                                      deadline_overrides)
+                                      deadline_overrides, plans)
     if f_req > platform.fmax * (1.0 + 1e-9):
         raise InfeasibleScheduleError(
             f"{graph.name or 'graph'}: ideal schedule needs "
@@ -83,6 +94,7 @@ def limit_sf(graph: TaskGraph, deadline_cycles: float, *,
 def limit_mf(graph: TaskGraph, deadline_cycles: float, *,
              platform: Optional[Platform] = None,
              deadline_overrides: Optional[Mapping[Hashable, float]] = None,
+             plans: Optional[PlanCache] = None,
              ) -> ScheduleResult:
     """Multi-frequency absolute lower bound (LIMIT-MF).
 
@@ -93,7 +105,7 @@ def limit_mf(graph: TaskGraph, deadline_cycles: float, *,
     platform = platform or default_platform()
     point = platform.ladder.critical_point()
     f_req = _ideal_required_frequency(graph, deadline_cycles, platform,
-                                      deadline_overrides)
+                                      deadline_overrides, plans)
     energy = EnergyBreakdown(
         busy=total_work(graph) * point.energy_per_cycle, idle=0.0)
     return ScheduleResult(

@@ -17,17 +17,17 @@ from __future__ import annotations
 
 from typing import Hashable, Mapping, Optional, Union
 
-from ..audit.invariants import audit_intermediate_schedule, audit_result
+from ..audit.invariants import audit_result
 from ..audit.report import AuditLog
 from ..graphs.dag import TaskGraph
 from ..obs import ObsLog, live
-from ..sched.deadlines import task_deadlines
 from ..sched.list_scheduler import list_schedule
 from ..sched.priorities import PriorityPolicy
 from .energy import schedule_energy_sweep
+from .plans import PlanCache, plan_scope
 from .platform import Platform, default_platform
 from .results import Heuristic, InfeasibleScheduleError, ScheduleResult
-from .stretch import feasible_points, required_frequency, stretch_point
+from .stretch import feasible_points, stretch_point
 
 __all__ = ["schedule_and_stretch", "sns", "sns_ps"]
 
@@ -44,6 +44,7 @@ def schedule_and_stretch(
     strict: bool = False,
     audit: Optional[AuditLog] = None,
     obs: Optional[ObsLog] = None,
+    plans: Optional[PlanCache] = None,
 ) -> ScheduleResult:
     """Run S&S (``shutdown=False``) or S&S+PS (``shutdown=True``).
 
@@ -64,6 +65,11 @@ def schedule_and_stretch(
         obs: an :class:`~repro.obs.ObsLog` recording the stretch span,
             the schedule build and the operating points evaluated (no
             effect on the result).
+        plans: a shared per-instance
+            :class:`~repro.core.plans.PlanCache`; reuses the deadline
+            vector and schedule across heuristics on the same instance
+            (ignored under strict/audit — see
+            :func:`~repro.core.plans.plan_scope`).
 
     Raises:
         InfeasibleScheduleError: deadline unreachable even at full speed.
@@ -75,15 +81,14 @@ def schedule_and_stretch(
     log = audit if audit is not None else (AuditLog() if strict else None)
     o = live(obs)
 
-    d = task_deadlines(graph, deadline_cycles, overrides=deadline_overrides)
-    sched = list_schedule(graph, n_procs, d, policy=policy, obs=obs)
-    if log is not None:
-        log.schedules_built += 1
-        audit_intermediate_schedule(
-            sched, log, f"{graph.name or 'graph'}[n={n_procs}]")
+    plans = plan_scope(plans, log)
+    d = plans.deadline_vector(graph, deadline_cycles,
+                              overrides=deadline_overrides)
+    sched = plans.schedule(graph, n_procs, d, policy=policy, obs=obs,
+                           log=log, build=list_schedule)
     with o.span("sns.stretch", category="core", graph=graph.name,
                 shutdown=shutdown):
-        f_req = required_frequency(sched, d, platform.fmax)
+        f_req = plans.ratio(sched, d) * platform.fmax
         deadline_seconds = platform.seconds(deadline_cycles)
 
         if shutdown:

@@ -30,13 +30,12 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence, \
     Tuple, Union
 
-from ..audit.invariants import audit_intermediate_schedule, audit_result
+from ..audit.invariants import audit_result
 from ..audit.report import AuditLog
 from ..graphs.dag import TaskGraph
 from ..obs import NullObs, ObsLog, live
 from ..power.dvs import OperatingPoint
 from ..power.shutdown import SleepModel
-from ..sched.deadlines import task_deadlines
 from ..sched.list_scheduler import list_schedule
 from ..sched.priorities import PriorityPolicy
 from ..sched.schedule import Schedule
@@ -44,11 +43,16 @@ from .batch import ScheduleBatch, SweepRequest, batch_energy_sweep
 from .energy import EnergyBreakdown, schedule_energy_sweep
 from .lamps import _candidate_points, _select_best
 from .limits import limit_mf, limit_sf
+from .plans import PlanCache, PlannedSweep, plan_scope
 from .platform import Platform, default_platform
 from .results import Heuristic, InfeasibleScheduleError, ScheduleResult
-from .stretch import required_frequency, stretch_point
+from .stretch import stretch_point
 
 __all__ = ["paper_suite", "paper_suite_batch"]
+
+# Backwards-compatible alias: the planned-sweep record moved to
+# repro.core.plans so the LAMPS searches can share it.
+_PlannedSweep = PlannedSweep
 
 
 def paper_suite(
@@ -61,6 +65,7 @@ def paper_suite(
     strict: bool = False,
     audit: Optional[AuditLog] = None,
     obs: Optional[ObsLog] = None,
+    plans: Optional[PlanCache] = None,
 ) -> Dict[Heuristic, ScheduleResult]:
     """All six approaches on one (graph, deadline) instance.
 
@@ -71,7 +76,10 @@ def paper_suite(
     :mod:`repro.audit` on every intermediate schedule and every
     schedule-bearing result; ``obs`` records phase spans and search
     counters into an :class:`~repro.obs.ObsLog`.  Neither affects the
-    returned results.
+    returned results.  ``plans`` shares a per-instance
+    :class:`~repro.core.plans.PlanCache` with other searches on the
+    same instance (ignored under strict/audit — see
+    :func:`~repro.core.plans.plan_scope`).
     """
     o = live(obs)
     with o.span("suite.paper_suite", category="suite",
@@ -79,21 +87,8 @@ def paper_suite(
         return _paper_suite(graph, deadline_cycles, platform=platform,
                             policy=policy,
                             deadline_overrides=deadline_overrides,
-                            strict=strict, audit=audit, obs=obs, o=o)
-
-
-@dataclass
-class _PlannedSweep:
-    """One deferred ladder sweep a suite plan wants evaluated.
-
-    ``schedule_energy_sweep(schedule, points, deadline_seconds,
-    sleep=sleep)`` — or its batched equivalent — produces the
-    breakdown list ``_finish_suite`` consumes.
-    """
-
-    schedule: Schedule
-    points: Tuple[OperatingPoint, ...]
-    sleep: Optional[SleepModel]
+                            strict=strict, audit=audit, obs=obs, o=o,
+                            plans=plans)
 
 
 @dataclass
@@ -116,7 +111,8 @@ class _SuitePlan:
     deadline_overrides: Optional[Mapping[Hashable, float]]
     log: Optional[AuditLog]
     s_full: Schedule
-    sweeps: List[_PlannedSweep] = field(default_factory=list)
+    plans: Optional[PlanCache] = None
+    sweeps: List[PlannedSweep] = field(default_factory=list)
     sns: int = -1
     sns_ps: int = -1
     phase2: List[Tuple[int, int, Schedule]] = field(default_factory=list)
@@ -133,6 +129,7 @@ def _plan_suite(
     audit: Optional[AuditLog],
     obs: Optional[ObsLog],
     o: Union[ObsLog, NullObs],
+    plans: Optional[PlanCache] = None,
 ) -> _SuitePlan:
     """Run the suite's control flow; emit the sweeps it needs.
 
@@ -142,22 +139,24 @@ def _plan_suite(
     suite raised, in the same order — none of which needs an energy
     value.  Energy evaluation is deferred to the returned plan's
     ``sweeps``.
+
+    All schedule builds, deadline vectors and required-frequency
+    ratios go through one per-instance
+    :class:`~repro.core.plans.PlanCache`, so the S&S family and LAMPS
+    share every overlapping configuration (the full-spread build *is*
+    the phase-1 upper-bound probe, and width aliasing collapses every
+    probe at or above the graph's width onto it).
     """
     platform = platform or default_platform()
-    d = task_deadlines(graph, deadline_cycles, overrides=deadline_overrides)
-    deadline_seconds = platform.seconds(deadline_cycles)
     log = audit if audit is not None else (AuditLog() if strict else None)
-
-    cache: Dict[int, Schedule] = {}
+    plans = plan_scope(plans, log)
+    d = plans.deadline_vector(graph, deadline_cycles,
+                              overrides=deadline_overrides)
+    deadline_seconds = platform.seconds(deadline_cycles)
 
     def sched(n: int) -> Schedule:
-        if n not in cache:
-            cache[n] = list_schedule(graph, n, d, policy=policy, obs=obs)
-            if log is not None:
-                log.schedules_built += 1
-                audit_intermediate_schedule(
-                    cache[n], log, f"{graph.name or 'graph'}[n={n}]")
-        return cache[n]
+        return plans.schedule(graph, n, d, policy=policy, obs=obs,
+                              log=log, build=list_schedule)
 
     # ---- S&S family: one schedule on |V| processors ----------------------
     with o.span("suite.sns_family", category="suite", graph=graph.name):
@@ -166,14 +165,14 @@ def _plan_suite(
             graph=graph, deadline_cycles=deadline_cycles,
             deadline_seconds=deadline_seconds, deadlines=d,
             platform=platform, deadline_overrides=deadline_overrides,
-            log=log, s_full=s_full)
+            log=log, s_full=s_full, plans=plans)
 
         def add(s: Schedule, points: Sequence[OperatingPoint],
                 sleep: Optional[SleepModel]) -> int:
-            plan.sweeps.append(_PlannedSweep(s, tuple(points), sleep))
+            plan.sweeps.append(PlannedSweep(s, tuple(points), sleep))
             return len(plan.sweeps) - 1
 
-        f_req = required_frequency(s_full, d, platform.fmax)
+        f_req = plans.ratio(s_full, d) * platform.fmax
         if f_req > platform.fmax * (1.0 + 1e-9):
             raise InfeasibleScheduleError(
                 f"{graph.name or 'graph'}: infeasible even at full speed")
@@ -197,7 +196,7 @@ def _plan_suite(
         while lo < hi:
             mid = (lo + hi) // 2
             o.count("lamps.binary_search_iterations")
-            if sched(mid).required_reference_frequency(d) <= 1.0 + 1e-9:
+            if plans.ratio(sched(mid), d) <= 1.0 + 1e-9:
                 hi = mid
             else:
                 lo = mid + 1
@@ -207,8 +206,7 @@ def _plan_suite(
         # until feasible (graph.n is feasible, so this terminates) —
         # see repro.core.lamps.lamps_search for the same guard.
         while (n_min < graph.n
-               and sched(n_min).required_reference_frequency(d)
-               > 1.0 + 1e-9):
+               and plans.ratio(sched(n_min), d) > 1.0 + 1e-9):
             n_min += 1
             o.count("lamps.anomaly_retries")
             if log is not None:
@@ -219,7 +217,7 @@ def _plan_suite(
         prev_makespan = math.inf
         for n in range(n_min, graph.n + 1):
             s = sched(n)
-            fr = required_frequency(s, d, platform.fmax)
+            fr = plans.ratio(s, d) * platform.fmax
             if fr <= platform.fmax * (1.0 + 1e-9):
                 plain_i = add(
                     s, _candidate_points(s, fr, platform, deadline_seconds,
@@ -301,10 +299,10 @@ def _finish_suite(
     with o.span("suite.limits", category="suite", graph=graph.name):
         out[Heuristic.LIMIT_SF] = limit_sf(
             graph, plan.deadline_cycles, platform=platform,
-            deadline_overrides=plan.deadline_overrides)
+            deadline_overrides=plan.deadline_overrides, plans=plan.plans)
         out[Heuristic.LIMIT_MF] = limit_mf(
             graph, plan.deadline_cycles, platform=platform,
-            deadline_overrides=plan.deadline_overrides)
+            deadline_overrides=plan.deadline_overrides, plans=plan.plans)
     if log is not None:
         for h, res in out.items():
             audit_result(
@@ -328,11 +326,13 @@ def _paper_suite(
     audit: Optional[AuditLog],
     obs: Optional[ObsLog],
     o: Union[ObsLog, NullObs],
+    plans: Optional[PlanCache] = None,
 ) -> Dict[Heuristic, ScheduleResult]:
     plan = _plan_suite(graph, deadline_cycles, platform=platform,
                        policy=policy,
                        deadline_overrides=deadline_overrides,
-                       strict=strict, audit=audit, obs=obs, o=o)
+                       strict=strict, audit=audit, obs=obs, o=o,
+                       plans=plans)
     energies = [
         schedule_energy_sweep(ps.schedule, list(ps.points),
                               plan.deadline_seconds, sleep=ps.sleep)

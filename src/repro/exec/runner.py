@@ -169,12 +169,16 @@ def _suite_worker(
     and obs spans; the cacheable payload (the summaries) is identical
     either way — neither mode may change what lands on disk.
     """
+    from ..core.plans import PlanCache
     from ..core.suite import paper_suite
 
     graph, deadline, platform, policy, strict, profile = item
     if not strict and not profile:
+        # Per-instance plan cache: dies with this call, so graphs and
+        # schedules are not pinned beyond the instance's evaluation.
         return summarize_results(
-            paper_suite(graph, deadline, platform=platform, policy=policy))
+            paper_suite(graph, deadline, platform=platform, policy=policy,
+                        plans=PlanCache()))
     log = AuditLog(strict=True) if strict else None
     obs = ObsLog() if profile else None
     summaries = summarize_results(

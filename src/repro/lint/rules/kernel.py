@@ -35,10 +35,12 @@ __all__ = ["BlessedConstruction", "KernelArrayMutation",
            "ScalarEnergyCall"]
 
 #: Modules that own the kernel internals (prefix match on the dotted
-#: module name): the Schedule kernel and the batched multi-schedule
-#: stack built on top of it.
+#: module name): the Schedule kernel, the batched multi-schedule stack
+#: built on top of it, and the plan cache that memoizes built
+#: schedules for reuse across heuristics (PR 9).
 _KERNEL_OWNERS: Tuple[str, ...] = ("repro.sched.schedule",
-                                   "repro.core.batch")
+                                   "repro.core.batch",
+                                   "repro.core.plans")
 
 #: Modules allowed to call the scalar energy evaluator: its home and
 #: the audit cross-check layer.

@@ -49,27 +49,33 @@ def task_deadlines(graph: TaskGraph, deadline_cycles: float, *,
     """
     if deadline_cycles <= 0:
         raise ValueError(f"deadline must be positive, got {deadline_cycles}")
-    d = np.full(graph.n, float(deadline_cycles))
+    # The propagation runs on plain Python floats: elementwise ndarray
+    # indexing dominated this function's profile, and float64 list
+    # arithmetic is the identical IEEE operation.
+    dl = [float(deadline_cycles)] * graph.n
     if overrides:
         for task, value in overrides.items():
             if value <= 0:
                 raise ValueError(
                     f"override deadline for {task!r} must be positive")
             i = graph.index_of(task)  # raises KeyError for unknown tasks
-            d[i] = min(d[i], float(value))
+            dl[i] = min(dl[i], float(value))
 
-    w = graph.weights_array
+    w = graph.weights_list
     succs = graph.succ_indices
     for v in reversed(graph.topo_indices):
+        dv = dl[v]
         for s in succs[v]:
-            latest = d[s] - w[s]
-            if latest < d[v]:
-                d[v] = latest
+            latest = dl[s] - w[s]
+            if latest < dv:
+                dv = latest
+        dl[v] = dv
+    d = np.array(dl)
 
     if check_feasible:
         # Earliest finish = top level; computed inline to avoid a cycle
         # with the analysis module at import time.
-        tl = np.zeros(graph.n)
+        tl = [0.0] * graph.n
         preds = graph.pred_indices
         for v in graph.topo_indices:
             best = 0.0
@@ -77,6 +83,7 @@ def task_deadlines(graph: TaskGraph, deadline_cycles: float, *,
                 if tl[p] > best:
                     best = tl[p]
             tl[v] = best + w[v]
+        tl = np.array(tl)
         bad = np.nonzero(tl > d + 1e-9)[0]
         if bad.size:
             worst = int(bad[np.argmax(tl[bad] - d[bad])])

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..graphs.dag import TaskGraph
 from ..obs import ObsLog, live
+from .ckernel import CKERNEL_ACTIVE, schedule_kernel_c
 from .jit import JIT_ACTIVE, schedule_kernel
 from .priorities import PriorityPolicy, priority_keys
 from .schedule import Schedule
@@ -69,13 +70,15 @@ def _list_schedule(graph: TaskGraph, n_processors: int,
     n = graph.n
     if deadlines is None:
         deadlines = np.zeros(n)
-    if JIT_ACTIVE:
-        # The compiled array kernel replays this exact event loop over
-        # flat heaps (see repro.sched.jit); its pop order — and hence
-        # every array it returns — is identical to the heapq path's.
+    if JIT_ACTIVE or CKERNEL_ACTIVE:
+        # A compiled array kernel replays this exact event loop over
+        # flat heaps (numba: repro.sched.jit; ctypes C:
+        # repro.sched.ckernel); its pop order — and hence every array
+        # it returns — is identical to the heapq path's.
+        kernel = schedule_kernel if JIT_ACTIVE else schedule_kernel_c
         key_arr = priority_keys(graph, deadlines, policy)
         succ_flat, succ_offsets = graph.succ_csr
-        starts_a, finishes_a, procs_a = schedule_kernel(
+        starts_a, finishes_a, procs_a = kernel(
             key_arr, graph.weights_array, succ_flat, succ_offsets,
             np.asarray(graph.in_degrees, dtype=np.intp), n_processors)
         return Schedule.from_arrays(graph, n_processors,

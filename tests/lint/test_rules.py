@@ -54,6 +54,31 @@ def test_unit_rules_are_package_scoped():
                                              "UNIT003"}
 
 
+def test_plan_cache_module_is_kernel_owner(tmp_path):
+    """``repro.core.plans`` may touch kernel internals; siblings may not.
+
+    The plan cache memoizes built Schedules and replays audit hooks, so
+    it joined ``_KERNEL_OWNERS``; the same code one module over must
+    still be flagged.
+    """
+    body = ("def rebuild(s):\n"
+            "    s._init_arrays()\n"
+            "    s._starts = None\n")
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    owner = pkg / "plans.py"
+    owner.write_text(body)
+    outsider = pkg / "helpers.py"
+    outsider.write_text(body)
+    config = LintConfig(select=frozenset({"KER001", "KER002"}),
+                        all_scopes=True)
+    assert run_lint([owner], config) == []
+    assert {f.code for f in run_lint([outsider], config)} == \
+        {"KER001", "KER002"}
+
+
 def test_select_and_ignore():
     path = FIXTURES / "det_violations.py"
     only = LintConfig(select=frozenset({"DET001"}), all_scopes=True)

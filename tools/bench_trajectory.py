@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Append one timestamped benchmark row to ``BENCH_trajectory.jsonl``.
+
+The committed trajectory file records how the repository's headline
+throughput numbers move across PRs: each line is a self-contained JSON
+object with the UTC timestamp, the git revision it was measured at,
+and the metrics of the families requested (by default the two campaign
+numbers the perf work is gated on — the runner's ``batch_serial_s`` and
+the plan-cache ``suite_batch_s``).  Appending a fresh row after a perf
+PR keeps the history reviewable in-line with the diff that produced it:
+
+    python tools/bench_trajectory.py            # campaign + suite
+    python tools/bench_trajectory.py --families suite
+    python tools/bench_trajectory.py --out /tmp/row.jsonl --no-append
+
+Rows are append-only — the tool never rewrites previous lines, so the
+file is safe to merge and the history cannot be silently revised.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+import perf_smoke  # noqa: E402  (tools/ sibling import)
+
+TRAJECTORY = REPO / "BENCH_trajectory.jsonl"
+
+FAMILIES = {
+    "campaign": lambda: perf_smoke.measure_campaign(),
+    "suite": lambda: perf_smoke.measure_suite(),
+}
+
+
+def git_revision() -> str:
+    """Short hash of HEAD, with a ``-dirty`` suffix when unclean."""
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO,
+            capture_output=True, text=True, check=True,
+            timeout=30).stdout.strip()
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"], cwd=REPO,
+            capture_output=True, text=True, check=True,
+            timeout=30).stdout.strip()
+        return rev + ("-dirty" if dirty else "")
+    except Exception:  # pragma: no cover - not a git checkout
+        return "unknown"
+
+
+def measure_row(families) -> dict:
+    row = {
+        "ts": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "rev": git_revision(),
+        "metrics": {},
+    }
+    for family in families:
+        row["metrics"][family] = FAMILIES[family]()
+    return row
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--families", nargs="+", default=["campaign", "suite"],
+                    choices=sorted(FAMILIES),
+                    help="benchmark families to record")
+    ap.add_argument("--out", type=Path, default=TRAJECTORY,
+                    help="trajectory file (default: committed "
+                         "BENCH_trajectory.jsonl)")
+    ap.add_argument("--no-append", action="store_true",
+                    help="overwrite instead of appending (for scratch "
+                         "files only; the committed trajectory is "
+                         "append-only)")
+    args = ap.parse_args(argv)
+
+    row = measure_row(args.families)
+    line = json.dumps(row, sort_keys=True)
+    mode = "w" if args.no_append else "a"
+    with open(args.out, mode) as f:
+        f.write(line + "\n")
+    print(f"[bench-trajectory] {line}")
+    print(f"[bench-trajectory] wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,12 +29,20 @@ instance set pushed through :func:`repro.exec.runner
 and through the batched evaluator with a 4-worker shared-memory pool
 (``batch_jobs4_shm_s``).
 
+``--suite`` measures the plan-cache campaign path itself:
+:func:`repro.core.suite.paper_suite_batch` over the same 160 instances
+(the number gated against ``BENCH_suite_baseline.json``).  ``--all``
+runs every family.
+
 Usage:
     python tools/perf_smoke.py --sizes 100 1000 --out perf.json
     python tools/perf_smoke.py --sizes 100 \
         --baseline BENCH_kernel_baseline.json --max-regression 3.0
     python tools/perf_smoke.py --campaign \
         --baseline BENCH_batch_baseline.json --max-regression 3.0
+    python tools/perf_smoke.py --suite \
+        --baseline BENCH_suite_baseline.json --max-regression 3.0
+    python tools/perf_smoke.py --all
 """
 
 from __future__ import annotations
@@ -152,6 +160,24 @@ def measure_campaign(reps: int = 2) -> dict:
     return out
 
 
+def measure_suite(reps: int = 3) -> dict:
+    """Suite-campaign throughput: the plan-cache + batched-sweep path.
+
+    Times :func:`repro.core.suite.paper_suite_batch` directly on the
+    fixed 160-instance campaign — the number the plan-memoization work
+    (PR 9) optimizes, gated in CI against ``BENCH_suite_baseline.json``
+    (whose ``before`` section holds the pre-plan-cache
+    ``batch_serial_s`` from ``BENCH_batch_baseline.json``).
+    """
+    from repro.core.suite import paper_suite_batch
+
+    instances = _campaign_instances()
+    paper_suite_batch(instances[:4])  # warm lazy imports and kernels
+    best = _best_of(lambda: paper_suite_batch(instances), reps)
+    return {"instances": len(instances), "suite_batch_s": best,
+            "instances_per_s": len(instances) / best}
+
+
 def gate(results: dict, baseline: dict, max_regression: float) -> list:
     """Return a list of human-readable gate failures (empty = pass)."""
     failures = []
@@ -190,20 +216,31 @@ def main(argv=None) -> int:
                     help="measure campaign throughput (serial vs "
                          "batched vs parallel+shm) instead of the "
                          "per-size kernel metrics")
+    ap.add_argument("--suite", action="store_true",
+                    help="measure the plan-cache suite-campaign "
+                         "throughput (paper_suite_batch on the fixed "
+                         "160-instance campaign)")
+    ap.add_argument("--all", action="store_true",
+                    help="run every benchmark family (sizes, campaign "
+                         "and suite)")
     args = ap.parse_args(argv)
 
-    results = {}
-    if args.campaign:
-        results["campaign"] = measure_campaign()
+    def emit(section: str, metrics: dict) -> None:
         row = "  ".join(f"{k}={v:.6f}" if isinstance(v, float) else
-                        f"{k}={v}" for k, v in results["campaign"].items())
-        print(f"[perf-smoke] campaign: {row}")
-    else:
+                        f"{k}={v}" for k, v in metrics.items())
+        print(f"[perf-smoke] {section}: {row}")
+
+    results = {}
+    if args.all or not (args.campaign or args.suite):
         for n in args.sizes:
             results[str(n)] = measure_size(n, with_suite=not args.no_suite)
-            row = "  ".join(f"{k}={v:.6f}" if isinstance(v, float) else
-                            f"{k}={v}" for k, v in results[str(n)].items())
-            print(f"[perf-smoke] n={n}: {row}")
+            emit(f"n={n}", results[str(n)])
+    if args.campaign or args.all:
+        results["campaign"] = measure_campaign()
+        emit("campaign", results["campaign"])
+    if args.suite or args.all:
+        results["suite"] = measure_suite()
+        emit("suite", results["suite"])
 
     if args.out is not None:
         args.out.write_text(json.dumps(results, indent=2) + "\n")
