@@ -99,8 +99,16 @@ def publish_array(arr: np.ndarray, *, name: Optional[str] = None
         if arr.nbytes:
             view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
             view[...] = arr
-    finally:
+    except BaseException:
+        # A failed copy must not strand a kernel-named segment: close
+        # the mapping AND unlink the name before re-raising.
         seg.close()
+        try:
+            seg.unlink()
+        except FileNotFoundError:
+            pass
+        raise
+    seg.close()
     return ShmHandle(name=seg.name, shape=tuple(arr.shape),
                      dtype=str(arr.dtype))
 

@@ -1,6 +1,6 @@
 """Project-specific static analysis (``repro lint``).
 
-An AST-based rule engine with three rule families tailored to this
+An AST-based rule engine with five rule families tailored to this
 codebase's correctness contracts:
 
 * **determinism** (``DET0xx``) — no unseeded RNG anywhere; no
@@ -10,10 +10,20 @@ codebase's correctness contracts:
 * **unit-safety** (``UNIT0xx``) — the ``_seconds``/``_cycles``/
   ``_hz``/``_volts``/``_joules``/``_watts`` naming convention on the
   public surfaces of ``repro.power``, ``repro.core`` and
-  ``repro.sched``, plus a mixed-unit arithmetic check;
+  ``repro.sched``, plus a tree-wide dataflow mixed-unit check;
 * **kernel discipline** (``KER0xx``) — Schedule construction through
   the blessed constructors only, frozen kernel arrays, and the scalar
-  energy evaluator confined to the audit cross-check.
+  energy evaluator confined to the audit cross-check;
+* **concurrency safety** (``CONC0xx``) — interprocedural: no blocking
+  call reachable from an ``async def`` without an executor handoff, no
+  ``await`` under a threading lock, no lock-acquisition-order cycles,
+  shared-memory segments unlinked on every error path;
+* **resource lifetime** (``RES0xx``) — fds and temp files released on
+  every path, checked over per-function control-flow graphs.
+
+The ``CONC``/``RES`` families and the upgraded ``UNIT003`` are built
+on the interprocedural engine in :mod:`repro.lint.dataflow` — a
+project-wide symbol table and call graph plus per-function CFGs.
 
 Findings are suppressed line-by-line with ``# repro: noqa[RULE]``
 (bare ``# repro: noqa`` suppresses everything on the line); a

@@ -41,6 +41,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "to every file (fixture testing)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule table and exit")
+    parser.add_argument("--graph", action="store_true",
+                        help="dump the interprocedural call graph and "
+                             "the lock-order graph as DOT and exit")
     return parser
 
 
@@ -56,6 +59,19 @@ def _print_rules() -> None:
     for code, cls in rules:
         print(f"{code:<{width}}  {cls.name:<24} [{cls.scope:<9}] "
               f"{cls.description}")
+
+
+def _print_graphs(paths: List[Path]) -> None:
+    """DOT dumps of the call graph and the lock-order graph."""
+    from .dataflow.concurrency import lock_graph_dot
+    from .dataflow.project import ProjectIndex
+    from .engine import _tree_files, collect_files
+
+    files = collect_files(paths)
+    project = ProjectIndex.build(files, _tree_files(files))
+    print(project.graph.to_dot())
+    print()
+    print(lock_graph_dot(project))
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -75,6 +91,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if missing:
         print(f"no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
+
+    if args.graph:
+        _print_graphs([Path(p) for p in args.paths])
+        return 0
 
     config = LintConfig(select=select, ignore=ignore,
                         all_scopes=args.all_scopes,

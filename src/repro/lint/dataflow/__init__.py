@@ -1,0 +1,30 @@
+"""Interprocedural dataflow layer of ``repro lint``.
+
+Everything project-wide lives here: the symbol table and the
+import-alias/receiver-type resolution (:mod:`symbols`), the call graph
+with awaited/handoff edge metadata (:mod:`callgraph`), statement-level
+control-flow graphs with exception edges over ``try``/``with``/
+``finally`` (:mod:`cfg`), and the rule families built on top —
+concurrency safety (``CONC0xx``, :mod:`concurrency`), resource
+lifetimes (``RES001``, :mod:`resources`) and flow-sensitive unit
+propagation (``UNIT003``, :mod:`unitflow`).
+
+The per-file rules in :mod:`repro.lint.rules` each see one module at a
+time; the rules here see the whole tree at once through a
+:class:`~repro.lint.dataflow.project.ProjectIndex` the engine builds
+after the per-file pass.  They register in the same rule registry and
+obey the same ``--select``/``--ignore``/``noqa`` machinery — a project
+rule is just a rule whose ``kind`` is ``"project"``.
+"""
+
+from __future__ import annotations
+
+from .callgraph import CallGraph
+from .cfg import CFG, build_cfg
+from .project import ProjectIndex, ProjectRule
+from .symbols import ClassInfo, FunctionInfo, ModuleInfo, SymbolTable
+
+__all__ = [
+    "CFG", "CallGraph", "ClassInfo", "FunctionInfo", "ModuleInfo",
+    "ProjectIndex", "ProjectRule", "SymbolTable", "build_cfg",
+]

@@ -1,0 +1,180 @@
+"""Project call graph with await/handoff edge metadata.
+
+Edges are added only where the callee is statically evident — a direct
+or imported function name, a ``Class.method`` chain, or a method on a
+receiver whose type the :class:`~repro.lint.dataflow.symbols.Typer`
+inferred.  Unresolved calls create no edge: a ``Dict.get`` receiver
+must never impersonate ``ResultCache.get``.
+
+Two kinds of call sites are deliberately *not* edges:
+
+* **handoffs** — ``loop.run_in_executor(None, f, x)``,
+  ``asyncio.to_thread(f)``, ``executor.submit(f)``: ``f`` runs on
+  another thread, so its blocking taint must not flow into the caller;
+* **references** — a bare ``self._compute`` argument is not a call.
+
+Awaited calls are marked ``awaited``: an ``await`` of an async callee
+suspends rather than blocks, so the blocking analysis skips the edge
+and reports inside the callee instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple, Union
+
+from .symbols import FunctionInfo, SymbolTable, Typer, call_name
+
+__all__ = ["CallGraph", "CallSite", "HANDOFF_ATTRS", "HANDOFF_CALLS"]
+
+#: Attribute names that schedule work on another thread/loop rather
+#: than running it inline.
+HANDOFF_ATTRS = frozenset({
+    "run_in_executor", "call_soon_threadsafe", "call_soon", "call_later",
+    "submit", "create_task", "ensure_future", "add_done_callback",
+})
+
+#: Dotted callables with handoff semantics.
+HANDOFF_CALLS = frozenset({
+    "asyncio.to_thread", "asyncio.ensure_future",
+    "asyncio.run_coroutine_threadsafe", "asyncio.create_task",
+})
+
+
+@dataclass
+class CallSite:
+    """One resolved call inside a function."""
+
+    caller: FunctionInfo
+    node: ast.Call
+    #: Project callee, or ``(receiver_type, method)`` for a typed
+    #: external method, or a canonical dotted name for a bare one.
+    callee: Union[FunctionInfo, Tuple[str, str], str]
+    awaited: bool
+
+    @property
+    def display(self) -> str:
+        text = call_name(self.node.func)
+        return text if text is not None else "<call>"
+
+
+class CallGraph:
+    """Call sites per function, indexed for traversal and export."""
+
+    def __init__(self, table: SymbolTable) -> None:
+        self.table = table
+        self.sites: Dict[str, List[CallSite]] = {}
+
+    @classmethod
+    def build(cls, table: SymbolTable) -> "CallGraph":
+        graph = cls(table)
+        for fn in table.functions.values():
+            graph.sites[fn.qualname] = list(graph._sites_of(fn))
+        return graph
+
+    # ------------------------------------------------------------------
+    def calls_of(self, fn: FunctionInfo) -> List[CallSite]:
+        return self.sites.get(fn.qualname, [])
+
+    def project_edges(self, fn: FunctionInfo) -> Iterator[CallSite]:
+        """Call sites of ``fn`` whose callee is a project function."""
+        for site in self.calls_of(fn):
+            if isinstance(site.callee, FunctionInfo):
+                yield site
+
+    # ------------------------------------------------------------------
+    def _sites_of(self, fn: FunctionInfo) -> Iterator[CallSite]:
+        typer = Typer(self.table, fn.module)
+        env = typer.local_types(fn)
+        awaited_calls = set()
+        for node in self._walk_body(fn.node):
+            if isinstance(node, ast.Await) and \
+                    isinstance(node.value, ast.Call):
+                awaited_calls.add(id(node.value))
+        for node in self._walk_body(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            if self.is_handoff(node, fn.module):
+                continue
+            callee = self._resolve(node, fn, typer, env)
+            if callee is None:
+                continue
+            yield CallSite(caller=fn, node=node, callee=callee,
+                           awaited=id(node) in awaited_calls)
+
+    @staticmethod
+    def _walk_body(fn_node: ast.AST) -> Iterator[ast.AST]:
+        """Walk a function body without entering nested definitions."""
+        stack: List[ast.AST] = list(ast.iter_child_nodes(fn_node))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda, ast.ClassDef)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def is_handoff(self, node: ast.Call, module) -> bool:
+        if isinstance(node.func, ast.Attribute) and \
+                node.func.attr in HANDOFF_ATTRS:
+            return True
+        name = call_name(node.func)
+        if name is None:
+            return False
+        return self.table.canonical(module, name) in HANDOFF_CALLS
+
+    def _resolve(self, node: ast.Call, fn: FunctionInfo, typer: Typer,
+                 env: Dict[str, str]
+                 ) -> Union[FunctionInfo, Tuple[str, str], str, None]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            # A nested def shadows module scope inside its parent.
+            nested = self.table.functions.get(
+                f"{fn.qualname}.<locals>.{func.id}")
+            if nested is not None:
+                return nested
+            resolved = self.table.resolve(fn.module, func.id)
+            if isinstance(resolved, FunctionInfo):
+                return resolved
+            if isinstance(resolved, str):
+                return resolved
+            # A class: the constructor edge goes to __init__ when the
+            # class is ours (its body runs inline at the call site).
+            init = resolved.methods.get("__init__")
+            return init if init is not None else resolved.qualname
+        if isinstance(func, ast.Attribute):
+            method = typer.resolve_method(func, env)
+            if method is not None:
+                return method
+            name = call_name(func)
+            if name is None:
+                return None
+            resolved = self.table.resolve(fn.module, name)
+            if isinstance(resolved, FunctionInfo):
+                return resolved
+            if isinstance(resolved, str):
+                return resolved
+            init = resolved.methods.get("__init__")
+            return init if init is not None else resolved.qualname
+        return None
+
+    # ------------------------------------------------------------------
+    def to_dot(self) -> str:
+        """GraphViz dump of the project-internal edges (``--graph``)."""
+        lines = ["digraph callgraph {", "  rankdir=LR;",
+                 '  node [shape=box, fontsize=10];']
+        edges = set()
+        for qual in sorted(self.sites):
+            fn = self.table.functions[qual]
+            if fn.is_async:
+                lines.append(f'  "{qual}" [color=blue, '
+                             f'label="{qual}\\n(async)"];')
+            for site in self.sites[qual]:
+                if isinstance(site.callee, FunctionInfo):
+                    style = " [style=dashed]" if site.awaited else ""
+                    edges.add(f'  "{qual}" -> '
+                              f'"{site.callee.qualname}"{style};')
+        lines.extend(sorted(edges))
+        lines.append("}")
+        return "\n".join(lines)

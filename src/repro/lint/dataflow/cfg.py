@@ -1,0 +1,263 @@
+"""Statement-level control-flow graphs with exception edges.
+
+One node per executed statement (compound statements contribute their
+header: an ``if``'s test, a ``for``'s iterator, a ``with``'s context
+expressions).  Two edge kinds:
+
+* **normal** — sequential flow, branch/loop structure, falling off the
+  end (to :attr:`CFG.exit`);
+* **exception** — from any node whose evaluation may raise to the
+  innermost handler: an enclosing ``except`` body, a ``finally`` copy,
+  or the synthetic :attr:`CFG.exc_exit` ("the exception escapes the
+  function").
+
+The may-raise predicate is tuned for the leak analyses built on top
+(:mod:`resources`): a statement may raise iff it contains a call or a
+subscript — attribute loads and arithmetic are treated as safe — and
+*cleanup* statements (``close``/``unlink``/``release``-shaped calls,
+see :data:`CLEANUP_ATTRS`) never raise, so a ``finally`` that releases
+in sequence is not split by phantom edges.  ``return`` never raises:
+it is the publication boundary, where ownership of anything still open
+passes to the caller.
+
+``finally`` bodies are duplicated per continuation (normal, exception,
+return/break/continue), which is exactly the Python semantics and
+keeps the analysis path-sensitive over ``try``/``finally`` without a
+separate abstract "pending continuation" state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Sequence
+
+from .symbols import call_name
+
+__all__ = ["CFG", "build_cfg", "CLEANUP_ATTRS", "may_raise"]
+
+#: Method names whose call is a cleanup action: treated as non-raising
+#: and (by the leak analyses) as releasing on both out-edges.
+CLEANUP_ATTRS = frozenset({
+    "close", "unlink", "release", "discard", "clear", "cancel",
+})
+
+#: Module-level functions with cleanup semantics (``os.close(fd)``).
+CLEANUP_CALLS = frozenset({
+    "os.close", "os.unlink", "os.remove", "os.replace", "os.rename",
+    "os.fdopen", "os.rmdir",
+})
+
+#: Calls assumed never to raise for CFG purposes.
+SAFE_CALLS = frozenset({
+    "len", "isinstance", "repr", "str", "bool", "id", "print", "max",
+    "min", "sorted", "list", "tuple", "dict", "set", "frozenset",
+    "contextlib.suppress", "suppress", "getattr", "hasattr",
+})
+
+
+def _is_cleanup_call(node: ast.Call) -> bool:
+    if isinstance(node.func, ast.Attribute) and \
+            node.func.attr in CLEANUP_ATTRS:
+        return True
+    name = call_name(node.func)
+    return name is not None and (name in CLEANUP_CALLS
+                                 or name.split(".", 1)[-1]
+                                 in CLEANUP_CALLS)
+
+
+def _exprs_may_raise(nodes: Sequence[Optional[ast.AST]]) -> bool:
+    for root in nodes:
+        if root is None:
+            continue
+        for node in ast.walk(root):
+            if isinstance(node, ast.Subscript):
+                return True
+            if isinstance(node, ast.Call):
+                if _is_cleanup_call(node):
+                    continue
+                name = call_name(node.func)
+                if name is not None and name in SAFE_CALLS:
+                    continue
+                return True
+    return False
+
+
+def may_raise(stmt: ast.stmt) -> bool:
+    """Whether executing ``stmt``'s own header may raise (see module doc)."""
+    if isinstance(stmt, (ast.Pass, ast.Break, ast.Continue, ast.Global,
+                         ast.Nonlocal, ast.Import, ast.ImportFrom,
+                         ast.FunctionDef, ast.AsyncFunctionDef,
+                         ast.ClassDef, ast.Return)):
+        return False
+    if isinstance(stmt, (ast.If, ast.While)):
+        return _exprs_may_raise([stmt.test])
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return _exprs_may_raise([stmt.iter])
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return _exprs_may_raise([item.context_expr
+                                 for item in stmt.items])
+    if isinstance(stmt, ast.Assert):
+        return True
+    if isinstance(stmt, ast.Expr) and any(
+            isinstance(n, (ast.Yield, ast.YieldFrom))
+            for n in ast.walk(stmt.value)):
+        # A generator's yield may raise: the consumer can .throw()
+        # into it (a with-block body raising inside a
+        # @contextmanager), so cleanup after the yield must be on an
+        # exception path too.
+        return True
+    return _exprs_may_raise([stmt])
+
+
+class CFG:
+    """The graph: parallel node/edge arrays plus the two exit nodes."""
+
+    def __init__(self) -> None:
+        self.stmts: List[Optional[ast.stmt]] = []
+        self.succ: List[List[int]] = []
+        self.exc_succ: List[List[int]] = []
+        self.is_return: List[bool] = []
+        self.exit = self._new(None)
+        self.exc_exit = self._new(None)
+        self.entry = self.exit
+
+    def _new(self, stmt: Optional[ast.stmt],
+             is_return: bool = False) -> int:
+        self.stmts.append(stmt)
+        self.succ.append([])
+        self.exc_succ.append([])
+        self.is_return.append(is_return)
+        return len(self.stmts) - 1
+
+    def __len__(self) -> int:
+        return len(self.stmts)
+
+
+def _suppresses(stmt: ast.With) -> bool:
+    """``with contextlib.suppress(...):`` swallows its body's raises."""
+    for item in stmt.items:
+        expr = item.context_expr
+        if isinstance(expr, ast.Call):
+            name = call_name(expr.func)
+            if name in ("contextlib.suppress", "suppress"):
+                return True
+    return False
+
+
+def _catches_everything(handlers: Sequence[ast.ExceptHandler]) -> bool:
+    for handler in handlers:
+        if handler.type is None:
+            return True
+        name = call_name(handler.type)
+        if name in ("Exception", "BaseException"):
+            return True
+    return False
+
+
+def build_cfg(fn: ast.AST) -> CFG:
+    """CFG of one function body (``FunctionDef``/``AsyncFunctionDef``)."""
+    cfg = CFG()
+
+    def block(stmts: Sequence[ast.stmt], succ: int, exc: int, ret: int,
+              brk: Optional[int], cont: Optional[int]) -> int:
+        entry = succ
+        for stmt in reversed(stmts):
+            entry = statement(stmt, entry, exc, ret, brk, cont)
+        return entry
+
+    def statement(stmt: ast.stmt, succ: int, exc: int, ret: int,
+                  brk: Optional[int], cont: Optional[int]) -> int:
+        if isinstance(stmt, ast.Return):
+            node = cfg._new(stmt, is_return=True)
+            cfg.succ[node].append(ret)
+            return node
+        if isinstance(stmt, ast.Raise):
+            node = cfg._new(stmt)
+            cfg.succ[node].append(exc)
+            return node
+        if isinstance(stmt, ast.Break) and brk is not None:
+            node = cfg._new(stmt)
+            cfg.succ[node].append(brk)
+            return node
+        if isinstance(stmt, ast.Continue) and cont is not None:
+            node = cfg._new(stmt)
+            cfg.succ[node].append(cont)
+            return node
+        if isinstance(stmt, ast.If):
+            node = cfg._new(stmt)
+            then = block(stmt.body, succ, exc, ret, brk, cont)
+            other = block(stmt.orelse, succ, exc, ret, brk, cont)
+            cfg.succ[node].extend(dict.fromkeys((then, other)))
+            if may_raise(stmt):
+                cfg.exc_succ[node].append(exc)
+            return node
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            node = cfg._new(stmt)
+            after = block(stmt.orelse, succ, exc, ret, brk, cont)
+            body = block(stmt.body, node, exc, ret, brk=after,
+                         cont=node)
+            cfg.succ[node].extend(dict.fromkeys((body, after)))
+            if may_raise(stmt):
+                cfg.exc_succ[node].append(exc)
+            return node
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            node = cfg._new(stmt)
+            body_exc = succ if (isinstance(stmt, ast.With)
+                                and _suppresses(stmt)) else exc
+            body = block(stmt.body, succ, body_exc, ret, brk, cont)
+            cfg.succ[node].append(body)
+            if may_raise(stmt):
+                cfg.exc_succ[node].append(exc)
+            return node
+        if isinstance(stmt, ast.Try):
+            return try_statement(stmt, succ, exc, ret, brk, cont)
+        node = cfg._new(stmt)
+        cfg.succ[node].append(succ)
+        if may_raise(stmt):
+            cfg.exc_succ[node].append(exc)
+        return node
+
+    def try_statement(stmt: ast.Try, succ: int, exc: int, ret: int,
+                      brk: Optional[int], cont: Optional[int]) -> int:
+        if stmt.finalbody:
+            # Each continuation threads through its own copy of the
+            # finally body — a return inside the try still runs the
+            # cleanup, and an escaping exception runs it before
+            # propagating.
+            def wrap(target: Optional[int]) -> Optional[int]:
+                if target is None:
+                    return None
+                return block(stmt.finalbody, target, exc, ret, brk,
+                             cont)
+            succ_f = wrap(succ)
+            exc_f = wrap(exc)
+            ret_f = wrap(ret)
+            brk_f, cont_f = wrap(brk), wrap(cont)
+        else:
+            succ_f, exc_f, ret_f, brk_f, cont_f = (succ, exc, ret, brk,
+                                                   cont)
+        handler_entries = [
+            block(handler.body, succ_f, exc_f, ret_f, brk_f, cont_f)
+            for handler in stmt.handlers]
+        body_exc: List[int] = list(handler_entries)
+        if not stmt.handlers or not _catches_everything(stmt.handlers):
+            body_exc.append(exc_f)
+        # The body's raises dispatch to every handler that might match
+        # (plus escape, unless a catch-all is present): a join point
+        # per possible path keeps the leak analysis path-sensitive.
+        dispatch = body_exc[0] if len(body_exc) == 1 else \
+            _dispatch_node(cfg, body_exc)
+        after_body = block(stmt.orelse, succ_f, exc_f, ret_f, brk_f,
+                           cont_f)
+        return block(stmt.body, after_body, dispatch, ret_f, brk_f,
+                     cont_f)
+
+    entry = block(fn.body, cfg.exit, cfg.exc_exit, cfg.exit, None, None)
+    cfg.entry = entry
+    return cfg
+
+
+def _dispatch_node(cfg: CFG, targets: List[int]) -> int:
+    node = cfg._new(None)
+    cfg.succ[node].extend(dict.fromkeys(targets))
+    return node

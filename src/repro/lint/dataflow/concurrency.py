@@ -1,0 +1,474 @@
+"""Concurrency-safety rules (CONC0xx) for the service stack.
+
+Built on the project call graph: the taint here is *blocking-ness*.  A
+function is blocking if it performs file I/O, sleeps, spawns
+subprocesses, takes an flock, or calls (transitively, through resolved
+sync call edges) a function that does.  The event loop must never run
+one: CONC001 reports every blocking call statically reachable from an
+``async def`` without an executor handoff in between
+(``loop.run_in_executor`` / ``asyncio.to_thread`` boundaries cut the
+taint — see :data:`~repro.lint.dataflow.callgraph.HANDOFF_ATTRS`).
+
+Soundness posture (documented in DESIGN.md §13): resolution is
+precision-first — unresolved calls create no edge, so the rules can
+miss dynamic dispatch, but what they report is real.  The blocking-op
+tables name exact dotted calls, typed methods (``ThreadPoolExecutor.
+shutdown``), and a small set of ``pathlib``-shaped attribute names.
+
+CONC002 flags an ``await`` inside a ``with`` over a *threading* lock —
+the loop thread parks on the await while every other coroutine needing
+the lock deadlocks behind it.  CONC003 builds the lock-order graph
+(threading-lock attributes plus flock-style contextmanagers like
+``exec.cache.shard_lock``) and reports the edges of any acquisition
+cycle.  CONC004 runs the :mod:`resources` leak analysis with the
+``shm`` kind: a ``SharedMemory(create=True)`` segment must be unlinked
+on every exception path, while the normal path may publish it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..finding import Finding
+from ..rules.base import register
+from .callgraph import CallGraph, CallSite
+from .project import ProjectIndex, ProjectRule
+from .resources import _header_exprs, leak_sites
+from .symbols import FunctionInfo, SymbolTable, Typer, call_name
+
+__all__ = ["AsyncBlockingCall", "AwaitUnderLock", "LockOrderCycle",
+           "ShmUnlinkOnError", "blocking_taint", "lock_graph",
+           "lock_graph_dot"]
+
+#: Exact canonical dotted names of blocking callables.
+BLOCKING_CALLS = frozenset({
+    "open", "time.sleep",
+    "os.open", "os.read", "os.write", "os.close", "os.fsync",
+    "os.replace", "os.rename", "os.unlink", "os.remove", "os.listdir",
+    "os.scandir", "os.stat", "os.makedirs", "os.mkdir", "os.rmdir",
+    "os.walk", "os.fdopen",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+    "fcntl.flock", "fcntl.lockf",
+    "tempfile.mkstemp", "tempfile.mkdtemp",
+    "tempfile.NamedTemporaryFile", "tempfile.TemporaryDirectory",
+    "shutil.rmtree", "shutil.copy", "shutil.copy2", "shutil.copytree",
+    "shutil.move",
+    "socket.create_connection",
+    "multiprocessing.shared_memory.SharedMemory",
+})
+
+#: Method names that are file I/O on any receiver (the ``pathlib``
+#: surface) — attribute-name heuristics for untyped receivers.
+BLOCKING_ATTRS = frozenset({
+    "read_text", "write_text", "read_bytes", "write_bytes",
+    "glob", "rglob", "iterdir", "mkdir", "touch", "rmdir",
+    "hardlink_to", "symlink_to", "samefile",
+})
+
+#: ``(receiver type, method)`` pairs that block.
+TYPED_BLOCKING = frozenset({
+    ("concurrent.futures.ThreadPoolExecutor", "shutdown"),
+    ("concurrent.futures.ProcessPoolExecutor", "shutdown"),
+    ("concurrent.futures.Future", "result"),
+    ("queue.Queue", "get"), ("queue.Queue", "put"),
+    ("threading.Thread", "join"), ("threading.Event", "wait"),
+    ("threading.Lock", "acquire"), ("threading.RLock", "acquire"),
+    ("pathlib.Path", "stat"), ("pathlib.Path", "exists"),
+    ("pathlib.Path", "unlink"),
+})
+
+#: Receiver types that are thread (not asyncio) locks.
+THREAD_LOCK_TYPES = frozenset({
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Semaphore", "threading.BoundedSemaphore",
+})
+
+
+def _direct_blocking(site: CallSite) -> Optional[str]:
+    """Why this call site blocks by itself, or ``None``."""
+    callee = site.callee
+    if isinstance(callee, str):
+        if callee in BLOCKING_CALLS:
+            return f"'{callee}'"
+        attr = callee.rsplit(".", 1)[-1]
+        if "." in callee and attr in BLOCKING_ATTRS:
+            return f"'.{attr}()' (file I/O)"
+    elif isinstance(callee, tuple):
+        if callee in TYPED_BLOCKING:
+            return f"'{callee[0]}.{callee[1]}'"
+        if callee[1] in BLOCKING_ATTRS:
+            return f"'.{callee[1]}()' (file I/O)"
+    return None
+
+
+def blocking_taint(graph: CallGraph) -> Dict[str, str]:
+    """qualname → human reason, for every transitively blocking sync fn.
+
+    Async functions are excluded: awaiting one suspends instead of
+    blocking, and their own bodies are checked directly by CONC001.
+    """
+    taint: Dict[str, str] = {}
+    for fn in graph.table.functions.values():
+        if fn.is_async:
+            continue
+        for site in graph.calls_of(fn):
+            reason = _direct_blocking(site)
+            if reason is not None:
+                taint.setdefault(fn.qualname, reason)
+                break
+    # Propagate over sync project call edges to a fixpoint; the chain
+    # recorded is one hop (callee + its reason), which is enough to
+    # act on.
+    changed = True
+    while changed:
+        changed = False
+        for fn in graph.table.functions.values():
+            if fn.is_async or fn.qualname in taint:
+                continue
+            for site in graph.calls_of(fn):
+                callee = site.callee
+                if isinstance(callee, FunctionInfo) and \
+                        not callee.is_async and \
+                        callee.qualname in taint:
+                    taint[fn.qualname] = (f"calls '{callee.qualname}' "
+                                          f"→ {taint[callee.qualname]}")
+                    changed = True
+                    break
+    return taint
+
+
+@register
+class AsyncBlockingCall(ProjectRule):
+    """No blocking call reachable from an ``async def``."""
+
+    code = "CONC001"
+    name = "async-blocking-call"
+    description = ("blocking call (file I/O, sleep, subprocess, flock, "
+                   "cache read) reachable from an async function "
+                   "without an executor handoff")
+
+    def check(self, project: ProjectIndex, config) -> List[Finding]:
+        taint = blocking_taint(project.graph)
+        for fn in project.target_functions():
+            if not fn.is_async:
+                continue
+            for site in project.graph.calls_of(fn):
+                if site.awaited:
+                    continue  # suspension, not blocking
+                reason = _direct_blocking(site)
+                callee = site.callee
+                if reason is None and isinstance(callee, FunctionInfo) \
+                        and not callee.is_async and \
+                        callee.qualname in taint:
+                    reason = (f"reaches {taint[callee.qualname]} via "
+                              f"'{callee.qualname}'")
+                if reason is None:
+                    continue
+                self.emit(
+                    project, fn.module, site.node,
+                    f"'{site.display}' blocks the event loop in async "
+                    f"'{fn.name}': {reason}; hand it off with "
+                    f"loop.run_in_executor or asyncio.to_thread")
+        return self.findings
+
+
+@register
+class AwaitUnderLock(ProjectRule):
+    """No ``await`` while holding a threading lock."""
+
+    code = "CONC002"
+    name = "await-under-lock"
+    description = ("await inside a 'with <threading lock>' block: the "
+                   "coroutine suspends while the OS lock stays held, "
+                   "stalling the loop")
+
+    def check(self, project: ProjectIndex, config) -> List[Finding]:
+        for fn in project.target_functions():
+            if not fn.is_async:
+                continue
+            typer = project.typer(fn.module)
+            env = typer.local_types(fn)
+            for stmt in _walk_stmts(fn.node):
+                if not isinstance(stmt, ast.With):
+                    continue
+                if not any(_lock_type(item.context_expr, typer, env)
+                           for item in stmt.items):
+                    continue
+                for await_node in _awaits_in(stmt.body):
+                    self.emit(
+                        project, fn.module, await_node,
+                        f"await while holding the threading lock "
+                        f"acquired at line {stmt.lineno}; other "
+                        f"coroutines needing it deadlock behind this "
+                        f"suspension — use asyncio.Lock or release "
+                        f"before awaiting")
+        return self.findings
+
+
+def _lock_type(expr: ast.AST, typer: Typer, env: Dict[str, str]
+               ) -> Optional[str]:
+    ty = typer.type_of_expr(expr, env)
+    return ty if ty in THREAD_LOCK_TYPES else None
+
+
+def _walk_stmts(fn_node: ast.AST) -> Iterator[ast.stmt]:
+    stack: List[ast.AST] = list(ast.iter_child_nodes(fn_node))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda, ast.ClassDef)):
+            continue
+        if isinstance(node, ast.stmt):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _awaits_in(body: List[ast.stmt]) -> Iterator[ast.Await]:
+    for stmt in body:
+        for node in _walk_stmts_and_exprs(stmt):
+            if isinstance(node, ast.Await):
+                yield node
+
+
+def _walk_stmts_and_exprs(root: ast.AST) -> Iterator[ast.AST]:
+    stack: List[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda, ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+# ----------------------------------------------------------------------
+# CONC003: lock acquisition order
+# ----------------------------------------------------------------------
+def _is_lock_manager(fn: FunctionInfo) -> bool:
+    """A ``@contextmanager`` whose body takes an OS or threading lock."""
+    decorated = any(
+        (call_name(d) or "").endswith("contextmanager")
+        for d in fn.node.decorator_list)
+    if not decorated:
+        return False
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Call):
+            name = call_name(node.func) or ""
+            if name.rsplit(".", 1)[-1] in ("flock", "lockf"):
+                return True
+            if isinstance(node.func, ast.Attribute) and \
+                    node.func.attr == "acquire":
+                return True
+    return False
+
+
+def _lock_id(expr: ast.AST, fn: FunctionInfo, typer: Typer,
+             env: Dict[str, str], table: SymbolTable
+             ) -> Optional[str]:
+    """Stable identity of the lock a ``with`` item acquires, if any."""
+    if isinstance(expr, ast.Call):
+        name = call_name(expr.func)
+        if name is None:
+            return None
+        resolved = table.resolve(fn.module, name)
+        if isinstance(resolved, FunctionInfo) and \
+                _is_lock_manager(resolved):
+            return resolved.qualname
+        return None
+    if _lock_type(expr, typer, env) is None:
+        return None
+    if isinstance(expr, ast.Attribute):
+        owner = typer.type_of_expr(expr.value, env)
+        if owner is not None:
+            return f"{owner}.{expr.attr}"
+        return f"{fn.qualname}.{expr.attr}"
+    if isinstance(expr, ast.Name):
+        return f"{fn.qualname}.{expr.id}"
+    return None
+
+
+def lock_graph(project: ProjectIndex) -> Dict[
+        Tuple[str, str], List[Tuple[FunctionInfo, ast.AST]]]:
+    """Edges ``(held, acquired) → acquisition sites`` over the tree.
+
+    Direct edges come from lexically nested ``with`` blocks; a call
+    made while holding a lock contributes edges to every lock the
+    callee (transitively) acquires.
+    """
+    table, graph = project.table, project.graph
+
+    # Pass 1: per function, directly acquired locks and the (held →
+    # acquired) pairs plus calls made under held locks.
+    direct: Dict[str, Set[str]] = {}
+    edges: Dict[Tuple[str, str],
+                List[Tuple[FunctionInfo, ast.AST]]] = {}
+    held_calls: List[Tuple[FunctionInfo, Tuple[str, ...],
+                           CallSite]] = []
+
+    for fn in table.functions.values():
+        typer = Typer(table, fn.module)
+        env = typer.local_types(fn)
+        acquired: Set[str] = set()
+        sites_by_call = {id(s.node): s for s in graph.calls_of(fn)}
+
+        def visit(stmts: List[ast.stmt],
+                  held: Tuple[str, ...]) -> None:
+            for stmt in stmts:
+                inner = held
+                lock_items: Set[int] = set()
+                if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    for item in stmt.items:
+                        lock = _lock_id(item.context_expr, fn, typer,
+                                        env, table)
+                        if lock is None:
+                            continue
+                        lock_items.add(id(item.context_expr))
+                        acquired.add(lock)
+                        for h in inner:
+                            edges.setdefault((h, lock), []).append(
+                                (fn, item.context_expr))
+                        inner = inner + (lock,)
+                if held:
+                    # Calls evaluated by this statement's own header
+                    # while locks are held; nested statements are
+                    # collected when the recursion reaches them.
+                    for root in _header_exprs(stmt):
+                        if root is None or id(root) in lock_items:
+                            continue
+                        for node in ast.walk(root):
+                            site = sites_by_call.get(id(node))
+                            if site is not None:
+                                held_calls.append((fn, held, site))
+                visit_children(stmt, inner)
+
+        def visit_children(stmt: ast.stmt,
+                           held: Tuple[str, ...]) -> None:
+            for attr in ("body", "orelse", "finalbody"):
+                child = getattr(stmt, attr, None)
+                if isinstance(child, list) and child and \
+                        isinstance(child[0], ast.stmt):
+                    visit(child, held)
+            for handler in getattr(stmt, "handlers", []):
+                visit(handler.body, held)
+
+        visit(list(fn.node.body), ())
+        if acquired:
+            direct[fn.qualname] = acquired
+
+    # Pass 2: transitive acquisition sets to a fixpoint.
+    trans: Dict[str, Set[str]] = {q: set(s) for q, s in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for fn in table.functions.values():
+            mine = trans.setdefault(fn.qualname, set())
+            for site in graph.project_edges(fn):
+                theirs = trans.get(site.callee.qualname)
+                if theirs and not theirs <= mine:
+                    mine |= theirs
+                    changed = True
+
+    # Pass 3: calls made under held locks add interprocedural edges.
+    for fn, held, site in held_calls:
+        if not isinstance(site.callee, FunctionInfo):
+            continue
+        for lock in sorted(trans.get(site.callee.qualname, ())):
+            for h in held:
+                if h != lock:
+                    edges.setdefault((h, lock), []).append(
+                        (fn, site.node))
+    return edges
+
+
+def _cyclic_edges(edges) -> Set[Tuple[str, str]]:
+    """Edges both of whose endpoints share a strongly-connected cycle."""
+    adj: Dict[str, Set[str]] = {}
+    for a, b in edges:
+        adj.setdefault(a, set()).add(b)
+        adj.setdefault(b, set())
+
+    def reaches(src: str, dst: str) -> bool:
+        seen, stack = set(), [src]
+        while stack:
+            node = stack.pop()
+            if node == dst:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(adj.get(node, ()))
+        return False
+
+    return {(a, b) for a, b in edges if reaches(b, a)}
+
+
+def lock_graph_dot(project: ProjectIndex) -> str:
+    """GraphViz dump of the lock-order graph (``--graph``)."""
+    edges = lock_graph(project)
+    cyclic = _cyclic_edges(edges)
+    lines = ["digraph lockorder {", "  rankdir=LR;",
+             '  node [shape=ellipse, fontsize=10];']
+    for (a, b), sites in sorted(edges.items()):
+        style = ", color=red, penwidth=2" if (a, b) in cyclic else ""
+        fn, node = sites[0]
+        lines.append(
+            f'  "{a}" -> "{b}" [label="{fn.qualname}:'
+            f'{getattr(node, "lineno", "?")}"{style}];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+@register
+class LockOrderCycle(ProjectRule):
+    """Lock acquisition order must be acyclic across the tree."""
+
+    code = "CONC003"
+    name = "lock-order-cycle"
+    description = ("two locks are acquired in both orders somewhere in "
+                   "the tree — a deadlock waiting for the right "
+                   "interleaving")
+
+    def check(self, project: ProjectIndex, config) -> List[Finding]:
+        edges = lock_graph(project)
+        seen = set()
+        for a, b in sorted(_cyclic_edges(edges)):
+            for fn, node in edges[(a, b)]:
+                key = (fn.module.path, getattr(node, "lineno", 0),
+                       getattr(node, "col_offset", 0), a, b)
+                if key in seen:
+                    continue
+                seen.add(key)
+                self.emit(
+                    project, fn.module, node,
+                    f"lock-order cycle: '{b}' is acquired here while "
+                    f"'{a}' is held, and the opposite order exists "
+                    f"elsewhere (see repro lint --graph)")
+        return self.findings
+
+
+@register
+class ShmUnlinkOnError(ProjectRule):
+    """Created shared-memory segments are unlinked on error paths."""
+
+    code = "CONC004"
+    name = "shm-unlink-on-error"
+    description = ("SharedMemory(create=True) segment is not unlinked "
+                   "on every exception path — a crashed call leaks a "
+                   "named OS object until reboot")
+
+    def check(self, project: ProjectIndex, config) -> List[Finding]:
+        for fn in project.target_functions():
+            for leak in leak_sites(fn, project.table,
+                                   frozenset({"shm"})):
+                if not leak.on_exception:
+                    continue  # the normal path may publish the segment
+                what = f"'{leak.var}'" if leak.var else "the segment"
+                self.emit(
+                    project, fn.module, leak.node,
+                    f"shared-memory segment {what} created here is "
+                    f"not unlinked on some exception path of "
+                    f"'{fn.name}'; close() alone keeps the named "
+                    f"segment alive — unlink it before re-raising")
+        return self.findings

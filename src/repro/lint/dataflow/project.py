@@ -1,0 +1,109 @@
+"""The per-invocation project index and the project-rule base class.
+
+:class:`ProjectIndex` is built once per ``run_lint`` call (only when a
+project rule is enabled): it parses the full package tree the linted
+files belong to — the same expansion the import graph uses, so linting
+one file sees the same world as linting the tree — and exposes the
+symbol table, the call graph and the set of *target* files findings
+may be reported against.
+
+A :class:`ProjectRule` is an ordinary registered rule whose ``kind``
+is ``"project"``: the engine skips it in the per-file visitor pass and
+instead calls :meth:`ProjectRule.check` once with the index.  Findings
+flow through the same suppression (``# repro: noqa[CODE]``) and
+``--select``/``--ignore`` machinery as per-file findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence
+
+from ..finding import Finding
+from ..imports import module_name_for
+from ..rules.base import Rule
+from .callgraph import CallGraph
+from .symbols import FunctionInfo, ModuleInfo, SymbolTable, Typer
+
+__all__ = ["ProjectIndex", "ProjectRule"]
+
+
+class ProjectIndex:
+    """Parsed tree + symbol table + call graph for one lint run."""
+
+    def __init__(self, table: SymbolTable, graph: CallGraph,
+                 targets: frozenset) -> None:
+        self.table = table
+        self.graph = graph
+        #: Path strings findings may be reported at (the files the
+        #: user asked to lint; the rest of the tree is context only).
+        self.targets = targets
+
+    @classmethod
+    def build(cls, files: Sequence[Path],
+              tree_files: Sequence[Path]) -> "ProjectIndex":
+        """Index ``tree_files``; findings restricted to ``files``.
+
+        ``files`` come first and keep their given (possibly relative)
+        path spelling, so project findings merge into the same per-file
+        reports as visitor findings.
+        """
+        parsed = []
+        seen = set()
+        for path in [*files, *tree_files]:
+            resolved = path.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            try:
+                tree = ast.parse(path.read_text(), filename=str(path))
+            except (OSError, SyntaxError):
+                continue
+            parsed.append((str(path), tree, path.name == "__init__.py",
+                           module_name_for(path)))
+        table = SymbolTable.build(parsed)
+        graph = CallGraph.build(table)
+        return cls(table, graph,
+                   frozenset(str(p) for p in files))
+
+    # ------------------------------------------------------------------
+    def typer(self, mod: ModuleInfo) -> Typer:
+        return Typer(self.table, mod)
+
+    def functions(self) -> Iterator[FunctionInfo]:
+        """Every function, target-module ones and context ones alike."""
+        return iter(self.table.functions.values())
+
+    def target_functions(self) -> Iterator[FunctionInfo]:
+        """Functions defined in files findings may be reported at."""
+        for fn in self.table.functions.values():
+            if fn.module.path in self.targets:
+                yield fn
+
+
+class ProjectRule(Rule):
+    """Base for whole-project rules (``kind = "project"``)."""
+
+    kind = "project"
+    scope = "project"
+
+    def __init__(self) -> None:  # no per-file context
+        self.findings: List[Finding] = []
+
+    def check(self, project: ProjectIndex, config) -> List[Finding]:
+        """Run over the index; return findings (target files only)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def emit(self, project: ProjectIndex, mod: ModuleInfo,
+             node: ast.AST, message: str) -> Optional[Finding]:
+        """A finding at ``node`` — dropped for non-target modules."""
+        if mod.path not in project.targets:
+            return None
+        finding = Finding(
+            code=self.code, message=message, path=mod.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0))
+        self.findings.append(finding)
+        return finding

@@ -1,0 +1,292 @@
+"""Resource-lifetime analysis (RES001) over function CFGs.
+
+A *resource* is a variable bound by an acquiring call — ``os.open``,
+builtin ``open``, ``tempfile.mkstemp`` (which binds two: the fd and
+the temp path), ``tempfile.mkdtemp``, or a ``shared_memory.SharedMemory
+(create=True)`` segment.  The analysis walks the function's CFG
+(:mod:`cfg`) with a may-be-open state per variable and asks whether
+any path — normal fall-off-the-end or escaping exception — leaves a
+resource open.
+
+Semantics chosen to match the tree's idioms (and asserted by the
+fixture tests):
+
+* a ``with`` statement's own context managers are not tracked — the
+  protocol releases them;
+* release calls (``os.close(fd)``, ``f.close()``, ``os.unlink(tmp)``,
+  ``os.replace(tmp, dst)``, ``os.fdopen(fd, ...)`` — which transfers
+  the fd into a file object) are treated as non-raising and release on
+  the exception edge too;
+* ``return`` publishes: a function handing an open resource to its
+  caller is a factory, not a leak (``shard_lock`` yields inside its
+  ``try``; ``publish_array`` returns a live segment by design).
+
+``CONC004`` (:mod:`concurrency`) reuses :func:`leak_sites` with the
+``shm`` kind, where only ``unlink`` releases and only exception paths
+count — a created segment must be unlinked on every error path, while
+the normal path deliberately survives the function.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, \
+    Tuple
+
+from ..finding import Finding
+from ..rules.base import register
+from .cfg import build_cfg
+from .project import ProjectIndex, ProjectRule
+from .symbols import FunctionInfo, SymbolTable, call_name
+
+__all__ = ["FdLeak", "Leak", "leak_sites"]
+
+#: What releases each resource kind (attribute or os-level op name).
+_RELEASES = {
+    "fd": frozenset({"close", "fdopen"}),
+    "file": frozenset({"close"}),
+    "tmp": frozenset({"unlink", "remove", "replace", "rename"}),
+    "tmpdir": frozenset({"rmtree"}),
+    "shm": frozenset({"unlink"}),
+}
+
+_HUMAN = {
+    "fd": "file descriptor", "file": "file object",
+    "tmp": "temp file", "tmpdir": "temp directory",
+    "shm": "shared-memory segment",
+}
+
+
+@dataclass(frozen=True)
+class Leak:
+    """One resource that may survive the function on some path."""
+
+    var: Optional[str]
+    kind: str
+    node: ast.AST  # the acquiring call
+    on_exception: bool  # else: normal fall-off-the-end
+
+
+def _header_exprs(stmt: ast.stmt) -> List[ast.AST]:
+    """The expressions a CFG node for ``stmt`` actually evaluates."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Return):
+        return [stmt.value] if stmt.value is not None else []
+    return [stmt]
+
+
+def _acquisitions(stmt: ast.stmt, canonical) -> List[
+        Tuple[Optional[str], str, ast.Call]]:
+    """``(var, kind, call)`` resources this statement may bind."""
+    out: List[Tuple[Optional[str], str, ast.Call]] = []
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return out  # context-managed: the protocol releases them
+    value: Optional[ast.AST] = None
+    targets: Sequence[ast.AST] = ()
+    if isinstance(stmt, ast.Assign):
+        value, targets = stmt.value, stmt.targets
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        value, targets = stmt.value, [stmt.target]
+    elif isinstance(stmt, ast.Expr):
+        value, targets = stmt.value, []
+    if not isinstance(value, ast.Call):
+        return out
+    kinds = _acquire_kinds(value, canonical)
+    if not kinds:
+        return out
+    names: List[Optional[str]] = []
+    if len(targets) == 1 and isinstance(targets[0], ast.Name):
+        names = [targets[0].id]
+    elif len(targets) == 1 and isinstance(targets[0], ast.Tuple):
+        names = [elt.id if isinstance(elt, ast.Name) else None
+                 for elt in targets[0].elts]
+    if len(kinds) == 1:
+        out.append((names[0] if names else None, kinds[0], value))
+    else:  # mkstemp: (fd, path)
+        for i, kind in enumerate(kinds):
+            var = names[i] if i < len(names) else None
+            out.append((var, kind, value))
+    return out
+
+
+def _acquire_kinds(call: ast.Call, canonical) -> List[str]:
+    name = call_name(call.func)
+    if name is None:
+        return []
+    dotted = canonical(name)
+    if dotted == "open":
+        return ["file"]
+    if dotted == "os.open":
+        return ["fd"]
+    if dotted == "tempfile.mkstemp":
+        return ["fd", "tmp"]
+    if dotted == "tempfile.mkdtemp":
+        return ["tmpdir"]
+    if dotted in ("tempfile.NamedTemporaryFile",
+                  "tempfile.TemporaryFile"):
+        return ["file"]
+    if dotted.endswith("shared_memory.SharedMemory") or \
+            dotted == "SharedMemory":
+        for kw in call.keywords:
+            if kw.arg == "create" and \
+                    isinstance(kw.value, ast.Constant) and \
+                    kw.value.value is True:
+                return ["shm"]
+    return []
+
+
+def _releases(stmt: ast.stmt, canonical) -> List[Tuple[str, str]]:
+    """``(var, op)`` release actions in the statement's header."""
+    out: List[Tuple[str, str]] = []
+    for root in _header_exprs(stmt):
+        if root is None:
+            continue
+        for node in ast.walk(root):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and \
+                    isinstance(func.value, ast.Name):
+                out.append((func.value.id, func.attr))
+            name = call_name(func)
+            if name is None or not node.args:
+                continue
+            dotted = canonical(name)
+            op = dotted.rsplit(".", 1)[-1]
+            if dotted in ("os.close", "os.unlink", "os.remove",
+                          "os.replace", "os.rename", "os.fdopen",
+                          "shutil.rmtree") and \
+                    isinstance(node.args[0], ast.Name):
+                out.append((node.args[0].id, op))
+    return out
+
+
+def leak_sites(fn: FunctionInfo, table: SymbolTable,
+               kinds: FrozenSet[str]) -> Iterator[Leak]:
+    """May-leak resources of the given kinds in one function."""
+    mod = fn.module
+
+    def canonical(name: str) -> str:
+        return table.canonical(mod, name)
+
+    cfg = build_cfg(fn.node)
+    acquires: Dict[int, List[Tuple[Optional[str], str, ast.Call]]] = {}
+    releases: Dict[int, List[Tuple[str, str]]] = {}
+    interesting = False
+    for idx, stmt in enumerate(cfg.stmts):
+        if stmt is None:
+            continue
+        acq = [a for a in _acquisitions(stmt, canonical)
+               if a[1] in kinds]
+        if acq:
+            acquires[idx] = acq
+            interesting = True
+        rel = _releases(stmt, canonical)
+        if rel:
+            releases[idx] = rel
+    if not interesting:
+        return
+
+    # Site identity: (acquiring node id, var, kind); state: the set of
+    # sites that may still be open.
+    State = FrozenSet[Tuple[int, Optional[str], str]]
+    empty: State = frozenset()
+    in_state: Dict[int, State] = {cfg.entry: empty}
+    site_nodes: Dict[int, ast.Call] = {}
+
+    def released(state: State, idx: int) -> State:
+        rel = releases.get(idx)
+        if not rel:
+            return state
+        dropped = set()
+        for site in state:
+            _, var, kind = site
+            for rvar, op in rel:
+                if var is not None and rvar == var and \
+                        op in _RELEASES[kind]:
+                    dropped.add(site)
+        return state - frozenset(dropped)
+
+    worklist = [cfg.entry]
+    exc_exit_state: State = empty
+    exit_state: State = empty
+    while worklist:
+        idx = worklist.pop()
+        state = in_state.get(idx, empty)
+        if idx == cfg.exit:
+            exit_state = state
+            continue
+        if idx == cfg.exc_exit:
+            exc_exit_state = state
+            continue
+        after_release = released(state, idx)
+        normal = after_release
+        if cfg.is_return[idx]:
+            normal = empty  # publication: the caller owns it now
+        for var, kind, call in acquires.get(idx, ()):
+            site = (idx, var, kind)
+            site_nodes[idx] = call
+            if var is not None:
+                normal = frozenset(
+                    s for s in normal if s[1] != var) | {site}
+            else:
+                normal = normal | {site}
+        for succ in cfg.succ[idx]:
+            merged = in_state.get(succ, empty) | normal
+            if merged != in_state.get(succ):
+                in_state[succ] = merged
+                worklist.append(succ)
+        # The exception edge fires mid-statement: releases applied
+        # (cleanup calls are non-raising), acquisitions not yet bound.
+        for succ in cfg.exc_succ[idx]:
+            merged = in_state.get(succ, empty) | after_release
+            if merged != in_state.get(succ):
+                in_state[succ] = merged
+                worklist.append(succ)
+
+    seen = set()
+    for idx, var, kind in sorted(
+            exc_exit_state, key=lambda s: (s[0], s[1] or "", s[2])):
+        if (idx, var, kind) not in seen:
+            seen.add((idx, var, kind))
+            yield Leak(var=var, kind=kind, node=site_nodes[idx],
+                       on_exception=True)
+    for idx, var, kind in sorted(
+            exit_state, key=lambda s: (s[0], s[1] or "", s[2])):
+        if (idx, var, kind) not in seen:
+            seen.add((idx, var, kind))
+            yield Leak(var=var, kind=kind, node=site_nodes[idx],
+                       on_exception=False)
+
+
+@register
+class FdLeak(ProjectRule):
+    """Fds and temp files must be released on every path."""
+
+    code = "RES001"
+    name = "fd-tmp-leak"
+    description = ("fd/temp file opened here may never be released: "
+                   "some exception or fall-through path reaches the "
+                   "end of the function with it still open")
+
+    KINDS = frozenset({"fd", "file", "tmp", "tmpdir"})
+
+    def check(self, project: ProjectIndex, config) -> List[Finding]:
+        for fn in project.target_functions():
+            for leak in leak_sites(fn, project.table, self.KINDS):
+                path_kind = _HUMAN[leak.kind]
+                what = f"'{leak.var}'" if leak.var else "the result"
+                where = ("an exception path" if leak.on_exception
+                         else "a fall-through path")
+                self.emit(
+                    project, fn.module, leak.node,
+                    f"{path_kind} {what} opened here is not released "
+                    f"on {where} of '{fn.name}'; close/unlink it in a "
+                    f"finally (or hand it to a context manager)")
+        return self.findings

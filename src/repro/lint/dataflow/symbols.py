@@ -1,0 +1,415 @@
+"""Project-wide symbol table and name/type resolution.
+
+One :class:`ModuleInfo` per parsed file: its import bindings (local
+name → canonical dotted name, relative imports resolved the same way
+:class:`repro.lint.imports.ModuleGraph` resolves them), its module-level
+functions and classes, and — per class — the attribute types inferred
+from ``__init__`` assignments and annotations.  A file outside any
+package (no ``__init__.py`` chain — fixtures, scratch scripts) gets a
+synthetic module name; intra-module resolution still works, only
+cross-module references do not.
+
+Resolution is deliberately partial: a dotted name resolves to a project
+:class:`FunctionInfo`/:class:`ClassInfo` when the chain is statically
+evident (direct call, imported name, typed receiver), and to its
+canonical external dotted string otherwise.  The rules built on top
+treat "unresolved" as "no edge" — precision over recall, so a dict's
+``.get`` never impersonates :meth:`ResultCache.get`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+
+__all__ = ["ClassInfo", "FunctionInfo", "ModuleInfo", "SymbolTable",
+           "call_name"]
+
+
+def call_name(func: ast.AST) -> Optional[str]:
+    """``a.b.c`` source text of a call's function expression, if dotted."""
+    parts: List[str] = []
+    while isinstance(func, ast.Attribute):
+        parts.append(func.attr)
+        func = func.value
+    if isinstance(func, ast.Name):
+        parts.append(func.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition, with its defining module."""
+
+    qualname: str
+    name: str
+    module: "ModuleInfo"
+    node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    is_async: bool
+    owner: Optional["ClassInfo"] = None
+
+    @property
+    def is_method(self) -> bool:
+        return self.owner is not None
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: methods plus inferred attribute types."""
+
+    qualname: str
+    name: str
+    module: "ModuleInfo"
+    node: ast.ClassDef
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: ``self.<attr>`` → canonical type name (class qualname for
+    #: project classes, dotted name for stdlib ones).
+    attr_types: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed file: bindings, definitions, source tree."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    synthetic: bool
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+
+
+def _import_bindings(module: str, is_package: bool, synthetic: bool,
+                     tree: ast.Module) -> Dict[str, str]:
+    """Local name → canonical dotted name for every import binding."""
+    out: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    out[alias.asname] = alias.name
+                else:
+                    # ``import a.b`` binds ``a``; ``a.b.c`` spelled out
+                    # at use sites canonicalizes through the head.
+                    head = alias.name.split(".")[0]
+                    out.setdefault(head, head)
+        elif isinstance(node, ast.ImportFrom):
+            base = _resolve_from(module, node, is_package, synthetic)
+            if base is None:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                out[alias.asname or alias.name] = f"{base}.{alias.name}"
+    return out
+
+
+def _resolve_from(module: str, node: ast.ImportFrom, is_package: bool,
+                  synthetic: bool) -> Optional[str]:
+    """Absolute base module of a ``from ... import`` statement."""
+    if node.level == 0:
+        return node.module
+    if synthetic:
+        return None
+    parts = module.split(".")
+    strip = node.level - 1 if is_package else node.level
+    if len(parts) < strip:
+        return None
+    base_parts = parts[:len(parts) - strip]
+    if node.module:
+        base_parts = base_parts + node.module.split(".")
+    return ".".join(base_parts) if base_parts else None
+
+
+class SymbolTable:
+    """All modules of one lint invocation, indexed for resolution."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, parsed: List[Tuple[str, ast.Module, bool,
+                                      Optional[str]]]) -> "SymbolTable":
+        """Index ``(path, tree, is_package, module_name)`` tuples.
+
+        ``module_name`` is ``None`` for files outside a package; they
+        get a synthetic ``<path>`` name so intra-file resolution works.
+        """
+        table = cls()
+        for path, tree, is_package, name in parsed:
+            synthetic = name is None
+            mod = ModuleInfo(
+                name=name if name is not None else f"<{path}>",
+                path=path, tree=tree, synthetic=synthetic)
+            mod.imports = _import_bindings(mod.name, is_package,
+                                           synthetic, tree)
+            table._collect_defs(mod)
+            table.modules[mod.name] = mod
+        for mod in table.modules.values():
+            typer = Typer(table, mod)
+            for cls_info in mod.classes.values():
+                typer.infer_attr_types(cls_info)
+        return table
+
+    def _collect_defs(self, mod: ModuleInfo) -> None:
+        def add_function(node: ast.AST, qual: str,
+                         owner: Optional[ClassInfo]) -> None:
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                return
+            info = FunctionInfo(
+                qualname=qual, name=node.name, module=mod, node=node,
+                is_async=isinstance(node, ast.AsyncFunctionDef),
+                owner=owner)
+            self.functions[qual] = info
+            if owner is None and "<locals>" not in qual:
+                mod.functions[node.name] = info
+            elif owner is not None:
+                owner.methods[node.name] = info
+            # Nested defs become their own functions; the parent's
+            # statement walks skip their bodies.
+            for item in node.body:
+                add_function(item, f"{qual}.<locals>."
+                             f"{getattr(item, 'name', '')}", None)
+
+        for node in mod.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                add_function(node, f"{mod.name}.{node.name}", None)
+            elif isinstance(node, ast.ClassDef):
+                cls_info = ClassInfo(
+                    qualname=f"{mod.name}.{node.name}", name=node.name,
+                    module=mod, node=node)
+                mod.classes[node.name] = cls_info
+                self.classes[cls_info.qualname] = cls_info
+                for item in node.body:
+                    add_function(item,
+                                 f"{cls_info.qualname}."
+                                 f"{getattr(item, 'name', '')}",
+                                 cls_info)
+
+    # ------------------------------------------------------------------
+    # Name resolution
+    # ------------------------------------------------------------------
+    def canonical(self, mod: ModuleInfo, dotted: str) -> str:
+        """Expand the leading import binding of a local dotted name."""
+        head, _, rest = dotted.partition(".")
+        target = mod.imports.get(head)
+        if target is None:
+            return dotted
+        return f"{target}.{rest}" if rest else target
+
+    def lookup(self, dotted: str) -> Optional[
+            Union[FunctionInfo, ClassInfo]]:
+        """A project definition a canonical dotted name points at."""
+        if dotted in self.functions:
+            return self.functions[dotted]
+        if dotted in self.classes:
+            return self.classes[dotted]
+        owner, _, attr = dotted.rpartition(".")
+        if owner in self.classes and attr:
+            return self.classes[owner].methods.get(attr)
+        if owner in self.modules and attr:
+            mod = self.modules[owner]
+            return mod.functions.get(attr) or mod.classes.get(attr)
+        return None
+
+    def resolve(self, mod: ModuleInfo, dotted: str) -> Union[
+            FunctionInfo, ClassInfo, str]:
+        """A local dotted name → project definition or canonical name."""
+        head = dotted.partition(".")[0]
+        if head not in mod.imports:
+            local = self.lookup(f"{mod.name}.{dotted}")
+            if local is not None:
+                return local
+        canonical = self.canonical(mod, dotted)
+        return self.lookup(canonical) or canonical
+
+
+class Typer:
+    """Light local type inference over one module's functions.
+
+    Three sources, in priority order: parameter/attribute annotations,
+    constructor calls (``x = threading.Lock()``), and calls to project
+    functions with a resolvable return annotation
+    (``self.cache = opts.open_cache()`` with
+    ``open_cache() -> Optional[ResultCache]``).  A type is a canonical
+    string: a project class qualname or an external dotted name.
+    """
+
+    def __init__(self, table: SymbolTable, mod: ModuleInfo) -> None:
+        self.table = table
+        self.mod = mod
+
+    # ------------------------------------------------------------------
+    def resolve_annotation(self, node: Optional[ast.AST]
+                           ) -> Optional[str]:
+        """Canonical type named by an annotation, if recognisable."""
+        text = self._annotation_text(node)
+        if text is None:
+            return None
+        text = text.strip().strip("'\"")
+        # Optional[T], T | None, Union[T, None] → T.
+        for prefix in ("Optional[", "typing.Optional["):
+            if text.startswith(prefix) and text.endswith("]"):
+                text = text[len(prefix):-1]
+        parts = [p.strip() for p in text.split("|")]
+        parts = [p for p in parts if p not in ("None", "")]
+        if len(parts) == 1:
+            text = parts[0]
+        if "[" in text or "|" in text or " " in text:
+            return None  # generics carry no receiver we resolve
+        resolved = self.table.resolve(self.mod, text.strip("'\""))
+        if isinstance(resolved, ClassInfo):
+            return resolved.qualname
+        if isinstance(resolved, str):
+            return resolved
+        return None
+
+    @staticmethod
+    def _annotation_text(node: Optional[ast.AST]) -> Optional[str]:
+        if node is None:
+            return None
+        try:
+            return ast.unparse(node)
+        except Exception:  # pragma: no cover - malformed annotation
+            return None
+
+    def return_type(self, fn: FunctionInfo) -> Optional[str]:
+        """A function's annotated return type, resolved in *its* module."""
+        if fn.module is self.mod:
+            return self.resolve_annotation(fn.node.returns)
+        return Typer(self.table, fn.module).resolve_annotation(
+            fn.node.returns)
+
+    # ------------------------------------------------------------------
+    def type_of_call(self, node: ast.Call) -> Optional[str]:
+        """Type a call expression constructs or returns."""
+        name = call_name(node.func)
+        if name is None:
+            return None
+        resolved = self.table.resolve(self.mod, name)
+        if isinstance(resolved, ClassInfo):
+            return resolved.qualname
+        if isinstance(resolved, FunctionInfo):
+            return self.return_type(resolved)
+        if isinstance(resolved, str) and resolved[:1].isalpha():
+            # External constructor by convention: last component
+            # capitalized (threading.Lock, shared_memory.SharedMemory).
+            last = resolved.rsplit(".", 1)[-1]
+            if last[:1].isupper():
+                return resolved
+        return None
+
+    def local_types(self, fn: FunctionInfo) -> Dict[str, str]:
+        """Variable → type for one function's parameters and assigns."""
+        env: Dict[str, str] = {}
+        if fn.owner is not None:
+            env["self"] = fn.owner.qualname
+        args = fn.node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            ty = self.resolve_annotation(arg.annotation)
+            if ty is not None:
+                env[arg.arg] = ty
+        for node in ast.walk(fn.node):
+            target = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                target = node.targets[0].id
+                ty = self._type_of_value(node.value, env, fn)
+            elif isinstance(node, ast.AnnAssign) and \
+                    isinstance(node.target, ast.Name):
+                target = node.target.id
+                ty = self.resolve_annotation(node.annotation)
+            else:
+                continue
+            if target is not None and ty is not None:
+                env.setdefault(target, ty)
+        return env
+
+    def _type_of_value(self, value: ast.AST, env: Dict[str, str],
+                       fn: FunctionInfo) -> Optional[str]:
+        if isinstance(value, ast.Call):
+            # One level of receiver typing: opts.open_cache() needs
+            # ``opts``'s type to find the annotated return.
+            if isinstance(value.func, ast.Attribute):
+                method = self.resolve_method(value.func, env)
+                if isinstance(method, FunctionInfo):
+                    return self.return_type(method)
+            return self.type_of_call(value)
+        if isinstance(value, ast.Attribute):
+            return self.type_of_expr(value, env)
+        if isinstance(value, ast.Name):
+            return env.get(value.id)
+        if isinstance(value, ast.Await):
+            return None
+        return None
+
+    def type_of_expr(self, node: ast.AST, env: Dict[str, str]
+                     ) -> Optional[str]:
+        """Type of a receiver expression (Name or self-attribute)."""
+        if isinstance(node, ast.Name):
+            return env.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.type_of_expr(node.value, env)
+            if base is not None and base in self.table.classes:
+                return self.table.classes[base].attr_types.get(node.attr)
+        return None
+
+    def resolve_method(self, func: ast.Attribute, env: Dict[str, str]
+                       ) -> Union[FunctionInfo, Tuple[str, str], None]:
+        """``recv.attr(...)`` → FunctionInfo, ``(type, attr)``, or None."""
+        recv_type = self.type_of_expr(func.value, env)
+        if recv_type is None:
+            return None
+        cls = self.table.classes.get(recv_type)
+        if cls is not None:
+            method = cls.methods.get(func.attr)
+            if method is not None:
+                return method
+            return (recv_type, func.attr)
+        return (recv_type, func.attr)
+
+    # ------------------------------------------------------------------
+    def infer_attr_types(self, cls: ClassInfo) -> None:
+        """Fill ``cls.attr_types`` from annotations and ``__init__``."""
+        for item in cls.node.body:
+            if isinstance(item, ast.AnnAssign) and \
+                    isinstance(item.target, ast.Name):
+                ty = self.resolve_annotation(item.annotation)
+                if ty is not None:
+                    cls.attr_types[item.target.id] = ty
+        init = cls.methods.get("__init__")
+        if init is None:
+            return
+        env = self.local_types(init)
+        for node in ast.walk(init.node):
+            target = value = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) and \
+                    node.value is not None:
+                target, value = node.target, node.value
+                ty = self.resolve_annotation(node.annotation)
+                if ty is not None and _is_self_attr(target):
+                    cls.attr_types.setdefault(target.attr, ty)
+                    continue
+            if target is None or not _is_self_attr(target):
+                continue
+            ty = self._type_of_value(value, env, init)
+            if ty is not None:
+                cls.attr_types.setdefault(target.attr, ty)
+
+
+def _is_self_attr(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self")

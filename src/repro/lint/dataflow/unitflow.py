@@ -1,0 +1,333 @@
+"""Flow-sensitive unit propagation: the UNIT003 upgrade.
+
+The per-file UNIT003 of PR 5 only caught mixes *within one
+expression* (``x_seconds + y_cycles``).  This version runs a small
+forward abstract interpretation per function over the unit-suffix
+lattice (``seconds``/``cycles``/``hz``/``volts``/``joules``/``watts``
+/ unknown): assignments propagate tags through locals, suffixed names
+and attributes seed them, ``+``/``-`` preserve a tag, ``*``/``/``
+erase it (a conversion), and calls contribute the callee's *return
+unit* — the name's suffix, or, for project functions, a one-level
+summary inferred from its return statements.  Scope is the whole tree
+(the old rule was confined to three packages): a mixed-unit compare in
+``serve`` is as wrong as one in ``power``.
+
+Reported, exactly as before, under ``UNIT003``:
+
+* ``+``/``-`` between operands with different known tags;
+* comparisons between operands with different known tags;
+* assigning a value with a known tag to a name/attribute whose suffix
+  names a *different* unit (``deadline_seconds = horizon_cycles``).
+
+A tag is only ever *known*; anything ambiguous (merge conflicts at
+branch joins, untagged operands, conversions) degrades to unknown and
+stays silent — the rule's contract is zero false positives on honest
+conversions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional
+
+from ..finding import Finding
+from ..rules.base import register
+from ..rules.units import _suffix_of
+from .project import ProjectIndex, ProjectRule
+from .symbols import FunctionInfo, SymbolTable, call_name
+
+__all__ = ["MixedUnitFlow", "return_unit"]
+
+#: Builtins that pass their (sole unit-bearing) argument's tag through.
+_TRANSPARENT_CALLS = frozenset({
+    "float", "int", "abs", "min", "max", "sum", "round",
+    "np.minimum", "np.maximum", "np.abs", "math.fsum",
+})
+
+Env = Dict[str, Optional[str]]
+
+
+def return_unit(table: SymbolTable, fn: FunctionInfo,
+                _cache: Dict[str, Optional[str]]) -> Optional[str]:
+    """The unit a function returns, if statically evident.
+
+    The function name's own suffix wins (``elapsed_seconds()``);
+    otherwise every ``return`` expression must carry the same known
+    tag under a parameters-only environment.
+    """
+    cached = _cache.get(fn.qualname, "∅")
+    if cached != "∅":
+        return cached
+    _cache[fn.qualname] = None  # cut recursion: unknown while open
+    suffix = _suffix_of(fn.name)
+    if suffix is not None:
+        _cache[fn.qualname] = suffix
+        return suffix
+    env: Env = {}
+    args = fn.node.args
+    for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+        env[arg.arg] = _suffix_of(arg.arg)
+    tags = set()
+    for node in _walk_own(fn.node):
+        if isinstance(node, ast.Return):
+            if node.value is None:
+                tags.add(None)
+            else:
+                tags.add(_tag_of(node.value, env, table, fn, _cache,
+                                 sink=None))
+    result = tags.pop() if len(tags) == 1 else None
+    _cache[fn.qualname] = result
+    return result
+
+
+def _walk_own(fn_node: ast.AST) -> Iterator[ast.AST]:
+    stack: List[ast.AST] = list(ast.iter_child_nodes(fn_node))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda, ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _call_unit(node: ast.Call, env: Env, table: SymbolTable,
+               fn: FunctionInfo, cache: Dict[str, Optional[str]],
+               sink) -> Optional[str]:
+    name = call_name(node.func)
+    if name is None:
+        return None
+    if name in _TRANSPARENT_CALLS or \
+            name.rsplit(".", 1)[-1] in ("minimum", "maximum", "fsum"):
+        tags = {_tag_of(a, env, table, fn, cache, sink)
+                for a in node.args
+                if not isinstance(a, ast.Constant)}
+        tags.discard(None)
+        return tags.pop() if len(tags) == 1 else None
+    suffix = _suffix_of(name.rsplit(".", 1)[-1])
+    if suffix is not None:
+        return suffix
+    resolved = table.resolve(fn.module, name)
+    if isinstance(resolved, FunctionInfo):
+        return return_unit(table, resolved, cache)
+    return None
+
+
+def _tag_of(node: ast.AST, env: Env, table: SymbolTable,
+            fn: FunctionInfo, cache: Dict[str, Optional[str]],
+            sink) -> Optional[str]:
+    """Bottom-up tag of an expression; reports mixes through ``sink``."""
+    if isinstance(node, ast.Name):
+        if node.id in env:
+            return env[node.id]
+        return _suffix_of(node.id)
+    if isinstance(node, ast.Attribute):
+        return _suffix_of(node.attr)
+    if isinstance(node, ast.Subscript):
+        return _tag_of(node.value, env, table, fn, cache, sink)
+    if isinstance(node, ast.UnaryOp):
+        return _tag_of(node.operand, env, table, fn, cache, sink)
+    if isinstance(node, ast.Call):
+        for arg in node.args:
+            _tag_of(arg, env, table, fn, cache, sink)
+        return _call_unit(node, env, table, fn, cache, sink)
+    if isinstance(node, ast.IfExp):
+        _tag_of(node.test, env, table, fn, cache, sink)
+        a = _tag_of(node.body, env, table, fn, cache, sink)
+        b = _tag_of(node.orelse, env, table, fn, cache, sink)
+        return a if a == b else None
+    if isinstance(node, ast.BinOp):
+        left = _tag_of(node.left, env, table, fn, cache, sink)
+        right = _tag_of(node.right, env, table, fn, cache, sink)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if isinstance(node.left, ast.Constant):
+                return right
+            if isinstance(node.right, ast.Constant):
+                return left
+            if left is not None and right is not None:
+                if left != right:
+                    if sink is not None:
+                        op = "+" if isinstance(node.op, ast.Add) \
+                            else "-"
+                        sink(node, op, left, right)
+                    return None
+                return left
+            return None
+        return None  # * and / are conversions; %, // &c. stay unknown
+    if isinstance(node, ast.Compare):
+        operands = [node.left, *node.comparators]
+        tags = [_tag_of(o, env, table, fn, cache, sink)
+                for o in operands]
+        if sink is not None:
+            for (lo, lt), (ro, rt) in zip(
+                    zip(operands, tags), zip(operands[1:], tags[1:])):
+                if lt is not None and rt is not None and lt != rt:
+                    sink(node, "comparison", lt, rt)
+        return None
+    if isinstance(node, (ast.BoolOp, ast.Await)):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                _tag_of(child, env, table, fn, cache, sink)
+        return None
+    return None
+
+
+@register
+class MixedUnitFlow(ProjectRule):
+    """Unit tags must agree across +/-/comparison and assignment."""
+
+    code = "UNIT003"
+    name = "mixed-unit-arithmetic"
+    description = ("+/-/comparison/assignment mixing different unit "
+                   "suffixes, tracked through locals, returns and one "
+                   "call level (e.g. t_seconds = horizon_cycles)")
+
+    def check(self, project: ProjectIndex, config) -> List[Finding]:
+        table = project.table
+        cache: Dict[str, Optional[str]] = {}
+        for fn in project.target_functions():
+            if "<locals>" in fn.qualname:
+                continue  # analysed as part of no one; own pass below
+            self._check_function(project, table, fn, cache)
+        return self.findings
+
+    # ------------------------------------------------------------------
+    def _check_function(self, project: ProjectIndex,
+                        table: SymbolTable, fn: FunctionInfo,
+                        cache: Dict[str, Optional[str]]) -> None:
+        reported = set()
+
+        def sink(node: ast.AST, op: str, left: str,
+                 right: str) -> None:
+            key = (getattr(node, "lineno", 0),
+                   getattr(node, "col_offset", 0), op, left, right)
+            if key in reported:
+                return
+            reported.add(key)
+            self.emit(
+                project, fn.module, node,
+                f"'{op}' mixes units: left is {left}, right is "
+                f"{right}; convert explicitly (multiply/divide by "
+                f"the rate) first")
+
+        env: Env = {}
+        args = fn.node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            env[arg.arg] = _suffix_of(arg.arg)
+
+        def eval_expr(node: Optional[ast.AST]) -> Optional[str]:
+            if node is None:
+                return None
+            return _tag_of(node, env, table, fn, cache, sink)
+
+        def assign(target: ast.AST, tag: Optional[str],
+                   node: ast.AST) -> None:
+            name = None
+            if isinstance(target, ast.Name):
+                name = target.id
+            elif isinstance(target, ast.Attribute):
+                name = target.attr
+            if name is None:
+                if isinstance(target, (ast.Tuple, ast.List)):
+                    for elt in target.elts:
+                        assign(elt, None, node)
+                return
+            own = _suffix_of(name)
+            if own is not None and tag is not None and own != tag:
+                sink(node, "assignment", tag, own)
+            if isinstance(target, ast.Name):
+                env[target.id] = own if own is not None else tag
+
+        def exec_block(stmts: List[ast.stmt]) -> None:
+            for stmt in stmts:
+                exec_stmt(stmt)
+
+        def merged(envs: List[Env]) -> None:
+            keys = set().union(*(e.keys() for e in envs))
+            env.clear()
+            for key in keys:
+                tags = {e.get(key) for e in envs}
+                env[key] = tags.pop() if len(tags) == 1 else None
+
+        def exec_stmt(stmt: ast.stmt) -> None:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                return
+            if isinstance(stmt, ast.Assign):
+                tag = eval_expr(stmt.value)
+                for target in stmt.targets:
+                    assign(target, tag, stmt.value)
+                return
+            if isinstance(stmt, ast.AnnAssign):
+                if stmt.value is not None:
+                    assign(stmt.target, eval_expr(stmt.value),
+                           stmt.value)
+                return
+            if isinstance(stmt, ast.AugAssign):
+                target_tag = eval_expr(stmt.target)
+                value_tag = eval_expr(stmt.value)
+                if isinstance(stmt.op, (ast.Add, ast.Sub)) and \
+                        target_tag is not None and \
+                        value_tag is not None and \
+                        target_tag != value_tag and \
+                        not isinstance(stmt.value, ast.Constant):
+                    op = "+" if isinstance(stmt.op, ast.Add) else "-"
+                    sink(stmt, op, target_tag, value_tag)
+                return
+            if isinstance(stmt, ast.If):
+                eval_expr(stmt.test)
+                base = dict(env)
+                exec_block(stmt.body)
+                then_env = dict(env)
+                env.clear()
+                env.update(base)
+                exec_block(stmt.orelse)
+                merged([then_env, dict(env)])
+                return
+            if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                eval_expr(stmt.iter)
+                assign(stmt.target, None, stmt.iter)
+                base = dict(env)
+                exec_block(stmt.body)
+                exec_block(stmt.orelse)
+                merged([base, dict(env)])
+                return
+            if isinstance(stmt, ast.While):
+                eval_expr(stmt.test)
+                base = dict(env)
+                exec_block(stmt.body)
+                exec_block(stmt.orelse)
+                merged([base, dict(env)])
+                return
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    eval_expr(item.context_expr)
+                    if item.optional_vars is not None:
+                        assign(item.optional_vars, None,
+                               item.context_expr)
+                exec_block(stmt.body)
+                return
+            if isinstance(stmt, ast.Try):
+                base = dict(env)
+                exec_block(stmt.body)
+                branches = [dict(env)]
+                for handler in stmt.handlers:
+                    env.clear()
+                    env.update(base)
+                    exec_block(handler.body)
+                    branches.append(dict(env))
+                merged(branches)
+                exec_block(stmt.orelse)
+                exec_block(stmt.finalbody)
+                return
+            if isinstance(stmt, ast.Return):
+                eval_expr(stmt.value)
+                return
+            if isinstance(stmt, (ast.Expr, ast.Assert, ast.Raise,
+                                 ast.Delete)):
+                for child in ast.iter_child_nodes(stmt):
+                    if isinstance(child, ast.expr):
+                        eval_expr(child)
+                return
+
+        exec_block(list(fn.node.body))

@@ -2,8 +2,10 @@
 
 :func:`run_lint` is the single entry point: collect the files, build
 the static import graph once (for the reachability-scoped determinism
-rules), then per file parse the AST, run every enabled rule, and filter
-the findings through the ``# repro: noqa[RULE]`` suppressions.  A
+rules), then per file parse the AST, run every enabled per-file rule,
+run the project (interprocedural) rules once over a
+:class:`~.dataflow.project.ProjectIndex` of the whole tree, and filter
+everything through the ``# repro: noqa[RULE]`` suppressions.  A
 suppression that matches nothing is itself a finding (``LINT001``) — a
 stale ``noqa`` is how a once-justified exception outlives its
 justification.
@@ -106,17 +108,22 @@ def _package_roots(files: Iterable[Path]) -> List[Path]:
     return roots
 
 
-def _graph_for(files: Sequence[Path]) -> ModuleGraph:
-    """Import graph over the whole package(s) the files belong to.
+def _tree_files(files: Sequence[Path]) -> List[Path]:
+    """``files`` plus every module of the packages they belong to.
 
-    Linting a single file must use the same reachable set as linting
-    the tree, so the graph always spans the full packages.
+    Linting a single file must see the same world as linting the tree:
+    the import graph and the project index always span full packages.
     """
-    tree_files: List[Path] = list(files)
+    out: List[Path] = list(files)
     for root in _package_roots(files):
-        tree_files.extend(p for p in root.rglob("*.py")
-                          if "__pycache__" not in p.parts)
-    return ModuleGraph.build(tree_files)
+        out.extend(p for p in root.rglob("*.py")
+                   if "__pycache__" not in p.parts)
+    return out
+
+
+def _graph_for(files: Sequence[Path]) -> ModuleGraph:
+    """Import graph over the whole package(s) the files belong to."""
+    return ModuleGraph.build(_tree_files(files))
 
 
 def _suppressions(path: str, text: str) -> List[Suppression]:
@@ -189,6 +196,8 @@ def _lint_file(path: Path, config: LintConfig,
     for code, rule_cls in sorted(registry().items()):
         if code not in enabled:
             continue
+        if rule_cls.kind == "project":
+            continue  # runs once over the ProjectIndex, not per file
         if rule_cls.scope == "reachable" and not ctx.reachable:
             continue
         if rule_cls.scope == "units" and not ctx.in_unit_packages:
@@ -254,13 +263,30 @@ def run_lint(paths: Sequence[Path],
     """
     config = config or LintConfig()
     files = collect_files([Path(p) for p in paths])
+    tree_files = _tree_files(files)
     reachable: FrozenSet[str] = frozenset()
     if not config.all_scopes:
-        reachable = _graph_for(files).reachable_from(
+        reachable = ModuleGraph.build(tree_files).reachable_from(
             config.determinism_roots)
-    findings: List[Finding] = []
+
+    reports: Dict[str, _FileReport] = {}
     for path in files:
-        report = _lint_file(path, config, reachable)
+        reports[str(path)] = _lint_file(path, config, reachable)
+
+    enabled = config.enabled_codes()
+    project_rules = [cls for code, cls in sorted(registry().items())
+                     if code in enabled and cls.kind == "project"]
+    if project_rules and files:
+        from .dataflow.project import ProjectIndex
+        project = ProjectIndex.build(files, tree_files)
+        for rule_cls in project_rules:
+            for finding in rule_cls().check(project, config):
+                report = reports.get(finding.path)
+                if report is not None:
+                    report.findings.append(finding)
+
+    findings: List[Finding] = []
+    for report in reports.values():
         findings.extend(_apply_suppressions(report, config))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return findings

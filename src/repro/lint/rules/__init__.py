@@ -5,4 +5,8 @@ from __future__ import annotations
 from . import determinism, kernel, units  # noqa: F401 (registration)
 from .base import Rule, RuleContext, registry
 
+# The interprocedural (kind="project") rule families register on
+# import too; they live beside the dataflow engine they are built on.
+from ..dataflow import concurrency, resources, unitflow  # noqa: E402,F401
+
 __all__ = ["Rule", "RuleContext", "registry"]

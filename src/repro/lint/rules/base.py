@@ -15,7 +15,10 @@ Scopes decide which files a rule applies to:
     determinism roots (wall-clock / environment / set-order rules);
 ``"units"``
     only modules inside the configured unit-convention packages
-    (``repro.power``, ``repro.core``, ``repro.sched`` by default).
+    (``repro.power``, ``repro.core``, ``repro.sched`` by default);
+``"project"``
+    interprocedural rules (``kind = "project"``) that the engine runs
+    once over the whole indexed tree rather than per file.
 """
 
 from __future__ import annotations
@@ -93,7 +96,10 @@ class Rule(ast.NodeVisitor):
     code: str = ""
     #: Short kebab-case name, e.g. ``"unseeded-rng"``.
     name: str = ""
-    #: ``"global"``, ``"reachable"`` or ``"units"``.
+    #: ``"file"`` rules run as per-file visitors; ``"project"`` rules
+    #: (see :mod:`..dataflow.project`) run once over the whole tree.
+    kind: str = "file"
+    #: ``"global"``, ``"reachable"``, ``"units"`` or ``"project"``.
     scope: str = "global"
     #: One-line description for ``--list-rules`` and the docs.
     description: str = ""

@@ -14,7 +14,8 @@ are the dominant bug class in this problem family.  The convention:
   e.g. ``"(Hz)"`` or ``"... in seconds"`` (**UNIT002**);
 * ``+``/``-``/comparison arithmetic must not mix identifiers with
   *different* unit suffixes — ``x_seconds + y_cycles`` is always a bug;
-  ``*`` and ``/`` are conversions and stay legal (**UNIT003**).
+  ``*`` and ``/`` are conversions and stay legal (**UNIT003**, now a
+  tree-wide dataflow rule in :mod:`..dataflow.unitflow`).
 
 The convention is deliberately lightweight: vector parameters (per-task
 arrays such as ``deadlines``) document their unit at the type level,
@@ -30,8 +31,7 @@ from typing import Iterable, Optional
 
 from .base import Rule, register
 
-__all__ = ["ParamUnitSuffix", "ReturnUnitDocumented",
-           "MixedUnitArithmetic"]
+__all__ = ["ParamUnitSuffix", "ReturnUnitDocumented"]
 
 #: Recognised unit suffixes and their dimension (each suffix is its own
 #: unit: ``_seconds`` and ``_cycles`` are both time-like but must never
@@ -202,42 +202,7 @@ class ReturnUnitDocumented(Rule):
                     f"state the unit in the docstring (e.g. {example})")
 
 
-@register
-class MixedUnitArithmetic(Rule):
-    """No additive/comparison arithmetic across different unit suffixes."""
-
-    code = "UNIT003"
-    name = "mixed-unit-arithmetic"
-    scope = "units"
-    description = ("+/-/comparison between identifiers with different "
-                   "unit suffixes (e.g. x_seconds + y_cycles)")
-
-    @staticmethod
-    def _operand_suffix(node: ast.AST) -> Optional[str]:
-        if isinstance(node, ast.Name):
-            return _suffix_of(node.id)
-        if isinstance(node, ast.Attribute):
-            return _suffix_of(node.attr)
-        return None
-
-    def _check_pair(self, node: ast.AST, left: ast.AST,
-                    right: ast.AST, op: str) -> None:
-        a = self._operand_suffix(left)
-        b = self._operand_suffix(right)
-        if a is not None and b is not None and a != b:
-            self.report(node,
-                        f"'{op}' mixes units: left is {a}, right is "
-                        f"{b}; convert explicitly (multiply/divide by "
-                        f"the rate) first")
-
-    def visit_BinOp(self, node: ast.BinOp) -> None:
-        if isinstance(node.op, (ast.Add, ast.Sub)):
-            op = "+" if isinstance(node.op, ast.Add) else "-"
-            self._check_pair(node, node.left, node.right, op)
-        self.generic_visit(node)
-
-    def visit_Compare(self, node: ast.Compare) -> None:
-        operands = [node.left, *node.comparators]
-        for left, right in zip(operands, operands[1:]):
-            self._check_pair(node, left, right, "comparison")
-        self.generic_visit(node)
+# UNIT003 (mixed-unit arithmetic) lives in ``..dataflow.unitflow``
+# since the interprocedural engine landed: it still owns the code but
+# now propagates tags through locals, returns and one call level, and
+# runs tree-wide instead of package-scoped.

@@ -198,11 +198,14 @@ def _compile_cached() -> Optional[str]:
             check=True, capture_output=True, timeout=120)
         os.replace(tmp_so, so_path)
     finally:
-        for leftover in (c_path, c_path[:-2] + ".so"):
-            try:
-                os.remove(leftover)
-            except OSError:
-                pass
+        try:
+            os.remove(c_path)
+        except OSError:
+            pass
+        try:
+            os.remove(c_path[:-2] + ".so")
+        except OSError:
+            pass
     return so_path
 
 

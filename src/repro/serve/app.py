@@ -240,13 +240,20 @@ class ScheduleServer:
     # ------------------------------------------------------------------
     async def _route(self, method: str, target: str, body: bytes
                      ) -> Tuple[int, Union[Dict[str, Any], str]]:
+        # The document builders are sync on purpose (tests drive them
+        # directly) but touch the cache directory, so serving them off
+        # the event loop would stall every in-flight request behind a
+        # slow disk: hand them to the default executor.
+        loop = asyncio.get_running_loop()
         if target == "/healthz":
-            ready, doc = self.readiness()
+            ready, doc = await loop.run_in_executor(None, self.readiness)
             return (200 if ready else 503), doc
         if target == "/stats":
-            return 200, self.stats_document()
+            return 200, await loop.run_in_executor(
+                None, self.stats_document)
         if target == "/metrics":
-            return 200, self.metrics_document()
+            return 200, await loop.run_in_executor(
+                None, self.metrics_document)
         if target == "/v1/schedule":
             if method != "POST":
                 return 405, encode_error("method_not_allowed",
@@ -281,14 +288,20 @@ class ScheduleServer:
 
     async def _schedule_admitted(self, body: bytes, rid: str
                                  ) -> Tuple[int, Dict[str, Any]]:
+        # parse_request may pull a bundled graph off disk and the warm
+        # read hits the cache directory — both block, so both go
+        # through the executor.
+        loop = asyncio.get_running_loop()
         try:
-            request = parse_request(body, self.platform)
+            request = await loop.run_in_executor(
+                None, parse_request, body, self.platform)
         except ProtocolError as exc:
             self.obs.count("serve.bad_requests")
             return 400, encode_error("bad_request", str(exc),
                                      request_id=rid)
         if self.cache is not None:
-            payload = self.cache.get(request.key)
+            payload = await loop.run_in_executor(
+                None, self.cache.get, request.key)
             if payload is not None:
                 # The service's whole point: a warm instance costs one
                 # disk read — no dispatch, no worker, no recompute.

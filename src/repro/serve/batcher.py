@@ -123,7 +123,10 @@ class ScheduleBatcher:
                 flight.future.set_result(shutdown)
         self._flights.clear()
         self._queue.clear()
-        self._executor.shutdown(wait=True)
+        # shutdown(wait=True) joins the dispatch thread — that wait
+        # belongs on the default executor, not the event loop.
+        await asyncio.get_running_loop().run_in_executor(
+            None, self._executor.shutdown)
 
     # ------------------------------------------------------------------
     @property

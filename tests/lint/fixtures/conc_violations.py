@@ -1,0 +1,100 @@
+"""Fixture: concurrency rules (CONC001-CONC004) fire at the marks."""
+
+import asyncio
+import threading
+import time
+from multiprocessing import shared_memory
+
+
+def read_config(path):
+    handle = open(path)
+    try:
+        return handle.read()
+    finally:
+        handle.close()
+
+
+async def blocks_directly():
+    time.sleep(0.5)  # expect: CONC001
+    return 1
+
+
+async def blocks_through_helper(path):
+    data = read_config(path)  # expect: CONC001
+    return data
+
+
+async def hands_off_properly(path):
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, read_config, path)
+
+
+async def awaiting_is_fine():
+    await asyncio.sleep(0.5)
+    return 1
+
+
+class Guarded:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+
+    async def refresh(self):
+        with self._lock:
+            await asyncio.sleep(0.1)  # expect: CONC002
+            self.value += 1
+
+    async def peek(self):
+        with self._lock:
+            value = self.value
+        await asyncio.sleep(0)
+        return value
+
+
+class Pair:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def forward(self):
+        with self._a:
+            with self._b:  # expect: CONC003
+                return 1
+
+    def backward(self):
+        with self._b:
+            with self._a:  # expect: CONC003
+                return 2
+
+
+class Ordered:
+    def __init__(self):
+        self._first = threading.Lock()
+        self._second = threading.Lock()
+
+    def one_way(self):
+        with self._first:
+            with self._second:
+                return 1
+
+    def same_way(self):
+        with self._first:
+            with self._second:
+                return 2
+
+
+def publish(payload):
+    seg = shared_memory.SharedMemory(create=True, size=len(payload))  # expect: CONC004
+    seg.buf[: len(payload)] = payload
+    return seg.name
+
+
+def publish_safely(payload):
+    seg = shared_memory.SharedMemory(create=True, size=len(payload))
+    try:
+        seg.buf[: len(payload)] = payload
+    except BaseException:
+        seg.close()
+        seg.unlink()
+        raise
+    return seg.name

@@ -1,0 +1,50 @@
+"""Fixture: resource-lifetime rule (RES001) fires at the marks."""
+
+import os
+import tempfile
+
+
+def leak_fd_on_exception(path):
+    fd = os.open(path, os.O_RDONLY)  # expect: RES001
+    data = os.read(fd, 16)
+    os.close(fd)
+    return data
+
+
+def leak_file_on_fallthrough(path):
+    handle = open(path)  # expect: RES001
+    if path.endswith(".txt"):
+        handle.close()
+
+
+def leak_tmp_pair():
+    fd, tmp = tempfile.mkstemp()  # expect: RES001, RES001
+    os.write(fd, b"x")
+    os.close(fd)
+
+
+def closed_in_finally(path):
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        return os.read(fd, 16)
+    finally:
+        os.close(fd)
+
+
+def context_manager_is_fine(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def tmp_released_everywhere():
+    fd, tmp = tempfile.mkstemp()
+    try:
+        os.write(fd, b"x")
+    finally:
+        os.close(fd)
+        os.unlink(tmp)
+    return None
+
+
+def publishing_is_fine(path):
+    return open(path)

@@ -1,0 +1,50 @@
+"""Fixture: dataflow unit propagation (UNIT003) fires at the marks."""
+
+
+def deadline_seconds():
+    return 5.0
+
+
+def horizon_cycles():
+    return 1000.0
+
+
+def remaining(duration_seconds, used_seconds):
+    return duration_seconds - used_seconds
+
+
+def propagates_through_locals():
+    budget = deadline_seconds()
+    slack = horizon_cycles()
+    return budget + slack  # expect: UNIT003
+
+
+def assignment_mismatch():
+    t_cycles = 100.0
+    window_seconds = t_cycles  # expect: UNIT003
+    return window_seconds
+
+
+def compare_mismatch(limit_seconds, budget_cycles):
+    if limit_seconds < budget_cycles:  # expect: UNIT003
+        return limit_seconds
+    return budget_cycles
+
+
+def one_call_level(total_cycles):
+    spent = remaining(3.0, 1.0)
+    return total_cycles - spent  # expect: UNIT003
+
+
+def conversion_is_fine(duration_seconds, clock_hz):
+    total_cycles = duration_seconds * clock_hz
+    return total_cycles + 1.0
+
+
+def ambiguous_merge_stays_silent(flag, t_seconds, n_cycles):
+    value = t_seconds if flag else n_cycles
+    return value + 1.0
+
+
+def constants_adopt_the_other_side(timeout_seconds):
+    return timeout_seconds + 1.5

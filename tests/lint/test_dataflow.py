@@ -1,0 +1,292 @@
+"""Unit tests for the interprocedural dataflow engine.
+
+The fixture tests (`test_rules.py`) pin each rule's end-to-end
+behaviour; these tests pin the machinery underneath — symbol
+resolution across modules, call-graph edge construction (async,
+handoff, constructor), CFG exception/finally edges, and the DOT
+dumps behind ``repro lint --graph``.
+"""
+
+import ast
+
+from repro.lint.cli import main
+from repro.lint.dataflow import ProjectIndex, build_cfg
+from repro.lint.dataflow.concurrency import blocking_taint, lock_graph
+from repro.lint.dataflow.resources import leak_sites
+from repro.lint.dataflow.symbols import FunctionInfo
+
+from .conftest import FIXTURES
+
+
+def make_project(tmp_path, files):
+    """A ProjectIndex over a scratch ``pkg`` package."""
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    paths = [pkg / "__init__.py"]
+    for name, body in files.items():
+        path = pkg / name
+        path.write_text(body)
+        paths.append(path)
+    return ProjectIndex.build(paths, paths)
+
+
+def fn_named(project, suffix) -> FunctionInfo:
+    for qual, fn in project.table.functions.items():
+        if qual.endswith(suffix):
+            return fn
+    raise AssertionError(f"no function {suffix!r} in "
+                         f"{sorted(project.table.functions)}")
+
+
+# ----------------------------------------------------------------------
+# Symbol table
+# ----------------------------------------------------------------------
+class TestSymbols:
+    def test_cross_module_return_annotation_resolves(self, tmp_path):
+        project = make_project(tmp_path, {
+            "store.py": ("class Store:\n"
+                         "    def get(self, key):\n"
+                         "        return None\n"
+                         "def open_store() -> 'Store':\n"
+                         "    return Store()\n"),
+            "app.py": ("from .store import open_store\n"
+                       "class App:\n"
+                       "    def __init__(self):\n"
+                       "        self.store = open_store()\n"
+                       "    def lookup(self, key):\n"
+                       "        return self.store.get(key)\n"),
+        })
+        # The annotation names 'Store' in store.py's namespace, so the
+        # attribute type of App.store must resolve even though app.py
+        # never imports the class itself.
+        app = fn_named(project, "App.lookup").owner
+        assert app.attr_types["store"].endswith("store.Store")
+        sites = project.graph.calls_of(fn_named(project, "App.lookup"))
+        callees = [s.callee for s in sites]
+        assert any(isinstance(c, FunctionInfo) and
+                   c.qualname.endswith("Store.get") for c in callees)
+
+    def test_nested_defs_are_separate_functions(self, tmp_path):
+        project = make_project(tmp_path, {
+            "m.py": ("def outer():\n"
+                     "    def inner():\n"
+                     "        return 1\n"
+                     "    return inner()\n"),
+        })
+        inner = fn_named(project, "outer.<locals>.inner")
+        sites = project.graph.calls_of(fn_named(project, "m.outer"))
+        assert [s.callee for s in sites] == [inner]
+
+    def test_generic_annotations_stay_unresolved(self, tmp_path):
+        project = make_project(tmp_path, {
+            "m.py": ("from typing import Dict\n"
+                     "class Box:\n"
+                     "    def __init__(self):\n"
+                     "        self.items: Dict[str, int] = {}\n"),
+        })
+        box = fn_named(project, "Box.__init__").owner
+        assert "items" not in box.attr_types
+
+
+# ----------------------------------------------------------------------
+# Call graph
+# ----------------------------------------------------------------------
+class TestCallGraph:
+    def test_awaited_flag_and_async_nodes(self, tmp_path):
+        project = make_project(tmp_path, {
+            "m.py": ("async def worker():\n"
+                     "    return 1\n"
+                     "async def driver():\n"
+                     "    return await worker()\n"),
+        })
+        sites = project.graph.calls_of(fn_named(project, "driver"))
+        assert len(sites) == 1 and sites[0].awaited
+        assert sites[0].callee.is_async
+
+    def test_handoff_calls_create_no_edge(self, tmp_path):
+        project = make_project(tmp_path, {
+            "m.py": ("import asyncio\n"
+                     "def blocking():\n"
+                     "    return open('/dev/null')\n"
+                     "async def driver():\n"
+                     "    loop = asyncio.get_running_loop()\n"
+                     "    return await loop.run_in_executor("
+                     "None, blocking)\n"),
+        })
+        sites = project.graph.calls_of(fn_named(project, "driver"))
+        assert not any(isinstance(s.callee, FunctionInfo)
+                       for s in sites)
+
+    def test_constructor_edges_reach_init(self, tmp_path):
+        project = make_project(tmp_path, {
+            "m.py": ("class Thing:\n"
+                     "    def __init__(self):\n"
+                     "        self.x = 1\n"
+                     "def build():\n"
+                     "    return Thing()\n"),
+        })
+        sites = project.graph.calls_of(fn_named(project, "m.build"))
+        assert any(isinstance(s.callee, FunctionInfo) and
+                   s.callee.qualname.endswith("Thing.__init__")
+                   for s in sites)
+
+    def test_blocking_taint_propagates_sync_edges(self, tmp_path):
+        project = make_project(tmp_path, {
+            "m.py": ("def low():\n"
+                     "    return open('/dev/null')\n"
+                     "def mid():\n"
+                     "    return low()\n"
+                     "async def high():\n"
+                     "    return mid()\n"),
+        })
+        taint = blocking_taint(project.graph)
+        assert any(q.endswith("m.low") for q in taint)
+        assert any(q.endswith("m.mid") for q in taint)
+        # async functions are never themselves tainted
+        assert not any(q.endswith("m.high") for q in taint)
+
+    def test_call_graph_dot_is_wellformed(self, tmp_path):
+        project = make_project(tmp_path, {
+            "m.py": ("def a():\n    return b()\n"
+                     "def b():\n    return 1\n"),
+        })
+        dot = project.graph.to_dot()
+        assert dot.startswith("digraph") and dot.rstrip().endswith("}")
+        assert '"' in dot and "->" in dot
+
+
+# ----------------------------------------------------------------------
+# CFG
+# ----------------------------------------------------------------------
+def cfg_for(src):
+    fn = ast.parse(src).body[0]
+    return build_cfg(fn)
+
+
+class TestCFG:
+    def test_straight_line_reaches_exit(self):
+        cfg = cfg_for("def f():\n    x = 1\n    y = 2\n")
+        # entry -> x -> y -> exit, no exception edges anywhere
+        assert all(not exc for exc in cfg.exc_succ)
+
+    def test_call_statement_has_exception_edge(self):
+        cfg = cfg_for("def f(p):\n    x = work(p)\n")
+        flat = [e for exc in cfg.exc_succ for e in exc]
+        assert cfg.exc_exit in flat
+
+    def test_finally_runs_on_exception_path(self):
+        cfg = cfg_for(
+            "def f(p):\n"
+            "    try:\n"
+            "        x = work(p)\n"
+            "    finally:\n"
+            "        cleanup()\n")
+        # the exception edge of the try body must route through a
+        # finally copy, not jump straight to exc_exit
+        for idx, stmt in enumerate(cfg.stmts):
+            if stmt is not None and isinstance(stmt, ast.Assign):
+                assert cfg.exc_exit not in cfg.exc_succ[idx]
+                assert cfg.exc_succ[idx]
+
+    def test_catch_all_handler_suppresses_escape(self):
+        cfg = cfg_for(
+            "def f(p):\n"
+            "    try:\n"
+            "        x = work(p)\n"
+            "    except Exception:\n"
+            "        x = None\n"
+            "    return x\n")
+        flat = [e for exc in cfg.exc_succ for e in exc]
+        assert cfg.exc_exit not in flat
+
+    def test_return_nodes_are_marked(self):
+        cfg = cfg_for("def f():\n    return 1\n")
+        assert any(cfg.is_return)
+
+
+# ----------------------------------------------------------------------
+# Leak analysis
+# ----------------------------------------------------------------------
+class TestLeaks:
+    def leaks(self, tmp_path, body, kinds=frozenset({"fd", "file",
+                                                     "tmp", "tmpdir"})):
+        project = make_project(tmp_path, {"m.py": body})
+        out = []
+        for fn in project.target_functions():
+            out.extend(leak_sites(fn, project.table, kinds))
+        return out
+
+    def test_exception_path_leak_found(self, tmp_path):
+        out = self.leaks(tmp_path, (
+            "import os\n"
+            "def f(p):\n"
+            "    fd = os.open(p, 0)\n"
+            "    data = os.read(fd, 1)\n"
+            "    os.close(fd)\n"
+            "    return data\n"))
+        assert [(leak.var, leak.on_exception) for leak in out] == \
+            [("fd", True)]
+
+    def test_finally_close_is_clean(self, tmp_path):
+        out = self.leaks(tmp_path, (
+            "import os\n"
+            "def f(p):\n"
+            "    fd = os.open(p, 0)\n"
+            "    try:\n"
+            "        data = os.read(fd, 1)\n"
+            "    finally:\n"
+            "        os.close(fd)\n"
+            "    return data\n"))
+        assert out == []
+
+
+# ----------------------------------------------------------------------
+# Lock-order graph and the --graph CLI
+# ----------------------------------------------------------------------
+class TestLockGraph:
+    def test_nested_withs_make_edges(self, tmp_path):
+        project = make_project(tmp_path, {
+            "m.py": ("import threading\n"
+                     "class C:\n"
+                     "    def __init__(self):\n"
+                     "        self._a = threading.Lock()\n"
+                     "        self._b = threading.Lock()\n"
+                     "    def f(self):\n"
+                     "        with self._a:\n"
+                     "            with self._b:\n"
+                     "                return 1\n"),
+        })
+        edges = lock_graph(project)
+        assert len(edges) == 1
+        (held, acquired), = edges
+        assert held.endswith("C._a") and acquired.endswith("C._b")
+
+    def test_graph_flag_prints_both_dots(self, capsys):
+        rc = main(["--graph", str(FIXTURES / "conc_violations.py")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "digraph callgraph" in out
+        assert "digraph lockorder" in out
+        assert "color=red" in out  # the Pair cycle is highlighted
+
+
+def test_project_rules_skip_non_target_modules(tmp_path):
+    """Context modules inform the analysis but produce no findings."""
+    from repro.lint import LintConfig, run_lint
+
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "worker.py").write_text(
+        "def slow():\n    return open('/dev/null')\n")
+    (pkg / "server.py").write_text(
+        "from .worker import slow\n"
+        "async def handle():\n"
+        "    return slow()\n")
+    config = LintConfig(select=frozenset({"CONC001"}))
+    # Linting only worker.py: handle()'s finding lands in server.py,
+    # which is not a target, so the run is clean.
+    assert run_lint([pkg / "worker.py"], config) == []
+    findings = run_lint([pkg / "server.py"], config)
+    assert [f.code for f in findings] == ["CONC001"]

@@ -96,7 +96,9 @@ class TestCli:
         out = capsys.readouterr().out
         for code in ("DET001", "DET002", "DET003", "DET004",
                      "UNIT001", "UNIT002", "UNIT003",
-                     "KER001", "KER002", "KER003"):
+                     "KER001", "KER002", "KER003",
+                     "CONC001", "CONC002", "CONC003", "CONC004",
+                     "RES001"):
             assert code in out
 
     def test_ignore_drops_a_family(self, capsys):
